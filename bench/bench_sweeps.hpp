@@ -1,0 +1,103 @@
+// The random-matrix sweep driver shared by the Fig. 7/8 (ER) and Fig. 9/10
+// (R-MAT) benches: for each (scale, edge factor), time the paper's four
+// algorithms and report PB's per-phase sustained bandwidth.
+#pragma once
+
+#include <string>
+
+#include "bench_common.hpp"
+#include "matrix/convert.hpp"
+#include "matrix/generate.hpp"
+
+namespace pbs::bench {
+
+enum class MatrixKind { kEr, kRmat };
+
+inline mtx::CsrMatrix make_random(MatrixKind kind, int scale, double ef,
+                                  std::uint64_t seed) {
+  if (kind == MatrixKind::kEr) {
+    return mtx::coo_to_csr(mtx::generate_er(mtx::RandomScale{scale, ef}, seed));
+  }
+  mtx::RmatParams p;  // Graph500 skew parameters are the defaults
+  p.scale = scale;
+  p.edge_factor = ef;
+  p.seed = seed;
+  return mtx::coo_to_csr(mtx::generate_rmat(p));
+}
+
+/// Figs. 7a/8/9a/10 (performance) + 7b/9b (PB sustained bandwidth).
+/// Multiplies two *distinct* random matrices of the same scale/edge factor,
+/// as the paper does for random inputs (Sec. IV-C).
+inline void run_random_sweep(const std::string& artifact, MatrixKind kind,
+                             const Args& args) {
+  const std::vector<int> scales = args.get_int_list("scales", {12, 13, 14});
+  const std::vector<int> efs = args.get_int_list("efs", {4, 8, 16});
+  const int reps = args.get_int("reps", 3);
+  const int warmup = args.get_int("warmup", 2);
+  const int threads = args.get_int("threads", 0);
+  const auto algo_names = args.get_string_list(
+      "algos", {"pb", "heap", "hash", "hashvec"});
+
+  if (threads > 0) set_threads(threads);
+  print_header(artifact,
+               "multiplying two random matrices per point; MFLOPS = flop / "
+               "best wall time of " +
+                   std::to_string(reps) + " runs");
+
+  Table perf([&] {
+    std::vector<std::string> h{"scale", "ef", "flop", "cf"};
+    for (const auto& a : algo_names) h.push_back(a + "(MF/s)");
+    return h;
+  }());
+
+  Table bw({"scale", "ef", "expand(GB/s)", "sort(GB/s)", "compress(GB/s)",
+            "convert(GB/s)", "overall(MF/s)"});
+
+  for (const int scale : scales) {
+    for (const int ef : efs) {
+      const mtx::CsrMatrix a =
+          make_random(kind, scale, ef, 1000 + static_cast<std::uint64_t>(scale));
+      const mtx::CsrMatrix b =
+          make_random(kind, scale, ef, 2000 + static_cast<std::uint64_t>(scale));
+      const SpGemmProblem problem = SpGemmProblem::multiply(a, b);
+      const nnz_t flop = mtx::count_flops(a, b);
+      const nnz_t nnzc = mtx::symbolic_nnz(a, b);
+      const double cf = nnzc > 0 ? static_cast<double>(flop) / nnzc : 0.0;
+
+      std::vector<double> mflops;
+      for (const auto& name : algo_names) {
+        mflops.push_back(
+            algo_mflops(algorithm(name), problem, flop, reps, warmup));
+      }
+
+      std::vector<std::string> cells{std::to_string(scale),
+                                     std::to_string(ef),
+                                     std::to_string(flop)};
+      {
+        std::ostringstream ss;
+        ss << std::setprecision(3) << cf;
+        cells.push_back(ss.str());
+      }
+      for (const double m : mflops) {
+        std::ostringstream ss;
+        ss << std::setprecision(4) << m;
+        cells.push_back(ss.str());
+      }
+      perf.row_cells(std::move(cells));
+
+      const pb::PbTelemetry t =
+          pb_best_telemetry(problem, pb::PbConfig{}, reps, warmup);
+      bw.row(scale, ef, t.expand.gbs(), t.sort.gbs(), t.compress.gbs(),
+             t.convert.gbs(), t.mflops());
+    }
+  }
+
+  std::cout << "## Performance (paper plots MFLOPS; its text's 'GFLOPS' is a "
+               "units typo — the Roofline caps ER at ~3 GFLOPS)\n";
+  perf.print(std::cout);
+  std::cout << "\n## PB-SpGEMM sustained bandwidth per phase (Table III byte "
+               "model)\n";
+  bw.print(std::cout);
+}
+
+}  // namespace pbs::bench

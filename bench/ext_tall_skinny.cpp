@@ -1,0 +1,69 @@
+// Extension — square × tall-and-skinny multiplication.
+//
+// The paper's Sec. IV-C explicitly defers this scenario ("such as
+// multiplying a square matrix by a tall-and-skinny matrix as needed in
+// betweenness centrality algorithms") for space; this bench fills it in.
+// A (n x n, ER or R-MAT) multiplies F (n x s) for source counts s from 1
+// to 512 — the multi-source BFS / betweenness frontier shape.
+//
+// Expected shape: with few columns the product is latency- rather than
+// bandwidth-dominated and column algorithms with small accumulators win;
+// as s grows the intermediate volume grows and PB's streaming advantage
+// returns.  The crossover is the interesting output.
+#include "bench_sweeps.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pbs;
+  const bench::Args args(argc, argv);
+  const int scale = args.get_int("scale", 14);
+  const double ef = args.get_double("ef", 8.0);
+  const double frontier_density = args.get_double("fd", 32.0);
+  const int reps = args.get_int("reps", 3);
+  const int warmup = args.get_int("warmup", 2);
+  const auto algo_names =
+      args.get_string_list("algos", {"pb", "heap", "hash"});
+
+  bench::print_header(
+      "Extension — A (square, scale " + std::to_string(scale) +
+          ") times F (tall-and-skinny), the paper's deferred scenario",
+      "F has " + std::to_string(frontier_density) +
+          " nonzeros per column (frontier density)");
+
+  const index_t n = index_t{1} << scale;
+  const mtx::CsrMatrix a =
+      bench::make_random(bench::MatrixKind::kRmat, scale, ef, 96);
+
+  bench::Table t([&] {
+    std::vector<std::string> h{"s(cols)", "flop", "cf"};
+    for (const auto& name : algo_names) h.push_back(name + "(MF/s)");
+    return h;
+  }());
+
+  for (index_t s = 1; s <= 512; s *= 4) {
+    const mtx::CsrMatrix f =
+        mtx::coo_to_csr(mtx::generate_er(n, s, frontier_density, 97));
+    const SpGemmProblem problem = SpGemmProblem::multiply(a, f);
+    const nnz_t flop = mtx::count_flops(a, f);
+    if (flop == 0) continue;
+    const nnz_t nnzc = mtx::symbolic_nnz(a, f);
+
+    std::vector<std::string> cells{std::to_string(s), std::to_string(flop)};
+    {
+      std::ostringstream ss;
+      ss << std::setprecision(3)
+         << (nnzc ? static_cast<double>(flop) / nnzc : 0.0);
+      cells.push_back(ss.str());
+    }
+    for (const auto& name : algo_names) {
+      std::ostringstream ss;
+      // Adaptive timing: the s=1 points run in microseconds.
+      ss << std::setprecision(4)
+         << bench::algo_mflops_adaptive(algorithm(name), problem, flop, reps,
+                                        warmup);
+      cells.push_back(ss.str());
+    }
+    t.row_cells(std::move(cells));
+  }
+  t.print(std::cout);
+  return 0;
+}

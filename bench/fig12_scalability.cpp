@@ -1,0 +1,65 @@
+// Fig. 12 — strong scaling of the four algorithms from 1 to all threads on
+// an ER matrix (left panel) and an R-MAT matrix (right panel), both scale
+// 16 / edge factor 16 in the paper (default scale 14 here; --scale 16 for
+// the paper-faithful size).
+//
+// Expected shape (paper Sec. V-C): every algorithm scales within a socket;
+// PB stays on top; R-MAT scales worse than ER for PB because skewed bins
+// imbalance the sort/compress work.
+#include "bench_sweeps.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pbs;
+  const bench::Args args(argc, argv);
+  const int scale = args.get_int("scale", 14);
+  const double ef = args.get_double("ef", 16.0);
+  const int reps = args.get_int("reps", 3);
+  const int warmup = args.get_int("warmup", 2);
+  const auto algo_names = args.get_string_list(
+      "algos", {"pb", "heap", "hash", "hashvec"});
+
+  bench::print_header("Fig. 12 — strong scaling on ER (left) and R-MAT "
+                      "(right), scale " +
+                          std::to_string(scale) + ", ef " +
+                          std::to_string(static_cast<int>(ef)),
+                      "speedup is relative to the same algorithm on 1 thread");
+
+  for (const auto kind :
+       {bench::MatrixKind::kEr, bench::MatrixKind::kRmat}) {
+    const bool er = kind == bench::MatrixKind::kEr;
+    std::cout << "## " << (er ? "ER" : "R-MAT") << "\n";
+    const mtx::CsrMatrix a = bench::make_random(kind, scale, ef, 71);
+    const mtx::CsrMatrix b = bench::make_random(kind, scale, ef, 72);
+    const SpGemmProblem problem = SpGemmProblem::multiply(a, b);
+    const nnz_t flop = mtx::count_flops(a, b);
+
+    bench::Table t([&] {
+      std::vector<std::string> h{"threads"};
+      for (const auto& n : algo_names) {
+        h.push_back(n + "(MF/s)");
+        h.push_back(n + "(x)");
+      }
+      return h;
+    }());
+
+    std::vector<double> base(algo_names.size(), 0.0);
+    for (int threads = 1; threads <= max_threads(); ++threads) {
+      ThreadCountGuard guard(threads);
+      std::vector<std::string> cells{std::to_string(threads)};
+      for (std::size_t i = 0; i < algo_names.size(); ++i) {
+        const double m = bench::algo_mflops(algorithm(algo_names[i]), problem,
+                                            flop, reps, warmup);
+        if (threads == 1) base[i] = m;
+        std::ostringstream s1, s2;
+        s1 << std::setprecision(4) << m;
+        s2 << std::setprecision(3) << (base[i] > 0 ? m / base[i] : 0.0);
+        cells.push_back(s1.str());
+        cells.push_back(s2.str());
+      }
+      t.row_cells(std::move(cells));
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

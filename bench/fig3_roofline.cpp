@@ -1,0 +1,33 @@
+// Fig. 3 — the Roofline model for SpGEMM on ER matrices: attainable
+// performance (beta * AI) over the paper's AI range with the three
+// operating points (upper bound, column lower bound, outer lower bound),
+// using this machine's measured STREAM bandwidth as beta.
+#include "bench_common.hpp"
+#include "common/stream.hpp"
+#include "model/roofline.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pbs;
+  const bench::Args args(argc, argv);
+
+  bench::print_header("Fig. 3 — Roofline bounds for SpGEMM (ER, cf = 1)");
+
+  const double beta =
+      args.get_double("beta", 0.0) > 0
+          ? args.get_double("beta", 0.0)
+          : run_stream(1 << 24, args.get_int("reps", 5)).best_gbs();
+  model::print_fig3(std::cout, beta);
+
+  // Bonus over the paper's figure: the same three bounds across the cf
+  // range of Table VI, which is what Fig. 11's crossover argument uses.
+  std::cout << "\n## Bounds vs compression factor (b = 16 bytes)\n";
+  bench::Table t({"cf", "AI_upper", "AI_column", "AI_outer", "perf_upper(GF/s)",
+                  "perf_column(GF/s)", "perf_outer(GF/s)"});
+  for (const double cf : {1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 16.0}) {
+    const model::SpGemmBounds b = model::bounds(beta, cf);
+    t.row(cf, b.ai_upper, b.ai_column, b.ai_outer, b.perf_upper, b.perf_column,
+          b.perf_outer);
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Fig. 7 — ER random matrices on platform 1 (paper: single Skylake socket):
+//   (a) MFLOPS of PB / Heap / Hash / HashVec across scales and edge factors
+//   (b) PB-SpGEMM's sustained bandwidth per phase.
+//
+// Expected shape (paper Sec. V-B): PB's performance is flat in scale and
+// edge factor and above the column algorithms; its per-phase bandwidth
+// approaches this host's STREAM value (run bench/table5_stream for beta).
+#include "bench_sweeps.hpp"
+
+int main(int argc, char** argv) {
+  const pbs::bench::Args args(argc, argv);
+  pbs::bench::run_random_sweep(
+      "Fig. 7 — performance and bandwidth on ER matrices (platform 1)",
+      pbs::bench::MatrixKind::kEr, args);
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Fig. 9 — R-MAT (Graph500 parameters a=0.57, b=c=0.19, d=0.05) matrices on
+// platform 1:
+//   (a) MFLOPS of the four algorithms across scales and edge factors
+//   (b) PB-SpGEMM's sustained bandwidth per phase.
+//
+// Expected shape (paper Sec. V-B): PB still wins, but its sustained
+// bandwidth drops below the ER numbers — skewed degrees make bins uneven
+// and the expand phase less bandwidth-efficient.
+#include "bench_sweeps.hpp"
+
+int main(int argc, char** argv) {
+  const pbs::bench::Args args(argc, argv);
+  pbs::bench::run_random_sweep(
+      "Fig. 9 — performance and bandwidth on R-MAT matrices (platform 1)",
+      pbs::bench::MatrixKind::kRmat, args);
+  return 0;
+}

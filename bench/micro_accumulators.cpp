@@ -1,0 +1,81 @@
+// Microbenchmark (google-benchmark) — the per-row accumulators of the
+// column-SpGEMM baselines: linear-probing hash vs 8-wide grouped (vector)
+// hash probing, on collision profiles from sparse (few duplicates) to dense
+// (every key repeated many times).
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "spgemm/hash_table.hpp"
+
+namespace {
+
+using pbs::detail::GroupedAccumulator;
+using pbs::detail::HashAccumulator;
+
+std::vector<pbs::index_t> make_stream(std::size_t n, pbs::index_t distinct,
+                                      unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<pbs::index_t> v(n);
+  for (auto& x : v) x = static_cast<pbs::index_t>(rng() % distinct);
+  return v;
+}
+
+template <typename Accumulator>
+void accumulate_stream(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto distinct = static_cast<pbs::index_t>(state.range(1));
+  const std::vector<pbs::index_t> stream = make_stream(n, distinct, 5);
+  Accumulator acc;
+  for (auto _ : state) {
+    acc.reset(static_cast<pbs::nnz_t>(n));
+    for (const pbs::index_t c : stream) acc.accumulate(c, 1.0);
+    benchmark::DoNotOptimize(acc.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_HashAccumulate(benchmark::State& state) {
+  accumulate_stream<HashAccumulator>(state);
+}
+void BM_GroupedAccumulate(benchmark::State& state) {
+  accumulate_stream<GroupedAccumulator>(state);
+}
+
+// (stream length, distinct keys): 16:1 duplicates ~ cf 16 (cant/hood
+// regime); 1:1 ~ cf 1 (ER regime).
+BENCHMARK(BM_HashAccumulate)
+    ->ArgsProduct({{1 << 10, 1 << 14}, {1 << 6, 1 << 10, 1 << 14}});
+BENCHMARK(BM_GroupedAccumulate)
+    ->ArgsProduct({{1 << 10, 1 << 14}, {1 << 6, 1 << 10, 1 << 14}});
+
+template <typename Accumulator>
+void insert_stream(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<pbs::index_t> stream =
+      make_stream(n, static_cast<pbs::index_t>(n), 6);
+  Accumulator acc;
+  for (auto _ : state) {
+    acc.reset(static_cast<pbs::nnz_t>(n));
+    pbs::nnz_t fresh = 0;
+    for (const pbs::index_t c : stream) fresh += acc.insert(c) ? 1 : 0;
+    benchmark::DoNotOptimize(fresh);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_HashSymbolic(benchmark::State& state) {
+  insert_stream<HashAccumulator>(state);
+}
+void BM_GroupedSymbolic(benchmark::State& state) {
+  insert_stream<GroupedAccumulator>(state);
+}
+BENCHMARK(BM_HashSymbolic)->Arg(1 << 10)->Arg(1 << 14);
+BENCHMARK(BM_GroupedSymbolic)->Arg(1 << 10)->Arg(1 << 14);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,33 @@
+// Table V — STREAM benchmark of the evaluation platform: sustainable
+// Copy/Scale/Add/Triad bandwidth on one thread, one "socket" (all cores
+// here), and the full machine.  These β values calibrate every Roofline
+// prediction in the other benches.
+#include "bench_common.hpp"
+#include "common/stream.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pbs;
+  const bench::Args args(argc, argv);
+  const auto elements =
+      static_cast<std::size_t>(args.get_int("mb", 256)) * 1024 * 1024 /
+      (3 * sizeof(double));
+  const int ntimes = args.get_int("reps", 5);
+
+  bench::print_header(
+      "Table V — STREAM bandwidth (GB/s)",
+      "paper: Skylake single socket ~47-57, dual ~87-108; this host's "
+      "values below are the beta used everywhere else");
+
+  bench::Table t({"threads", "Copy", "Scale", "Add", "Triad"});
+  const int max = max_threads();
+  for (const int threads : {1, max}) {
+    const StreamResult r = run_stream(elements, ntimes, threads);
+    t.row(threads, r.copy_gbs, r.scale_gbs, r.add_gbs, r.triad_gbs);
+    if (max == 1) break;
+  }
+  t.print(std::cout);
+  std::cout << "\n# NOTE: the paper's dual-socket row needs a second NUMA "
+               "domain; this host has one (substitution documented in "
+               "DESIGN.md s3 / EXPERIMENTS.md).\n";
+  return 0;
+}

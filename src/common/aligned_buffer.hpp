@@ -1,0 +1,84 @@
+// Cache-line-aligned, non-initializing buffer.
+//
+// The PB-SpGEMM global bin array can be many GB; value-initializing it (as
+// std::vector does) would touch every page once for nothing.  The paper's
+// symbolic phase explicitly notes "allocate shared array to store tuples,
+// no initialization needed" (Algorithm 3, line 7).
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <utility>
+
+namespace pbs {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Owning, aligned, default-uninitialized array of trivially-destructible T.
+/// Move-only; freeing happens in the destructor (RAII, no raw new/delete at
+/// call sites).
+template <typename T>
+class AlignedBuffer {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "AlignedBuffer never runs destructors");
+
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t n) { allocate(n); }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  ~AlignedBuffer() { release(); }
+
+  /// Discards current contents and allocates n elements (uninitialized).
+  void allocate(std::size_t n) {
+    release();
+    if (n == 0) return;
+    const std::size_t bytes =
+        (n * sizeof(T) + kCacheLineBytes - 1) / kCacheLineBytes * kCacheLineBytes;
+    data_ = static_cast<T*>(std::aligned_alloc(kCacheLineBytes, bytes));
+    if (data_ == nullptr) throw std::bad_alloc{};
+    size_ = n;
+  }
+
+  [[nodiscard]] T* data() { return data_; }
+  [[nodiscard]] const T* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+ private:
+  void release() {
+    std::free(data_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace pbs

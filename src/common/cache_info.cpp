@@ -1,0 +1,57 @@
+#include "common/cache_info.hpp"
+
+#include <unistd.h>
+
+#include <fstream>
+#include <string>
+
+namespace pbs {
+
+namespace {
+
+std::size_t sysfs_cache_bytes(int index) {
+  const std::string path = "/sys/devices/system/cpu/cpu0/cache/index" +
+                           std::to_string(index) + "/size";
+  std::ifstream in(path);
+  if (!in) return 0;
+  std::size_t value = 0;
+  char suffix = '\0';
+  in >> value >> suffix;
+  if (suffix == 'K' || suffix == 'k') value *= 1024;
+  if (suffix == 'M' || suffix == 'm') value *= 1024 * 1024;
+  return value;
+}
+
+std::size_t sysconf_or(int name, std::size_t fallback) {
+  const long v = sysconf(name);
+  return v > 0 ? static_cast<std::size_t>(v) : fallback;
+}
+
+CacheInfo detect() {
+  CacheInfo info{};
+  info.l1d_bytes = sysconf_or(_SC_LEVEL1_DCACHE_SIZE, 0);
+  info.l2_bytes = sysconf_or(_SC_LEVEL2_CACHE_SIZE, 0);
+  info.l3_bytes = sysconf_or(_SC_LEVEL3_CACHE_SIZE, 0);
+  info.line_bytes = sysconf_or(_SC_LEVEL1_DCACHE_LINESIZE, 0);
+
+  // sysconf reports 0 on many container kernels; try sysfs, then defaults.
+  // sysfs index order is typically 0=L1d, 1=L1i, 2=L2, 3=L3.
+  if (info.l1d_bytes == 0) info.l1d_bytes = sysfs_cache_bytes(0);
+  if (info.l2_bytes == 0) info.l2_bytes = sysfs_cache_bytes(2);
+  if (info.l3_bytes == 0) info.l3_bytes = sysfs_cache_bytes(3);
+
+  if (info.l1d_bytes == 0) info.l1d_bytes = 32u * 1024;
+  if (info.l2_bytes == 0) info.l2_bytes = 1024u * 1024;   // Skylake-SP: 1MB
+  if (info.l3_bytes == 0) info.l3_bytes = 16u * 1024 * 1024;
+  if (info.line_bytes == 0) info.line_bytes = 64;
+  return info;
+}
+
+}  // namespace
+
+const CacheInfo& cache_info() {
+  static const CacheInfo info = detect();
+  return info;
+}
+
+}  // namespace pbs

@@ -1,0 +1,23 @@
+// Cache hierarchy discovery.
+//
+// PB-SpGEMM sizes its global bins so each bin's tuples fit in L2 during the
+// sort/merge phase (paper Algorithm 3, line 6: nbins = flops / L2_CACHE_SIZE)
+// and sizes the set of thread-private local bins to fit in L2 as well.
+#pragma once
+
+#include <cstddef>
+
+namespace pbs {
+
+struct CacheInfo {
+  std::size_t l1d_bytes;  ///< per-core L1 data cache
+  std::size_t l2_bytes;   ///< per-core (or core-pair) L2 cache
+  std::size_t l3_bytes;   ///< last-level cache (may be 0 if undetectable)
+  std::size_t line_bytes; ///< cache line size
+};
+
+/// Queries sysconf / sysfs once and caches the result.  Falls back to
+/// conservative defaults (32K/1M/16M/64B) when the platform hides them.
+const CacheInfo& cache_info();
+
+}  // namespace pbs

@@ -1,0 +1,185 @@
+// In-place MSD radix sort ("American flag sort", McIlroy/Bostic/McIlroy) for
+// arrays of {integer key, payload} records.
+//
+// This is the sort at the heart of PB-SpGEMM's per-bin sorting phase
+// (paper Sec. III-D).  Two properties matter there:
+//
+//  1. *In place* — a bin is sized to fit L2; a copying LSD sort would double
+//     the footprint and evict half the bin.
+//  2. *Byte skipping* — tuple keys are (rowid << 32) | colid, but inside a
+//     bin only ~log2(rows_per_bin) row bits and log2(ncols) column bits
+//     actually vary.  By detecting constant bytes from a key-OR/AND sweep we
+//     sort only the varying bytes, which reproduces the paper's "squeeze
+//     keys into 4-byte integers, four passes" optimization with a single
+//     code path for any bin geometry.
+//
+// The sort is not stable for equal keys; PB-SpGEMM only needs equal keys
+// adjacent (they are summed immediately afterwards).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+namespace pbs {
+
+namespace detail {
+
+/// Insertion sort fallback for small buckets; sorts by key only.
+template <typename Record, typename KeyFn>
+void insertion_sort(Record* a, std::size_t n, KeyFn key) {
+  for (std::size_t i = 1; i < n; ++i) {
+    Record tmp = a[i];
+    const auto k = key(tmp);
+    std::size_t j = i;
+    while (j > 0 && key(a[j - 1]) > k) {
+      a[j] = a[j - 1];
+      --j;
+    }
+    a[j] = tmp;
+  }
+}
+
+/// One American-flag pass on byte `shift/8`, then recursion on sub-buckets.
+template <typename Record, typename KeyFn>
+void flag_sort_pass(Record* a, std::size_t n, int shift, std::uint64_t varying,
+                    KeyFn key) {
+  constexpr std::size_t kInsertionCutoff = 48;
+  // Descend past bytes in which no key differs.
+  while (shift >= 0 && ((varying >> shift) & 0xFFu) == 0) shift -= 8;
+  if (shift < 0) return;
+  if (n <= kInsertionCutoff) {
+    insertion_sort(a, n, key);
+    return;
+  }
+
+  std::array<std::size_t, 256> count{};
+  for (std::size_t i = 0; i < n; ++i)
+    ++count[(key(a[i]) >> shift) & 0xFFu];
+
+  std::array<std::size_t, 256> bucket_start;  // running cursor per bucket
+  std::array<std::size_t, 256> bucket_end;
+  std::size_t sum = 0;
+  for (int b = 0; b < 256; ++b) {
+    bucket_start[b] = sum;
+    sum += count[b];
+    bucket_end[b] = sum;
+  }
+
+  // Permute in place: walk buckets, swap each misplaced record into the
+  // bucket its key demands until every bucket's cursor hits its end.
+  for (int b = 0; b < 256; ++b) {
+    while (bucket_start[b] < bucket_end[b]) {
+      Record r = a[bucket_start[b]];
+      int dest = static_cast<int>((key(r) >> shift) & 0xFFu);
+      while (dest != b) {
+        std::swap(r, a[bucket_start[dest]++]);
+        dest = static_cast<int>((key(r) >> shift) & 0xFFu);
+      }
+      a[bucket_start[b]++] = r;
+    }
+  }
+
+  if (shift == 0) return;
+  std::size_t begin = 0;
+  for (int b = 0; b < 256; ++b) {
+    const std::size_t len = count[b];
+    if (len > 1) flag_sort_pass(a + begin, len, shift - 8, varying, key);
+    begin += len;
+  }
+}
+
+}  // namespace detail
+
+/// Sorts `a[0..n)` ascending by `key(record)` (any unsigned-integer-valued
+/// callable).  In place, O(passes * n); passes = number of bytes in which
+/// keys actually differ.
+template <typename Record, typename KeyFn>
+void radix_sort(Record* a, std::size_t n, KeyFn key) {
+  if (n < 2) return;
+  // OR of pairwise XORs == (OR of keys) ^ ... simplest: track min/max bits
+  // via OR and AND; a byte varies iff or_bits and and_bits differ there.
+  std::uint64_t or_bits = 0, and_bits = ~std::uint64_t{0};
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t k = key(a[i]);
+    or_bits |= k;
+    and_bits &= k;
+  }
+  const std::uint64_t varying = or_bits ^ and_bits;
+  if (varying == 0) return;  // all keys equal
+  detail::flag_sort_pass(a, n, 56, varying, key);
+}
+
+/// Convenience overload for records with a public `key` member.
+template <typename Record>
+void radix_sort(Record* a, std::size_t n) {
+  radix_sort(a, n, [](const Record& r) { return r.key; });
+}
+
+/// LSD (least-significant-digit-first) radix sort into/out of a scratch
+/// buffer of the same length.
+///
+/// The in-place American-flag permute above chases displacement cycles —
+/// each swap's destination depends on the record it just evicted, a serial
+/// L2-latency chain per element.  The LSD scatter has fully independent
+/// iterations the core can overlap, at the cost of n extra records of
+/// scratch.  PB-SpGEMM's bins are sized to half of L2 precisely so that
+/// bin + scratch stay cache-resident (pb/sort_compress.cpp), making this
+/// the faster choice for the per-bin sort; the in-place variant remains for
+/// callers without scratch to spare.
+///
+/// All byte histograms are gathered in one read pass, and constant bytes
+/// are skipped — with range binning only ~log2(rows_per_bin) row bits and
+/// log2(ncols) column bits vary, reproducing the paper's "4-byte keys,
+/// four passes" optimization.  Stable (LSD scatters preserve order), which
+/// the pipeline doesn't require but tests may rely on.
+template <typename Record, typename KeyFn>
+void radix_sort_lsd(Record* a, std::size_t n, Record* scratch, KeyFn key) {
+  if (n < 2) return;
+
+  // Pass 1 (cheap, vectorizable): find which key bytes actually vary.
+  std::uint64_t or_bits = 0, and_bits = ~std::uint64_t{0};
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t k = key(a[i]);
+    or_bits |= k;
+    and_bits &= k;
+  }
+  const std::uint64_t varying = or_bits ^ and_bits;
+  if (varying == 0) return;
+
+  int passes[8];
+  int npasses = 0;
+  for (int byte = 0; byte < 8; ++byte) {
+    if (((varying >> (8 * byte)) & 0xFFu) != 0) passes[npasses++] = byte;
+  }
+
+  // Pass 2: histograms for the varying bytes only (typically 3-4 of 8).
+  std::array<std::array<std::uint32_t, 256>, 8> hist{};
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t k = key(a[i]);
+    for (int p = 0; p < npasses; ++p)
+      ++hist[passes[p]][(k >> (8 * passes[p])) & 0xFFu];
+  }
+
+  Record* src = a;
+  Record* dst = scratch;
+  for (int p = 0; p < npasses; ++p) {
+    const int byte = passes[p];
+    std::array<std::uint32_t, 256> offset;
+    std::uint32_t sum = 0;
+    for (int b = 0; b < 256; ++b) {
+      offset[b] = sum;
+      sum += hist[byte][b];
+    }
+    const int shift = 8 * byte;
+    for (std::size_t i = 0; i < n; ++i)
+      dst[offset[(key(src[i]) >> shift) & 0xFFu]++] = src[i];
+    std::swap(src, dst);
+  }
+  if (src != a) {
+    for (std::size_t i = 0; i < n; ++i) a[i] = src[i];
+  }
+}
+
+}  // namespace pbs

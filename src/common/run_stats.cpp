@@ -1,0 +1,30 @@
+#include "common/run_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pbs {
+
+RunStats RunStats::of(std::vector<double> samples) {
+  RunStats s;
+  s.n = static_cast<int>(samples.size());
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.min = samples.front();
+  s.max = samples.back();
+  const std::size_t mid = samples.size() / 2;
+  s.median = samples.size() % 2 == 1
+                 ? samples[mid]
+                 : 0.5 * (samples[mid - 1] + samples[mid]);
+  double sum = 0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+  double var = 0;
+  for (double v : samples) var += (v - s.mean) * (v - s.mean);
+  s.stddev = samples.size() > 1
+                 ? std::sqrt(var / static_cast<double>(samples.size() - 1))
+                 : 0.0;
+  return s;
+}
+
+}  // namespace pbs

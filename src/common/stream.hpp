@@ -1,0 +1,30 @@
+// STREAM sustainable-bandwidth benchmark (McCalpin) — Copy/Scale/Add/Triad.
+//
+// The paper calibrates its Roofline model with STREAM (Table V) and judges
+// PB-SpGEMM's phases by how close their sustained bandwidth comes to it.
+// We embed the four kernels so that β is always measured on the machine the
+// experiments actually run on.
+#pragma once
+
+#include <cstddef>
+
+namespace pbs {
+
+struct StreamResult {
+  double copy_gbs;   ///< c[i] = a[i]
+  double scale_gbs;  ///< b[i] = s*c[i]
+  double add_gbs;    ///< c[i] = a[i] + b[i]
+  double triad_gbs;  ///< a[i] = b[i] + s*c[i]
+
+  /// The β the Roofline model should use: the paper treats the Triad figure
+  /// ("~55 GB/s on a single socket") as the attainable bandwidth.
+  [[nodiscard]] double best_gbs() const;
+};
+
+/// Runs the four STREAM kernels `ntimes` times over arrays of
+/// `elements` doubles each and reports the best observed bandwidth,
+/// exactly as the reference STREAM does.  `threads` <= 0 means "use all".
+StreamResult run_stream(std::size_t elements = 1 << 25, int ntimes = 8,
+                        int threads = 0);
+
+}  // namespace pbs

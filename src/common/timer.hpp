@@ -1,0 +1,41 @@
+// Wall-clock timing.  All bandwidth and FLOPS numbers in the bench harness
+// derive from this monotonic timer.
+#pragma once
+
+#include <chrono>
+
+namespace pbs {
+
+/// Monotonic wall-clock stopwatch.  `elapsed_s()` may be called repeatedly;
+/// `reset()` restarts the epoch.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds since construction or the last reset().
+  [[nodiscard]] double elapsed_s() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_ms() const { return elapsed_s() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates named phase durations; used by PB-SpGEMM instrumentation.
+class PhaseTimer {
+ public:
+  void start() { timer_.reset(); }
+
+  /// Stops the current measurement and returns its duration in seconds.
+  double stop() { return timer_.elapsed_s(); }
+
+ private:
+  Timer timer_;
+};
+
+}  // namespace pbs

@@ -1,0 +1,48 @@
+// Fundamental scalar types used throughout the library.
+//
+// The paper accounts data movement assuming 4-byte indices and 8-byte
+// values (b = 16 bytes per COO tuple, Sec. II-C).  We fix the same widths
+// here instead of templating the whole library: `index_t` indexes rows and
+// columns, `nnz_t` counts nonzeros/flops (these overflow 32 bits long
+// before matrices stop fitting in memory), `value_t` is the numeric type.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace pbs {
+
+using index_t = std::int32_t;  ///< row/column index (paper: 4 bytes)
+using nnz_t = std::int64_t;    ///< nonzero / flop count, offset into tuple arrays
+using value_t = double;        ///< numeric value (paper: 8 bytes)
+
+/// Bytes needed per expanded COO tuple (rowid, colid, value) — the `b`
+/// of the paper's arithmetic-intensity equations.
+inline constexpr std::size_t kBytesPerTuple = 2 * sizeof(index_t) + sizeof(value_t);
+static_assert(kBytesPerTuple == 16, "the paper's AI model assumes b = 16");
+
+/// Smallest power of two >= x (x >= 1).
+constexpr std::uint64_t next_pow2(std::uint64_t x) {
+  if (x <= 1) return 1;
+  --x;
+  x |= x >> 1;
+  x |= x >> 2;
+  x |= x >> 4;
+  x |= x >> 8;
+  x |= x >> 16;
+  x |= x >> 32;
+  return x + 1;
+}
+
+/// Number of bits needed to represent values in [0, n); ceil_log2(1) == 0.
+constexpr int ceil_log2(std::uint64_t n) {
+  int bits = 0;
+  std::uint64_t v = 1;
+  while (v < n) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace pbs

@@ -1,0 +1,32 @@
+// Format conversions and transposition.
+//
+// All converters are counting-sort based (O(nnz + n)), OpenMP-parallel for
+// the counting and scatter passes, and produce canonical (sorted, duplicate
+// free) outputs given canonical inputs.
+#pragma once
+
+#include "matrix/coo.hpp"
+#include "matrix/csc.hpp"
+#include "matrix/csr.hpp"
+
+namespace pbs::mtx {
+
+/// COO (canonical) -> CSR.
+CsrMatrix coo_to_csr(const CooMatrix& coo);
+
+/// COO (canonical) -> CSC.
+CscMatrix coo_to_csc(const CooMatrix& coo);
+
+/// CSR -> COO (always canonical).
+CooMatrix csr_to_coo(const CsrMatrix& a);
+
+/// CSR -> CSC of the *same* matrix (column-major view).
+CscMatrix csr_to_csc(const CsrMatrix& a);
+
+/// CSC -> CSR of the same matrix.
+CsrMatrix csc_to_csr(const CscMatrix& a);
+
+/// Transpose: returns B = Aᵀ in CSR.
+CsrMatrix transpose(const CsrMatrix& a);
+
+}  // namespace pbs::mtx

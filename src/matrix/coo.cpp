@@ -1,0 +1,74 @@
+#include "matrix/coo.hpp"
+
+#include <cstdint>
+
+#include "common/aligned_buffer.hpp"
+#include "common/radix_sort.hpp"
+
+namespace pbs::mtx {
+
+void CooMatrix::reserve(nnz_t n) {
+  row.reserve(static_cast<std::size_t>(n));
+  col.reserve(static_cast<std::size_t>(n));
+  val.reserve(static_cast<std::size_t>(n));
+}
+
+void CooMatrix::add(index_t r, index_t c, value_t v) {
+  row.push_back(r);
+  col.push_back(c);
+  val.push_back(v);
+}
+
+void CooMatrix::canonicalize() {
+  struct Rec {
+    std::uint64_t key;
+    value_t v;
+  };
+  const std::size_t n = row.size();
+  if (n == 0) return;
+
+  AlignedBuffer<Rec> recs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    recs[i] = Rec{(static_cast<std::uint64_t>(static_cast<std::uint32_t>(row[i])) << 32) |
+                      static_cast<std::uint32_t>(col[i]),
+                  val[i]};
+  }
+  radix_sort(recs.data(), n, [](const Rec& r) { return r.key; });
+
+  // Two-pointer merge of equal (row, col) keys.
+  std::size_t out = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (recs[i].key == recs[out].key) {
+      recs[out].v += recs[i].v;
+    } else {
+      recs[++out] = recs[i];
+    }
+  }
+  const std::size_t m = out + 1;
+  row.resize(m);
+  col.resize(m);
+  val.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    row[i] = static_cast<index_t>(recs[i].key >> 32);
+    col[i] = static_cast<index_t>(recs[i].key & 0xFFFFFFFFu);
+    val[i] = recs[i].v;
+  }
+}
+
+bool CooMatrix::is_canonical() const {
+  for (std::size_t i = 1; i < row.size(); ++i) {
+    if (row[i - 1] > row[i]) return false;
+    if (row[i - 1] == row[i] && col[i - 1] >= col[i]) return false;
+  }
+  return true;
+}
+
+bool CooMatrix::in_bounds() const {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (row[i] < 0 || row[i] >= nrows) return false;
+    if (col[i] < 0 || col[i] >= ncols) return false;
+  }
+  return true;
+}
+
+}  // namespace pbs::mtx

@@ -1,0 +1,43 @@
+// Coordinate (COO) sparse matrix — the interchange format.
+//
+// Generators and the Matrix Market reader produce COO; algorithms consume
+// CSR/CSC produced by the converters in convert.hpp.  PB-SpGEMM's expanded
+// matrix Cˆ is *conceptually* COO too, but it lives in the packed
+// {key, value} tuple form defined in pb/tuple.hpp for bandwidth reasons.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pbs::mtx {
+
+struct CooMatrix {
+  index_t nrows = 0;
+  index_t ncols = 0;
+  std::vector<index_t> row;
+  std::vector<index_t> col;
+  std::vector<value_t> val;
+
+  CooMatrix() = default;
+  CooMatrix(index_t r, index_t c) : nrows(r), ncols(c) {}
+
+  [[nodiscard]] nnz_t nnz() const { return static_cast<nnz_t>(row.size()); }
+
+  void reserve(nnz_t n);
+
+  /// Appends one entry; duplicates allowed until canonicalize().
+  void add(index_t r, index_t c, value_t v);
+
+  /// Sorts entries row-major and sums duplicates, producing the canonical
+  /// form every converter expects.  Uses the library radix sort.
+  void canonicalize();
+
+  /// True when entries are strictly sorted row-major with no duplicates.
+  [[nodiscard]] bool is_canonical() const;
+
+  /// All indices within [0, nrows) x [0, ncols)?
+  [[nodiscard]] bool in_bounds() const;
+};
+
+}  // namespace pbs::mtx

@@ -1,0 +1,20 @@
+#include "matrix/csc.hpp"
+
+namespace pbs::mtx {
+
+bool CscMatrix::valid() const {
+  if (nrows < 0 || ncols < 0) return false;
+  if (colptr.size() != static_cast<std::size_t>(ncols) + 1) return false;
+  if (colptr.front() != 0) return false;
+  for (std::size_t c = 0; c < static_cast<std::size_t>(ncols); ++c) {
+    if (colptr[c] > colptr[c + 1]) return false;
+    for (nnz_t i = colptr[c]; i < colptr[c + 1]; ++i) {
+      if (rowids[i] < 0 || rowids[i] >= nrows) return false;
+      if (i > colptr[c] && rowids[i - 1] >= rowids[i]) return false;
+    }
+  }
+  const auto n = static_cast<std::size_t>(colptr.back());
+  return rowids.size() == n && vals.size() == n;
+}
+
+}  // namespace pbs::mtx

@@ -1,0 +1,56 @@
+#include "matrix/csr.hpp"
+
+#include <cmath>
+
+namespace pbs::mtx {
+
+bool CsrMatrix::valid() const {
+  if (nrows < 0 || ncols < 0) return false;
+  if (rowptr.size() != static_cast<std::size_t>(nrows) + 1) return false;
+  if (rowptr.front() != 0) return false;
+  for (std::size_t r = 0; r < static_cast<std::size_t>(nrows); ++r) {
+    if (rowptr[r] > rowptr[r + 1]) return false;
+    for (nnz_t i = rowptr[r]; i < rowptr[r + 1]; ++i) {
+      if (colids[i] < 0 || colids[i] >= ncols) return false;
+      if (i > rowptr[r] && colids[i - 1] >= colids[i]) return false;
+    }
+  }
+  const auto n = static_cast<std::size_t>(rowptr.back());
+  return colids.size() == n && vals.size() == n;
+}
+
+CsrMatrix CsrMatrix::identity(index_t n) {
+  CsrMatrix m(n, n);
+  m.colids.resize(n);
+  m.vals.assign(n, 1.0);
+  for (index_t i = 0; i < n; ++i) {
+    m.rowptr[static_cast<std::size_t>(i) + 1] = i + 1;
+    m.colids[i] = i;
+  }
+  return m;
+}
+
+CsrMatrix CsrMatrix::diagonal(std::span<const value_t> d) {
+  const auto n = static_cast<index_t>(d.size());
+  CsrMatrix m = identity(n);
+  for (index_t i = 0; i < n; ++i) m.vals[i] = d[i];
+  return m;
+}
+
+bool equal_exact(const CsrMatrix& a, const CsrMatrix& b) {
+  return a.nrows == b.nrows && a.ncols == b.ncols && a.rowptr == b.rowptr &&
+         a.colids == b.colids && a.vals == b.vals;
+}
+
+bool equal_approx(const CsrMatrix& a, const CsrMatrix& b, double rtol,
+                  double atol) {
+  if (a.nrows != b.nrows || a.ncols != b.ncols) return false;
+  if (a.rowptr != b.rowptr || a.colids != b.colids) return false;
+  for (std::size_t i = 0; i < a.vals.size(); ++i) {
+    if (std::abs(a.vals[i] - b.vals[i]) > atol + rtol * std::abs(b.vals[i]))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace pbs::mtx

@@ -1,0 +1,65 @@
+// Compressed Sparse Row matrix.
+//
+// Row pointers are 64-bit (`nnz_t`): flop counts and expanded-tuple offsets
+// overflow 32 bits long before matrices stop fitting in memory.  Column
+// indices and values are the paper's 4-byte / 8-byte widths.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pbs::mtx {
+
+struct CsrMatrix {
+  index_t nrows = 0;
+  index_t ncols = 0;
+  std::vector<nnz_t> rowptr;    ///< size nrows + 1
+  std::vector<index_t> colids;  ///< size nnz, sorted within each row
+  std::vector<value_t> vals;    ///< size nnz
+
+  CsrMatrix() : rowptr{0} {}
+  CsrMatrix(index_t r, index_t c)
+      : nrows(r), ncols(c), rowptr(static_cast<std::size_t>(r) + 1, 0) {}
+
+  [[nodiscard]] nnz_t nnz() const {
+    return rowptr.empty() ? 0 : rowptr.back();
+  }
+
+  /// Average nonzeros per row — the paper's d(A).
+  [[nodiscard]] double avg_degree() const {
+    return nrows == 0 ? 0.0 : static_cast<double>(nnz()) / nrows;
+  }
+
+  [[nodiscard]] nnz_t row_nnz(index_t r) const {
+    return rowptr[static_cast<std::size_t>(r) + 1] - rowptr[r];
+  }
+
+  [[nodiscard]] std::span<const index_t> row_cols(index_t r) const {
+    return {colids.data() + rowptr[r], static_cast<std::size_t>(row_nnz(r))};
+  }
+
+  [[nodiscard]] std::span<const value_t> row_vals(index_t r) const {
+    return {vals.data() + rowptr[r], static_cast<std::size_t>(row_nnz(r))};
+  }
+
+  /// Structural invariants: monotone rowptr, in-range sorted column ids,
+  /// consistent array sizes.  Used by tests and debug assertions.
+  [[nodiscard]] bool valid() const;
+
+  /// n x n identity.
+  static CsrMatrix identity(index_t n);
+
+  /// Diagonal matrix from d.
+  static CsrMatrix diagonal(std::span<const value_t> d);
+};
+
+/// Exact structural + value equality.
+bool equal_exact(const CsrMatrix& a, const CsrMatrix& b);
+
+/// Same structure; values compared with |x-y| <= atol + rtol*|y|.
+bool equal_approx(const CsrMatrix& a, const CsrMatrix& b, double rtol = 1e-12,
+                  double atol = 1e-12);
+
+}  // namespace pbs::mtx

@@ -1,0 +1,63 @@
+#include "matrix/dcsc.hpp"
+
+namespace pbs::mtx {
+
+bool DcscMatrix::valid() const {
+  if (cp.size() != jc.size() + 1 || cp.front() != 0) return false;
+  for (std::size_t k = 0; k < jc.size(); ++k) {
+    if (jc[k] < 0 || jc[k] >= ncols) return false;
+    if (k > 0 && jc[k - 1] >= jc[k]) return false;
+    if (cp[k] >= cp[k + 1]) return false;  // stored columns are non-empty
+    for (nnz_t i = cp[k]; i < cp[k + 1]; ++i) {
+      if (rowids[i] < 0 || rowids[i] >= nrows) return false;
+      if (i > cp[k] && rowids[i - 1] >= rowids[i]) return false;
+    }
+  }
+  const auto n = static_cast<std::size_t>(cp.back());
+  return rowids.size() == n && vals.size() == n;
+}
+
+std::size_t DcscMatrix::footprint_bytes() const {
+  return jc.size() * sizeof(index_t) + cp.size() * sizeof(nnz_t) +
+         rowids.size() * sizeof(index_t) + vals.size() * sizeof(value_t);
+}
+
+DcscMatrix csc_to_dcsc(const CscMatrix& a) {
+  DcscMatrix out;
+  out.nrows = a.nrows;
+  out.ncols = a.ncols;
+  for (index_t c = 0; c < a.ncols; ++c) {
+    if (a.col_nnz(c) == 0) continue;
+    out.jc.push_back(c);
+    out.cp.push_back(out.cp.back() + a.col_nnz(c));
+  }
+  out.rowids.reserve(static_cast<std::size_t>(a.nnz()));
+  out.vals.reserve(static_cast<std::size_t>(a.nnz()));
+  for (const index_t c : out.jc) {
+    const auto rows = a.col_rows(c);
+    const auto vals = a.col_vals(c);
+    out.rowids.insert(out.rowids.end(), rows.begin(), rows.end());
+    out.vals.insert(out.vals.end(), vals.begin(), vals.end());
+  }
+  return out;
+}
+
+CscMatrix dcsc_to_csc(const DcscMatrix& a) {
+  CscMatrix out(a.nrows, a.ncols);
+  out.rowids = a.rowids;
+  out.vals = a.vals;
+  for (std::size_t k = 0; k < a.jc.size(); ++k) {
+    out.colptr[static_cast<std::size_t>(a.jc[k]) + 1] = a.cp[k + 1] - a.cp[k];
+  }
+  for (index_t c = 0; c < a.ncols; ++c) {
+    out.colptr[static_cast<std::size_t>(c) + 1] += out.colptr[c];
+  }
+  return out;
+}
+
+std::size_t csc_footprint_bytes(const CscMatrix& a) {
+  return a.colptr.size() * sizeof(nnz_t) +
+         a.rowids.size() * sizeof(index_t) + a.vals.size() * sizeof(value_t);
+}
+
+}  // namespace pbs::mtx

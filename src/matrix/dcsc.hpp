@@ -1,0 +1,68 @@
+// Doubly-compressed sparse column (DCSC) — Buluç & Gilbert's hypersparse
+// format [23], the data structure behind the outer-product SpGEMM family
+// this paper builds on.
+//
+// CSC stores a column-pointer array of length ncols+1 even when almost all
+// columns are empty; for *hypersparse* matrices (nnz < n — e.g. the
+// frontier matrices of multi-source BFS, or 2-D-partitioned submatrices)
+// that array dominates the footprint and, worse, the outer-product loop
+// pays one pointer lookup per column instead of per non-empty column.
+// DCSC keeps only the non-empty columns:
+//
+//   jc[k]  — the column id of the k-th non-empty column   (size nzc)
+//   cp[k]  — start of that column's entries               (size nzc + 1)
+//   rowids / vals — as in CSC                              (size nnz)
+//
+// so both the footprint and the iteration cost are O(nzc + nnz), not
+// O(ncols + nnz).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "matrix/csc.hpp"
+
+namespace pbs::mtx {
+
+struct DcscMatrix {
+  index_t nrows = 0;
+  index_t ncols = 0;
+  std::vector<index_t> jc;      ///< non-empty column ids, ascending
+  std::vector<nnz_t> cp;        ///< size jc.size() + 1
+  std::vector<index_t> rowids;  ///< row ids, sorted within each column
+  std::vector<value_t> vals;
+
+  DcscMatrix() : cp{0} {}
+
+  [[nodiscard]] nnz_t nnz() const { return cp.empty() ? 0 : cp.back(); }
+
+  /// Number of non-empty columns.
+  [[nodiscard]] index_t nzc() const { return static_cast<index_t>(jc.size()); }
+
+  [[nodiscard]] std::span<const index_t> col_rows(index_t k) const {
+    return {rowids.data() + cp[k], static_cast<std::size_t>(cp[static_cast<std::size_t>(k) + 1] - cp[k])};
+  }
+
+  [[nodiscard]] std::span<const value_t> col_vals(index_t k) const {
+    return {vals.data() + cp[k], static_cast<std::size_t>(cp[static_cast<std::size_t>(k) + 1] - cp[k])};
+  }
+
+  /// Structural invariants (ascending jc, monotone cp, sorted in-range
+  /// rows, no empty stored columns).
+  [[nodiscard]] bool valid() const;
+
+  /// Bytes of index/pointer/value storage — the hypersparse comparison
+  /// quantity (cf. footprint of CSC: (ncols+1)·8 + nnz·12).
+  [[nodiscard]] std::size_t footprint_bytes() const;
+};
+
+/// CSC -> DCSC (drops empty columns).
+DcscMatrix csc_to_dcsc(const CscMatrix& a);
+
+/// DCSC -> CSC (re-materializes the full column-pointer array).
+CscMatrix dcsc_to_csc(const DcscMatrix& a);
+
+/// Footprint of the equivalent CSC, for the hypersparse crossover check.
+std::size_t csc_footprint_bytes(const CscMatrix& a);
+
+}  // namespace pbs::mtx

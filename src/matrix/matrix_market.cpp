@@ -1,0 +1,130 @@
+#include "matrix/matrix_market.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pbs::mtx {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& name, long line,
+                       const std::string& what) {
+  throw std::runtime_error("matrix market: " + name + ":" +
+                           std::to_string(line) + ": " + what);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+enum class Field { kReal, kInteger, kPattern };
+enum class Symmetry { kGeneral, kSymmetric, kSkewSymmetric };
+
+}  // namespace
+
+CooMatrix read_matrix_market(std::istream& in, const std::string& name) {
+  std::string line;
+  long lineno = 0;
+
+  if (!std::getline(in, line)) fail(name, 1, "empty file");
+  ++lineno;
+  std::istringstream header(line);
+  std::string banner, object, format, field_s, symmetry_s;
+  header >> banner >> object >> format >> field_s >> symmetry_s;
+  if (banner != "%%MatrixMarket") fail(name, lineno, "missing %%MatrixMarket banner");
+  if (lower(object) != "matrix") fail(name, lineno, "object is not 'matrix'");
+  if (lower(format) != "coordinate")
+    fail(name, lineno, "only 'coordinate' format is supported");
+
+  Field field;
+  const std::string f = lower(field_s);
+  if (f == "real") field = Field::kReal;
+  else if (f == "integer") field = Field::kInteger;
+  else if (f == "pattern") field = Field::kPattern;
+  else fail(name, lineno, "unsupported field '" + field_s + "'");
+
+  Symmetry sym;
+  const std::string s = lower(symmetry_s);
+  if (s == "general") sym = Symmetry::kGeneral;
+  else if (s == "symmetric") sym = Symmetry::kSymmetric;
+  else if (s == "skew-symmetric") sym = Symmetry::kSkewSymmetric;
+  else fail(name, lineno, "unsupported symmetry '" + symmetry_s + "'");
+
+  // Skip comments, read the size line.
+  long nrows = 0, ncols = 0;
+  long long nentries = 0;
+  for (;;) {
+    if (!std::getline(in, line)) fail(name, lineno, "missing size line");
+    ++lineno;
+    if (!line.empty() && line[0] == '%') continue;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::istringstream sz(line);
+    if (!(sz >> nrows >> ncols >> nentries))
+      fail(name, lineno, "malformed size line");
+    break;
+  }
+  if (nrows < 0 || ncols < 0 || nentries < 0)
+    fail(name, lineno, "negative dimension");
+
+  CooMatrix coo(static_cast<index_t>(nrows), static_cast<index_t>(ncols));
+  coo.reserve(sym == Symmetry::kGeneral ? nentries : 2 * nentries);
+
+  for (long long k = 0; k < nentries; ++k) {
+    if (!std::getline(in, line))
+      fail(name, lineno, "unexpected end of file (expected " +
+                             std::to_string(nentries) + " entries)");
+    ++lineno;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) {
+      --k;
+      continue;
+    }
+    std::istringstream es(line);
+    long r1 = 0, c1 = 0;
+    double v = 1.0;
+    if (!(es >> r1 >> c1)) fail(name, lineno, "malformed entry");
+    if (field != Field::kPattern && !(es >> v))
+      fail(name, lineno, "entry missing value");
+    if (r1 < 1 || r1 > nrows || c1 < 1 || c1 > ncols)
+      fail(name, lineno, "index out of bounds");
+    const auto r = static_cast<index_t>(r1 - 1);
+    const auto c = static_cast<index_t>(c1 - 1);
+    coo.add(r, c, v);
+    if (r != c) {
+      if (sym == Symmetry::kSymmetric) coo.add(c, r, v);
+      if (sym == Symmetry::kSkewSymmetric) coo.add(c, r, -v);
+    }
+  }
+
+  coo.canonicalize();
+  return coo;
+}
+
+CooMatrix read_matrix_market(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("matrix market: cannot open " + path);
+  return read_matrix_market(in, path);
+}
+
+void write_matrix_market(std::ostream& out, const CooMatrix& coo) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << coo.nrows << " " << coo.ncols << " " << coo.nnz() << "\n";
+  out.precision(17);
+  for (nnz_t i = 0; i < coo.nnz(); ++i) {
+    out << coo.row[i] + 1 << " " << coo.col[i] + 1 << " " << coo.val[i]
+        << "\n";
+  }
+}
+
+void write_matrix_market(const std::string& path, const CooMatrix& coo) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("matrix market: cannot open " + path);
+  write_matrix_market(out, coo);
+}
+
+}  // namespace pbs::mtx

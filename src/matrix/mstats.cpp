@@ -1,0 +1,105 @@
+#include "matrix/mstats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pbs::mtx {
+
+nnz_t count_flops(const CscMatrix& a, const CsrMatrix& b) {
+  assert(a.ncols == b.nrows);
+  nnz_t flops = 0;
+#pragma omp parallel for reduction(+ : flops) schedule(static)
+  for (index_t i = 0; i < a.ncols; ++i) {
+    flops += a.col_nnz(i) * b.row_nnz(i);
+  }
+  return flops;
+}
+
+nnz_t count_flops(const CsrMatrix& a, const CsrMatrix& b) {
+  assert(a.ncols == b.nrows);
+  nnz_t flops = 0;
+#pragma omp parallel for reduction(+ : flops) schedule(dynamic, 1024)
+  for (index_t r = 0; r < a.nrows; ++r) {
+    nnz_t row_flops = 0;
+    for (nnz_t i = a.rowptr[r]; i < a.rowptr[static_cast<std::size_t>(r) + 1]; ++i)
+      row_flops += b.row_nnz(a.colids[i]);
+    flops += row_flops;
+  }
+  return flops;
+}
+
+nnz_t symbolic_nnz(const CsrMatrix& a, const CsrMatrix& b) {
+  assert(a.ncols == b.nrows);
+  nnz_t total = 0;
+
+#pragma omp parallel reduction(+ : total)
+  {
+    // Per-thread "seen" marker array: mark[c] == current row sentinel means
+    // column c was already counted for this row.  Avoids clearing between
+    // rows.
+    std::vector<index_t> mark(static_cast<std::size_t>(b.ncols), -1);
+#pragma omp for schedule(dynamic, 256)
+    for (index_t r = 0; r < a.nrows; ++r) {
+      nnz_t row_nnz = 0;
+      for (nnz_t i = a.rowptr[r]; i < a.rowptr[static_cast<std::size_t>(r) + 1]; ++i) {
+        const index_t k = a.colids[i];
+        for (nnz_t j = b.rowptr[k]; j < b.rowptr[static_cast<std::size_t>(k) + 1]; ++j) {
+          const index_t c = b.colids[j];
+          if (mark[c] != r) {
+            mark[c] = r;
+            ++row_nnz;
+          }
+        }
+      }
+      total += row_nnz;
+    }
+  }
+  return total;
+}
+
+DegreeStats degree_stats(const CsrMatrix& a) {
+  DegreeStats s;
+  if (a.nrows == 0) return s;
+
+  std::vector<nnz_t> degrees(static_cast<std::size_t>(a.nrows));
+  for (index_t r = 0; r < a.nrows; ++r) degrees[r] = a.row_nnz(r);
+  std::vector<nnz_t> sorted = degrees;
+  std::sort(sorted.begin(), sorted.end());
+  s.min_degree = sorted.front();
+  s.max_degree = sorted.back();
+  s.mean_degree = static_cast<double>(a.nnz()) / a.nrows;
+  s.p99_degree =
+      sorted[static_cast<std::size_t>(0.99 * (sorted.size() - 1))];
+
+  // Row flop of A·A: Σ_{k in A(r,:)} deg(k).
+  nnz_t total_flop = 0;
+  nnz_t max_flop = 0;
+#pragma omp parallel for reduction(+ : total_flop) reduction(max : max_flop) \
+    schedule(dynamic, 1024)
+  for (index_t r = 0; r < a.nrows; ++r) {
+    nnz_t f = 0;
+    for (const index_t k : a.row_cols(r)) f += degrees[k];
+    total_flop += f;
+    max_flop = std::max(max_flop, f);
+  }
+  const double mean_flop =
+      a.nrows > 0 ? static_cast<double>(total_flop) / a.nrows : 0.0;
+  s.flop_imbalance = mean_flop > 0 ? static_cast<double>(max_flop) / mean_flop : 0.0;
+  return s;
+}
+
+SquareStats square_stats(const CsrMatrix& a) {
+  SquareStats s;
+  s.n = a.nrows;
+  s.nnz = a.nnz();
+  s.d = a.avg_degree();
+  s.flops = count_flops(a, a);
+  s.nnz_c = symbolic_nnz(a, a);
+  s.cf = s.nnz_c == 0 ? 0.0 : static_cast<double>(s.flops) / static_cast<double>(s.nnz_c);
+  return s;
+}
+
+}  // namespace pbs::mtx

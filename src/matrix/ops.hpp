@@ -1,0 +1,70 @@
+// Element-wise and vector operations on CSR matrices.
+//
+// These are the substrate the example applications need around SpGEMM:
+// triangle counting masks the product with the adjacency matrix, Markov
+// clustering inflates/normalizes/prunes between multiplications,
+// multi-source BFS multiplies against frontier indicator matrices, and the
+// AMG example restricts/prolongates with triple products.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "matrix/csr.hpp"
+
+namespace pbs::mtx {
+
+/// Hadamard (element-wise) product: C = A .* B.  Entries present in only
+/// one operand vanish.
+CsrMatrix hadamard(const CsrMatrix& a, const CsrMatrix& b);
+
+/// C = alpha*A + beta*B (union of patterns; exact zeros are kept so the
+/// result pattern is predictable).
+CsrMatrix add(const CsrMatrix& a, const CsrMatrix& b, value_t alpha = 1.0,
+              value_t beta = 1.0);
+
+/// Strictly-lower-triangular part (entries with col < row + k).
+CsrMatrix tril(const CsrMatrix& a, index_t k = 0);
+
+/// Strictly-upper-triangular part (entries with col > row + k).
+CsrMatrix triu(const CsrMatrix& a, index_t k = 0);
+
+/// Drops entries with |value| < threshold.
+CsrMatrix prune(const CsrMatrix& a, value_t threshold);
+
+/// Keeps at most the k largest-magnitude entries per row (MCL's
+/// "selection" pruning).  Ties resolved toward smaller column ids.
+CsrMatrix keep_top_k_per_row(const CsrMatrix& a, index_t k);
+
+/// Element-wise power (MCL inflation): every value v becomes v^p.
+CsrMatrix element_power(const CsrMatrix& a, double p);
+
+/// Scales columns so every non-empty column sums to 1 (MCL normalization;
+/// column stochastic).
+CsrMatrix normalize_columns(const CsrMatrix& a);
+
+/// Removes diagonal entries.
+CsrMatrix drop_diagonal(const CsrMatrix& a);
+
+/// y = A x.
+std::vector<value_t> spmv(const CsrMatrix& a, std::span<const value_t> x);
+
+/// Per-row sums of values.
+std::vector<value_t> row_sums(const CsrMatrix& a);
+
+/// Per-column sums of values.
+std::vector<value_t> col_sums(const CsrMatrix& a);
+
+/// Sum of all values (e.g. total triangle count after masking).
+value_t value_sum(const CsrMatrix& a);
+
+/// max_ij |A_ij - B_ij| over the union pattern (convergence tests).
+value_t max_abs_diff(const CsrMatrix& a, const CsrMatrix& b);
+
+/// Symmetrizes: (A + Aᵀ) with duplicate entries summed.
+CsrMatrix symmetrize(const CsrMatrix& a);
+
+/// Pattern-only copy: all stored values become 1.0.
+CsrMatrix to_pattern(const CsrMatrix& a);
+
+}  // namespace pbs::mtx

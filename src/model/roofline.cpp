@@ -1,0 +1,53 @@
+#include "model/roofline.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace pbs::model {
+
+double ai_upper_bound(double cf, double bytes_per_nnz) {
+  return cf / bytes_per_nnz;
+}
+
+double ai_column_lower(double cf, double bytes_per_nnz) {
+  return cf / ((2.0 + cf) * bytes_per_nnz);
+}
+
+double ai_outer_lower(double cf, double bytes_per_nnz) {
+  return cf / ((3.0 + 2.0 * cf) * bytes_per_nnz);
+}
+
+double attainable_gflops(double beta_gbs, double ai) { return beta_gbs * ai; }
+
+SpGemmBounds bounds(double beta_gbs, double cf, double bytes_per_nnz) {
+  SpGemmBounds b;
+  b.ai_upper = ai_upper_bound(cf, bytes_per_nnz);
+  b.ai_column = ai_column_lower(cf, bytes_per_nnz);
+  b.ai_outer = ai_outer_lower(cf, bytes_per_nnz);
+  b.perf_upper = attainable_gflops(beta_gbs, b.ai_upper);
+  b.perf_column = attainable_gflops(beta_gbs, b.ai_column);
+  b.perf_outer = attainable_gflops(beta_gbs, b.ai_outer);
+  return b;
+}
+
+void print_fig3(std::ostream& os, double beta_gbs) {
+  os << "# Fig. 3 — Roofline for multiplying two ER matrices (cf = 1, b = 16)\n";
+  os << "# beta (STREAM) = " << beta_gbs << " GB/s; attainable = beta * AI\n";
+  os << std::left << std::setw(12) << "AI(f/B)" << std::setw(16)
+     << "attainable(GF/s)" << "\n";
+  // The paper's x-axis: 1/128 to 1/4, doubling.
+  for (double ai = 1.0 / 128; ai <= 1.0 / 4 + 1e-12; ai *= 2) {
+    os << std::left << std::setw(12) << ai << std::setw(16)
+       << attainable_gflops(beta_gbs, ai) << "\n";
+  }
+  const SpGemmBounds b = bounds(beta_gbs, 1.0);
+  os << "# operating points (cf = 1):\n";
+  os << "#   SpGEMM upper bound : AI = " << b.ai_upper << " (1/16)  -> "
+     << b.perf_upper << " GFLOPS\n";
+  os << "#   Outer SpGEMM (Eq.4): AI = " << b.ai_outer << " (1/80)  -> "
+     << b.perf_outer << " GFLOPS\n";
+  os << "#   Column SpGEMM (Eq.3): AI = " << b.ai_column << " (1/48) -> "
+     << b.perf_column << " GFLOPS\n";
+}
+
+}  // namespace pbs::model

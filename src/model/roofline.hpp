@@ -1,0 +1,48 @@
+// The paper's Roofline performance model for SpGEMM (Sec. II-C, Fig. 3).
+//
+// Arithmetic intensity (flops per byte) for a multiplication with
+// compression factor cf and b bytes per stored nonzero:
+//
+//   Eq. 1 (upper bound, inputs+output read/written once):
+//       AI ≤ cf / b
+//   Eq. 3 (column SpGEMM lower bound; A re-read flop times):
+//       AI ≥ cf / ((2 + cf) · b)
+//   Eq. 4 (outer-product ESC lower bound; Cˆ written + read):
+//       AI ≥ cf / ((3 + 2·cf) · b)
+//
+// Attainable performance at bandwidth β is β·AI (Eq. 2).
+#pragma once
+
+#include <iosfwd>
+
+namespace pbs::model {
+
+inline constexpr double kDefaultBytesPerNnz = 16.0;  // 4+4 index, 8 value
+
+/// Eq. 1 — the best any SpGEMM can do.
+double ai_upper_bound(double cf, double bytes_per_nnz = kDefaultBytesPerNnz);
+
+/// Eq. 3 — practical lower bound for column/row Gustavson algorithms.
+double ai_column_lower(double cf, double bytes_per_nnz = kDefaultBytesPerNnz);
+
+/// Eq. 4 — practical lower bound for outer-product ESC (PB-SpGEMM).
+double ai_outer_lower(double cf, double bytes_per_nnz = kDefaultBytesPerNnz);
+
+/// Eq. 2 — attainable GFLOPS at AI given STREAM bandwidth β (GB/s).
+double attainable_gflops(double beta_gbs, double ai);
+
+/// All three bounds and their attainable performance for one (β, cf) pair.
+struct SpGemmBounds {
+  double ai_upper, ai_column, ai_outer;        // flops / byte
+  double perf_upper, perf_column, perf_outer;  // GFLOPS
+};
+
+SpGemmBounds bounds(double beta_gbs, double cf,
+                    double bytes_per_nnz = kDefaultBytesPerNnz);
+
+/// Prints the Fig. 3 content: the β·AI roofline over the paper's AI range
+/// [1/128, 1/4] plus the three marked operating points for ER matrices
+/// (cf = 1).
+void print_fig3(std::ostream& os, double beta_gbs);
+
+}  // namespace pbs::model

@@ -1,0 +1,53 @@
+// Bin layouts: the propagation-blocking partition of output rows.
+//
+// A layout answers one question — which global bin does output row r's
+// tuples propagate to? — for the three policies of pb_config.hpp.  The
+// range layout is the default: bins own contiguous, power-of-two-aligned
+// row ranges, so `binid` is a shift, bins are globally row-ordered (CSR
+// conversion becomes a streaming copy) and the upper row bits inside a bin
+// are constant (the radix sort's byte-skipping then reproduces the paper's
+// "4-byte key, four passes" behaviour automatically).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "pb/pb_config.hpp"
+
+namespace pbs::pb {
+
+struct BinLayout {
+  BinPolicy policy = BinPolicy::kRange;
+  int nbins = 1;
+  int shift = 0;            ///< range: binid = row >> shift
+  std::uint32_t mask = 0;   ///< modulo: binid = row & mask (nbins power of 2)
+  std::vector<index_t> bounds;  ///< adaptive: bin b = rows [bounds[b], bounds[b+1])
+
+  [[nodiscard]] int binid(index_t row) const;
+
+  /// Rows per bin for uniform layouts (0 for adaptive).
+  [[nodiscard]] index_t rows_per_bin() const {
+    return policy == BinPolicy::kRange ? (index_t{1} << shift)
+           : policy == BinPolicy::kModulo
+               ? 0  // rows of a modulo bin are strided, not contiguous
+               : 0;
+  }
+};
+
+/// The paper's bin-count rule (Algorithm 3 line 6): enough bins that one
+/// bin's tuples occupy at most half of L2 during in-cache sort/compress.
+int auto_nbins(nnz_t flop, std::size_t l2_bytes);
+
+/// Range layout covering `nrows` rows with ~`nbins_target` bins.
+BinLayout make_range_layout(index_t nrows, int nbins_target);
+
+/// Modulo layout with next_pow2(nbins_target) bins.
+BinLayout make_modulo_layout(index_t nrows, int nbins_target);
+
+/// Adaptive layout: greedy row-range partition where each bin's flop stays
+/// below ~flop_total/nbins_target (heavy single rows get their own bin).
+BinLayout make_adaptive_layout(std::span<const nnz_t> row_flops,
+                               int nbins_target);
+
+}  // namespace pbs::pb

@@ -1,0 +1,26 @@
+// PB-SpGEMM expand phase (paper Algorithm 2, lines 5-18).
+//
+// Performs the k outer products A(:,i) · B(i,:) and propagates each
+// multiplied tuple toward its row's global bin *through a thread-private
+// local bin* (paper Fig. 5): tuples accumulate in a small cache-resident
+// buffer and are flushed to the global bin in one cache-line-multiple
+// memcpy when it fills, so global-memory writes always use full cache
+// lines.  Global bins are contiguous regions of one flop-sized allocation;
+// a flush claims its destination with a relaxed atomic fetch-add.
+#pragma once
+
+#include "matrix/csc.hpp"
+#include "matrix/csr.hpp"
+#include "pb/symbolic.hpp"
+#include "pb/tuple.hpp"
+
+namespace pbs::pb {
+
+/// Fills `out[0 .. sym.flop)` with the expanded tuples, bin by bin
+/// according to sym.bin_offsets.  `out` must have room for sym.flop tuples.
+/// Returns the number of local-bin flushes (telemetry for the Fig. 6a
+/// bin-width study).
+nnz_t pb_expand(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
+                const SymbolicResult& sym, const PbConfig& cfg, Tuple* out);
+
+}  // namespace pbs::pb

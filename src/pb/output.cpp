@@ -1,0 +1,53 @@
+#include "pb/output.hpp"
+
+#include "common/prefix_sum.hpp"
+
+namespace pbs::pb {
+
+mtx::CsrMatrix pb_build_csr(const Tuple* tuples,
+                            std::span<const nnz_t> offsets,
+                            std::span<const nnz_t> merged, index_t nrows,
+                            index_t ncols) {
+  const auto nbins = static_cast<int>(merged.size());
+  mtx::CsrMatrix out(nrows, ncols);
+
+  // Pass 1: per-row counts.  Distinct bins never contain the same row, so
+  // bins can histogram into the shared rowptr array without atomics.
+#pragma omp parallel for schedule(dynamic, 1)
+  for (int bin = 0; bin < nbins; ++bin) {
+    const Tuple* t = tuples + offsets[static_cast<std::size_t>(bin)];
+    const nnz_t len = merged[static_cast<std::size_t>(bin)];
+    for (nnz_t i = 0; i < len; ++i) {
+      ++out.rowptr[static_cast<std::size_t>(key_row(t[i].key)) + 1];
+    }
+  }
+
+  const nnz_t total =
+      counts_to_rowptr(out.rowptr.data(), static_cast<std::size_t>(nrows));
+  out.colids.resize(static_cast<std::size_t>(total));
+  out.vals.resize(static_cast<std::size_t>(total));
+
+  // Pass 2: scatter.  Within a bin tuples are (row, col)-sorted, so every
+  // row appears as one contiguous run; its j-th element lands at
+  // rowptr[row] + j.  Rows being bin-exclusive makes this write race-free.
+#pragma omp parallel for schedule(dynamic, 1)
+  for (int bin = 0; bin < nbins; ++bin) {
+    const Tuple* t = tuples + offsets[static_cast<std::size_t>(bin)];
+    const nnz_t len = merged[static_cast<std::size_t>(bin)];
+    nnz_t i = 0;
+    while (i < len) {
+      const index_t row = key_row(t[i].key);
+      nnz_t dst = out.rowptr[row];
+      while (i < len && key_row(t[i].key) == row) {
+        out.colids[static_cast<std::size_t>(dst)] = key_col(t[i].key);
+        out.vals[static_cast<std::size_t>(dst)] = t[i].val;
+        ++dst;
+        ++i;
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace pbs::pb

@@ -1,0 +1,25 @@
+// PB-SpGEMM output conversion (paper Algorithm 2, line 22: ConvertCSR).
+//
+// After compression each bin holds its surviving tuples sorted by
+// (row, col), and no row spans two bins.  Conversion is therefore
+// race-free per bin: count rows, prefix-sum into rowptr, then stream each
+// bin's tuples into its rows' final positions.
+#pragma once
+
+#include <span>
+
+#include "matrix/csr.hpp"
+#include "pb/pb_config.hpp"
+#include "pb/tuple.hpp"
+
+namespace pbs::pb {
+
+/// Builds the canonical CSR result from compressed bins.
+/// `offsets[b]` is bin b's region origin in `tuples`; `merged[b]` the
+/// number of surviving tuples at that origin.
+mtx::CsrMatrix pb_build_csr(const Tuple* tuples,
+                            std::span<const nnz_t> offsets,
+                            std::span<const nnz_t> merged, index_t nrows,
+                            index_t ncols);
+
+}  // namespace pbs::pb

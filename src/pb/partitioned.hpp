@@ -1,0 +1,39 @@
+// Partitioned PB-SpGEMM (paper Sec. V-D).
+//
+// The paper reports that on dual-socket NUMA systems PB-SpGEMM loses its
+// edge because bins filled on one socket get sorted by threads of the
+// other, and mentions (from the first author's thesis) a mitigation:
+// partition A into row blocks and multiply each block with B independently
+// so every block's bins stay socket-local, at the cost of reading B once
+// per partition.
+//
+// This module implements that variant: A (CSC) is split into `nparts`
+// contiguous row ranges; each part runs the full PB pipeline; the
+// per-part CSR results are stacked (their row ranges are disjoint and
+// ordered, so stacking is a concatenation).  On a single socket it serves
+// as the ablation for the extra-B-reads trade-off the paper describes.
+#pragma once
+
+#include "pb/pb_spgemm.hpp"
+
+namespace pbs::pb {
+
+struct PartitionedResult {
+  mtx::CsrMatrix c;
+  /// Telemetry of each part, in row order.
+  std::vector<PbTelemetry> parts;
+
+  [[nodiscard]] double total_seconds() const {
+    double t = 0;
+    for (const PbTelemetry& p : parts) t += p.total_seconds();
+    return t;
+  }
+};
+
+/// Multiplies A·B with A split into `nparts` row blocks.  nparts == 1 is
+/// equivalent to pb_spgemm.  Requires 1 <= nparts and a.ncols == b.nrows.
+PartitionedResult pb_spgemm_partitioned(const mtx::CscMatrix& a,
+                                        const mtx::CsrMatrix& b, int nparts,
+                                        const PbConfig& cfg = {});
+
+}  // namespace pbs::pb

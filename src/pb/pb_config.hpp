@@ -1,0 +1,97 @@
+// PB-SpGEMM configuration and telemetry.
+//
+// The two tunables the paper studies in Fig. 6 — the number of global bins
+// and the width of the thread-private local bins — plus the binning policy
+// (the paper's Algorithm 2 writes `rowid % nbins`, its Fig. 4 depicts row
+// *ranges*, and Sec. V-C mentions variable-length bins for skewed inputs;
+// all three are implemented and compared in bench/ablation_binning).
+//
+// Telemetry records per-phase wall time alongside the *modeled* bytes of
+// Table III, so "sustained bandwidth" is computed with the same accounting
+// the paper uses for Figs. 6, 7b and 9b.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+#include "matrix/csr.hpp"
+
+namespace pbs::pb {
+
+enum class BinPolicy {
+  kRange,    ///< bin b owns rows [b·W, (b+1)·W), W a power of two (Fig. 4)
+  kModulo,   ///< binid = rowid % nbins (Algorithm 2, line 9 literal)
+  kAdaptive, ///< variable row ranges balanced by per-bin flop (Sec. V-C)
+};
+
+const char* to_string(BinPolicy p);
+
+struct PbConfig {
+  /// Number of global bins; 0 selects the paper's rule
+  /// nbins ≈ flop·16B / (L2/2), clamped to [1, 2^16] (Algorithm 3, line 6).
+  int nbins = 0;
+
+  /// Local (thread-private) bin width in bytes; the paper's default is 512
+  /// (Algorithm 2, line 3).  Must hold at least one 16-byte tuple.
+  int local_bin_bytes = 512;
+
+  BinPolicy policy = BinPolicy::kRange;
+
+  /// L2 size used by the auto-nbins rule; 0 = detect at runtime.
+  std::size_t l2_bytes = 0;
+
+  /// Use non-temporal (streaming) stores for local-bin flushes — full
+  /// cache-line writes with no read-for-ownership, the mechanism behind
+  /// the paper's "always write tuples in multiples of cache lines".
+  /// Disable only for the ablation bench.
+  bool streaming_stores = true;
+
+  /// Extra O(flop) invariant checks after each phase (tests only).
+  bool validate = false;
+};
+
+struct PhaseStats {
+  double seconds = 0;
+  double bytes = 0;  ///< modeled traffic per Table III
+
+  /// Sustained bandwidth in GB/s under the Table III byte model.
+  [[nodiscard]] double gbs() const {
+    return seconds > 0 ? bytes / seconds / 1e9 : 0.0;
+  }
+};
+
+struct PbTelemetry {
+  PhaseStats symbolic;
+  PhaseStats expand;
+  PhaseStats sort;
+  PhaseStats compress;
+  PhaseStats convert;
+
+  nnz_t flop = 0;
+  nnz_t nnz_c = 0;
+  int nbins = 0;
+  index_t rows_per_bin = 0;  ///< 0 for adaptive layouts
+
+  [[nodiscard]] double cf() const {
+    return nnz_c > 0 ? static_cast<double>(flop) / static_cast<double>(nnz_c) : 0.0;
+  }
+
+  [[nodiscard]] double total_seconds() const {
+    return symbolic.seconds + expand.seconds + sort.seconds +
+           compress.seconds + convert.seconds;
+  }
+
+  /// Millions of multiplications per second over the whole run — the
+  /// paper's performance metric.
+  [[nodiscard]] double mflops() const {
+    const double t = total_seconds();
+    return t > 0 ? static_cast<double>(flop) / t / 1e6 : 0.0;
+  }
+};
+
+struct PbResult {
+  mtx::CsrMatrix c;
+  PbTelemetry stats;
+};
+
+}  // namespace pbs::pb

@@ -1,0 +1,63 @@
+// PB-SpGEMM — the paper's contribution (Algorithm 2).
+//
+// C = A·B via outer-product expansion with propagation blocking:
+//
+//   symbolic  — flop count + bin layout + per-bin regions       (Alg. 3)
+//   expand    — k outer products, tuples routed through local
+//               bins into L2-sized global bins                  (Fig. 5)
+//   sort      — per-bin in-place byte-skipping radix sort       (Sec. III-D)
+//   compress  — per-bin two-pointer duplicate merge             (Sec. III-E)
+//   convert   — bins → canonical CSR                            (line 22)
+//
+// Every phase streams memory; the returned telemetry pairs each phase's
+// wall time with the Table III byte model so callers can report sustained
+// bandwidth the way the paper's Figs. 6/7b/9b do.
+#pragma once
+
+#include <algorithm>
+
+#include "common/aligned_buffer.hpp"
+#include "matrix/csc.hpp"
+#include "matrix/csr.hpp"
+#include "pb/pb_config.hpp"
+#include "pb/tuple.hpp"
+
+namespace pbs::pb {
+
+/// Reusable scratch for the expanded matrix Cˆ (flop tuples — the largest
+/// allocation of the algorithm, often several times the inputs).
+///
+/// Re-running PB-SpGEMM with the same workspace keeps that memory mapped
+/// and warm across calls, which matters twice: in iterative applications
+/// (MCL, AMG setup, BFS) the allocation cost would otherwise recur every
+/// iteration, and on kernels with slow page-fault paths (containers, some
+/// hypervisors) first-touch faults can run an order of magnitude below
+/// stream bandwidth and completely mask the algorithm.
+class PbWorkspace {
+ public:
+  /// Buffer for at least n tuples; contents undefined.  Grows
+  /// geometrically, never shrinks.
+  Tuple* acquire(std::size_t n) {
+    if (n > buf_.size()) {
+      buf_.allocate(std::max(n, buf_.size() + buf_.size() / 2));
+    }
+    return buf_.data();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+
+ private:
+  AlignedBuffer<Tuple> buf_;
+};
+
+/// Multiplies A (CSC) by B (CSR).  Requires a.ncols == b.nrows; throws
+/// std::invalid_argument otherwise.  This convenience overload allocates a
+/// fresh workspace per call.
+PbResult pb_spgemm(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
+                   const PbConfig& cfg = {});
+
+/// Workspace-reusing variant for repeated multiplications.
+PbResult pb_spgemm(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
+                   const PbConfig& cfg, PbWorkspace& workspace);
+
+}  // namespace pbs::pb

@@ -1,0 +1,35 @@
+// PB-SpGEMM sort + compress phases (paper Algorithm 2, lines 19-21;
+// Secs. III-D, III-E).
+//
+// Bins never share a (rowid, colid), so every bin is sorted and compressed
+// independently — one bin per thread, bins over threads.  Sort and compress
+// are *fused per bin*: a bin sized for L2 is radix-sorted and immediately
+// two-pointer-merged while still cache-hot, which is what lets the paper
+// charge the compress phase only its output writes (Table III).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "pb/pb_config.hpp"
+#include "pb/tuple.hpp"
+
+namespace pbs::pb {
+
+struct SortCompressResult {
+  /// Merged (post-compression) tuple count per bin; size nbins.
+  std::vector<nnz_t> merged;
+  /// Busy-time estimates for the two sub-phases: the maximum across
+  /// threads of each thread's accumulated in-phase time (≈ wall time when
+  /// bins balance; see DESIGN.md).
+  double sort_seconds = 0;
+  double compress_seconds = 0;
+};
+
+/// Sorts each bin [offsets[b], offsets[b] + fill[b]) by key, then
+/// compresses duplicates in place (survivors packed at the bin's front).
+SortCompressResult pb_sort_compress(Tuple* tuples,
+                                    std::span<const nnz_t> offsets,
+                                    std::span<const nnz_t> fill, int nbins);
+
+}  // namespace pbs::pb

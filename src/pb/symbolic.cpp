@@ -1,0 +1,130 @@
+#include "pb/symbolic.hpp"
+
+#include <omp.h>
+
+#include <cassert>
+#include <stdexcept>
+
+#include "common/cache_info.hpp"
+#include "common/parallel.hpp"
+#include "common/prefix_sum.hpp"
+
+namespace pbs::pb {
+
+namespace {
+
+// flop = Σ_i nnz(A(:,i)) · nnz(B(i,:)) — Algorithm 3 lines 1-5.
+nnz_t count_flop(const mtx::CscMatrix& a, const mtx::CsrMatrix& b) {
+  nnz_t flop = 0;
+#pragma omp parallel for reduction(+ : flop) schedule(static)
+  for (index_t i = 0; i < a.ncols; ++i) {
+    flop += a.col_nnz(i) * b.row_nnz(i);
+  }
+  return flop;
+}
+
+// Per-bin flop histogram: every nonzero A(r, i) contributes nnz(B(i,:))
+// tuples to row r's bin.  Per-thread histograms, reduced at the end.
+std::vector<nnz_t> bin_histogram(const mtx::CscMatrix& a,
+                                 const mtx::CsrMatrix& b,
+                                 const BinLayout& layout) {
+  const auto nbins = static_cast<std::size_t>(layout.nbins);
+  const int nthreads = max_threads();
+  std::vector<std::vector<nnz_t>> local(
+      static_cast<std::size_t>(nthreads));
+
+#pragma omp parallel num_threads(nthreads)
+  {
+    auto& hist = local[static_cast<std::size_t>(omp_get_thread_num())];
+    hist.assign(nbins, 0);
+#pragma omp for schedule(guided)
+    for (index_t i = 0; i < a.ncols; ++i) {
+      const nnz_t weight = b.row_nnz(i);
+      if (weight == 0) continue;
+      for (const index_t r : a.col_rows(i)) {
+        hist[static_cast<std::size_t>(layout.binid(r))] += weight;
+      }
+    }
+  }
+
+  std::vector<nnz_t> total(nbins + 1, 0);
+  for (const auto& hist : local) {
+    if (hist.empty()) continue;
+    for (std::size_t bin = 0; bin < nbins; ++bin) total[bin] += hist[bin];
+  }
+  return total;  // counts in [0, nbins), slot nbins is scan scratch
+}
+
+// Row-level flop histogram for the adaptive layout.
+std::vector<nnz_t> row_flops(const mtx::CscMatrix& a, const mtx::CsrMatrix& b) {
+  std::vector<nnz_t> flops(static_cast<std::size_t>(a.nrows), 0);
+#pragma omp parallel for schedule(guided)
+  for (index_t i = 0; i < a.ncols; ++i) {
+    const nnz_t weight = b.row_nnz(i);
+    if (weight == 0) continue;
+    for (const index_t r : a.col_rows(i)) {
+#pragma omp atomic
+      flops[static_cast<std::size_t>(r)] += weight;
+    }
+  }
+  return flops;
+}
+
+}  // namespace
+
+SymbolicResult pb_symbolic(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
+                           const PbConfig& cfg) {
+  if (a.ncols != b.nrows) {
+    throw std::invalid_argument("pb_spgemm: inner dimensions differ (" +
+                                std::to_string(a.ncols) + " vs " +
+                                std::to_string(b.nrows) + ")");
+  }
+
+  SymbolicResult out;
+  out.flop = count_flop(a, b);
+
+  const std::size_t l2 = cfg.l2_bytes != 0 ? cfg.l2_bytes : cache_info().l2_bytes;
+  const int target = cfg.nbins > 0 ? cfg.nbins : auto_nbins(out.flop, l2);
+
+  switch (cfg.policy) {
+    case BinPolicy::kRange:
+      out.layout = make_range_layout(a.nrows, target);
+      break;
+    case BinPolicy::kModulo:
+      out.layout = make_modulo_layout(a.nrows, target);
+      break;
+    case BinPolicy::kAdaptive: {
+      const std::vector<nnz_t> rf = row_flops(a, b);
+      out.layout = make_adaptive_layout(rf, target);
+      break;
+    }
+  }
+
+  std::vector<nnz_t> counts = bin_histogram(a, b, out.layout);
+  counts.pop_back();  // drop the scan-scratch slot
+  out.bin_fill = counts;
+
+  // Region layout: pad every bin to a 4-tuple (64-byte) boundary so full
+  // local-bin flushes are cache-line aligned (see SymbolicResult).
+  out.bin_offsets.assign(static_cast<std::size_t>(out.layout.nbins) + 1, 0);
+  nnz_t cursor = 0;
+  nnz_t total_fill = 0;
+  for (int bin = 0; bin < out.layout.nbins; ++bin) {
+    out.bin_offsets[static_cast<std::size_t>(bin)] = cursor;
+    cursor += (counts[static_cast<std::size_t>(bin)] + 3) / 4 * 4;
+    total_fill += counts[static_cast<std::size_t>(bin)];
+  }
+  out.bin_offsets[static_cast<std::size_t>(out.layout.nbins)] = cursor;
+  assert(total_fill == out.flop);
+  (void)total_fill;
+
+  // Traffic model: the two pointer arrays (Algorithm 3 streams them) plus
+  // one pass over A's row-id array for the bin histogram.
+  out.modeled_bytes =
+      static_cast<double>(a.ncols + 1) * sizeof(nnz_t) +
+      static_cast<double>(b.nrows + 1) * sizeof(nnz_t) +
+      static_cast<double>(a.nnz()) * sizeof(index_t);
+  return out;
+}
+
+}  // namespace pbs::pb

@@ -1,0 +1,41 @@
+// PB-SpGEMM symbolic phase (paper Algorithm 3).
+//
+// Streams only the pointer arrays of A (CSC) and B (CSR) to compute flop,
+// picks the bin layout, and — one refinement over the paper's pseudocode —
+// histograms flop *per bin* (an O(nnz(A)) pass over A's row ids) so the
+// global bin array can be laid out as contiguous per-bin regions of a
+// single uninitialized allocation.
+#pragma once
+
+#include "matrix/csc.hpp"
+#include "matrix/csr.hpp"
+#include "pb/binning.hpp"
+#include "pb/pb_config.hpp"
+
+namespace pbs::pb {
+
+struct SymbolicResult {
+  nnz_t flop = 0;
+  BinLayout layout;
+
+  /// Region start of each bin in Cˆ; size layout.nbins + 1.  Regions are
+  /// padded to 4-tuple (64-byte) multiples so that every full local-bin
+  /// flush lands cache-line aligned and the expand phase can use
+  /// non-temporal streaming stores (write full lines with no
+  /// read-for-ownership — the paper's "always write tuples in multiples of
+  /// cache lines").  bin_offsets.back() >= flop is the Cˆ buffer length.
+  std::vector<nnz_t> bin_offsets;
+
+  /// Actual tuple count of each bin; size layout.nbins.  Bin b's tuples
+  /// occupy [bin_offsets[b], bin_offsets[b] + bin_fill[b]); the remainder
+  /// of the region up to bin_offsets[b+1] is alignment slack.
+  std::vector<nnz_t> bin_fill;
+
+  /// Modeled memory traffic of this phase (for telemetry).
+  double modeled_bytes = 0;
+};
+
+SymbolicResult pb_symbolic(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
+                           const PbConfig& cfg);
+
+}  // namespace pbs::pb

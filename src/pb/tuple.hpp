@@ -1,0 +1,40 @@
+// The expanded-matrix tuple of PB-SpGEMM.
+//
+// Cˆ entries are (rowid, colid, value) conceptually; physically we pack the
+// two 4-byte indices into one 8-byte key so that
+//   * sorting a bin is a pure integer-key radix sort with the value as
+//     payload, and
+//   * a tuple is exactly 16 bytes — the `b` the paper's arithmetic
+//     intensity model charges per COO nonzero (Sec. II-C).
+//
+// Sorting by this key is lexicographic (row, col) order, which is exactly
+// CSR order, so CSR conversion after compression is a streaming copy.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace pbs::pb {
+
+struct Tuple {
+  std::uint64_t key;
+  value_t val;
+};
+static_assert(sizeof(Tuple) == kBytesPerTuple,
+              "tuple must stay 16 bytes; the AI model depends on it");
+
+inline std::uint64_t make_key(index_t row, index_t col) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(row)) << 32) |
+         static_cast<std::uint32_t>(col);
+}
+
+inline index_t key_row(std::uint64_t key) {
+  return static_cast<index_t>(key >> 32);
+}
+
+inline index_t key_col(std::uint64_t key) {
+  return static_cast<index_t>(key & 0xFFFFFFFFu);
+}
+
+}  // namespace pbs::pb

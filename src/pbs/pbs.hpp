@@ -1,0 +1,36 @@
+// Umbrella header — the public API of the PB-SpGEMM library.
+//
+//   #include <pbs/pbs.hpp>
+//
+//   auto a   = pbs::mtx::coo_to_csr(pbs::mtx::generate_er(1 << 16, 1 << 16, 8, /*seed=*/1));
+//   auto p   = pbs::SpGemmProblem::square(a);
+//   auto c   = pbs::pb::pb_spgemm(p.a_csc, p.b_csr);     // with telemetry
+//   auto c2  = pbs::algorithm("hash").fn(p);             // any baseline
+//
+// See README.md for the architecture overview and examples/ for complete
+// programs.
+#pragma once
+
+#include "common/cache_info.hpp"
+#include "common/parallel.hpp"
+#include "common/run_stats.hpp"
+#include "common/stream.hpp"
+#include "common/timer.hpp"
+#include "common/types.hpp"
+#include "matrix/convert.hpp"
+#include "matrix/coo.hpp"
+#include "matrix/csc.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/dcsc.hpp"
+#include "matrix/generate.hpp"
+#include "matrix/matrix_market.hpp"
+#include "matrix/mstats.hpp"
+#include "matrix/ops.hpp"
+#include "matrix/surrogates.hpp"
+#include "model/roofline.hpp"
+#include "pb/partitioned.hpp"
+#include "pb/pb_spgemm.hpp"
+#include "spgemm/masked.hpp"
+#include "spgemm/registry.hpp"
+#include "spgemm/semiring.hpp"
+#include "spgemm/spgemm.hpp"

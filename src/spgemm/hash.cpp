@@ -1,0 +1,12 @@
+// HashSpGEMM — row-wise Gustavson with linear-probing hash accumulation
+// (paper Sec. IV-A, after Nagasaka et al. [12], [27]).
+#include "spgemm/hash_impl.hpp"
+#include "spgemm/hash_table.hpp"
+
+namespace pbs {
+
+mtx::CsrMatrix hash_spgemm(const SpGemmProblem& p) {
+  return detail::hash_spgemm_impl<detail::HashAccumulator>(p);
+}
+
+}  // namespace pbs

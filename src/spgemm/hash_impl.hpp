@@ -1,0 +1,94 @@
+// Shared two-phase driver for HashSpGEMM and HashVecSpGEMM.
+//
+// Phase 1 (symbolic): per row, insert the product's column ids into a hash
+// set to count nnz(C(r,:)) exactly; prefix-sum gives rowptr and one exact
+// allocation — the structure of Nagasaka et al. [12].
+// Phase 2 (numeric): per row, accumulate into the hash table, extract, sort
+// by column (canonical CSR), write in place.
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "spgemm/spgemm.hpp"
+
+namespace pbs::detail {
+
+template <typename Accumulator>
+mtx::CsrMatrix hash_spgemm_impl(const SpGemmProblem& p) {
+  const mtx::CsrMatrix& a = p.a_csr;
+  const mtx::CsrMatrix& b = p.b_csr;
+
+  mtx::CsrMatrix out(a.nrows, b.ncols);
+
+  // Upper bound per row (row flop, capped at ncols) for table sizing.
+  std::vector<nnz_t> row_upper(static_cast<std::size_t>(a.nrows), 0);
+#pragma omp parallel for schedule(dynamic, 1024)
+  for (index_t r = 0; r < a.nrows; ++r) {
+    nnz_t f = 0;
+    for (nnz_t i = a.rowptr[r]; i < a.rowptr[static_cast<std::size_t>(r) + 1]; ++i)
+      f += b.row_nnz(a.colids[i]);
+    row_upper[r] = std::min<nnz_t>(f, b.ncols);
+  }
+
+  // ---- symbolic: exact nnz per output row ----
+#pragma omp parallel
+  {
+    Accumulator acc;
+#pragma omp for schedule(dynamic, 256)
+    for (index_t r = 0; r < a.nrows; ++r) {
+      if (row_upper[r] == 0) {
+        out.rowptr[static_cast<std::size_t>(r) + 1] = 0;
+        continue;
+      }
+      acc.reset(row_upper[r]);
+      for (nnz_t i = a.rowptr[r]; i < a.rowptr[static_cast<std::size_t>(r) + 1]; ++i) {
+        const index_t k = a.colids[i];
+        for (nnz_t j = b.rowptr[k]; j < b.rowptr[static_cast<std::size_t>(k) + 1]; ++j)
+          acc.insert(b.colids[j]);
+      }
+      out.rowptr[static_cast<std::size_t>(r) + 1] = acc.size();
+    }
+  }
+
+  // Counts -> row pointers (inclusive running sum; rowptr[0] == 0 already).
+  for (index_t r = 0; r < a.nrows; ++r)
+    out.rowptr[static_cast<std::size_t>(r) + 1] += out.rowptr[r];
+
+  const auto total = static_cast<std::size_t>(out.rowptr.back());
+  out.colids.resize(total);
+  out.vals.resize(total);
+
+  // ---- numeric: accumulate, extract, sort, write in place ----
+#pragma omp parallel
+  {
+    Accumulator acc;
+    std::vector<std::pair<index_t, value_t>> entries;
+#pragma omp for schedule(dynamic, 256)
+    for (index_t r = 0; r < a.nrows; ++r) {
+      const nnz_t lo = out.rowptr[r];
+      const nnz_t hi = out.rowptr[static_cast<std::size_t>(r) + 1];
+      if (lo == hi) continue;
+      acc.reset(row_upper[r]);
+      for (nnz_t i = a.rowptr[r]; i < a.rowptr[static_cast<std::size_t>(r) + 1]; ++i) {
+        const index_t k = a.colids[i];
+        const value_t av = a.vals[i];
+        for (nnz_t j = b.rowptr[k]; j < b.rowptr[static_cast<std::size_t>(k) + 1]; ++j)
+          acc.accumulate(b.colids[j], av * b.vals[j]);
+      }
+      entries.clear();
+      acc.extract(std::back_inserter(entries));
+      std::sort(entries.begin(), entries.end(),
+                [](const auto& x, const auto& y) { return x.first < y.first; });
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        out.colids[static_cast<std::size_t>(lo) + i] = entries[i].first;
+        out.vals[static_cast<std::size_t>(lo) + i] = entries[i].second;
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace pbs::detail

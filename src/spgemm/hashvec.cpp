@@ -1,0 +1,15 @@
+// HashVecSpGEMM — the vector-register-probing hash variant of [12].
+//
+// The original probes hash buckets with SIMD compares; here the 8-slot
+// bucket-group scan in GroupedAccumulator is written so the compiler's
+// auto-vectorizer produces the same wide compare (see hash_table.hpp).
+#include "spgemm/hash_impl.hpp"
+#include "spgemm/hash_table.hpp"
+
+namespace pbs {
+
+mtx::CsrMatrix hashvec_spgemm(const SpGemmProblem& p) {
+  return detail::hash_spgemm_impl<detail::GroupedAccumulator>(p);
+}
+
+}  // namespace pbs

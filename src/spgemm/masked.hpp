@@ -1,0 +1,26 @@
+// Masked SpGEMM: C = (A · B) .* M computed without materializing A·B.
+//
+// Triangle counting (paper [2]) and many GraphBLAS-style kernels only need
+// the product at positions where a mask matrix M is nonzero.  Fusing the
+// mask into the multiplication skips every accumulation outside M's
+// pattern — for triangle counting that reduces the output from nnz(L²) to
+// nnz(L) entries and removes the separate Hadamard pass.
+#pragma once
+
+#include "matrix/csr.hpp"
+#include "spgemm/spgemm.hpp"
+
+namespace pbs {
+
+/// C(i,j) = Σ_k A(i,k)·B(k,j) for (i,j) in the pattern of `mask`; all other
+/// positions are structurally zero.  Entries of `mask` act purely as a
+/// pattern — values are ignored.  Requires matching outer dimensions.
+///
+/// With `complement = true` the mask selects the positions NOT in its
+/// pattern (GraphBLAS-style complemented mask) — e.g. "new wedges only",
+/// or BFS frontier expansion excluding visited vertices.
+mtx::CsrMatrix spgemm_masked(const mtx::CsrMatrix& a, const mtx::CsrMatrix& b,
+                             const mtx::CsrMatrix& mask,
+                             bool complement = false);
+
+}  // namespace pbs

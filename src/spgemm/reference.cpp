@@ -1,0 +1,49 @@
+#include <map>
+
+#include "matrix/convert.hpp"
+#include "spgemm/spgemm.hpp"
+
+namespace pbs {
+
+// Gold standard: serial row-wise Gustavson with an ordered map accumulator.
+// The ordered map gives sorted columns for free and a deterministic
+// left-to-right accumulation order.
+mtx::CsrMatrix reference_spgemm(const SpGemmProblem& p) {
+  const mtx::CsrMatrix& a = p.a_csr;
+  const mtx::CsrMatrix& b = p.b_csr;
+
+  mtx::CsrMatrix out(a.nrows, b.ncols);
+  std::map<index_t, value_t> acc;
+  for (index_t r = 0; r < a.nrows; ++r) {
+    acc.clear();
+    for (nnz_t i = a.rowptr[r]; i < a.rowptr[static_cast<std::size_t>(r) + 1]; ++i) {
+      const index_t k = a.colids[i];
+      const value_t av = a.vals[i];
+      for (nnz_t j = b.rowptr[k]; j < b.rowptr[static_cast<std::size_t>(k) + 1]; ++j) {
+        acc[b.colids[j]] += av * b.vals[j];
+      }
+    }
+    out.rowptr[static_cast<std::size_t>(r) + 1] =
+        out.rowptr[r] + static_cast<nnz_t>(acc.size());
+    for (const auto& [c, v] : acc) {
+      out.colids.push_back(c);
+      out.vals.push_back(v);
+    }
+  }
+  return out;
+}
+
+SpGemmProblem SpGemmProblem::multiply(const mtx::CsrMatrix& a,
+                                      const mtx::CsrMatrix& b) {
+  SpGemmProblem p;
+  p.a_csr = a;
+  p.a_csc = mtx::csr_to_csc(a);
+  p.b_csr = b;
+  return p;
+}
+
+SpGemmProblem SpGemmProblem::square(const mtx::CsrMatrix& a) {
+  return multiply(a, a);
+}
+
+}  // namespace pbs

@@ -1,0 +1,55 @@
+#include "spgemm/registry.hpp"
+
+#include <stdexcept>
+
+#include "pb/pb_spgemm.hpp"
+
+namespace pbs {
+
+const std::vector<AlgoInfo>& algorithms() {
+  static const std::vector<AlgoInfo> algos = {
+      {"pb",
+       "PB-SpGEMM: outer-product ESC with propagation blocking (this paper)",
+       [](const SpGemmProblem& p) {
+         // The flop-sized Cˆ scratch is reused across calls on each thread
+         // (see PbWorkspace) so that repeated invocations — benchmarks,
+         // iterative applications — pay its page faults once, not per call.
+         thread_local pb::PbWorkspace workspace;
+         return pb::pb_spgemm(p.a_csc, p.b_csr, pb::PbConfig{}, workspace).c;
+       },
+       true},
+      {"heap", "column/row Gustavson with k-way heap merge [22]",
+       heap_spgemm, true},
+      {"hash", "column/row Gustavson with hash accumulation [12]",
+       hash_spgemm, true},
+      {"hashvec", "hash variant with vectorized bucket-group probing [12]",
+       hashvec_spgemm, true},
+      {"spa", "column/row Gustavson with dense accumulator [25]",
+       spa_spgemm, true},
+      {"esc", "row-partitioned expand-sort-compress [15]",
+       esc_column_spgemm, true},
+      {"outer_heap",
+       "outer product with incremental sorted-merge accumulation [23]",
+       outer_heap_spgemm, false},
+      {"reference", "serial ordered-map gold standard (validation only)",
+       reference_spgemm, false},
+  };
+  return algos;
+}
+
+const AlgoInfo& algorithm(const std::string& name) {
+  for (const AlgoInfo& a : algorithms()) {
+    if (a.name == name) return a;
+  }
+  std::string valid;
+  for (const AlgoInfo& a : algorithms()) valid += a.name + " ";
+  throw std::invalid_argument("unknown SpGEMM algorithm '" + name +
+                              "'; valid: " + valid);
+}
+
+std::vector<AlgoInfo> paper_comparison_set() {
+  return {algorithm("pb"), algorithm("heap"), algorithm("hash"),
+          algorithm("hashvec")};
+}
+
+}  // namespace pbs

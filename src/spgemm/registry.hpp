@@ -1,0 +1,32 @@
+// Name -> algorithm registry shared by benches, tests and examples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spgemm/spgemm.hpp"
+
+namespace pbs {
+
+struct AlgoInfo {
+  std::string name;
+  std::string description;
+  SpGemmFn fn;
+  /// False for algorithms that are quadratic-ish and only suitable for
+  /// validation-scale inputs (reference, outer_heap).
+  bool scales_to_large = true;
+};
+
+/// All registered algorithms.  "pb" is the paper's contribution; "heap",
+/// "hash", "hashvec" are the paper's comparators; the rest complete
+/// Table I.
+const std::vector<AlgoInfo>& algorithms();
+
+/// Lookup by name; throws std::invalid_argument with the list of valid
+/// names on a miss.
+const AlgoInfo& algorithm(const std::string& name);
+
+/// The four algorithms the paper's figures compare.
+std::vector<AlgoInfo> paper_comparison_set();
+
+}  // namespace pbs

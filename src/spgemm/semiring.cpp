@@ -1,0 +1,84 @@
+#include "spgemm/semiring.hpp"
+
+#include <omp.h>
+
+#include <cassert>
+#include <stdexcept>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "spgemm/assemble.hpp"
+
+namespace pbs {
+
+template <typename S>
+mtx::CsrMatrix spgemm_semiring(const mtx::CsrMatrix& a,
+                               const mtx::CsrMatrix& b) {
+  if (a.ncols != b.nrows) {
+    throw std::invalid_argument("spgemm_semiring: inner dimensions differ");
+  }
+
+  // SPA-style dense accumulator with stamp-based clearing; the semiring
+  // only changes the combine step.
+  struct Scratch {
+    std::vector<value_t> dense;
+    std::vector<index_t> stamp;
+    std::vector<index_t> touched;
+  };
+  std::vector<Scratch> scratch(static_cast<std::size_t>(max_threads()));
+
+  return detail::assemble_rowwise(
+      a.nrows, b.ncols, [&](index_t r, detail::BlockBuffer& buf) {
+        Scratch& s = scratch[static_cast<std::size_t>(omp_get_thread_num())];
+        if (s.dense.empty()) {
+          s.dense.assign(static_cast<std::size_t>(b.ncols), S::zero());
+          s.stamp.assign(static_cast<std::size_t>(b.ncols), -1);
+        }
+        s.touched.clear();
+
+        for (nnz_t i = a.rowptr[r]; i < a.rowptr[static_cast<std::size_t>(r) + 1]; ++i) {
+          const index_t k = a.colids[i];
+          const value_t av = a.vals[i];
+          for (nnz_t j = b.rowptr[k]; j < b.rowptr[static_cast<std::size_t>(k) + 1]; ++j) {
+            const index_t c = b.colids[j];
+            const value_t product = S::mul(av, b.vals[j]);
+            if (s.stamp[c] != r) {
+              s.stamp[c] = r;
+              s.dense[c] = product;
+              s.touched.push_back(c);
+            } else {
+              s.dense[c] = S::add(s.dense[c], product);
+            }
+          }
+        }
+
+        std::sort(s.touched.begin(), s.touched.end());
+        for (const index_t c : s.touched) {
+          buf.cols.push_back(c);
+          buf.vals.push_back(s.dense[c]);
+        }
+      });
+}
+
+template mtx::CsrMatrix spgemm_semiring<PlusTimes>(const mtx::CsrMatrix&,
+                                                   const mtx::CsrMatrix&);
+template mtx::CsrMatrix spgemm_semiring<MinPlus>(const mtx::CsrMatrix&,
+                                                 const mtx::CsrMatrix&);
+template mtx::CsrMatrix spgemm_semiring<MaxMin>(const mtx::CsrMatrix&,
+                                                const mtx::CsrMatrix&);
+template mtx::CsrMatrix spgemm_semiring<BoolOrAnd>(const mtx::CsrMatrix&,
+                                                   const mtx::CsrMatrix&);
+
+mtx::CsrMatrix spgemm_semiring_named(const std::string& semiring,
+                                     const mtx::CsrMatrix& a,
+                                     const mtx::CsrMatrix& b) {
+  if (semiring == PlusTimes::name) return spgemm_semiring<PlusTimes>(a, b);
+  if (semiring == MinPlus::name) return spgemm_semiring<MinPlus>(a, b);
+  if (semiring == MaxMin::name) return spgemm_semiring<MaxMin>(a, b);
+  if (semiring == BoolOrAnd::name) return spgemm_semiring<BoolOrAnd>(a, b);
+  throw std::invalid_argument(
+      "unknown semiring '" + semiring +
+      "'; valid: plus_times min_plus max_min bool_or_and");
+}
+
+}  // namespace pbs

@@ -1,0 +1,87 @@
+// Semiring-generalized SpGEMM.
+//
+// The paper's motivating applications replace (+, ×) with other semirings:
+// multi-source BFS runs over the boolean (∨, ∧) semiring [3], shortest
+// paths over (min, +), and bottleneck paths over (max, min).  The
+// propagation-blocking pipeline itself is semiring-agnostic — only the
+// "multiply" in expand and the "add" in compress change — so the library
+// exposes a generalized row-wise kernel usable wherever numeric SpGEMM is.
+//
+// A semiring supplies:
+//   value_t zero()            — additive identity (annihilator of mul)
+//   value_t add(a, b)         — associative, commutative
+//   value_t mul(a, b)         — distributes over add
+//
+// Entries whose accumulated value equals zero() are kept (structural
+// presence mirrors the numeric SpGEMM convention for exact cancellation).
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "spgemm/spgemm.hpp"
+
+namespace pbs {
+
+/// The ordinary arithmetic semiring — spgemm_semiring<PlusTimes> computes
+/// exactly what the numeric algorithms compute.
+struct PlusTimes {
+  static constexpr const char* name = "plus_times";
+  static value_t zero() { return 0.0; }
+  static value_t add(value_t a, value_t b) { return a + b; }
+  static value_t mul(value_t a, value_t b) { return a * b; }
+};
+
+/// Tropical semiring: path relaxation.  (A ⊗ B)(i,j) = min_k A(i,k)+B(k,j)
+/// — one step of all-pairs shortest paths.
+struct MinPlus {
+  static constexpr const char* name = "min_plus";
+  static value_t zero() { return std::numeric_limits<value_t>::infinity(); }
+  static value_t add(value_t a, value_t b) { return std::min(a, b); }
+  static value_t mul(value_t a, value_t b) { return a + b; }
+};
+
+/// Bottleneck semiring: widest-path capacity.
+struct MaxMin {
+  static constexpr const char* name = "max_min";
+  static value_t zero() { return -std::numeric_limits<value_t>::infinity(); }
+  static value_t add(value_t a, value_t b) { return std::max(a, b); }
+  static value_t mul(value_t a, value_t b) { return std::min(a, b); }
+};
+
+/// Boolean semiring on {0.0, 1.0}: reachability / frontier expansion.
+struct BoolOrAnd {
+  static constexpr const char* name = "bool_or_and";
+  static value_t zero() { return 0.0; }
+  static value_t add(value_t a, value_t b) {
+    return (a != 0.0 || b != 0.0) ? 1.0 : 0.0;
+  }
+  static value_t mul(value_t a, value_t b) {
+    return (a != 0.0 && b != 0.0) ? 1.0 : 0.0;
+  }
+};
+
+/// C = A ⊗ B over semiring S (row-wise Gustavson with a dense
+/// accumulator, OpenMP-parallel).  Requires a.ncols == b.nrows.
+template <typename S>
+mtx::CsrMatrix spgemm_semiring(const mtx::CsrMatrix& a,
+                               const mtx::CsrMatrix& b);
+
+// Instantiated in semiring.cpp for the four semirings above.
+extern template mtx::CsrMatrix spgemm_semiring<PlusTimes>(
+    const mtx::CsrMatrix&, const mtx::CsrMatrix&);
+extern template mtx::CsrMatrix spgemm_semiring<MinPlus>(
+    const mtx::CsrMatrix&, const mtx::CsrMatrix&);
+extern template mtx::CsrMatrix spgemm_semiring<MaxMin>(
+    const mtx::CsrMatrix&, const mtx::CsrMatrix&);
+extern template mtx::CsrMatrix spgemm_semiring<BoolOrAnd>(
+    const mtx::CsrMatrix&, const mtx::CsrMatrix&);
+
+/// Runtime dispatch by semiring name ("plus_times", "min_plus", "max_min",
+/// "bool_or_and"); throws std::invalid_argument on unknown names.
+mtx::CsrMatrix spgemm_semiring_named(const std::string& semiring,
+                                     const mtx::CsrMatrix& a,
+                                     const mtx::CsrMatrix& b);
+
+}  // namespace pbs

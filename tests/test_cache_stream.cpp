@@ -1,0 +1,41 @@
+#include <gtest/gtest.h>
+
+#include "common/cache_info.hpp"
+#include "common/stream.hpp"
+
+namespace pbs {
+namespace {
+
+TEST(CacheInfo, ReportsPlausibleSizes) {
+  const CacheInfo& c = cache_info();
+  EXPECT_GE(c.l1d_bytes, 8u * 1024);      // nothing modern is smaller
+  EXPECT_GE(c.l2_bytes, 64u * 1024);
+  EXPECT_GE(c.l2_bytes, c.l1d_bytes);     // hierarchy sanity
+  EXPECT_GE(c.line_bytes, 32u);
+  EXPECT_LE(c.line_bytes, 256u);
+}
+
+TEST(CacheInfo, StableAcrossCalls) {
+  const CacheInfo& a = cache_info();
+  const CacheInfo& b = cache_info();
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(Stream, ReportsPositiveBandwidth) {
+  // Tiny arrays: this checks plumbing, not peak bandwidth.
+  const StreamResult r = run_stream(/*elements=*/1 << 18, /*ntimes=*/2);
+  EXPECT_GT(r.copy_gbs, 0.0);
+  EXPECT_GT(r.scale_gbs, 0.0);
+  EXPECT_GT(r.add_gbs, 0.0);
+  EXPECT_GT(r.triad_gbs, 0.0);
+  EXPECT_GE(r.best_gbs(), r.copy_gbs);
+  EXPECT_GE(r.best_gbs(), r.triad_gbs);
+}
+
+TEST(Stream, SingleThreadWorks) {
+  const StreamResult r = run_stream(1 << 16, 2, /*threads=*/1);
+  EXPECT_GT(r.best_gbs(), 0.0);
+}
+
+}  // namespace
+}  // namespace pbs

@@ -1,0 +1,106 @@
+#include "matrix/convert.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matrix/generate.hpp"
+#include "test_util.hpp"
+
+namespace pbs::mtx {
+namespace {
+
+CooMatrix sample_coo() {
+  CooMatrix coo(3, 4);
+  coo.add(0, 1, 1.0);
+  coo.add(0, 3, 2.0);
+  coo.add(1, 0, 3.0);
+  coo.add(2, 1, 4.0);
+  coo.add(2, 2, 5.0);
+  coo.canonicalize();
+  return coo;
+}
+
+TEST(Convert, CooToCsr) {
+  const CsrMatrix csr = coo_to_csr(sample_coo());
+  ASSERT_TRUE(csr.valid());
+  EXPECT_EQ(csr.nrows, 3);
+  EXPECT_EQ(csr.ncols, 4);
+  EXPECT_EQ(csr.rowptr, (std::vector<nnz_t>{0, 2, 3, 5}));
+  EXPECT_EQ(csr.colids, (std::vector<index_t>{1, 3, 0, 1, 2}));
+  EXPECT_EQ(csr.vals, (std::vector<value_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(Convert, CooToCsc) {
+  const CscMatrix csc = coo_to_csc(sample_coo());
+  ASSERT_TRUE(csc.valid());
+  EXPECT_EQ(csc.colptr, (std::vector<nnz_t>{0, 1, 3, 4, 5}));
+  EXPECT_EQ(csc.rowids, (std::vector<index_t>{1, 0, 2, 2, 0}));
+  EXPECT_EQ(csc.vals, (std::vector<value_t>{3, 1, 4, 5, 2}));
+}
+
+TEST(Convert, RoundTripCsrCoo) {
+  const CooMatrix coo = sample_coo();
+  const CooMatrix back = csr_to_coo(coo_to_csr(coo));
+  EXPECT_EQ(back.row, coo.row);
+  EXPECT_EQ(back.col, coo.col);
+  EXPECT_EQ(back.val, coo.val);
+}
+
+TEST(Convert, CsrCscRoundTrip) {
+  const CsrMatrix csr = coo_to_csr(sample_coo());
+  const CsrMatrix back = csc_to_csr(csr_to_csc(csr));
+  EXPECT_TRUE(equal_exact(csr, back));
+}
+
+TEST(Convert, EmptyMatrix) {
+  CooMatrix coo(5, 7);
+  const CsrMatrix csr = coo_to_csr(coo);
+  EXPECT_TRUE(csr.valid());
+  EXPECT_EQ(csr.nnz(), 0);
+  EXPECT_EQ(csr.nrows, 5);
+  const CscMatrix csc = csr_to_csc(csr);
+  EXPECT_TRUE(csc.valid());
+  EXPECT_EQ(csc.ncols, 7);
+}
+
+TEST(Convert, TransposeKnown) {
+  // A = [1 2; 0 3], Aᵀ = [1 0; 2 3]
+  const CsrMatrix a = testutil::from_triplets(
+      2, 2, {{0, 0, 1.0}, {0, 1, 2.0}, {1, 1, 3.0}});
+  const CsrMatrix at = transpose(a);
+  ASSERT_TRUE(at.valid());
+  EXPECT_EQ(at.rowptr, (std::vector<nnz_t>{0, 1, 3}));
+  EXPECT_EQ(at.colids, (std::vector<index_t>{0, 0, 1}));
+  EXPECT_EQ(at.vals, (std::vector<value_t>{1, 2, 3}));
+}
+
+TEST(Convert, TransposeRectangular) {
+  const CsrMatrix a = testutil::from_triplets(2, 5, {{0, 4, 1.0}, {1, 0, 2.0}});
+  const CsrMatrix at = transpose(a);
+  EXPECT_EQ(at.nrows, 5);
+  EXPECT_EQ(at.ncols, 2);
+  EXPECT_TRUE(at.valid());
+  EXPECT_TRUE(equal_exact(transpose(at), a));
+}
+
+class ConvertRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConvertRandom, AllPathsAgree) {
+  const CooMatrix coo =
+      generate_er(500, 300, 4.0, static_cast<std::uint64_t>(GetParam()));
+  const CsrMatrix csr = coo_to_csr(coo);
+  const CscMatrix csc_direct = coo_to_csc(coo);
+  const CscMatrix csc_via_csr = csr_to_csc(csr);
+  ASSERT_TRUE(csr.valid());
+  ASSERT_TRUE(csc_direct.valid());
+  EXPECT_EQ(csc_direct.colptr, csc_via_csr.colptr);
+  EXPECT_EQ(csc_direct.rowids, csc_via_csr.rowids);
+  EXPECT_EQ(csc_direct.vals, csc_via_csr.vals);
+  EXPECT_TRUE(equal_exact(csr, csc_to_csr(csc_direct)));
+  // Double transpose is identity.
+  EXPECT_TRUE(equal_exact(csr, transpose(transpose(csr))));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConvertRandom, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace pbs::mtx

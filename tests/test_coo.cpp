@@ -1,0 +1,94 @@
+#include "matrix/coo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pbs::mtx {
+namespace {
+
+TEST(Coo, EmptyMatrixIsCanonical) {
+  CooMatrix m(4, 4);
+  EXPECT_EQ(m.nnz(), 0);
+  EXPECT_TRUE(m.is_canonical());
+  m.canonicalize();
+  EXPECT_EQ(m.nnz(), 0);
+}
+
+TEST(Coo, CanonicalizeSortsRowMajor) {
+  CooMatrix m(3, 3);
+  m.add(2, 1, 1.0);
+  m.add(0, 2, 2.0);
+  m.add(1, 0, 3.0);
+  m.add(0, 0, 4.0);
+  EXPECT_FALSE(m.is_canonical());
+  m.canonicalize();
+  ASSERT_TRUE(m.is_canonical());
+  EXPECT_EQ(m.row, (std::vector<index_t>{0, 0, 1, 2}));
+  EXPECT_EQ(m.col, (std::vector<index_t>{0, 2, 0, 1}));
+  EXPECT_EQ(m.val, (std::vector<value_t>{4.0, 2.0, 3.0, 1.0}));
+}
+
+TEST(Coo, CanonicalizeSumsDuplicates) {
+  CooMatrix m(2, 2);
+  m.add(1, 1, 1.0);
+  m.add(0, 0, 2.0);
+  m.add(1, 1, 3.0);
+  m.add(1, 1, 4.0);
+  m.canonicalize();
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_EQ(m.row, (std::vector<index_t>{0, 1}));
+  EXPECT_EQ(m.col, (std::vector<index_t>{0, 1}));
+  EXPECT_EQ(m.val, (std::vector<value_t>{2.0, 8.0}));
+}
+
+TEST(Coo, CanonicalizeIsIdempotent) {
+  CooMatrix m(5, 5);
+  m.add(4, 4, 1.0);
+  m.add(1, 3, 2.0);
+  m.add(1, 3, 2.5);
+  m.canonicalize();
+  const auto rows = m.row;
+  const auto cols = m.col;
+  const auto vals = m.val;
+  m.canonicalize();
+  EXPECT_EQ(m.row, rows);
+  EXPECT_EQ(m.col, cols);
+  EXPECT_EQ(m.val, vals);
+}
+
+TEST(Coo, InBoundsDetection) {
+  CooMatrix m(2, 3);
+  m.add(1, 2, 1.0);
+  EXPECT_TRUE(m.in_bounds());
+  m.add(2, 0, 1.0);  // row out of range
+  EXPECT_FALSE(m.in_bounds());
+}
+
+TEST(Coo, IsCanonicalRejectsDuplicates) {
+  CooMatrix m(2, 2);
+  m.add(0, 0, 1.0);
+  m.add(0, 0, 2.0);
+  EXPECT_FALSE(m.is_canonical());
+}
+
+TEST(Coo, LargeRandomCanonicalization) {
+  CooMatrix m(1000, 1000);
+  // Deterministic pseudo-random entries with many duplicates.
+  std::uint64_t x = 88172645463325252ull;
+  value_t expected_sum = 0;
+  for (int i = 0; i < 50000; ++i) {
+    x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+    const auto r = static_cast<index_t>(x % 997);
+    const auto c = static_cast<index_t>((x >> 20) % 997);
+    m.add(r, c, 1.0);
+    expected_sum += 1.0;
+  }
+  m.canonicalize();
+  EXPECT_TRUE(m.is_canonical());
+  EXPECT_LT(m.nnz(), 50000);  // duplicates existed and were merged
+  value_t total = 0;
+  for (const value_t v : m.val) total += v;
+  EXPECT_DOUBLE_EQ(total, expected_sum);  // mass conserved
+}
+
+}  // namespace
+}  // namespace pbs::mtx

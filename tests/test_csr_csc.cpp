@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "matrix/csc.hpp"
+#include "matrix/csr.hpp"
+#include "test_util.hpp"
+
+namespace pbs::mtx {
+namespace {
+
+TEST(Csr, DefaultIsEmptyValid) {
+  CsrMatrix m;
+  EXPECT_EQ(m.nnz(), 0);
+  EXPECT_TRUE(m.valid());
+}
+
+TEST(Csr, IdentityIsValid) {
+  const CsrMatrix i = CsrMatrix::identity(5);
+  EXPECT_TRUE(i.valid());
+  EXPECT_EQ(i.nnz(), 5);
+  for (index_t r = 0; r < 5; ++r) {
+    EXPECT_EQ(i.row_nnz(r), 1);
+    EXPECT_EQ(i.row_cols(r)[0], r);
+    EXPECT_EQ(i.row_vals(r)[0], 1.0);
+  }
+}
+
+TEST(Csr, DiagonalHoldsValues) {
+  const std::vector<value_t> d{1.5, -2.0, 0.25};
+  const CsrMatrix m = CsrMatrix::diagonal(d);
+  EXPECT_TRUE(m.valid());
+  for (index_t r = 0; r < 3; ++r) EXPECT_EQ(m.row_vals(r)[0], d[r]);
+}
+
+TEST(Csr, ValidRejectsUnsortedColumns) {
+  CsrMatrix m = testutil::from_triplets(2, 4, {{0, 1, 1.0}, {0, 3, 2.0}});
+  ASSERT_TRUE(m.valid());
+  std::swap(m.colids[0], m.colids[1]);
+  EXPECT_FALSE(m.valid());
+}
+
+TEST(Csr, ValidRejectsOutOfRangeColumn) {
+  CsrMatrix m = testutil::from_triplets(2, 4, {{0, 1, 1.0}});
+  m.colids[0] = 4;
+  EXPECT_FALSE(m.valid());
+}
+
+TEST(Csr, ValidRejectsNonMonotoneRowptr) {
+  CsrMatrix m = testutil::from_triplets(3, 3, {{0, 0, 1.0}, {2, 2, 1.0}});
+  ASSERT_TRUE(m.valid());
+  m.rowptr[1] = 2;
+  m.rowptr[2] = 1;
+  EXPECT_FALSE(m.valid());
+}
+
+TEST(Csr, AvgDegree) {
+  const CsrMatrix m =
+      testutil::from_triplets(4, 4, {{0, 0, 1.0}, {0, 1, 1.0}, {2, 3, 1.0}});
+  EXPECT_DOUBLE_EQ(m.avg_degree(), 3.0 / 4.0);
+}
+
+TEST(Csr, EqualExactAndApprox) {
+  const CsrMatrix a = testutil::from_triplets(2, 2, {{0, 0, 1.0}, {1, 1, 2.0}});
+  CsrMatrix b = a;
+  EXPECT_TRUE(equal_exact(a, b));
+  b.vals[0] += 1e-14;
+  EXPECT_FALSE(equal_exact(a, b));
+  EXPECT_TRUE(equal_approx(a, b));
+  b.vals[0] += 1.0;
+  EXPECT_FALSE(equal_approx(a, b));
+}
+
+TEST(Csr, EqualRejectsShapeMismatch) {
+  const CsrMatrix a = testutil::from_triplets(2, 2, {{0, 0, 1.0}});
+  const CsrMatrix b = testutil::from_triplets(2, 3, {{0, 0, 1.0}});
+  EXPECT_FALSE(equal_exact(a, b));
+  EXPECT_FALSE(equal_approx(a, b));
+}
+
+TEST(Csc, ValidAndAccessors) {
+  // [ 1 0 ]
+  // [ 2 3 ]
+  CscMatrix m(2, 2);
+  m.colptr = {0, 2, 3};
+  m.rowids = {0, 1, 1};
+  m.vals = {1.0, 2.0, 3.0};
+  EXPECT_TRUE(m.valid());
+  EXPECT_EQ(m.nnz(), 3);
+  EXPECT_EQ(m.col_nnz(0), 2);
+  EXPECT_EQ(m.col_nnz(1), 1);
+  EXPECT_EQ(m.col_rows(0)[1], 1);
+  EXPECT_EQ(m.col_vals(1)[0], 3.0);
+  EXPECT_DOUBLE_EQ(m.avg_degree(), 1.5);
+}
+
+TEST(Csc, ValidRejectsUnsortedRows) {
+  CscMatrix m(3, 1);
+  m.colptr = {0, 2};
+  m.rowids = {2, 1};
+  m.vals = {1.0, 1.0};
+  EXPECT_FALSE(m.valid());
+}
+
+}  // namespace
+}  // namespace pbs::mtx

@@ -1,0 +1,101 @@
+#include "matrix/dcsc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matrix/convert.hpp"
+#include "matrix/generate.hpp"
+#include "test_util.hpp"
+
+namespace pbs::mtx {
+namespace {
+
+CscMatrix csc_of(const CsrMatrix& a) { return csr_to_csc(a); }
+
+TEST(Dcsc, RoundTripDense) {
+  const CsrMatrix a = testutil::exact_er(100, 80, 5.0, 41);
+  const CscMatrix csc = csc_of(a);
+  const DcscMatrix dcsc = csc_to_dcsc(csc);
+  ASSERT_TRUE(dcsc.valid());
+  const CscMatrix back = dcsc_to_csc(dcsc);
+  EXPECT_EQ(back.colptr, csc.colptr);
+  EXPECT_EQ(back.rowids, csc.rowids);
+  EXPECT_EQ(back.vals, csc.vals);
+}
+
+TEST(Dcsc, EmptyMatrix) {
+  CooMatrix empty(10, 10);
+  const DcscMatrix d = csc_to_dcsc(coo_to_csc(empty));
+  EXPECT_TRUE(d.valid());
+  EXPECT_EQ(d.nnz(), 0);
+  EXPECT_EQ(d.nzc(), 0);
+  const CscMatrix back = dcsc_to_csc(d);
+  EXPECT_EQ(back.nnz(), 0);
+  EXPECT_EQ(back.ncols, 10);
+}
+
+TEST(Dcsc, HypersparseStoresOnlyNonEmptyColumns) {
+  // One entry in a 1M-column matrix: CSC's colptr alone is ~8 MB; DCSC is
+  // a handful of bytes.
+  CooMatrix coo(1 << 20, 1 << 20);
+  coo.add(7, 123456, 1.5);
+  coo.canonicalize();
+  const CscMatrix csc = coo_to_csc(coo);
+  const DcscMatrix dcsc = csc_to_dcsc(csc);
+  ASSERT_TRUE(dcsc.valid());
+  EXPECT_EQ(dcsc.nzc(), 1);
+  EXPECT_EQ(dcsc.jc[0], 123456);
+  EXPECT_EQ(dcsc.col_rows(0)[0], 7);
+  EXPECT_EQ(dcsc.col_vals(0)[0], 1.5);
+  EXPECT_LT(dcsc.footprint_bytes(), 100u);
+  EXPECT_GT(csc_footprint_bytes(csc), 8u << 20);
+}
+
+TEST(Dcsc, FootprintCrossoverAtHypersparsity) {
+  // nnz >> ncols: CSC is the smaller format (no jc array).
+  const CsrMatrix dense_ish = testutil::exact_er(256, 256, 16.0, 42);
+  const CscMatrix c1 = csc_of(dense_ish);
+  EXPECT_LT(csc_footprint_bytes(c1), csc_to_dcsc(c1).footprint_bytes());
+
+  // nnz << ncols (hypersparse): DCSC wins.
+  const CsrMatrix hyper = testutil::exact_er(1 << 16, 1 << 16, 0.05, 43);
+  const CscMatrix c2 = csc_of(hyper);
+  ASSERT_LT(c2.nnz(), c2.ncols);  // hypersparse by construction
+  EXPECT_LT(csc_to_dcsc(c2).footprint_bytes(), csc_footprint_bytes(c2));
+}
+
+TEST(Dcsc, IterationMatchesCsc) {
+  const CsrMatrix a = testutil::exact_er(500, 400, 2.0, 44);
+  const CscMatrix csc = csc_of(a);
+  const DcscMatrix dcsc = csc_to_dcsc(csc);
+  // Walking DCSC's non-empty columns visits exactly CSC's nonzeros.
+  nnz_t seen = 0;
+  for (index_t k = 0; k < dcsc.nzc(); ++k) {
+    const index_t c = dcsc.jc[k];
+    const auto drows = dcsc.col_rows(k);
+    const auto crows = csc.col_rows(c);
+    ASSERT_EQ(drows.size(), crows.size());
+    for (std::size_t i = 0; i < drows.size(); ++i) {
+      ASSERT_EQ(drows[i], crows[i]);
+    }
+    seen += static_cast<nnz_t>(drows.size());
+  }
+  EXPECT_EQ(seen, csc.nnz());
+}
+
+TEST(Dcsc, ValidRejectsCorruption) {
+  const CsrMatrix a = testutil::exact_er(50, 50, 3.0, 45);
+  DcscMatrix d = csc_to_dcsc(csc_of(a));
+  ASSERT_TRUE(d.valid());
+  DcscMatrix bad = d;
+  bad.jc[0] = bad.jc[1];  // duplicate column id
+  EXPECT_FALSE(bad.valid());
+  bad = d;
+  bad.cp[1] = bad.cp[0];  // empty stored column
+  EXPECT_FALSE(bad.valid());
+  bad = d;
+  bad.rowids[0] = -1;  // out-of-range row
+  EXPECT_FALSE(bad.valid());
+}
+
+}  // namespace
+}  // namespace pbs::mtx

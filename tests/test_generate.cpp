@@ -1,0 +1,174 @@
+#include "matrix/generate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.hpp"
+#include "matrix/convert.hpp"
+
+namespace pbs::mtx {
+namespace {
+
+TEST(GenerateEr, ShapeAndBounds) {
+  const CooMatrix m = generate_er(1000, 800, 4.0, 1);
+  EXPECT_EQ(m.nrows, 1000);
+  EXPECT_EQ(m.ncols, 800);
+  EXPECT_TRUE(m.in_bounds());
+  EXPECT_TRUE(m.is_canonical());
+}
+
+TEST(GenerateEr, MeanDegreeCloseToRequested) {
+  const double d = 8.0;
+  const CooMatrix m = generate_er(1 << 12, 1 << 12, d, 2);
+  const double actual = static_cast<double>(m.nnz()) / (1 << 12);
+  EXPECT_NEAR(actual, d, 0.25);  // distinct-row sampling: tiny shortfall only
+}
+
+TEST(GenerateEr, FractionalDegree) {
+  const CooMatrix m = generate_er(1 << 12, 1 << 12, 2.5, 3);
+  const double actual = static_cast<double>(m.nnz()) / (1 << 12);
+  EXPECT_NEAR(actual, 2.5, 0.2);
+}
+
+TEST(GenerateEr, DeterministicInSeed) {
+  const CooMatrix a = generate_er(2000, 2000, 4.0, 42);
+  const CooMatrix b = generate_er(2000, 2000, 4.0, 42);
+  EXPECT_EQ(a.row, b.row);
+  EXPECT_EQ(a.col, b.col);
+  EXPECT_EQ(a.val, b.val);
+}
+
+TEST(GenerateEr, DifferentSeedsDiffer) {
+  const CooMatrix a = generate_er(2000, 2000, 4.0, 1);
+  const CooMatrix b = generate_er(2000, 2000, 4.0, 2);
+  EXPECT_NE(a.row, b.row);
+}
+
+TEST(GenerateEr, IndependentOfThreadCount) {
+  // Block-based generation must make results schedule-independent.
+  CooMatrix multi = generate_er(1 << 13, 1 << 13, 4.0, 7);
+  CooMatrix single = [&] {
+    ThreadCountGuard guard(1);
+    return generate_er(1 << 13, 1 << 13, 4.0, 7);
+  }();
+  EXPECT_EQ(multi.row, single.row);
+  EXPECT_EQ(multi.col, single.col);
+  EXPECT_EQ(multi.val, single.val);
+}
+
+TEST(GenerateEr, ScaleOverload) {
+  const CooMatrix m = generate_er(RandomScale{10, 4.0}, 5);
+  EXPECT_EQ(m.nrows, 1 << 10);
+  EXPECT_EQ(m.ncols, 1 << 10);
+}
+
+TEST(GenerateEr, DistinctRowsPerColumn) {
+  const CsrMatrix csr = coo_to_csr(generate_er(256, 256, 16.0, 9));
+  const CscMatrix csc = csr_to_csc(csr);
+  for (index_t c = 0; c < csc.ncols; ++c) {
+    const auto rows = csc.col_rows(c);
+    for (std::size_t i = 1; i < rows.size(); ++i)
+      ASSERT_LT(rows[i - 1], rows[i]) << "duplicate row in column " << c;
+  }
+}
+
+TEST(GenerateBanded, EntriesStayInBand) {
+  const index_t n = 2000, w = 16;
+  const CooMatrix m = generate_banded(n, 8.0, w, 4);
+  EXPECT_TRUE(m.in_bounds());
+  for (nnz_t i = 0; i < m.nnz(); ++i) {
+    ASSERT_LE(std::abs(static_cast<long>(m.row[i]) - m.col[i]), w)
+        << "entry (" << m.row[i] << "," << m.col[i] << ") outside band";
+  }
+}
+
+TEST(GenerateBanded, DegreeClampsAtNarrowWindow) {
+  // d > window size: every in-window slot fills, no infinite loop.
+  const CooMatrix m = generate_banded(100, 10.0, 2, 6);
+  EXPECT_TRUE(m.in_bounds());
+  EXPECT_GT(m.nnz(), 0);
+}
+
+TEST(GenerateRmat, ShapeAndDeterminism) {
+  RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 8.0;
+  p.seed = 3;
+  const CooMatrix a = generate_rmat(p);
+  const CooMatrix b = generate_rmat(p);
+  EXPECT_EQ(a.nrows, 1 << 10);
+  EXPECT_TRUE(a.in_bounds());
+  EXPECT_TRUE(a.is_canonical());
+  EXPECT_EQ(a.row, b.row);
+  EXPECT_EQ(a.val, b.val);
+}
+
+TEST(GenerateRmat, DuplicateMergingShrinksNnz) {
+  RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 8.0;
+  p.seed = 11;
+  const CooMatrix m = generate_rmat(p);
+  // Skewed quadrants produce many duplicate edges; nnz must be below the
+  // raw edge count but not absurdly so.
+  EXPECT_LT(m.nnz(), static_cast<nnz_t>(8.0 * (1 << 10)));
+  EXPECT_GT(m.nnz(), static_cast<nnz_t>(0.5 * 8.0 * (1 << 10)));
+}
+
+TEST(GenerateRmat, SkewProducesHubs) {
+  RmatParams p;
+  p.scale = 12;
+  p.edge_factor = 8.0;
+  p.seed = 13;
+  const CsrMatrix m = coo_to_csr(generate_rmat(p));
+  nnz_t max_deg = 0;
+  for (index_t r = 0; r < m.nrows; ++r) max_deg = std::max(max_deg, m.row_nnz(r));
+  // Graph500-parameter R-MAT at scale 12 has hubs far above the mean of 8.
+  EXPECT_GT(max_deg, 64);
+}
+
+TEST(GenerateRmat, ErParametersProduceNoExtremeHubs) {
+  RmatParams p;
+  p.scale = 12;
+  p.edge_factor = 8.0;
+  p.a = p.b = p.c = 0.25;
+  p.seed = 14;
+  const CsrMatrix m = coo_to_csr(generate_rmat(p));
+  nnz_t max_deg = 0;
+  for (index_t r = 0; r < m.nrows; ++r) max_deg = std::max(max_deg, m.row_nnz(r));
+  EXPECT_LT(max_deg, 64);  // Poisson tail at mean 8 stays tiny
+}
+
+TEST(GenerateRmat, ScrambleKeepsEdgeCountAndBounds) {
+  RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 4.0;
+  p.seed = 15;
+  const CooMatrix plain = generate_rmat(p);
+  p.scramble_ids = true;
+  const CooMatrix scrambled = generate_rmat(p);
+  EXPECT_TRUE(scrambled.in_bounds());
+  // Scrambling permutes ids; duplicate-merge counts can differ slightly only
+  // if the permutation merged distinct edges — impossible for a bijection.
+  EXPECT_EQ(plain.nnz(), scrambled.nnz());
+}
+
+class RmatSweep : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(RmatSweep, CanonicalInBoundsRightShape) {
+  const auto [scale, ef] = GetParam();
+  RmatParams p;
+  p.scale = scale;
+  p.edge_factor = ef;
+  p.seed = 100 + scale;
+  const CooMatrix m = generate_rmat(p);
+  EXPECT_EQ(m.nrows, index_t{1} << scale);
+  EXPECT_TRUE(m.in_bounds());
+  EXPECT_TRUE(m.is_canonical());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RmatSweep,
+                         ::testing::Combine(::testing::Values(6, 8, 10),
+                                            ::testing::Values(2.0, 8.0)));
+
+}  // namespace
+}  // namespace pbs::mtx

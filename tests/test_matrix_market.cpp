@@ -1,0 +1,134 @@
+#include "matrix/matrix_market.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "matrix/convert.hpp"
+#include "matrix/generate.hpp"
+
+namespace pbs::mtx {
+namespace {
+
+CooMatrix parse(const std::string& text) {
+  std::istringstream in(text);
+  return read_matrix_market(in, "test.mtx");
+}
+
+TEST(MatrixMarket, ParsesGeneralReal) {
+  const CooMatrix m = parse(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "3 4 2\n"
+      "1 2 1.5\n"
+      "3 4 -2.0\n");
+  EXPECT_EQ(m.nrows, 3);
+  EXPECT_EQ(m.ncols, 4);
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_EQ(m.row, (std::vector<index_t>{0, 2}));
+  EXPECT_EQ(m.col, (std::vector<index_t>{1, 3}));
+  EXPECT_EQ(m.val, (std::vector<value_t>{1.5, -2.0}));
+}
+
+TEST(MatrixMarket, ParsesPattern) {
+  const CooMatrix m = parse(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 1\n"
+      "2 2\n");
+  EXPECT_EQ(m.val, (std::vector<value_t>{1.0, 1.0}));
+}
+
+TEST(MatrixMarket, ParsesInteger) {
+  const CooMatrix m = parse(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "2 2 1\n"
+      "2 1 7\n");
+  EXPECT_EQ(m.val[0], 7.0);
+}
+
+TEST(MatrixMarket, MirrorsSymmetric) {
+  const CooMatrix m = parse(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 3\n"
+      "1 1 1.0\n"
+      "2 1 2.0\n"
+      "3 2 3.0\n");
+  EXPECT_EQ(m.nnz(), 5);  // diagonal not mirrored
+  const CsrMatrix csr = coo_to_csr(m);
+  EXPECT_TRUE(equal_exact(csr, transpose(csr)));
+}
+
+TEST(MatrixMarket, MirrorsSkewSymmetric) {
+  const CooMatrix m = parse(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "2 2 1\n"
+      "2 1 5.0\n");
+  EXPECT_EQ(m.nnz(), 2);
+  const CsrMatrix csr = coo_to_csr(m);
+  const CsrMatrix neg_t = transpose(csr);
+  EXPECT_EQ(csr.vals[0], -neg_t.vals[0]);
+}
+
+TEST(MatrixMarket, RejectsMissingBanner) {
+  EXPECT_THROW(parse("1 1 0\n"), std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsArrayFormat) {
+  EXPECT_THROW(parse("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n"),
+               std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsOutOfBoundsIndex) {
+  EXPECT_THROW(parse("%%MatrixMarket matrix coordinate real general\n"
+                     "2 2 1\n"
+                     "3 1 1.0\n"),
+               std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsTruncatedFile) {
+  EXPECT_THROW(parse("%%MatrixMarket matrix coordinate real general\n"
+                     "2 2 2\n"
+                     "1 1 1.0\n"),
+               std::runtime_error);
+}
+
+TEST(MatrixMarket, RejectsMissingValue) {
+  EXPECT_THROW(parse("%%MatrixMarket matrix coordinate real general\n"
+                     "2 2 1\n"
+                     "1 1\n"),
+               std::runtime_error);
+}
+
+TEST(MatrixMarket, ErrorMessagesCarryLineNumbers) {
+  try {
+    parse("%%MatrixMarket matrix coordinate real general\n"
+          "2 2 1\n"
+          "9 9 1.0\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(":3:"), std::string::npos) << e.what();
+  }
+}
+
+TEST(MatrixMarket, WriteReadRoundTrip) {
+  const CooMatrix original = generate_er(200, 150, 3.0, 21);
+  std::ostringstream out;
+  write_matrix_market(out, original);
+  std::istringstream in(out.str());
+  const CooMatrix back = read_matrix_market(in, "roundtrip");
+  EXPECT_EQ(back.nrows, original.nrows);
+  EXPECT_EQ(back.ncols, original.ncols);
+  EXPECT_EQ(back.row, original.row);
+  EXPECT_EQ(back.col, original.col);
+  for (nnz_t i = 0; i < back.nnz(); ++i)
+    EXPECT_DOUBLE_EQ(back.val[i], original.val[i]);
+}
+
+TEST(MatrixMarket, MissingFileThrows) {
+  EXPECT_THROW(read_matrix_market("/nonexistent/path/x.mtx"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pbs::mtx

@@ -1,0 +1,147 @@
+#include "matrix/mstats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matrix/convert.hpp"
+#include "matrix/generate.hpp"
+#include "test_util.hpp"
+
+namespace pbs::mtx {
+namespace {
+
+using testutil::from_triplets;
+
+TEST(MStats, FlopsOfIdentitySquareEqualsN) {
+  const CsrMatrix i = CsrMatrix::identity(10);
+  EXPECT_EQ(count_flops(i, i), 10);
+  EXPECT_EQ(count_flops(csr_to_csc(i), i), 10);
+}
+
+TEST(MStats, FlopsKnownSmallCase) {
+  // A = [1 1; 0 1]: row0 selects B rows {0,1} (2+1 flops), row1 selects {1}.
+  const CsrMatrix a =
+      from_triplets(2, 2, {{0, 0, 1.0}, {0, 1, 1.0}, {1, 1, 1.0}});
+  EXPECT_EQ(count_flops(a, a), 4);
+}
+
+TEST(MStats, OuterAndRowwiseFlopCountsAgree) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const CsrMatrix a = coo_to_csr(generate_er(300, 300, 4.0, seed));
+    const CsrMatrix b = coo_to_csr(generate_er(300, 300, 6.0, seed + 100));
+    EXPECT_EQ(count_flops(a, b), count_flops(csr_to_csc(a), b)) << seed;
+  }
+}
+
+TEST(MStats, SymbolicNnzIdentity) {
+  const CsrMatrix i = CsrMatrix::identity(16);
+  EXPECT_EQ(symbolic_nnz(i, i), 16);
+}
+
+TEST(MStats, SymbolicNnzDenseRowTimesDenseCol) {
+  // Row vector (1x n pattern) times its transpose: 1 nonzero out.
+  CooMatrix row(1, 8), col(8, 1);
+  for (index_t j = 0; j < 8; ++j) {
+    row.add(0, j, 1.0);
+    col.add(j, 0, 1.0);
+  }
+  row.canonicalize();
+  col.canonicalize();
+  EXPECT_EQ(symbolic_nnz(coo_to_csr(row), coo_to_csr(col)), 1);
+  // And outer product: 8x8 fully dense.
+  EXPECT_EQ(symbolic_nnz(coo_to_csr(col), coo_to_csr(row)), 64);
+}
+
+TEST(MStats, CompressionFactorAtLeastOne) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const CsrMatrix a = coo_to_csr(generate_er(500, 500, 4.0, seed));
+    const SquareStats s = square_stats(a);
+    EXPECT_GE(s.cf, 1.0) << "at least one multiply per output nonzero";
+    EXPECT_EQ(s.n, 500);
+    EXPECT_EQ(s.nnz, a.nnz());
+    EXPECT_DOUBLE_EQ(s.d, a.avg_degree());
+  }
+}
+
+TEST(MStats, ErSquareCompressionFactorNearOne) {
+  // Paper Sec. II-C: cf of ER x ER is close to 1 in expectation.
+  const CsrMatrix a = coo_to_csr(generate_er(1 << 12, 1 << 12, 4.0, 77));
+  const SquareStats s = square_stats(a);
+  EXPECT_LT(s.cf, 1.1);
+}
+
+TEST(MStats, BandedSquareHasHighCompressionFactor) {
+  // Dense band: many (row, col) collisions in A², so cf >> 1 — the regime
+  // where the paper's Fig. 11 expects hash to win.
+  const CsrMatrix a = coo_to_csr(generate_banded(4096, 32.0, 20, 78));
+  const SquareStats s = square_stats(a);
+  EXPECT_GT(s.cf, 4.0);
+}
+
+TEST(MStats, EmptyMatrix) {
+  CooMatrix empty(100, 100);
+  const CsrMatrix a = coo_to_csr(empty);
+  const SquareStats s = square_stats(a);
+  EXPECT_EQ(s.flops, 0);
+  EXPECT_EQ(s.nnz_c, 0);
+  EXPECT_EQ(s.cf, 0.0);
+}
+
+TEST(MStats, DegreeStatsOnIdentity) {
+  const DegreeStats s = degree_stats(CsrMatrix::identity(100));
+  EXPECT_EQ(s.min_degree, 1);
+  EXPECT_EQ(s.max_degree, 1);
+  EXPECT_DOUBLE_EQ(s.mean_degree, 1.0);
+  EXPECT_EQ(s.p99_degree, 1);
+  EXPECT_DOUBLE_EQ(s.flop_imbalance, 1.0);
+}
+
+TEST(MStats, DegreeStatsDetectHub) {
+  // A hub row (0) with 99 entries, a single row (1) pointing at the hub,
+  // everyone else a self-loop.  Note a pure star is *flop-balanced*
+  // (every row's A² flop equals the hub degree); only rows selecting the
+  // hub inherit its weight, so this shape skews the flop distribution.
+  CooMatrix coo(100, 100);
+  for (index_t j = 1; j < 100; ++j) coo.add(0, j, 1.0);
+  coo.add(1, 0, 1.0);
+  for (index_t i = 2; i < 100; ++i) coo.add(i, i, 1.0);
+  coo.canonicalize();
+  const DegreeStats s = degree_stats(coo_to_csr(coo));
+  EXPECT_EQ(s.max_degree, 99);
+  EXPECT_EQ(s.min_degree, 1);
+  // Row 1's flop is 99 while the mean is ~3: imbalance far above 5.
+  EXPECT_GT(s.flop_imbalance, 5.0);
+}
+
+TEST(MStats, RmatIsMoreSkewedThanEr) {
+  // The quantitative backing for the paper's Fig. 12/13 discussion.
+  const CsrMatrix er = coo_to_csr(generate_er(1 << 12, 1 << 12, 8.0, 90));
+  RmatParams p;
+  p.scale = 12;
+  p.edge_factor = 8.0;
+  p.seed = 91;
+  const CsrMatrix rmat = coo_to_csr(generate_rmat(p));
+  const DegreeStats se = degree_stats(er);
+  const DegreeStats sr = degree_stats(rmat);
+  EXPECT_GT(sr.max_degree, 2 * se.max_degree);
+  EXPECT_GT(sr.flop_imbalance, 2 * se.flop_imbalance);
+}
+
+TEST(MStats, DegreeStatsEmptyMatrix) {
+  CooMatrix empty(10, 10);
+  const DegreeStats s = degree_stats(coo_to_csr(empty));
+  EXPECT_EQ(s.max_degree, 0);
+  EXPECT_DOUBLE_EQ(s.mean_degree, 0.0);
+}
+
+TEST(MStats, FlopsMatchBruteForce) {
+  const CsrMatrix a = coo_to_csr(generate_er(128, 96, 3.0, 79));
+  const CsrMatrix b = coo_to_csr(generate_er(96, 160, 5.0, 80));
+  nnz_t brute = 0;
+  for (index_t r = 0; r < a.nrows; ++r) {
+    for (const index_t k : a.row_cols(r)) brute += b.row_nnz(k);
+  }
+  EXPECT_EQ(count_flops(a, b), brute);
+}
+
+}  // namespace
+}  // namespace pbs::mtx

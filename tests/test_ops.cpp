@@ -1,0 +1,161 @@
+#include "matrix/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "matrix/convert.hpp"
+#include "matrix/generate.hpp"
+#include "test_util.hpp"
+
+namespace pbs::mtx {
+namespace {
+
+using testutil::from_triplets;
+
+TEST(Ops, HadamardIntersectsPatterns) {
+  const CsrMatrix a = from_triplets(2, 3, {{0, 0, 2.0}, {0, 2, 3.0}, {1, 1, 4.0}});
+  const CsrMatrix b = from_triplets(2, 3, {{0, 2, 5.0}, {1, 0, 6.0}});
+  const CsrMatrix c = hadamard(a, b);
+  ASSERT_TRUE(c.valid());
+  EXPECT_EQ(c.nnz(), 1);
+  EXPECT_EQ(c.colids[0], 2);
+  EXPECT_EQ(c.vals[0], 15.0);
+}
+
+TEST(Ops, HadamardWithSelfSquaresValues) {
+  const CsrMatrix a = from_triplets(2, 2, {{0, 1, 3.0}, {1, 0, -2.0}});
+  const CsrMatrix c = hadamard(a, a);
+  EXPECT_EQ(c.vals, (std::vector<value_t>{9.0, 4.0}));
+}
+
+TEST(Ops, AddUnionsPatterns) {
+  const CsrMatrix a = from_triplets(2, 2, {{0, 0, 1.0}, {1, 1, 2.0}});
+  const CsrMatrix b = from_triplets(2, 2, {{0, 0, 10.0}, {1, 0, 20.0}});
+  const CsrMatrix c = add(a, b);
+  EXPECT_EQ(c.nnz(), 3);
+  EXPECT_EQ(c.vals, (std::vector<value_t>{11.0, 20.0, 2.0}));
+}
+
+TEST(Ops, AddWithCoefficients) {
+  const CsrMatrix a = from_triplets(1, 2, {{0, 0, 1.0}, {0, 1, 2.0}});
+  const CsrMatrix b = from_triplets(1, 2, {{0, 0, 3.0}});
+  const CsrMatrix c = add(a, b, 2.0, -1.0);
+  EXPECT_EQ(c.vals, (std::vector<value_t>{-1.0, 4.0}));
+}
+
+TEST(Ops, TrilTriuPartition) {
+  const CsrMatrix a = coo_to_csr(generate_er(100, 100, 5.0, 31));
+  const CsrMatrix lower = tril(a);       // col < row
+  const CsrMatrix upper = triu(a);       // col > row
+  const CsrMatrix diag_kept = add(lower, upper);
+  // lower + upper + diagonal == a
+  nnz_t diag_count = 0;
+  for (index_t r = 0; r < a.nrows; ++r) {
+    for (const index_t c : a.row_cols(r)) {
+      if (c == r) {
+        ++diag_count;
+      }
+    }
+  }
+  EXPECT_EQ(lower.nnz() + upper.nnz() + diag_count, a.nnz());
+  for (index_t r = 0; r < lower.nrows; ++r) {
+    for (const index_t c : lower.row_cols(r)) {
+      ASSERT_LT(c, r);
+    }
+    for (const index_t c : upper.row_cols(r)) {
+      ASSERT_GT(c, r);
+    }
+  }
+  EXPECT_TRUE(diag_kept.valid());
+}
+
+TEST(Ops, TrilWithOffset) {
+  const CsrMatrix a = from_triplets(
+      3, 3, {{0, 0, 1.0}, {1, 0, 1.0}, {1, 1, 1.0}, {2, 2, 1.0}});
+  // k=1 keeps col < row+1, i.e. the diagonal too.
+  const CsrMatrix l1 = tril(a, 1);
+  EXPECT_EQ(l1.nnz(), 4);
+}
+
+TEST(Ops, PruneDropsSmallMagnitudes) {
+  const CsrMatrix a =
+      from_triplets(1, 4, {{0, 0, 0.1}, {0, 1, -0.5}, {0, 2, 0.05}, {0, 3, 2.0}});
+  const CsrMatrix p = prune(a, 0.1);
+  EXPECT_EQ(p.nnz(), 3);  // keeps |v| >= 0.1 including the negative
+  EXPECT_EQ(p.colids, (std::vector<index_t>{0, 1, 3}));
+}
+
+TEST(Ops, KeepTopKPerRow) {
+  const CsrMatrix a = from_triplets(
+      2, 5,
+      {{0, 0, 1.0}, {0, 1, 5.0}, {0, 2, 3.0}, {0, 3, 5.0}, {1, 2, 1.0}});
+  const CsrMatrix k2 = keep_top_k_per_row(a, 2);
+  EXPECT_EQ(k2.row_nnz(0), 2);
+  EXPECT_EQ(k2.row_nnz(1), 1);  // short rows kept whole
+  // The two 5.0s win; ties resolved toward smaller column.
+  EXPECT_EQ(k2.row_cols(0)[0], 1);
+  EXPECT_EQ(k2.row_cols(0)[1], 3);
+}
+
+TEST(Ops, ElementPower) {
+  const CsrMatrix a = from_triplets(1, 2, {{0, 0, 2.0}, {0, 1, 3.0}});
+  const CsrMatrix sq = element_power(a, 2.0);
+  EXPECT_EQ(sq.vals, (std::vector<value_t>{4.0, 9.0}));
+}
+
+TEST(Ops, NormalizeColumnsMakesStochastic) {
+  const CsrMatrix a = coo_to_csr(generate_er(50, 50, 4.0, 33));
+  const CsrMatrix n = normalize_columns(a);
+  const std::vector<value_t> sums = col_sums(n);
+  for (index_t c = 0; c < n.ncols; ++c) {
+    if (sums[c] != 0.0) {
+      EXPECT_NEAR(sums[c], 1.0, 1e-12) << "col " << c;
+    }
+  }
+}
+
+TEST(Ops, DropDiagonal) {
+  const CsrMatrix a =
+      from_triplets(2, 2, {{0, 0, 1.0}, {0, 1, 2.0}, {1, 1, 3.0}});
+  const CsrMatrix d = drop_diagonal(a);
+  EXPECT_EQ(d.nnz(), 1);
+  EXPECT_EQ(d.colids[0], 1);
+}
+
+TEST(Ops, SpmvMatchesManual) {
+  // [1 2; 0 3] * [4, 5] = [14, 15]
+  const CsrMatrix a =
+      from_triplets(2, 2, {{0, 0, 1.0}, {0, 1, 2.0}, {1, 1, 3.0}});
+  const std::vector<value_t> x{4.0, 5.0};
+  const std::vector<value_t> y = spmv(a, x);
+  EXPECT_EQ(y, (std::vector<value_t>{14.0, 15.0}));
+}
+
+TEST(Ops, RowColSumsAndValueSum) {
+  const CsrMatrix a =
+      from_triplets(2, 3, {{0, 0, 1.0}, {0, 2, 2.0}, {1, 1, 4.0}});
+  EXPECT_EQ(row_sums(a), (std::vector<value_t>{3.0, 4.0}));
+  EXPECT_EQ(col_sums(a), (std::vector<value_t>{1.0, 4.0, 2.0}));
+  EXPECT_EQ(value_sum(a), 7.0);
+}
+
+TEST(Ops, MaxAbsDiff) {
+  const CsrMatrix a = from_triplets(1, 2, {{0, 0, 1.0}, {0, 1, 5.0}});
+  const CsrMatrix b = from_triplets(1, 2, {{0, 0, 1.5}});
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 5.0);
+}
+
+TEST(Ops, SymmetrizeIsSymmetric) {
+  const CsrMatrix a = coo_to_csr(generate_er(64, 64, 3.0, 35));
+  const CsrMatrix s = symmetrize(a);
+  EXPECT_TRUE(equal_approx(s, transpose(s)));
+}
+
+TEST(Ops, ToPattern) {
+  const CsrMatrix a = from_triplets(1, 2, {{0, 0, -3.0}, {0, 1, 0.5}});
+  const CsrMatrix p = to_pattern(a);
+  EXPECT_EQ(p.vals, (std::vector<value_t>{1.0, 1.0}));
+  EXPECT_EQ(p.colids, a.colids);
+}
+
+}  // namespace
+}  // namespace pbs::mtx

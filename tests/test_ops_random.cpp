@@ -1,0 +1,155 @@
+// Randomized property tests for the element-wise ops: every operation is
+// mirrored against a dense implementation on random matrices, so structural
+// corner cases (empty rows, full rows, cancellation) get covered without
+// enumerating them by hand.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "matrix/convert.hpp"
+#include "matrix/generate.hpp"
+#include "matrix/ops.hpp"
+#include "test_util.hpp"
+
+namespace pbs::mtx {
+namespace {
+
+using Dense = std::vector<std::vector<value_t>>;
+
+Dense to_dense(const CsrMatrix& a) {
+  Dense d(static_cast<std::size_t>(a.nrows),
+          std::vector<value_t>(static_cast<std::size_t>(a.ncols), 0.0));
+  for (index_t r = 0; r < a.nrows; ++r) {
+    for (nnz_t i = a.rowptr[r]; i < a.rowptr[static_cast<std::size_t>(r) + 1]; ++i) {
+      d[r][a.colids[i]] = a.vals[i];
+    }
+  }
+  return d;
+}
+
+// Structural comparison: the CSR must hold exactly the nonzero cells of the
+// dense mirror, except entries the op keeps structurally at value zero —
+// those we skip by comparing through a presence set from the CSR side.
+void expect_matches_dense(const CsrMatrix& sparse, const Dense& dense) {
+  ASSERT_TRUE(sparse.valid());
+  const Dense got = to_dense(sparse);
+  for (std::size_t r = 0; r < dense.size(); ++r) {
+    for (std::size_t c = 0; c < dense[r].size(); ++c) {
+      EXPECT_DOUBLE_EQ(got[r][c], dense[r][c]) << "(" << r << "," << c << ")";
+    }
+  }
+}
+
+class OpsRandom : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    a_ = testutil::exact_er(60, 45, 4.0, GetParam());
+    b_ = testutil::exact_er(60, 45, 5.0, GetParam() + 100);
+  }
+  CsrMatrix a_, b_;
+};
+
+TEST_P(OpsRandom, Hadamard) {
+  const Dense da = to_dense(a_), db = to_dense(b_);
+  Dense expect(da.size(), std::vector<value_t>(da[0].size(), 0.0));
+  for (std::size_t r = 0; r < da.size(); ++r) {
+    for (std::size_t c = 0; c < da[r].size(); ++c) {
+      expect[r][c] = da[r][c] * db[r][c];
+    }
+  }
+  expect_matches_dense(hadamard(a_, b_), expect);
+}
+
+TEST_P(OpsRandom, AddWithCoefficients) {
+  const Dense da = to_dense(a_), db = to_dense(b_);
+  Dense expect(da.size(), std::vector<value_t>(da[0].size(), 0.0));
+  for (std::size_t r = 0; r < da.size(); ++r) {
+    for (std::size_t c = 0; c < da[r].size(); ++c) {
+      expect[r][c] = 2.0 * da[r][c] - 3.0 * db[r][c];
+    }
+  }
+  expect_matches_dense(add(a_, b_, 2.0, -3.0), expect);
+}
+
+TEST_P(OpsRandom, AddIsCommutativeInPatternAndValue) {
+  EXPECT_TRUE(equal_exact(add(a_, b_), add(b_, a_)));
+}
+
+TEST_P(OpsRandom, TrilPlusDiagPlusTriuIsIdentityDecomposition) {
+  const CsrMatrix square = testutil::exact_er(50, 50, 5.0, GetParam() + 7);
+  const CsrMatrix lower = tril(square);
+  const CsrMatrix upper = triu(square);
+  const CsrMatrix diag = hadamard(square, CsrMatrix::identity(50));
+  const CsrMatrix sum = add(add(lower, upper), diag);
+  // Same dense content as the original (structural zeros may differ).
+  expect_matches_dense(sum, to_dense(square));
+}
+
+TEST_P(OpsRandom, PruneThenSumMatchesDenseFilter) {
+  const Dense da = to_dense(a_);
+  Dense expect(da.size(), std::vector<value_t>(da[0].size(), 0.0));
+  for (std::size_t r = 0; r < da.size(); ++r) {
+    for (std::size_t c = 0; c < da[r].size(); ++c) {
+      if (std::abs(da[r][c]) >= 3.0) expect[r][c] = da[r][c];
+    }
+  }
+  expect_matches_dense(prune(a_, 3.0), expect);
+}
+
+TEST_P(OpsRandom, SpmvMatchesDense) {
+  std::vector<value_t> x(static_cast<std::size_t>(a_.ncols));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<value_t>((i % 7) + 1);
+  }
+  const Dense da = to_dense(a_);
+  const std::vector<value_t> y = spmv(a_, x);
+  for (index_t r = 0; r < a_.nrows; ++r) {
+    value_t expect = 0;
+    for (index_t c = 0; c < a_.ncols; ++c) expect += da[r][c] * x[c];
+    EXPECT_DOUBLE_EQ(y[r], expect) << "row " << r;
+  }
+}
+
+TEST_P(OpsRandom, TransposeInvolution) {
+  EXPECT_TRUE(equal_exact(transpose(transpose(a_)), a_));
+}
+
+TEST_P(OpsRandom, TransposeSwapsRowColSums) {
+  const std::vector<value_t> rs = row_sums(a_);
+  const std::vector<value_t> cs_t = col_sums(transpose(a_));
+  ASSERT_EQ(rs.size(), cs_t.size());
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(rs[i], cs_t[i]);
+  }
+}
+
+TEST_P(OpsRandom, KeepTopKNeverGrowsRows) {
+  for (const index_t k : {1, 2, 5}) {
+    const CsrMatrix kept = keep_top_k_per_row(a_, k);
+    for (index_t r = 0; r < a_.nrows; ++r) {
+      EXPECT_LE(kept.row_nnz(r), std::min<nnz_t>(k, a_.row_nnz(r)));
+      EXPECT_LE(kept.row_nnz(r), k);
+    }
+    // Kept values dominate dropped ones: the smallest kept magnitude is >=
+    // the largest dropped magnitude per row.
+    const CsrMatrix dropped = add(a_, kept, 1.0, -1.0);
+    for (index_t r = 0; r < a_.nrows; ++r) {
+      value_t min_kept = 1e300;
+      for (const value_t v : kept.row_vals(r)) {
+        min_kept = std::min(min_kept, std::abs(v));
+      }
+      for (nnz_t i = dropped.rowptr[r];
+           i < dropped.rowptr[static_cast<std::size_t>(r) + 1]; ++i) {
+        if (dropped.vals[i] != 0.0) {
+          EXPECT_LE(std::abs(dropped.vals[i]), min_kept) << "row " << r;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OpsRandom, ::testing::Range<std::uint64_t>(1, 6));
+
+}  // namespace
+}  // namespace pbs::mtx

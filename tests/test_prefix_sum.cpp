@@ -1,0 +1,85 @@
+#include "common/prefix_sum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+#include <vector>
+
+namespace pbs {
+namespace {
+
+std::vector<nnz_t> random_counts(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<nnz_t> dist(0, 1000);
+  std::vector<nnz_t> v(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) v[i] = dist(rng);
+  return v;
+}
+
+TEST(ExclusiveScan, EmptyArray) {
+  std::vector<nnz_t> a{0};
+  EXPECT_EQ(exclusive_scan_inplace(a.data(), 0), 0);
+  EXPECT_EQ(a[0], 0);
+}
+
+TEST(ExclusiveScan, SingleElement) {
+  std::vector<nnz_t> a{7, 0};
+  EXPECT_EQ(exclusive_scan_inplace(a.data(), 1), 7);
+  EXPECT_EQ(a[0], 0);
+  EXPECT_EQ(a[1], 7);
+}
+
+TEST(ExclusiveScan, KnownSequence) {
+  std::vector<nnz_t> a{1, 2, 3, 4, 0};
+  EXPECT_EQ(exclusive_scan_inplace(a.data(), 4), 10);
+  EXPECT_EQ(a, (std::vector<nnz_t>{0, 1, 3, 6, 10}));
+}
+
+TEST(ExclusiveScan, AllZeros) {
+  std::vector<nnz_t> a(17, 0);
+  EXPECT_EQ(exclusive_scan_inplace(a.data(), 16), 0);
+  for (const nnz_t v : a) EXPECT_EQ(v, 0);
+}
+
+class ScanSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ScanSizes, ParallelMatchesSerial) {
+  const std::size_t n = GetParam();
+  std::vector<nnz_t> serial = random_counts(n, 42);
+  std::vector<nnz_t> parallel = serial;
+  const nnz_t ts = exclusive_scan_inplace(serial.data(), n);
+  const nnz_t tp = exclusive_scan_inplace_parallel(parallel.data(), n);
+  EXPECT_EQ(ts, tp);
+  EXPECT_EQ(serial, parallel);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ScanSizes,
+                         ::testing::Values(0, 1, 2, 5, 100, 1023, 1024,
+                                           (1u << 16) - 1, 1u << 16,
+                                           (1u << 16) + 1, 1u << 18));
+
+TEST(CountsToRowptr, BuildsCsrPointers) {
+  // counts: row0=2, row1=0, row2=3
+  std::vector<nnz_t> rp{0, 2, 0, 3};
+  EXPECT_EQ(counts_to_rowptr(rp.data(), 3), 5);
+  EXPECT_EQ(rp, (std::vector<nnz_t>{0, 2, 2, 5}));
+}
+
+TEST(CountsToRowptr, ZeroRows) {
+  std::vector<nnz_t> rp{0};
+  EXPECT_EQ(counts_to_rowptr(rp.data(), 0), 0);
+}
+
+TEST(CountsToRowptr, MatchesAccumulate) {
+  std::vector<nnz_t> counts = random_counts(1000, 7);
+  std::vector<nnz_t> rp(1001, 0);
+  for (std::size_t i = 0; i < 1000; ++i) rp[i + 1] = counts[i];
+  const nnz_t total = counts_to_rowptr(rp.data(), 1000);
+  EXPECT_EQ(total,
+            std::accumulate(counts.begin(), counts.begin() + 1000, nnz_t{0}));
+  for (std::size_t i = 0; i < 1000; ++i) EXPECT_EQ(rp[i + 1] - rp[i], counts[i]);
+}
+
+}  // namespace
+}  // namespace pbs

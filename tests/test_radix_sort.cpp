@@ -1,0 +1,220 @@
+#include "common/radix_sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace pbs {
+namespace {
+
+struct Rec {
+  std::uint64_t key;
+  double payload;
+};
+
+std::vector<Rec> random_records(std::size_t n, std::uint64_t key_mask,
+                                unsigned seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<Rec> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i].key = rng() & key_mask;
+    v[i].payload = static_cast<double>(rng() % 1000);
+  }
+  return v;
+}
+
+void expect_sorted_with_same_multiset(std::vector<Rec> input) {
+  std::vector<Rec> sorted = input;
+  radix_sort(sorted.data(), sorted.size(),
+             [](const Rec& r) { return r.key; });
+
+  ASSERT_EQ(sorted.size(), input.size());
+  for (std::size_t i = 1; i < sorted.size(); ++i)
+    EXPECT_LE(sorted[i - 1].key, sorted[i].key) << "at " << i;
+
+  // The multiset of (key, payload) pairs must be preserved exactly.
+  auto canon = [](std::vector<Rec>& v) {
+    std::sort(v.begin(), v.end(), [](const Rec& a, const Rec& b) {
+      return a.key != b.key ? a.key < b.key : a.payload < b.payload;
+    });
+  };
+  std::vector<Rec> a = sorted, b = input;
+  canon(a);
+  canon(b);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].key, b[i].key) << "at " << i;
+    ASSERT_EQ(a[i].payload, b[i].payload) << "at " << i;
+  }
+}
+
+TEST(RadixSort, EmptyAndSingle) {
+  expect_sorted_with_same_multiset({});
+  expect_sorted_with_same_multiset({{42, 1.0}});
+}
+
+TEST(RadixSort, TwoElements) {
+  expect_sorted_with_same_multiset({{2, 1.0}, {1, 2.0}});
+  expect_sorted_with_same_multiset({{1, 1.0}, {2, 2.0}});
+}
+
+TEST(RadixSort, AllKeysEqual) {
+  std::vector<Rec> v(1000, Rec{7, 0.0});
+  for (std::size_t i = 0; i < v.size(); ++i) v[i].payload = static_cast<double>(i);
+  expect_sorted_with_same_multiset(v);
+}
+
+TEST(RadixSort, AlreadySorted) {
+  std::vector<Rec> v(500);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = {i, static_cast<double>(i)};
+  expect_sorted_with_same_multiset(v);
+}
+
+TEST(RadixSort, ReverseSorted) {
+  std::vector<Rec> v(500);
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = {500 - i, static_cast<double>(i)};
+  expect_sorted_with_same_multiset(v);
+}
+
+TEST(RadixSort, SingleVaryingByteIsOnePass) {
+  // Keys share all bytes except byte 2 — exercises the byte-skip path.
+  std::vector<Rec> v = random_records(4096, 0x0000000000FF0000ull, 3);
+  for (auto& r : v) r.key |= 0xAB00000000000000ull;
+  expect_sorted_with_same_multiset(v);
+}
+
+TEST(RadixSort, HighBytesVaryOnly) {
+  std::vector<Rec> v = random_records(4096, 0xFF00000000000000ull, 4);
+  expect_sorted_with_same_multiset(v);
+}
+
+TEST(RadixSort, DuplicateHeavy) {
+  // Only 16 distinct keys over 10^4 records: compress-style input.
+  std::vector<Rec> v = random_records(10000, 0xFull, 5);
+  expect_sorted_with_same_multiset(v);
+}
+
+TEST(RadixSort, InsertionCutoffBoundary) {
+  // Around the 48-record insertion-sort fallback threshold.
+  for (std::size_t n : {46u, 47u, 48u, 49u, 50u}) {
+    expect_sorted_with_same_multiset(random_records(n, ~0ull, 6 + n));
+  }
+}
+
+struct SortParams {
+  std::size_t n;
+  std::uint64_t mask;
+};
+
+class RadixSortSweep : public ::testing::TestWithParam<SortParams> {};
+
+TEST_P(RadixSortSweep, MatchesStdSort) {
+  const auto& p = GetParam();
+  std::vector<Rec> v = random_records(p.n, p.mask, 11);
+  std::vector<std::uint64_t> expected(p.n);
+  for (std::size_t i = 0; i < p.n; ++i) expected[i] = v[i].key;
+  std::sort(expected.begin(), expected.end());
+
+  radix_sort(v.data(), v.size(), [](const Rec& r) { return r.key; });
+  for (std::size_t i = 0; i < p.n; ++i) EXPECT_EQ(v[i].key, expected[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RadixSortSweep,
+    ::testing::Values(SortParams{10, ~0ull}, SortParams{1000, ~0ull},
+                      SortParams{100000, ~0ull},
+                      SortParams{100000, 0xFFFFFull},       // 20-bit keys
+                      SortParams{100000, 0xFFFFFFFFull},    // 32-bit keys
+                      SortParams{50000, 0xFFFF00000000ull}, // mid bytes only
+                      SortParams{65536, 0xFFull}));         // 256 buckets
+
+void expect_lsd_matches_std(std::vector<Rec> input) {
+  std::vector<Rec> scratch(input.size());
+  std::vector<std::uint64_t> expected(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) expected[i] = input[i].key;
+  std::sort(expected.begin(), expected.end());
+  radix_sort_lsd(input.data(), input.size(), scratch.data(),
+                 [](const Rec& r) { return r.key; });
+  for (std::size_t i = 0; i < input.size(); ++i)
+    ASSERT_EQ(input[i].key, expected[i]) << "at " << i;
+}
+
+TEST(RadixSortLsd, EmptySingleAndPair) {
+  expect_lsd_matches_std({});
+  expect_lsd_matches_std({{5, 0}});
+  expect_lsd_matches_std({{5, 0}, {2, 1}});
+}
+
+TEST(RadixSortLsd, AllEqualKeys) {
+  expect_lsd_matches_std(std::vector<Rec>(257, Rec{9, 0}));
+}
+
+TEST(RadixSortLsd, OddAndEvenPassCounts) {
+  // 1 varying byte (odd passes -> copy-back path) and 2 (even, in place).
+  expect_lsd_matches_std(random_records(5000, 0xFFull, 21));
+  expect_lsd_matches_std(random_records(5000, 0xFFFFull, 22));
+  expect_lsd_matches_std(random_records(5000, 0xFFFFFFull, 23));
+}
+
+TEST(RadixSortLsd, NonContiguousVaryingBytes) {
+  // Bytes 0 and 4 vary, bytes in between constant: skip logic must hold.
+  expect_lsd_matches_std(random_records(5000, 0x000000FF000000FFull, 24));
+}
+
+TEST(RadixSortLsd, FullWidthKeys) {
+  expect_lsd_matches_std(random_records(100000, ~0ull, 25));
+}
+
+TEST(RadixSortLsd, IsStable) {
+  // Equal keys keep insertion order (LSD property).
+  std::vector<Rec> v;
+  for (int i = 0; i < 1000; ++i)
+    v.push_back({static_cast<std::uint64_t>(i % 7), static_cast<double>(i)});
+  std::vector<Rec> scratch(v.size());
+  radix_sort_lsd(v.data(), v.size(), scratch.data(),
+                 [](const Rec& r) { return r.key; });
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i - 1].key == v[i].key) {
+      ASSERT_LT(v[i - 1].payload, v[i].payload) << "stability broken at " << i;
+    }
+  }
+}
+
+TEST(RadixSortLsd, AgreesWithInPlaceVariant) {
+  for (const std::uint64_t mask : {0xFFFFFull, ~0ull}) {
+    std::vector<Rec> a = random_records(20000, mask, 26);
+    std::vector<Rec> b = a;
+    std::vector<Rec> scratch(a.size());
+    radix_sort(a.data(), a.size(), [](const Rec& r) { return r.key; });
+    radix_sort_lsd(b.data(), b.size(), scratch.data(),
+                   [](const Rec& r) { return r.key; });
+    for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i].key, b[i].key);
+  }
+}
+
+TEST(RadixSort, PackedRowColKeysSortLexicographically) {
+  // The PB tuple ordering property: sorting by (row << 32 | col) must equal
+  // sorting by (row, col) lexicographically.
+  std::mt19937_64 rng(17);
+  std::vector<Rec> v(20000);
+  for (auto& r : v) {
+    const std::uint32_t row = static_cast<std::uint32_t>(rng() % 1024);
+    const std::uint32_t col = static_cast<std::uint32_t>(rng() % (1u << 20));
+    r.key = (static_cast<std::uint64_t>(row) << 32) | col;
+    r.payload = 0;
+  }
+  radix_sort(v.data(), v.size(), [](const Rec& r) { return r.key; });
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    const auto row_prev = v[i - 1].key >> 32, row_cur = v[i].key >> 32;
+    ASSERT_LE(row_prev, row_cur);
+    if (row_prev == row_cur) {
+      ASSERT_LE(v[i - 1].key & 0xFFFFFFFFu, v[i].key & 0xFFFFFFFFu);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pbs

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "spgemm/spgemm.hpp"
+#include "test_util.hpp"
+
+namespace pbs {
+namespace {
+
+using testutil::from_triplets;
+
+// Dense brute-force product for cross-checking the reference itself.
+mtx::CsrMatrix dense_multiply(const mtx::CsrMatrix& a, const mtx::CsrMatrix& b) {
+  std::vector<std::vector<value_t>> dense(
+      static_cast<std::size_t>(a.nrows),
+      std::vector<value_t>(static_cast<std::size_t>(b.ncols), 0.0));
+  for (index_t r = 0; r < a.nrows; ++r) {
+    for (nnz_t i = a.rowptr[r]; i < a.rowptr[static_cast<std::size_t>(r) + 1]; ++i) {
+      const index_t k = a.colids[i];
+      for (nnz_t j = b.rowptr[k]; j < b.rowptr[static_cast<std::size_t>(k) + 1]; ++j)
+        dense[r][b.colids[j]] += a.vals[i] * b.vals[j];
+    }
+  }
+  mtx::CooMatrix coo(a.nrows, b.ncols);
+  for (index_t r = 0; r < a.nrows; ++r) {
+    for (index_t c = 0; c < b.ncols; ++c) {
+      if (dense[r][c] != 0.0) coo.add(r, c, dense[r][c]);
+    }
+  }
+  coo.canonicalize();
+  return mtx::coo_to_csr(coo);
+}
+
+TEST(Reference, IdentityTimesIdentity) {
+  const auto i = mtx::CsrMatrix::identity(8);
+  const auto c = reference_spgemm(SpGemmProblem::square(i));
+  EXPECT_TRUE(equal_exact(c, i));
+}
+
+TEST(Reference, IdentityIsNeutral) {
+  const mtx::CsrMatrix a = testutil::exact_er(64, 64, 4.0, 1);
+  const auto i = mtx::CsrMatrix::identity(64);
+  EXPECT_TRUE(equal_exact(reference_spgemm(SpGemmProblem::multiply(a, i)), a));
+  EXPECT_TRUE(equal_exact(reference_spgemm(SpGemmProblem::multiply(i, a)), a));
+}
+
+TEST(Reference, KnownTwoByTwo) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+  const auto a = from_triplets(2, 2, {{0, 0, 1.}, {0, 1, 2.}, {1, 0, 3.}, {1, 1, 4.}});
+  const auto b = from_triplets(2, 2, {{0, 0, 5.}, {0, 1, 6.}, {1, 0, 7.}, {1, 1, 8.}});
+  const auto expected =
+      from_triplets(2, 2, {{0, 0, 19.}, {0, 1, 22.}, {1, 0, 43.}, {1, 1, 50.}});
+  EXPECT_TRUE(equal_exact(reference_spgemm(SpGemmProblem::multiply(a, b)), expected));
+}
+
+TEST(Reference, RectangularShapes) {
+  const mtx::CsrMatrix a = testutil::exact_er(40, 60, 3.0, 2);
+  const mtx::CsrMatrix b = testutil::exact_er(60, 25, 3.0, 3);
+  const auto c = reference_spgemm(SpGemmProblem::multiply(a, b));
+  EXPECT_EQ(c.nrows, 40);
+  EXPECT_EQ(c.ncols, 25);
+  EXPECT_TRUE(c.valid());
+  EXPECT_TRUE(equal_exact(c, dense_multiply(a, b)));
+}
+
+TEST(Reference, MatchesDenseBruteForce) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const mtx::CsrMatrix a = testutil::exact_er(48, 48, 4.0, seed);
+    const mtx::CsrMatrix b = testutil::exact_er(48, 48, 4.0, seed + 50);
+    EXPECT_TRUE(equal_exact(reference_spgemm(SpGemmProblem::multiply(a, b)),
+                            dense_multiply(a, b)))
+        << "seed " << seed;
+  }
+}
+
+TEST(Reference, EmptyOperands) {
+  mtx::CooMatrix empty(10, 10);
+  const auto e = mtx::coo_to_csr(empty);
+  const auto c = reference_spgemm(SpGemmProblem::square(e));
+  EXPECT_EQ(c.nnz(), 0);
+  EXPECT_TRUE(c.valid());
+}
+
+TEST(Reference, CancellationKeepsExplicitZero) {
+  // (1)(1) + (1)(-1) = 0: the entry is numerically zero but structurally
+  // present — SpGEMM conventions keep it (all our algorithms must agree).
+  const auto a = from_triplets(1, 2, {{0, 0, 1.0}, {0, 1, 1.0}});
+  const auto b = from_triplets(2, 1, {{0, 0, 1.0}, {1, 0, -1.0}});
+  const auto c = reference_spgemm(SpGemmProblem::multiply(a, b));
+  EXPECT_EQ(c.nnz(), 1);
+  EXPECT_EQ(c.vals[0], 0.0);
+}
+
+}  // namespace
+}  // namespace pbs

@@ -1,0 +1,41 @@
+#include "common/run_stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pbs {
+namespace {
+
+TEST(RunStats, Empty) {
+  const RunStats s = RunStats::of({});
+  EXPECT_EQ(s.n, 0);
+  EXPECT_EQ(s.min, 0);
+  EXPECT_EQ(s.mean, 0);
+}
+
+TEST(RunStats, SingleSample) {
+  const RunStats s = RunStats::of({3.5});
+  EXPECT_EQ(s.n, 1);
+  EXPECT_DOUBLE_EQ(s.min, 3.5);
+  EXPECT_DOUBLE_EQ(s.max, 3.5);
+  EXPECT_DOUBLE_EQ(s.median, 3.5);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(RunStats, KnownValues) {
+  const RunStats s = RunStats::of({4.0, 2.0, 1.0, 3.0});
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  // Sample stddev of {1,2,3,4} = sqrt(5/3).
+  EXPECT_NEAR(s.stddev, 1.2909944, 1e-6);
+}
+
+TEST(RunStats, OddCountMedian) {
+  const RunStats s = RunStats::of({5.0, 1.0, 3.0});
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+}
+
+}  // namespace
+}  // namespace pbs

@@ -1,0 +1,66 @@
+// Thread-count invariance: results must be identical (bitwise, on exact
+// integer values) no matter how many OpenMP threads run the algorithms.
+#include <gtest/gtest.h>
+
+#include "common/parallel.hpp"
+#include "pb/pb_spgemm.hpp"
+#include "spgemm/registry.hpp"
+#include "test_util.hpp"
+
+namespace pbs {
+namespace {
+
+class ThreadSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ThreadSweep, ResultIndependentOfThreadCount) {
+  const mtx::CsrMatrix a = testutil::exact_rmat(9, 6.0, 51);
+  const SpGemmProblem p = SpGemmProblem::square(a);
+  const SpGemmFn fn = algorithm(GetParam()).fn;
+
+  mtx::CsrMatrix serial;
+  {
+    ThreadCountGuard guard(1);
+    serial = fn(p);
+  }
+  for (const int threads : {2, 3, max_threads() + 2}) {
+    ThreadCountGuard guard(threads);
+    const mtx::CsrMatrix parallel = fn(p);
+    EXPECT_TRUE(equal_exact(serial, parallel))
+        << GetParam() << " diverges at " << threads << " threads";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, ThreadSweep,
+                         ::testing::Values("pb", "heap", "hash", "hashvec",
+                                           "spa", "esc"));
+
+TEST(ThreadSweep, PbTelemetryConsistentAcrossThreadCounts) {
+  const mtx::CsrMatrix a = testutil::exact_er(600, 600, 6.0, 52);
+  const SpGemmProblem p = SpGemmProblem::square(a);
+  pb::PbResult r1, r4;
+  {
+    ThreadCountGuard guard(1);
+    r1 = pb::pb_spgemm(p.a_csc, p.b_csr);
+  }
+  {
+    ThreadCountGuard guard(4);
+    r4 = pb::pb_spgemm(p.a_csc, p.b_csr);
+  }
+  // Work metrics are structural, not timing-dependent.
+  EXPECT_EQ(r1.stats.flop, r4.stats.flop);
+  EXPECT_EQ(r1.stats.nnz_c, r4.stats.nnz_c);
+  EXPECT_EQ(r1.stats.nbins, r4.stats.nbins);
+  EXPECT_TRUE(equal_exact(r1.c, r4.c));
+}
+
+TEST(ThreadSweep, OversubscriptionIsSafe) {
+  // More threads than rows/bins: degenerate schedules must still be correct.
+  const mtx::CsrMatrix a = testutil::exact_er(40, 40, 3.0, 53);
+  const SpGemmProblem p = SpGemmProblem::square(a);
+  ThreadCountGuard guard(16);
+  const mtx::CsrMatrix c = algorithm("pb").fn(p);
+  EXPECT_TRUE(equal_exact(c, reference_spgemm(p)));
+}
+
+}  // namespace
+}  // namespace pbs

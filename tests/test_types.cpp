@@ -1,0 +1,53 @@
+#include "common/types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pbs {
+namespace {
+
+TEST(NextPow2, HandlesSmallValues) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(4), 4u);
+  EXPECT_EQ(next_pow2(5), 8u);
+}
+
+TEST(NextPow2, ExactPowersAreFixedPoints) {
+  for (int s = 0; s < 62; ++s) {
+    const std::uint64_t p = std::uint64_t{1} << s;
+    EXPECT_EQ(next_pow2(p), p) << "s=" << s;
+  }
+}
+
+TEST(NextPow2, RoundsUpJustAbovePowers) {
+  for (int s = 1; s < 62; ++s) {
+    const std::uint64_t p = std::uint64_t{1} << s;
+    EXPECT_EQ(next_pow2(p + 1), p << 1) << "s=" << s;
+  }
+}
+
+TEST(CeilLog2, HandlesSmallValues) {
+  EXPECT_EQ(ceil_log2(0), 0);
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+  EXPECT_EQ(ceil_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1025), 11);
+}
+
+TEST(CeilLog2, InverseOfNextPow2) {
+  for (std::uint64_t n : {2ull, 3ull, 100ull, 4096ull, 1000000ull}) {
+    EXPECT_EQ(std::uint64_t{1} << ceil_log2(n), next_pow2(n)) << "n=" << n;
+  }
+}
+
+TEST(TupleModel, PaperAssumesSixteenBytesPerNonzero) {
+  EXPECT_EQ(kBytesPerTuple, 16u);
+}
+
+}  // namespace
+}  // namespace pbs

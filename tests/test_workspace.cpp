@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "common/aligned_buffer.hpp"
+#include "pb/pb_spgemm.hpp"
+#include "spgemm/spgemm.hpp"
+#include "test_util.hpp"
+
+namespace pbs::pb {
+namespace {
+
+TEST(Workspace, GrowsGeometricallyAndReuses) {
+  PbWorkspace ws;
+  EXPECT_EQ(ws.capacity(), 0u);
+  Tuple* p1 = ws.acquire(100);
+  ASSERT_NE(p1, nullptr);
+  EXPECT_GE(ws.capacity(), 100u);
+  const std::size_t cap1 = ws.capacity();
+  // Smaller request: same buffer, no growth.
+  Tuple* p2 = ws.acquire(50);
+  EXPECT_EQ(p1, p2);
+  EXPECT_EQ(ws.capacity(), cap1);
+  // Larger request: grows at least geometrically.
+  ws.acquire(cap1 + 1);
+  EXPECT_GE(ws.capacity(), cap1 + cap1 / 2);
+}
+
+TEST(Workspace, SharedAcrossDifferentProblems) {
+  PbWorkspace ws;
+  const mtx::CsrMatrix big = testutil::exact_er(400, 400, 6.0, 91);
+  const mtx::CsrMatrix small = testutil::exact_er(100, 100, 3.0, 92);
+  const SpGemmProblem pb_big = SpGemmProblem::square(big);
+  const SpGemmProblem pb_small = SpGemmProblem::square(small);
+
+  const PbResult r1 = pb_spgemm(pb_big.a_csc, pb_big.b_csr, PbConfig{}, ws);
+  const std::size_t cap_after_big = ws.capacity();
+  const PbResult r2 = pb_spgemm(pb_small.a_csc, pb_small.b_csr, PbConfig{}, ws);
+  const PbResult r3 = pb_spgemm(pb_big.a_csc, pb_big.b_csr, PbConfig{}, ws);
+
+  EXPECT_EQ(ws.capacity(), cap_after_big);  // big buffer retained
+  EXPECT_TRUE(equal_exact(r1.c, r3.c));     // reuse does not corrupt results
+  EXPECT_TRUE(equal_exact(r2.c, reference_spgemm(pb_small)));
+}
+
+TEST(Workspace, RepeatedCallsAreDeterministic) {
+  PbWorkspace ws;
+  const mtx::CsrMatrix a = testutil::exact_rmat(8, 6.0, 93);
+  const SpGemmProblem p = SpGemmProblem::square(a);
+  const PbResult first = pb_spgemm(p.a_csc, p.b_csr, PbConfig{}, ws);
+  for (int i = 0; i < 3; ++i) {
+    const PbResult again = pb_spgemm(p.a_csc, p.b_csr, PbConfig{}, ws);
+    EXPECT_TRUE(equal_exact(first.c, again.c)) << "iteration " << i;
+  }
+}
+
+TEST(AlignedBuffer, CacheLineAlignment) {
+  AlignedBuffer<double> b(100);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) % kCacheLineBytes, 0u);
+  EXPECT_EQ(b.size(), 100u);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer<int> a(10);
+  a[0] = 42;
+  int* const ptr = a.data();
+  AlignedBuffer<int> b(std::move(a));
+  EXPECT_EQ(b.data(), ptr);
+  EXPECT_EQ(b[0], 42);
+  EXPECT_EQ(a.data(), nullptr);
+  EXPECT_TRUE(a.empty());
+
+  AlignedBuffer<int> c;
+  c = std::move(b);
+  EXPECT_EQ(c.data(), ptr);
+  EXPECT_EQ(b.data(), nullptr);
+}
+
+TEST(AlignedBuffer, EmptyAndReallocate) {
+  AlignedBuffer<int> b;
+  EXPECT_TRUE(b.empty());
+  b.allocate(5);
+  EXPECT_EQ(b.size(), 5u);
+  b.allocate(0);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.data(), nullptr);
+}
+
+TEST(AlignedBuffer, RangeForIteration) {
+  AlignedBuffer<int> b(4);
+  for (std::size_t i = 0; i < 4; ++i) b[i] = static_cast<int>(i);
+  int sum = 0;
+  for (const int v : b) sum += v;
+  EXPECT_EQ(sum, 6);
+}
+
+}  // namespace
+}  // namespace pbs::pb

@@ -1,0 +1,211 @@
+// pbs_cli — command-line front end for the library.
+//
+//   pbs_cli gen      --kind er|rmat|banded --scale N [--ef F] [--n N]
+//                    [--halfwidth W] [--seed S] --out FILE.mtx
+//   pbs_cli stats    --a FILE.mtx
+//   pbs_cli multiply --a FILE.mtx [--b FILE.mtx] [--algo pb] [--reps R]
+//                    [--out FILE.mtx] [--semiring plus_times]
+//   pbs_cli stream   [--mb N]
+//   pbs_cli roofline [--beta GBS] [--cf CF]
+//
+// Matrices are Matrix Market files; `multiply` with no --b squares A (the
+// paper's evaluation mode) and prints per-phase PB telemetry when the
+// algorithm is "pb".
+#include <pbs/pbs.hpp>
+
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace {
+
+using namespace pbs;
+
+class Cli {
+ public:
+  Cli(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0 && i + 1 < argc) {
+        kv_[arg.substr(2)] = argv[++i];
+      }
+    }
+  }
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const {
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? std::nullopt : std::optional(it->second);
+  }
+
+  [[nodiscard]] std::string require(const std::string& key) const {
+    const auto v = get(key);
+    if (!v) throw std::invalid_argument("missing required option --" + key);
+    return *v;
+  }
+
+  [[nodiscard]] double number(const std::string& key, double fallback) const {
+    const auto v = get(key);
+    return v ? std::stod(*v) : fallback;
+  }
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+int cmd_gen(const Cli& cli) {
+  const std::string kind = cli.require("kind");
+  const auto seed = static_cast<std::uint64_t>(cli.number("seed", 1));
+  mtx::CooMatrix coo;
+  if (kind == "er") {
+    const int scale = static_cast<int>(cli.number("scale", 14));
+    coo = mtx::generate_er(mtx::RandomScale{scale, cli.number("ef", 8.0)}, seed);
+  } else if (kind == "rmat") {
+    mtx::RmatParams p;
+    p.scale = static_cast<int>(cli.number("scale", 14));
+    p.edge_factor = cli.number("ef", 8.0);
+    p.seed = seed;
+    coo = mtx::generate_rmat(p);
+  } else if (kind == "banded") {
+    coo = mtx::generate_banded(static_cast<index_t>(cli.number("n", 1 << 14)),
+                               cli.number("ef", 8.0),
+                               static_cast<index_t>(cli.number("halfwidth", 16)),
+                               seed);
+  } else {
+    throw std::invalid_argument("unknown --kind '" + kind +
+                                "' (er, rmat, banded)");
+  }
+  const std::string out = cli.require("out");
+  mtx::write_matrix_market(out, coo);
+  std::cout << "wrote " << out << ": " << coo.nrows << " x " << coo.ncols
+            << ", nnz " << coo.nnz() << "\n";
+  return 0;
+}
+
+int cmd_stats(const Cli& cli) {
+  const mtx::CsrMatrix a =
+      mtx::coo_to_csr(mtx::read_matrix_market(cli.require("a")));
+  const mtx::SquareStats s = mtx::square_stats(a);
+  std::cout << "n " << s.n << "\nnnz " << s.nnz << "\nd " << s.d << "\nflop(A^2) "
+            << s.flops << "\nnnz(A^2) " << s.nnz_c << "\ncf " << s.cf << "\n";
+  return 0;
+}
+
+int cmd_multiply(const Cli& cli) {
+  const mtx::CsrMatrix a =
+      mtx::coo_to_csr(mtx::read_matrix_market(cli.require("a")));
+  const mtx::CsrMatrix b =
+      cli.get("b") ? mtx::coo_to_csr(mtx::read_matrix_market(*cli.get("b"))) : a;
+  const std::string algo = cli.get("algo").value_or("pb");
+  const int reps = static_cast<int>(cli.number("reps", 1));
+
+  if (const auto semiring = cli.get("semiring");
+      semiring && *semiring != "plus_times") {
+    Timer t;
+    const mtx::CsrMatrix c = spgemm_semiring_named(*semiring, a, b);
+    std::cout << *semiring << ": nnz(C) = " << c.nnz() << " in "
+              << t.elapsed_ms() << " ms\n";
+    if (cli.get("out")) mtx::write_matrix_market(*cli.get("out"), mtx::csr_to_coo(c));
+    return 0;
+  }
+
+  const SpGemmProblem problem = SpGemmProblem::multiply(a, b);
+  const nnz_t flop = mtx::count_flops(a, b);
+
+  if (algo == "pb") {
+    pb::PbWorkspace ws;
+    pb::PbResult best;
+    for (int i = 0; i < reps; ++i) {
+      pb::PbResult r = pb::pb_spgemm(problem.a_csc, problem.b_csr, pb::PbConfig{}, ws);
+      if (i == 0 || r.stats.total_seconds() < best.stats.total_seconds())
+        best = std::move(r);
+    }
+    const pb::PbTelemetry& tm = best.stats;
+    std::cout << "pb: nnz(C) = " << best.c.nnz() << ", flop = " << tm.flop
+              << ", cf = " << tm.cf() << ", " << tm.mflops() << " MFLOPS\n";
+    std::cout << "  symbolic " << tm.symbolic.seconds * 1e3 << " ms, expand "
+              << tm.expand.seconds * 1e3 << " ms (" << tm.expand.gbs()
+              << " GB/s), sort " << tm.sort.seconds * 1e3 << " ms ("
+              << tm.sort.gbs() << " GB/s), compress "
+              << tm.compress.seconds * 1e3 << " ms, convert "
+              << tm.convert.seconds * 1e3 << " ms\n";
+    if (cli.get("out"))
+      mtx::write_matrix_market(*cli.get("out"), mtx::csr_to_coo(best.c));
+    return 0;
+  }
+
+  const AlgoInfo& info = algorithm(algo);
+  double best_s = 0;
+  mtx::CsrMatrix c;
+  for (int i = 0; i < reps; ++i) {
+    Timer t;
+    c = info.fn(problem);
+    const double s = t.elapsed_s();
+    if (i == 0 || s < best_s) best_s = s;
+  }
+  std::cout << algo << ": nnz(C) = " << c.nnz() << ", flop = " << flop << ", "
+            << static_cast<double>(flop) / best_s / 1e6 << " MFLOPS\n";
+  if (cli.get("out")) mtx::write_matrix_market(*cli.get("out"), mtx::csr_to_coo(c));
+  return 0;
+}
+
+int cmd_stream(const Cli& cli) {
+  const auto elements = static_cast<std::size_t>(cli.number("mb", 256)) *
+                        1024 * 1024 / (3 * sizeof(double));
+  const StreamResult r = run_stream(elements);
+  std::cout << "copy " << r.copy_gbs << " GB/s, scale " << r.scale_gbs
+            << ", add " << r.add_gbs << ", triad " << r.triad_gbs << "\n";
+  return 0;
+}
+
+int cmd_roofline(const Cli& cli) {
+  const double beta = cli.number("beta", 0.0) > 0
+                          ? cli.number("beta", 0.0)
+                          : run_stream(1 << 23, 3).best_gbs();
+  const double cf = cli.number("cf", 1.0);
+  const model::SpGemmBounds b = model::bounds(beta, cf);
+  std::cout << "beta = " << beta << " GB/s, cf = " << cf << "\n"
+            << "upper bound  : " << b.perf_upper * 1e3 << " MFLOPS (AI "
+            << b.ai_upper << ")\n"
+            << "column bound : " << b.perf_column * 1e3 << " MFLOPS (AI "
+            << b.ai_column << ")\n"
+            << "outer bound  : " << b.perf_outer * 1e3 << " MFLOPS (AI "
+            << b.ai_outer << ")\n";
+  return 0;
+}
+
+void usage() {
+  std::cout <<
+      "pbs_cli <command> [options]\n"
+      "  gen      --kind er|rmat|banded --out FILE.mtx [--scale N --ef F --seed S]\n"
+      "  stats    --a FILE.mtx\n"
+      "  multiply --a FILE.mtx [--b FILE.mtx] [--algo NAME] [--semiring NAME]\n"
+      "           [--reps R] [--out FILE.mtx]\n"
+      "  stream   [--mb N]\n"
+      "  roofline [--beta GBS] [--cf CF]\n"
+      "algorithms: pb heap hash hashvec spa esc outer_heap reference\n"
+      "semirings:  plus_times min_plus max_min bool_or_and\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const Cli cli(argc, argv);
+  try {
+    if (cmd == "gen") return cmd_gen(cli);
+    if (cmd == "stats") return cmd_stats(cli);
+    if (cmd == "multiply") return cmd_multiply(cli);
+    if (cmd == "stream") return cmd_stream(cli);
+    if (cmd == "roofline") return cmd_roofline(cli);
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "pbs_cli: " << e.what() << "\n";
+    return 1;
+  }
+}
