@@ -3,10 +3,12 @@
 // Over the tropical semiring (min, +), D_{2k} = D_k ⊗ D_k doubles the
 // maximum path length captured by the distance matrix, so ceil(log2(n))
 // squarings compute the full APSP closure — every squaring is a SpGEMM.
-// This exercises the semiring-generalized kernel (spgemm_semiring) the
-// library provides beyond the paper's numeric (+, ×) algorithms.
+// Each squaring runs the bandwidth-optimized PB pipeline over (min, +)
+// through the unified (algorithm × semiring) registry; pass a different
+// algorithm name to compare (e.g. spa runs the dense-accumulator
+// fallback).
 //
-//   ./apsp_minplus [n] [avg_degree]
+//   ./apsp_minplus [n] [avg_degree] [algo]
 #include <pbs/pbs.hpp>
 
 #include <cmath>
@@ -16,9 +18,11 @@
 int main(int argc, char** argv) {
   const pbs::index_t n = argc > 1 ? std::atoi(argv[1]) : 1024;
   const double degree = argc > 2 ? std::atof(argv[2]) : 4.0;
+  const std::string algo = argc > 3 ? argv[3] : "pb";
+  const pbs::SpGemmFn square = pbs::semiring_algorithm(algo, "min_plus");
 
-  std::cout << "APSP via min-plus squaring: n = " << n << ", degree = "
-            << degree << "\n";
+  std::cout << "APSP via min-plus squaring (" << algo << "): n = " << n
+            << ", degree = " << degree << "\n";
 
   // Random weighted digraph with unit-ish weights and 0-weight self-loops
   // (the identity of the tropical semiring's matrix monoid).
@@ -35,8 +39,7 @@ int main(int argc, char** argv) {
   double total_ms = 0;
   for (int round = 0; round < rounds; ++round) {
     pbs::Timer t;
-    pbs::mtx::CsrMatrix next =
-        pbs::spgemm_semiring<pbs::MinPlus>(dist, dist);
+    pbs::mtx::CsrMatrix next = square(pbs::SpGemmProblem::square(dist));
     const double ms = t.elapsed_ms();
     total_ms += ms;
     const pbs::value_t delta = pbs::mtx::max_abs_diff(next, dist);

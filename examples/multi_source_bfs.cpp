@@ -3,11 +3,13 @@
 //
 // The frontier of `s` simultaneous BFS traversals is an n x s indicator
 // matrix F; one step of all searches at once is the sparse product
-// F' = Aᵀ·F followed by masking out visited vertices.  SpGEMM turns the
-// classic pointer-chasing BFS into bulk, bandwidth-friendly work — exactly
-// the trade PB-SpGEMM is designed for.
+// F' = Aᵀ·F over the boolean (∨, ∧) semiring, followed by masking out
+// visited vertices.  SpGEMM turns the classic pointer-chasing BFS into
+// bulk, bandwidth-friendly work — exactly the trade PB-SpGEMM is designed
+// for — and the (algorithm × semiring) registry runs the propagation-
+// blocking pipeline itself over bool_or_and, not a fallback kernel.
 //
-//   ./multi_source_bfs [scale] [edge_factor] [num_sources]
+//   ./multi_source_bfs [scale] [edge_factor] [num_sources] [algo]
 #include <pbs/pbs.hpp>
 
 #include <cstdlib>
@@ -18,6 +20,11 @@ int main(int argc, char** argv) {
   const int scale = argc > 1 ? std::atoi(argv[1]) : 14;
   const double edge_factor = argc > 2 ? std::atof(argv[2]) : 8.0;
   const pbs::index_t nsources = argc > 3 ? std::atoi(argv[3]) : 64;
+  const std::string algo = argc > 4 ? argv[4] : "pb";
+
+  // Frontier expansion over the boolean semiring through the unified
+  // registry: unsupported (algo, semiring) pairs fail loudly here.
+  const pbs::SpGemmFn step = pbs::semiring_algorithm(algo, "bool_or_and");
 
   pbs::mtx::RmatParams params;
   params.scale = scale;
@@ -52,7 +59,7 @@ int main(int argc, char** argv) {
   while (frontier.nnz() > 0) {
     pbs::Timer timer;
     const pbs::SpGemmProblem p = pbs::SpGemmProblem::multiply(at, frontier);
-    const pbs::mtx::CsrMatrix next = pbs::pb::pb_spgemm(p.a_csc, p.b_csr).c;
+    const pbs::mtx::CsrMatrix next = step(p);
     spgemm_seconds += timer.elapsed_s();
 
     // Mask: keep only vertices not yet visited by that search.

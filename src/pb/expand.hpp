@@ -7,19 +7,50 @@
 // memcpy when it fills, so global-memory writes always use full cache
 // lines.  Global bins are contiguous regions of one flop-sized allocation;
 // a flush claims its destination with a relaxed atomic fetch-add.
+//
+// The phase is templated on the semiring: the only algebraic operation it
+// performs is the scalar multiply A(r,i) ⊗ B(i,c), which becomes S::mul.
+// Routing, blocking and the store policy are semiring-independent, so every
+// instantiation streams memory identically.  Kernels are defined in
+// expand_impl.hpp and explicitly instantiated in expand.cpp for the four
+// built-in semirings; the non-template overload is the numeric (+, ×)
+// entry point and keeps the pre-semiring ABI.
 #pragma once
 
 #include "matrix/csc.hpp"
 #include "matrix/csr.hpp"
 #include "pb/symbolic.hpp"
 #include "pb/tuple.hpp"
+#include "spgemm/semiring_ops.hpp"
 
 namespace pbs::pb {
 
-/// Fills `out[0 .. sym.flop)` with the expanded tuples, bin by bin
-/// according to sym.bin_offsets.  `out` must have room for sym.flop tuples.
-/// Returns the number of local-bin flushes (telemetry for the Fig. 6a
-/// bin-width study).
+/// Fills `out[0 .. sym.flop)` with the expanded tuples of A ⊗ B over
+/// semiring S, bin by bin according to sym.bin_offsets.  `out` must have
+/// room for sym.flop tuples.  Returns the number of local-bin flushes
+/// (telemetry for the Fig. 6a bin-width study).
+template <typename S>
+nnz_t pb_expand(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
+                const SymbolicResult& sym, const PbConfig& cfg, Tuple* out);
+
+extern template nnz_t pb_expand<PlusTimes>(const mtx::CscMatrix&,
+                                           const mtx::CsrMatrix&,
+                                           const SymbolicResult&,
+                                           const PbConfig&, Tuple*);
+extern template nnz_t pb_expand<MinPlus>(const mtx::CscMatrix&,
+                                         const mtx::CsrMatrix&,
+                                         const SymbolicResult&,
+                                         const PbConfig&, Tuple*);
+extern template nnz_t pb_expand<MaxMin>(const mtx::CscMatrix&,
+                                        const mtx::CsrMatrix&,
+                                        const SymbolicResult&,
+                                        const PbConfig&, Tuple*);
+extern template nnz_t pb_expand<BoolOrAnd>(const mtx::CscMatrix&,
+                                           const mtx::CsrMatrix&,
+                                           const SymbolicResult&,
+                                           const PbConfig&, Tuple*);
+
+/// Numeric (+, ×) expand — equivalent to pb_expand<PlusTimes>.
 nnz_t pb_expand(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
                 const SymbolicResult& sym, const PbConfig& cfg, Tuple* out);
 

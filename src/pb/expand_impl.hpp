@@ -1,0 +1,150 @@
+// Template definitions for the expand phase (see expand.hpp for the
+// algorithm description).  Included by expand.cpp, which explicitly
+// instantiates pb_expand<S> for the built-in semirings — include this
+// header directly only to instantiate a custom semiring.
+#pragma once
+
+#include "pb/expand.hpp"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+#include <atomic>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/aligned_buffer.hpp"
+
+namespace pbs::pb {
+
+namespace detail {
+
+// Flush copy: when the destination is cache-line aligned and the block is
+// whole lines, use non-temporal stores — full-line writes with no
+// read-for-ownership traffic, which is what lets the expand phase approach
+// STREAM bandwidth (paper Sec. III-C).  Symbolic pads bin regions so full
+// flushes stay aligned; partial drain flushes fall back to memcpy.
+inline void flush_copy(Tuple* dst, const Tuple* src, int count,
+                       [[maybe_unused]] bool streaming) {
+#if defined(__SSE2__)
+  if (streaming && (reinterpret_cast<std::uintptr_t>(dst) & 63u) == 0 &&
+      count % 4 == 0) {
+    const auto* s = reinterpret_cast<const __m128i*>(src);
+    auto* d = reinterpret_cast<__m128i*>(dst);
+    for (int i = 0; i < count; ++i) _mm_stream_si128(d + i, _mm_load_si128(s + i));
+    return;
+  }
+#endif
+  std::memcpy(dst, src, static_cast<std::size_t>(count) * sizeof(Tuple));
+}
+
+inline void flush_fence() {
+#if defined(__SSE2__)
+  _mm_sfence();  // make non-temporal stores visible before the sort phase
+#endif
+}
+
+// The expand kernel is templated on the binning policy so the binid
+// computation in the inner loop is a shift/mask, not a switch.
+template <BinPolicy P>
+int fast_binid(const BinLayout& layout, index_t row) {
+  if constexpr (P == BinPolicy::kRange) {
+    return static_cast<int>(row >> layout.shift);
+  } else if constexpr (P == BinPolicy::kModulo) {
+    return static_cast<int>(static_cast<std::uint32_t>(row) & layout.mask);
+  } else {
+    return layout.binid(row);
+  }
+}
+
+template <BinPolicy P, typename S>
+nnz_t expand_impl(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
+                  const SymbolicResult& sym, const PbConfig& cfg, Tuple* out) {
+  const BinLayout& layout = sym.layout;
+  const auto nbins = static_cast<std::size_t>(layout.nbins);
+  const int cap = std::max<int>(1, cfg.local_bin_bytes / static_cast<int>(sizeof(Tuple)));
+
+  // One write cursor per global bin, starting at the bin's region origin.
+  std::vector<std::atomic<nnz_t>> cursor(nbins);
+  for (std::size_t bin = 0; bin < nbins; ++bin)
+    cursor[bin].store(sym.bin_offsets[bin], std::memory_order_relaxed);
+
+  nnz_t flushes = 0;
+
+#pragma omp parallel reduction(+ : flushes)
+  {
+    // Thread-private local bins: nbins buffers of `cap` tuples in one
+    // contiguous allocation (paper: 1K bins x 512B fits comfortably in L2).
+    AlignedBuffer<Tuple> lbin(nbins * static_cast<std::size_t>(cap));
+    std::vector<int> lcnt(nbins, 0);
+
+    auto flush = [&](std::size_t bin) {
+      const int count = lcnt[bin];
+      const nnz_t pos =
+          cursor[bin].fetch_add(count, std::memory_order_relaxed);
+      flush_copy(out + pos, lbin.data() + bin * static_cast<std::size_t>(cap),
+                 count, cfg.streaming_stores);
+      lcnt[bin] = 0;
+      ++flushes;
+    };
+
+#pragma omp for schedule(guided) nowait
+    for (index_t i = 0; i < a.ncols; ++i) {
+      const auto arows = a.col_rows(i);
+      const auto avals = a.col_vals(i);
+      const auto bcols = b.row_cols(i);
+      const auto bvals = b.row_vals(i);
+      if (bcols.empty()) continue;
+
+      for (std::size_t ai = 0; ai < arows.size(); ++ai) {
+        const index_t r = arows[ai];
+        const value_t av = avals[ai];
+        const auto bin = static_cast<std::size_t>(fast_binid<P>(layout, r));
+        Tuple* lane = lbin.data() + bin * static_cast<std::size_t>(cap);
+        for (std::size_t bi = 0; bi < bcols.size(); ++bi) {
+          if (lcnt[bin] == cap) flush(bin);
+          lane[lcnt[bin]++] =
+              Tuple{make_key(r, bcols[bi]), S::mul(av, bvals[bi])};
+        }
+      }
+    }
+
+    // Drain the partially-filled local bins (Algorithm 2, lines 15-18).
+    for (std::size_t bin = 0; bin < nbins; ++bin) {
+      if (lcnt[bin] != 0) flush(bin);
+    }
+    flush_fence();
+  }
+
+  if (cfg.validate) {
+    for (std::size_t bin = 0; bin < nbins; ++bin) {
+      if (cursor[bin].load(std::memory_order_relaxed) !=
+          sym.bin_offsets[bin] + sym.bin_fill[bin]) {
+        throw std::logic_error("pb_expand: bin " + std::to_string(bin) +
+                               " cursor does not meet its fill mark");
+      }
+    }
+  }
+  return flushes;
+}
+
+}  // namespace detail
+
+template <typename S>
+nnz_t pb_expand(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
+                const SymbolicResult& sym, const PbConfig& cfg, Tuple* out) {
+  switch (sym.layout.policy) {
+    case BinPolicy::kRange:
+      return detail::expand_impl<BinPolicy::kRange, S>(a, b, sym, cfg, out);
+    case BinPolicy::kModulo:
+      return detail::expand_impl<BinPolicy::kModulo, S>(a, b, sym, cfg, out);
+    case BinPolicy::kAdaptive:
+      return detail::expand_impl<BinPolicy::kAdaptive, S>(a, b, sym, cfg, out);
+  }
+  return 0;
+}
+
+}  // namespace pbs::pb

@@ -4,6 +4,10 @@
 // (row, col), and no row spans two bins.  Conversion is therefore
 // race-free per bin: count rows, prefix-sum into rowptr, then stream each
 // bin's tuples into its rows' final positions.
+//
+// This phase copies values without interpreting them, so unlike expand and
+// sort/compress it needs no semiring template: one conversion serves every
+// pb_spgemm<S> instantiation.
 #pragma once
 
 #include <span>

@@ -1,26 +1,42 @@
-// PB-SpGEMM — the paper's contribution (Algorithm 2).
+// PB-SpGEMM — the paper's contribution (Algorithm 2), generalized over an
+// arbitrary semiring.
 //
-// C = A·B via outer-product expansion with propagation blocking:
+// C = A ⊗ B via outer-product expansion with propagation blocking:
 //
 //   symbolic  — flop count + bin layout + per-bin regions       (Alg. 3)
-//   expand    — k outer products, tuples routed through local
-//               bins into L2-sized global bins                  (Fig. 5)
-//   sort      — per-bin in-place byte-skipping radix sort       (Sec. III-D)
-//   compress  — per-bin two-pointer duplicate merge             (Sec. III-E)
-//   convert   — bins → canonical CSR                            (line 22)
+//   expand    — k outer products (S::mul), tuples routed through
+//               local bins into L2-sized global bins             (Fig. 5)
+//   sort      — per-bin in-place byte-skipping radix sort        (Sec. III-D)
+//   compress  — per-bin two-pointer duplicate merge (S::add)     (Sec. III-E)
+//   convert   — bins → canonical CSR                             (line 22)
+//
+// The pipeline is semiring-agnostic: only the scalar multiply in expand
+// and the duplicate-combine in compress touch values, so pb_spgemm<S>
+// runs the identical bandwidth-optimized machinery for (+, ×) numeric
+// SpGEMM, (min, +) shortest-path relaxation, (max, min) bottleneck paths
+// and (∨, ∧) boolean reachability.  Entries that combine to S::zero()
+// stay structurally present (exact-cancellation convention, matching
+// spgemm_semiring).  The four built-in semirings are explicitly
+// instantiated in the .cpp files, so instantiation cost is paid once and
+// the pre-semiring non-template entry points keep their ABI; pb_spgemm<S>
+// with a custom S additionally needs the *_impl.hpp headers.
 //
 // Every phase streams memory; the returned telemetry pairs each phase's
 // wall time with the Table III byte model so callers can report sustained
-// bandwidth the way the paper's Figs. 6/7b/9b do.
+// bandwidth the way the paper's Figs. 6/7b/9b do.  Runtime
+// (algorithm × semiring) dispatch across the whole library lives in
+// spgemm/registry.hpp.
 #pragma once
 
 #include <algorithm>
+#include <string>
 
 #include "common/aligned_buffer.hpp"
 #include "matrix/csc.hpp"
 #include "matrix/csr.hpp"
 #include "pb/pb_config.hpp"
 #include "pb/tuple.hpp"
+#include "spgemm/semiring_ops.hpp"
 
 namespace pbs::pb {
 
@@ -32,7 +48,8 @@ namespace pbs::pb {
 /// (MCL, AMG setup, BFS) the allocation cost would otherwise recur every
 /// iteration, and on kernels with slow page-fault paths (containers, some
 /// hypervisors) first-touch faults can run an order of magnitude below
-/// stream bandwidth and completely mask the algorithm.
+/// stream bandwidth and completely mask the algorithm.  The scratch holds
+/// raw tuples, so one workspace serves every semiring instantiation.
 class PbWorkspace {
  public:
   /// Buffer for at least n tuples; contents undefined.  Grows
@@ -50,14 +67,57 @@ class PbWorkspace {
   AlignedBuffer<Tuple> buf_;
 };
 
-/// Multiplies A (CSC) by B (CSR).  Requires a.ncols == b.nrows; throws
-/// std::invalid_argument otherwise.  This convenience overload allocates a
-/// fresh workspace per call.
+/// Multiplies A (CSC) by B (CSR) over semiring S.  Requires
+/// a.ncols == b.nrows; throws std::invalid_argument otherwise.  This
+/// convenience overload allocates a fresh workspace per call.
+template <typename S>
 PbResult pb_spgemm(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
                    const PbConfig& cfg = {});
 
 /// Workspace-reusing variant for repeated multiplications.
+template <typename S>
 PbResult pb_spgemm(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
                    const PbConfig& cfg, PbWorkspace& workspace);
+
+extern template PbResult pb_spgemm<PlusTimes>(const mtx::CscMatrix&,
+                                              const mtx::CsrMatrix&,
+                                              const PbConfig&);
+extern template PbResult pb_spgemm<MinPlus>(const mtx::CscMatrix&,
+                                            const mtx::CsrMatrix&,
+                                            const PbConfig&);
+extern template PbResult pb_spgemm<MaxMin>(const mtx::CscMatrix&,
+                                           const mtx::CsrMatrix&,
+                                           const PbConfig&);
+extern template PbResult pb_spgemm<BoolOrAnd>(const mtx::CscMatrix&,
+                                              const mtx::CsrMatrix&,
+                                              const PbConfig&);
+extern template PbResult pb_spgemm<PlusTimes>(const mtx::CscMatrix&,
+                                              const mtx::CsrMatrix&,
+                                              const PbConfig&, PbWorkspace&);
+extern template PbResult pb_spgemm<MinPlus>(const mtx::CscMatrix&,
+                                            const mtx::CsrMatrix&,
+                                            const PbConfig&, PbWorkspace&);
+extern template PbResult pb_spgemm<MaxMin>(const mtx::CscMatrix&,
+                                           const mtx::CsrMatrix&,
+                                           const PbConfig&, PbWorkspace&);
+extern template PbResult pb_spgemm<BoolOrAnd>(const mtx::CscMatrix&,
+                                              const mtx::CsrMatrix&,
+                                              const PbConfig&, PbWorkspace&);
+
+/// Numeric (+, ×) PB-SpGEMM — equivalent to pb_spgemm<PlusTimes>.  This
+/// convenience overload allocates a fresh workspace per call.
+PbResult pb_spgemm(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
+                   const PbConfig& cfg = {});
+
+/// Workspace-reusing numeric variant for repeated multiplications.
+PbResult pb_spgemm(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
+                   const PbConfig& cfg, PbWorkspace& workspace);
+
+/// Runtime dispatch by semiring name ("plus_times", "min_plus", "max_min",
+/// "bool_or_and"); throws std::invalid_argument listing the valid names on
+/// a miss.  Keeps the full per-phase telemetry of the template form.
+PbResult pb_spgemm_named(const std::string& semiring, const mtx::CscMatrix& a,
+                         const mtx::CsrMatrix& b, const PbConfig& cfg,
+                         PbWorkspace& workspace);
 
 }  // namespace pbs::pb

@@ -1,70 +1,20 @@
-#include "pb/sort_compress.hpp"
-
-#include <omp.h>
-
-#include <algorithm>
-
-#include "common/aligned_buffer.hpp"
-#include "common/parallel.hpp"
-#include "common/radix_sort.hpp"
-#include "common/timer.hpp"
+#include "pb/sort_compress_impl.hpp"
 
 namespace pbs::pb {
+
+template SortCompressResult pb_sort_compress<PlusTimes>(
+    Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int);
+template SortCompressResult pb_sort_compress<MinPlus>(
+    Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int);
+template SortCompressResult pb_sort_compress<MaxMin>(
+    Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int);
+template SortCompressResult pb_sort_compress<BoolOrAnd>(
+    Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int);
 
 SortCompressResult pb_sort_compress(Tuple* tuples,
                                     std::span<const nnz_t> offsets,
                                     std::span<const nnz_t> fill, int nbins) {
-  SortCompressResult out;
-  out.merged.assign(static_cast<std::size_t>(nbins), 0);
-
-  const int nthreads = max_threads();
-  std::vector<double> sort_busy(static_cast<std::size_t>(nthreads), 0.0);
-  std::vector<double> compress_busy(static_cast<std::size_t>(nthreads), 0.0);
-
-  // Per-thread scratch for the LSD sort, sized to the largest bin this
-  // thread will touch.  Bins are capped at half of L2, so bin + scratch
-  // stay cache-resident (see common/radix_sort.hpp).
-  nnz_t max_bin = 0;
-  for (int bin = 0; bin < nbins; ++bin) {
-    max_bin = std::max(max_bin, fill[static_cast<std::size_t>(bin)]);
-  }
-
-#pragma omp parallel num_threads(nthreads)
-  {
-    const auto tid = static_cast<std::size_t>(omp_get_thread_num());
-    AlignedBuffer<Tuple> scratch(static_cast<std::size_t>(max_bin));
-    Timer timer;
-#pragma omp for schedule(dynamic, 1)
-    for (int bin = 0; bin < nbins; ++bin) {
-      Tuple* t = tuples + offsets[static_cast<std::size_t>(bin)];
-      const auto len = static_cast<std::size_t>(fill[static_cast<std::size_t>(bin)]);
-      if (len == 0) continue;
-
-      timer.reset();
-      radix_sort_lsd(t, len, scratch.data(),
-                     [](const Tuple& tp) { return tp.key; });
-      sort_busy[tid] += timer.elapsed_s();
-
-      // Two-pointer in-place merge (paper Sec. III-E): p1 scans, p2 marks
-      // the last surviving tuple.
-      timer.reset();
-      std::size_t p2 = 0;
-      for (std::size_t p1 = 1; p1 < len; ++p1) {
-        if (t[p1].key == t[p2].key) {
-          t[p2].val += t[p1].val;
-        } else {
-          t[++p2] = t[p1];
-        }
-      }
-      out.merged[static_cast<std::size_t>(bin)] = static_cast<nnz_t>(p2 + 1);
-      compress_busy[tid] += timer.elapsed_s();
-    }
-  }
-
-  out.sort_seconds = *std::max_element(sort_busy.begin(), sort_busy.end());
-  out.compress_seconds =
-      *std::max_element(compress_busy.begin(), compress_busy.end());
-  return out;
+  return pb_sort_compress<PlusTimes>(tuples, offsets, fill, nbins);
 }
 
 }  // namespace pbs::pb

@@ -6,6 +6,14 @@
 // are *fused per bin*: a bin sized for L2 is radix-sorted and immediately
 // two-pointer-merged while still cache-hot, which is what lets the paper
 // charge the compress phase only its output writes (Table III).
+//
+// The phase is templated on the semiring: the duplicate merge combines
+// equal-key tuples with S::add.  Tuples whose values combine to S::zero()
+// are kept — structural presence under exact cancellation matches
+// spgemm_semiring and the numeric convention, so the output pattern is
+// semiring-independent.  Definitions live in sort_compress_impl.hpp with
+// explicit instantiations in sort_compress.cpp; the non-template overload
+// is the numeric (+, ×) entry point and keeps the pre-semiring ABI.
 #pragma once
 
 #include <span>
@@ -13,6 +21,7 @@
 
 #include "pb/pb_config.hpp"
 #include "pb/tuple.hpp"
+#include "spgemm/semiring_ops.hpp"
 
 namespace pbs::pb {
 
@@ -27,7 +36,23 @@ struct SortCompressResult {
 };
 
 /// Sorts each bin [offsets[b], offsets[b] + fill[b]) by key, then
-/// compresses duplicates in place (survivors packed at the bin's front).
+/// compresses duplicates in place with S::add (survivors packed at the
+/// bin's front).
+template <typename S>
+SortCompressResult pb_sort_compress(Tuple* tuples,
+                                    std::span<const nnz_t> offsets,
+                                    std::span<const nnz_t> fill, int nbins);
+
+extern template SortCompressResult pb_sort_compress<PlusTimes>(
+    Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int);
+extern template SortCompressResult pb_sort_compress<MinPlus>(
+    Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int);
+extern template SortCompressResult pb_sort_compress<MaxMin>(
+    Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int);
+extern template SortCompressResult pb_sort_compress<BoolOrAnd>(
+    Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int);
+
+/// Numeric (+, ×) sort+compress — equivalent to pb_sort_compress<PlusTimes>.
 SortCompressResult pb_sort_compress(Tuple* tuples,
                                     std::span<const nnz_t> offsets,
                                     std::span<const nnz_t> fill, int nbins);

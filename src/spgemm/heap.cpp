@@ -3,14 +3,20 @@
 //
 // For each output row r, the rows B(k,:) selected by A(r,:) form nnz(A(r,:))
 // sorted runs; a binary min-heap on the current column id of each run merges
-// them in one pass, emitting columns in ascending order and summing
+// them in one pass, emitting columns in ascending order and combining
 // duplicates as they surface consecutively.  Complexity O(flop · log d).
+//
+// The kernel is semiring-templated (heap_spgemm_semiring<S>): merging is
+// pure structure, so generalizing costs exactly the two scalar ops — the
+// run's scale multiply becomes S::mul and the duplicate accumulation
+// S::add.  heap_spgemm is the numeric (+, ×) instantiation.
 #include <omp.h>
 
 #include <vector>
 
 #include "common/parallel.hpp"
 #include "spgemm/assemble.hpp"
+#include "spgemm/semiring.hpp"
 #include "spgemm/spgemm.hpp"
 
 namespace pbs {
@@ -83,7 +89,8 @@ class RunHeap {
 
 }  // namespace
 
-mtx::CsrMatrix heap_spgemm(const SpGemmProblem& p) {
+template <typename S>
+mtx::CsrMatrix heap_spgemm_semiring(const SpGemmProblem& p) {
   const mtx::CsrMatrix& a = p.a_csr;
   const mtx::CsrMatrix& b = p.b_csr;
 
@@ -113,12 +120,18 @@ mtx::CsrMatrix heap_spgemm(const SpGemmProblem& p) {
 
         while (!s.heap.empty()) {
           const index_t col = s.heap.top_col();
-          value_t acc = 0;
-          // Drain every run currently sitting on `col`.
+          // Drain every run currently sitting on `col`, combining the
+          // first contribution directly so S::zero() never enters the
+          // accumulation (it is an identity, but this keeps the numeric
+          // instantiation bit-identical to the pre-semiring kernel).
+          bool first = true;
+          value_t acc = S::zero();
           while (!s.heap.empty() && s.heap.top_col() == col) {
             const int ri = s.heap.top_run();
             Run& run = s.runs[static_cast<std::size_t>(ri)];
-            acc += run.scale * b.vals[run.cur];
+            const value_t product = S::mul(run.scale, b.vals[run.cur]);
+            acc = first ? product : S::add(acc, product);
+            first = false;
             ++run.cur;
             if (run.cur < run.end) {
               s.heap.replace_top(b.colids[run.cur]);
@@ -130,6 +143,15 @@ mtx::CsrMatrix heap_spgemm(const SpGemmProblem& p) {
           buf.vals.push_back(acc);
         }
       });
+}
+
+template mtx::CsrMatrix heap_spgemm_semiring<PlusTimes>(const SpGemmProblem&);
+template mtx::CsrMatrix heap_spgemm_semiring<MinPlus>(const SpGemmProblem&);
+template mtx::CsrMatrix heap_spgemm_semiring<MaxMin>(const SpGemmProblem&);
+template mtx::CsrMatrix heap_spgemm_semiring<BoolOrAnd>(const SpGemmProblem&);
+
+mtx::CsrMatrix heap_spgemm(const SpGemmProblem& p) {
+  return heap_spgemm_semiring<PlusTimes>(p);
 }
 
 }  // namespace pbs

@@ -3,29 +3,65 @@
 #include <stdexcept>
 
 #include "pb/pb_spgemm.hpp"
+#include "spgemm/semiring.hpp"
 
 namespace pbs {
+
+namespace {
+
+const std::vector<std::string>& all_semirings() { return semiring_names(); }
+
+/// One flop-sized Cˆ scratch per thread, shared by every pb_run<S>
+/// instantiation (the workspace holds raw tuples, so semirings can share
+/// it — and must live outside the template, or each instantiation would
+/// retain its own copy).  Reuse across calls means repeated invocations —
+/// benchmarks, iterative applications — pay its page faults once, not per
+/// call.
+pb::PbWorkspace& pb_shared_workspace() {
+  thread_local pb::PbWorkspace workspace;
+  return workspace;
+}
+
+/// PB over semiring S through the shared per-thread workspace.
+template <typename S>
+mtx::CsrMatrix pb_run(const SpGemmProblem& p) {
+  return pb::pb_spgemm<S>(p.a_csc, p.b_csr, pb::PbConfig{},
+                          pb_shared_workspace())
+      .c;
+}
+
+template <typename S>
+mtx::CsrMatrix heap_run(const SpGemmProblem& p) {
+  return heap_spgemm_semiring<S>(p);
+}
+
+template <typename S>
+mtx::CsrMatrix spa_run(const SpGemmProblem& p) {
+  return spgemm_semiring<S>(p.a_csr, p.b_csr);
+}
+
+}  // namespace
+
+bool AlgoInfo::supports_semiring(const std::string& semiring) const {
+  for (const std::string& s : semirings) {
+    if (s == semiring) return true;
+  }
+  return false;
+}
 
 const std::vector<AlgoInfo>& algorithms() {
   static const std::vector<AlgoInfo> algos = {
       {"pb",
        "PB-SpGEMM: outer-product ESC with propagation blocking (this paper)",
-       [](const SpGemmProblem& p) {
-         // The flop-sized Cˆ scratch is reused across calls on each thread
-         // (see PbWorkspace) so that repeated invocations — benchmarks,
-         // iterative applications — pay its page faults once, not per call.
-         thread_local pb::PbWorkspace workspace;
-         return pb::pb_spgemm(p.a_csc, p.b_csr, pb::PbConfig{}, workspace).c;
-       },
-       true},
+       pb_run<PlusTimes>, true, all_semirings()},
       {"heap", "column/row Gustavson with k-way heap merge [22]",
-       heap_spgemm, true},
+       heap_spgemm, true, all_semirings()},
       {"hash", "column/row Gustavson with hash accumulation [12]",
        hash_spgemm, true},
       {"hashvec", "hash variant with vectorized bucket-group probing [12]",
        hashvec_spgemm, true},
       {"spa", "column/row Gustavson with dense accumulator [25]",
-       spa_spgemm, true},
+       spa_spgemm, true, all_semirings()},
       {"esc", "row-partitioned expand-sort-compress [15]",
        esc_column_spgemm, true},
       {"outer_heap",
@@ -45,6 +81,50 @@ const AlgoInfo& algorithm(const std::string& name) {
   for (const AlgoInfo& a : algorithms()) valid += a.name + " ";
   throw std::invalid_argument("unknown SpGEMM algorithm '" + name +
                               "'; valid: " + valid);
+}
+
+std::string algorithm_semiring_matrix() {
+  std::string out;
+  for (const AlgoInfo& a : algorithms()) {
+    out += "  " + a.name + ":";
+    for (const std::string& s : a.semirings) out += " " + s;
+    out += "\n";
+  }
+  return out;
+}
+
+SpGemmFn semiring_algorithm(const std::string& algo,
+                            const std::string& semiring) {
+  const AlgoInfo& info = algorithm(algo);  // throws on unknown algorithm
+
+  if (!is_semiring_name(semiring)) {
+    std::string valid;
+    for (const std::string& s : semiring_names()) valid += s + " ";
+    throw std::invalid_argument(
+        "unknown semiring '" + semiring + "'; valid: " + valid +
+        "\nsupported (algorithm, semiring) combinations:\n" +
+        algorithm_semiring_matrix());
+  }
+  if (!info.supports_semiring(semiring)) {
+    throw std::invalid_argument(
+        "algorithm '" + algo + "' does not support semiring '" + semiring +
+        "' (it is numeric plus_times-only)\n"
+        "supported (algorithm, semiring) combinations:\n" +
+        algorithm_semiring_matrix());
+  }
+
+  if (semiring == PlusTimes::name) return info.fn;
+
+  // The generalized kernels.  Only pb, heap and spa register semirings
+  // beyond plus_times, so this switch is exhaustive.
+  return dispatch_semiring(semiring, [&]<typename S>() -> SpGemmFn {
+    if (algo == "pb") return pb_run<S>;
+    if (algo == "heap") return heap_run<S>;
+    if (algo == "spa") return spa_run<S>;
+    throw std::logic_error("registry: algorithm '" + algo +
+                           "' advertises semiring '" + semiring +
+                           "' but has no generalized kernel");
+  });
 }
 
 std::vector<AlgoInfo> paper_comparison_set() {

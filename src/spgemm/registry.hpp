@@ -1,9 +1,17 @@
-// Name -> algorithm registry shared by benches, tests and examples.
+// Name -> algorithm registry shared by benches, tests, examples and the
+// CLI, with unified (algorithm × semiring) dispatch.
+//
+// Every algorithm is registered with the set of semirings it supports.
+// The bandwidth-optimized PB pipeline and the cheaply generalized
+// Gustavson baselines (heap, spa) support all built-in semirings; the
+// remaining baselines are numeric (+, ×) only and say so in their lookup
+// error rather than silently falling back.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "spgemm/semiring_ops.hpp"
 #include "spgemm/spgemm.hpp"
 
 namespace pbs {
@@ -11,10 +19,16 @@ namespace pbs {
 struct AlgoInfo {
   std::string name;
   std::string description;
+  /// The numeric (+, ×) kernel — what the paper's figures measure.
   SpGemmFn fn;
   /// False for algorithms that are quadratic-ish and only suitable for
   /// validation-scale inputs (reference, outer_heap).
   bool scales_to_large = true;
+  /// Names of the semirings this algorithm supports (always contains
+  /// "plus_times"; see semiring_algorithm for the generalized kernels).
+  std::vector<std::string> semirings = {PlusTimes::name};
+
+  [[nodiscard]] bool supports_semiring(const std::string& semiring) const;
 };
 
 /// All registered algorithms.  "pb" is the paper's contribution; "heap",
@@ -25,6 +39,19 @@ const std::vector<AlgoInfo>& algorithms();
 /// Lookup by name; throws std::invalid_argument with the list of valid
 /// names on a miss.
 const AlgoInfo& algorithm(const std::string& name);
+
+/// Unified (algorithm × semiring) lookup: returns the kernel computing
+/// A ⊗ B with `algo` over `semiring`.  Throws std::invalid_argument
+/// listing every valid (algorithm, semiring) combination when the
+/// algorithm is unknown, the semiring is unknown, or the pair is
+/// unsupported — callers never silently fall back to a different
+/// algorithm or semiring.
+SpGemmFn semiring_algorithm(const std::string& algo,
+                            const std::string& semiring);
+
+/// Human-readable support matrix, one "algo: semiring..." line per
+/// algorithm (used by CLI --help and lookup errors).
+std::string algorithm_semiring_matrix();
 
 /// The four algorithms the paper's figures compare.
 std::vector<AlgoInfo> paper_comparison_set();

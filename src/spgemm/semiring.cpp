@@ -72,13 +72,22 @@ template mtx::CsrMatrix spgemm_semiring<BoolOrAnd>(const mtx::CsrMatrix&,
 mtx::CsrMatrix spgemm_semiring_named(const std::string& semiring,
                                      const mtx::CsrMatrix& a,
                                      const mtx::CsrMatrix& b) {
-  if (semiring == PlusTimes::name) return spgemm_semiring<PlusTimes>(a, b);
-  if (semiring == MinPlus::name) return spgemm_semiring<MinPlus>(a, b);
-  if (semiring == MaxMin::name) return spgemm_semiring<MaxMin>(a, b);
-  if (semiring == BoolOrAnd::name) return spgemm_semiring<BoolOrAnd>(a, b);
-  throw std::invalid_argument(
-      "unknown semiring '" + semiring +
-      "'; valid: plus_times min_plus max_min bool_or_and");
+  return dispatch_semiring(semiring, [&]<typename S>() {
+    return spgemm_semiring<S>(a, b);
+  });
+}
+
+const std::vector<std::string>& semiring_names() {
+  static const std::vector<std::string> names = {
+      PlusTimes::name, MinPlus::name, MaxMin::name, BoolOrAnd::name};
+  return names;
+}
+
+bool is_semiring_name(const std::string& name) {
+  for (const std::string& s : semiring_names()) {
+    if (s == name) return true;
+  }
+  return false;
 }
 
 }  // namespace pbs

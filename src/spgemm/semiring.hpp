@@ -1,66 +1,30 @@
-// Semiring-generalized SpGEMM.
+// Semiring-generalized SpGEMM kernels.
 //
-// The paper's motivating applications replace (+, ×) with other semirings:
-// multi-source BFS runs over the boolean (∨, ∧) semiring [3], shortest
-// paths over (min, +), and bottleneck paths over (max, min).  The
-// propagation-blocking pipeline itself is semiring-agnostic — only the
-// "multiply" in expand and the "add" in compress change — so the library
-// exposes a generalized row-wise kernel usable wherever numeric SpGEMM is.
+// The semiring operator structs themselves live in semiring_ops.hpp (they
+// are shared with the propagation-blocking pipeline in pb/); this header
+// declares the semiring-templated *algorithms* of the Gustavson family:
 //
-// A semiring supplies:
-//   value_t zero()            — additive identity (annihilator of mul)
-//   value_t add(a, b)         — associative, commutative
-//   value_t mul(a, b)         — distributes over add
+//   spgemm_semiring<S>       — row-wise dense accumulator (generalized SPA);
+//                              the validation fallback every other
+//                              generalized kernel is tested against
+//   heap_spgemm_semiring<S>  — row-wise k-way heap merge (generalized Heap)
 //
-// Entries whose accumulated value equals zero() are kept (structural
-// presence mirrors the numeric SpGEMM convention for exact cancellation).
+// The bandwidth-optimized PB pipeline's semiring form, pb_spgemm<S>, is
+// declared in pb/pb_spgemm.hpp; runtime (algorithm × semiring) dispatch is
+// in spgemm/registry.hpp.
+//
+// All kernels keep entries whose accumulated value equals S::zero()
+// (structural presence mirrors the numeric convention for exact
+// cancellation), so the output pattern is semiring- and
+// algorithm-independent.
 #pragma once
 
-#include <algorithm>
-#include <limits>
 #include <string>
 
+#include "spgemm/semiring_ops.hpp"
 #include "spgemm/spgemm.hpp"
 
 namespace pbs {
-
-/// The ordinary arithmetic semiring — spgemm_semiring<PlusTimes> computes
-/// exactly what the numeric algorithms compute.
-struct PlusTimes {
-  static constexpr const char* name = "plus_times";
-  static value_t zero() { return 0.0; }
-  static value_t add(value_t a, value_t b) { return a + b; }
-  static value_t mul(value_t a, value_t b) { return a * b; }
-};
-
-/// Tropical semiring: path relaxation.  (A ⊗ B)(i,j) = min_k A(i,k)+B(k,j)
-/// — one step of all-pairs shortest paths.
-struct MinPlus {
-  static constexpr const char* name = "min_plus";
-  static value_t zero() { return std::numeric_limits<value_t>::infinity(); }
-  static value_t add(value_t a, value_t b) { return std::min(a, b); }
-  static value_t mul(value_t a, value_t b) { return a + b; }
-};
-
-/// Bottleneck semiring: widest-path capacity.
-struct MaxMin {
-  static constexpr const char* name = "max_min";
-  static value_t zero() { return -std::numeric_limits<value_t>::infinity(); }
-  static value_t add(value_t a, value_t b) { return std::max(a, b); }
-  static value_t mul(value_t a, value_t b) { return std::min(a, b); }
-};
-
-/// Boolean semiring on {0.0, 1.0}: reachability / frontier expansion.
-struct BoolOrAnd {
-  static constexpr const char* name = "bool_or_and";
-  static value_t zero() { return 0.0; }
-  static value_t add(value_t a, value_t b) {
-    return (a != 0.0 || b != 0.0) ? 1.0 : 0.0;
-  }
-  static value_t mul(value_t a, value_t b) {
-    return (a != 0.0 && b != 0.0) ? 1.0 : 0.0;
-  }
-};
 
 /// C = A ⊗ B over semiring S (row-wise Gustavson with a dense
 /// accumulator, OpenMP-parallel).  Requires a.ncols == b.nrows.
@@ -77,6 +41,21 @@ extern template mtx::CsrMatrix spgemm_semiring<MaxMin>(
     const mtx::CsrMatrix&, const mtx::CsrMatrix&);
 extern template mtx::CsrMatrix spgemm_semiring<BoolOrAnd>(
     const mtx::CsrMatrix&, const mtx::CsrMatrix&);
+
+/// Row-wise Gustavson with a k-way heap merge over semiring S — the
+/// generalized form of heap_spgemm (see heap.cpp).
+template <typename S>
+mtx::CsrMatrix heap_spgemm_semiring(const SpGemmProblem& p);
+
+// Instantiated in heap.cpp.
+extern template mtx::CsrMatrix heap_spgemm_semiring<PlusTimes>(
+    const SpGemmProblem&);
+extern template mtx::CsrMatrix heap_spgemm_semiring<MinPlus>(
+    const SpGemmProblem&);
+extern template mtx::CsrMatrix heap_spgemm_semiring<MaxMin>(
+    const SpGemmProblem&);
+extern template mtx::CsrMatrix heap_spgemm_semiring<BoolOrAnd>(
+    const SpGemmProblem&);
 
 /// Runtime dispatch by semiring name ("plus_times", "min_plus", "max_min",
 /// "bool_or_and"); throws std::invalid_argument on unknown names.

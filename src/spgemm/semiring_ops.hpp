@@ -1,0 +1,101 @@
+// The semiring operator set — the algebraic core shared by every
+// semiring-generalized kernel in the library (the row-wise fallback in
+// spgemm/semiring.hpp, the generalized Gustavson baselines, and the
+// propagation-blocking pipeline in pb/).
+//
+// The paper's motivating applications replace (+, ×) with other semirings:
+// multi-source BFS runs over the boolean (∨, ∧) semiring [3], shortest
+// paths over (min, +), and bottleneck paths over (max, min).  The
+// propagation-blocking pipeline itself is semiring-agnostic — only the
+// "multiply" in expand and the "add" in compress change — so kernels are
+// templated on a semiring type.
+//
+// A semiring supplies:
+//   value_t zero()            — additive identity (annihilator of mul)
+//   value_t add(a, b)         — associative, commutative
+//   value_t mul(a, b)         — distributes over add
+//
+// Entries whose accumulated value equals zero() are kept (structural
+// presence mirrors the numeric SpGEMM convention for exact cancellation);
+// every kernel in the library follows this convention, so the output
+// pattern of A ⊗ B is identical across semirings and algorithms.
+//
+// This header is deliberately standalone (depends only on common/types.hpp)
+// so low-level kernels can use the operators without the SpGEMM
+// entry-point layer.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pbs {
+
+/// The ordinary arithmetic semiring — the semiring-generalized kernels
+/// instantiated with PlusTimes compute exactly what the numeric algorithms
+/// compute.
+struct PlusTimes {
+  static constexpr const char* name = "plus_times";
+  static value_t zero() { return 0.0; }
+  static value_t add(value_t a, value_t b) { return a + b; }
+  static value_t mul(value_t a, value_t b) { return a * b; }
+};
+
+/// Tropical semiring: path relaxation.  (A ⊗ B)(i,j) = min_k A(i,k)+B(k,j)
+/// — one step of all-pairs shortest paths.
+struct MinPlus {
+  static constexpr const char* name = "min_plus";
+  static value_t zero() { return std::numeric_limits<value_t>::infinity(); }
+  static value_t add(value_t a, value_t b) { return std::min(a, b); }
+  static value_t mul(value_t a, value_t b) { return a + b; }
+};
+
+/// Bottleneck semiring: widest-path capacity.
+struct MaxMin {
+  static constexpr const char* name = "max_min";
+  static value_t zero() { return -std::numeric_limits<value_t>::infinity(); }
+  static value_t add(value_t a, value_t b) { return std::max(a, b); }
+  static value_t mul(value_t a, value_t b) { return std::min(a, b); }
+};
+
+/// Boolean semiring on {0.0, 1.0}: reachability / frontier expansion.
+struct BoolOrAnd {
+  static constexpr const char* name = "bool_or_and";
+  static value_t zero() { return 0.0; }
+  static value_t add(value_t a, value_t b) {
+    return (a != 0.0 || b != 0.0) ? 1.0 : 0.0;
+  }
+  static value_t mul(value_t a, value_t b) {
+    return (a != 0.0 && b != 0.0) ? 1.0 : 0.0;
+  }
+};
+
+/// Names of all built-in semirings, in registry order.
+const std::vector<std::string>& semiring_names();
+
+/// True iff `name` names a built-in semiring.
+bool is_semiring_name(const std::string& name);
+
+/// Invokes `fn.template operator()<S>()` for the semiring named `name`;
+/// throws std::invalid_argument listing the valid names on a miss.
+///
+///   auto c = dispatch_semiring(name, [&]<typename S>() {
+///     return spgemm_semiring<S>(a, b);
+///   });
+template <typename Fn>
+decltype(auto) dispatch_semiring(const std::string& name, Fn&& fn) {
+  if (name == PlusTimes::name) return fn.template operator()<PlusTimes>();
+  if (name == MinPlus::name) return fn.template operator()<MinPlus>();
+  if (name == MaxMin::name) return fn.template operator()<MaxMin>();
+  if (name == BoolOrAnd::name) return fn.template operator()<BoolOrAnd>();
+  std::string valid;
+  for (const std::string& s : semiring_names()) valid += s + " ";
+  throw std::invalid_argument("unknown semiring '" + name +
+                              "'; valid: " + valid);
+}
+
+}  // namespace pbs

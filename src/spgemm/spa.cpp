@@ -1,61 +1,20 @@
 // SPA SpGEMM — row-wise Gustavson with a dense sparse accumulator
 // (Gilbert, Moler, Schreiber [25]; Table I upper-left cell).
 //
-// Each thread owns one dense value array plus a "stamp" array marking which
-// columns the current row touched, so clearing between rows is O(row nnz)
-// instead of O(ncols).
-#include <omp.h>
-
-#include <algorithm>
-#include <vector>
-
-#include "common/parallel.hpp"
-#include "spgemm/assemble.hpp"
+// The dense-accumulator kernel is implemented once, semiring-generalized,
+// as spgemm_semiring<S> (semiring.cpp): each thread owns one dense value
+// array plus a "stamp" array marking which columns the current row
+// touched, so clearing between rows is O(row nnz) instead of O(ncols).
+// The numeric algorithm registered as "spa" is its (+, ×) instantiation —
+// PlusTimes::add/mul inline to the raw +/* the pre-unification kernel
+// used, so codegen is unchanged.
+#include "spgemm/semiring.hpp"
 #include "spgemm/spgemm.hpp"
 
 namespace pbs {
 
 mtx::CsrMatrix spa_spgemm(const SpGemmProblem& p) {
-  const mtx::CsrMatrix& a = p.a_csr;
-  const mtx::CsrMatrix& b = p.b_csr;
-
-  struct Scratch {
-    std::vector<value_t> dense;
-    std::vector<index_t> stamp;    // stamp[c] == row => dense[c] is live
-    std::vector<index_t> touched;  // columns written this row
-  };
-  std::vector<Scratch> scratch(static_cast<std::size_t>(max_threads()));
-
-  return detail::assemble_rowwise(
-      a.nrows, b.ncols, [&](index_t r, detail::BlockBuffer& buf) {
-        Scratch& s = scratch[static_cast<std::size_t>(omp_get_thread_num())];
-        if (s.dense.empty()) {
-          s.dense.assign(static_cast<std::size_t>(b.ncols), 0.0);
-          s.stamp.assign(static_cast<std::size_t>(b.ncols), -1);
-        }
-        s.touched.clear();
-
-        for (nnz_t i = a.rowptr[r]; i < a.rowptr[static_cast<std::size_t>(r) + 1]; ++i) {
-          const index_t k = a.colids[i];
-          const value_t av = a.vals[i];
-          for (nnz_t j = b.rowptr[k]; j < b.rowptr[static_cast<std::size_t>(k) + 1]; ++j) {
-            const index_t c = b.colids[j];
-            if (s.stamp[c] != r) {
-              s.stamp[c] = r;
-              s.dense[c] = av * b.vals[j];
-              s.touched.push_back(c);
-            } else {
-              s.dense[c] += av * b.vals[j];
-            }
-          }
-        }
-
-        std::sort(s.touched.begin(), s.touched.end());
-        for (const index_t c : s.touched) {
-          buf.cols.push_back(c);
-          buf.vals.push_back(s.dense[c]);
-        }
-      });
+  return spgemm_semiring<PlusTimes>(p.a_csr, p.b_csr);
 }
 
 }  // namespace pbs

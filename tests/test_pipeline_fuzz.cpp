@@ -1,17 +1,25 @@
-// Randomized pipeline fuzzing: chains of library operations (SpGEMM +
-// element-wise ops + conversions) applied to random matrices, mirrored
-// step-by-step against a dense implementation.  Catches interaction bugs
-// that single-op tests cannot (pattern/value coupling, empty intermediate
-// results, shape propagation).
+// Randomized pipeline fuzzing: chains of library operations (SpGEMM over a
+// random (algorithm × semiring) pair + element-wise ops + conversions)
+// applied to random matrices of random shape/density, mirrored
+// step-by-step against a dense implementation.  SpGEMM steps through the
+// PB pipeline additionally randomize the PbConfig (bin count, local-bin
+// width, binning policy, streaming stores) with validate=true, so the
+// pipeline's internal invariant checks run under fuzzed layouts.  Catches
+// interaction bugs that single-op tests cannot (pattern/value coupling,
+// empty intermediate results, shape propagation, semiring/config
+// coupling).
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include "matrix/convert.hpp"
 #include "matrix/generate.hpp"
 #include "matrix/ops.hpp"
+#include "pb/pb_spgemm.hpp"
 #include "spgemm/registry.hpp"
+#include "spgemm/semiring.hpp"
 #include "test_util.hpp"
 
 namespace pbs {
@@ -29,13 +37,25 @@ Dense to_dense(const mtx::CsrMatrix& a) {
   return d;
 }
 
+// Dense mirror of the sparse semiring product.  0.0 means "absent" here:
+// the fuzz chain keeps every stored value strictly positive (small
+// integers, re-normalized after each multiply), so structural presence and
+// a nonzero dense cell coincide and S-accumulation over present operands
+// mirrors the sparse kernels exactly.
+template <typename S>
 Dense dense_mult(const Dense& a, const Dense& b) {
   Dense c(a.size(), std::vector<value_t>(b[0].size(), 0.0));
   for (std::size_t i = 0; i < a.size(); ++i) {
-    for (std::size_t k = 0; k < b.size(); ++k) {
-      if (a[i][k] == 0.0) continue;
-      for (std::size_t j = 0; j < b[0].size(); ++j)
-        c[i][j] += a[i][k] * b[k][j];
+    for (std::size_t j = 0; j < b[0].size(); ++j) {
+      bool any = false;
+      value_t acc = S::zero();
+      for (std::size_t k = 0; k < b.size(); ++k) {
+        if (a[i][k] == 0.0 || b[k][j] == 0.0) continue;
+        const value_t product = S::mul(a[i][k], b[k][j]);
+        acc = any ? S::add(acc, product) : product;
+        any = true;
+      }
+      if (any) c[i][j] = acc;
     }
   }
   return c;
@@ -53,32 +73,66 @@ void expect_dense_eq(const mtx::CsrMatrix& sparse, const Dense& dense,
   }
 }
 
+// A random PbConfig: bin count, local-bin width, policy and store path all
+// vary; validate=true arms the pipeline's internal invariant checks.
+pb::PbConfig random_pb_config(mtx::SplitMix64& rng) {
+  pb::PbConfig cfg;
+  const int nbins_choices[] = {0, 1, 2, 8, 64};
+  cfg.nbins = nbins_choices[rng.next_below(5)];
+  const int width_choices[] = {16, 64, 512};
+  cfg.local_bin_bytes = width_choices[rng.next_below(3)];
+  const pb::BinPolicy policies[] = {pb::BinPolicy::kRange,
+                                    pb::BinPolicy::kModulo,
+                                    pb::BinPolicy::kAdaptive};
+  cfg.policy = policies[rng.next_below(3)];
+  cfg.streaming_stores = rng.next_below(2) == 0;
+  cfg.validate = true;
+  return cfg;
+}
+
 class PipelineFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(PipelineFuzz, RandomOpChainMatchesDenseMirror) {
   mtx::SplitMix64 rng(GetParam());
-  const index_t n = 40;
+  // Shape and density are themselves fuzzed.
+  const auto n = static_cast<index_t>(24 + rng.next_below(40));
+  const double density = 2.0 + static_cast<double>(rng.next_below(5));
 
-  mtx::CsrMatrix m = testutil::exact_er(n, n, 4.0, GetParam() + 1000);
+  mtx::CsrMatrix m = testutil::exact_er(n, n, density, GetParam() + 1000);
   Dense d = to_dense(m);
 
   const std::vector<const char*> algos{"pb", "heap", "hash", "spa", "esc"};
   for (int step = 0; step < 12; ++step) {
     switch (rng.next_below(7)) {
-      case 0: {  // SpGEMM square with a random algorithm
+      case 0: {  // SpGEMM square: random algorithm × random semiring
         const char* algo = algos[rng.next_below(algos.size())];
-        m = algorithm(algo).fn(SpGemmProblem::square(m));
-        d = dense_mult(d, d);
-        // Keep magnitudes bounded so the dense mirror stays comparable.
+        // Only pb/heap/spa register non-numeric semirings (see registry).
+        const bool generalized = algorithm(algo).semirings.size() > 1;
+        const std::string semiring =
+            generalized ? semiring_names()[rng.next_below(
+                              semiring_names().size())]
+                        : PlusTimes::name;
+        const SpGemmProblem problem = SpGemmProblem::square(m);
+        dispatch_semiring(semiring, [&]<typename S>() {
+          if (std::string(algo) == "pb") {
+            // Drive the pipeline directly so the PbConfig is fuzzed too.
+            m = pb::pb_spgemm<S>(problem.a_csc, problem.b_csr,
+                                 random_pb_config(rng))
+                    .c;
+          } else {
+            m = semiring_algorithm(algo, semiring)(problem);
+          }
+          d = dense_mult<S>(d, d);
+        });
+        // The semiring product itself must match before re-normalization.
+        expect_dense_eq(m, d, step);
+        // Keep magnitudes bounded so the dense mirror stays comparable:
+        // re-normalize to the pattern (element_power(x, 0) maps every
+        // stored value, including stored zeros, to 1 — mirror by taking
+        // the pattern of the normalized matrix, not by mapping d's cells).
         if (mtx::value_sum(mtx::to_pattern(m)) > 0) {
           m = mtx::element_power(m, 0.0);  // all stored values -> 1
-          for (auto& row : d) {
-            for (auto& v : row) v = v != 0.0 ? 1.0 : 0.0;
-          }
-          // element_power(x, 0) maps 0-valued stored entries to 1 as well;
-          // mirror by flagging pattern positions instead.
-          const Dense pat = to_dense(mtx::to_pattern(m));
-          d = pat;
+          d = to_dense(mtx::to_pattern(m));
         }
         break;
       }

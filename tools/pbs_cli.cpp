@@ -97,32 +97,31 @@ int cmd_multiply(const Cli& cli) {
   const mtx::CsrMatrix b =
       cli.get("b") ? mtx::coo_to_csr(mtx::read_matrix_market(*cli.get("b"))) : a;
   const std::string algo = cli.get("algo").value_or("pb");
+  const std::string semiring = cli.get("semiring").value_or("plus_times");
   const int reps = static_cast<int>(cli.number("reps", 1));
 
-  if (const auto semiring = cli.get("semiring");
-      semiring && *semiring != "plus_times") {
-    Timer t;
-    const mtx::CsrMatrix c = spgemm_semiring_named(*semiring, a, b);
-    std::cout << *semiring << ": nnz(C) = " << c.nnz() << " in "
-              << t.elapsed_ms() << " ms\n";
-    if (cli.get("out")) mtx::write_matrix_market(*cli.get("out"), mtx::csr_to_coo(c));
-    return 0;
-  }
-
+  // Resolve through the (algorithm × semiring) registry first: unknown
+  // names and unsupported pairs fail here with the full support matrix
+  // instead of falling back to a different algorithm or semiring.
+  const SpGemmFn fn = semiring_algorithm(algo, semiring);
   const SpGemmProblem problem = SpGemmProblem::multiply(a, b);
-  const nnz_t flop = mtx::count_flops(a, b);
+  const std::string label = algo + " (" + semiring + ")";
 
   if (algo == "pb") {
+    // The PB pipeline runs for every semiring; keep its per-phase
+    // telemetry rather than going through the type-erased registry fn.
     pb::PbWorkspace ws;
     pb::PbResult best;
     for (int i = 0; i < reps; ++i) {
-      pb::PbResult r = pb::pb_spgemm(problem.a_csc, problem.b_csr, pb::PbConfig{}, ws);
+      pb::PbResult r = pb::pb_spgemm_named(semiring, problem.a_csc,
+                                           problem.b_csr, pb::PbConfig{}, ws);
       if (i == 0 || r.stats.total_seconds() < best.stats.total_seconds())
         best = std::move(r);
     }
     const pb::PbTelemetry& tm = best.stats;
-    std::cout << "pb: nnz(C) = " << best.c.nnz() << ", flop = " << tm.flop
-              << ", cf = " << tm.cf() << ", " << tm.mflops() << " MFLOPS\n";
+    std::cout << label << ": nnz(C) = " << best.c.nnz() << ", flop = "
+              << tm.flop << ", cf = " << tm.cf() << ", " << tm.mflops()
+              << " MFLOPS\n";
     std::cout << "  symbolic " << tm.symbolic.seconds * 1e3 << " ms, expand "
               << tm.expand.seconds * 1e3 << " ms (" << tm.expand.gbs()
               << " GB/s), sort " << tm.sort.seconds * 1e3 << " ms ("
@@ -134,17 +133,18 @@ int cmd_multiply(const Cli& cli) {
     return 0;
   }
 
-  const AlgoInfo& info = algorithm(algo);
+  const nnz_t flop = mtx::count_flops(a, b);
   double best_s = 0;
   mtx::CsrMatrix c;
   for (int i = 0; i < reps; ++i) {
     Timer t;
-    c = info.fn(problem);
+    c = fn(problem);
     const double s = t.elapsed_s();
     if (i == 0 || s < best_s) best_s = s;
   }
-  std::cout << algo << ": nnz(C) = " << c.nnz() << ", flop = " << flop << ", "
-            << static_cast<double>(flop) / best_s / 1e6 << " MFLOPS\n";
+  std::cout << label << ": nnz(C) = " << c.nnz() << ", flop = " << flop
+            << ", " << static_cast<double>(flop) / best_s / 1e6
+            << " MFLOPS\n";
   if (cli.get("out")) mtx::write_matrix_market(*cli.get("out"), mtx::csr_to_coo(c));
   return 0;
 }
@@ -183,8 +183,12 @@ void usage() {
       "           [--reps R] [--out FILE.mtx]\n"
       "  stream   [--mb N]\n"
       "  roofline [--beta GBS] [--cf CF]\n"
-      "algorithms: pb heap hash hashvec spa esc outer_heap reference\n"
-      "semirings:  plus_times min_plus max_min bool_or_and\n";
+      "\n"
+      "multiply computes A ⊗ B with --algo over --semiring (defaults: pb,\n"
+      "plus_times).  Every (algorithm, semiring) pair below runs that actual\n"
+      "algorithm — pb over min_plus executes the propagation-blocking\n"
+      "pipeline, not a fallback; unsupported pairs are an error:\n"
+      << algorithm_semiring_matrix();
 }
 
 }  // namespace
@@ -197,6 +201,10 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   const Cli cli(argc, argv);
   try {
+    if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+      usage();
+      return 0;
+    }
     if (cmd == "gen") return cmd_gen(cli);
     if (cmd == "stats") return cmd_stats(cli);
     if (cmd == "multiply") return cmd_multiply(cli);
