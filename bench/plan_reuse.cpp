@@ -1,0 +1,103 @@
+// Plan-once/execute-N vs N fresh multiplies — the amortization the
+// plan/execute architecture exists to deliver (no paper artifact; this
+// measures the repeated-traffic serving mode of the library).
+//
+// For each input × semiring the bench multiplies the same problem N times
+// two ways: fresh pb_spgemm calls, each paying symbolic analysis and a
+// cold workspace, and one PbPlan executed N times through a pooled
+// workspace.  Reported: amortized ms/multiply for both modes, the
+// speedup, and the fraction of the fresh cost recovered — which bounds at
+// the symbolic+allocation share of a fresh multiply as N grows.
+//
+//   ./bench_plan_reuse [--scales 11,13] [--efs 8] [--execs 10]
+//                      [--semirings plus_times,min_plus]
+#include "bench_common.hpp"
+#include "pb/plan.hpp"
+
+#include "matrix/convert.hpp"
+#include "matrix/generate.hpp"
+
+namespace {
+
+using namespace pbs;
+
+struct Mode {
+  const char* kind;
+  mtx::CsrMatrix matrix;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  const std::vector<int> scales = args.get_int_list("scales", {11, 13});
+  const std::vector<int> efs = args.get_int_list("efs", {8});
+  const int execs = args.get_int("execs", 10);
+  const std::vector<std::string> semirings =
+      args.get_string_list("semirings", {"plus_times", "min_plus"});
+
+  bench::print_header(
+      "plan reuse: amortized plan-once/execute-N vs N fresh multiplies",
+      "execs = " + std::to_string(execs));
+
+  bench::Table table({"input", "semiring", "fresh ms", "planned ms",
+                      "speedup", "recovered", "plan ms"});
+
+  for (const int scale : scales) {
+    for (const int ef : efs) {
+      std::vector<Mode> modes;
+      modes.push_back({"er", mtx::coo_to_csr(mtx::generate_er(
+                                 mtx::RandomScale{scale, double(ef)}, 7))});
+      mtx::RmatParams rp;
+      rp.scale = scale;
+      rp.edge_factor = ef;
+      rp.seed = 7;
+      modes.push_back({"rmat", mtx::coo_to_csr(mtx::generate_rmat(rp))});
+
+      for (const Mode& mode : modes) {
+        const SpGemmProblem p = SpGemmProblem::square(mode.matrix);
+        const std::string input = std::string(mode.kind) + "-s" +
+                                  std::to_string(scale) + "-ef" +
+                                  std::to_string(ef);
+
+        for (const std::string& s : semirings) {
+          // Warm both code paths (instantiation, page cache) once.
+          {
+            pb::PbWorkspace warm;
+            (void)pb::pb_spgemm_named(s, p.a_csc, p.b_csr, {}, warm);
+          }
+
+          // N fresh multiplies: every call re-analyzes and re-allocates.
+          Timer t;
+          for (int i = 0; i < execs; ++i) {
+            pb::PbWorkspace ws;  // cold workspace per call, by design
+            (void)pb::pb_spgemm_named(s, p.a_csc, p.b_csr, {}, ws);
+          }
+          const double fresh_s = t.elapsed_s();
+
+          // Plan once, execute N times through one pooled workspace.
+          t.reset();
+          const pb::PbPlan plan = pb::pb_plan_build(p.a_csc, p.b_csr, {});
+          const double plan_s = t.elapsed_s();
+          pb::PbWorkspace ws;
+          t.reset();
+          for (int i = 0; i < execs; ++i) {
+            (void)pb::pb_execute_named(s, p.a_csc, p.b_csr, plan, ws);
+          }
+          const double exec_s = t.elapsed_s();
+
+          const double fresh_per = fresh_s / execs * 1e3;
+          const double planned_per = (plan_s + exec_s) / execs * 1e3;
+          table.row(input, s, fresh_per, planned_per,
+                    fresh_per / planned_per,
+                    std::to_string(
+                        static_cast<int>((1.0 - planned_per / fresh_per) *
+                                         100.0 + 0.5)) + "%",
+                    plan_s * 1e3);
+        }
+      }
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

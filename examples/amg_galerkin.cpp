@@ -11,6 +11,7 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 
 namespace {
 
@@ -63,7 +64,14 @@ int main(int argc, char** argv) {
   std::cout << "AMG Galerkin hierarchy: " << g << " x " << g
             << " Poisson grid, " << levels << " levels\n";
   pbs::mtx::CsrMatrix a = poisson2d(g);
-  const auto& pb = pbs::algorithm("pb").fn;
+
+  // One plan per triple-product site (A·P and R·(AP)).  Each level's
+  // operators shrink, so the plans replan per level — but they keep their
+  // pooled pipeline scratch (sized by the finest level, reused by every
+  // coarser one) and an "auto" plan re-selects as the stencils densify.
+  pbs::PlanOptions opts;
+  opts.algo = "auto";
+  std::optional<pbs::SpGemmPlan> ap_plan, rap_plan;
 
   double spgemm_seconds = 0;
   for (int level = 0; level < levels && g >= 8; ++level) {
@@ -71,8 +79,12 @@ int main(int argc, char** argv) {
     const pbs::mtx::CsrMatrix r = pbs::mtx::transpose(p);
 
     pbs::Timer timer;
-    const pbs::mtx::CsrMatrix ap = pb(pbs::SpGemmProblem::multiply(a, p));
-    const pbs::mtx::CsrMatrix coarse = pb(pbs::SpGemmProblem::multiply(r, ap));
+    const pbs::SpGemmProblem ap_prob = pbs::SpGemmProblem::multiply(a, p);
+    if (!ap_plan) ap_plan.emplace(pbs::make_plan(ap_prob, opts));
+    const pbs::mtx::CsrMatrix ap = ap_plan->execute(ap_prob);
+    const pbs::SpGemmProblem rap_prob = pbs::SpGemmProblem::multiply(r, ap);
+    if (!rap_plan) rap_plan.emplace(pbs::make_plan(rap_prob, opts));
+    const pbs::mtx::CsrMatrix coarse = rap_plan->execute(rap_prob);
     spgemm_seconds += timer.elapsed_s();
 
     const pbs::mtx::SquareStats ap_stats = pbs::mtx::square_stats(a);
@@ -92,5 +104,13 @@ int main(int argc, char** argv) {
   }
   std::cout << "hierarchy built; total SpGEMM time " << spgemm_seconds * 1e3
             << " ms\n";
+  if (ap_plan && rap_plan) {
+    std::cout << "A*P plan:    algo " << ap_plan->algo() << ", "
+              << ap_plan->telemetry().executes << " executes, "
+              << ap_plan->telemetry().replans << " replans\n"
+              << "R*(AP) plan: algo " << rap_plan->algo() << ", "
+              << rap_plan->telemetry().executes << " executes, "
+              << rap_plan->telemetry().replans << " replans\n";
+  }
   return 0;
 }

@@ -16,6 +16,7 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <vector>
 
 namespace {
@@ -86,15 +87,20 @@ int main(int argc, char** argv) {
   CsrMatrix frontier = panel_to_csr(f0);
   level_sigma.push_back(frontier);
 
-  pbs::pb::PbWorkspace ws;
+  // One plan per multiply-site: the frontier panels change structure every
+  // level (each level replans) but both plans keep their pooled pipeline
+  // scratch across the whole forward + backward sweep.
+  pbs::PlanOptions opts;
+  opts.algo = "pb";
+  pbs::SpGemmPlan fwd_plan =
+      pbs::make_plan(pbs::SpGemmProblem::multiply(adj_t, frontier), opts);
   double spgemm_ms = 0;
 
   // ---- forward sweep: BFS levels with path counting ----
   while (frontier.nnz() > 0 && level_sigma.size() < 64) {
     pbs::Timer t;
     const pbs::SpGemmProblem p = pbs::SpGemmProblem::multiply(adj_t, frontier);
-    const CsrMatrix raw =
-        pbs::pb::pb_spgemm(p.a_csc, p.b_csr, pbs::pb::PbConfig{}, ws).c;
+    const CsrMatrix raw = fwd_plan.execute(p);
     spgemm_ms += t.elapsed_ms();
 
     // Mask to unvisited (v, s) pairs; accumulate sigma.
@@ -124,6 +130,7 @@ int main(int argc, char** argv) {
 
   // ---- backward sweep: dependency accumulation ----
   Panel delta(n, nsources);
+  std::optional<pbs::SpGemmPlan> bwd_plan;  // built at the first product
   for (int d = depth; d >= 1; --d) {
     // coeff = (1 + delta) / sigma on level-d vertices.
     pbs::mtx::CooMatrix coeff_coo(n, nsources);
@@ -140,8 +147,8 @@ int main(int argc, char** argv) {
 
     pbs::Timer t;
     const pbs::SpGemmProblem p = pbs::SpGemmProblem::multiply(adj, coeff);
-    const CsrMatrix w =
-        pbs::pb::pb_spgemm(p.a_csc, p.b_csr, pbs::pb::PbConfig{}, ws).c;
+    if (!bwd_plan) bwd_plan.emplace(pbs::make_plan(p, opts));
+    const CsrMatrix w = bwd_plan->execute(p);
     spgemm_ms += t.elapsed_ms();
 
     // delta(u, s) += sigma(u, s) * w(u, s) for u on level d-1.
@@ -170,8 +177,18 @@ int main(int argc, char** argv) {
     score[static_cast<std::size_t>(v)] = {acc, v};
   }
   std::sort(score.rbegin(), score.rend());
+  const pbs::PlanTelemetry& ftm = fwd_plan.telemetry();
+  const pbs::pb::PbWorkspace::Stats fws = fwd_plan.workspace_stats();
   std::cout << "BFS depth " << depth << ", SpGEMM time " << spgemm_ms
-            << " ms\ntop-5 central vertices:\n";
+            << " ms\nforward plan: " << ftm.executes << " executes, "
+            << ftm.replans << " replans; workspace " << fws.allocations
+            << " allocations / " << fws.reuses << " reuses\n";
+  if (bwd_plan) {
+    const pbs::PlanTelemetry& btm = bwd_plan->telemetry();
+    std::cout << "backward plan: " << btm.executes << " executes, "
+              << btm.replans << " replans\n";
+  }
+  std::cout << "top-5 central vertices:\n";
   for (int i = 0; i < 5 && i < n; ++i) {
     std::cout << "  v" << score[static_cast<std::size_t>(i)].second
               << "  bc = " << score[static_cast<std::size_t>(i)].first << "\n";

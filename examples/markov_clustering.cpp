@@ -9,11 +9,13 @@
 // until M reaches a (near) fixed point.  Clusters are then the connected
 // sets of rows that "attract" each column.
 //
-// The expansion step goes through the unified (algorithm × semiring)
-// registry — MCL is the plus_times column of the semiring matrix, so the
-// same application code can swap in any registered numeric algorithm.
+// The expansion step runs through a SpGemmPlan: MCL multiplies every
+// iteration, so the plan analyzes and (with algo "auto") roofline-selects
+// once, pools the pipeline scratch across iterations, and transparently
+// replans as pruning drifts the matrix structure — the counters printed at
+// the end show how much analysis the plan amortized away.
 //
-//   ./markov_clustering [n] [avg_degree] [inflation] [algo]
+//   ./markov_clustering [n] [avg_degree] [inflation] [algo]   (algo: auto)
 #include <pbs/pbs.hpp>
 
 #include <cstdlib>
@@ -48,8 +50,7 @@ int main(int argc, char** argv) {
   const pbs::index_t n = argc > 1 ? std::atoi(argv[1]) : 4096;
   const double degree = argc > 2 ? std::atof(argv[2]) : 6.0;
   const double inflation = argc > 3 ? std::atof(argv[3]) : 2.0;
-  const std::string algo = argc > 4 ? argv[4] : "pb";
-  const pbs::SpGemmFn expand = pbs::semiring_algorithm(algo, "plus_times");
+  const std::string algo = argc > 4 ? argv[4] : "auto";
 
   std::cout << "Markov clustering (" << algo << "): n = " << n
             << ", degree = " << degree << ", inflation = " << inflation
@@ -72,6 +73,18 @@ int main(int argc, char** argv) {
   constexpr pbs::value_t kPruneThreshold = 1e-5;
   constexpr pbs::index_t kKeepPerRow = 64;
 
+  // One plan for the expansion site; pruning changes M's structure between
+  // iterations, so the plan replans when the fingerprint drifts but keeps
+  // its pooled workspace (and, once MCL converges structurally, starts
+  // reusing the analysis too).
+  pbs::PlanOptions opts;
+  opts.algo = algo;
+  pbs::SpGemmPlan plan = pbs::make_plan(pbs::SpGemmProblem::square(m), opts);
+  std::cout << "expansion algorithm: " << plan.algo();
+  if (algo == "auto")
+    std::cout << " (" << plan.telemetry().choice.rationale << ")";
+  std::cout << "\n";
+
   double spgemm_seconds = 0;
   int iter = 0;
   for (; iter < kMaxIters; ++iter) {
@@ -80,7 +93,7 @@ int main(int argc, char** argv) {
     const pbs::nnz_t flop = pbs::mtx::count_flops(m, m);
     pbs::Timer timer;
     const pbs::SpGemmProblem p = pbs::SpGemmProblem::square(m);
-    const pbs::mtx::CsrMatrix expanded = expand(p);
+    const pbs::mtx::CsrMatrix expanded = plan.execute(p);
     spgemm_seconds += timer.elapsed_s();
     const double cf = expanded.nnz() > 0
                           ? static_cast<double>(flop) /
@@ -108,7 +121,13 @@ int main(int argc, char** argv) {
       ++clusters;
     }
   }
+  const pbs::PlanTelemetry& ptm = plan.telemetry();
+  const pbs::pb::PbWorkspace::Stats ws = plan.workspace_stats();
   std::cout << "converged after " << iter + 1 << " iterations; " << clusters
-            << " clusters; SpGEMM time " << spgemm_seconds * 1e3 << " ms\n";
+            << " clusters; SpGEMM time " << spgemm_seconds * 1e3 << " ms\n"
+            << "plan: " << ptm.executes << " executes, " << ptm.replans
+            << " replans, " << ptm.analysis_reuses
+            << " analysis reuses; workspace " << ws.allocations
+            << " allocations / " << ws.reuses << " reuses\n";
   return 0;
 }

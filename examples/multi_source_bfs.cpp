@@ -6,10 +6,12 @@
 // F' = Aᵀ·F over the boolean (∨, ∧) semiring, followed by masking out
 // visited vertices.  SpGEMM turns the classic pointer-chasing BFS into
 // bulk, bandwidth-friendly work — exactly the trade PB-SpGEMM is designed
-// for — and the (algorithm × semiring) registry runs the propagation-
-// blocking pipeline itself over bool_or_and, not a fallback kernel.
+// for.  The step runs through a SpGemmPlan over bool_or_and: the frontier's
+// structure changes every level, so each level replans (counted below),
+// but the pipeline scratch stays pooled across the whole traversal and an
+// "auto" plan re-selects the algorithm as the frontier fattens and thins.
 //
-//   ./multi_source_bfs [scale] [edge_factor] [num_sources] [algo]
+//   ./multi_source_bfs [scale] [edge_factor] [num_sources] [algo]  (algo: auto)
 #include <pbs/pbs.hpp>
 
 #include <cstdlib>
@@ -20,11 +22,7 @@ int main(int argc, char** argv) {
   const int scale = argc > 1 ? std::atoi(argv[1]) : 14;
   const double edge_factor = argc > 2 ? std::atof(argv[2]) : 8.0;
   const pbs::index_t nsources = argc > 3 ? std::atoi(argv[3]) : 64;
-  const std::string algo = argc > 4 ? argv[4] : "pb";
-
-  // Frontier expansion over the boolean semiring through the unified
-  // registry: unsupported (algo, semiring) pairs fail loudly here.
-  const pbs::SpGemmFn step = pbs::semiring_algorithm(algo, "bool_or_and");
+  const std::string algo = argc > 4 ? argv[4] : "auto";
 
   pbs::mtx::RmatParams params;
   params.scale = scale;
@@ -53,13 +51,22 @@ int main(int argc, char** argv) {
   fcoo.canonicalize();
   pbs::mtx::CsrMatrix frontier = pbs::mtx::coo_to_csr(fcoo);
 
+  // One plan for the frontier-expansion site over the boolean semiring;
+  // unsupported (algo, semiring) pairs fail loudly at plan time.
+  pbs::PlanOptions opts;
+  opts.algo = algo;
+  opts.semiring = "bool_or_and";
+  pbs::SpGemmPlan plan =
+      pbs::make_plan(pbs::SpGemmProblem::multiply(at, frontier), opts);
+  std::cout << "step algorithm: " << plan.algo() << "\n";
+
   pbs::nnz_t total_reached = nsources;
   double spgemm_seconds = 0;
   int depth = 0;
   while (frontier.nnz() > 0) {
     pbs::Timer timer;
     const pbs::SpGemmProblem p = pbs::SpGemmProblem::multiply(at, frontier);
-    const pbs::mtx::CsrMatrix next = step(p);
+    const pbs::mtx::CsrMatrix next = plan.execute(p);
     spgemm_seconds += timer.elapsed_s();
 
     // Mask: keep only vertices not yet visited by that search.
@@ -82,8 +89,15 @@ int main(int argc, char** argv) {
     if (depth > 64) break;  // safety on pathological graphs
   }
 
+  const pbs::PlanTelemetry& ptm = plan.telemetry();
+  const pbs::pb::PbWorkspace::Stats ws = plan.workspace_stats();
   std::cout << "done: depth " << depth << ", " << total_reached
             << " total visits, SpGEMM time " << spgemm_seconds * 1e3
-            << " ms\n";
+            << " ms\n"
+            << "plan: " << ptm.executes << " executes, " << ptm.replans
+            << " replans (frontier structure changes per level), "
+            << ptm.analysis_reuses << " analysis reuses; workspace "
+            << ws.allocations << " allocations / " << ws.reuses
+            << " reuses\n";
   return 0;
 }

@@ -1,0 +1,43 @@
+#include "model/selection.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pbs::model {
+
+AlgoChoice select_algorithm(double cf, nnz_t flop, bool hash_available,
+                            const SelectionModel& m) {
+  AlgoChoice choice;
+  choice.cf = std::max(cf, 1.0);  // cf < 1 is an estimator artifact
+  choice.ai_outer = ai_outer_lower(choice.cf, m.bytes_per_nnz);
+  choice.ai_column = ai_column_lower(choice.cf, m.bytes_per_nnz);
+
+  const double pb_eff = m.pb_efficiency;
+  const double col_eff = choice.cf / (choice.cf + m.column_latency_penalty);
+  choice.pb_mflops =
+      attainable_gflops(m.beta_gbs, choice.ai_outer) * pb_eff * 1e3;
+  choice.column_mflops =
+      attainable_gflops(m.beta_gbs, choice.ai_column) * col_eff * 1e3;
+
+  const std::string column_algo = hash_available ? "hash" : "heap";
+  std::ostringstream why;
+  if (flop < m.small_flop_threshold) {
+    choice.algo = "heap";
+    why << "flop " << flop << " < " << m.small_flop_threshold
+        << ": pipeline setup would dominate; low-overhead heap";
+  } else if (choice.pb_mflops >= choice.column_mflops) {
+    choice.algo = "pb";
+    why << "cf " << choice.cf << ": derated outer bound " << choice.pb_mflops
+        << " MFLOPS >= column " << choice.column_mflops
+        << "; bandwidth-optimized pb";
+  } else {
+    choice.algo = column_algo;
+    why << "cf " << choice.cf << ": derated column bound "
+        << choice.column_mflops << " MFLOPS > outer " << choice.pb_mflops
+        << "; Gustavson " << column_algo;
+  }
+  choice.rationale = why.str();
+  return choice;
+}
+
+}  // namespace pbs::model

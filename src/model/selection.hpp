@@ -1,0 +1,77 @@
+// Roofline-guided algorithm selection (paper Sec. II-C applied forward).
+//
+// The paper's model bounds what each SpGEMM family can attain from the
+// compression factor cf alone: outer-product ESC (PB) is limited by Eq. 4,
+// column/row Gustavson (hash, heap) by Eq. 3.  The *bounds* alone always
+// favor the column family (its denominator is smaller), but the two
+// families sit differently below their bounds: PB's phases all stream
+// memory and sustain a large, cf-independent fraction of STREAM bandwidth
+// (Figs. 6/7b/9b), while Gustavson kernels are latency-bound on irregular
+// accumulator access at low cf and only approach their bound as rising cf
+// buys accumulator reuse (Figs. 7a/9a: hash loses to PB at cf ≈ 1-2 and
+// wins on high-compression inputs).  Derating each bound by that measured
+// efficiency reproduces the paper's crossover:
+//
+//   perf_pb(cf)     = pb_efficiency · β · AI_outer(cf)
+//   perf_column(cf) = cf/(cf + column_latency_penalty) · β · AI_column(cf)
+//
+// With the defaults below the crossover sits at cf ≈ 2.2.  β cancels in
+// the comparison, so selection needs no STREAM run; it only scales the
+// absolute MFLOPS estimates reported for telemetry.
+//
+// The compression factor is *estimated* before the multiplication ever
+// runs (pb::pb_estimate_nnz_c's balls-into-bins model over the symbolic
+// phase's per-row flop counts), which is what lets a plan select its
+// algorithm at build time.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+#include "model/roofline.hpp"
+
+namespace pbs::model {
+
+/// β used for absolute performance estimates when the caller has no
+/// measured STREAM figure.  The *choice* is β-independent.
+inline constexpr double kDefaultBetaGbs = 20.0;
+
+/// Tunables of the selection heuristic, exposed so benches and tests can
+/// probe the crossover.  Defaults are calibrated against the paper's
+/// single-socket figures (7, 9, 11).
+struct SelectionModel {
+  double beta_gbs = kDefaultBetaGbs;
+  double bytes_per_nnz = kDefaultBytesPerNnz;
+
+  /// Fraction of its roofline bound PB sustains (its phases stream at
+  /// near-STREAM bandwidth regardless of cf).
+  double pb_efficiency = 0.85;
+
+  /// Gustavson efficiency model cf/(cf + penalty): latency-bound hash
+  /// probes at low cf, approaching the bound as reuse grows.
+  double column_latency_penalty = 2.3;
+
+  /// Below this flop count pipeline setup (binning, parallel regions)
+  /// dominates any bandwidth advantage; pick the low-overhead heap.
+  nnz_t small_flop_threshold = 32768;
+};
+
+/// The decision plus everything needed to explain it in telemetry.
+struct AlgoChoice {
+  std::string algo;          ///< "pb", "hash" or "heap"
+  double cf = 0;             ///< the (estimated) compression factor used
+  double ai_outer = 0;       ///< Eq. 4 bound at cf (flops/byte)
+  double ai_column = 0;      ///< Eq. 3 bound at cf
+  double pb_mflops = 0;      ///< derated estimate at beta_gbs
+  double column_mflops = 0;  ///< derated estimate at beta_gbs
+  std::string rationale;     ///< one human-readable line for telemetry/CLI
+};
+
+/// Picks pb / hash / heap for a multiplication with estimated compression
+/// factor `cf` and `flop` total multiplications.  `hash_available` is
+/// false when the requested semiring rules hash out (it is plus_times-only
+/// in the registry); the column family is then represented by heap.
+AlgoChoice select_algorithm(double cf, nnz_t flop, bool hash_available,
+                            const SelectionModel& m = {});
+
+}  // namespace pbs::model

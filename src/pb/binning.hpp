@@ -26,12 +26,11 @@ struct BinLayout {
 
   [[nodiscard]] int binid(index_t row) const;
 
-  /// Rows per bin for uniform layouts (0 for adaptive).
+  /// Width of a bin's contiguous row range.  Only range layouts have one
+  /// (modulo bins are strided, adaptive bins vary), so every other policy
+  /// reports 0.
   [[nodiscard]] index_t rows_per_bin() const {
-    return policy == BinPolicy::kRange ? (index_t{1} << shift)
-           : policy == BinPolicy::kModulo
-               ? 0  // rows of a modulo bin are strided, not contiguous
-               : 0;
+    return policy == BinPolicy::kRange ? index_t{1} << shift : index_t{0};
   }
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/timer.hpp"
+
 namespace pbs::pb {
 
 namespace {
@@ -40,41 +42,25 @@ mtx::CscMatrix slice_rows(const mtx::CscMatrix& a, index_t row_lo,
   return out;
 }
 
-}  // namespace
-
-PartitionedResult pb_spgemm_partitioned(const mtx::CscMatrix& a,
-                                        const mtx::CsrMatrix& b, int nparts,
-                                        const PbConfig& cfg) {
+// Validates and clamps nparts to the row count.
+int checked_nparts(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
+                   int nparts) {
   if (nparts < 1) {
     throw std::invalid_argument("pb_spgemm_partitioned: nparts must be >= 1");
   }
   if (a.ncols != b.nrows) {
     throw std::invalid_argument("pb_spgemm_partitioned: dimensions differ");
   }
-  nparts = std::min<int>(nparts, std::max<index_t>(a.nrows, 1));
+  return std::min<int>(nparts, std::max<index_t>(a.nrows, 1));
+}
 
-  PartitionedResult out;
-  out.parts.reserve(static_cast<std::size_t>(nparts));
-
-  std::vector<mtx::CsrMatrix> pieces;
-  pieces.reserve(static_cast<std::size_t>(nparts));
-  PbWorkspace workspace;  // shared: parts run one after another
-
-  const index_t rows_per_part = (a.nrows + nparts - 1) / nparts;
-  for (int part = 0; part < nparts; ++part) {
-    const index_t lo = std::min<index_t>(a.nrows, part * rows_per_part);
-    const index_t hi = std::min<index_t>(a.nrows, lo + rows_per_part);
-    const mtx::CscMatrix a_part = slice_rows(a, lo, hi);
-    PbResult r = pb_spgemm(a_part, b, cfg, workspace);
-    out.parts.push_back(r.stats);
-    pieces.push_back(std::move(r.c));
-  }
-
-  // Stack: parts own disjoint, ascending row ranges.
-  mtx::CsrMatrix& c = out.c;
-  c.nrows = a.nrows;
-  c.ncols = b.ncols;
-  c.rowptr.assign(static_cast<std::size_t>(a.nrows) + 1, 0);
+// Stacks per-part CSR results owning disjoint, ascending row ranges.
+mtx::CsrMatrix stack_pieces(const std::vector<mtx::CsrMatrix>& pieces,
+                            index_t nrows, index_t ncols) {
+  mtx::CsrMatrix c;
+  c.nrows = nrows;
+  c.ncols = ncols;
+  c.rowptr.assign(static_cast<std::size_t>(nrows) + 1, 0);
   nnz_t total = 0;
   for (const mtx::CsrMatrix& piece : pieces) total += piece.nnz();
   c.colids.reserve(static_cast<std::size_t>(total));
@@ -98,6 +84,86 @@ PartitionedResult pb_spgemm_partitioned(const mtx::CscMatrix& a,
        r < c.rowptr.size(); ++r) {
     c.rowptr[r] = nnz_base;
   }
+  return c;
+}
+
+}  // namespace
+
+PartitionedPlan make_partitioned_plan(const mtx::CscMatrix& a,
+                                      const mtx::CsrMatrix& b, int nparts,
+                                      const PbConfig& cfg) {
+  nparts = checked_nparts(a, b, nparts);
+
+  PartitionedPlan plan;
+  plan.a_nrows_ = a.nrows;
+  plan.a_parts_.reserve(static_cast<std::size_t>(nparts));
+  plan.plans_.reserve(static_cast<std::size_t>(nparts));
+
+  Timer timer;
+  const index_t rows_per_part = (a.nrows + nparts - 1) / nparts;
+  for (int part = 0; part < nparts; ++part) {
+    const index_t lo = std::min<index_t>(a.nrows, part * rows_per_part);
+    const index_t hi = std::min<index_t>(a.nrows, lo + rows_per_part);
+    plan.a_parts_.push_back(slice_rows(a, lo, hi));
+    plan.plans_.push_back(pb_plan_build(plan.a_parts_.back(), b, cfg));
+  }
+  plan.build_seconds_ = timer.elapsed_s();
+  return plan;
+}
+
+PartitionedResult PartitionedPlan::execute(const mtx::CsrMatrix& b,
+                                           bool check_fingerprint) {
+  PartitionedResult out;
+  out.parts.reserve(plans_.size());
+
+  std::vector<mtx::CsrMatrix> pieces;
+  pieces.reserve(plans_.size());
+
+  for (std::size_t part = 0; part < plans_.size(); ++part) {
+    // b is caller-supplied on every execute, so by default keep
+    // pb_execute's fingerprint check: a structurally different b fails
+    // loudly here (one O(ncols) flop recount per part) instead of
+    // corrupting the captured bin layouts.
+    PbResult r = pb_execute<PlusTimes>(a_parts_[part], b, plans_[part],
+                                       workspace_, check_fingerprint);
+    out.parts.push_back(r.stats);
+    pieces.push_back(std::move(r.c));
+  }
+
+  out.c = stack_pieces(pieces, a_nrows_, b.ncols);
+  return out;
+}
+
+PartitionedResult pb_spgemm_partitioned(const mtx::CscMatrix& a,
+                                        const mtx::CsrMatrix& b, int nparts,
+                                        const PbConfig& cfg) {
+  nparts = checked_nparts(a, b, nparts);
+
+  // One-shot form: slice, analyze, execute and free one part at a time
+  // through the plan-build/execute split — unlike PartitionedPlan it never
+  // holds more than one row slice of A, so peak memory matches the
+  // pre-plan implementation.  The in-line analysis lands in each part's
+  // symbolic stats, like pb_spgemm.
+  PartitionedResult out;
+  out.parts.reserve(static_cast<std::size_t>(nparts));
+  std::vector<mtx::CsrMatrix> pieces;
+  pieces.reserve(static_cast<std::size_t>(nparts));
+  PbWorkspace workspace;  // shared: parts run one after another
+
+  const index_t rows_per_part = (a.nrows + nparts - 1) / nparts;
+  for (int part = 0; part < nparts; ++part) {
+    const index_t lo = std::min<index_t>(a.nrows, part * rows_per_part);
+    const index_t hi = std::min<index_t>(a.nrows, lo + rows_per_part);
+    const mtx::CscMatrix a_part = slice_rows(a, lo, hi);
+    const PbPlan plan = pb_plan_build(a_part, b, cfg);
+    PbResult r = pb_execute<PlusTimes>(a_part, b, plan, workspace,
+                                       /*check_fingerprint=*/false);
+    r.stats.symbolic = plan.symbolic;
+    out.parts.push_back(r.stats);
+    pieces.push_back(std::move(r.c));
+  }
+
+  out.c = stack_pieces(pieces, a.nrows, b.ncols);
   return out;
 }
 

@@ -12,9 +12,15 @@
 // per-part CSR results are stacked (their row ranges are disjoint and
 // ordered, so stacking is a concatenation).  On a single socket it serves
 // as the ablation for the extra-B-reads trade-off the paper describes.
+//
+// The variant is plan-aware: slicing A and analyzing every part are pure
+// structure work, so PartitionedPlan captures the row slices and their
+// per-part symbolic plans once and execute() replays only the numeric
+// pipeline stages against a pooled workspace — the partitioned analogue of
+// pb_plan_build / pb_execute (pb/plan.hpp).
 #pragma once
 
-#include "pb/pb_spgemm.hpp"
+#include "pb/plan.hpp"
 
 namespace pbs::pb {
 
@@ -30,8 +36,58 @@ struct PartitionedResult {
   }
 };
 
-/// Multiplies A·B with A split into `nparts` row blocks.  nparts == 1 is
-/// equivalent to pb_spgemm.  Requires 1 <= nparts and a.ncols == b.nrows.
+/// Reusable partitioned plan: owns the row slices of A (structure *and*
+/// values, frozen at build time) and one PbPlan per part.  execute(b)
+/// multiplies the captured A against `b`, whose structure must match the
+/// build-time B (checked per part via the plan fingerprints; values are
+/// free to change).
+class PartitionedPlan {
+ public:
+  /// Runs every part's expand → sort/compress → convert through the
+  /// pooled workspace and stacks the results.  With check_fingerprint
+  /// (the default) a b whose structure no longer matches throws
+  /// std::invalid_argument; callers that just built the plan from this
+  /// exact b pass false and skip the per-part flop recounts.
+  PartitionedResult execute(const mtx::CsrMatrix& b,
+                            bool check_fingerprint = true);
+
+  [[nodiscard]] int nparts() const { return static_cast<int>(plans_.size()); }
+
+  /// Symbolic cost paid at build time, summed over parts plus the
+  /// A-slicing passes (for amortization reporting).
+  [[nodiscard]] double build_seconds() const { return build_seconds_; }
+
+  /// The per-part symbolic plans (their .symbolic records each part's own
+  /// analysis cost, excluding slicing).
+  [[nodiscard]] const std::vector<PbPlan>& part_plans() const {
+    return plans_;
+  }
+
+  [[nodiscard]] PbWorkspace::Stats workspace_stats() const {
+    return workspace_.stats();
+  }
+
+ private:
+  friend PartitionedPlan make_partitioned_plan(const mtx::CscMatrix& a,
+                                               const mtx::CsrMatrix& b,
+                                               int nparts, const PbConfig& cfg);
+
+  std::vector<mtx::CscMatrix> a_parts_;
+  std::vector<PbPlan> plans_;
+  PbWorkspace workspace_;
+  index_t a_nrows_ = 0;
+  double build_seconds_ = 0;
+};
+
+/// Slices A into `nparts` row blocks and builds one symbolic plan per
+/// block.  Requires 1 <= nparts and a.ncols == b.nrows.
+PartitionedPlan make_partitioned_plan(const mtx::CscMatrix& a,
+                                      const mtx::CsrMatrix& b, int nparts,
+                                      const PbConfig& cfg = {});
+
+/// Multiplies A·B with A split into `nparts` row blocks (plan built and
+/// executed once).  nparts == 1 is equivalent to pb_spgemm.  Requires
+/// 1 <= nparts and a.ncols == b.nrows.
 PartitionedResult pb_spgemm_partitioned(const mtx::CscMatrix& a,
                                         const mtx::CsrMatrix& b, int nparts,
                                         const PbConfig& cfg = {});

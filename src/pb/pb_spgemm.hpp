@@ -26,10 +26,17 @@
 // bandwidth the way the paper's Figs. 6/7b/9b do.  Runtime
 // (algorithm × semiring) dispatch across the whole library lives in
 // spgemm/registry.hpp.
+//
+// pb_spgemm is the fused form of the plan/execute split in pb/plan.hpp
+// (pb_plan_build + pb_execute<S>); repeated multiplications with the same
+// structure should build a plan once and execute it, or use the
+// self-selecting SpGemmPlan in spgemm/plan.hpp.
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/aligned_buffer.hpp"
 #include "matrix/csc.hpp"
@@ -40,31 +47,99 @@
 
 namespace pbs::pb {
 
-/// Reusable scratch for the expanded matrix Cˆ (flop tuples — the largest
-/// allocation of the algorithm, often several times the inputs).
+/// Pooling allocator for the pipeline's scratch memory: the expanded
+/// matrix Cˆ (flop tuples — the largest allocation of the algorithm, often
+/// several times the inputs) plus the per-thread radix-sort scratch of the
+/// sort/compress phase.
 ///
 /// Re-running PB-SpGEMM with the same workspace keeps that memory mapped
 /// and warm across calls, which matters twice: in iterative applications
 /// (MCL, AMG setup, BFS) the allocation cost would otherwise recur every
 /// iteration, and on kernels with slow page-fault paths (containers, some
 /// hypervisors) first-touch faults can run an order of magnitude below
-/// stream bandwidth and completely mask the algorithm.  The scratch holds
+/// stream bandwidth and completely mask the algorithm.  The pools hold
 /// raw tuples, so one workspace serves every semiring instantiation.
+///
+/// Reuse statistics distinguish calls served from pooled capacity from
+/// calls that had to (re)allocate — the plan/execute layer exposes them so
+/// tests and benches can assert that steady-state executions allocate
+/// nothing.  Not thread-safe across concurrent pipelines; the per-thread
+/// scratch slots are safe to fill from inside one pipeline's parallel
+/// region (each slot belongs to one OpenMP thread).
 class PbWorkspace {
  public:
+  struct Stats {
+    std::uint64_t acquires = 0;     ///< total tuple-pool requests
+    std::uint64_t allocations = 0;  ///< requests that had to (re)allocate
+    std::uint64_t reuses = 0;       ///< requests served from pooled capacity
+    std::uint64_t scratch_allocations = 0;  ///< ditto for sort scratch slots
+    std::uint64_t scratch_reuses = 0;
+    std::size_t peak_request = 0;   ///< largest tuple count ever requested
+  };
+
   /// Buffer for at least n tuples; contents undefined.  Grows
   /// geometrically, never shrinks.
   Tuple* acquire(std::size_t n) {
+    ++stats_.acquires;
+    stats_.peak_request = std::max(stats_.peak_request, n);
     if (n > buf_.size()) {
+      ++stats_.allocations;
       buf_.allocate(std::max(n, buf_.size() + buf_.size() / 2));
+    } else {
+      ++stats_.reuses;
     }
     return buf_.data();
   }
 
+  /// Ensures `nthreads` scratch slots exist.  Call before the parallel
+  /// region that uses acquire_scratch.
+  void prepare_scratch(int nthreads) {
+    if (scratch_.size() < static_cast<std::size_t>(nthreads)) {
+      scratch_.resize(static_cast<std::size_t>(nthreads));
+    }
+  }
+
+  /// Per-thread sort scratch of at least n tuples; contents undefined.
+  /// Each slot is owned by one thread, so slots carry their own counters
+  /// (aggregated in stats()) without synchronization.
+  Tuple* acquire_scratch(std::size_t slot, std::size_t n) {
+    ScratchSlot& s = scratch_[slot];
+    if (n > s.buf.size()) {
+      ++s.allocations;
+      s.buf.allocate(std::max(n, s.buf.size() + s.buf.size() / 2));
+    } else {
+      ++s.reuses;
+    }
+    return s.buf.data();
+  }
+
   [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
 
+  /// Aggregated reuse statistics (tuple pool + scratch slots).
+  [[nodiscard]] Stats stats() const {
+    Stats s = stats_;
+    for (const ScratchSlot& slot : scratch_) {
+      s.scratch_allocations += slot.allocations;
+      s.scratch_reuses += slot.reuses;
+    }
+    return s;
+  }
+
+  void reset_stats() {
+    stats_ = {};
+    for (ScratchSlot& slot : scratch_) slot.allocations = slot.reuses = 0;
+  }
+
  private:
+  struct ScratchSlot {
+    AlignedBuffer<Tuple> buf;
+    std::uint64_t allocations = 0;
+    std::uint64_t reuses = 0;
+  };
+
   AlignedBuffer<Tuple> buf_;
+  std::vector<ScratchSlot> scratch_;
+  Stats stats_;
 };
 
 /// Multiplies A (CSC) by B (CSR) over semiring S.  Requires

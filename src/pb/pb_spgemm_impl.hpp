@@ -1,17 +1,15 @@
 // Template definition of the PB-SpGEMM pipeline driver (see
-// pb_spgemm.hpp).  Included by pb_spgemm.cpp, which explicitly
-// instantiates pb_spgemm<S> for the built-in semirings — include this
-// header (plus expand_impl.hpp and sort_compress_impl.hpp) directly only
-// to instantiate a custom semiring.
+// pb_spgemm.hpp).  The pipeline is the plan/execute split of plan.hpp run
+// back to back: build the symbolic plan, execute it once, and fold the
+// analysis cost back into the returned telemetry.  Included by
+// pb_spgemm.cpp, which explicitly instantiates pb_spgemm<S> for the
+// built-in semirings — include this header (plus plan_impl.hpp,
+// expand_impl.hpp and sort_compress_impl.hpp) directly only to
+// instantiate a custom semiring.
 #pragma once
 
 #include "pb/pb_spgemm.hpp"
-
-#include "common/timer.hpp"
-#include "pb/expand.hpp"
-#include "pb/output.hpp"
-#include "pb/sort_compress.hpp"
-#include "pb/symbolic.hpp"
+#include "pb/plan.hpp"
 
 namespace pbs::pb {
 
@@ -25,64 +23,13 @@ PbResult pb_spgemm(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
 template <typename S>
 PbResult pb_spgemm(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
                    const PbConfig& cfg, PbWorkspace& workspace) {
-  PbResult result;
-  PbTelemetry& tm = result.stats;
-  Timer timer;
-
-  // ---- symbolic (semiring-independent: structure only) ----
-  timer.reset();
-  const SymbolicResult sym = pb_symbolic(a, b, cfg);
-  tm.symbolic.seconds = timer.elapsed_s();
-  tm.symbolic.bytes = sym.modeled_bytes;
-  tm.flop = sym.flop;
-  tm.nbins = sym.layout.nbins;
-  tm.rows_per_bin = sym.layout.rows_per_bin();
-
-  // ---- expand (S::mul) ----
-  timer.reset();
-  Tuple* const expanded =
-      workspace.acquire(static_cast<std::size_t>(sym.bin_offsets.back()));
-  pb_expand<S>(a, b, sym, cfg, expanded);
-  tm.expand.seconds = timer.elapsed_s();
-  // Table III: read both inputs once, write flop tuples.
-  tm.expand.bytes =
-      static_cast<double>(kBytesPerTuple) *
-      (static_cast<double>(a.nnz()) + static_cast<double>(b.nnz()) +
-       static_cast<double>(sym.flop));
-
-  // ---- sort + compress (fused per bin, timed separately; S::add) ----
-  timer.reset();
-  const SortCompressResult sc = pb_sort_compress<S>(
-      expanded, sym.bin_offsets, sym.bin_fill, sym.layout.nbins);
-  const double sc_wall = timer.elapsed_s();
-  // Attribute the fused loop's wall time proportionally to the measured
-  // per-thread busy times (their ratio is exact; the split of idle time is
-  // the approximation).
-  const double busy = sc.sort_seconds + sc.compress_seconds;
-  const double sort_share = busy > 0 ? sc.sort_seconds / busy : 0.5;
-  tm.sort.seconds = sc_wall * sort_share;
-  tm.compress.seconds = sc_wall * (1.0 - sort_share);
-  // Table III: the sort streams the bin in (shuffles are in-cache); the
-  // compress writes only survivors (reads are in-cache).
-  tm.sort.bytes =
-      static_cast<double>(kBytesPerTuple) * static_cast<double>(sym.flop);
-  nnz_t nnz_c = 0;
-  for (const nnz_t m : sc.merged) nnz_c += m;
-  tm.nnz_c = nnz_c;
-  tm.compress.bytes =
-      static_cast<double>(kBytesPerTuple) * static_cast<double>(nnz_c);
-
-  // ---- convert to CSR (semiring-independent) ----
-  timer.reset();
-  result.c = pb_build_csr(expanded, sym.bin_offsets, sc.merged,
-                          a.nrows, b.ncols);
-  tm.convert.seconds = timer.elapsed_s();
-  // Reads the merged tuples, writes colids+vals and two rowptr passes.
-  tm.convert.bytes =
-      static_cast<double>(kBytesPerTuple + sizeof(index_t) + sizeof(value_t)) *
-          static_cast<double>(nnz_c) +
-      2.0 * static_cast<double>(sizeof(nnz_t)) * static_cast<double>(a.nrows);
-
+  const PbPlan plan = pb_plan_build(a, b, cfg);
+  // The plan was built from these exact operands: skip the fingerprint.
+  PbResult result =
+      pb_execute<S>(a, b, plan, workspace, /*check_fingerprint=*/false);
+  // A fresh multiply pays the analysis in-line; a reused plan pays it once
+  // at build time (pb_execute leaves the symbolic phase at zero).
+  result.stats.symbolic = plan.symbolic;
   return result;
 }
 

@@ -1,0 +1,60 @@
+#include "pb/plan_impl.hpp"
+
+#include "common/cache_info.hpp"
+
+namespace pbs::pb {
+
+StructureFingerprint StructureFingerprint::of(const mtx::CscMatrix& a,
+                                              const mtx::CsrMatrix& b) {
+  return of(a, b, pb_count_flop(a, b));  // throws on dimension mismatch
+}
+
+StructureFingerprint StructureFingerprint::of(const mtx::CscMatrix& a,
+                                              const mtx::CsrMatrix& b,
+                                              nnz_t flop) {
+  StructureFingerprint fp;
+  fp.a_rows = a.nrows;
+  fp.a_cols = a.ncols;
+  fp.b_rows = b.nrows;
+  fp.b_cols = b.ncols;
+  fp.a_nnz = a.nnz();
+  fp.b_nnz = b.nnz();
+  fp.flop = flop;
+  return fp;
+}
+
+PbPlan pb_plan_build(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
+                     const PbConfig& cfg) {
+  PbPlan plan;
+  Timer timer;
+  plan.sym = pb_symbolic(a, b, cfg);  // throws on dimension mismatch
+  plan.cfg = cfg;
+  plan.l2_bytes = cfg.l2_bytes != 0 ? cfg.l2_bytes : cache_info().l2_bytes;
+  plan.fingerprint = StructureFingerprint::of(a, b, plan.sym.flop);
+  plan.symbolic.seconds = timer.elapsed_s();
+  plan.symbolic.bytes = plan.sym.modeled_bytes;
+  return plan;
+}
+
+template PbResult pb_execute<PlusTimes>(const mtx::CscMatrix&,
+                                        const mtx::CsrMatrix&, const PbPlan&,
+                                        PbWorkspace&, bool);
+template PbResult pb_execute<MinPlus>(const mtx::CscMatrix&,
+                                      const mtx::CsrMatrix&, const PbPlan&,
+                                      PbWorkspace&, bool);
+template PbResult pb_execute<MaxMin>(const mtx::CscMatrix&,
+                                     const mtx::CsrMatrix&, const PbPlan&,
+                                     PbWorkspace&, bool);
+template PbResult pb_execute<BoolOrAnd>(const mtx::CscMatrix&,
+                                        const mtx::CsrMatrix&, const PbPlan&,
+                                        PbWorkspace&, bool);
+
+PbResult pb_execute_named(const std::string& semiring, const mtx::CscMatrix& a,
+                          const mtx::CsrMatrix& b, const PbPlan& plan,
+                          PbWorkspace& workspace, bool check_fingerprint) {
+  return dispatch_semiring(semiring, [&]<typename S>() {
+    return pb_execute<S>(a, b, plan, workspace, check_fingerprint);
+  });
+}
+
+}  // namespace pbs::pb

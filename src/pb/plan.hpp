@@ -1,0 +1,115 @@
+// PB-SpGEMM plan/execute split — analyze once, execute many.
+//
+// The pipeline's symbolic phase (flop count, bin layout, per-bin regions)
+// is semiring-independent and depends only on the *structure* of A and B,
+// yet pb_spgemm re-runs it on every call.  The workloads that motivate
+// PB-SpGEMM — Markov clustering, multi-source BFS, betweenness, AMG
+// Galerkin products — multiply with the same structure dozens of times, so
+// this header splits the pipeline FFTW-style:
+//
+//   PbPlan plan = pb_plan_build(a, b, cfg);   // symbolic + layout, once
+//   for (...) r = pb_execute<S>(a, b, plan, workspace);
+//
+// pb_execute runs only expand → sort/compress → convert against the
+// captured bin layout and a pooled workspace, so steady-state executions
+// perform no analysis and no allocation (assertable via PbWorkspace
+// stats).  A StructureFingerprint makes invalidation cheap: executions
+// must pass operands whose fingerprint matches the plan's, and the
+// higher-level SpGemmPlan (spgemm/plan.hpp) uses the same fingerprint to
+// replan automatically when operands change shape.
+//
+// The fingerprint is dims + nnz + flop.  flop (an O(k) pointer-array
+// product) is sensitive to how the operands' structures interact, so it
+// catches essentially every structural change a real application makes;
+// operands engineered to collide on all seven fields while moving
+// nonzeros between rows would corrupt the bin layout undetected — callers
+// mutating structure in place must rebuild the plan explicitly.
+#pragma once
+
+#include "pb/pb_spgemm.hpp"
+#include "pb/symbolic.hpp"
+
+namespace pbs::pb {
+
+/// Cheap structural identity of a multiplication: dimensions, nonzero
+/// counts and the flop invariant (see file comment for the contract).
+struct StructureFingerprint {
+  index_t a_rows = 0, a_cols = 0;
+  index_t b_rows = 0, b_cols = 0;
+  nnz_t a_nnz = 0, b_nnz = 0;
+  nnz_t flop = 0;
+
+  /// Throws std::invalid_argument when a.ncols != b.nrows (the flop pass
+  /// walks b's rows by a's column index).
+  static StructureFingerprint of(const mtx::CscMatrix& a,
+                                 const mtx::CsrMatrix& b);
+
+  /// Variant for callers that already know flop(A·B) (e.g. from a
+  /// symbolic run) — keeps build-time and execute-time fingerprints
+  /// derived from one place.
+  static StructureFingerprint of(const mtx::CscMatrix& a,
+                                 const mtx::CsrMatrix& b, nnz_t flop);
+
+  bool operator==(const StructureFingerprint&) const = default;
+};
+
+/// The reusable analysis product: everything pb_spgemm derives from the
+/// operands' structure before touching values.
+struct PbPlan {
+  SymbolicResult sym;
+  PbConfig cfg;              ///< config the plan was built with
+  std::size_t l2_bytes = 0;  ///< cache size the bin count was derived from
+  StructureFingerprint fingerprint;
+  PhaseStats symbolic;       ///< cost of building this plan (time + bytes)
+
+  /// True when (a, b) still matches the structure this plan was built for.
+  [[nodiscard]] bool matches(const mtx::CscMatrix& a,
+                             const mtx::CsrMatrix& b) const {
+    return StructureFingerprint::of(a, b) == fingerprint;
+  }
+};
+
+/// Runs the symbolic phase and captures its products.  Requires
+/// a.ncols == b.nrows; throws std::invalid_argument otherwise.
+PbPlan pb_plan_build(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
+                     const PbConfig& cfg = {});
+
+/// Executes expand → sort/compress → convert over semiring S against a
+/// previously built plan, drawing all scratch from `workspace`.  The
+/// operands must match plan.fingerprint: with check_fingerprint (the
+/// default) a mismatch throws std::invalid_argument — the symbolic
+/// products would misroute tuples.  Callers that have just built the plan
+/// from (a, b) or already verified the fingerprint themselves pass false
+/// and skip the O(ncols) flop recount.  The returned telemetry's symbolic
+/// phase is zero: analysis was paid at plan-build time (plan.symbolic
+/// records it).
+template <typename S>
+PbResult pb_execute(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
+                    const PbPlan& plan, PbWorkspace& workspace,
+                    bool check_fingerprint = true);
+
+extern template PbResult pb_execute<PlusTimes>(const mtx::CscMatrix&,
+                                               const mtx::CsrMatrix&,
+                                               const PbPlan&, PbWorkspace&,
+                                               bool);
+extern template PbResult pb_execute<MinPlus>(const mtx::CscMatrix&,
+                                             const mtx::CsrMatrix&,
+                                             const PbPlan&, PbWorkspace&,
+                                             bool);
+extern template PbResult pb_execute<MaxMin>(const mtx::CscMatrix&,
+                                            const mtx::CsrMatrix&,
+                                            const PbPlan&, PbWorkspace&,
+                                            bool);
+extern template PbResult pb_execute<BoolOrAnd>(const mtx::CscMatrix&,
+                                               const mtx::CsrMatrix&,
+                                               const PbPlan&, PbWorkspace&,
+                                               bool);
+
+/// Runtime dispatch by semiring name; throws std::invalid_argument listing
+/// the valid names on a miss.
+PbResult pb_execute_named(const std::string& semiring, const mtx::CscMatrix& a,
+                          const mtx::CsrMatrix& b, const PbPlan& plan,
+                          PbWorkspace& workspace,
+                          bool check_fingerprint = true);
+
+}  // namespace pbs::pb

@@ -1,0 +1,91 @@
+// Template definition of the plan-execute stage (see plan.hpp).  Included
+// by plan.cpp, which explicitly instantiates pb_execute<S> for the
+// built-in semirings — include this header (plus expand_impl.hpp and
+// sort_compress_impl.hpp) directly only to instantiate a custom semiring.
+#pragma once
+
+#include <stdexcept>
+
+#include "common/timer.hpp"
+#include "pb/expand.hpp"
+#include "pb/output.hpp"
+#include "pb/plan.hpp"
+#include "pb/sort_compress.hpp"
+
+namespace pbs::pb {
+
+template <typename S>
+PbResult pb_execute(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
+                    const PbPlan& plan, PbWorkspace& workspace,
+                    bool check_fingerprint) {
+  if (check_fingerprint && !plan.matches(a, b)) {
+    throw std::invalid_argument(
+        "pb_execute: operands do not match the plan's structure fingerprint "
+        "(dims/nnz/flop changed); rebuild the plan with pb_plan_build");
+  }
+
+  const SymbolicResult& sym = plan.sym;
+  PbResult result;
+  PbTelemetry& tm = result.stats;
+  Timer timer;
+
+  // Analysis was paid at plan-build time: tm.symbolic stays zero here
+  // (plan.symbolic records the build cost; pb_spgemm folds it back in for
+  // the fused build+execute path).
+  tm.flop = sym.flop;
+  tm.nbins = sym.layout.nbins;
+  // rows_per_bin contract: the range policy reports its power-of-two bin
+  // width; modulo and adaptive layouts have no single contiguous width and
+  // report 0 (see BinLayout::rows_per_bin).
+  tm.rows_per_bin = sym.layout.rows_per_bin();
+
+  // ---- expand (S::mul) ----
+  timer.reset();
+  Tuple* const expanded =
+      workspace.acquire(static_cast<std::size_t>(sym.bin_offsets.back()));
+  pb_expand<S>(a, b, sym, plan.cfg, expanded);
+  tm.expand.seconds = timer.elapsed_s();
+  // Table III: read both inputs once, write flop tuples.
+  tm.expand.bytes =
+      static_cast<double>(kBytesPerTuple) *
+      (static_cast<double>(a.nnz()) + static_cast<double>(b.nnz()) +
+       static_cast<double>(sym.flop));
+
+  // ---- sort + compress (fused per bin, timed separately; S::add) ----
+  timer.reset();
+  const SortCompressResult sc =
+      pb_sort_compress<S>(expanded, sym.bin_offsets, sym.bin_fill,
+                          sym.layout.nbins, &workspace);
+  const double sc_wall = timer.elapsed_s();
+  // Attribute the fused loop's wall time proportionally to the measured
+  // per-thread busy times (their ratio is exact; the split of idle time is
+  // the approximation).
+  const double busy = sc.sort_seconds + sc.compress_seconds;
+  const double sort_share = busy > 0 ? sc.sort_seconds / busy : 0.5;
+  tm.sort.seconds = sc_wall * sort_share;
+  tm.compress.seconds = sc_wall * (1.0 - sort_share);
+  // Table III: the sort streams the bin in (shuffles are in-cache); the
+  // compress writes only survivors (reads are in-cache).
+  tm.sort.bytes =
+      static_cast<double>(kBytesPerTuple) * static_cast<double>(sym.flop);
+  nnz_t nnz_c = 0;
+  for (const nnz_t m : sc.merged) nnz_c += m;
+  tm.nnz_c = nnz_c;
+  tm.compress.bytes =
+      static_cast<double>(kBytesPerTuple) * static_cast<double>(nnz_c);
+
+  // ---- convert to CSR (semiring-independent) ----
+  timer.reset();
+  result.c = pb_build_csr(expanded, sym.bin_offsets, sc.merged,
+                          a.nrows, b.ncols);
+  tm.convert.seconds = timer.elapsed_s();
+  // Reads the merged tuples, writes colids+vals and two rowptr passes.
+  tm.convert.bytes =
+      static_cast<double>(kBytesPerTuple + sizeof(index_t) + sizeof(value_t)) *
+          static_cast<double>(nnz_c) +
+      2.0 * static_cast<double>(sizeof(nnz_t)) * static_cast<double>(a.nrows);
+
+  return result;
+}
+
+}  // namespace pbs::pb

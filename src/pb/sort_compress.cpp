@@ -3,18 +3,19 @@
 namespace pbs::pb {
 
 template SortCompressResult pb_sort_compress<PlusTimes>(
-    Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int);
+    Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int, PbWorkspace*);
 template SortCompressResult pb_sort_compress<MinPlus>(
-    Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int);
+    Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int, PbWorkspace*);
 template SortCompressResult pb_sort_compress<MaxMin>(
-    Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int);
+    Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int, PbWorkspace*);
 template SortCompressResult pb_sort_compress<BoolOrAnd>(
-    Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int);
+    Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int, PbWorkspace*);
 
 SortCompressResult pb_sort_compress(Tuple* tuples,
                                     std::span<const nnz_t> offsets,
-                                    std::span<const nnz_t> fill, int nbins) {
-  return pb_sort_compress<PlusTimes>(tuples, offsets, fill, nbins);
+                                    std::span<const nnz_t> fill, int nbins,
+                                    PbWorkspace* workspace) {
+  return pb_sort_compress<PlusTimes>(tuples, offsets, fill, nbins, workspace);
 }
 
 }  // namespace pbs::pb

@@ -25,6 +25,8 @@
 
 namespace pbs::pb {
 
+class PbWorkspace;  // pb_spgemm.hpp — optional scratch pool
+
 struct SortCompressResult {
   /// Merged (post-compression) tuple count per bin; size nbins.
   std::vector<nnz_t> merged;
@@ -37,24 +39,28 @@ struct SortCompressResult {
 
 /// Sorts each bin [offsets[b], offsets[b] + fill[b]) by key, then
 /// compresses duplicates in place with S::add (survivors packed at the
-/// bin's front).
+/// bin's front).  When `workspace` is non-null its per-thread scratch pool
+/// serves the radix-sort scratch, so repeated calls allocate nothing;
+/// otherwise each call allocates thread-local scratch.
 template <typename S>
 SortCompressResult pb_sort_compress(Tuple* tuples,
                                     std::span<const nnz_t> offsets,
-                                    std::span<const nnz_t> fill, int nbins);
+                                    std::span<const nnz_t> fill, int nbins,
+                                    PbWorkspace* workspace = nullptr);
 
 extern template SortCompressResult pb_sort_compress<PlusTimes>(
-    Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int);
+    Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int, PbWorkspace*);
 extern template SortCompressResult pb_sort_compress<MinPlus>(
-    Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int);
+    Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int, PbWorkspace*);
 extern template SortCompressResult pb_sort_compress<MaxMin>(
-    Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int);
+    Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int, PbWorkspace*);
 extern template SortCompressResult pb_sort_compress<BoolOrAnd>(
-    Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int);
+    Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int, PbWorkspace*);
 
 /// Numeric (+, ×) sort+compress — equivalent to pb_sort_compress<PlusTimes>.
 SortCompressResult pb_sort_compress(Tuple* tuples,
                                     std::span<const nnz_t> offsets,
-                                    std::span<const nnz_t> fill, int nbins);
+                                    std::span<const nnz_t> fill, int nbins,
+                                    PbWorkspace* workspace = nullptr);
 
 }  // namespace pbs::pb

@@ -14,13 +14,15 @@
 #include "common/parallel.hpp"
 #include "common/radix_sort.hpp"
 #include "common/timer.hpp"
+#include "pb/pb_spgemm.hpp"
 
 namespace pbs::pb {
 
 template <typename S>
 SortCompressResult pb_sort_compress(Tuple* tuples,
                                     std::span<const nnz_t> offsets,
-                                    std::span<const nnz_t> fill, int nbins) {
+                                    std::span<const nnz_t> fill, int nbins,
+                                    PbWorkspace* workspace) {
   SortCompressResult out;
   out.merged.assign(static_cast<std::size_t>(nbins), 0);
 
@@ -30,16 +32,26 @@ SortCompressResult pb_sort_compress(Tuple* tuples,
 
   // Per-thread scratch for the LSD sort, sized to the largest bin this
   // thread will touch.  Bins are capped at half of L2, so bin + scratch
-  // stay cache-resident (see common/radix_sort.hpp).
+  // stay cache-resident (see common/radix_sort.hpp).  A workspace serves
+  // the scratch from its pool; without one each call allocates its own.
   nnz_t max_bin = 0;
   for (int bin = 0; bin < nbins; ++bin) {
     max_bin = std::max(max_bin, fill[static_cast<std::size_t>(bin)]);
   }
+  if (workspace != nullptr) workspace->prepare_scratch(nthreads);
 
 #pragma omp parallel num_threads(nthreads)
   {
     const auto tid = static_cast<std::size_t>(omp_get_thread_num());
-    AlignedBuffer<Tuple> scratch(static_cast<std::size_t>(max_bin));
+    AlignedBuffer<Tuple> local;
+    Tuple* scratch_data;
+    if (workspace != nullptr) {
+      scratch_data =
+          workspace->acquire_scratch(tid, static_cast<std::size_t>(max_bin));
+    } else {
+      local.allocate(static_cast<std::size_t>(max_bin));
+      scratch_data = local.data();
+    }
     Timer timer;
 #pragma omp for schedule(dynamic, 1)
     for (int bin = 0; bin < nbins; ++bin) {
@@ -48,7 +60,7 @@ SortCompressResult pb_sort_compress(Tuple* tuples,
       if (len == 0) continue;
 
       timer.reset();
-      radix_sort_lsd(t, len, scratch.data(),
+      radix_sort_lsd(t, len, scratch_data,
                      [](const Tuple& tp) { return tp.key; });
       sort_busy[tid] += timer.elapsed_s();
 

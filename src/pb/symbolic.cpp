@@ -3,7 +3,9 @@
 #include <omp.h>
 
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "common/cache_info.hpp"
 #include "common/parallel.hpp"
@@ -13,8 +15,22 @@ namespace pbs::pb {
 
 namespace {
 
-// flop = Σ_i nnz(A(:,i)) · nnz(B(i,:)) — Algorithm 3 lines 1-5.
-nnz_t count_flop(const mtx::CscMatrix& a, const mtx::CsrMatrix& b) {
+// Both flop passes walk i over a.ncols reading b's row i: mismatched
+// inner dimensions must fail here, not read past b.rowptr.
+void check_inner_dims(const char* fn, const mtx::CscMatrix& a,
+                      const mtx::CsrMatrix& b) {
+  if (a.ncols != b.nrows) {
+    throw std::invalid_argument(std::string(fn) +
+                                ": inner dimensions differ (" +
+                                std::to_string(a.ncols) + " vs " +
+                                std::to_string(b.nrows) + ")");
+  }
+}
+
+}  // namespace
+
+nnz_t pb_count_flop(const mtx::CscMatrix& a, const mtx::CsrMatrix& b) {
+  check_inner_dims("pb_count_flop", a, b);
   nnz_t flop = 0;
 #pragma omp parallel for reduction(+ : flop) schedule(static)
   for (index_t i = 0; i < a.ncols; ++i) {
@@ -22,6 +38,37 @@ nnz_t count_flop(const mtx::CscMatrix& a, const mtx::CsrMatrix& b) {
   }
   return flop;
 }
+
+std::vector<nnz_t> pb_row_flops(const mtx::CscMatrix& a,
+                                const mtx::CsrMatrix& b) {
+  check_inner_dims("pb_row_flops", a, b);
+  std::vector<nnz_t> flops(static_cast<std::size_t>(a.nrows), 0);
+#pragma omp parallel for schedule(guided)
+  for (index_t i = 0; i < a.ncols; ++i) {
+    const nnz_t weight = b.row_nnz(i);
+    if (weight == 0) continue;
+    for (const index_t r : a.col_rows(i)) {
+#pragma omp atomic
+      flops[static_cast<std::size_t>(r)] += weight;
+    }
+  }
+  return flops;
+}
+
+nnz_t pb_estimate_nnz_c(const mtx::CscMatrix& a, const mtx::CsrMatrix& b) {
+  const std::vector<nnz_t> rf = pb_row_flops(a, b);
+  const double ncols = static_cast<double>(b.ncols);
+  if (ncols <= 0) return 0;
+  double estimate = 0;
+#pragma omp parallel for reduction(+ : estimate) schedule(static)
+  for (index_t r = 0; r < a.nrows; ++r) {
+    const auto f = static_cast<double>(rf[static_cast<std::size_t>(r)]);
+    if (f > 0) estimate += ncols * -std::expm1(-f / ncols);
+  }
+  return static_cast<nnz_t>(estimate + 0.5);
+}
+
+namespace {
 
 // Per-bin flop histogram: every nonzero A(r, i) contributes nnz(B(i,:))
 // tuples to row r's bin.  Per-thread histograms, reduced at the end.
@@ -55,21 +102,6 @@ std::vector<nnz_t> bin_histogram(const mtx::CscMatrix& a,
   return total;  // counts in [0, nbins), slot nbins is scan scratch
 }
 
-// Row-level flop histogram for the adaptive layout.
-std::vector<nnz_t> row_flops(const mtx::CscMatrix& a, const mtx::CsrMatrix& b) {
-  std::vector<nnz_t> flops(static_cast<std::size_t>(a.nrows), 0);
-#pragma omp parallel for schedule(guided)
-  for (index_t i = 0; i < a.ncols; ++i) {
-    const nnz_t weight = b.row_nnz(i);
-    if (weight == 0) continue;
-    for (const index_t r : a.col_rows(i)) {
-#pragma omp atomic
-      flops[static_cast<std::size_t>(r)] += weight;
-    }
-  }
-  return flops;
-}
-
 }  // namespace
 
 SymbolicResult pb_symbolic(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
@@ -81,7 +113,7 @@ SymbolicResult pb_symbolic(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
   }
 
   SymbolicResult out;
-  out.flop = count_flop(a, b);
+  out.flop = pb_count_flop(a, b);
 
   const std::size_t l2 = cfg.l2_bytes != 0 ? cfg.l2_bytes : cache_info().l2_bytes;
   const int target = cfg.nbins > 0 ? cfg.nbins : auto_nbins(out.flop, l2);
@@ -94,7 +126,7 @@ SymbolicResult pb_symbolic(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
       out.layout = make_modulo_layout(a.nrows, target);
       break;
     case BinPolicy::kAdaptive: {
-      const std::vector<nnz_t> rf = row_flops(a, b);
+      const std::vector<nnz_t> rf = pb_row_flops(a, b);
       out.layout = make_adaptive_layout(rf, target);
       break;
     }

@@ -38,4 +38,27 @@ struct SymbolicResult {
 SymbolicResult pb_symbolic(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
                            const PbConfig& cfg);
 
+/// flop(A·B) = Σ_i nnz(A(:,i)) · nnz(B(i,:)) — Algorithm 3 lines 1-5.
+/// O(k) over the pointer arrays only; the cheapest structural invariant of
+/// a product, which the plan layer also uses as its invalidation check.
+/// Like every flop pass here, throws std::invalid_argument when
+/// a.ncols != b.nrows.
+nnz_t pb_count_flop(const mtx::CscMatrix& a, const mtx::CsrMatrix& b);
+
+/// Per-output-row flop histogram (row r of C receives
+/// Σ_{A(r,i)≠0} nnz(B(i,:)) tuples) — feeds the adaptive bin layout and
+/// the compression-factor estimator.  O(nnz(A)).
+std::vector<nnz_t> pb_row_flops(const mtx::CscMatrix& a,
+                                const mtx::CsrMatrix& b);
+
+/// Estimate of nnz(C) without running the multiplication: per output row,
+/// flop_r draws into ncols(B) column slots collide like a balls-into-bins
+/// process, so E[distinct] ≈ ncols·(1 − exp(−flop_r/ncols)).  Exact in the
+/// two regimes that matter (flop_r ≪ ncols ⇒ ≈flop_r; flop_r ≫ ncols ⇒
+/// ≈ncols) and within ~20% in between for unstructured matrices; banded or
+/// highly correlated patterns compress more than it predicts.  Cost is one
+/// O(nnz(A)) pass.  The ratio flop / estimate is the compression factor cf
+/// the roofline-guided algorithm selection runs on (model/selection.hpp).
+nnz_t pb_estimate_nnz_c(const mtx::CscMatrix& a, const mtx::CsrMatrix& b);
+
 }  // namespace pbs::pb

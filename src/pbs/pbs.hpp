@@ -7,6 +7,10 @@
 //   auto c   = pbs::pb::pb_spgemm(p.a_csc, p.b_csr);     // with telemetry
 //   auto c2  = pbs::algorithm("hash").fn(p);             // any baseline
 //
+//   // Repeated traffic: analyze + select once, execute many
+//   auto plan = pbs::make_plan(p);          // algo = "auto" (roofline-guided)
+//   for (...) auto c3 = plan.execute(p);    // no re-analysis, no re-allocation
+//
 // See README.md for the architecture overview and examples/ for complete
 // programs.
 #pragma once
@@ -28,9 +32,12 @@
 #include "matrix/ops.hpp"
 #include "matrix/surrogates.hpp"
 #include "model/roofline.hpp"
+#include "model/selection.hpp"
 #include "pb/partitioned.hpp"
 #include "pb/pb_spgemm.hpp"
+#include "pb/plan.hpp"
 #include "spgemm/masked.hpp"
+#include "spgemm/plan.hpp"
 #include "spgemm/registry.hpp"
 #include "spgemm/semiring.hpp"
 #include "spgemm/spgemm.hpp"

@@ -1,0 +1,90 @@
+#include "spgemm/plan.hpp"
+
+#include "common/timer.hpp"
+
+namespace pbs {
+
+void SpGemmPlan::analyze(const SpGemmProblem& p,
+                         const pb::StructureFingerprint& fp) {
+  Timer timer;
+
+  // Run everything that can throw into locals first; commit member state
+  // only once analysis has fully succeeded.  Otherwise an exception
+  // mid-replan (e.g. bad_alloc in the symbolic build) could leave fp_
+  // claiming a structure the cached pb plan was never built for, and a
+  // retried execute would run the stale bin layout unchecked.
+  std::string resolved = opts_.algo;
+  model::AlgoChoice choice;
+  if (opts_.algo == "auto") {
+    // Selection needs only flop (already in the fingerprint) and an
+    // estimated compression factor — no bin layout yet, so a choice that
+    // lands on a Gustavson kernel never pays for one.
+    const nnz_t nnz_est = pb::pb_estimate_nnz_c(p.a_csc, p.b_csr);
+    const double cf =
+        static_cast<double>(fp.flop) /
+        static_cast<double>(std::max<nnz_t>(nnz_est, 1));
+    const AlgoInfo* hash = find_algorithm("hash");
+    const bool hash_available =
+        hash != nullptr && hash->supports_semiring(opts_.semiring);
+    choice = model::select_algorithm(cf, fp.flop, hash_available, opts_.model);
+    resolved = choice.algo;
+  }
+
+  // Resolve through the registry even for pb: unknown names and
+  // unsupported (algo, semiring) pairs fail here, at plan time.
+  SpGemmFn fn = semiring_algorithm(resolved, opts_.semiring);
+  const bool use_pb = resolved == "pb";
+  pb::PbPlan pb_plan;
+  if (use_pb) pb_plan = pb::pb_plan_build(p.a_csc, p.b_csr, opts_.pb);
+
+  // ---- commit (nothing below throws) ----
+  fp_ = fp;
+  fn_ = std::move(fn);
+  use_pb_ = use_pb;
+  pb_plan_ = std::move(pb_plan);
+  tm_.requested_algo = opts_.algo;
+  tm_.semiring = opts_.semiring;
+  tm_.choice = std::move(choice);
+  tm_.algo = std::move(resolved);
+  tm_.flop = fp.flop;
+  tm_.plan_seconds = timer.elapsed_s();
+}
+
+mtx::CsrMatrix SpGemmPlan::execute(const SpGemmProblem& p) {
+  ++tm_.executes;
+
+  // A fixed baseline algorithm caches nothing beyond kernel resolution:
+  // the plan is pass-through, so skip the fingerprint pass entirely
+  // (there is nothing to invalidate and no analysis being reused).
+  if (!use_pb_ && tm_.requested_algo != "auto") return fn_(p);
+
+  const pb::StructureFingerprint fp =
+      pb::StructureFingerprint::of(p.a_csc, p.b_csr);
+  if (fp != fp_) {
+    ++tm_.replans;
+    analyze(p, fp);
+  } else {
+    ++tm_.analysis_reuses;
+  }
+
+  if (use_pb_) {
+    // Execute through the captured symbolic plan and pooled workspace,
+    // keeping the per-phase telemetry the type-erased registry fn hides.
+    // The fingerprint was just verified above, so skip pb_execute's check.
+    pb::PbResult r =
+        pb::pb_execute_named(opts_.semiring, p.a_csc, p.b_csr, pb_plan_, ws_,
+                             /*check_fingerprint=*/false);
+    pb_stats_ = r.stats;
+    return std::move(r.c);
+  }
+  return fn_(p);
+}
+
+SpGemmPlan make_plan(const SpGemmProblem& p, PlanOptions opts) {
+  SpGemmPlan plan;
+  plan.opts_ = std::move(opts);
+  plan.analyze(p, pb::StructureFingerprint::of(p.a_csc, p.b_csr));
+  return plan;
+}
+
+}  // namespace pbs

@@ -1,0 +1,117 @@
+// SpGemmPlan — reusable, algorithm-selecting multiplication plans
+// (FFTW-style plan/execute over the whole algorithm registry).
+//
+//   PlanOptions opts;                    // algo = "auto" by default
+//   opts.semiring = "min_plus";
+//   SpGemmPlan plan = make_plan(problem, opts);
+//   for (...) c = plan.execute(problem);
+//
+// make_plan analyzes the problem once — flop count, estimated compression
+// factor, roofline-guided algorithm selection (model/selection.hpp), and,
+// when the choice lands on the PB pipeline, the full symbolic bin layout
+// (pb/plan.hpp) — and returns an executable plan with a pooled workspace.
+// execute() runs only the numeric stages: for PB that is
+// expand → sort/compress → convert against the captured layout with zero
+// analysis and, at steady state, zero allocation.
+//
+// Invalidation is automatic and cheap: every execute fingerprints the
+// operands (dims + nnz + flop, see pb::StructureFingerprint for the exact
+// contract) and transparently replans on a mismatch — for "auto" plans the
+// algorithm choice is re-derived, so a plan tracking an iterative
+// application (MCL, BFS frontiers, AMG levels) follows the problem as its
+// structure drifts, while repeated same-structure traffic pays analysis
+// exactly once.  telemetry() reports executes / replans / analysis reuses
+// and the selection rationale; workspace_stats() exposes the allocator's
+// reuse counters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "model/selection.hpp"
+#include "pb/plan.hpp"
+#include "spgemm/registry.hpp"
+
+namespace pbs {
+
+struct PlanOptions {
+  /// "auto" (roofline-guided selection among pb / hash / heap) or any
+  /// registry algorithm name; unknown names and unsupported
+  /// (algo, semiring) pairs throw at plan time, never at execute time.
+  std::string algo = "auto";
+  std::string semiring = PlusTimes::name;
+  /// Configuration for the PB pipeline when it is (or may be) chosen.
+  pb::PbConfig pb;
+  /// Selection tunables (β, derating efficiencies, small-flop cutoff).
+  model::SelectionModel model;
+};
+
+struct PlanTelemetry {
+  std::string requested_algo;  ///< what PlanOptions asked for
+  std::string algo;            ///< the concrete algorithm executing
+  std::string semiring;
+  /// The roofline decision (populated when requested_algo == "auto");
+  /// choice.rationale is the human-readable explanation.
+  model::AlgoChoice choice;
+  nnz_t flop = 0;           ///< flop(A·B) of the planned structure
+  double plan_seconds = 0;  ///< analysis cost of the most recent (re)plan
+  std::uint64_t executes = 0;
+  std::uint64_t replans = 0;          ///< fingerprint misses after build
+  /// Executes that reused captured analysis (the pb symbolic layout, or
+  /// the roofline selection for "auto" plans).  A plan fixed on a non-pb
+  /// algorithm caches only kernel resolution: its executes are
+  /// pass-through and counted in neither replans nor analysis_reuses.
+  std::uint64_t analysis_reuses = 0;
+};
+
+class SpGemmPlan {
+ public:
+  /// Multiplies p over the planned (algorithm, semiring).  Operands whose
+  /// structure fingerprint differs from the plan's trigger a transparent
+  /// replan (counted in telemetry().replans); matching operands skip
+  /// analysis entirely.
+  mtx::CsrMatrix execute(const SpGemmProblem& p);
+
+  /// The concrete algorithm currently selected ("pb", "hash", ...).
+  [[nodiscard]] const std::string& algo() const { return tm_.algo; }
+
+  [[nodiscard]] const PlanTelemetry& telemetry() const { return tm_; }
+
+  /// Per-phase PB telemetry of the most recent execute (valid when
+  /// algo() == "pb"; its symbolic phase is zero on reused executions).
+  [[nodiscard]] const pb::PbTelemetry& last_pb_stats() const {
+    return pb_stats_;
+  }
+
+  /// Reuse counters of the pooled workspace (PB executions draw all
+  /// scratch from it; steady state shows reuses growing, allocations not).
+  [[nodiscard]] pb::PbWorkspace::Stats workspace_stats() const {
+    return ws_.stats();
+  }
+
+ private:
+  friend SpGemmPlan make_plan(const SpGemmProblem& p, PlanOptions opts);
+  SpGemmPlan() = default;
+
+  /// Full analysis: selection (for "auto"), symbolic plan (for pb),
+  /// kernel resolution (otherwise).  `fp` is p's already-computed
+  /// fingerprint (callers always have it; recomputing costs an O(ncols)
+  /// parallel flop pass).
+  void analyze(const SpGemmProblem& p, const pb::StructureFingerprint& fp);
+
+  PlanOptions opts_;
+  PlanTelemetry tm_;
+  pb::StructureFingerprint fp_;
+  bool use_pb_ = false;
+  pb::PbPlan pb_plan_;     ///< valid when use_pb_
+  SpGemmFn fn_;            ///< execution path when !use_pb_
+  pb::PbWorkspace ws_;
+  pb::PbTelemetry pb_stats_;
+};
+
+/// Analyzes `p` and returns an executable plan.  Throws
+/// std::invalid_argument for unknown algorithms/semirings or unsupported
+/// pairs (same contract as semiring_algorithm).
+SpGemmPlan make_plan(const SpGemmProblem& p, PlanOptions opts = {});
+
+}  // namespace pbs

@@ -73,10 +73,15 @@ const std::vector<AlgoInfo>& algorithms() {
   return algos;
 }
 
-const AlgoInfo& algorithm(const std::string& name) {
+const AlgoInfo* find_algorithm(const std::string& name) noexcept {
   for (const AlgoInfo& a : algorithms()) {
-    if (a.name == name) return a;
+    if (a.name == name) return &a;
   }
+  return nullptr;
+}
+
+const AlgoInfo& algorithm(const std::string& name) {
+  if (const AlgoInfo* a = find_algorithm(name)) return *a;
   std::string valid;
   for (const AlgoInfo& a : algorithms()) valid += a.name + " ";
   throw std::invalid_argument("unknown SpGEMM algorithm '" + name +

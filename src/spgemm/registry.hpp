@@ -40,6 +40,9 @@ const std::vector<AlgoInfo>& algorithms();
 /// names on a miss.
 const AlgoInfo& algorithm(const std::string& name);
 
+/// Non-throwing lookup; nullptr on a miss (for probing, e.g. "auto").
+const AlgoInfo* find_algorithm(const std::string& name) noexcept;
+
 /// Unified (algorithm × semiring) lookup: returns the kernel computing
 /// A ⊗ B with `algo` over `semiring`.  Throws std::invalid_argument
 /// listing every valid (algorithm, semiring) combination when the
@@ -55,5 +58,17 @@ std::string algorithm_semiring_matrix();
 
 /// The four algorithms the paper's figures compare.
 std::vector<AlgoInfo> paper_comparison_set();
+
+// ---- plan-returning dispatch ---------------------------------------------
+//
+// semiring_algorithm resolves one call; make_plan resolves a *traffic
+// pattern*: it analyzes the problem once (flop, estimated compression
+// factor, roofline-guided selection when algo is "auto", PB symbolic bin
+// layout when the choice lands on pb) and returns a reusable SpGemmPlan
+// whose execute() skips re-analysis and re-allocation while the operand
+// structure is unchanged.  Full API and defaults live in spgemm/plan.hpp.
+class SpGemmPlan;
+struct PlanOptions;
+SpGemmPlan make_plan(const SpGemmProblem& p, PlanOptions opts);
 
 }  // namespace pbs

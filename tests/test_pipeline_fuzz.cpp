@@ -1,8 +1,10 @@
 // Randomized pipeline fuzzing: chains of library operations (SpGEMM over a
 // random (algorithm × semiring) pair + element-wise ops + conversions)
 // applied to random matrices of random shape/density, mirrored
-// step-by-step against a dense implementation.  SpGEMM steps through the
-// PB pipeline additionally randomize the PbConfig (bin count, local-bin
+// step-by-step against a dense implementation.  SpGEMM steps alternate
+// randomly between fresh multiplies and the plan/execute path (plan once,
+// execute twice, outputs must be identical); fresh steps through the PB
+// pipeline additionally randomize the PbConfig (bin count, local-bin
 // width, binning policy, streaming stores) with validate=true, so the
 // pipeline's internal invariant checks run under fuzzed layouts.  Catches
 // interaction bugs that single-op tests cannot (pattern/value coupling,
@@ -18,6 +20,7 @@
 #include "matrix/generate.hpp"
 #include "matrix/ops.hpp"
 #include "pb/pb_spgemm.hpp"
+#include "spgemm/plan.hpp"
 #include "spgemm/registry.hpp"
 #include "spgemm/semiring.hpp"
 #include "test_util.hpp"
@@ -113,8 +116,22 @@ TEST_P(PipelineFuzz, RandomOpChainMatchesDenseMirror) {
                               semiring_names().size())]
                         : PlusTimes::name;
         const SpGemmProblem problem = SpGemmProblem::square(m);
+        // Half the steps go through a fresh multiply, half through the
+        // plan/execute path (plan once, execute twice — the second
+        // execution reuses analysis + workspace and must be identical).
+        const bool via_plan = rng.next_below(2) == 0;
         dispatch_semiring(semiring, [&]<typename S>() {
-          if (std::string(algo) == "pb") {
+          if (via_plan) {
+            PlanOptions opts;
+            opts.algo = algo;
+            opts.semiring = semiring;
+            SpGemmPlan plan = make_plan(problem, opts);
+            const mtx::CsrMatrix once = plan.execute(problem);
+            m = plan.execute(problem);
+            ASSERT_TRUE(mtx::equal_exact(once, m))
+                << "plan re-execution diverged at step " << step;
+            ASSERT_EQ(plan.telemetry().replans, 0u);
+          } else if (std::string(algo) == "pb") {
             // Drive the pipeline directly so the PbConfig is fuzzed too.
             m = pb::pb_spgemm<S>(problem.a_csc, problem.b_csr,
                                  random_pb_config(rng))

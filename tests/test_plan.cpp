@@ -1,0 +1,301 @@
+// Plan/execute architecture: the PB plan-build/execute split, the public
+// SpGemmPlan with roofline-guided "auto" selection, structural
+// invalidation, and workspace pooling across plan executions.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "model/selection.hpp"
+#include "pb/partitioned.hpp"
+#include "pb/plan.hpp"
+#include "spgemm/plan.hpp"
+#include "spgemm/registry.hpp"
+#include "spgemm/semiring.hpp"
+#include "test_util.hpp"
+
+namespace pbs {
+namespace {
+
+// ---- PB layer: pb_plan_build / pb_execute --------------------------------
+
+TEST(PbPlan, ExecuteMatchesFreshPipelineAcrossSemirings) {
+  const mtx::CsrMatrix a = testutil::exact_er(300, 300, 6.0, 11);
+  const SpGemmProblem p = SpGemmProblem::square(a);
+  const pb::PbConfig cfg;
+  const pb::PbPlan plan = pb::pb_plan_build(p.a_csc, p.b_csr, cfg);
+
+  for (const std::string& s : semiring_names()) {
+    pb::PbWorkspace fresh_ws, plan_ws;
+    const pb::PbResult fresh =
+        pb::pb_spgemm_named(s, p.a_csc, p.b_csr, cfg, fresh_ws);
+    const pb::PbResult planned =
+        pb::pb_execute_named(s, p.a_csc, p.b_csr, plan, plan_ws);
+    EXPECT_TRUE(mtx::equal_exact(fresh.c, planned.c)) << s;
+    // Analysis was paid at build time, not at execute time.
+    EXPECT_EQ(planned.stats.symbolic.seconds, 0.0) << s;
+    EXPECT_EQ(planned.stats.flop, fresh.stats.flop) << s;
+  }
+  EXPECT_GT(plan.symbolic.seconds, 0.0);
+}
+
+TEST(PbPlan, ReexecutionSkipsAllocation) {
+  const mtx::CsrMatrix a = testutil::exact_er(400, 400, 8.0, 12);
+  const SpGemmProblem p = SpGemmProblem::square(a);
+  const pb::PbPlan plan = pb::pb_plan_build(p.a_csc, p.b_csr, {});
+
+  pb::PbWorkspace ws;
+  const pb::PbResult first = pb::pb_execute<PlusTimes>(p.a_csc, p.b_csr, plan, ws);
+  const pb::PbWorkspace::Stats after_first = ws.stats();
+  EXPECT_EQ(after_first.allocations, 1u);
+  EXPECT_GE(after_first.scratch_allocations, 1u);
+
+  for (int i = 0; i < 4; ++i) {
+    const pb::PbResult again =
+        pb::pb_execute<PlusTimes>(p.a_csc, p.b_csr, plan, ws);
+    EXPECT_TRUE(mtx::equal_exact(first.c, again.c));
+  }
+  const pb::PbWorkspace::Stats steady = ws.stats();
+  // Steady state: every pool request is served from retained capacity.
+  EXPECT_EQ(steady.allocations, after_first.allocations);
+  EXPECT_EQ(steady.scratch_allocations, after_first.scratch_allocations);
+  EXPECT_EQ(steady.reuses, after_first.reuses + 4);
+  EXPECT_GT(steady.scratch_reuses, after_first.scratch_reuses);
+}
+
+TEST(PbPlan, MismatchedInnerDimensionsThrowBeforeAnyFlopPass) {
+  // a.ncols != b.nrows must throw from every fingerprint/flop entry point
+  // (regression: the flop pass walks b's rows by a's column index and
+  // previously read past b.rowptr before pb_symbolic's check ran).
+  const mtx::CsrMatrix a = testutil::exact_er(30, 50, 3.0, 27);
+  const mtx::CsrMatrix b = testutil::exact_er(20, 30, 3.0, 28);
+  const SpGemmProblem p = SpGemmProblem::multiply(a, b);  // 50 vs 20 inner
+  EXPECT_THROW((void)pb::pb_count_flop(p.a_csc, p.b_csr),
+               std::invalid_argument);
+  EXPECT_THROW((void)pb::pb_estimate_nnz_c(p.a_csc, p.b_csr),
+               std::invalid_argument);
+  EXPECT_THROW((void)pb::StructureFingerprint::of(p.a_csc, p.b_csr),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_plan(p), std::invalid_argument);
+}
+
+TEST(PbPlan, RejectsStructurallyDifferentOperands) {
+  const mtx::CsrMatrix a = testutil::exact_er(200, 200, 5.0, 13);
+  const mtx::CsrMatrix other = testutil::exact_er(150, 150, 5.0, 14);
+  const SpGemmProblem pa = SpGemmProblem::square(a);
+  const SpGemmProblem po = SpGemmProblem::square(other);
+  const pb::PbPlan plan = pb::pb_plan_build(pa.a_csc, pa.b_csr, {});
+
+  pb::PbWorkspace ws;
+  EXPECT_THROW(
+      (void)pb::pb_execute<PlusTimes>(po.a_csc, po.b_csr, plan, ws),
+      std::invalid_argument);
+  EXPECT_TRUE(plan.matches(pa.a_csc, pa.b_csr));
+  EXPECT_FALSE(plan.matches(po.a_csc, po.b_csr));
+}
+
+// ---- compression-factor estimator ----------------------------------------
+
+TEST(Estimator, TracksActualCompressionOnRandomMatrices) {
+  const mtx::CsrMatrix a = testutil::exact_er(500, 500, 8.0, 15);
+  const SpGemmProblem p = SpGemmProblem::square(a);
+  const nnz_t est = pb::pb_estimate_nnz_c(p.a_csc, p.b_csr);
+  const nnz_t actual = reference_spgemm(p).nnz();
+  ASSERT_GT(actual, 0);
+  // The balls-into-bins model is exact in the sparse and dense limits and
+  // within tens of percent between them for unstructured matrices.
+  EXPECT_GT(est, actual / 2);
+  EXPECT_LT(est, actual * 2);
+}
+
+// ---- selection heuristic --------------------------------------------------
+
+TEST(Selection, LowCompressionPicksPb) {
+  const model::AlgoChoice c = model::select_algorithm(1.0, 1 << 20, true);
+  EXPECT_EQ(c.algo, "pb");
+  EXPECT_FALSE(c.rationale.empty());
+  EXPECT_GT(c.pb_mflops, c.column_mflops);
+}
+
+TEST(Selection, HighCompressionPicksHash) {
+  const model::AlgoChoice c = model::select_algorithm(32.0, 1 << 20, true);
+  EXPECT_EQ(c.algo, "hash");
+  EXPECT_GT(c.column_mflops, c.pb_mflops);
+}
+
+TEST(Selection, HighCompressionWithoutHashFallsToHeap) {
+  // Non-numeric semirings rule hash out; the column family is heap.
+  const model::AlgoChoice c = model::select_algorithm(32.0, 1 << 20, false);
+  EXPECT_EQ(c.algo, "heap");
+}
+
+TEST(Selection, TinyProblemsPickHeap) {
+  const model::AlgoChoice c = model::select_algorithm(1.0, 100, true);
+  EXPECT_EQ(c.algo, "heap");
+}
+
+TEST(Selection, CrossoverIsMonotoneInCf) {
+  // Scanning cf upward flips the decision exactly once (pb -> column).
+  bool seen_column = false;
+  for (double cf = 1.0; cf <= 64.0; cf *= 1.5) {
+    const model::AlgoChoice c = model::select_algorithm(cf, 1 << 20, true);
+    if (c.algo != "pb") seen_column = true;
+    if (seen_column) EXPECT_NE(c.algo, "pb") << "cf " << cf;
+  }
+  EXPECT_TRUE(seen_column);
+}
+
+// ---- SpGemmPlan -----------------------------------------------------------
+
+TEST(SpGemmPlanTest, MatchesRegistryKernelsAcrossSemirings) {
+  const mtx::CsrMatrix a = testutil::exact_er(250, 250, 6.0, 16);
+  const SpGemmProblem p = SpGemmProblem::square(a);
+  for (const std::string& algo : {"pb", "heap"}) {
+    for (const std::string& s : semiring_names()) {
+      PlanOptions opts;
+      opts.algo = algo;
+      opts.semiring = s;
+      SpGemmPlan plan = make_plan(p, opts);
+      EXPECT_EQ(plan.algo(), algo);
+      const mtx::CsrMatrix c = plan.execute(p);
+      const mtx::CsrMatrix expected = semiring_algorithm(algo, s)(p);
+      EXPECT_TRUE(mtx::equal_exact(c, expected)) << algo << " x " << s;
+    }
+  }
+}
+
+TEST(SpGemmPlanTest, AutoResolvesToConcreteAlgorithmWithRationale) {
+  const mtx::CsrMatrix a = testutil::exact_er(600, 600, 8.0, 17);
+  const SpGemmProblem p = SpGemmProblem::square(a);
+  SpGemmPlan plan = make_plan(p);  // defaults: auto, plus_times
+  const PlanTelemetry& tm = plan.telemetry();
+  EXPECT_EQ(tm.requested_algo, "auto");
+  EXPECT_TRUE(plan.algo() == "pb" || plan.algo() == "hash" ||
+              plan.algo() == "heap")
+      << plan.algo();
+  EXPECT_EQ(plan.algo(), tm.choice.algo);
+  EXPECT_FALSE(tm.choice.rationale.empty());
+  EXPECT_GT(tm.choice.cf, 0.0);
+
+  const mtx::CsrMatrix c = plan.execute(p);
+  EXPECT_TRUE(mtx::equal_exact(c, reference_spgemm(p)));
+}
+
+TEST(SpGemmPlanTest, AutoFollowsCompressionFactor) {
+  // An ER squaring barely compresses -> the outer-product pipeline; a
+  // near-dense squaring compresses heavily -> the Gustavson hash.
+  const mtx::CsrMatrix sparse = testutil::exact_er(2000, 2000, 8.0, 18);
+  const mtx::CsrMatrix dense = testutil::exact_er(150, 150, 40.0, 19);
+  SpGemmPlan sp = make_plan(SpGemmProblem::square(sparse));
+  SpGemmPlan dp = make_plan(SpGemmProblem::square(dense));
+  EXPECT_EQ(sp.algo(), "pb");
+  EXPECT_EQ(dp.algo(), "hash");
+}
+
+TEST(SpGemmPlanTest, RepeatedExecutionSkipsAnalysisAndAllocation) {
+  const mtx::CsrMatrix a = testutil::exact_er(350, 350, 7.0, 20);
+  const SpGemmProblem p = SpGemmProblem::square(a);
+  PlanOptions opts;
+  opts.algo = "pb";
+  SpGemmPlan plan = make_plan(p, opts);
+
+  const mtx::CsrMatrix first = plan.execute(p);
+  const pb::PbWorkspace::Stats after_first = plan.workspace_stats();
+  for (int i = 0; i < 5; ++i) {
+    const mtx::CsrMatrix again = plan.execute(p);
+    EXPECT_TRUE(mtx::equal_exact(first, again));
+  }
+  const PlanTelemetry& tm = plan.telemetry();
+  EXPECT_EQ(tm.executes, 6u);
+  EXPECT_EQ(tm.replans, 0u);
+  EXPECT_EQ(tm.analysis_reuses, 6u);
+  // The symbolic phase of a reused execution is skipped entirely...
+  EXPECT_EQ(plan.last_pb_stats().symbolic.seconds, 0.0);
+  // ...and the tuple buffer is never reallocated.
+  const pb::PbWorkspace::Stats steady = plan.workspace_stats();
+  EXPECT_EQ(steady.allocations, after_first.allocations);
+  EXPECT_EQ(steady.reuses, after_first.reuses + 5);
+}
+
+TEST(SpGemmPlanTest, InvalidatesOnShapeChangeAndRecovers) {
+  const mtx::CsrMatrix big = testutil::exact_er(400, 400, 6.0, 21);
+  const mtx::CsrMatrix small = testutil::exact_er(120, 120, 4.0, 22);
+  const SpGemmProblem pb_ = SpGemmProblem::square(big);
+  const SpGemmProblem ps = SpGemmProblem::square(small);
+
+  PlanOptions opts;
+  opts.algo = "pb";
+  SpGemmPlan plan = make_plan(pb_, opts);
+  EXPECT_TRUE(mtx::equal_exact(plan.execute(pb_), reference_spgemm(pb_)));
+
+  // Different structure: the plan transparently replans and stays correct.
+  EXPECT_TRUE(mtx::equal_exact(plan.execute(ps), reference_spgemm(ps)));
+  EXPECT_EQ(plan.telemetry().replans, 1u);
+
+  // Back on the second structure: analysis is reused again.
+  const std::uint64_t reuses_before = plan.telemetry().analysis_reuses;
+  (void)plan.execute(ps);
+  EXPECT_EQ(plan.telemetry().replans, 1u);
+  EXPECT_EQ(plan.telemetry().analysis_reuses, reuses_before + 1);
+}
+
+TEST(SpGemmPlanTest, GrowShrinkGrowReusesPeakCapacity) {
+  // A grow-then-shrink-then-grow problem sequence through one plan: the
+  // pooled buffer sized by the big problem serves the small one and the
+  // big one again without any new allocation.
+  const mtx::CsrMatrix big = testutil::exact_er(500, 500, 8.0, 23);
+  const mtx::CsrMatrix small = testutil::exact_er(100, 100, 3.0, 24);
+  const SpGemmProblem pb_ = SpGemmProblem::square(big);
+  const SpGemmProblem ps = SpGemmProblem::square(small);
+
+  PlanOptions opts;
+  opts.algo = "pb";
+  SpGemmPlan plan = make_plan(pb_, opts);
+  (void)plan.execute(pb_);
+  const pb::PbWorkspace::Stats after_big = plan.workspace_stats();
+
+  EXPECT_TRUE(mtx::equal_exact(plan.execute(ps), reference_spgemm(ps)));
+  EXPECT_TRUE(mtx::equal_exact(plan.execute(pb_), reference_spgemm(pb_)));
+  const pb::PbWorkspace::Stats end = plan.workspace_stats();
+  EXPECT_EQ(end.allocations, after_big.allocations);
+  EXPECT_EQ(end.reuses, after_big.reuses + 2);
+  EXPECT_EQ(end.peak_request, after_big.peak_request);
+}
+
+TEST(SpGemmPlanTest, RejectsUnsupportedPairsAtPlanTime) {
+  const mtx::CsrMatrix a = testutil::exact_er(50, 50, 3.0, 25);
+  const SpGemmProblem p = SpGemmProblem::square(a);
+  PlanOptions opts;
+  opts.algo = "hash";
+  opts.semiring = "min_plus";
+  EXPECT_THROW((void)make_plan(p, opts), std::invalid_argument);
+  opts.algo = "no_such_algo";
+  EXPECT_THROW((void)make_plan(p, opts), std::invalid_argument);
+}
+
+// ---- partitioned plan -----------------------------------------------------
+
+TEST(PartitionedPlanTest, RepeatedExecutionMatchesFusedPath) {
+  const mtx::CsrMatrix a = testutil::exact_er(300, 300, 6.0, 26);
+  const SpGemmProblem p = SpGemmProblem::square(a);
+  const mtx::CsrMatrix expected = reference_spgemm(p);
+
+  pb::PartitionedPlan plan = pb::make_partitioned_plan(p.a_csc, p.b_csr, 4);
+  EXPECT_EQ(plan.nparts(), 4);
+  EXPECT_GT(plan.build_seconds(), 0.0);
+
+  const pb::PartitionedResult r1 = plan.execute(p.b_csr);
+  const pb::PartitionedResult r2 = plan.execute(p.b_csr);
+  EXPECT_TRUE(mtx::equal_exact(r1.c, expected));
+  EXPECT_TRUE(mtx::equal_exact(r2.c, expected));
+
+  const pb::PartitionedResult fused =
+      pb::pb_spgemm_partitioned(p.a_csc, p.b_csr, 4);
+  EXPECT_TRUE(mtx::equal_exact(fused.c, expected));
+
+  // Second execution draws everything from the pooled workspace.
+  const pb::PbWorkspace::Stats ws = plan.workspace_stats();
+  EXPECT_GT(ws.reuses, 0u);
+}
+
+}  // namespace
+}  // namespace pbs

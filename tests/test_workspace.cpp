@@ -24,6 +24,42 @@ TEST(Workspace, GrowsGeometricallyAndReuses) {
   EXPECT_GE(ws.capacity(), cap1 + cap1 / 2);
 }
 
+TEST(Workspace, StatsCountGrowShrinkGrowSequences) {
+  PbWorkspace ws;
+  ws.acquire(1000);  // grow
+  ws.acquire(10);    // shrink: served from pool
+  ws.acquire(1000);  // back to peak: still served from pool
+  PbWorkspace::Stats s = ws.stats();
+  EXPECT_EQ(s.acquires, 3u);
+  EXPECT_EQ(s.allocations, 1u);
+  EXPECT_EQ(s.reuses, 2u);
+  EXPECT_EQ(s.peak_request, 1000u);
+
+  ws.acquire(5000);  // beyond capacity: second allocation
+  s = ws.stats();
+  EXPECT_EQ(s.allocations, 2u);
+  EXPECT_EQ(s.peak_request, 5000u);
+
+  ws.reset_stats();
+  s = ws.stats();
+  EXPECT_EQ(s.acquires, 0u);
+  EXPECT_EQ(s.allocations, 0u);
+  EXPECT_EQ(ws.capacity(), 5000u);  // the pool itself is retained
+}
+
+TEST(Workspace, ScratchSlotsPoolPerThread) {
+  PbWorkspace ws;
+  ws.prepare_scratch(2);
+  Tuple* s0 = ws.acquire_scratch(0, 64);
+  ASSERT_NE(s0, nullptr);
+  EXPECT_EQ(ws.acquire_scratch(0, 32), s0);  // shrink reuses
+  Tuple* s1 = ws.acquire_scratch(1, 16);
+  EXPECT_NE(s0, s1);  // slots are independent
+  const PbWorkspace::Stats s = ws.stats();
+  EXPECT_EQ(s.scratch_allocations, 2u);
+  EXPECT_EQ(s.scratch_reuses, 1u);
+}
+
 TEST(Workspace, SharedAcrossDifferentProblems) {
   PbWorkspace ws;
   const mtx::CsrMatrix big = testutil::exact_er(400, 400, 6.0, 91);

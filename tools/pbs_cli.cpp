@@ -3,14 +3,20 @@
 //   pbs_cli gen      --kind er|rmat|banded --scale N [--ef F] [--n N]
 //                    [--halfwidth W] [--seed S] --out FILE.mtx
 //   pbs_cli stats    --a FILE.mtx
-//   pbs_cli multiply --a FILE.mtx [--b FILE.mtx] [--algo pb] [--reps R]
-//                    [--out FILE.mtx] [--semiring plus_times]
+//   pbs_cli multiply --a FILE.mtx [--b FILE.mtx] [--algo pb|auto|...]
+//                    [--reps R] [--repeat N] [--out FILE.mtx]
+//                    [--semiring plus_times]
+//   pbs_cli info
 //   pbs_cli stream   [--mb N]
 //   pbs_cli roofline [--beta GBS] [--cf CF]
 //
 // Matrices are Matrix Market files; `multiply` with no --b squares A (the
 // paper's evaluation mode) and prints per-phase PB telemetry when the
-// algorithm is "pb".
+// algorithm is "pb".  --algo auto resolves to a concrete algorithm via the
+// roofline selection model and reports the decision; --repeat N builds one
+// SpGemmPlan and executes it N times, reporting how much of the
+// symbolic+allocation cost the plan amortizes away.  `info` prints the
+// (algorithm × semiring) support matrix and the detected cache hierarchy.
 #include <pbs/pbs.hpp>
 
 #include <iostream>
@@ -91,6 +97,80 @@ int cmd_stats(const Cli& cli) {
   return 0;
 }
 
+void print_pb_phases(const pb::PbTelemetry& tm) {
+  std::cout << "  symbolic " << tm.symbolic.seconds * 1e3 << " ms, expand "
+            << tm.expand.seconds * 1e3 << " ms (" << tm.expand.gbs()
+            << " GB/s), sort " << tm.sort.seconds * 1e3 << " ms ("
+            << tm.sort.gbs() << " GB/s), compress "
+            << tm.compress.seconds * 1e3 << " ms, convert "
+            << tm.convert.seconds * 1e3 << " ms\n";
+}
+
+// Plan path: analyze + select once, execute `execs` times.  With --repeat
+// the report centers on amortization (the plan/execute architecture's
+// reason to exist); with --reps it is best-of-N timing like the fresh
+// paths, just through a plan.
+int multiply_planned(const Cli& cli, const SpGemmProblem& problem,
+                     const std::string& algo, const std::string& semiring,
+                     int execs, bool amortization_report) {
+  PlanOptions opts;
+  opts.algo = algo;
+  opts.semiring = semiring;
+  Timer t;
+  SpGemmPlan plan = make_plan(problem, opts);
+  const double plan_s = t.elapsed_s();
+
+  if (algo == "auto") {
+    const model::AlgoChoice& c = plan.telemetry().choice;
+    std::cout << "auto -> " << plan.algo() << " (" << c.rationale << ")\n";
+  }
+
+  const nnz_t flop = plan.telemetry().flop;  // computed by the analysis
+  mtx::CsrMatrix c;
+  double first_s = 0, rest_s = 0, best_s = 0;
+  for (int i = 0; i < execs; ++i) {
+    t.reset();
+    c = plan.execute(problem);
+    const double s = t.elapsed_s();
+    (i == 0 ? first_s : rest_s) += s;
+    if (i == 0 || s < best_s) best_s = s;
+  }
+
+  std::cout << plan.algo() << " (" << semiring << "): nnz(C) = " << c.nnz()
+            << ", flop = " << flop << ", "
+            << static_cast<double>(flop) / best_s / 1e6
+            << " MFLOPS (best of " << execs << " executes)\n"
+            << "  plan " << plan_s * 1e3 << " ms, first execute "
+            << first_s * 1e3 << " ms";
+  if (execs > 1)
+    std::cout << ", steady execute " << rest_s / (execs - 1) * 1e3 << " ms";
+  std::cout << "\n";
+  if (amortization_report && execs > 1) {
+    const double fresh_per_mult = plan_s + first_s;  // analysis paid in-line
+    const double amortized = (plan_s + first_s + rest_s) / execs;
+    std::cout << "  amortized over " << execs << ": " << amortized * 1e3
+              << " ms/multiply vs " << fresh_per_mult * 1e3
+              << " fresh (recovered "
+              << (1.0 - amortized / fresh_per_mult) * 100 << "%)\n";
+  }
+  const PlanTelemetry& tm = plan.telemetry();
+  const pb::PbWorkspace::Stats ws = plan.workspace_stats();
+  std::cout << "  plan reuse: " << tm.executes << " executes, "
+            << tm.replans << " replans, " << tm.analysis_reuses
+            << " analysis reuses; workspace: " << ws.allocations
+            << " allocations, " << ws.reuses << " reuses\n";
+  if (plan.algo() == "pb") {
+    print_pb_phases(plan.last_pb_stats());
+  } else {
+    std::cout << "  note: the plan caches "
+              << (algo == "auto" ? "the roofline selection" : "kernel resolution")
+              << " for " << plan.algo()
+              << "; each execute is a fresh multiply\n";
+  }
+  if (cli.get("out")) mtx::write_matrix_market(*cli.get("out"), mtx::csr_to_coo(c));
+  return 0;
+}
+
 int cmd_multiply(const Cli& cli) {
   const mtx::CsrMatrix a =
       mtx::coo_to_csr(mtx::read_matrix_market(cli.require("a")));
@@ -99,12 +179,24 @@ int cmd_multiply(const Cli& cli) {
   const std::string algo = cli.get("algo").value_or("pb");
   const std::string semiring = cli.get("semiring").value_or("plus_times");
   const int reps = static_cast<int>(cli.number("reps", 1));
+  const int repeat = static_cast<int>(cli.number("repeat", 0));
+  const SpGemmProblem problem = SpGemmProblem::multiply(a, b);
+
+  if (repeat > 0 && reps > 1) {
+    throw std::invalid_argument(
+        "--reps (best-of-N timing) and --repeat (plan amortization) are "
+        "mutually exclusive; pass one");
+  }
+  if (algo == "auto" || repeat > 0) {
+    const int execs = repeat > 0 ? repeat : reps;
+    return multiply_planned(cli, problem, algo, semiring, std::max(execs, 1),
+                            /*amortization_report=*/repeat > 0);
+  }
 
   // Resolve through the (algorithm × semiring) registry first: unknown
   // names and unsupported pairs fail here with the full support matrix
   // instead of falling back to a different algorithm or semiring.
   const SpGemmFn fn = semiring_algorithm(algo, semiring);
-  const SpGemmProblem problem = SpGemmProblem::multiply(a, b);
   const std::string label = algo + " (" + semiring + ")";
 
   if (algo == "pb") {
@@ -122,12 +214,7 @@ int cmd_multiply(const Cli& cli) {
     std::cout << label << ": nnz(C) = " << best.c.nnz() << ", flop = "
               << tm.flop << ", cf = " << tm.cf() << ", " << tm.mflops()
               << " MFLOPS\n";
-    std::cout << "  symbolic " << tm.symbolic.seconds * 1e3 << " ms, expand "
-              << tm.expand.seconds * 1e3 << " ms (" << tm.expand.gbs()
-              << " GB/s), sort " << tm.sort.seconds * 1e3 << " ms ("
-              << tm.sort.gbs() << " GB/s), compress "
-              << tm.compress.seconds * 1e3 << " ms, convert "
-              << tm.convert.seconds * 1e3 << " ms\n";
+    print_pb_phases(tm);
     if (cli.get("out"))
       mtx::write_matrix_market(*cli.get("out"), mtx::csr_to_coo(best.c));
     return 0;
@@ -146,6 +233,20 @@ int cmd_multiply(const Cli& cli) {
             << ", " << static_cast<double>(flop) / best_s / 1e6
             << " MFLOPS\n";
   if (cli.get("out")) mtx::write_matrix_market(*cli.get("out"), mtx::csr_to_coo(c));
+  return 0;
+}
+
+int cmd_info(const Cli&) {
+  std::cout << "algorithm x semiring support matrix (multiply --algo A "
+               "--semiring S):\n"
+            << algorithm_semiring_matrix();
+  const CacheInfo& c = cache_info();
+  std::cout << "\ndetected cache hierarchy (sizes the PB bin layout):\n"
+            << "  L1d  " << c.l1d_bytes / 1024 << " KiB\n"
+            << "  L2   " << c.l2_bytes / 1024 << " KiB  (bins sized to L2/2)\n"
+            << "  L3   " << c.l3_bytes / 1024 << " KiB\n"
+            << "  line " << c.line_bytes << " B\n"
+            << "\nOpenMP threads: " << max_threads() << "\n";
   return 0;
 }
 
@@ -179,16 +280,19 @@ void usage() {
       "pbs_cli <command> [options]\n"
       "  gen      --kind er|rmat|banded --out FILE.mtx [--scale N --ef F --seed S]\n"
       "  stats    --a FILE.mtx\n"
-      "  multiply --a FILE.mtx [--b FILE.mtx] [--algo NAME] [--semiring NAME]\n"
-      "           [--reps R] [--out FILE.mtx]\n"
+      "  multiply --a FILE.mtx [--b FILE.mtx] [--algo NAME|auto] [--semiring NAME]\n"
+      "           [--reps R] [--repeat N] [--out FILE.mtx]\n"
+      "  info\n"
       "  stream   [--mb N]\n"
       "  roofline [--beta GBS] [--cf CF]\n"
       "\n"
       "multiply computes A ⊗ B with --algo over --semiring (defaults: pb,\n"
-      "plus_times).  Every (algorithm, semiring) pair below runs that actual\n"
+      "plus_times).  Every (algorithm, semiring) pair runs that actual\n"
       "algorithm — pb over min_plus executes the propagation-blocking\n"
-      "pipeline, not a fallback; unsupported pairs are an error:\n"
-      << algorithm_semiring_matrix();
+      "pipeline, not a fallback; unsupported pairs are an error (run\n"
+      "`pbs_cli info` for the support matrix).  --algo auto selects\n"
+      "pb/hash/heap from the roofline model and reports why; --repeat N\n"
+      "plans once and executes N times, reporting the amortized cost.\n";
 }
 
 }  // namespace
@@ -208,6 +312,7 @@ int main(int argc, char** argv) {
     if (cmd == "gen") return cmd_gen(cli);
     if (cmd == "stats") return cmd_stats(cli);
     if (cmd == "multiply") return cmd_multiply(cli);
+    if (cmd == "info") return cmd_info(cli);
     if (cmd == "stream") return cmd_stream(cli);
     if (cmd == "roofline") return cmd_roofline(cli);
     usage();
