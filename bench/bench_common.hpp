@@ -12,6 +12,8 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <map>
@@ -231,5 +233,64 @@ inline void print_header(const std::string& artifact,
   if (!notes.empty()) std::cout << "# " << notes << "\n";
   std::cout << "\n";
 }
+
+// ---- machine-readable output ----------------------------------------------
+
+/// Minimal JSON object builder for the benches' --json output (CI tracks
+/// the perf trajectory from these records; no external JSON dependency).
+class Json {
+ public:
+  Json& field(const std::string& key, double v) {
+    std::ostringstream ss;
+    ss << std::setprecision(10) << v;
+    return raw(key, ss.str());
+  }
+  Json& field(const std::string& key, std::int64_t v) {
+    return raw(key, std::to_string(v));
+  }
+  Json& field(const std::string& key, const std::string& v) {
+    return raw(key, "\"" + v + "\"");  // callers pass identifier-like strings
+  }
+  /// Pre-serialized JSON value (nested object/array).
+  Json& raw(const std::string& key, const std::string& json) {
+    if (!first_) ss_ << ",";
+    first_ = false;
+    ss_ << "\"" << key << "\":" << json;
+    return *this;
+  }
+  [[nodiscard]] std::string str() const { return "{" + ss_.str() + "}"; }
+
+ private:
+  std::ostringstream ss_;
+  bool first_ = true;
+};
+
+/// Collects records and writes them as one JSON array when a --json path
+/// was given; inert otherwise.
+class JsonSink {
+ public:
+  explicit JsonSink(const Args& args) : path_(args.get_string("json", "")) {}
+
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+  void add(const Json& record) {
+    if (enabled()) records_.push_back(record.str());
+  }
+
+  ~JsonSink() {
+    if (!enabled()) return;
+    std::ofstream out(path_);
+    out << "[";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      out << (i ? ",\n " : "\n ") << records_[i];
+    }
+    out << "\n]\n";
+    std::cout << "# wrote " << records_.size() << " JSON records to " << path_
+              << "\n";
+  }
+
+ private:
+  std::string path_;
+  std::vector<std::string> records_;
+};
 
 }  // namespace pbs::bench

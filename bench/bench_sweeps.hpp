@@ -3,6 +3,7 @@
 // algorithms and report PB's per-phase sustained bandwidth.
 #pragma once
 
+#include <cmath>
 #include <string>
 
 #include "bench_common.hpp"
@@ -50,8 +51,16 @@ inline void run_random_sweep(const std::string& artifact, MatrixKind kind,
     return h;
   }());
 
-  Table bw({"scale", "ef", "expand(GB/s)", "sort(GB/s)", "compress(GB/s)",
-            "convert(GB/s)", "overall(MF/s)"});
+  // Per format (the auto-selected one first, then wide-forced as the
+  // ablation): phase bandwidths plus the sort+compress seconds the
+  // narrow-key stream is meant to shrink.
+  Table bw({"scale", "ef", "format", "B/t", "expand(GB/s)", "sort(GB/s)",
+            "compress(GB/s)", "convert(GB/s)", "sort+comp(ms)",
+            "overall(MF/s)"});
+
+  JsonSink json(args);
+  double sc_speedup_product = 1.0;
+  int sc_speedup_points = 0;
 
   for (const int scale : scales) {
     for (const int ef : efs) {
@@ -85,10 +94,61 @@ inline void run_random_sweep(const std::string& artifact, MatrixKind kind,
       }
       perf.row_cells(std::move(cells));
 
+      pb::PbConfig auto_cfg;  // FormatPolicy::kAuto — narrow when it fits
+      pb::PbConfig wide_cfg;
+      wide_cfg.format = pb::FormatPolicy::kWide;
       const pb::PbTelemetry t =
-          pb_best_telemetry(problem, pb::PbConfig{}, reps, warmup);
-      bw.row(scale, ef, t.expand.gbs(), t.sort.gbs(), t.compress.gbs(),
-             t.convert.gbs(), t.mflops());
+          pb_best_telemetry(problem, auto_cfg, reps, warmup);
+      // The wide-forced ablation only measures something new when auto
+      // actually packed narrow.
+      const pb::PbTelemetry tw =
+          t.format == pb::TupleFormat::kWide
+              ? t
+              : pb_best_telemetry(problem, wide_cfg, reps, warmup);
+      for (const pb::PbTelemetry* tm : {&t, &tw}) {
+        bw.row(scale, ef, to_string(tm->format), tm->tuple_bytes(),
+               tm->expand.gbs(), tm->sort.gbs(), tm->compress.gbs(),
+               tm->convert.gbs(),
+               (tm->sort.seconds + tm->compress.seconds) * 1e3, tm->mflops());
+      }
+      if (t.format == pb::TupleFormat::kNarrow) {
+        const double sc_auto = t.sort.seconds + t.compress.seconds;
+        const double sc_wide = tw.sort.seconds + tw.compress.seconds;
+        if (sc_auto > 0) {
+          sc_speedup_product *= sc_wide / sc_auto;
+          ++sc_speedup_points;
+        }
+      }
+
+      if (json.enabled()) {
+        Json algos;
+        for (std::size_t i = 0; i < algo_names.size(); ++i) {
+          algos.field(algo_names[i], mflops[i]);
+        }
+        auto pb_record = [](const pb::PbTelemetry& tm) {
+          return Json()
+              .field("format", std::string(to_string(tm.format)))
+              .field("bytes_per_tuple", tm.tuple_bytes())
+              .field("expand_s", tm.expand.seconds)
+              .field("sort_s", tm.sort.seconds)
+              .field("compress_s", tm.compress.seconds)
+              .field("convert_s", tm.convert.seconds)
+              .field("gflops", tm.mflops() / 1e3)
+              .str();
+        };
+        json.add(Json()
+                     .field("bench", std::string("random_sweep"))
+                     .field("kind", std::string(kind == MatrixKind::kEr
+                                                    ? "er"
+                                                    : "rmat"))
+                     .field("scale", std::int64_t{scale})
+                     .field("ef", std::int64_t{ef})
+                     .field("flop", std::int64_t{flop})
+                     .field("cf", cf)
+                     .raw("mflops", algos.str())
+                     .raw("pb", pb_record(t))
+                     .raw("pb_wide", pb_record(tw)));
+      }
     }
   }
 
@@ -96,8 +156,14 @@ inline void run_random_sweep(const std::string& artifact, MatrixKind kind,
                "units typo — the Roofline caps ER at ~3 GFLOPS)\n";
   perf.print(std::cout);
   std::cout << "\n## PB-SpGEMM sustained bandwidth per phase (Table III byte "
-               "model)\n";
+               "model), auto-selected format vs wide-forced\n";
   bw.print(std::cout);
+  if (sc_speedup_points > 0) {
+    std::cout << "\n# narrow-format sort+compress speedup vs wide (geomean over "
+              << sc_speedup_points << " points): "
+              << std::pow(sc_speedup_product, 1.0 / sc_speedup_points)
+              << "x\n";
+  }
 }
 
 }  // namespace pbs::bench

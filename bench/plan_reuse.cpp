@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
 
   bench::Table table({"input", "semiring", "fresh ms", "planned ms",
                       "speedup", "recovered", "plan ms"});
+  bench::JsonSink json(args);
 
   for (const int scale : scales) {
     for (const int ef : efs) {
@@ -94,6 +95,21 @@ int main(int argc, char** argv) {
                         static_cast<int>((1.0 - planned_per / fresh_per) *
                                          100.0 + 0.5)) + "%",
                     plan_s * 1e3);
+          if (json.enabled()) {
+            json.add(bench::Json()
+                         .field("bench", std::string("plan_reuse"))
+                         .field("input", input)
+                         .field("semiring", s)
+                         .field("format",
+                                std::string(pb::to_string(plan.sym.format)))
+                         .field("bytes_per_tuple",
+                                static_cast<double>(
+                                    pb::bytes_per_tuple(plan.sym.format)))
+                         .field("fresh_ms_per_mult", fresh_per)
+                         .field("planned_ms_per_mult", planned_per)
+                         .field("speedup", fresh_per / planned_per)
+                         .field("plan_ms", plan_s * 1e3));
+          }
         }
       }
     }

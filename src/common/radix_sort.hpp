@@ -20,6 +20,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <type_traits>
 #include <utility>
 
 namespace pbs {
@@ -132,8 +133,12 @@ void radix_sort(Record* a, std::size_t n) {
 /// All byte histograms are gathered in one read pass, and constant bytes
 /// are skipped — with range binning only ~log2(rows_per_bin) row bits and
 /// log2(ncols) column bits vary, reproducing the paper's "4-byte keys,
-/// four passes" optimization.  Stable (LSD scatters preserve order), which
-/// the pipeline doesn't require but tests may rely on.
+/// four passes" optimization.  When the pass count is odd the histogram
+/// pass (which reads every record anyway) also copies the input to scratch
+/// so the ping-pong starts there and the final scatter lands in `a` — no
+/// trailing copy-back pass regardless of parity.  Stable (LSD scatters
+/// preserve order), which the pipeline doesn't require but tests may rely
+/// on.
 template <typename Record, typename KeyFn>
 void radix_sort_lsd(Record* a, std::size_t n, Record* scratch, KeyFn key) {
   if (n < 2) return;
@@ -153,17 +158,21 @@ void radix_sort_lsd(Record* a, std::size_t n, Record* scratch, KeyFn key) {
   for (int byte = 0; byte < 8; ++byte) {
     if (((varying >> (8 * byte)) & 0xFFu) != 0) passes[npasses++] = byte;
   }
+  const bool odd = (npasses % 2) != 0;
 
   // Pass 2: histograms for the varying bytes only (typically 3-4 of 8).
+  // With an odd pass count the records are copied to scratch here, fused
+  // into a pass that already streams them.
   std::array<std::array<std::uint32_t, 256>, 8> hist{};
   for (std::size_t i = 0; i < n; ++i) {
     const std::uint64_t k = key(a[i]);
     for (int p = 0; p < npasses; ++p)
       ++hist[passes[p]][(k >> (8 * passes[p])) & 0xFFu];
+    if (odd) scratch[i] = a[i];
   }
 
-  Record* src = a;
-  Record* dst = scratch;
+  Record* src = odd ? scratch : a;
+  Record* dst = odd ? a : scratch;
   for (int p = 0; p < npasses; ++p) {
     const int byte = passes[p];
     std::array<std::uint32_t, 256> offset;
@@ -177,9 +186,127 @@ void radix_sort_lsd(Record* a, std::size_t n, Record* scratch, KeyFn key) {
       dst[offset[(key(src[i]) >> shift) & 0xFFu]++] = src[i];
     std::swap(src, dst);
   }
-  if (src != a) {
-    for (std::size_t i = 0; i < n; ++i) a[i] = src[i];
+}
+
+namespace detail {
+
+/// Shared skeleton of the SoA LSD sorts: byte-skipping histogram setup over
+/// an unsigned key array, then `Scatter(byte_index, src_is_a)` once per
+/// varying byte.  `CopyToScratch(i)` copies element i and is invoked from
+/// inside the histogram loop (which already streams every record) when the
+/// pass count is odd, so the ping-pong starts in scratch and the result
+/// lands in the caller's arrays with no extra traversal (same parity trick
+/// as radix_sort_lsd above).
+template <typename Key, typename CopyToScratch, typename Scatter>
+void lsd_soa_driver(const Key* keys, std::size_t n, CopyToScratch copy,
+                    Scatter scatter) {
+  constexpr int kKeyBytes = static_cast<int>(sizeof(Key));
+
+  Key or_bits = 0, and_bits = static_cast<Key>(~Key{0});
+  for (std::size_t i = 0; i < n; ++i) {
+    or_bits |= keys[i];
+    and_bits &= keys[i];
   }
+  const Key varying = or_bits ^ and_bits;
+  if (varying == 0) return;
+
+  int passes[kKeyBytes];
+  int npasses = 0;
+  for (int byte = 0; byte < kKeyBytes; ++byte) {
+    if (((varying >> (8 * byte)) & 0xFFu) != 0) passes[npasses++] = byte;
+  }
+  const bool odd = (npasses % 2) != 0;
+
+  std::array<std::array<std::uint32_t, 256>, kKeyBytes> hist{};
+  for (std::size_t i = 0; i < n; ++i) {
+    const Key k = keys[i];
+    for (int p = 0; p < npasses; ++p)
+      ++hist[passes[p]][(k >> (8 * passes[p])) & 0xFFu];
+    if (odd) copy(i);
+  }
+
+  bool src_is_a = !odd;
+  for (int p = 0; p < npasses; ++p) {
+    const int byte = passes[p];
+    std::array<std::uint32_t, 256> offset;
+    std::uint32_t sum = 0;
+    for (int b = 0; b < 256; ++b) {
+      offset[b] = sum;
+      sum += hist[byte][b];
+    }
+    scatter(byte, src_is_a, offset);
+    src_is_a = !src_is_a;
+  }
+}
+
+}  // namespace detail
+
+/// Structure-of-arrays LSD radix sort: sorts `keys[0..n)` ascending while
+/// keeping `vals[i]` paired with its key.  This is the sort of PB-SpGEMM's
+/// narrow tuple format (pb/tuple.hpp): each scatter pass moves a 4-byte
+/// key + 8-byte value instead of a 16-byte AoS record, and the bit-scan +
+/// histogram passes touch only the key array — 4 of the 12 bytes.  Same
+/// byte skipping, odd-pass parity handling and stability as
+/// radix_sort_lsd.  `key_scratch` and `val_scratch` must each hold n
+/// elements.
+template <typename Key, typename Value>
+void radix_sort_lsd_kv(Key* keys, Value* vals, std::size_t n,
+                       Key* key_scratch, Value* val_scratch) {
+  static_assert(std::is_unsigned_v<Key>, "radix keys must be unsigned");
+  if (n < 2) return;
+
+  detail::lsd_soa_driver(
+      keys, n,
+      [&](std::size_t i) {
+        key_scratch[i] = keys[i];
+        val_scratch[i] = vals[i];
+      },
+      [&](int byte, bool src_is_a, std::array<std::uint32_t, 256>& offset) {
+        const Key* ks = src_is_a ? keys : key_scratch;
+        const Value* vs = src_is_a ? vals : val_scratch;
+        Key* kd = src_is_a ? key_scratch : keys;
+        Value* vd = src_is_a ? val_scratch : vals;
+        const int shift = 8 * byte;
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::uint32_t pos = offset[(ks[i] >> shift) & 0xFFu]++;
+          kd[pos] = ks[i];
+          vd[pos] = vs[i];
+        }
+      });
+}
+
+/// Key + payload-index LSD radix sort: sorts `keys[0..n)` ascending,
+/// co-permuting the caller's `index` array (typically iota into a payload
+/// array the caller gathers once afterwards).  Scatter passes move
+/// sizeof(Key) + 4 bytes per record — for 4-byte narrow keys that is 8 of
+/// the 16 bytes the AoS sort moves.  Worth it over radix_sort_lsd_kv when
+/// the payload is wide or the pass count high; the caller pays one final
+/// gather.  Same byte skipping, parity handling and stability as
+/// radix_sort_lsd.
+template <typename Key>
+void radix_sort_lsd_index(Key* keys, std::uint32_t* index, std::size_t n,
+                          Key* key_scratch, std::uint32_t* index_scratch) {
+  static_assert(std::is_unsigned_v<Key>, "radix keys must be unsigned");
+  if (n < 2) return;
+
+  detail::lsd_soa_driver(
+      keys, n,
+      [&](std::size_t i) {
+        key_scratch[i] = keys[i];
+        index_scratch[i] = index[i];
+      },
+      [&](int byte, bool src_is_a, std::array<std::uint32_t, 256>& offset) {
+        const Key* ks = src_is_a ? keys : key_scratch;
+        const std::uint32_t* is = src_is_a ? index : index_scratch;
+        Key* kd = src_is_a ? key_scratch : keys;
+        std::uint32_t* id = src_is_a ? index_scratch : index;
+        const int shift = 8 * byte;
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::uint32_t pos = offset[(ks[i] >> shift) & 0xFFu]++;
+          kd[pos] = ks[i];
+          id[pos] = is[i];
+        }
+      });
 }
 
 }  // namespace pbs

@@ -17,6 +17,11 @@ double ai_outer_lower(double cf, double bytes_per_nnz) {
   return cf / ((3.0 + 2.0 * cf) * bytes_per_nnz);
 }
 
+double ai_outer_lower_tuple(double cf, double bytes_per_nnz,
+                            double tuple_bytes) {
+  return cf / (3.0 * bytes_per_nnz + 2.0 * cf * tuple_bytes);
+}
+
 double attainable_gflops(double beta_gbs, double ai) { return beta_gbs * ai; }
 
 SpGemmBounds bounds(double beta_gbs, double cf, double bytes_per_nnz) {

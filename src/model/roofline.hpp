@@ -28,6 +28,15 @@ double ai_column_lower(double cf, double bytes_per_nnz = kDefaultBytesPerNnz);
 /// Eq. 4 — practical lower bound for outer-product ESC (PB-SpGEMM).
 double ai_outer_lower(double cf, double bytes_per_nnz = kDefaultBytesPerNnz);
 
+/// Eq. 4 generalized to a tuple stream narrower than the stored-nonzero
+/// format: the (3·b)/cf input/output term keeps the COO cost b, but the
+/// write-Cˆ-then-read-it term — 2 of the denominator's (3 + 2·cf)·b —
+/// charges the bytes the expanded stream actually moves per tuple
+/// (pb/tuple.hpp: 16 wide, 12 narrow).  With tuple_bytes == bytes_per_nnz
+/// this reduces exactly to ai_outer_lower.
+double ai_outer_lower_tuple(double cf, double bytes_per_nnz,
+                            double tuple_bytes);
+
 /// Eq. 2 — attainable GFLOPS at AI given STREAM bandwidth β (GB/s).
 double attainable_gflops(double beta_gbs, double ai);
 

@@ -9,7 +9,8 @@ AlgoChoice select_algorithm(double cf, nnz_t flop, bool hash_available,
                             const SelectionModel& m) {
   AlgoChoice choice;
   choice.cf = std::max(cf, 1.0);  // cf < 1 is an estimator artifact
-  choice.ai_outer = ai_outer_lower(choice.cf, m.bytes_per_nnz);
+  choice.ai_outer =
+      ai_outer_lower_tuple(choice.cf, m.bytes_per_nnz, m.pb_tuple_bytes);
   choice.ai_column = ai_column_lower(choice.cf, m.bytes_per_nnz);
 
   const double pb_eff = m.pb_efficiency;

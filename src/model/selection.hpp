@@ -22,7 +22,11 @@
 // The compression factor is *estimated* before the multiplication ever
 // runs (pb::pb_estimate_nnz_c's balls-into-bins model over the symbolic
 // phase's per-row flop counts), which is what lets a plan select its
-// algorithm at build time.
+// algorithm at build time.  PB's Eq. 4 bound additionally charges the Cˆ
+// write+read term the bytes the plan's tuple format actually moves
+// (pb_tuple_bytes: 16 wide, 12 narrow — see pb/tuple.hpp and
+// pb::predict_tuple_format), so the narrow stream's higher bound shifts
+// the crossover toward higher cf.
 #pragma once
 
 #include <string>
@@ -42,6 +46,13 @@ inline constexpr double kDefaultBetaGbs = 20.0;
 struct SelectionModel {
   double beta_gbs = kDefaultBetaGbs;
   double bytes_per_nnz = kDefaultBytesPerNnz;
+
+  /// Bytes each tuple of PB's expanded stream moves — the Cˆ term of
+  /// Eq. 4.  16 for the wide AoS format; 12 when the plan's narrow SoA
+  /// format engages (pb/tuple.hpp; pb::predict_tuple_format tells a
+  /// caller which to expect before any symbolic work).  Lowering it
+  /// raises PB's bound, moving the pb/hash crossover toward higher cf.
+  double pb_tuple_bytes = kDefaultBytesPerNnz;
 
   /// Fraction of its roofline bound PB sustains (its phases stream at
   /// near-STREAM bandwidth regardless of cf).

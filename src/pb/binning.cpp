@@ -31,6 +31,45 @@ int BinLayout::binid(index_t row) const {
   return 0;
 }
 
+const char* to_string(FormatPolicy p) {
+  switch (p) {
+    case FormatPolicy::kAuto: return "auto";
+    case FormatPolicy::kWide: return "wide";
+    case FormatPolicy::kNarrow: return "narrow";
+  }
+  return "?";
+}
+
+const char* to_string(TupleFormat f) {
+  switch (f) {
+    case TupleFormat::kWide: return "wide";
+    case TupleFormat::kNarrow: return "narrow";
+  }
+  return "?";
+}
+
+int BinLayout::local_row_bits(index_t nrows) const {
+  if (nrows <= 0) return 0;
+  index_t max_local = 0;
+  switch (policy) {
+    case BinPolicy::kRange:
+      // Bins except possibly the last are full; the widest local row is
+      // bounded by the bin width.  Unsigned arithmetic: shift can be 31.
+      max_local = static_cast<index_t>((std::uint32_t{1} << shift) - 1u);
+      break;
+    case BinPolicy::kModulo:
+      max_local = (nrows - 1) >> modulo_shift();
+      break;
+    case BinPolicy::kAdaptive:
+      for (std::size_t b = 0; b + 1 < bounds.size(); ++b) {
+        max_local = std::max<index_t>(max_local,
+                                      bounds[b + 1] - bounds[b] - 1);
+      }
+      break;
+  }
+  return ceil_log2(static_cast<std::uint64_t>(max_local) + 1);
+}
+
 int auto_nbins(nnz_t flop, std::size_t l2_bytes) {
   if (flop <= 0) return 1;
   const auto bin_budget = static_cast<nnz_t>(l2_bytes / 2);

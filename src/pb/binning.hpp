@@ -32,6 +32,49 @@ struct BinLayout {
   [[nodiscard]] index_t rows_per_bin() const {
     return policy == BinPolicy::kRange ? index_t{1} << shift : index_t{0};
   }
+
+  /// log2(nbins) for the modulo policy (nbins is a power of two there).
+  [[nodiscard]] int modulo_shift() const {
+    return ceil_log2(static_cast<std::uint64_t>(mask) + 1);
+  }
+
+  /// Bin-relative row id: a bijection [0, bin_width) <-> the rows of
+  /// `bin`, monotone in the rowid so sorting by it preserves row order
+  /// within the bin.  This is the row part of the narrow tuple key
+  /// (pb/tuple.hpp): range bins strip the constant high bits, modulo bins
+  /// strip the constant low (residue) bits, adaptive bins rebase on their
+  /// first row.
+  [[nodiscard]] index_t local_row(int bin, index_t row) const {
+    switch (policy) {
+      case BinPolicy::kRange:
+        // Unsigned mask arithmetic: shift may be as large as 31.
+        return static_cast<index_t>(
+            static_cast<std::uint32_t>(row) &
+            ((std::uint32_t{1} << shift) - 1u));
+      case BinPolicy::kModulo:
+        return row >> modulo_shift();
+      case BinPolicy::kAdaptive:
+        return row - bounds[static_cast<std::size_t>(bin)];
+    }
+    return 0;
+  }
+
+  /// Inverse of local_row for the same bin.
+  [[nodiscard]] index_t global_row(int bin, index_t local) const {
+    switch (policy) {
+      case BinPolicy::kRange:
+        return (static_cast<index_t>(bin) << shift) | local;
+      case BinPolicy::kModulo:
+        return (local << modulo_shift()) | static_cast<index_t>(bin);
+      case BinPolicy::kAdaptive:
+        return bounds[static_cast<std::size_t>(bin)] + local;
+    }
+    return 0;
+  }
+
+  /// Bits needed to hold any bin's local_row values, given the matrix row
+  /// count — the row half of the narrow-format fit test.
+  [[nodiscard]] int local_row_bits(index_t nrows) const;
 };
 
 /// The paper's bin-count rule (Algorithm 3 line 6): enough bins that one

@@ -17,6 +17,27 @@ template nnz_t pb_expand<BoolOrAnd>(const mtx::CscMatrix&,
                                     const SymbolicResult&, const PbConfig&,
                                     Tuple*);
 
+template nnz_t pb_expand_narrow<PlusTimes>(const mtx::CscMatrix&,
+                                           const mtx::CsrMatrix&,
+                                           const SymbolicResult&,
+                                           const PbConfig&, narrow_key_t*,
+                                           value_t*);
+template nnz_t pb_expand_narrow<MinPlus>(const mtx::CscMatrix&,
+                                         const mtx::CsrMatrix&,
+                                         const SymbolicResult&,
+                                         const PbConfig&, narrow_key_t*,
+                                         value_t*);
+template nnz_t pb_expand_narrow<MaxMin>(const mtx::CscMatrix&,
+                                        const mtx::CsrMatrix&,
+                                        const SymbolicResult&,
+                                        const PbConfig&, narrow_key_t*,
+                                        value_t*);
+template nnz_t pb_expand_narrow<BoolOrAnd>(const mtx::CscMatrix&,
+                                           const mtx::CsrMatrix&,
+                                           const SymbolicResult&,
+                                           const PbConfig&, narrow_key_t*,
+                                           value_t*);
+
 nnz_t pb_expand(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
                 const SymbolicResult& sym, const PbConfig& cfg, Tuple* out) {
   return pb_expand<PlusTimes>(a, b, sym, cfg, out);

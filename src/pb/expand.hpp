@@ -33,6 +33,17 @@ template <typename S>
 nnz_t pb_expand(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
                 const SymbolicResult& sym, const PbConfig& cfg, Tuple* out);
 
+/// Narrow-format expand: same routing, but writes the SoA stream — packed
+/// bin-relative u32 keys to `out_keys` and values to `out_vals` (12 B per
+/// tuple instead of 16; see pb/tuple.hpp).  Requires a symbolic result
+/// whose bin regions were padded for the narrow format
+/// (sym.format == TupleFormat::kNarrow); both arrays need room for
+/// sym.bin_offsets.back() entries.
+template <typename S>
+nnz_t pb_expand_narrow(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
+                       const SymbolicResult& sym, const PbConfig& cfg,
+                       narrow_key_t* out_keys, value_t* out_vals);
+
 extern template nnz_t pb_expand<PlusTimes>(const mtx::CscMatrix&,
                                            const mtx::CsrMatrix&,
                                            const SymbolicResult&,
@@ -49,6 +60,19 @@ extern template nnz_t pb_expand<BoolOrAnd>(const mtx::CscMatrix&,
                                            const mtx::CsrMatrix&,
                                            const SymbolicResult&,
                                            const PbConfig&, Tuple*);
+
+extern template nnz_t pb_expand_narrow<PlusTimes>(
+    const mtx::CscMatrix&, const mtx::CsrMatrix&, const SymbolicResult&,
+    const PbConfig&, narrow_key_t*, value_t*);
+extern template nnz_t pb_expand_narrow<MinPlus>(
+    const mtx::CscMatrix&, const mtx::CsrMatrix&, const SymbolicResult&,
+    const PbConfig&, narrow_key_t*, value_t*);
+extern template nnz_t pb_expand_narrow<MaxMin>(
+    const mtx::CscMatrix&, const mtx::CsrMatrix&, const SymbolicResult&,
+    const PbConfig&, narrow_key_t*, value_t*);
+extern template nnz_t pb_expand_narrow<BoolOrAnd>(
+    const mtx::CscMatrix&, const mtx::CsrMatrix&, const SymbolicResult&,
+    const PbConfig&, narrow_key_t*, value_t*);
 
 /// Numeric (+, ×) expand — equivalent to pb_expand<PlusTimes>.
 nnz_t pb_expand(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,

@@ -1,7 +1,8 @@
 // Template definitions for the expand phase (see expand.hpp for the
 // algorithm description).  Included by expand.cpp, which explicitly
-// instantiates pb_expand<S> for the built-in semirings — include this
-// header directly only to instantiate a custom semiring.
+// instantiates pb_expand<S> / pb_expand_narrow<S> for the built-in
+// semirings — include this header directly only to instantiate a custom
+// semiring.
 #pragma once
 
 #include "pb/expand.hpp"
@@ -26,19 +27,26 @@ namespace detail {
 // whole lines, use non-temporal stores — full-line writes with no
 // read-for-ownership traffic, which is what lets the expand phase approach
 // STREAM bandwidth (paper Sec. III-C).  Symbolic pads bin regions so full
-// flushes stay aligned; partial drain flushes fall back to memcpy.
-inline void flush_copy(Tuple* dst, const Tuple* src, int count,
+// flushes stay aligned; partial drain flushes fall back to memcpy.  One
+// template serves both formats: wide flushes move Tuple lines, narrow
+// flushes move a key block and a value block separately (non-temporal on
+// both).
+template <typename T>
+inline void flush_copy(T* dst, const T* src, int count,
                        [[maybe_unused]] bool streaming) {
+  const std::size_t bytes = static_cast<std::size_t>(count) * sizeof(T);
 #if defined(__SSE2__)
   if (streaming && (reinterpret_cast<std::uintptr_t>(dst) & 63u) == 0 &&
-      count % 4 == 0) {
+      bytes % 64 == 0) {
     const auto* s = reinterpret_cast<const __m128i*>(src);
     auto* d = reinterpret_cast<__m128i*>(dst);
-    for (int i = 0; i < count; ++i) _mm_stream_si128(d + i, _mm_load_si128(s + i));
+    const std::size_t blocks = bytes / sizeof(__m128i);
+    for (std::size_t i = 0; i < blocks; ++i)
+      _mm_stream_si128(d + i, _mm_load_si128(s + i));
     return;
   }
 #endif
-  std::memcpy(dst, src, static_cast<std::size_t>(count) * sizeof(Tuple));
+  std::memcpy(dst, src, bytes);
 }
 
 inline void flush_fence() {
@@ -57,6 +65,23 @@ int fast_binid(const BinLayout& layout, index_t row) {
     return static_cast<int>(static_cast<std::uint32_t>(row) & layout.mask);
   } else {
     return layout.binid(row);
+  }
+}
+
+// Bin-relative row for the narrow key, same specialization idea as
+// fast_binid.  `mod_shift` is layout.modulo_shift(), hoisted by the caller
+// so the modulo case is a plain shift here.
+template <BinPolicy P>
+index_t fast_local_row(const BinLayout& layout, int bin, index_t row,
+                       int mod_shift) {
+  if constexpr (P == BinPolicy::kRange) {
+    return static_cast<index_t>(static_cast<std::uint32_t>(row) &
+                                ((std::uint32_t{1} << layout.shift) - 1u));
+  } else if constexpr (P == BinPolicy::kModulo) {
+    return row >> mod_shift;
+  } else {
+    (void)mod_shift;
+    return row - layout.bounds[static_cast<std::size_t>(bin)];
   }
 }
 
@@ -131,6 +156,100 @@ nnz_t expand_impl(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
   return flushes;
 }
 
+// Narrow-format expand: identical routing and blocking, but local bins are
+// SoA — a key lane and a value lane per bin — and a flush scatters the two
+// streams separately, so the phase writes 12 bytes per tuple instead of
+// 16.  The local-bin capacity is rounded to 16 tuples so a full flush is
+// whole cache lines on both streams (one 64 B key line per 16 tuples, two
+// value lines), keeping the non-temporal store path of flush_copy.
+template <BinPolicy P, typename S>
+nnz_t expand_narrow_impl(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
+                         const SymbolicResult& sym, const PbConfig& cfg,
+                         narrow_key_t* out_keys, value_t* out_vals) {
+  const BinLayout& layout = sym.layout;
+  const auto nbins = static_cast<std::size_t>(layout.nbins);
+  const int cap = std::max<int>(
+      16, cfg.local_bin_bytes /
+              static_cast<int>(kBytesPerTupleNarrow) / 16 * 16);
+  const int col_bits = sym.col_bits;
+  const int mod_shift =
+      layout.policy == BinPolicy::kModulo ? layout.modulo_shift() : 0;
+
+  std::vector<std::atomic<nnz_t>> cursor(nbins);
+  for (std::size_t bin = 0; bin < nbins; ++bin)
+    cursor[bin].store(sym.bin_offsets[bin], std::memory_order_relaxed);
+
+  nnz_t flushes = 0;
+
+#pragma omp parallel reduction(+ : flushes)
+  {
+    // All key lanes, then all value lanes (both line-aligned: cap is a
+    // multiple of 16, so each lane starts on a 64 B boundary).
+    AlignedBuffer<narrow_key_t> lkeys(nbins * static_cast<std::size_t>(cap));
+    AlignedBuffer<value_t> lvals(nbins * static_cast<std::size_t>(cap));
+    std::vector<int> lcnt(nbins, 0);
+
+    auto flush = [&](std::size_t bin) {
+      const int count = lcnt[bin];
+      const nnz_t pos =
+          cursor[bin].fetch_add(count, std::memory_order_relaxed);
+      flush_copy(out_keys + pos,
+                 lkeys.data() + bin * static_cast<std::size_t>(cap), count,
+                 cfg.streaming_stores);
+      flush_copy(out_vals + pos,
+                 lvals.data() + bin * static_cast<std::size_t>(cap), count,
+                 cfg.streaming_stores);
+      lcnt[bin] = 0;
+      ++flushes;
+    };
+
+#pragma omp for schedule(guided) nowait
+    for (index_t i = 0; i < a.ncols; ++i) {
+      const auto arows = a.col_rows(i);
+      const auto avals = a.col_vals(i);
+      const auto bcols = b.row_cols(i);
+      const auto bvals = b.row_vals(i);
+      if (bcols.empty()) continue;
+
+      for (std::size_t ai = 0; ai < arows.size(); ++ai) {
+        const index_t r = arows[ai];
+        const value_t av = avals[ai];
+        const int bin_i = fast_binid<P>(layout, r);
+        const auto bin = static_cast<std::size_t>(bin_i);
+        // The row bits are constant across B(i,:): build them once.
+        const narrow_key_t rowkey =
+            static_cast<narrow_key_t>(
+                fast_local_row<P>(layout, bin_i, r, mod_shift))
+            << col_bits;
+        narrow_key_t* klane = lkeys.data() + bin * static_cast<std::size_t>(cap);
+        value_t* vlane = lvals.data() + bin * static_cast<std::size_t>(cap);
+        for (std::size_t bi = 0; bi < bcols.size(); ++bi) {
+          if (lcnt[bin] == cap) flush(bin);
+          const int at = lcnt[bin]++;
+          klane[at] = rowkey | static_cast<narrow_key_t>(bcols[bi]);
+          vlane[at] = S::mul(av, bvals[bi]);
+        }
+      }
+    }
+
+    for (std::size_t bin = 0; bin < nbins; ++bin) {
+      if (lcnt[bin] != 0) flush(bin);
+    }
+    flush_fence();
+  }
+
+  if (cfg.validate) {
+    for (std::size_t bin = 0; bin < nbins; ++bin) {
+      if (cursor[bin].load(std::memory_order_relaxed) !=
+          sym.bin_offsets[bin] + sym.bin_fill[bin]) {
+        throw std::logic_error("pb_expand_narrow: bin " + std::to_string(bin) +
+                               " cursor does not meet its fill mark");
+      }
+    }
+  }
+  return flushes;
+}
+
 }  // namespace detail
 
 template <typename S>
@@ -143,6 +262,24 @@ nnz_t pb_expand(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
       return detail::expand_impl<BinPolicy::kModulo, S>(a, b, sym, cfg, out);
     case BinPolicy::kAdaptive:
       return detail::expand_impl<BinPolicy::kAdaptive, S>(a, b, sym, cfg, out);
+  }
+  return 0;
+}
+
+template <typename S>
+nnz_t pb_expand_narrow(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
+                       const SymbolicResult& sym, const PbConfig& cfg,
+                       narrow_key_t* out_keys, value_t* out_vals) {
+  switch (sym.layout.policy) {
+    case BinPolicy::kRange:
+      return detail::expand_narrow_impl<BinPolicy::kRange, S>(a, b, sym, cfg,
+                                                              out_keys, out_vals);
+    case BinPolicy::kModulo:
+      return detail::expand_narrow_impl<BinPolicy::kModulo, S>(a, b, sym, cfg,
+                                                               out_keys, out_vals);
+    case BinPolicy::kAdaptive:
+      return detail::expand_narrow_impl<BinPolicy::kAdaptive, S>(
+          a, b, sym, cfg, out_keys, out_vals);
   }
   return 0;
 }

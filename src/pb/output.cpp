@@ -50,4 +50,77 @@ mtx::CsrMatrix pb_build_csr(const Tuple* tuples,
   return out;
 }
 
+mtx::CsrMatrix pb_build_csr_narrow(const narrow_key_t* keys,
+                                   const value_t* vals,
+                                   std::span<const nnz_t> offsets,
+                                   std::span<const nnz_t> merged,
+                                   const BinLayout& layout, int col_bits,
+                                   index_t nrows, index_t ncols) {
+  const auto nbins = static_cast<int>(merged.size());
+  mtx::CsrMatrix out(nrows, ncols);
+
+  // Hoisted modulo shift so global_row in the per-tuple loops below is a
+  // plain shift, mirroring the expand path's fast_local_row.
+  const int mod_shift =
+      layout.policy == BinPolicy::kModulo ? layout.modulo_shift() : 0;
+  auto global_row = [&](int bin, index_t local) {
+    switch (layout.policy) {
+      case BinPolicy::kRange:
+        return (static_cast<index_t>(bin) << layout.shift) | local;
+      case BinPolicy::kModulo:
+        return (local << mod_shift) | static_cast<index_t>(bin);
+      case BinPolicy::kAdaptive:
+        return layout.bounds[static_cast<std::size_t>(bin)] + local;
+    }
+    return index_t{0};
+  };
+
+  // Pass 1: per-row counts from the key array alone — the narrow format's
+  // cheapest pass: 4 bytes per surviving tuple.  Same no-atomics argument
+  // as the wide path: bins never share a row.
+#pragma omp parallel for schedule(dynamic, 1)
+  for (int bin = 0; bin < nbins; ++bin) {
+    const narrow_key_t* k = keys + offsets[static_cast<std::size_t>(bin)];
+    const nnz_t len = merged[static_cast<std::size_t>(bin)];
+    for (nnz_t i = 0; i < len; ++i) {
+      const index_t row =
+          global_row(bin, narrow_key_local_row(k[i], col_bits));
+      ++out.rowptr[static_cast<std::size_t>(row) + 1];
+    }
+  }
+
+  const nnz_t total =
+      counts_to_rowptr(out.rowptr.data(), static_cast<std::size_t>(nrows));
+  out.colids.resize(static_cast<std::size_t>(total));
+  out.vals.resize(static_cast<std::size_t>(total));
+
+  // Pass 2: scatter.  Within a bin ascending narrow keys are ascending
+  // (row, col) — local_row is monotone in the rowid for every policy — so
+  // rows appear as contiguous runs exactly as in the wide path.
+  const narrow_key_t col_mask =
+      (narrow_key_t{1} << col_bits) - 1u;
+#pragma omp parallel for schedule(dynamic, 1)
+  for (int bin = 0; bin < nbins; ++bin) {
+    const nnz_t off = offsets[static_cast<std::size_t>(bin)];
+    const narrow_key_t* k = keys + off;
+    const value_t* v = vals + off;
+    const nnz_t len = merged[static_cast<std::size_t>(bin)];
+    nnz_t i = 0;
+    while (i < len) {
+      const index_t local = narrow_key_local_row(k[i], col_bits);
+      const index_t row = global_row(bin, local);
+      nnz_t dst = out.rowptr[row];
+      while (i < len && narrow_key_local_row(k[i], col_bits) == local) {
+        out.colids[static_cast<std::size_t>(dst)] =
+            static_cast<index_t>(k[i] & col_mask);
+        out.vals[static_cast<std::size_t>(dst)] = v[i];
+        ++dst;
+        ++i;
+      }
+    }
+  }
+
+  return out;
+}
+
 }  // namespace pbs::pb

@@ -13,6 +13,7 @@
 #include <span>
 
 #include "matrix/csr.hpp"
+#include "pb/binning.hpp"
 #include "pb/pb_config.hpp"
 #include "pb/tuple.hpp"
 
@@ -25,5 +26,17 @@ mtx::CsrMatrix pb_build_csr(const Tuple* tuples,
                             std::span<const nnz_t> offsets,
                             std::span<const nnz_t> merged, index_t nrows,
                             index_t ncols);
+
+/// Narrow-format conversion: reconstructs the global (row, col) of each
+/// surviving tuple from the bin geometry while streaming — the row-count
+/// pass reads only the 4 B key array, and values are copied straight from
+/// the SoA value array.  `layout`/`col_bits` must be the ones the stream
+/// was expanded with (SymbolicResult::layout / col_bits).
+mtx::CsrMatrix pb_build_csr_narrow(const narrow_key_t* keys,
+                                   const value_t* vals,
+                                   std::span<const nnz_t> offsets,
+                                   std::span<const nnz_t> merged,
+                                   const BinLayout& layout, int col_bits,
+                                   index_t nrows, index_t ncols);
 
 }  // namespace pbs::pb

@@ -15,6 +15,7 @@
 
 #include "common/types.hpp"
 #include "matrix/csr.hpp"
+#include "pb/tuple.hpp"
 
 namespace pbs::pb {
 
@@ -26,6 +27,15 @@ enum class BinPolicy {
 
 const char* to_string(BinPolicy p);
 
+/// How the symbolic phase picks the tuple stream format (pb/tuple.hpp).
+enum class FormatPolicy {
+  kAuto,    ///< narrow whenever the bin geometry's varying bits fit 32
+  kWide,    ///< force the 16 B AoS format (ablation / bitwise comparison)
+  kNarrow,  ///< request narrow; falls back to wide when it cannot fit
+};
+
+const char* to_string(FormatPolicy p);
+
 struct PbConfig {
   /// Number of global bins; 0 selects the paper's rule
   /// nbins ≈ flop·16B / (L2/2), clamped to [1, 2^16] (Algorithm 3, line 6).
@@ -36,6 +46,9 @@ struct PbConfig {
   int local_bin_bytes = 512;
 
   BinPolicy policy = BinPolicy::kRange;
+
+  /// Tuple stream format selection (default: narrow when it fits).
+  FormatPolicy format = FormatPolicy::kAuto;
 
   /// L2 size used by the auto-nbins rule; 0 = detect at runtime.
   std::size_t l2_bytes = 0;
@@ -71,6 +84,14 @@ struct PbTelemetry {
   nnz_t nnz_c = 0;
   int nbins = 0;
   index_t rows_per_bin = 0;  ///< 0 for adaptive layouts
+
+  /// Stream format this run used and its per-tuple byte cost (the `b` the
+  /// phase byte models above were computed with).
+  TupleFormat format = TupleFormat::kWide;
+
+  [[nodiscard]] double tuple_bytes() const {
+    return static_cast<double>(bytes_per_tuple(format));
+  }
 
   [[nodiscard]] double cf() const {
     return nnz_c > 0 ? static_cast<double>(flop) / static_cast<double>(nnz_c) : 0.0;

@@ -47,6 +47,13 @@
 
 namespace pbs::pb {
 
+/// The narrow tuple stream: parallel key/value arrays carved from one
+/// workspace allocation (SoA counterpart of `Tuple*`; see pb/tuple.hpp).
+struct NarrowStream {
+  narrow_key_t* keys = nullptr;
+  value_t* vals = nullptr;
+};
+
 /// Pooling allocator for the pipeline's scratch memory: the expanded
 /// matrix Cˆ (flop tuples — the largest allocation of the algorithm, often
 /// several times the inputs) plus the per-thread radix-sort scratch of the
@@ -58,18 +65,22 @@ namespace pbs::pb {
 /// iteration, and on kernels with slow page-fault paths (containers, some
 /// hypervisors) first-touch faults can run an order of magnitude below
 /// stream bandwidth and completely mask the algorithm.  The pools hold
-/// raw tuples, so one workspace serves every semiring instantiation.
+/// raw bytes and carve them per request, so one workspace serves every
+/// semiring instantiation and both tuple formats — a 12 B/tuple narrow
+/// stream fits inside the capacity a 16 B/tuple wide run of the same flop
+/// left behind, so plans alternating formats reallocate nothing.
 ///
 /// Reuse statistics distinguish calls served from pooled capacity from
 /// calls that had to (re)allocate — the plan/execute layer exposes them so
 /// tests and benches can assert that steady-state executions allocate
-/// nothing.  Not thread-safe across concurrent pipelines; the per-thread
-/// scratch slots are safe to fill from inside one pipeline's parallel
-/// region (each slot belongs to one OpenMP thread).
+/// nothing.  One acquire (wide or narrow) is one pipeline execution's
+/// tuple-buffer request.  Not thread-safe across concurrent pipelines; the
+/// per-thread scratch slots are safe to fill from inside one pipeline's
+/// parallel region (each slot belongs to one OpenMP thread).
 class PbWorkspace {
  public:
   struct Stats {
-    std::uint64_t acquires = 0;     ///< total tuple-pool requests
+    std::uint64_t acquires = 0;     ///< total tuple-buffer requests
     std::uint64_t allocations = 0;  ///< requests that had to (re)allocate
     std::uint64_t reuses = 0;       ///< requests served from pooled capacity
     std::uint64_t scratch_allocations = 0;  ///< ditto for sort scratch slots
@@ -77,18 +88,22 @@ class PbWorkspace {
     std::size_t peak_request = 0;   ///< largest tuple count ever requested
   };
 
-  /// Buffer for at least n tuples; contents undefined.  Grows
+  /// Wide-format buffer for at least n tuples; contents undefined.  Grows
   /// geometrically, never shrinks.
   Tuple* acquire(std::size_t n) {
-    ++stats_.acquires;
-    stats_.peak_request = std::max(stats_.peak_request, n);
-    if (n > buf_.size()) {
-      ++stats_.allocations;
-      buf_.allocate(std::max(n, buf_.size() + buf_.size() / 2));
-    } else {
-      ++stats_.reuses;
-    }
-    return buf_.data();
+    note_request(n);
+    return reinterpret_cast<Tuple*>(
+        ensure(buf_, stats_.allocations, stats_.reuses, n * sizeof(Tuple)));
+  }
+
+  /// Narrow-format key + value arrays for at least n tuples, carved from
+  /// the same pool as acquire(); contents undefined.  The value array
+  /// starts on a cache-line boundary.
+  NarrowStream acquire_narrow(std::size_t n) {
+    note_request(n);
+    std::byte* base = ensure(buf_, stats_.allocations, stats_.reuses,
+                             narrow_bytes(n));
+    return carve_narrow(base, n);
   }
 
   /// Ensures `nthreads` scratch slots exist.  Call before the parallel
@@ -104,15 +119,18 @@ class PbWorkspace {
   /// (aggregated in stats()) without synchronization.
   Tuple* acquire_scratch(std::size_t slot, std::size_t n) {
     ScratchSlot& s = scratch_[slot];
-    if (n > s.buf.size()) {
-      ++s.allocations;
-      s.buf.allocate(std::max(n, s.buf.size() + s.buf.size() / 2));
-    } else {
-      ++s.reuses;
-    }
-    return s.buf.data();
+    return reinterpret_cast<Tuple*>(
+        ensure(s.buf, s.allocations, s.reuses, n * sizeof(Tuple)));
   }
 
+  /// Narrow-format per-thread sort scratch (key + value arrays of n).
+  NarrowStream acquire_scratch_narrow(std::size_t slot, std::size_t n) {
+    ScratchSlot& s = scratch_[slot];
+    std::byte* base = ensure(s.buf, s.allocations, s.reuses, narrow_bytes(n));
+    return carve_narrow(base, n);
+  }
+
+  /// Retained pool capacity in bytes.
   [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
 
   /// Aggregated reuse statistics (tuple pool + scratch slots).
@@ -132,12 +150,44 @@ class PbWorkspace {
 
  private:
   struct ScratchSlot {
-    AlignedBuffer<Tuple> buf;
+    AlignedBuffer<std::byte> buf;
     std::uint64_t allocations = 0;
     std::uint64_t reuses = 0;
   };
 
-  AlignedBuffer<Tuple> buf_;
+  void note_request(std::size_t n) {
+    ++stats_.acquires;
+    stats_.peak_request = std::max(stats_.peak_request, n);
+  }
+
+  /// Keys, padded to a cache line, then values.
+  static std::size_t narrow_bytes(std::size_t n) {
+    return key_span(n) + n * sizeof(value_t);
+  }
+
+  static std::size_t key_span(std::size_t n) {
+    return (n * sizeof(narrow_key_t) + kCacheLineBytes - 1) /
+           kCacheLineBytes * kCacheLineBytes;
+  }
+
+  static NarrowStream carve_narrow(std::byte* base, std::size_t n) {
+    return {reinterpret_cast<narrow_key_t*>(base),
+            reinterpret_cast<value_t*>(base + key_span(n))};
+  }
+
+  static std::byte* ensure(AlignedBuffer<std::byte>& buf,
+                           std::uint64_t& allocations, std::uint64_t& reuses,
+                           std::size_t bytes) {
+    if (bytes > buf.size()) {
+      ++allocations;
+      buf.allocate(std::max(bytes, buf.size() + buf.size() / 2));
+    } else {
+      ++reuses;
+    }
+    return buf.data();
+  }
+
+  AlignedBuffer<std::byte> buf_;
   std::vector<ScratchSlot> scratch_;
   Stats stats_;
 };

@@ -25,9 +25,14 @@ StructureFingerprint StructureFingerprint::of(const mtx::CscMatrix& a,
 
 PbPlan pb_plan_build(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
                      const PbConfig& cfg) {
+  return pb_plan_build(a, b, cfg, SymbolicHints{});
+}
+
+PbPlan pb_plan_build(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
+                     const PbConfig& cfg, const SymbolicHints& hints) {
   PbPlan plan;
   Timer timer;
-  plan.sym = pb_symbolic(a, b, cfg);  // throws on dimension mismatch
+  plan.sym = pb_symbolic(a, b, cfg, hints);  // throws on dimension mismatch
   plan.cfg = cfg;
   plan.l2_bytes = cfg.l2_bytes != 0 ? cfg.l2_bytes : cache_info().l2_bytes;
   plan.fingerprint = StructureFingerprint::of(a, b, plan.sym.flop);

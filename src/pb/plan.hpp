@@ -74,6 +74,14 @@ struct PbPlan {
 PbPlan pb_plan_build(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
                      const PbConfig& cfg = {});
 
+/// Variant for callers that already computed parts of the analysis
+/// (typically the plan layer, whose fingerprint pass owns flop and whose
+/// selection pass may own the row-flop histogram): pb_symbolic then runs
+/// each O(ncols)/O(nnz) pass at most once across fingerprint + replan.
+/// The hints must describe these exact operands (SymbolicHints contract).
+PbPlan pb_plan_build(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
+                     const PbConfig& cfg, const SymbolicHints& hints);
+
 /// Executes expand → sort/compress → convert over semiring S against a
 /// previously built plan, drawing all scratch from `workspace`.  The
 /// operands must match plan.fingerprint: with check_fingerprint (the

@@ -25,6 +25,7 @@ PbResult pb_execute(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
   }
 
   const SymbolicResult& sym = plan.sym;
+  const bool narrow = sym.format == TupleFormat::kNarrow;
   PbResult result;
   PbTelemetry& tm = result.stats;
   Timer timer;
@@ -38,24 +39,39 @@ PbResult pb_execute(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
   // width; modulo and adaptive layouts have no single contiguous width and
   // report 0 (see BinLayout::rows_per_bin).
   tm.rows_per_bin = sym.layout.rows_per_bin();
+  tm.format = sym.format;
+  // The `b` each tuple of this run's stream costs — the per-format Table
+  // III accounting below runs on it.
+  const double bpt = tm.tuple_bytes();
 
   // ---- expand (S::mul) ----
   timer.reset();
-  Tuple* const expanded =
-      workspace.acquire(static_cast<std::size_t>(sym.bin_offsets.back()));
-  pb_expand<S>(a, b, sym, plan.cfg, expanded);
+  const auto buf_len = static_cast<std::size_t>(sym.bin_offsets.back());
+  Tuple* expanded = nullptr;
+  NarrowStream ns;
+  if (narrow) {
+    ns = workspace.acquire_narrow(buf_len);
+    pb_expand_narrow<S>(a, b, sym, plan.cfg, ns.keys, ns.vals);
+  } else {
+    expanded = workspace.acquire(buf_len);
+    pb_expand<S>(a, b, sym, plan.cfg, expanded);
+  }
   tm.expand.seconds = timer.elapsed_s();
-  // Table III: read both inputs once, write flop tuples.
+  // Table III: read both inputs once (at the paper's wide COO cost), write
+  // flop tuples at the stream format's cost.
   tm.expand.bytes =
       static_cast<double>(kBytesPerTuple) *
-      (static_cast<double>(a.nnz()) + static_cast<double>(b.nnz()) +
-       static_cast<double>(sym.flop));
+          (static_cast<double>(a.nnz()) + static_cast<double>(b.nnz())) +
+      bpt * static_cast<double>(sym.flop);
 
   // ---- sort + compress (fused per bin, timed separately; S::add) ----
   timer.reset();
   const SortCompressResult sc =
-      pb_sort_compress<S>(expanded, sym.bin_offsets, sym.bin_fill,
-                          sym.layout.nbins, &workspace);
+      narrow ? pb_sort_compress_narrow<S>(ns.keys, ns.vals, sym.bin_offsets,
+                                          sym.bin_fill, sym.layout.nbins,
+                                          &workspace)
+             : pb_sort_compress<S>(expanded, sym.bin_offsets, sym.bin_fill,
+                                   sym.layout.nbins, &workspace);
   const double sc_wall = timer.elapsed_s();
   // Attribute the fused loop's wall time proportionally to the measured
   // per-thread busy times (their ratio is exact; the split of idle time is
@@ -66,22 +82,24 @@ PbResult pb_execute(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
   tm.compress.seconds = sc_wall * (1.0 - sort_share);
   // Table III: the sort streams the bin in (shuffles are in-cache); the
   // compress writes only survivors (reads are in-cache).
-  tm.sort.bytes =
-      static_cast<double>(kBytesPerTuple) * static_cast<double>(sym.flop);
+  tm.sort.bytes = bpt * static_cast<double>(sym.flop);
   nnz_t nnz_c = 0;
   for (const nnz_t m : sc.merged) nnz_c += m;
   tm.nnz_c = nnz_c;
-  tm.compress.bytes =
-      static_cast<double>(kBytesPerTuple) * static_cast<double>(nnz_c);
+  tm.compress.bytes = bpt * static_cast<double>(nnz_c);
 
   // ---- convert to CSR (semiring-independent) ----
   timer.reset();
-  result.c = pb_build_csr(expanded, sym.bin_offsets, sc.merged,
-                          a.nrows, b.ncols);
+  result.c = narrow
+                 ? pb_build_csr_narrow(ns.keys, ns.vals, sym.bin_offsets,
+                                       sc.merged, sym.layout, sym.col_bits,
+                                       a.nrows, b.ncols)
+                 : pb_build_csr(expanded, sym.bin_offsets, sc.merged,
+                                a.nrows, b.ncols);
   tm.convert.seconds = timer.elapsed_s();
   // Reads the merged tuples, writes colids+vals and two rowptr passes.
   tm.convert.bytes =
-      static_cast<double>(kBytesPerTuple + sizeof(index_t) + sizeof(value_t)) *
+      (bpt + static_cast<double>(sizeof(index_t) + sizeof(value_t))) *
           static_cast<double>(nnz_c) +
       2.0 * static_cast<double>(sizeof(nnz_t)) * static_cast<double>(a.nrows);
 

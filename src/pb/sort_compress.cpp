@@ -11,6 +11,19 @@ template SortCompressResult pb_sort_compress<MaxMin>(
 template SortCompressResult pb_sort_compress<BoolOrAnd>(
     Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int, PbWorkspace*);
 
+template SortCompressResult pb_sort_compress_narrow<PlusTimes>(
+    narrow_key_t*, value_t*, std::span<const nnz_t>, std::span<const nnz_t>,
+    int, PbWorkspace*);
+template SortCompressResult pb_sort_compress_narrow<MinPlus>(
+    narrow_key_t*, value_t*, std::span<const nnz_t>, std::span<const nnz_t>,
+    int, PbWorkspace*);
+template SortCompressResult pb_sort_compress_narrow<MaxMin>(
+    narrow_key_t*, value_t*, std::span<const nnz_t>, std::span<const nnz_t>,
+    int, PbWorkspace*);
+template SortCompressResult pb_sort_compress_narrow<BoolOrAnd>(
+    narrow_key_t*, value_t*, std::span<const nnz_t>, std::span<const nnz_t>,
+    int, PbWorkspace*);
+
 SortCompressResult pb_sort_compress(Tuple* tuples,
                                     std::span<const nnz_t> offsets,
                                     std::span<const nnz_t> fill, int nbins,

@@ -57,6 +57,32 @@ extern template SortCompressResult pb_sort_compress<MaxMin>(
 extern template SortCompressResult pb_sort_compress<BoolOrAnd>(
     Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int, PbWorkspace*);
 
+/// Narrow-format variant over the SoA stream (pb/tuple.hpp): each bin's
+/// u32 key array is LSD-sorted with its value array as SoA payload
+/// (radix_sort_lsd_kv — the histogram passes read 4 B per tuple, the
+/// scatters move 12), then duplicates merge in place over the key array
+/// with values compacted once.  Same workspace/scratch contract as
+/// pb_sort_compress.
+template <typename S>
+SortCompressResult pb_sort_compress_narrow(narrow_key_t* keys, value_t* vals,
+                                           std::span<const nnz_t> offsets,
+                                           std::span<const nnz_t> fill,
+                                           int nbins,
+                                           PbWorkspace* workspace = nullptr);
+
+extern template SortCompressResult pb_sort_compress_narrow<PlusTimes>(
+    narrow_key_t*, value_t*, std::span<const nnz_t>, std::span<const nnz_t>,
+    int, PbWorkspace*);
+extern template SortCompressResult pb_sort_compress_narrow<MinPlus>(
+    narrow_key_t*, value_t*, std::span<const nnz_t>, std::span<const nnz_t>,
+    int, PbWorkspace*);
+extern template SortCompressResult pb_sort_compress_narrow<MaxMin>(
+    narrow_key_t*, value_t*, std::span<const nnz_t>, std::span<const nnz_t>,
+    int, PbWorkspace*);
+extern template SortCompressResult pb_sort_compress_narrow<BoolOrAnd>(
+    narrow_key_t*, value_t*, std::span<const nnz_t>, std::span<const nnz_t>,
+    int, PbWorkspace*);
+
 /// Numeric (+, ×) sort+compress — equivalent to pb_sort_compress<PlusTimes>.
 SortCompressResult pb_sort_compress(Tuple* tuples,
                                     std::span<const nnz_t> offsets,

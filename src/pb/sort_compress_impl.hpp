@@ -18,11 +18,22 @@
 
 namespace pbs::pb {
 
-template <typename S>
-SortCompressResult pb_sort_compress(Tuple* tuples,
-                                    std::span<const nnz_t> offsets,
-                                    std::span<const nnz_t> fill, int nbins,
-                                    PbWorkspace* workspace) {
+namespace detail {
+
+/// Shared skeleton of the two sort+compress formats: thread-over-bins with
+/// per-thread scratch and per-sub-phase busy-time accounting.
+/// `make_scratch(tid, max_bin)` builds one thread's scratch handle (owning
+/// its fallback buffers when there is no workspace); per bin,
+/// `sort_bin(off, len, scratch)` then `compress_bin(off, len) -> merged`
+/// run back to back while the bin is cache-hot, each timed into its
+/// sub-phase.
+template <typename MakeScratch, typename SortBin, typename CompressBin>
+SortCompressResult sort_compress_driver(std::span<const nnz_t> offsets,
+                                        std::span<const nnz_t> fill,
+                                        int nbins, PbWorkspace* workspace,
+                                        MakeScratch make_scratch,
+                                        SortBin sort_bin,
+                                        CompressBin compress_bin) {
   SortCompressResult out;
   out.merged.assign(static_cast<std::size_t>(nbins), 0);
 
@@ -33,7 +44,7 @@ SortCompressResult pb_sort_compress(Tuple* tuples,
   // Per-thread scratch for the LSD sort, sized to the largest bin this
   // thread will touch.  Bins are capped at half of L2, so bin + scratch
   // stay cache-resident (see common/radix_sort.hpp).  A workspace serves
-  // the scratch from its pool; without one each call allocates its own.
+  // the scratch from its pool; without one each thread allocates its own.
   nnz_t max_bin = 0;
   for (int bin = 0; bin < nbins; ++bin) {
     max_bin = std::max(max_bin, fill[static_cast<std::size_t>(bin)]);
@@ -43,40 +54,21 @@ SortCompressResult pb_sort_compress(Tuple* tuples,
 #pragma omp parallel num_threads(nthreads)
   {
     const auto tid = static_cast<std::size_t>(omp_get_thread_num());
-    AlignedBuffer<Tuple> local;
-    Tuple* scratch_data;
-    if (workspace != nullptr) {
-      scratch_data =
-          workspace->acquire_scratch(tid, static_cast<std::size_t>(max_bin));
-    } else {
-      local.allocate(static_cast<std::size_t>(max_bin));
-      scratch_data = local.data();
-    }
+    auto scratch = make_scratch(tid, static_cast<std::size_t>(max_bin));
     Timer timer;
 #pragma omp for schedule(dynamic, 1)
     for (int bin = 0; bin < nbins; ++bin) {
-      Tuple* t = tuples + offsets[static_cast<std::size_t>(bin)];
-      const auto len = static_cast<std::size_t>(fill[static_cast<std::size_t>(bin)]);
+      const nnz_t off = offsets[static_cast<std::size_t>(bin)];
+      const auto len =
+          static_cast<std::size_t>(fill[static_cast<std::size_t>(bin)]);
       if (len == 0) continue;
 
       timer.reset();
-      radix_sort_lsd(t, len, scratch_data,
-                     [](const Tuple& tp) { return tp.key; });
+      sort_bin(off, len, scratch);
       sort_busy[tid] += timer.elapsed_s();
 
-      // Two-pointer in-place merge (paper Sec. III-E): p1 scans, p2 marks
-      // the last surviving tuple.  Duplicates combine with the semiring
-      // add; survivors stay even when the combined value is S::zero().
       timer.reset();
-      std::size_t p2 = 0;
-      for (std::size_t p1 = 1; p1 < len; ++p1) {
-        if (t[p1].key == t[p2].key) {
-          t[p2].val = S::add(t[p2].val, t[p1].val);
-        } else {
-          t[++p2] = t[p1];
-        }
-      }
-      out.merged[static_cast<std::size_t>(bin)] = static_cast<nnz_t>(p2 + 1);
+      out.merged[static_cast<std::size_t>(bin)] = compress_bin(off, len);
       compress_busy[tid] += timer.elapsed_s();
     }
   }
@@ -85,6 +77,96 @@ SortCompressResult pb_sort_compress(Tuple* tuples,
   out.compress_seconds =
       *std::max_element(compress_busy.begin(), compress_busy.end());
   return out;
+}
+
+}  // namespace detail
+
+template <typename S>
+SortCompressResult pb_sort_compress(Tuple* tuples,
+                                    std::span<const nnz_t> offsets,
+                                    std::span<const nnz_t> fill, int nbins,
+                                    PbWorkspace* workspace) {
+  struct Scratch {
+    AlignedBuffer<Tuple> local;  // fallback when there is no workspace
+    Tuple* data = nullptr;
+  };
+  return detail::sort_compress_driver(
+      offsets, fill, nbins, workspace,
+      [&](std::size_t tid, std::size_t max_bin) {
+        Scratch s;
+        if (workspace != nullptr) {
+          s.data = workspace->acquire_scratch(tid, max_bin);
+        } else {
+          s.local.allocate(max_bin);
+          s.data = s.local.data();
+        }
+        return s;
+      },
+      [&](nnz_t off, std::size_t len, Scratch& scratch) {
+        radix_sort_lsd(tuples + off, len, scratch.data,
+                       [](const Tuple& tp) { return tp.key; });
+      },
+      // Two-pointer in-place merge (paper Sec. III-E): p1 scans, p2 marks
+      // the last surviving tuple.  Duplicates combine with the semiring
+      // add; survivors stay even when the combined value is S::zero().
+      [&](nnz_t off, std::size_t len) -> nnz_t {
+        Tuple* t = tuples + off;
+        std::size_t p2 = 0;
+        for (std::size_t p1 = 1; p1 < len; ++p1) {
+          if (t[p1].key == t[p2].key) {
+            t[p2].val = S::add(t[p2].val, t[p1].val);
+          } else {
+            t[++p2] = t[p1];
+          }
+        }
+        return static_cast<nnz_t>(p2 + 1);
+      });
+}
+
+template <typename S>
+SortCompressResult pb_sort_compress_narrow(narrow_key_t* keys, value_t* vals,
+                                           std::span<const nnz_t> offsets,
+                                           std::span<const nnz_t> fill,
+                                           int nbins, PbWorkspace* workspace) {
+  struct Scratch {
+    AlignedBuffer<narrow_key_t> local_keys;  // fallbacks without a workspace
+    AlignedBuffer<value_t> local_vals;
+    NarrowStream stream;
+  };
+  return detail::sort_compress_driver(
+      offsets, fill, nbins, workspace,
+      [&](std::size_t tid, std::size_t max_bin) {
+        Scratch s;
+        if (workspace != nullptr) {
+          s.stream = workspace->acquire_scratch_narrow(tid, max_bin);
+        } else {
+          s.local_keys.allocate(max_bin);
+          s.local_vals.allocate(max_bin);
+          s.stream = {s.local_keys.data(), s.local_vals.data()};
+        }
+        return s;
+      },
+      [&](nnz_t off, std::size_t len, Scratch& scratch) {
+        radix_sort_lsd_kv(keys + off, vals + off, len, scratch.stream.keys,
+                          scratch.stream.vals);
+      },
+      // Same merge in SoA form: the scan runs over the key array alone and
+      // each surviving tuple's value is compacted exactly once.
+      [&](nnz_t off, std::size_t len) -> nnz_t {
+        narrow_key_t* k = keys + off;
+        value_t* v = vals + off;
+        std::size_t p2 = 0;
+        for (std::size_t p1 = 1; p1 < len; ++p1) {
+          if (k[p1] == k[p2]) {
+            v[p2] = S::add(v[p2], v[p1]);
+          } else {
+            ++p2;
+            k[p2] = k[p1];
+            v[p2] = v[p1];
+          }
+        }
+        return static_cast<nnz_t>(p2 + 1);
+      });
 }
 
 }  // namespace pbs::pb

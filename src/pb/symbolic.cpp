@@ -57,12 +57,17 @@ std::vector<nnz_t> pb_row_flops(const mtx::CscMatrix& a,
 
 nnz_t pb_estimate_nnz_c(const mtx::CscMatrix& a, const mtx::CsrMatrix& b) {
   const std::vector<nnz_t> rf = pb_row_flops(a, b);
-  const double ncols = static_cast<double>(b.ncols);
+  return pb_estimate_nnz_c(rf, b.ncols);
+}
+
+nnz_t pb_estimate_nnz_c(std::span<const nnz_t> row_flops, index_t ncols_i) {
+  const double ncols = static_cast<double>(ncols_i);
   if (ncols <= 0) return 0;
+  const auto nrows = static_cast<std::int64_t>(row_flops.size());
   double estimate = 0;
 #pragma omp parallel for reduction(+ : estimate) schedule(static)
-  for (index_t r = 0; r < a.nrows; ++r) {
-    const auto f = static_cast<double>(rf[static_cast<std::size_t>(r)]);
+  for (std::int64_t r = 0; r < nrows; ++r) {
+    const auto f = static_cast<double>(row_flops[static_cast<std::size_t>(r)]);
     if (f > 0) estimate += ncols * -std::expm1(-f / ncols);
   }
   return static_cast<nnz_t>(estimate + 0.5);
@@ -104,8 +109,20 @@ std::vector<nnz_t> bin_histogram(const mtx::CscMatrix& a,
 
 }  // namespace
 
+namespace {
+
+// The narrow format fits when every bin's varying key bits pack into 32.
+TupleFormat pick_format(const BinLayout& layout, index_t nrows,
+                        int col_bits, FormatPolicy policy) {
+  if (policy == FormatPolicy::kWide) return TupleFormat::kWide;
+  const bool fits = layout.local_row_bits(nrows) + col_bits <= 32;
+  return fits ? TupleFormat::kNarrow : TupleFormat::kWide;
+}
+
+}  // namespace
+
 SymbolicResult pb_symbolic(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
-                           const PbConfig& cfg) {
+                           const PbConfig& cfg, const SymbolicHints& hints) {
   if (a.ncols != b.nrows) {
     throw std::invalid_argument("pb_spgemm: inner dimensions differ (" +
                                 std::to_string(a.ncols) + " vs " +
@@ -113,7 +130,7 @@ SymbolicResult pb_symbolic(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
   }
 
   SymbolicResult out;
-  out.flop = pb_count_flop(a, b);
+  out.flop = hints.flop >= 0 ? hints.flop : pb_count_flop(a, b);
 
   const std::size_t l2 = cfg.l2_bytes != 0 ? cfg.l2_bytes : cache_info().l2_bytes;
   const int target = cfg.nbins > 0 ? cfg.nbins : auto_nbins(out.flop, l2);
@@ -126,24 +143,34 @@ SymbolicResult pb_symbolic(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
       out.layout = make_modulo_layout(a.nrows, target);
       break;
     case BinPolicy::kAdaptive: {
-      const std::vector<nnz_t> rf = pb_row_flops(a, b);
-      out.layout = make_adaptive_layout(rf, target);
+      if (hints.row_flops.size() == static_cast<std::size_t>(a.nrows)) {
+        out.layout = make_adaptive_layout(hints.row_flops, target);
+      } else {
+        const std::vector<nnz_t> rf = pb_row_flops(a, b);
+        out.layout = make_adaptive_layout(rf, target);
+      }
       break;
     }
   }
+
+  out.col_bits = ceil_log2(static_cast<std::uint64_t>(b.ncols));
+  out.format = pick_format(out.layout, a.nrows, out.col_bits, cfg.format);
 
   std::vector<nnz_t> counts = bin_histogram(a, b, out.layout);
   counts.pop_back();  // drop the scan-scratch slot
   out.bin_fill = counts;
 
-  // Region layout: pad every bin to a 4-tuple (64-byte) boundary so full
-  // local-bin flushes are cache-line aligned (see SymbolicResult).
+  // Region layout: pad every bin to a cache-line-multiple boundary so full
+  // local-bin flushes are line aligned (see SymbolicResult): 4 wide tuples
+  // are one 64 B line; 16 narrow tuples are one 64 B key line (and two
+  // value lines).
+  const nnz_t pad = out.format == TupleFormat::kNarrow ? 16 : 4;
   out.bin_offsets.assign(static_cast<std::size_t>(out.layout.nbins) + 1, 0);
   nnz_t cursor = 0;
   nnz_t total_fill = 0;
   for (int bin = 0; bin < out.layout.nbins; ++bin) {
     out.bin_offsets[static_cast<std::size_t>(bin)] = cursor;
-    cursor += (counts[static_cast<std::size_t>(bin)] + 3) / 4 * 4;
+    cursor += (counts[static_cast<std::size_t>(bin)] + pad - 1) / pad * pad;
     total_fill += counts[static_cast<std::size_t>(bin)];
   }
   out.bin_offsets[static_cast<std::size_t>(out.layout.nbins)] = cursor;
@@ -157,6 +184,21 @@ SymbolicResult pb_symbolic(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
       static_cast<double>(b.nrows + 1) * sizeof(nnz_t) +
       static_cast<double>(a.nnz()) * sizeof(index_t);
   return out;
+}
+
+TupleFormat predict_tuple_format(index_t a_nrows, index_t b_ncols, nnz_t flop,
+                                 const PbConfig& cfg) {
+  if (cfg.format == FormatPolicy::kWide) return TupleFormat::kWide;
+  const std::size_t l2 =
+      cfg.l2_bytes != 0 ? cfg.l2_bytes : cache_info().l2_bytes;
+  const int target = cfg.nbins > 0 ? cfg.nbins : auto_nbins(flop, l2);
+  // Range and modulo geometries are structure-free, so the prediction
+  // builds the real layout; adaptive uses range as its proxy (see header).
+  const BinLayout layout = cfg.policy == BinPolicy::kModulo
+                               ? make_modulo_layout(a_nrows, target)
+                               : make_range_layout(a_nrows, target);
+  const int col_bits = ceil_log2(static_cast<std::uint64_t>(b_ncols));
+  return pick_format(layout, a_nrows, col_bits, cfg.format);
 }
 
 }  // namespace pbs::pb

@@ -7,6 +7,8 @@
 // single uninitialized allocation.
 #pragma once
 
+#include <span>
+
 #include "matrix/csc.hpp"
 #include "matrix/csr.hpp"
 #include "pb/binning.hpp"
@@ -19,8 +21,9 @@ struct SymbolicResult {
   BinLayout layout;
 
   /// Region start of each bin in Cˆ; size layout.nbins + 1.  Regions are
-  /// padded to 4-tuple (64-byte) multiples so that every full local-bin
-  /// flush lands cache-line aligned and the expand phase can use
+  /// padded to cache-line-friendly tuple multiples (4 tuples = 64 B wide,
+  /// 16 tuples = one key line + two value lines narrow) so that every full
+  /// local-bin flush lands cache-line aligned and the expand phase can use
   /// non-temporal streaming stores (write full lines with no
   /// read-for-ownership — the paper's "always write tuples in multiples of
   /// cache lines").  bin_offsets.back() >= flop is the Cˆ buffer length.
@@ -31,12 +34,31 @@ struct SymbolicResult {
   /// of the region up to bin_offsets[b+1] is alignment slack.
   std::vector<nnz_t> bin_fill;
 
+  /// Stream format the plan selected (pb/tuple.hpp) and, for kNarrow, the
+  /// column bit width of the packed key.  pb_execute dispatches the
+  /// format-matched kernels from these; the per-phase entry points
+  /// (pb_expand / pb_expand_narrow, ...) are format-specific by name and
+  /// ignore them.
+  TupleFormat format = TupleFormat::kWide;
+  int col_bits = 0;
+
   /// Modeled memory traffic of this phase (for telemetry).
   double modeled_bytes = 0;
 };
 
+/// Structure facts a caller may already own, letting pb_symbolic skip its
+/// own O(ncols) flop pass and (under adaptive binning) its O(nnz) row-flop
+/// pass.  The values are trusted: they must describe the exact operands
+/// being analyzed (the plan layer derives them from the same fingerprint
+/// pass it already runs).
+struct SymbolicHints {
+  nnz_t flop = -1;                    ///< flop(A·B); < 0 when unknown
+  std::span<const nnz_t> row_flops;   ///< pb_row_flops(A, B); empty = unknown
+};
+
 SymbolicResult pb_symbolic(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
-                           const PbConfig& cfg);
+                           const PbConfig& cfg,
+                           const SymbolicHints& hints = {});
 
 /// flop(A·B) = Σ_i nnz(A(:,i)) · nnz(B(i,:)) — Algorithm 3 lines 1-5.
 /// O(k) over the pointer arrays only; the cheapest structural invariant of
@@ -60,5 +82,20 @@ std::vector<nnz_t> pb_row_flops(const mtx::CscMatrix& a,
 /// O(nnz(A)) pass.  The ratio flop / estimate is the compression factor cf
 /// the roofline-guided algorithm selection runs on (model/selection.hpp).
 nnz_t pb_estimate_nnz_c(const mtx::CscMatrix& a, const mtx::CsrMatrix& b);
+
+/// Same estimator over an already-computed pb_row_flops histogram —
+/// callers holding one (e.g. the plan layer's selection pass) skip the
+/// O(nnz(A)) recount.
+nnz_t pb_estimate_nnz_c(std::span<const nnz_t> row_flops, index_t ncols);
+
+/// Cheap prediction of the tuple format pb_symbolic would select, without
+/// running symbolic: derives the bin count from flop and L2 the way the
+/// layout builders do and tests the narrow fit.  Exact for the range and
+/// modulo policies; for adaptive layouts (whose bin widths depend on the
+/// row-flop histogram) it uses the range geometry as a proxy, so the
+/// roofline selection sees the right bytes/tuple in the overwhelming case
+/// and a 16-vs-12-byte misestimate in the rest.
+TupleFormat predict_tuple_format(index_t a_nrows, index_t b_ncols, nnz_t flop,
+                                 const PbConfig& cfg);
 
 }  // namespace pbs::pb

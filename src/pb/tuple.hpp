@@ -1,14 +1,28 @@
-// The expanded-matrix tuple of PB-SpGEMM.
+// The expanded-matrix tuple of PB-SpGEMM, in its two physical formats.
 //
-// Cˆ entries are (rowid, colid, value) conceptually; physically we pack the
-// two 4-byte indices into one 8-byte key so that
-//   * sorting a bin is a pure integer-key radix sort with the value as
-//     payload, and
-//   * a tuple is exactly 16 bytes — the `b` the paper's arithmetic
-//     intensity model charges per COO nonzero (Sec. II-C).
+// Cˆ entries are (rowid, colid, value) conceptually.  The pipeline carries
+// them in one of two layouts, chosen per plan by the symbolic phase
+// (pb/symbolic.hpp):
 //
-// Sorting by this key is lexicographic (row, col) order, which is exactly
-// CSR order, so CSR conversion after compression is a streaming copy.
+//  * kWide — array-of-structs `Tuple{u64 key, f64 val}`: the two 4-byte
+//    indices packed into one 8-byte key, 16 bytes per tuple — the `b` the
+//    paper's arithmetic-intensity model charges per COO nonzero
+//    (Sec. II-C).  Sorting by the key is lexicographic (row, col) order,
+//    which is exactly CSR order.
+//
+//  * kNarrow — structure-of-arrays `u32 key[] + f64 val[]`, 12 bytes per
+//    tuple: inside a bin only the bin-relative row bits and the column
+//    bits vary, so whenever row_bits + col_bits <= 32 the key shrinks to
+//    `(local_row << col_bits) | col`.  This extends the paper's "squeeze
+//    keys into 4-byte integers" trick from the sort phase to the whole
+//    stream: expand writes 12 B/tuple, the sort's histogram passes read
+//    4 B/tuple, and conversion reconstructs the global (row, col) from the
+//    bin geometry while streaming.  Within a bin ascending narrow-key
+//    order equals ascending (row, col) order for every bin policy, so the
+//    two formats produce identical CSR.
+//
+// The per-format byte cost feeds the roofline model through
+// bytes_per_tuple(); telemetry reports which format a run used.
 #pragma once
 
 #include <cstdint>
@@ -17,12 +31,32 @@
 
 namespace pbs::pb {
 
+/// Physical layout of the expanded tuple stream (see file comment).
+enum class TupleFormat {
+  kWide,    ///< AoS {u64 key, f64 val}, 16 B/tuple
+  kNarrow,  ///< SoA u32 bin-relative key + f64 val, 12 B/tuple
+};
+
+const char* to_string(TupleFormat f);
+
 struct Tuple {
   std::uint64_t key;
   value_t val;
 };
 static_assert(sizeof(Tuple) == kBytesPerTuple,
-              "tuple must stay 16 bytes; the AI model depends on it");
+              "wide tuple must stay 16 bytes; the AI model depends on it");
+
+/// Narrow-format key type and its per-tuple stream cost.
+using narrow_key_t = std::uint32_t;
+inline constexpr std::size_t kBytesPerTupleNarrow =
+    sizeof(narrow_key_t) + sizeof(value_t);
+static_assert(kBytesPerTupleNarrow == 12);
+
+/// The `b` of the arithmetic-intensity equations for the given stream
+/// format — what each expanded tuple actually costs to move through DRAM.
+constexpr std::size_t bytes_per_tuple(TupleFormat f) {
+  return f == TupleFormat::kNarrow ? kBytesPerTupleNarrow : kBytesPerTuple;
+}
 
 inline std::uint64_t make_key(index_t row, index_t col) {
   return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(row)) << 32) |
@@ -35,6 +69,24 @@ inline index_t key_row(std::uint64_t key) {
 
 inline index_t key_col(std::uint64_t key) {
   return static_cast<index_t>(key & 0xFFFFFFFFu);
+}
+
+/// Narrow-key codec.  `col_bits` is fixed per plan (ceil_log2(ncols) <= 31
+/// since ncols is a positive int32); `local_row` is the bin-relative row
+/// (BinLayout::local_row / global_row map it to and from the rowid).
+inline narrow_key_t make_narrow_key(index_t local_row, index_t col,
+                                    int col_bits) {
+  return (static_cast<narrow_key_t>(local_row) << col_bits) |
+         static_cast<narrow_key_t>(col);
+}
+
+inline index_t narrow_key_local_row(narrow_key_t key, int col_bits) {
+  return static_cast<index_t>(key >> col_bits);
+}
+
+inline index_t narrow_key_col(narrow_key_t key, int col_bits) {
+  return static_cast<index_t>(key &
+                              ((narrow_key_t{1} << col_bits) - 1u));
 }
 
 }  // namespace pbs::pb

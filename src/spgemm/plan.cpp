@@ -15,18 +15,28 @@ void SpGemmPlan::analyze(const SpGemmProblem& p,
   // retried execute would run the stale bin layout unchecked.
   std::string resolved = opts_.algo;
   model::AlgoChoice choice;
+  std::vector<nnz_t> row_flops;
   if (opts_.algo == "auto") {
     // Selection needs only flop (already in the fingerprint) and an
     // estimated compression factor — no bin layout yet, so a choice that
-    // lands on a Gustavson kernel never pays for one.
-    const nnz_t nnz_est = pb::pb_estimate_nnz_c(p.a_csc, p.b_csr);
+    // lands on a Gustavson kernel never pays for one.  The row-flop
+    // histogram backing the estimate is kept: if the choice lands on pb
+    // with adaptive binning, symbolic reuses it instead of recounting.
+    row_flops = pb::pb_row_flops(p.a_csc, p.b_csr);
+    const nnz_t nnz_est = pb::pb_estimate_nnz_c(row_flops, p.b_csr.ncols);
     const double cf =
         static_cast<double>(fp.flop) /
         static_cast<double>(std::max<nnz_t>(nnz_est, 1));
     const AlgoInfo* hash = find_algorithm("hash");
     const bool hash_available =
         hash != nullptr && hash->supports_semiring(opts_.semiring);
-    choice = model::select_algorithm(cf, fp.flop, hash_available, opts_.model);
+    // Charge PB's Eq. 4 bound the bytes its tuple stream would actually
+    // move under the format symbolic would pick for this problem.
+    model::SelectionModel m = opts_.model;
+    m.pb_tuple_bytes = static_cast<double>(pb::bytes_per_tuple(
+        pb::predict_tuple_format(p.a_csc.nrows, p.b_csr.ncols, fp.flop,
+                                 opts_.pb)));
+    choice = model::select_algorithm(cf, fp.flop, hash_available, m);
     resolved = choice.algo;
   }
 
@@ -35,7 +45,15 @@ void SpGemmPlan::analyze(const SpGemmProblem& p,
   SpGemmFn fn = semiring_algorithm(resolved, opts_.semiring);
   const bool use_pb = resolved == "pb";
   pb::PbPlan pb_plan;
-  if (use_pb) pb_plan = pb::pb_plan_build(p.a_csc, p.b_csr, opts_.pb);
+  if (use_pb) {
+    // The fingerprint already owns flop and the selection pass may own the
+    // row-flop histogram: thread both into symbolic so a (re)plan runs
+    // each O(ncols)/O(nnz) structure pass exactly once.
+    pb::SymbolicHints hints;
+    hints.flop = fp.flop;
+    hints.row_flops = row_flops;
+    pb_plan = pb::pb_plan_build(p.a_csc, p.b_csr, opts_.pb, hints);
+  }
 
   // ---- commit (nothing below throws) ----
   fp_ = fp;
@@ -44,9 +62,12 @@ void SpGemmPlan::analyze(const SpGemmProblem& p,
   pb_plan_ = std::move(pb_plan);
   tm_.requested_algo = opts_.algo;
   tm_.semiring = opts_.semiring;
-  tm_.choice = std::move(choice);
   tm_.algo = std::move(resolved);
   tm_.flop = fp.flop;
+  tm_.predicted_mflops = tm_.algo == "pb" ? choice.pb_mflops
+                                          : choice.column_mflops;
+  if (opts_.algo != "auto") tm_.predicted_mflops = 0;
+  tm_.choice = std::move(choice);
   tm_.plan_seconds = timer.elapsed_s();
 }
 
@@ -67,6 +88,11 @@ mtx::CsrMatrix SpGemmPlan::execute(const SpGemmProblem& p) {
     ++tm_.analysis_reuses;
   }
 
+  // Record what this execute achieves against the plan's prediction
+  // (telemetry().predicted_mflops) — the raw material for learning the
+  // selection model's derating constants from real runs.
+  Timer exec_timer;
+  mtx::CsrMatrix c;
   if (use_pb_) {
     // Execute through the captured symbolic plan and pooled workspace,
     // keeping the per-phase telemetry the type-erased registry fn hides.
@@ -75,9 +101,14 @@ mtx::CsrMatrix SpGemmPlan::execute(const SpGemmProblem& p) {
         pb::pb_execute_named(opts_.semiring, p.a_csc, p.b_csr, pb_plan_, ws_,
                              /*check_fingerprint=*/false);
     pb_stats_ = r.stats;
-    return std::move(r.c);
+    c = std::move(r.c);
+  } else {
+    c = fn_(p);
   }
-  return fn_(p);
+  const double s = exec_timer.elapsed_s();
+  tm_.achieved_mflops =
+      s > 0 ? static_cast<double>(tm_.flop) / s / 1e6 : 0.0;
+  return c;
 }
 
 SpGemmPlan make_plan(const SpGemmProblem& p, PlanOptions opts) {

@@ -55,6 +55,14 @@ struct PlanTelemetry {
   model::AlgoChoice choice;
   nnz_t flop = 0;           ///< flop(A·B) of the planned structure
   double plan_seconds = 0;  ///< analysis cost of the most recent (re)plan
+  /// Roofline prediction for the chosen algorithm (the derated estimate of
+  /// `choice` at its default β; populated when requested_algo == "auto")
+  /// vs. what the most recent fingerprint-verified execute achieved —
+  /// the measurement pairs from which the selection model's derating
+  /// constants can be learned.  Fixed non-pb plans skip the fingerprint
+  /// pass, so their executes leave achieved_mflops at 0.
+  double predicted_mflops = 0;
+  double achieved_mflops = 0;
   std::uint64_t executes = 0;
   std::uint64_t replans = 0;          ///< fingerprint misses after build
   /// Executes that reused captured analysis (the pb symbolic layout, or

@@ -1,0 +1,260 @@
+// The narrow-key SoA tuple format (pb/tuple.hpp): plan-level format
+// selection, bit-identity of the narrow and wide paths across semirings
+// and bin policies, and the format boundaries — col_bits at the 32-bit
+// fit edge, single-row bins, empty bins, the wide fallback, and exact
+// cancellation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "pb/binning.hpp"
+#include "pb/pb_spgemm.hpp"
+#include "pb/plan.hpp"
+#include "spgemm/semiring.hpp"
+#include "test_util.hpp"
+
+namespace pbs::pb {
+namespace {
+
+// Runs the full pipeline under both formats and requires bitwise-equal
+// CSR.  Returns the narrow result for further checks.  Inputs must carry
+// exact-integer values (testutil) so sums are order-independent.
+mtx::CsrMatrix expect_formats_identical(const mtx::CscMatrix& a,
+                                        const mtx::CsrMatrix& b,
+                                        PbConfig cfg,
+                                        const std::string& semiring) {
+  PbWorkspace wide_ws, narrow_ws;
+  cfg.validate = true;
+  cfg.format = FormatPolicy::kWide;
+  const PbResult wide = pb_spgemm_named(semiring, a, b, cfg, wide_ws);
+  EXPECT_EQ(wide.stats.format, TupleFormat::kWide);
+  cfg.format = FormatPolicy::kNarrow;
+  const PbResult narrow = pb_spgemm_named(semiring, a, b, cfg, narrow_ws);
+  EXPECT_TRUE(mtx::equal_exact(wide.c, narrow.c)) << semiring;
+  return narrow.c;
+}
+
+TEST(PbFormat, NarrowVsWideBitIdenticalAcrossSemirings) {
+  const mtx::CsrMatrix m = testutil::exact_er(400, 400, 6.0, 41);
+  const mtx::CscMatrix a = mtx::csr_to_csc(m);
+  for (const std::string& s : semiring_names()) {
+    for (const BinPolicy policy :
+         {BinPolicy::kRange, BinPolicy::kModulo, BinPolicy::kAdaptive}) {
+      PbConfig cfg;
+      cfg.policy = policy;
+      cfg.nbins = 8;
+      (void)expect_formats_identical(a, m, cfg, s);
+    }
+  }
+}
+
+TEST(PbFormat, AutoSelectsNarrowWhenBitsFitAndReportsBytes) {
+  const mtx::CsrMatrix m = testutil::exact_er(500, 500, 5.0, 42);
+  const mtx::CscMatrix a = mtx::csr_to_csc(m);
+  const PbPlan plan = pb_plan_build(a, m, PbConfig{});
+  // 500 rows / 500 cols: col_bits = 9 and any bin width fits 32 bits.
+  EXPECT_EQ(plan.sym.format, TupleFormat::kNarrow);
+  EXPECT_EQ(plan.sym.col_bits, 9);
+
+  PbWorkspace ws;
+  const PbResult r = pb_execute<PlusTimes>(a, m, plan, ws);
+  EXPECT_EQ(r.stats.format, TupleFormat::kNarrow);
+  EXPECT_EQ(r.stats.tuple_bytes(), 12.0);
+  // The byte models must charge the narrow stream: the sort streams
+  // 12 B/tuple, not 16.
+  EXPECT_EQ(r.stats.sort.bytes, 12.0 * static_cast<double>(r.stats.flop));
+}
+
+TEST(PbFormat, ForcedWideStaysWide) {
+  const mtx::CsrMatrix m = testutil::exact_er(300, 300, 4.0, 43);
+  const mtx::CscMatrix a = mtx::csr_to_csc(m);
+  PbConfig cfg;
+  cfg.format = FormatPolicy::kWide;
+  const PbPlan plan = pb_plan_build(a, m, cfg);
+  EXPECT_EQ(plan.sym.format, TupleFormat::kWide);
+
+  PbWorkspace ws;
+  const PbResult r = pb_execute<PlusTimes>(a, m, plan, ws);
+  EXPECT_EQ(r.stats.format, TupleFormat::kWide);
+  EXPECT_EQ(r.stats.tuple_bytes(), 16.0);
+}
+
+TEST(PbFormat, ColBitsAtTheFitBoundary) {
+  // B has 2^30 columns -> col_bits = 30.  With 4 rows in one bin the row
+  // needs 2 bits: 32 exactly, the last geometry that still packs narrow.
+  const index_t wide_cols = index_t{1} << 30;
+  const mtx::CsrMatrix a_csr = testutil::from_triplets(
+      4, 4, {{0, 0, 2.0}, {1, 1, 3.0}, {2, 2, 5.0}, {3, 3, 7.0}});
+  const mtx::CsrMatrix b = testutil::from_triplets(
+      4, wide_cols,
+      {{0, 0, 1.0},
+       {0, wide_cols - 1, 4.0},
+       {1, 12345, 6.0},
+       {2, wide_cols - 2, 8.0},
+       {3, 0, 9.0}});
+  const mtx::CscMatrix a = mtx::csr_to_csc(a_csr);
+
+  PbConfig cfg;
+  cfg.nbins = 1;
+  const PbPlan plan = pb_plan_build(a, b, cfg);
+  ASSERT_EQ(plan.sym.col_bits, 30);
+  ASSERT_EQ(plan.sym.layout.local_row_bits(4), 2);
+  EXPECT_EQ(plan.sym.format, TupleFormat::kNarrow);
+
+  const mtx::CsrMatrix c = expect_formats_identical(a, b, cfg, "plus_times");
+  const mtx::CsrMatrix expected = testutil::from_triplets(
+      4, wide_cols,
+      {{0, 0, 2.0},
+       {0, wide_cols - 1, 8.0},
+       {1, 12345, 18.0},
+       {2, wide_cols - 2, 40.0},
+       {3, 0, 63.0}});
+  EXPECT_TRUE(mtx::equal_exact(c, expected));
+}
+
+TEST(PbFormat, FallsBackToWideWhenBitsDontFit) {
+  // Same 2^30 columns but 8 rows in one bin: 3 + 30 = 33 bits -> the
+  // narrow request cannot be honored and symbolic falls back to wide.
+  const index_t wide_cols = index_t{1} << 30;
+  const mtx::CsrMatrix a_csr = testutil::from_triplets(
+      8, 4, {{0, 0, 2.0}, {5, 1, 3.0}, {7, 3, 7.0}});
+  const mtx::CsrMatrix b = testutil::from_triplets(
+      4, wide_cols, {{0, 7, 1.0}, {1, wide_cols - 1, 4.0}, {3, 99, 6.0}});
+  const mtx::CscMatrix a = mtx::csr_to_csc(a_csr);
+
+  PbConfig cfg;
+  cfg.nbins = 1;
+  cfg.format = FormatPolicy::kNarrow;  // request is a preference, not a demand
+  const PbPlan plan = pb_plan_build(a, b, cfg);
+  EXPECT_EQ(plan.sym.format, TupleFormat::kWide);
+
+  PbWorkspace ws;
+  const PbResult r = pb_execute<PlusTimes>(a, b, plan, ws);
+  const mtx::CsrMatrix expected = testutil::from_triplets(
+      8, wide_cols,
+      {{0, 7, 2.0}, {5, wide_cols - 1, 12.0}, {7, 99, 42.0}});
+  EXPECT_TRUE(mtx::equal_exact(r.c, expected));
+}
+
+TEST(PbFormat, SingleRowBinsAndEmptyBins) {
+  // One bin per row (range shift 0, local row always 0) and a matrix with
+  // empty rows, so some bins receive nothing.
+  mtx::CooMatrix acoo(16, 16);
+  acoo.add(0, 3, 2.0);
+  acoo.add(7, 7, 3.0);
+  acoo.add(15, 0, 5.0);
+  acoo.canonicalize();
+  const mtx::CsrMatrix m = mtx::coo_to_csr(acoo);
+  const mtx::CscMatrix a = mtx::csr_to_csc(m);
+
+  PbConfig cfg;
+  cfg.nbins = 16;
+  const PbPlan plan = pb_plan_build(a, m, cfg);
+  EXPECT_EQ(plan.sym.format, TupleFormat::kNarrow);
+  EXPECT_EQ(plan.sym.layout.local_row_bits(16), 0);
+
+  for (const std::string& s : semiring_names()) {
+    (void)expect_formats_identical(a, m, cfg, s);
+  }
+}
+
+TEST(PbFormat, ExactCancellationKeepsStructuralZeros) {
+  // C(0,0) = 1*1 + (-1)*1 = 0: the entry must survive structurally in
+  // both formats (the library's exact-cancellation convention).
+  const mtx::CsrMatrix a_csr =
+      testutil::from_triplets(2, 2, {{0, 0, 1.0}, {0, 1, -1.0}});
+  const mtx::CsrMatrix b =
+      testutil::from_triplets(2, 2, {{0, 0, 1.0}, {1, 0, 1.0}});
+  const mtx::CscMatrix a = mtx::csr_to_csc(a_csr);
+
+  const mtx::CsrMatrix c =
+      expect_formats_identical(a, b, PbConfig{}, "plus_times");
+  ASSERT_EQ(c.nnz(), 1);
+  EXPECT_EQ(c.colids[0], 0);
+  EXPECT_EQ(c.vals[0], 0.0);
+}
+
+TEST(PbFormat, FuzzAcrossShapesPoliciesAndSemirings) {
+  mtx::SplitMix64 rng(77);
+  for (int round = 0; round < 24; ++round) {
+    const auto n = static_cast<index_t>(16 + rng.next_below(120));
+    const auto k = static_cast<index_t>(16 + rng.next_below(120));
+    const auto mcols = static_cast<index_t>(16 + rng.next_below(120));
+    const mtx::CsrMatrix a_csr =
+        testutil::exact_er(n, k, 3.0, 500 + round);
+    const mtx::CsrMatrix b = testutil::exact_er(k, mcols, 3.0, 900 + round);
+    const mtx::CscMatrix a = mtx::csr_to_csc(a_csr);
+
+    PbConfig cfg;
+    const int nbins_choices[] = {0, 1, 3, 17, 64};
+    cfg.nbins = nbins_choices[rng.next_below(5)];
+    const BinPolicy policies[] = {BinPolicy::kRange, BinPolicy::kModulo,
+                                  BinPolicy::kAdaptive};
+    cfg.policy = policies[rng.next_below(3)];
+    cfg.local_bin_bytes = rng.next_below(2) == 0 ? 16 : 512;
+    const std::string semiring =
+        semiring_names()[rng.next_below(semiring_names().size())];
+    (void)expect_formats_identical(a, b, cfg, semiring);
+  }
+}
+
+TEST(PbFormat, LocalGlobalRowRoundTripsAcrossPolicies) {
+  const index_t nrows = 1000;
+  const BinLayout range = make_range_layout(nrows, 8);
+  const BinLayout modulo = make_modulo_layout(nrows, 8);
+  std::vector<nnz_t> rf(static_cast<std::size_t>(nrows), 1);
+  rf[0] = 500;  // force uneven adaptive bins
+  const BinLayout adaptive = make_adaptive_layout(rf, 8);
+
+  for (const BinLayout* layout : {&range, &modulo, &adaptive}) {
+    for (index_t row = 0; row < nrows; ++row) {
+      const int bin = layout->binid(row);
+      const index_t local = layout->local_row(bin, row);
+      ASSERT_GE(local, 0);
+      ASSERT_LT(local, index_t{1} << layout->local_row_bits(nrows));
+      ASSERT_EQ(layout->global_row(bin, local), row)
+          << to_string(layout->policy) << " row " << row;
+    }
+  }
+}
+
+TEST(PbFormat, NarrowKeyCodecRoundTripsAndOrdersRowMajor) {
+  for (const int col_bits : {0, 1, 9, 20, 30}) {
+    const index_t max_col = col_bits > 0 ? (index_t{1} << col_bits) - 1 : 0;
+    // Whatever row space remains of the 32-bit key (index_t caps it at 31).
+    const int row_bits = std::min(31, 32 - col_bits);
+    const auto max_local = static_cast<index_t>(
+        (std::uint32_t{1} << row_bits) - 1u);
+    for (const index_t local : {index_t{0}, max_local / 2, max_local}) {
+      for (const index_t col : {index_t{0}, max_col / 2, max_col}) {
+        const narrow_key_t key = make_narrow_key(local, col, col_bits);
+        ASSERT_EQ(narrow_key_local_row(key, col_bits), local);
+        ASSERT_EQ(narrow_key_col(key, col_bits), col);
+      }
+    }
+    // Row-major: a larger local row beats any column.
+    if (col_bits > 0 && max_local > 0) {
+      EXPECT_LT(make_narrow_key(0, max_col, col_bits),
+                make_narrow_key(1, 0, col_bits));
+    }
+  }
+}
+
+TEST(PbFormat, PredictionMatchesSymbolicForRangePolicy) {
+  for (const auto& [nrows, ncols, density] :
+       {std::tuple{200, 200, 4.0}, std::tuple{2000, 2000, 8.0}}) {
+    const mtx::CsrMatrix m = testutil::exact_er(
+        static_cast<index_t>(nrows), static_cast<index_t>(ncols), density, 7);
+    const mtx::CscMatrix a = mtx::csr_to_csc(m);
+    const PbConfig cfg;
+    const SymbolicResult sym = pb_symbolic(a, m, cfg);
+    EXPECT_EQ(predict_tuple_format(a.nrows, m.ncols, sym.flop, cfg),
+              sym.format);
+  }
+}
+
+}  // namespace
+}  // namespace pbs::pb

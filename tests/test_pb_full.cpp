@@ -95,17 +95,25 @@ TEST(PbTelemetry, PhaseTimesPositiveAndSumToTotal) {
   EXPECT_GT(t.mflops(), 0.0);
 }
 
-TEST(PbTelemetry, ByteModelFollowsTableIII) {
+TEST(PbTelemetry, ByteModelFollowsTableIIIPerFormat) {
   const mtx::CsrMatrix a = testutil::exact_er(500, 500, 4.0, 25);
   const SpGemmProblem p = SpGemmProblem::square(a);
-  const PbResult r = pb_spgemm(p.a_csc, p.b_csr);
-  const PbTelemetry& t = r.stats;
-  const double b = kBytesPerTuple;
-  EXPECT_DOUBLE_EQ(t.expand.bytes,
-                   b * (2.0 * static_cast<double>(a.nnz()) +
-                        static_cast<double>(t.flop)));
-  EXPECT_DOUBLE_EQ(t.sort.bytes, b * static_cast<double>(t.flop));
-  EXPECT_DOUBLE_EQ(t.compress.bytes, b * static_cast<double>(t.nnz_c));
+  for (const FormatPolicy format : {FormatPolicy::kWide, FormatPolicy::kNarrow}) {
+    PbConfig cfg;
+    cfg.format = format;
+    const PbResult r = pb_spgemm(p.a_csc, p.b_csr, cfg);
+    const PbTelemetry& t = r.stats;
+    // Inputs are charged at the paper's COO cost; the tuple stream at the
+    // format's actual bytes per tuple (16 wide, 12 narrow).
+    const double b = kBytesPerTuple;
+    const double bpt = t.tuple_bytes();
+    EXPECT_EQ(bpt, format == FormatPolicy::kNarrow ? 12.0 : 16.0);
+    EXPECT_DOUBLE_EQ(t.expand.bytes,
+                     b * 2.0 * static_cast<double>(a.nnz()) +
+                         bpt * static_cast<double>(t.flop));
+    EXPECT_DOUBLE_EQ(t.sort.bytes, bpt * static_cast<double>(t.flop));
+    EXPECT_DOUBLE_EQ(t.compress.bytes, bpt * static_cast<double>(t.nnz_c));
+  }
 }
 
 TEST(PbTelemetry, NbinsReported) {

@@ -88,6 +88,10 @@ pb::PbConfig random_pb_config(mtx::SplitMix64& rng) {
                                     pb::BinPolicy::kModulo,
                                     pb::BinPolicy::kAdaptive};
   cfg.policy = policies[rng.next_below(3)];
+  const pb::FormatPolicy formats[] = {pb::FormatPolicy::kAuto,
+                                      pb::FormatPolicy::kWide,
+                                      pb::FormatPolicy::kNarrow};
+  cfg.format = formats[rng.next_below(3)];
   cfg.streaming_stores = rng.next_below(2) == 0;
   cfg.validate = true;
   return cfg;

@@ -93,6 +93,34 @@ TEST(PbPlan, RejectsStructurallyDifferentOperands) {
   EXPECT_FALSE(plan.matches(po.a_csc, po.b_csr));
 }
 
+TEST(PbPlan, HintsReproduceTheUnhintedPlan) {
+  // Threading the fingerprint's flop and the selection pass's row-flop
+  // histogram into symbolic must be a pure optimization: identical layout,
+  // regions and format for every policy.
+  const mtx::CsrMatrix a = testutil::exact_er(300, 300, 5.0, 31);
+  const SpGemmProblem p = SpGemmProblem::square(a);
+  const nnz_t flop = pb::pb_count_flop(p.a_csc, p.b_csr);
+  const std::vector<nnz_t> rf = pb::pb_row_flops(p.a_csc, p.b_csr);
+
+  for (const pb::BinPolicy policy :
+       {pb::BinPolicy::kRange, pb::BinPolicy::kModulo,
+        pb::BinPolicy::kAdaptive}) {
+    pb::PbConfig cfg;
+    cfg.policy = policy;
+    pb::SymbolicHints hints;
+    hints.flop = flop;
+    hints.row_flops = rf;
+    const pb::PbPlan plain = pb::pb_plan_build(p.a_csc, p.b_csr, cfg);
+    const pb::PbPlan hinted = pb::pb_plan_build(p.a_csc, p.b_csr, cfg, hints);
+    EXPECT_EQ(plain.sym.flop, hinted.sym.flop);
+    EXPECT_EQ(plain.sym.format, hinted.sym.format);
+    EXPECT_EQ(plain.sym.col_bits, hinted.sym.col_bits);
+    EXPECT_EQ(plain.sym.bin_offsets, hinted.sym.bin_offsets);
+    EXPECT_EQ(plain.sym.bin_fill, hinted.sym.bin_fill);
+    EXPECT_EQ(plain.fingerprint, hinted.fingerprint);
+  }
+}
+
 // ---- compression-factor estimator ----------------------------------------
 
 TEST(Estimator, TracksActualCompressionOnRandomMatrices) {
@@ -191,6 +219,20 @@ TEST(SpGemmPlanTest, AutoFollowsCompressionFactor) {
   EXPECT_EQ(dp.algo(), "hash");
 }
 
+TEST(SpGemmPlanTest, RecordsPredictedAndAchievedMflops) {
+  const mtx::CsrMatrix a = testutil::exact_er(500, 500, 8.0, 30);
+  const SpGemmProblem p = SpGemmProblem::square(a);
+  SpGemmPlan plan = make_plan(p);  // auto
+  // The prediction is fixed at plan time from the roofline choice...
+  EXPECT_GT(plan.telemetry().predicted_mflops, 0.0);
+  EXPECT_EQ(plan.telemetry().achieved_mflops, 0.0);
+  // ...and every execute records what it actually achieved against it.
+  (void)plan.execute(p);
+  EXPECT_GT(plan.telemetry().achieved_mflops, 0.0);
+  (void)plan.execute(p);
+  EXPECT_GT(plan.telemetry().achieved_mflops, 0.0);
+}
+
 TEST(SpGemmPlanTest, RepeatedExecutionSkipsAnalysisAndAllocation) {
   const mtx::CsrMatrix a = testutil::exact_er(350, 350, 7.0, 20);
   const SpGemmProblem p = SpGemmProblem::square(a);
@@ -287,6 +329,12 @@ TEST(PartitionedPlanTest, RepeatedExecutionMatchesFusedPath) {
   const pb::PartitionedResult r2 = plan.execute(p.b_csr);
   EXPECT_TRUE(mtx::equal_exact(r1.c, expected));
   EXPECT_TRUE(mtx::equal_exact(r2.c, expected));
+  // Row slices are short, so every part's plan packs the narrow format,
+  // and the per-part telemetry reports it.
+  for (const pb::PbTelemetry& part : r1.parts) {
+    EXPECT_EQ(part.format, pb::TupleFormat::kNarrow);
+    EXPECT_EQ(part.tuple_bytes(), 12.0);
+  }
 
   const pb::PartitionedResult fused =
       pb::pb_spgemm_partitioned(p.a_csc, p.b_csr, 4);

@@ -10,18 +10,39 @@ namespace {
 
 TEST(Workspace, GrowsGeometricallyAndReuses) {
   PbWorkspace ws;
-  EXPECT_EQ(ws.capacity(), 0u);
+  EXPECT_EQ(ws.capacity(), 0u);  // capacity() reports pooled bytes
   Tuple* p1 = ws.acquire(100);
   ASSERT_NE(p1, nullptr);
-  EXPECT_GE(ws.capacity(), 100u);
+  EXPECT_GE(ws.capacity(), 100u * sizeof(Tuple));
   const std::size_t cap1 = ws.capacity();
   // Smaller request: same buffer, no growth.
   Tuple* p2 = ws.acquire(50);
   EXPECT_EQ(p1, p2);
   EXPECT_EQ(ws.capacity(), cap1);
   // Larger request: grows at least geometrically.
-  ws.acquire(cap1 + 1);
+  ws.acquire(cap1 / sizeof(Tuple) + 1);
   EXPECT_GE(ws.capacity(), cap1 + cap1 / 2);
+}
+
+TEST(Workspace, NarrowStreamSharesThePoolWithWide) {
+  PbWorkspace ws;
+  // A wide run sizes the pool; a narrow request for the same tuple count
+  // needs 12 B + key padding per tuple, so it is served without growth.
+  (void)ws.acquire(1024);
+  const std::size_t cap = ws.capacity();
+  const NarrowStream ns = ws.acquire_narrow(1024);
+  ASSERT_NE(ns.keys, nullptr);
+  ASSERT_NE(ns.vals, nullptr);
+  EXPECT_EQ(ws.capacity(), cap);
+  // Value array starts on its own cache line after the key span.
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(ns.vals) % kCacheLineBytes, 0u);
+  EXPECT_GE(reinterpret_cast<std::byte*>(ns.vals) -
+                reinterpret_cast<std::byte*>(ns.keys),
+            static_cast<std::ptrdiff_t>(1024 * sizeof(narrow_key_t)));
+  const PbWorkspace::Stats s = ws.stats();
+  EXPECT_EQ(s.acquires, 2u);
+  EXPECT_EQ(s.allocations, 1u);
+  EXPECT_EQ(s.reuses, 1u);
 }
 
 TEST(Workspace, StatsCountGrowShrinkGrowSequences) {
@@ -44,7 +65,7 @@ TEST(Workspace, StatsCountGrowShrinkGrowSequences) {
   s = ws.stats();
   EXPECT_EQ(s.acquires, 0u);
   EXPECT_EQ(s.allocations, 0u);
-  EXPECT_EQ(ws.capacity(), 5000u);  // the pool itself is retained
+  EXPECT_EQ(ws.capacity(), 5000u * sizeof(Tuple));  // the pool is retained
 }
 
 TEST(Workspace, ScratchSlotsPoolPerThread) {

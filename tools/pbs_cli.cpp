@@ -98,7 +98,9 @@ int cmd_stats(const Cli& cli) {
 }
 
 void print_pb_phases(const pb::PbTelemetry& tm) {
-  std::cout << "  symbolic " << tm.symbolic.seconds * 1e3 << " ms, expand "
+  std::cout << "  format " << to_string(tm.format) << " ("
+            << tm.tuple_bytes() << " B/tuple), symbolic "
+            << tm.symbolic.seconds * 1e3 << " ms, expand "
             << tm.expand.seconds * 1e3 << " ms (" << tm.expand.gbs()
             << " GB/s), sort " << tm.sort.seconds * 1e3 << " ms ("
             << tm.sort.gbs() << " GB/s), compress "
@@ -112,10 +114,12 @@ void print_pb_phases(const pb::PbTelemetry& tm) {
 // paths, just through a plan.
 int multiply_planned(const Cli& cli, const SpGemmProblem& problem,
                      const std::string& algo, const std::string& semiring,
-                     int execs, bool amortization_report) {
+                     pb::FormatPolicy format, int execs,
+                     bool amortization_report) {
   PlanOptions opts;
   opts.algo = algo;
   opts.semiring = semiring;
+  opts.pb.format = format;
   Timer t;
   SpGemmPlan plan = make_plan(problem, opts);
   const double plan_s = t.elapsed_s();
@@ -159,6 +163,11 @@ int multiply_planned(const Cli& cli, const SpGemmProblem& problem,
             << tm.replans << " replans, " << tm.analysis_reuses
             << " analysis reuses; workspace: " << ws.allocations
             << " allocations, " << ws.reuses << " reuses\n";
+  if (tm.predicted_mflops > 0) {
+    std::cout << "  model: predicted " << tm.predicted_mflops
+              << " MFLOPS, last execute achieved " << tm.achieved_mflops
+              << "\n";
+  }
   if (plan.algo() == "pb") {
     print_pb_phases(plan.last_pb_stats());
   } else {
@@ -171,6 +180,14 @@ int multiply_planned(const Cli& cli, const SpGemmProblem& problem,
   return 0;
 }
 
+pb::FormatPolicy parse_format(const std::string& name) {
+  if (name == "auto") return pb::FormatPolicy::kAuto;
+  if (name == "wide") return pb::FormatPolicy::kWide;
+  if (name == "narrow") return pb::FormatPolicy::kNarrow;
+  throw std::invalid_argument("unknown --format '" + name +
+                              "' (auto, wide, narrow)");
+}
+
 int cmd_multiply(const Cli& cli) {
   const mtx::CsrMatrix a =
       mtx::coo_to_csr(mtx::read_matrix_market(cli.require("a")));
@@ -180,6 +197,8 @@ int cmd_multiply(const Cli& cli) {
   const std::string semiring = cli.get("semiring").value_or("plus_times");
   const int reps = static_cast<int>(cli.number("reps", 1));
   const int repeat = static_cast<int>(cli.number("repeat", 0));
+  const pb::FormatPolicy format =
+      parse_format(cli.get("format").value_or("auto"));
   const SpGemmProblem problem = SpGemmProblem::multiply(a, b);
 
   if (repeat > 0 && reps > 1) {
@@ -189,7 +208,8 @@ int cmd_multiply(const Cli& cli) {
   }
   if (algo == "auto" || repeat > 0) {
     const int execs = repeat > 0 ? repeat : reps;
-    return multiply_planned(cli, problem, algo, semiring, std::max(execs, 1),
+    return multiply_planned(cli, problem, algo, semiring, format,
+                            std::max(execs, 1),
                             /*amortization_report=*/repeat > 0);
   }
 
@@ -202,11 +222,13 @@ int cmd_multiply(const Cli& cli) {
   if (algo == "pb") {
     // The PB pipeline runs for every semiring; keep its per-phase
     // telemetry rather than going through the type-erased registry fn.
+    pb::PbConfig cfg;
+    cfg.format = format;
     pb::PbWorkspace ws;
     pb::PbResult best;
     for (int i = 0; i < reps; ++i) {
       pb::PbResult r = pb::pb_spgemm_named(semiring, problem.a_csc,
-                                           problem.b_csr, pb::PbConfig{}, ws);
+                                           problem.b_csr, cfg, ws);
       if (i == 0 || r.stats.total_seconds() < best.stats.total_seconds())
         best = std::move(r);
     }
@@ -281,7 +303,7 @@ void usage() {
       "  gen      --kind er|rmat|banded --out FILE.mtx [--scale N --ef F --seed S]\n"
       "  stats    --a FILE.mtx\n"
       "  multiply --a FILE.mtx [--b FILE.mtx] [--algo NAME|auto] [--semiring NAME]\n"
-      "           [--reps R] [--repeat N] [--out FILE.mtx]\n"
+      "           [--format auto|wide|narrow] [--reps R] [--repeat N] [--out FILE.mtx]\n"
       "  info\n"
       "  stream   [--mb N]\n"
       "  roofline [--beta GBS] [--cf CF]\n"
