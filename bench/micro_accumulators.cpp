@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "spgemm/hash_table.hpp"
+#include "spgemm/semiring_ops.hpp"
 
 namespace {
 
@@ -30,7 +31,7 @@ void accumulate_stream(benchmark::State& state) {
   Accumulator acc;
   for (auto _ : state) {
     acc.reset(static_cast<pbs::nnz_t>(n));
-    for (const pbs::index_t c : stream) acc.accumulate(c, 1.0);
+    for (const pbs::index_t c : stream) acc.template accumulate<pbs::PlusTimes>(c, 1.0);
     benchmark::DoNotOptimize(acc.size());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *

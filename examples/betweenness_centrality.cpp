@@ -72,9 +72,6 @@ int main(int argc, char** argv) {
   // sigma[d]: path counts discovered at level d (n x s sparse panels).
   Panel sigma_all(n, nsources);          // cumulative path counts
   std::vector<CsrMatrix> level_sigma;    // per-level discoveries
-  std::vector<std::vector<bool>> visited(
-      static_cast<std::size_t>(nsources),
-      std::vector<bool>(static_cast<std::size_t>(n), false));
 
   // Level 0: each source starts with one path to itself.
   Panel f0(n, nsources);
@@ -82,48 +79,42 @@ int main(int argc, char** argv) {
     const index_t v = (n / nsources) * s;
     f0.at(v, s) = 1.0;
     sigma_all.at(v, s) = 1.0;
-    visited[static_cast<std::size_t>(s)][static_cast<std::size_t>(v)] = true;
   }
   CsrMatrix frontier = panel_to_csr(f0);
   level_sigma.push_back(frontier);
+  // (v, s) pairs already visited — the forward step's complemented mask.
+  CsrMatrix visited = pbs::mtx::to_pattern(frontier);
 
-  // One plan per multiply-site: the frontier panels change structure every
-  // level (each level replans) but both plans keep their pooled pipeline
-  // scratch across the whole forward + backward sweep.
-  pbs::PlanOptions opts;
-  opts.algo = "pb";
+  // One descriptor per multiply-site: the forward step fuses the
+  // "unvisited only" complemented mask into the kernel, so no separate
+  // filtering pass runs over the raw product.  The frontier panels change
+  // structure every level (each level replans) but both plans keep their
+  // pooled pipeline scratch across the whole forward + backward sweep.
+  pbs::SpGemmOp fwd_op;
+  fwd_op.algo = "pb";
+  fwd_op.mask = &visited;
+  fwd_op.complement = true;
   pbs::SpGemmPlan fwd_plan =
-      pbs::make_plan(pbs::SpGemmProblem::multiply(adj_t, frontier), opts);
+      pbs::make_plan(pbs::SpGemmProblem::multiply(adj_t, frontier), fwd_op);
   double spgemm_ms = 0;
 
   // ---- forward sweep: BFS levels with path counting ----
   while (frontier.nnz() > 0 && level_sigma.size() < 64) {
     pbs::Timer t;
     const pbs::SpGemmProblem p = pbs::SpGemmProblem::multiply(adj_t, frontier);
-    const CsrMatrix raw = fwd_plan.execute(p);
+    // Path counts restricted to unvisited (v, s) pairs, in one fused step.
+    frontier = fwd_plan.execute(p);
     spgemm_ms += t.elapsed_ms();
 
-    // Mask to unvisited (v, s) pairs; accumulate sigma.
-    pbs::mtx::CooMatrix next(n, nsources);
     for (index_t v = 0; v < n; ++v) {
-      const auto cols = raw.row_cols(v);
-      const auto vals = raw.row_vals(v);
+      const auto cols = frontier.row_cols(v);
+      const auto vals = frontier.row_vals(v);
       for (std::size_t i = 0; i < cols.size(); ++i) {
-        const index_t s = cols[i];
-        if (!visited[static_cast<std::size_t>(s)][static_cast<std::size_t>(v)]) {
-          next.add(v, s, vals[i]);
-          sigma_all.at(v, s) += vals[i];
-        }
+        sigma_all.at(v, cols[i]) += vals[i];
       }
     }
-    next.canonicalize();
-    frontier = pbs::mtx::coo_to_csr(next);
     // Mark *after* the level completes so same-level discoveries merge.
-    for (index_t v = 0; v < n; ++v) {
-      for (const index_t s : frontier.row_cols(v)) {
-        visited[static_cast<std::size_t>(s)][static_cast<std::size_t>(v)] = true;
-      }
-    }
+    visited = pbs::mtx::to_pattern(pbs::mtx::add(visited, frontier));
     if (frontier.nnz() > 0) level_sigma.push_back(frontier);
   }
   const int depth = static_cast<int>(level_sigma.size()) - 1;
@@ -147,7 +138,11 @@ int main(int argc, char** argv) {
 
     pbs::Timer t;
     const pbs::SpGemmProblem p = pbs::SpGemmProblem::multiply(adj, coeff);
-    if (!bwd_plan) bwd_plan.emplace(pbs::make_plan(p, opts));
+    if (!bwd_plan) {
+      pbs::SpGemmOp bwd_op;  // unmasked: the dependency loop reads W rows
+      bwd_op.algo = "pb";
+      bwd_plan.emplace(pbs::make_plan(p, bwd_op));
+    }
     const CsrMatrix w = bwd_plan->execute(p);
     spgemm_ms += t.elapsed_ms();
 

@@ -3,13 +3,20 @@
 //
 // The frontier of `s` simultaneous BFS traversals is an n x s indicator
 // matrix F; one step of all searches at once is the sparse product
-// F' = Aᵀ·F over the boolean (∨, ∧) semiring, followed by masking out
-// visited vertices.  SpGEMM turns the classic pointer-chasing BFS into
-// bulk, bandwidth-friendly work — exactly the trade PB-SpGEMM is designed
-// for.  The step runs through a SpGemmPlan over bool_or_and: the frontier's
-// structure changes every level, so each level replans (counted below),
-// but the pipeline scratch stays pooled across the whole traversal and an
-// "auto" plan re-selects the algorithm as the frontier fattens and thins.
+// F' = Aᵀ·F over the boolean (∨, ∧) semiring, masked to vertices not yet
+// visited by that search.  SpGEMM turns the classic pointer-chasing BFS
+// into bulk, bandwidth-friendly work — exactly the trade PB-SpGEMM is
+// designed for.  The whole step is ONE operation descriptor:
+//
+//   SpGemmOp op;
+//   op.semiring = "bool_or_and";
+//   op.mask = &visited; op.complement = true;   // "unvisited only", fused
+//
+// run through a SpGemmPlan: the frontier's structure changes every level,
+// so each level replans (counted below), but the pipeline scratch stays
+// pooled across the whole traversal, the complemented visited mask is
+// fused into the kernel (no separate filtering pass), and an "auto" plan
+// re-selects the algorithm as the frontier fattens and thins.
 //
 //   ./multi_source_bfs [scale] [edge_factor] [num_sources] [algo]  (algo: auto)
 #include <pbs/pbs.hpp>
@@ -39,49 +46,40 @@ int main(int argc, char** argv) {
 
   // Initial frontier: sources spread across the id space, one per column.
   pbs::mtx::CooMatrix fcoo(n, nsources);
-  std::vector<pbs::index_t> level(static_cast<std::size_t>(n) * 0 + 0);
-  std::vector<std::vector<bool>> visited(
-      static_cast<std::size_t>(nsources),
-      std::vector<bool>(static_cast<std::size_t>(n), false));
   for (pbs::index_t s = 0; s < nsources; ++s) {
-    const pbs::index_t v = (n / nsources) * s;
-    fcoo.add(v, s, 1.0);
-    visited[static_cast<std::size_t>(s)][static_cast<std::size_t>(v)] = true;
+    fcoo.add((n / nsources) * s, s, 1.0);
   }
   fcoo.canonicalize();
   pbs::mtx::CsrMatrix frontier = pbs::mtx::coo_to_csr(fcoo);
+  // (v, s) pairs already visited — the complemented mask of the step.
+  // The descriptor captures its address; the pattern changes every level,
+  // which the plan explicitly allows (only structure of A·F is
+  // fingerprinted).
+  pbs::mtx::CsrMatrix visited = frontier;
 
-  // One plan for the frontier-expansion site over the boolean semiring;
-  // unsupported (algo, semiring) pairs fail loudly at plan time.
-  pbs::PlanOptions opts;
-  opts.algo = algo;
-  opts.semiring = "bool_or_and";
+  // One descriptor for the frontier-expansion site: boolean semiring with
+  // the fused "unvisited only" complemented mask.  Unsupported
+  // (algo, semiring) pairs fail loudly at plan time.
+  pbs::SpGemmOp op;
+  op.algo = algo;
+  op.semiring = "bool_or_and";
+  op.mask = &visited;
+  op.complement = true;
   pbs::SpGemmPlan plan =
-      pbs::make_plan(pbs::SpGemmProblem::multiply(at, frontier), opts);
+      pbs::make_plan(pbs::SpGemmProblem::multiply(at, frontier), op);
   std::cout << "step algorithm: " << plan.algo() << "\n";
 
-  pbs::nnz_t total_reached = nsources;
+  pbs::nnz_t total_reached = frontier.nnz();
   double spgemm_seconds = 0;
   int depth = 0;
   while (frontier.nnz() > 0) {
     pbs::Timer timer;
     const pbs::SpGemmProblem p = pbs::SpGemmProblem::multiply(at, frontier);
-    const pbs::mtx::CsrMatrix next = plan.execute(p);
+    // One fused step: expand + mask out visited, no separate filter pass.
+    frontier = plan.execute(p);
     spgemm_seconds += timer.elapsed_s();
 
-    // Mask: keep only vertices not yet visited by that search.
-    pbs::mtx::CooMatrix masked(n, nsources);
-    for (pbs::index_t v = 0; v < n; ++v) {
-      for (const pbs::index_t s : next.row_cols(v)) {
-        auto& seen = visited[static_cast<std::size_t>(s)];
-        if (!seen[static_cast<std::size_t>(v)]) {
-          seen[static_cast<std::size_t>(v)] = true;
-          masked.add(v, s, 1.0);
-        }
-      }
-    }
-    masked.canonicalize();
-    frontier = pbs::mtx::coo_to_csr(masked);
+    visited = pbs::mtx::to_pattern(pbs::mtx::add(visited, frontier));
     total_reached += frontier.nnz();
     ++depth;
     std::cout << "  level " << depth << ": frontier " << frontier.nnz()

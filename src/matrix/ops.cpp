@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 #include "matrix/convert.hpp"
 
@@ -209,6 +210,34 @@ CsrMatrix symmetrize(const CsrMatrix& a) { return add(a, transpose(a)); }
 CsrMatrix to_pattern(const CsrMatrix& a) {
   CsrMatrix out = a;
   std::fill(out.vals.begin(), out.vals.end(), 1.0);
+  return out;
+}
+
+CsrMatrix pattern_filter(const CsrMatrix& a, const CsrMatrix& mask,
+                         bool complement) {
+  if (a.nrows != mask.nrows || a.ncols != mask.ncols) {
+    throw std::invalid_argument("pattern_filter: shape mismatch");
+  }
+  CsrMatrix out(a.nrows, a.ncols);
+  out.colids.reserve(static_cast<std::size_t>(a.nnz()));
+  out.vals.reserve(static_cast<std::size_t>(a.nnz()));
+  for (index_t r = 0; r < a.nrows; ++r) {
+    // Merge-scan the row against the sorted mask row; keep entries whose
+    // membership matches the requested polarity.
+    const auto mcols = mask.row_cols(r);
+    std::size_t m = 0;
+    for (nnz_t i = a.rowptr[r]; i < a.rowptr[static_cast<std::size_t>(r) + 1]; ++i) {
+      const index_t c = a.colids[i];
+      while (m < mcols.size() && mcols[m] < c) ++m;
+      const bool in_mask = m < mcols.size() && mcols[m] == c;
+      if (in_mask != complement) {
+        out.colids.push_back(c);
+        out.vals.push_back(a.vals[i]);
+      }
+    }
+    out.rowptr[static_cast<std::size_t>(r) + 1] =
+        static_cast<nnz_t>(out.colids.size());
+  }
   return out;
 }
 

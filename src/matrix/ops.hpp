@@ -64,6 +64,15 @@ value_t max_abs_diff(const CsrMatrix& a, const CsrMatrix& b);
 /// Symmetrizes: (A + Aᵀ) with duplicate entries summed.
 CsrMatrix symmetrize(const CsrMatrix& a);
 
+/// Keeps the entries of A whose positions lie in (complement = false) or
+/// outside (complement = true) the pattern of `mask`; values pass through
+/// untouched.  This is the value-safe form of masking — unlike
+/// hadamard(a, to_pattern(mask)) it never multiplies, so it works for
+/// non-numeric semiring values — and the oracle the masked SpGEMM paths
+/// are tested against.  Requires matching shapes.
+CsrMatrix pattern_filter(const CsrMatrix& a, const CsrMatrix& mask,
+                         bool complement = false);
+
 /// Pattern-only copy: all stored values become 1.0.
 CsrMatrix to_pattern(const CsrMatrix& a);
 

@@ -22,6 +22,17 @@ double ai_outer_lower_tuple(double cf, double bytes_per_nnz,
   return cf / (3.0 * bytes_per_nnz + 2.0 * cf * tuple_bytes);
 }
 
+double ai_outer_lower_masked(double cf, double cf_out, double bytes_per_nnz,
+                             double tuple_bytes) {
+  return 1.0 / (2.0 * bytes_per_nnz / cf + bytes_per_nnz / cf_out +
+                2.0 * tuple_bytes);
+}
+
+double ai_column_lower_masked(double cf, double cf_out, double bytes_per_nnz) {
+  return 1.0 /
+         (bytes_per_nnz + bytes_per_nnz / cf + bytes_per_nnz / cf_out);
+}
+
 double attainable_gflops(double beta_gbs, double ai) { return beta_gbs * ai; }
 
 SpGemmBounds bounds(double beta_gbs, double cf, double bytes_per_nnz) {

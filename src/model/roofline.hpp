@@ -37,6 +37,24 @@ double ai_outer_lower(double cf, double bytes_per_nnz = kDefaultBytesPerNnz);
 double ai_outer_lower_tuple(double cf, double bytes_per_nnz,
                             double tuple_bytes);
 
+// Masked variants: a fused output mask shrinks the *output* stream without
+// changing the input streams, so the single-cf bounds split their cf into
+// cf (flop per input/unmasked nonzero — the 2 input matrices) and cf_out
+// (flop per *surviving* output nonzero).  With cf_out == cf both reduce
+// exactly to the unmasked bounds above — a dense mask degenerates to
+// Eq. 3/4.
+
+/// Eq. 4 with a fused mask: bytes/flop = 2·b/cf (read A, B) + b/cf_out
+/// (write the masked C) + 2·t (write + read the full Cˆ tuple stream — the
+/// PB pipeline expands every flop and drops masked-out tuples only at
+/// compress).
+double ai_outer_lower_masked(double cf, double cf_out, double bytes_per_nnz,
+                             double tuple_bytes);
+
+/// Eq. 3 with a fused mask: bytes/flop = b (A re-read flop times) + b/cf
+/// (read B) + b/cf_out (write the masked C).
+double ai_column_lower_masked(double cf, double cf_out, double bytes_per_nnz);
+
 /// Eq. 2 — attainable GFLOPS at AI given STREAM bandwidth β (GB/s).
 double attainable_gflops(double beta_gbs, double ai);
 

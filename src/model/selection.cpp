@@ -6,25 +6,58 @@
 namespace pbs::model {
 
 AlgoChoice select_algorithm(double cf, nnz_t flop, bool hash_available,
-                            const SelectionModel& m) {
+                            const SelectionModel& m, const MaskModel& mask) {
   AlgoChoice choice;
   choice.cf = std::max(cf, 1.0);  // cf < 1 is an estimator artifact
+
+  // A plain mask caps the surviving output at nnz(mask) and lets the
+  // Gustavson row loops skip every wedge whose output row has no mask
+  // entry; a complemented mask constrains nothing a priori.  coverage is
+  // floored so an (degenerate) empty mask reads as "column family does
+  // essentially no work" rather than dividing by zero.
+  const bool capping = mask.present && !mask.complement;
+  double coverage = 1.0;
+  choice.cf_out = choice.cf;
+  if (capping) {
+    const double nnz_est =
+        std::max(static_cast<double>(flop) / choice.cf, 1.0);
+    const double nnz_out = std::min(
+        nnz_est, static_cast<double>(std::max<nnz_t>(mask.mask_nnz, 1)));
+    choice.cf_out = static_cast<double>(flop) / nnz_out;
+    coverage = std::clamp(mask.coverage, 1e-9, 1.0);
+  }
+
   choice.ai_outer =
-      ai_outer_lower_tuple(choice.cf, m.bytes_per_nnz, m.pb_tuple_bytes);
-  choice.ai_column = ai_column_lower(choice.cf, m.bytes_per_nnz);
+      capping ? ai_outer_lower_masked(choice.cf, choice.cf_out,
+                                      m.bytes_per_nnz, m.pb_tuple_bytes)
+              : ai_outer_lower_tuple(choice.cf, m.bytes_per_nnz,
+                                     m.pb_tuple_bytes);
+  choice.ai_column =
+      capping ? ai_column_lower_masked(choice.cf, choice.cf_out,
+                                       m.bytes_per_nnz)
+              : ai_column_lower(choice.cf, m.bytes_per_nnz);
 
   const double pb_eff = m.pb_efficiency;
-  const double col_eff = choice.cf / (choice.cf + m.column_latency_penalty);
+  // Accumulator reuse is flop per surviving output entry, so the latency
+  // derating runs on cf_out (== cf unmasked).
+  const double col_eff = choice.cf_out / (choice.cf_out + m.column_latency_penalty);
   choice.pb_mflops =
       attainable_gflops(m.beta_gbs, choice.ai_outer) * pb_eff * 1e3;
-  choice.column_mflops =
-      attainable_gflops(m.beta_gbs, choice.ai_column) * col_eff * 1e3;
+  // In nominal-flop terms the column family is credited the wedges its
+  // masked row loops never execute (1/coverage ≥ 1; exactly 1 unmasked).
+  choice.column_mflops = attainable_gflops(m.beta_gbs, choice.ai_column) *
+                         col_eff * 1e3 / coverage;
+
+  // Wedges outside the mask are skipped work for every family's setup
+  // consideration: gate the small-problem cutoff on what actually runs.
+  const auto effective_flop =
+      static_cast<nnz_t>(static_cast<double>(flop) * coverage);
 
   const std::string column_algo = hash_available ? "hash" : "heap";
   std::ostringstream why;
-  if (flop < m.small_flop_threshold) {
+  if (effective_flop < m.small_flop_threshold) {
     choice.algo = "heap";
-    why << "flop " << flop << " < " << m.small_flop_threshold
+    why << "flop " << effective_flop << " < " << m.small_flop_threshold
         << ": pipeline setup would dominate; low-overhead heap";
   } else if (choice.pb_mflops >= choice.column_mflops) {
     choice.algo = "pb";
@@ -36,6 +69,14 @@ AlgoChoice select_algorithm(double cf, nnz_t flop, bool hash_available,
     why << "cf " << choice.cf << ": derated column bound "
         << choice.column_mflops << " MFLOPS > outer " << choice.pb_mflops
         << "; Gustavson " << column_algo;
+  }
+  if (mask.present) {
+    why << (mask.complement ? "; complemented mask (no flop cap)"
+                            : "; mask caps output") ;
+    if (capping) {
+      why << " (cf_out " << choice.cf_out << ", wedge coverage " << coverage
+          << ")";
+    }
   }
   choice.rationale = why.str();
   return choice;

@@ -67,10 +67,28 @@ struct SelectionModel {
   nnz_t small_flop_threshold = 32768;
 };
 
+/// What the selection model knows about a fused output mask (SpGemmOp).
+/// Defaults describe "no mask", under which the masked bounds degenerate
+/// exactly to Eq. 3/4 and the choice is unchanged.
+struct MaskModel {
+  bool present = false;
+  bool complement = false;
+  /// Masked wedge count / flop: the fraction of the flop whose output row
+  /// has any mask entry.  A plain (non-complemented) mask lets the
+  /// Gustavson row loops skip the other (1 − coverage) outright, while PB
+  /// still expands every flop and filters at compress.  Complemented
+  /// masks skip nothing (coverage stays 1).
+  double coverage = 1.0;
+  /// nnz(mask): cap on surviving output nonzeros for a plain mask.
+  nnz_t mask_nnz = 0;
+};
+
 /// The decision plus everything needed to explain it in telemetry.
 struct AlgoChoice {
   std::string algo;          ///< "pb", "hash" or "heap"
   double cf = 0;             ///< the (estimated) compression factor used
+  double cf_out = 0;         ///< flop per *surviving* output nonzero
+                             ///< (== cf without a plain mask)
   double ai_outer = 0;       ///< Eq. 4 bound at cf (flops/byte)
   double ai_column = 0;      ///< Eq. 3 bound at cf
   double pb_mflops = 0;      ///< derated estimate at beta_gbs
@@ -80,9 +98,14 @@ struct AlgoChoice {
 
 /// Picks pb / hash / heap for a multiplication with estimated compression
 /// factor `cf` and `flop` total multiplications.  `hash_available` is
-/// false when the requested semiring rules hash out (it is plus_times-only
-/// in the registry); the column family is then represented by heap.
+/// false when the requested semiring rules hash out; the column family is
+/// then represented by heap.  With a mask the bounds split into input
+/// (cf) and output (cf_out, capped by nnz(mask)) terms and the column
+/// family's estimate is credited the wedges its masked row loops skip —
+/// so a dense mask reproduces the unmasked decision and a sparse mask
+/// shifts the crossover toward the Gustavson kernels.
 AlgoChoice select_algorithm(double cf, nnz_t flop, bool hash_available,
-                            const SelectionModel& m = {});
+                            const SelectionModel& m = {},
+                            const MaskModel& mask = {});
 
 }  // namespace pbs::model

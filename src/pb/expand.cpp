@@ -1,5 +1,7 @@
 #include "pb/expand_impl.hpp"
 
+#include "spgemm/op.hpp"
+
 namespace pbs::pb {
 
 template nnz_t pb_expand<PlusTimes>(const mtx::CscMatrix&,
@@ -37,6 +39,18 @@ template nnz_t pb_expand_narrow<BoolOrAnd>(const mtx::CscMatrix&,
                                            const SymbolicResult&,
                                            const PbConfig&, narrow_key_t*,
                                            value_t*);
+
+// The runtime-semiring bridge (spgemm/op.hpp): S::mul indirects through
+// the active RuntimeSemiring's closure; routing and blocking are identical.
+template nnz_t pb_expand<DynSemiring>(const mtx::CscMatrix&,
+                                      const mtx::CsrMatrix&,
+                                      const SymbolicResult&, const PbConfig&,
+                                      Tuple*);
+template nnz_t pb_expand_narrow<DynSemiring>(const mtx::CscMatrix&,
+                                             const mtx::CsrMatrix&,
+                                             const SymbolicResult&,
+                                             const PbConfig&, narrow_key_t*,
+                                             value_t*);
 
 nnz_t pb_expand(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
                 const SymbolicResult& sym, const PbConfig& cfg, Tuple* out) {

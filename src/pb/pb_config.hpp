@@ -63,6 +63,17 @@ struct PbConfig {
   bool validate = false;
 };
 
+/// Output-mask request threaded through the pipeline (an SpGemmOp mask
+/// lowered to PB terms): tuples whose (row, col) lies outside (or, with
+/// complement, inside) the pattern of `csr` are dropped at the compress
+/// stage, before CSR conversion.  Values of `csr` are ignored.
+struct MaskSpec {
+  const mtx::CsrMatrix* csr = nullptr;  ///< nullptr = unmasked
+  bool complement = false;
+
+  [[nodiscard]] bool active() const { return csr != nullptr; }
+};
+
 struct PhaseStats {
   double seconds = 0;
   double bytes = 0;  ///< modeled traffic per Table III
@@ -82,6 +93,10 @@ struct PbTelemetry {
 
   nnz_t flop = 0;
   nnz_t nnz_c = 0;
+  /// Tuples the fused output mask dropped at the compress stage (0 when
+  /// the run was unmasked).  nnz_c counts survivors only, so
+  /// nnz_c + mask_dropped is the unmasked product's nonzero count.
+  nnz_t mask_dropped = 0;
   int nbins = 0;
   index_t rows_per_bin = 0;  ///< 0 for adaptive layouts
 

@@ -1,6 +1,17 @@
 #include "pb/pb_spgemm_impl.hpp"
 
+#include "spgemm/op.hpp"
+
 namespace pbs::pb {
+
+// The runtime-semiring bridge (spgemm/op.hpp): pb_spgemm_named reaches
+// these for any semiring registered at runtime.
+template PbResult pb_spgemm<DynSemiring>(const mtx::CscMatrix&,
+                                         const mtx::CsrMatrix&,
+                                         const PbConfig&);
+template PbResult pb_spgemm<DynSemiring>(const mtx::CscMatrix&,
+                                         const mtx::CsrMatrix&,
+                                         const PbConfig&, PbWorkspace&);
 
 template PbResult pb_spgemm<PlusTimes>(const mtx::CscMatrix&,
                                        const mtx::CsrMatrix&, const PbConfig&);
@@ -37,7 +48,7 @@ PbResult pb_spgemm(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
 PbResult pb_spgemm_named(const std::string& semiring, const mtx::CscMatrix& a,
                          const mtx::CsrMatrix& b, const PbConfig& cfg,
                          PbWorkspace& workspace) {
-  return dispatch_semiring(semiring, [&]<typename S>() {
+  return dispatch_semiring_any(semiring, [&]<typename S>() {
     return pb_spgemm<S>(a, b, cfg, workspace);
   });
 }

@@ -1,6 +1,7 @@
 #include "pb/plan_impl.hpp"
 
 #include "common/cache_info.hpp"
+#include "spgemm/op.hpp"
 
 namespace pbs::pb {
 
@@ -43,22 +44,29 @@ PbPlan pb_plan_build(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
 
 template PbResult pb_execute<PlusTimes>(const mtx::CscMatrix&,
                                         const mtx::CsrMatrix&, const PbPlan&,
-                                        PbWorkspace&, bool);
+                                        PbWorkspace&, bool, const MaskSpec&);
 template PbResult pb_execute<MinPlus>(const mtx::CscMatrix&,
                                       const mtx::CsrMatrix&, const PbPlan&,
-                                      PbWorkspace&, bool);
+                                      PbWorkspace&, bool, const MaskSpec&);
 template PbResult pb_execute<MaxMin>(const mtx::CscMatrix&,
                                      const mtx::CsrMatrix&, const PbPlan&,
-                                     PbWorkspace&, bool);
+                                     PbWorkspace&, bool, const MaskSpec&);
 template PbResult pb_execute<BoolOrAnd>(const mtx::CscMatrix&,
                                         const mtx::CsrMatrix&, const PbPlan&,
-                                        PbWorkspace&, bool);
+                                        PbWorkspace&, bool, const MaskSpec&);
+// The runtime-semiring bridge: one more instantiation whose scalar ops
+// indirect through the active RuntimeSemiring (spgemm/op.hpp).
+template PbResult pb_execute<DynSemiring>(const mtx::CscMatrix&,
+                                          const mtx::CsrMatrix&,
+                                          const PbPlan&, PbWorkspace&, bool,
+                                          const MaskSpec&);
 
 PbResult pb_execute_named(const std::string& semiring, const mtx::CscMatrix& a,
                           const mtx::CsrMatrix& b, const PbPlan& plan,
-                          PbWorkspace& workspace, bool check_fingerprint) {
-  return dispatch_semiring(semiring, [&]<typename S>() {
-    return pb_execute<S>(a, b, plan, workspace, check_fingerprint);
+                          PbWorkspace& workspace, bool check_fingerprint,
+                          const MaskSpec& mask) {
+  return dispatch_semiring_any(semiring, [&]<typename S>() {
+    return pb_execute<S>(a, b, plan, workspace, check_fingerprint, mask);
   });
 }
 

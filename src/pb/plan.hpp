@@ -91,33 +91,42 @@ PbPlan pb_plan_build(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
 /// and skip the O(ncols) flop recount.  The returned telemetry's symbolic
 /// phase is zero: analysis was paid at plan-build time (plan.symbolic
 /// records it).
+///
+/// An active `mask` (SpGemmOp's fused output mask) drops tuples outside
+/// (or, complemented, inside) the mask's pattern at the compress stage;
+/// the drop count is returned in telemetry.mask_dropped.  The mask's
+/// shape must match the product (throws std::invalid_argument otherwise);
+/// its pattern may change freely between executions of one plan — only
+/// structure of A and B is fingerprinted.
 template <typename S>
 PbResult pb_execute(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
                     const PbPlan& plan, PbWorkspace& workspace,
-                    bool check_fingerprint = true);
+                    bool check_fingerprint = true, const MaskSpec& mask = {});
 
 extern template PbResult pb_execute<PlusTimes>(const mtx::CscMatrix&,
                                                const mtx::CsrMatrix&,
                                                const PbPlan&, PbWorkspace&,
-                                               bool);
+                                               bool, const MaskSpec&);
 extern template PbResult pb_execute<MinPlus>(const mtx::CscMatrix&,
                                              const mtx::CsrMatrix&,
                                              const PbPlan&, PbWorkspace&,
-                                             bool);
+                                             bool, const MaskSpec&);
 extern template PbResult pb_execute<MaxMin>(const mtx::CscMatrix&,
                                             const mtx::CsrMatrix&,
                                             const PbPlan&, PbWorkspace&,
-                                            bool);
+                                            bool, const MaskSpec&);
 extern template PbResult pb_execute<BoolOrAnd>(const mtx::CscMatrix&,
                                                const mtx::CsrMatrix&,
                                                const PbPlan&, PbWorkspace&,
-                                               bool);
+                                               bool, const MaskSpec&);
 
-/// Runtime dispatch by semiring name; throws std::invalid_argument listing
+/// Runtime dispatch by semiring name — built-in or registered through
+/// SemiringRegistry (spgemm/op.hpp); throws std::invalid_argument listing
 /// the valid names on a miss.
 PbResult pb_execute_named(const std::string& semiring, const mtx::CscMatrix& a,
                           const mtx::CsrMatrix& b, const PbPlan& plan,
                           PbWorkspace& workspace,
-                          bool check_fingerprint = true);
+                          bool check_fingerprint = true,
+                          const MaskSpec& mask = {});
 
 }  // namespace pbs::pb

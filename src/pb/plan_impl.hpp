@@ -17,11 +17,16 @@ namespace pbs::pb {
 template <typename S>
 PbResult pb_execute(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
                     const PbPlan& plan, PbWorkspace& workspace,
-                    bool check_fingerprint) {
+                    bool check_fingerprint, const MaskSpec& mask) {
   if (check_fingerprint && !plan.matches(a, b)) {
     throw std::invalid_argument(
         "pb_execute: operands do not match the plan's structure fingerprint "
         "(dims/nnz/flop changed); rebuild the plan with pb_plan_build");
+  }
+  if (mask.active() &&
+      (mask.csr->nrows != a.nrows || mask.csr->ncols != b.ncols)) {
+    throw std::invalid_argument(
+        "pb_execute: mask shape does not match the product");
   }
 
   const SymbolicResult& sym = plan.sym;
@@ -65,13 +70,16 @@ PbResult pb_execute(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
       bpt * static_cast<double>(sym.flop);
 
   // ---- sort + compress (fused per bin, timed separately; S::add) ----
+  // The fused mask rides here too: masked-out survivors are dropped per
+  // bin right after the duplicate merge, so convert never sees them.
   timer.reset();
   const SortCompressResult sc =
       narrow ? pb_sort_compress_narrow<S>(ns.keys, ns.vals, sym.bin_offsets,
                                           sym.bin_fill, sym.layout.nbins,
-                                          &workspace)
+                                          &workspace, mask, &sym.layout,
+                                          sym.col_bits)
              : pb_sort_compress<S>(expanded, sym.bin_offsets, sym.bin_fill,
-                                   sym.layout.nbins, &workspace);
+                                   sym.layout.nbins, &workspace, mask);
   const double sc_wall = timer.elapsed_s();
   // Attribute the fused loop's wall time proportionally to the measured
   // per-thread busy times (their ratio is exact; the split of idle time is
@@ -81,12 +89,14 @@ PbResult pb_execute(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
   tm.sort.seconds = sc_wall * sort_share;
   tm.compress.seconds = sc_wall * (1.0 - sort_share);
   // Table III: the sort streams the bin in (shuffles are in-cache); the
-  // compress writes only survivors (reads are in-cache).
+  // compress writes every merged tuple — including the ones the mask then
+  // discards in-cache (reads are in-cache).
   tm.sort.bytes = bpt * static_cast<double>(sym.flop);
   nnz_t nnz_c = 0;
   for (const nnz_t m : sc.merged) nnz_c += m;
   tm.nnz_c = nnz_c;
-  tm.compress.bytes = bpt * static_cast<double>(nnz_c);
+  tm.mask_dropped = sc.mask_dropped;
+  tm.compress.bytes = bpt * static_cast<double>(nnz_c + sc.mask_dropped);
 
   // ---- convert to CSR (semiring-independent) ----
   timer.reset();

@@ -1,28 +1,40 @@
 #include "pb/sort_compress_impl.hpp"
 
+#include "spgemm/op.hpp"
+
 namespace pbs::pb {
 
 template SortCompressResult pb_sort_compress<PlusTimes>(
-    Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int, PbWorkspace*);
+    Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int, PbWorkspace*,
+    const MaskSpec&);
 template SortCompressResult pb_sort_compress<MinPlus>(
-    Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int, PbWorkspace*);
+    Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int, PbWorkspace*,
+    const MaskSpec&);
 template SortCompressResult pb_sort_compress<MaxMin>(
-    Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int, PbWorkspace*);
+    Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int, PbWorkspace*,
+    const MaskSpec&);
 template SortCompressResult pb_sort_compress<BoolOrAnd>(
-    Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int, PbWorkspace*);
+    Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int, PbWorkspace*,
+    const MaskSpec&);
+template SortCompressResult pb_sort_compress<DynSemiring>(
+    Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int, PbWorkspace*,
+    const MaskSpec&);
 
 template SortCompressResult pb_sort_compress_narrow<PlusTimes>(
     narrow_key_t*, value_t*, std::span<const nnz_t>, std::span<const nnz_t>,
-    int, PbWorkspace*);
+    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int);
 template SortCompressResult pb_sort_compress_narrow<MinPlus>(
     narrow_key_t*, value_t*, std::span<const nnz_t>, std::span<const nnz_t>,
-    int, PbWorkspace*);
+    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int);
 template SortCompressResult pb_sort_compress_narrow<MaxMin>(
     narrow_key_t*, value_t*, std::span<const nnz_t>, std::span<const nnz_t>,
-    int, PbWorkspace*);
+    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int);
 template SortCompressResult pb_sort_compress_narrow<BoolOrAnd>(
     narrow_key_t*, value_t*, std::span<const nnz_t>, std::span<const nnz_t>,
-    int, PbWorkspace*);
+    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int);
+template SortCompressResult pb_sort_compress_narrow<DynSemiring>(
+    narrow_key_t*, value_t*, std::span<const nnz_t>, std::span<const nnz_t>,
+    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int);
 
 SortCompressResult pb_sort_compress(Tuple* tuples,
                                     std::span<const nnz_t> offsets,

@@ -14,11 +14,18 @@
 // semiring-independent.  Definitions live in sort_compress_impl.hpp with
 // explicit instantiations in sort_compress.cpp; the non-template overload
 // is the numeric (+, ×) entry point and keeps the pre-semiring ABI.
+//
+// A fused output mask (SpGemmOp, pb_config.hpp's MaskSpec) is applied here
+// too: immediately after a bin's duplicate merge — while the bin is still
+// cache-hot — survivors whose (row, col) misses the mask's pattern (or
+// hits it, complemented) are compacted away, so the conversion phase never
+// sees them and the masked output costs only its own writes.
 #pragma once
 
 #include <span>
 #include <vector>
 
+#include "pb/binning.hpp"
 #include "pb/pb_config.hpp"
 #include "pb/tuple.hpp"
 #include "spgemm/semiring_ops.hpp"
@@ -28,8 +35,12 @@ namespace pbs::pb {
 class PbWorkspace;  // pb_spgemm.hpp — optional scratch pool
 
 struct SortCompressResult {
-  /// Merged (post-compression) tuple count per bin; size nbins.
+  /// Surviving (post-compression, post-mask) tuple count per bin; size
+  /// nbins.
   std::vector<nnz_t> merged;
+  /// Tuples the mask filter dropped across all bins (0 unmasked); the
+  /// pre-mask merged total is Σ merged + mask_dropped.
+  nnz_t mask_dropped = 0;
   /// Busy-time estimates for the two sub-phases: the maximum across
   /// threads of each thread's accumulated in-phase time (≈ wall time when
   /// bins balance; see DESIGN.md).
@@ -41,47 +52,59 @@ struct SortCompressResult {
 /// compresses duplicates in place with S::add (survivors packed at the
 /// bin's front).  When `workspace` is non-null its per-thread scratch pool
 /// serves the radix-sort scratch, so repeated calls allocate nothing;
-/// otherwise each call allocates thread-local scratch.
+/// otherwise each call allocates thread-local scratch.  A non-null active
+/// `mask` additionally drops masked-out survivors in place (wide keys
+/// carry global coordinates, so no layout is needed).
 template <typename S>
 SortCompressResult pb_sort_compress(Tuple* tuples,
                                     std::span<const nnz_t> offsets,
                                     std::span<const nnz_t> fill, int nbins,
-                                    PbWorkspace* workspace = nullptr);
+                                    PbWorkspace* workspace = nullptr,
+                                    const MaskSpec& mask = {});
 
 extern template SortCompressResult pb_sort_compress<PlusTimes>(
-    Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int, PbWorkspace*);
+    Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int, PbWorkspace*,
+    const MaskSpec&);
 extern template SortCompressResult pb_sort_compress<MinPlus>(
-    Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int, PbWorkspace*);
+    Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int, PbWorkspace*,
+    const MaskSpec&);
 extern template SortCompressResult pb_sort_compress<MaxMin>(
-    Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int, PbWorkspace*);
+    Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int, PbWorkspace*,
+    const MaskSpec&);
 extern template SortCompressResult pb_sort_compress<BoolOrAnd>(
-    Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int, PbWorkspace*);
+    Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int, PbWorkspace*,
+    const MaskSpec&);
 
 /// Narrow-format variant over the SoA stream (pb/tuple.hpp): each bin's
 /// u32 key array is LSD-sorted with its value array as SoA payload
 /// (radix_sort_lsd_kv — the histogram passes read 4 B per tuple, the
 /// scatters move 12), then duplicates merge in place over the key array
-/// with values compacted once.  Same workspace/scratch contract as
-/// pb_sort_compress.
+/// with values compacted once.  Same workspace/scratch and mask contract
+/// as pb_sort_compress; the mask filter decodes narrow keys through
+/// (`layout`, `col_bits`), which must be the stream's own
+/// (SymbolicResult::layout / col_bits) whenever the mask is active.
 template <typename S>
 SortCompressResult pb_sort_compress_narrow(narrow_key_t* keys, value_t* vals,
                                            std::span<const nnz_t> offsets,
                                            std::span<const nnz_t> fill,
                                            int nbins,
-                                           PbWorkspace* workspace = nullptr);
+                                           PbWorkspace* workspace = nullptr,
+                                           const MaskSpec& mask = {},
+                                           const BinLayout* layout = nullptr,
+                                           int col_bits = 0);
 
 extern template SortCompressResult pb_sort_compress_narrow<PlusTimes>(
     narrow_key_t*, value_t*, std::span<const nnz_t>, std::span<const nnz_t>,
-    int, PbWorkspace*);
+    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int);
 extern template SortCompressResult pb_sort_compress_narrow<MinPlus>(
     narrow_key_t*, value_t*, std::span<const nnz_t>, std::span<const nnz_t>,
-    int, PbWorkspace*);
+    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int);
 extern template SortCompressResult pb_sort_compress_narrow<MaxMin>(
     narrow_key_t*, value_t*, std::span<const nnz_t>, std::span<const nnz_t>,
-    int, PbWorkspace*);
+    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int);
 extern template SortCompressResult pb_sort_compress_narrow<BoolOrAnd>(
     narrow_key_t*, value_t*, std::span<const nnz_t>, std::span<const nnz_t>,
-    int, PbWorkspace*);
+    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int);
 
 /// Numeric (+, ×) sort+compress — equivalent to pb_sort_compress<PlusTimes>.
 SortCompressResult pb_sort_compress(Tuple* tuples,

@@ -9,6 +9,7 @@
 #include <omp.h>
 
 #include <algorithm>
+#include <cstdint>
 
 #include "common/aligned_buffer.hpp"
 #include "common/parallel.hpp"
@@ -25,21 +26,26 @@ namespace detail {
 /// `make_scratch(tid, max_bin)` builds one thread's scratch handle (owning
 /// its fallback buffers when there is no workspace); per bin,
 /// `sort_bin(off, len, scratch)` then `compress_bin(off, len) -> merged`
-/// run back to back while the bin is cache-hot, each timed into its
+/// then `filter_bin(bin, off, merged) -> kept` (the fused mask; identity
+/// when unmasked) run back to back while the bin is cache-hot.  Sort is
+/// timed into its own sub-phase; compress and filter share the compress
 /// sub-phase.
-template <typename MakeScratch, typename SortBin, typename CompressBin>
+template <typename MakeScratch, typename SortBin, typename CompressBin,
+          typename FilterBin>
 SortCompressResult sort_compress_driver(std::span<const nnz_t> offsets,
                                         std::span<const nnz_t> fill,
                                         int nbins, PbWorkspace* workspace,
                                         MakeScratch make_scratch,
                                         SortBin sort_bin,
-                                        CompressBin compress_bin) {
+                                        CompressBin compress_bin,
+                                        FilterBin filter_bin) {
   SortCompressResult out;
   out.merged.assign(static_cast<std::size_t>(nbins), 0);
 
   const int nthreads = max_threads();
   std::vector<double> sort_busy(static_cast<std::size_t>(nthreads), 0.0);
   std::vector<double> compress_busy(static_cast<std::size_t>(nthreads), 0.0);
+  std::vector<nnz_t> dropped(static_cast<std::size_t>(nthreads), 0);
 
   // Per-thread scratch for the LSD sort, sized to the largest bin this
   // thread will touch.  Bins are capped at half of L2, so bin + scratch
@@ -68,7 +74,10 @@ SortCompressResult sort_compress_driver(std::span<const nnz_t> offsets,
       sort_busy[tid] += timer.elapsed_s();
 
       timer.reset();
-      out.merged[static_cast<std::size_t>(bin)] = compress_bin(off, len);
+      const nnz_t merged = compress_bin(off, len);
+      const nnz_t kept = filter_bin(bin, off, merged);
+      out.merged[static_cast<std::size_t>(bin)] = kept;
+      dropped[tid] += merged - kept;
       compress_busy[tid] += timer.elapsed_s();
     }
   }
@@ -76,7 +85,39 @@ SortCompressResult sort_compress_driver(std::span<const nnz_t> offsets,
   out.sort_seconds = *std::max_element(sort_busy.begin(), sort_busy.end());
   out.compress_seconds =
       *std::max_element(compress_busy.begin(), compress_busy.end());
+  for (const nnz_t d : dropped) out.mask_dropped += d;
   return out;
+}
+
+/// Compacts a compressed bin in place, keeping the tuples whose (row, col)
+/// membership in the mask's pattern matches the polarity; returns the
+/// survivor count.  Tuples arrive (row, col)-sorted, so each row is one
+/// merge-scan against that sorted mask row — O(merged + touched mask
+/// entries), run while the bin is still cache-hot.
+template <typename RowOf, typename ColOf, typename Move>
+nnz_t mask_filter_bin(nnz_t merged, const mtx::CsrMatrix& mask,
+                      bool complement, RowOf row_of, ColOf col_of,
+                      Move move) {
+  nnz_t kept = 0;
+  index_t cur_row = -1;
+  std::span<const index_t> mcols;
+  std::size_t m = 0;
+  for (nnz_t i = 0; i < merged; ++i) {
+    const index_t r = row_of(i);
+    if (r != cur_row) {
+      cur_row = r;
+      mcols = mask.row_cols(r);
+      m = 0;
+    }
+    const index_t c = col_of(i);
+    while (m < mcols.size() && mcols[m] < c) ++m;
+    const bool in_mask = m < mcols.size() && mcols[m] == c;
+    if (in_mask != complement) {
+      if (kept != i) move(i, kept);
+      ++kept;
+    }
+  }
+  return kept;
 }
 
 }  // namespace detail
@@ -85,10 +126,19 @@ template <typename S>
 SortCompressResult pb_sort_compress(Tuple* tuples,
                                     std::span<const nnz_t> offsets,
                                     std::span<const nnz_t> fill, int nbins,
-                                    PbWorkspace* workspace) {
+                                    PbWorkspace* workspace,
+                                    const MaskSpec& mask) {
+  // The wide sort runs as SoA under the hood: the AoS bin is deinterleaved
+  // into a u64 key + f64 value pair carved from the scratch, sorted with
+  // radix_sort_lsd_kv (histogram and bit-scan passes read the 8 B keys
+  // instead of streaming 16 B records) ping-ponging against the bin's own
+  // storage, then reinterleaved back.  A scratch sized for max_bin tuples
+  // (16 B each) is exactly one key array + one value array of max_bin, so
+  // bin + scratch keep the same L2 footprint as the AoS sort they replace.
   struct Scratch {
     AlignedBuffer<Tuple> local;  // fallback when there is no workspace
     Tuple* data = nullptr;
+    std::size_t max_bin = 0;
   };
   return detail::sort_compress_driver(
       offsets, fill, nbins, workspace,
@@ -100,11 +150,32 @@ SortCompressResult pb_sort_compress(Tuple* tuples,
           s.local.allocate(max_bin);
           s.data = s.local.data();
         }
+        s.max_bin = max_bin;
         return s;
       },
       [&](nnz_t off, std::size_t len, Scratch& scratch) {
-        radix_sort_lsd(tuples + off, len, scratch.data,
-                       [](const Tuple& tp) { return tp.key; });
+        if (len < 2) return;
+        auto* sbase = reinterpret_cast<std::byte*>(scratch.data);
+        auto* ks = reinterpret_cast<std::uint64_t*>(sbase);
+        auto* vs = reinterpret_cast<value_t*>(
+            sbase + scratch.max_bin * sizeof(std::uint64_t));
+        Tuple* t = tuples + off;
+        for (std::size_t i = 0; i < len; ++i) {
+          ks[i] = t[i].key;
+          vs[i] = t[i].val;
+        }
+        // Ping-pong scratch carved from the bin's own storage (16 B/tuple
+        // = one u64 + one f64); the sort's result always lands back in
+        // (ks, vs), from where the bin is reinterleaved.
+        auto* bbase = reinterpret_cast<std::byte*>(t);
+        auto* kb = reinterpret_cast<std::uint64_t*>(bbase);
+        auto* vb =
+            reinterpret_cast<value_t*>(bbase + len * sizeof(std::uint64_t));
+        radix_sort_lsd_kv(ks, vs, len, kb, vb);
+        for (std::size_t i = 0; i < len; ++i) {
+          t[i].key = ks[i];
+          t[i].val = vs[i];
+        }
       },
       // Two-pointer in-place merge (paper Sec. III-E): p1 scans, p2 marks
       // the last surviving tuple.  Duplicates combine with the semiring
@@ -120,6 +191,16 @@ SortCompressResult pb_sort_compress(Tuple* tuples,
           }
         }
         return static_cast<nnz_t>(p2 + 1);
+      },
+      // Fused mask: wide keys carry global (row, col) directly.
+      [&](int /*bin*/, nnz_t off, nnz_t merged) -> nnz_t {
+        if (!mask.active()) return merged;
+        Tuple* t = tuples + off;
+        return detail::mask_filter_bin(
+            merged, *mask.csr, mask.complement,
+            [&](nnz_t i) { return key_row(t[i].key); },
+            [&](nnz_t i) { return key_col(t[i].key); },
+            [&](nnz_t src, nnz_t dst) { t[dst] = t[src]; });
       });
 }
 
@@ -127,7 +208,10 @@ template <typename S>
 SortCompressResult pb_sort_compress_narrow(narrow_key_t* keys, value_t* vals,
                                            std::span<const nnz_t> offsets,
                                            std::span<const nnz_t> fill,
-                                           int nbins, PbWorkspace* workspace) {
+                                           int nbins, PbWorkspace* workspace,
+                                           const MaskSpec& mask,
+                                           const BinLayout* layout,
+                                           int col_bits) {
   struct Scratch {
     AlignedBuffer<narrow_key_t> local_keys;  // fallbacks without a workspace
     AlignedBuffer<value_t> local_vals;
@@ -166,6 +250,24 @@ SortCompressResult pb_sort_compress_narrow(narrow_key_t* keys, value_t* vals,
           }
         }
         return static_cast<nnz_t>(p2 + 1);
+      },
+      // Fused mask: narrow keys decode to global coordinates through the
+      // stream's bin geometry.
+      [&](int bin, nnz_t off, nnz_t merged) -> nnz_t {
+        if (!mask.active()) return merged;
+        narrow_key_t* k = keys + off;
+        value_t* v = vals + off;
+        return detail::mask_filter_bin(
+            merged, *mask.csr, mask.complement,
+            [&](nnz_t i) {
+              return layout->global_row(bin,
+                                        narrow_key_local_row(k[i], col_bits));
+            },
+            [&](nnz_t i) { return narrow_key_col(k[i], col_bits); },
+            [&](nnz_t src, nnz_t dst) {
+              k[dst] = k[src];
+              v[dst] = v[src];
+            });
       });
 }
 

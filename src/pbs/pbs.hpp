@@ -37,6 +37,7 @@
 #include "pb/pb_spgemm.hpp"
 #include "pb/plan.hpp"
 #include "spgemm/masked.hpp"
+#include "spgemm/op.hpp"
 #include "spgemm/plan.hpp"
 #include "spgemm/registry.hpp"
 #include "spgemm/semiring.hpp"

@@ -1,12 +1,56 @@
 // HashSpGEMM — row-wise Gustavson with linear-probing hash accumulation
 // (paper Sec. IV-A, after Nagasaka et al. [12], [27]).
+//
+// Generalized over any semiring via the keyed insert-or-combine step in
+// hash_table.hpp (hash_spgemm_semiring<S>); hash_spgemm is the numeric
+// (+, ×) instantiation, and the masked form fuses an output mask into
+// both the symbolic and numeric row loops (see hash_impl.hpp).
 #include "spgemm/hash_impl.hpp"
 #include "spgemm/hash_table.hpp"
+#include "spgemm/masked.hpp"
+#include "spgemm/op.hpp"
+#include "spgemm/semiring.hpp"
 
 namespace pbs {
 
-mtx::CsrMatrix hash_spgemm(const SpGemmProblem& p) {
-  return detail::hash_spgemm_impl<detail::HashAccumulator>(p);
+template <typename S>
+mtx::CsrMatrix hash_spgemm_semiring(const SpGemmProblem& p) {
+  return detail::hash_spgemm_impl<S, detail::HashAccumulator>(p);
 }
+
+template mtx::CsrMatrix hash_spgemm_semiring<PlusTimes>(const SpGemmProblem&);
+template mtx::CsrMatrix hash_spgemm_semiring<MinPlus>(const SpGemmProblem&);
+template mtx::CsrMatrix hash_spgemm_semiring<MaxMin>(const SpGemmProblem&);
+template mtx::CsrMatrix hash_spgemm_semiring<BoolOrAnd>(const SpGemmProblem&);
+// The runtime-semiring bridge (spgemm/op.hpp).
+template mtx::CsrMatrix hash_spgemm_semiring<DynSemiring>(const SpGemmProblem&);
+
+mtx::CsrMatrix hash_spgemm(const SpGemmProblem& p) {
+  return hash_spgemm_semiring<PlusTimes>(p);
+}
+
+template <typename S>
+mtx::CsrMatrix hash_masked_semiring(const SpGemmProblem& p,
+                                    const mtx::CsrMatrix& mask,
+                                    bool complement) {
+  detail::check_mask_shape("hash_masked_semiring", p, mask);
+  return detail::hash_spgemm_impl<S, detail::HashAccumulator>(p, &mask,
+                                                              complement);
+}
+
+template mtx::CsrMatrix hash_masked_semiring<PlusTimes>(const SpGemmProblem&,
+                                                        const mtx::CsrMatrix&,
+                                                        bool);
+template mtx::CsrMatrix hash_masked_semiring<MinPlus>(const SpGemmProblem&,
+                                                      const mtx::CsrMatrix&,
+                                                      bool);
+template mtx::CsrMatrix hash_masked_semiring<MaxMin>(const SpGemmProblem&,
+                                                     const mtx::CsrMatrix&,
+                                                     bool);
+template mtx::CsrMatrix hash_masked_semiring<BoolOrAnd>(const SpGemmProblem&,
+                                                        const mtx::CsrMatrix&,
+                                                        bool);
+template mtx::CsrMatrix hash_masked_semiring<DynSemiring>(
+    const SpGemmProblem&, const mtx::CsrMatrix&, bool);
 
 }  // namespace pbs

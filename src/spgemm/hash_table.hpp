@@ -43,11 +43,16 @@ class HashAccumulator {
     occupied_.clear();
   }
 
+  /// Keyed insert-or-combine: a fresh slot stores v as-is (the kernels'
+  /// first-contribution rule — S::zero() never enters the accumulation), a
+  /// hit combines with the semiring add.  S = PlusTimes reproduces the
+  /// original `vals_[slot] += v` byte for byte.
+  template <typename S>
   void accumulate(index_t col, value_t v) {
     std::uint32_t slot = hash_col(col) & mask_;
     for (;;) {
       if (keys_[slot] == col) {
-        vals_[slot] += v;
+        vals_[slot] = S::add(vals_[slot], v);
         return;
       }
       if (keys_[slot] == kEmpty) {
@@ -108,6 +113,8 @@ class GroupedAccumulator {
     occupied_.clear();
   }
 
+  /// Same keyed insert-or-combine contract as HashAccumulator::accumulate.
+  template <typename S>
   void accumulate(index_t col, value_t v) {
     std::uint32_t g = hash_col(col) & group_mask_;
     for (;;) {
@@ -115,7 +122,7 @@ class GroupedAccumulator {
       // 8-wide compare; with -march=native this is one vector compare.
       for (std::uint32_t lane = 0; lane < kGroup; ++lane) {
         if (keys_[base + lane] == col) {
-          vals_[base + lane] += v;
+          vals_[base + lane] = S::add(vals_[base + lane], v);
           return;
         }
       }

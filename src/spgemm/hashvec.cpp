@@ -5,11 +5,12 @@
 // auto-vectorizer produces the same wide compare (see hash_table.hpp).
 #include "spgemm/hash_impl.hpp"
 #include "spgemm/hash_table.hpp"
+#include "spgemm/semiring_ops.hpp"
 
 namespace pbs {
 
 mtx::CsrMatrix hashvec_spgemm(const SpGemmProblem& p) {
-  return detail::hash_spgemm_impl<detail::GroupedAccumulator>(p);
+  return detail::hash_spgemm_impl<PlusTimes, detail::GroupedAccumulator>(p);
 }
 
 }  // namespace pbs

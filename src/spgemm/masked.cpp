@@ -8,11 +8,27 @@
 
 #include "common/parallel.hpp"
 #include "spgemm/assemble.hpp"
+#include "spgemm/op.hpp"
+#include "spgemm/plan.hpp"
 
 namespace pbs {
 
-mtx::CsrMatrix spgemm_masked(const mtx::CsrMatrix& a, const mtx::CsrMatrix& b,
-                             const mtx::CsrMatrix& mask, bool complement) {
+namespace detail {
+
+void check_mask_shape(const char* who, const SpGemmProblem& p,
+                      const mtx::CsrMatrix& mask) {
+  if (mask.nrows != p.a_csr.nrows || mask.ncols != p.b_csr.ncols) {
+    throw std::invalid_argument(std::string(who) + ": mask shape mismatch");
+  }
+}
+
+}  // namespace detail
+
+template <typename S>
+mtx::CsrMatrix spgemm_masked_semiring(const mtx::CsrMatrix& a,
+                                      const mtx::CsrMatrix& b,
+                                      const mtx::CsrMatrix& mask,
+                                      bool complement) {
   if (a.ncols != b.nrows) {
     throw std::invalid_argument("spgemm_masked: inner dimensions differ");
   }
@@ -24,7 +40,8 @@ mtx::CsrMatrix spgemm_masked(const mtx::CsrMatrix& a, const mtx::CsrMatrix& b,
   // Gustavson accumulation, dropping every product whose column is not
   // stamped.  Work is O(flop) probes but only O(nnz(mask(r,:))) accumulator
   // slots.  A second stamp array distinguishes "allowed" from "allowed and
-  // already accumulated" so exact cancellation to zero stays structural.
+  // already accumulated" so exact cancellation to S::zero() stays
+  // structural.
   struct Scratch {
     std::vector<value_t> dense;
     std::vector<index_t> allowed;  // allowed[c] == r  =>  mask has (r, c)
@@ -37,7 +54,7 @@ mtx::CsrMatrix spgemm_masked(const mtx::CsrMatrix& a, const mtx::CsrMatrix& b,
       a.nrows, b.ncols, [&](index_t r, detail::BlockBuffer& buf) {
         Scratch& s = scratch[static_cast<std::size_t>(omp_get_thread_num())];
         if (s.dense.empty()) {
-          s.dense.assign(static_cast<std::size_t>(b.ncols), 0.0);
+          s.dense.assign(static_cast<std::size_t>(b.ncols), S::zero());
           s.allowed.assign(static_cast<std::size_t>(b.ncols), -1);
           s.seen.assign(static_cast<std::size_t>(b.ncols), -1);
         }
@@ -53,13 +70,13 @@ mtx::CsrMatrix spgemm_masked(const mtx::CsrMatrix& a, const mtx::CsrMatrix& b,
             const index_t c = b.colids[j];
             // Plain mask keeps stamped columns; complemented drops them.
             if ((s.allowed[c] == r) == complement) continue;
-            const value_t product = av * b.vals[j];
+            const value_t product = S::mul(av, b.vals[j]);
             if (s.seen[c] != r) {
               s.seen[c] = r;
               s.dense[c] = product;
               s.hit.push_back(c);
             } else {
-              s.dense[c] += product;
+              s.dense[c] = S::add(s.dense[c], product);
             }
           }
         }
@@ -70,6 +87,30 @@ mtx::CsrMatrix spgemm_masked(const mtx::CsrMatrix& a, const mtx::CsrMatrix& b,
           buf.vals.push_back(s.dense[c]);
         }
       });
+}
+
+template mtx::CsrMatrix spgemm_masked_semiring<PlusTimes>(
+    const mtx::CsrMatrix&, const mtx::CsrMatrix&, const mtx::CsrMatrix&, bool);
+template mtx::CsrMatrix spgemm_masked_semiring<MinPlus>(
+    const mtx::CsrMatrix&, const mtx::CsrMatrix&, const mtx::CsrMatrix&, bool);
+template mtx::CsrMatrix spgemm_masked_semiring<MaxMin>(
+    const mtx::CsrMatrix&, const mtx::CsrMatrix&, const mtx::CsrMatrix&, bool);
+template mtx::CsrMatrix spgemm_masked_semiring<BoolOrAnd>(
+    const mtx::CsrMatrix&, const mtx::CsrMatrix&, const mtx::CsrMatrix&, bool);
+// The runtime-semiring bridge (spgemm/op.hpp).
+template mtx::CsrMatrix spgemm_masked_semiring<DynSemiring>(
+    const mtx::CsrMatrix&, const mtx::CsrMatrix&, const mtx::CsrMatrix&, bool);
+
+mtx::CsrMatrix spgemm_masked(const mtx::CsrMatrix& a, const mtx::CsrMatrix& b,
+                             const mtx::CsrMatrix& mask, bool complement) {
+  // Shim over the descriptor path: same SPA kernel the pre-descriptor
+  // implementation ran, now reached through SpGemmOp.
+  const SpGemmProblem p = SpGemmProblem::multiply(a, b);
+  SpGemmOp op;
+  op.algo = "spa";
+  op.mask = &mask;
+  op.complement = complement;
+  return make_plan(p, op).execute(p);
 }
 
 }  // namespace pbs

@@ -1,0 +1,133 @@
+#include "spgemm/op.hpp"
+
+#include <list>
+#include <mutex>
+#include <stdexcept>
+
+namespace pbs {
+
+namespace detail {
+const RuntimeSemiring* g_active_semiring = nullptr;
+}  // namespace detail
+
+// std::list gives registered semirings stable addresses for the process
+// lifetime (find/at hand out pointers and references).
+struct SemiringRegistry::Impl {
+  mutable std::mutex mu;
+  std::list<RuntimeSemiring> semirings;
+};
+
+SemiringRegistry::SemiringRegistry() : impl_(new Impl) {
+  // Seed the built-in four.  builtin=true routes dispatch to the compiled
+  // template instantiations; the closures make generic (non-dispatching)
+  // code work uniformly.
+  auto seed = [&]<typename S>() {
+    RuntimeSemiring rs;
+    rs.name = S::name;
+    rs.zero = S::zero();
+    rs.add = [](value_t a, value_t b) { return S::add(a, b); };
+    rs.mul = [](value_t a, value_t b) { return S::mul(a, b); };
+    rs.builtin = true;
+    impl_->semirings.push_back(std::move(rs));
+  };
+  seed.operator()<PlusTimes>();
+  seed.operator()<MinPlus>();
+  seed.operator()<MaxMin>();
+  seed.operator()<BoolOrAnd>();
+}
+
+SemiringRegistry& SemiringRegistry::instance() {
+  static SemiringRegistry registry;
+  return registry;
+}
+
+void SemiringRegistry::register_semiring(RuntimeSemiring s) {
+  if (s.name.empty()) {
+    throw std::invalid_argument("register_semiring: name must not be empty");
+  }
+  if (!s.add || !s.mul) {
+    throw std::invalid_argument("register_semiring: semiring '" + s.name +
+                                "' needs both add and mul closures");
+  }
+  s.builtin = false;  // only the registry's own seeds may claim the fast path
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (const RuntimeSemiring& existing : impl_->semirings) {
+    if (existing.name == s.name) {
+      throw std::invalid_argument("register_semiring: semiring '" + s.name +
+                                  "' is already registered");
+    }
+  }
+  impl_->semirings.push_back(std::move(s));
+}
+
+const RuntimeSemiring* SemiringRegistry::find(
+    const std::string& name) const noexcept {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (const RuntimeSemiring& s : impl_->semirings) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const RuntimeSemiring& SemiringRegistry::at(const std::string& name) const {
+  if (const RuntimeSemiring* s = find(name)) return *s;
+  std::string valid;
+  for (const std::string& n : names()) valid += n + " ";
+  throw std::invalid_argument("unknown semiring '" + name +
+                              "'; registered: " + valid);
+}
+
+std::vector<std::string> SemiringRegistry::names() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<std::string> out;
+  out.reserve(impl_->semirings.size());
+  for (const RuntimeSemiring& s : impl_->semirings) out.push_back(s.name);
+  return out;
+}
+
+bool is_registered_semiring(const std::string& name) {
+  return SemiringRegistry::instance().contains(name);
+}
+
+mtx::CsrMatrix semiring_ewise_add(const std::string& semiring,
+                                  const mtx::CsrMatrix& a,
+                                  const mtx::CsrMatrix& b) {
+  if (a.nrows != b.nrows || a.ncols != b.ncols) {
+    throw std::invalid_argument("semiring_ewise_add: shape mismatch");
+  }
+  return dispatch_semiring_any(semiring, [&]<typename S>() {
+    mtx::CsrMatrix out(a.nrows, a.ncols);
+    out.colids.reserve(static_cast<std::size_t>(a.nnz() + b.nnz()));
+    out.vals.reserve(static_cast<std::size_t>(a.nnz() + b.nnz()));
+    for (index_t r = 0; r < a.nrows; ++r) {
+      // Two-pointer union merge of the sorted rows: both-present positions
+      // combine with S::add, single-present positions copy through (no
+      // identity injected, matching the kernels' first-contribution rule).
+      nnz_t i = a.rowptr[r];
+      nnz_t j = b.rowptr[r];
+      const nnz_t ia = a.rowptr[static_cast<std::size_t>(r) + 1];
+      const nnz_t jb = b.rowptr[static_cast<std::size_t>(r) + 1];
+      while (i < ia || j < jb) {
+        if (j >= jb || (i < ia && a.colids[i] < b.colids[j])) {
+          out.colids.push_back(a.colids[i]);
+          out.vals.push_back(a.vals[i]);
+          ++i;
+        } else if (i >= ia || b.colids[j] < a.colids[i]) {
+          out.colids.push_back(b.colids[j]);
+          out.vals.push_back(b.vals[j]);
+          ++j;
+        } else {
+          out.colids.push_back(a.colids[i]);
+          out.vals.push_back(S::add(a.vals[i], b.vals[j]));
+          ++i;
+          ++j;
+        }
+      }
+      out.rowptr[static_cast<std::size_t>(r) + 1] =
+          static_cast<nnz_t>(out.colids.size());
+    }
+    return out;
+  });
+}
+
+}  // namespace pbs

@@ -1,5 +1,7 @@
 #include "spgemm/plan.hpp"
 
+#include <stdexcept>
+
 #include "common/timer.hpp"
 
 namespace pbs {
@@ -7,6 +9,12 @@ namespace pbs {
 void SpGemmPlan::analyze(const SpGemmProblem& p,
                          const pb::StructureFingerprint& fp) {
   Timer timer;
+
+  if (opts_.mask != nullptr && (opts_.mask->nrows != p.a_csr.nrows ||
+                                opts_.mask->ncols != p.b_csr.ncols)) {
+    throw std::invalid_argument(
+        "make_plan: mask shape does not match the product");
+  }
 
   // Run everything that can throw into locals first; commit member state
   // only once analysis has fully succeeded.  Otherwise an exception
@@ -36,13 +44,33 @@ void SpGemmPlan::analyze(const SpGemmProblem& p,
     m.pb_tuple_bytes = static_cast<double>(pb::bytes_per_tuple(
         pb::predict_tuple_format(p.a_csc.nrows, p.b_csr.ncols, fp.flop,
                                  opts_.pb)));
-    choice = model::select_algorithm(cf, fp.flop, hash_available, m);
+    // The mask-density term: a plain mask caps the output at nnz(mask)
+    // and lets the Gustavson row loops skip every wedge whose output row
+    // has no mask entry (the masked wedge count, computed from the row
+    // flops the selection pass already owns).
+    model::MaskModel mm;
+    if (opts_.mask != nullptr) {
+      mm.present = true;
+      mm.complement = opts_.complement;
+      mm.mask_nnz = opts_.mask->nnz();
+      if (!opts_.complement && fp.flop > 0) {
+        nnz_t covered = 0;
+        for (index_t r = 0; r < p.a_csr.nrows; ++r) {
+          if (opts_.mask->row_nnz(r) > 0) covered += row_flops[r];
+        }
+        mm.coverage =
+            static_cast<double>(covered) / static_cast<double>(fp.flop);
+      }
+    }
+    choice = model::select_algorithm(cf, fp.flop, hash_available, m, mm);
     resolved = choice.algo;
   }
 
   // Resolve through the registry even for pb: unknown names and
-  // unsupported (algo, semiring) pairs fail here, at plan time.
-  SpGemmFn fn = semiring_algorithm(resolved, opts_.semiring);
+  // unsupported (algo, semiring) pairs fail here, at plan time.  With a
+  // mask the resolved kernel is the fused masked form.
+  SpGemmFn fn = masked_semiring_algorithm(resolved, opts_.semiring,
+                                          opts_.mask, opts_.complement);
   const bool use_pb = resolved == "pb";
   pb::PbPlan pb_plan;
   if (use_pb) {
@@ -62,6 +90,8 @@ void SpGemmPlan::analyze(const SpGemmProblem& p,
   pb_plan_ = std::move(pb_plan);
   tm_.requested_algo = opts_.algo;
   tm_.semiring = opts_.semiring;
+  tm_.masked = opts_.mask != nullptr;
+  tm_.complement = opts_.complement;
   tm_.algo = std::move(resolved);
   tm_.flop = fp.flop;
   tm_.predicted_mflops = tm_.algo == "pb" ? choice.pb_mflops
@@ -71,7 +101,7 @@ void SpGemmPlan::analyze(const SpGemmProblem& p,
   tm_.plan_seconds = timer.elapsed_s();
 }
 
-mtx::CsrMatrix SpGemmPlan::execute(const SpGemmProblem& p) {
+mtx::CsrMatrix SpGemmPlan::execute_product(const SpGemmProblem& p) {
   ++tm_.executes;
 
   // A fixed baseline algorithm caches nothing beyond kernel resolution:
@@ -95,11 +125,13 @@ mtx::CsrMatrix SpGemmPlan::execute(const SpGemmProblem& p) {
   mtx::CsrMatrix c;
   if (use_pb_) {
     // Execute through the captured symbolic plan and pooled workspace,
-    // keeping the per-phase telemetry the type-erased registry fn hides.
-    // The fingerprint was just verified above, so skip pb_execute's check.
+    // keeping the per-phase telemetry the type-erased registry fn hides;
+    // the op's mask is fused into the compress stage.  The fingerprint was
+    // just verified above, so skip pb_execute's check.
+    const pb::MaskSpec mask{opts_.mask, opts_.complement};
     pb::PbResult r =
         pb::pb_execute_named(opts_.semiring, p.a_csc, p.b_csr, pb_plan_, ws_,
-                             /*check_fingerprint=*/false);
+                             /*check_fingerprint=*/false, mask);
     pb_stats_ = r.stats;
     c = std::move(r.c);
   } else {
@@ -111,9 +143,23 @@ mtx::CsrMatrix SpGemmPlan::execute(const SpGemmProblem& p) {
   return c;
 }
 
-SpGemmPlan make_plan(const SpGemmProblem& p, PlanOptions opts) {
+mtx::CsrMatrix SpGemmPlan::execute(const SpGemmProblem& p) {
+  if (opts_.accumulate) {
+    throw std::logic_error(
+        "SpGemmPlan::execute: the op declared accumulate — pass the matrix "
+        "to accumulate into (execute(problem, c))");
+  }
+  return execute_product(p);
+}
+
+mtx::CsrMatrix SpGemmPlan::execute(const SpGemmProblem& p,
+                                   const mtx::CsrMatrix& c) {
+  return semiring_ewise_add(opts_.semiring, c, execute_product(p));
+}
+
+SpGemmPlan make_plan(const SpGemmProblem& p, SpGemmOp op) {
   SpGemmPlan plan;
-  plan.opts_ = std::move(opts);
+  plan.opts_ = std::move(op);
   plan.analyze(p, pb::StructureFingerprint::of(p.a_csc, p.b_csr));
   return plan;
 }

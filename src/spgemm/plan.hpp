@@ -1,18 +1,25 @@
 // SpGemmPlan — reusable, algorithm-selecting multiplication plans
-// (FFTW-style plan/execute over the whole algorithm registry).
+// (FFTW-style plan/execute over the whole algorithm registry), driven by
+// the typed operation descriptor SpGemmOp (spgemm/op.hpp):
 //
-//   PlanOptions opts;                    // algo = "auto" by default
-//   opts.semiring = "min_plus";
-//   SpGemmPlan plan = make_plan(problem, opts);
+//   SpGemmOp op;                         // algo = "auto" by default
+//   op.semiring = "min_plus";            // built-in or runtime-registered
+//   op.mask = &m; op.complement = false; // optional fused output mask
+//   SpGemmPlan plan = make_plan(problem, op);
 //   for (...) c = plan.execute(problem);
+//   // accumulating descriptor: op.accumulate = true, then
+//   //   c = plan.execute(problem, c);   // c ⊞= A ⊗ B (semiring add)
 //
 // make_plan analyzes the problem once — flop count, estimated compression
-// factor, roofline-guided algorithm selection (model/selection.hpp), and,
-// when the choice lands on the PB pipeline, the full symbolic bin layout
-// (pb/plan.hpp) — and returns an executable plan with a pooled workspace.
-// execute() runs only the numeric stages: for PB that is
-// expand → sort/compress → convert against the captured layout with zero
-// analysis and, at steady state, zero allocation.
+// factor, roofline-guided algorithm selection (model/selection.hpp, with a
+// mask-density term when the op carries a mask), and, when the choice
+// lands on the PB pipeline, the full symbolic bin layout (pb/plan.hpp) —
+// and returns an executable plan with a pooled workspace.  execute() runs
+// only the numeric stages: for PB that is expand → sort/compress → convert
+// against the captured layout with zero analysis and, at steady state,
+// zero allocation; a mask is fused into PB's compress stage (dropped
+// tuples are counted in last_pb_stats().mask_dropped) and into the
+// heap/hash/spa row loops.
 //
 // Invalidation is automatic and cheap: every execute fingerprints the
 // operands (dims + nnz + flop, see pb::StructureFingerprint for the exact
@@ -20,9 +27,14 @@
 // algorithm choice is re-derived, so a plan tracking an iterative
 // application (MCL, BFS frontiers, AMG levels) follows the problem as its
 // structure drifts, while repeated same-structure traffic pays analysis
-// exactly once.  telemetry() reports executes / replans / analysis reuses
-// and the selection rationale; workspace_stats() exposes the allocator's
-// reuse counters.
+// exactly once.  The mask's *pattern* is not fingerprinted: it may change
+// freely between executions (only its shape is pinned at plan time).
+// telemetry() reports executes / replans / analysis reuses and the
+// selection rationale; workspace_stats() exposes the allocator's reuse
+// counters.
+//
+// PlanOptions is the pre-descriptor name of SpGemmOp and survives as an
+// alias, so existing callers compile unchanged.
 #pragma once
 
 #include <cstdint>
@@ -30,28 +42,23 @@
 
 #include "model/selection.hpp"
 #include "pb/plan.hpp"
+#include "spgemm/op.hpp"
 #include "spgemm/registry.hpp"
 
 namespace pbs {
 
-struct PlanOptions {
-  /// "auto" (roofline-guided selection among pb / hash / heap) or any
-  /// registry algorithm name; unknown names and unsupported
-  /// (algo, semiring) pairs throw at plan time, never at execute time.
-  std::string algo = "auto";
-  std::string semiring = PlusTimes::name;
-  /// Configuration for the PB pipeline when it is (or may be) chosen.
-  pb::PbConfig pb;
-  /// Selection tunables (β, derating efficiencies, small-flop cutoff).
-  model::SelectionModel model;
-};
+/// Legacy name of the operation descriptor (shim).
+using PlanOptions = SpGemmOp;
 
 struct PlanTelemetry {
-  std::string requested_algo;  ///< what PlanOptions asked for
+  std::string requested_algo;  ///< what the SpGemmOp asked for
   std::string algo;            ///< the concrete algorithm executing
   std::string semiring;
+  bool masked = false;      ///< the op carries a fused output mask
+  bool complement = false;  ///< ... with complemented polarity
   /// The roofline decision (populated when requested_algo == "auto");
-  /// choice.rationale is the human-readable explanation.
+  /// choice.rationale is the human-readable explanation (including the
+  /// mask-density term when masked).
   model::AlgoChoice choice;
   nnz_t flop = 0;           ///< flop(A·B) of the planned structure
   double plan_seconds = 0;  ///< analysis cost of the most recent (re)plan
@@ -74,19 +81,29 @@ struct PlanTelemetry {
 
 class SpGemmPlan {
  public:
-  /// Multiplies p over the planned (algorithm, semiring).  Operands whose
-  /// structure fingerprint differs from the plan's trigger a transparent
-  /// replan (counted in telemetry().replans); matching operands skip
-  /// analysis entirely.
+  /// Multiplies p over the planned op.  Operands whose structure
+  /// fingerprint differs from the plan's trigger a transparent replan
+  /// (counted in telemetry().replans); matching operands skip analysis
+  /// entirely.  Throws std::logic_error when the op declared
+  /// accumulate — use the two-argument overload.
   mtx::CsrMatrix execute(const SpGemmProblem& p);
+
+  /// Accumulating execute: returns c ⊞ (A ⊗ B under the op's mask), the
+  /// union-pattern combine with the op semiring's add.  Usable on any
+  /// plan; the one the descriptor's accumulate flag promises.
+  mtx::CsrMatrix execute(const SpGemmProblem& p, const mtx::CsrMatrix& c);
 
   /// The concrete algorithm currently selected ("pb", "hash", ...).
   [[nodiscard]] const std::string& algo() const { return tm_.algo; }
 
+  /// The descriptor this plan was built from (mask pointer included).
+  [[nodiscard]] const SpGemmOp& op() const { return opts_; }
+
   [[nodiscard]] const PlanTelemetry& telemetry() const { return tm_; }
 
   /// Per-phase PB telemetry of the most recent execute (valid when
-  /// algo() == "pb"; its symbolic phase is zero on reused executions).
+  /// algo() == "pb"; its symbolic phase is zero on reused executions, and
+  /// mask_dropped counts the tuples the fused mask removed at compress).
   [[nodiscard]] const pb::PbTelemetry& last_pb_stats() const {
     return pb_stats_;
   }
@@ -98,16 +115,19 @@ class SpGemmPlan {
   }
 
  private:
-  friend SpGemmPlan make_plan(const SpGemmProblem& p, PlanOptions opts);
+  friend SpGemmPlan make_plan(const SpGemmProblem& p, SpGemmOp op);
   SpGemmPlan() = default;
 
-  /// Full analysis: selection (for "auto"), symbolic plan (for pb),
-  /// kernel resolution (otherwise).  `fp` is p's already-computed
-  /// fingerprint (callers always have it; recomputing costs an O(ncols)
-  /// parallel flop pass).
+  /// Full analysis: selection (for "auto", mask-aware), symbolic plan
+  /// (for pb), kernel resolution (otherwise).  `fp` is p's
+  /// already-computed fingerprint (callers always have it; recomputing
+  /// costs an O(ncols) parallel flop pass).
   void analyze(const SpGemmProblem& p, const pb::StructureFingerprint& fp);
 
-  PlanOptions opts_;
+  /// The common body of both execute overloads (the masked product).
+  mtx::CsrMatrix execute_product(const SpGemmProblem& p);
+
+  SpGemmOp opts_;
   PlanTelemetry tm_;
   pb::StructureFingerprint fp_;
   bool use_pb_ = false;
@@ -118,8 +138,9 @@ class SpGemmPlan {
 };
 
 /// Analyzes `p` and returns an executable plan.  Throws
-/// std::invalid_argument for unknown algorithms/semirings or unsupported
-/// pairs (same contract as semiring_algorithm).
-SpGemmPlan make_plan(const SpGemmProblem& p, PlanOptions opts = {});
+/// std::invalid_argument for unknown algorithms/semirings, unsupported
+/// pairs (same contract as semiring_algorithm), or a mask whose shape does
+/// not match the product.
+SpGemmPlan make_plan(const SpGemmProblem& p, SpGemmOp op = {});
 
 }  // namespace pbs

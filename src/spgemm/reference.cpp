@@ -1,14 +1,21 @@
 #include <map>
 
 #include "matrix/convert.hpp"
+#include "spgemm/op.hpp"
+#include "spgemm/semiring.hpp"
 #include "spgemm/spgemm.hpp"
 
 namespace pbs {
 
 // Gold standard: serial row-wise Gustavson with an ordered map accumulator.
 // The ordered map gives sorted columns for free and a deterministic
-// left-to-right accumulation order.
-mtx::CsrMatrix reference_spgemm(const SpGemmProblem& p) {
+// left-to-right accumulation order.  Semiring-generalized so non-numeric
+// semirings validate directly against it; the first contribution to a
+// position is stored as-is (never combined with S::zero()), matching every
+// kernel's first-contribution rule, and positions whose values combine to
+// S::zero() stay structurally present.
+template <typename S>
+mtx::CsrMatrix reference_spgemm_semiring(const SpGemmProblem& p) {
   const mtx::CsrMatrix& a = p.a_csr;
   const mtx::CsrMatrix& b = p.b_csr;
 
@@ -20,7 +27,9 @@ mtx::CsrMatrix reference_spgemm(const SpGemmProblem& p) {
       const index_t k = a.colids[i];
       const value_t av = a.vals[i];
       for (nnz_t j = b.rowptr[k]; j < b.rowptr[static_cast<std::size_t>(k) + 1]; ++j) {
-        acc[b.colids[j]] += av * b.vals[j];
+        const value_t product = S::mul(av, b.vals[j]);
+        const auto [it, inserted] = acc.try_emplace(b.colids[j], product);
+        if (!inserted) it->second = S::add(it->second, product);
       }
     }
     out.rowptr[static_cast<std::size_t>(r) + 1] =
@@ -31,6 +40,22 @@ mtx::CsrMatrix reference_spgemm(const SpGemmProblem& p) {
     }
   }
   return out;
+}
+
+template mtx::CsrMatrix reference_spgemm_semiring<PlusTimes>(
+    const SpGemmProblem&);
+template mtx::CsrMatrix reference_spgemm_semiring<MinPlus>(
+    const SpGemmProblem&);
+template mtx::CsrMatrix reference_spgemm_semiring<MaxMin>(
+    const SpGemmProblem&);
+template mtx::CsrMatrix reference_spgemm_semiring<BoolOrAnd>(
+    const SpGemmProblem&);
+// The runtime-semiring bridge (spgemm/op.hpp).
+template mtx::CsrMatrix reference_spgemm_semiring<DynSemiring>(
+    const SpGemmProblem&);
+
+mtx::CsrMatrix reference_spgemm(const SpGemmProblem& p) {
+  return reference_spgemm_semiring<PlusTimes>(p);
 }
 
 SpGemmProblem SpGemmProblem::multiply(const mtx::CsrMatrix& a,

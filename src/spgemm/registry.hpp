@@ -2,10 +2,11 @@
 // CLI, with unified (algorithm × semiring) dispatch.
 //
 // Every algorithm is registered with the set of semirings it supports.
-// The bandwidth-optimized PB pipeline and the cheaply generalized
-// Gustavson baselines (heap, spa) support all built-in semirings; the
-// remaining baselines are numeric (+, ×) only and say so in their lookup
-// error rather than silently falling back.
+// The bandwidth-optimized PB pipeline and the generalized Gustavson
+// kernels (heap, hash, spa, reference) support every *registered* semiring
+// — the built-in four plus anything added through SemiringRegistry
+// (spgemm/op.hpp) at runtime; the remaining baselines are numeric (+, ×)
+// only and say so in their lookup error rather than silently falling back.
 #pragma once
 
 #include <string>
@@ -24,9 +25,14 @@ struct AlgoInfo {
   /// False for algorithms that are quadratic-ish and only suitable for
   /// validation-scale inputs (reference, outer_heap).
   bool scales_to_large = true;
-  /// Names of the semirings this algorithm supports (always contains
-  /// "plus_times"; see semiring_algorithm for the generalized kernels).
+  /// Names of the built-in semirings this algorithm supports (always
+  /// contains "plus_times"; see semiring_algorithm for the generalized
+  /// kernels).
   std::vector<std::string> semirings = {PlusTimes::name};
+  /// True when the algorithm's kernel is semiring-templated: it then also
+  /// accepts every semiring registered at runtime (SemiringRegistry),
+  /// executed through the DynSemiring bridge.
+  bool generalized = false;
 
   [[nodiscard]] bool supports_semiring(const std::string& semiring) const;
 };
@@ -44,16 +50,30 @@ const AlgoInfo& algorithm(const std::string& name);
 const AlgoInfo* find_algorithm(const std::string& name) noexcept;
 
 /// Unified (algorithm × semiring) lookup: returns the kernel computing
-/// A ⊗ B with `algo` over `semiring`.  Throws std::invalid_argument
-/// listing every valid (algorithm, semiring) combination when the
-/// algorithm is unknown, the semiring is unknown, or the pair is
-/// unsupported — callers never silently fall back to a different
-/// algorithm or semiring.
+/// A ⊗ B with `algo` over `semiring` (built-in or runtime-registered).
+/// Throws std::invalid_argument listing every valid
+/// (algorithm, semiring) combination when the algorithm is unknown, the
+/// semiring is unknown, or the pair is unsupported — callers never
+/// silently fall back to a different algorithm or semiring.  This is the
+/// kernel-resolution layer the descriptor path (make_plan + SpGemmOp)
+/// runs on; calling it directly is the non-planning shim.
 SpGemmFn semiring_algorithm(const std::string& algo,
                             const std::string& semiring);
 
+/// Masked counterpart: the returned kernel computes (A ⊗ B) restricted to
+/// `mask`'s pattern (or its complement) with the mask fused into the
+/// algorithm — the Gustavson row loops for heap/hash/spa, the compress
+/// stage for pb, and a multiply-then-filter fallback for the remaining
+/// baselines (still exact, just unfused).  `mask` is captured by pointer
+/// and must outlive the returned kernel; its shape is validated per call.
+SpGemmFn masked_semiring_algorithm(const std::string& algo,
+                                   const std::string& semiring,
+                                   const mtx::CsrMatrix* mask,
+                                   bool complement);
+
 /// Human-readable support matrix, one "algo: semiring..." line per
-/// algorithm (used by CLI --help and lookup errors).
+/// algorithm (used by CLI --help and lookup errors).  Runtime-registered
+/// semirings show up on every generalized algorithm's line.
 std::string algorithm_semiring_matrix();
 
 /// The four algorithms the paper's figures compare.
@@ -63,12 +83,15 @@ std::vector<AlgoInfo> paper_comparison_set();
 //
 // semiring_algorithm resolves one call; make_plan resolves a *traffic
 // pattern*: it analyzes the problem once (flop, estimated compression
-// factor, roofline-guided selection when algo is "auto", PB symbolic bin
-// layout when the choice lands on pb) and returns a reusable SpGemmPlan
-// whose execute() skips re-analysis and re-allocation while the operand
-// structure is unchanged.  Full API and defaults live in spgemm/plan.hpp.
+// factor, roofline-guided selection when the op's algo is "auto" — mask-
+// density-aware when the op carries a mask — PB symbolic bin layout when
+// the choice lands on pb) and returns a reusable SpGemmPlan whose
+// execute() skips re-analysis and re-allocation while the operand
+// structure is unchanged.  The descriptor SpGemmOp (spgemm/op.hpp)
+// composes semiring × mask × accumulation × algo hint; full API and
+// defaults live in spgemm/plan.hpp.
 class SpGemmPlan;
-struct PlanOptions;
-SpGemmPlan make_plan(const SpGemmProblem& p, PlanOptions opts);
+struct SpGemmOp;
+SpGemmPlan make_plan(const SpGemmProblem& p, SpGemmOp op);
 
 }  // namespace pbs

@@ -8,6 +8,7 @@
 
 #include "common/parallel.hpp"
 #include "spgemm/assemble.hpp"
+#include "spgemm/op.hpp"
 
 namespace pbs {
 
@@ -68,11 +69,14 @@ template mtx::CsrMatrix spgemm_semiring<MaxMin>(const mtx::CsrMatrix&,
                                                 const mtx::CsrMatrix&);
 template mtx::CsrMatrix spgemm_semiring<BoolOrAnd>(const mtx::CsrMatrix&,
                                                    const mtx::CsrMatrix&);
+// The runtime-semiring bridge (spgemm/op.hpp).
+template mtx::CsrMatrix spgemm_semiring<DynSemiring>(const mtx::CsrMatrix&,
+                                                     const mtx::CsrMatrix&);
 
 mtx::CsrMatrix spgemm_semiring_named(const std::string& semiring,
                                      const mtx::CsrMatrix& a,
                                      const mtx::CsrMatrix& b) {
-  return dispatch_semiring(semiring, [&]<typename S>() {
+  return dispatch_semiring_any(semiring, [&]<typename S>() {
     return spgemm_semiring<S>(a, b);
   });
 }

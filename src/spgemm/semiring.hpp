@@ -4,14 +4,19 @@
 // are shared with the propagation-blocking pipeline in pb/); this header
 // declares the semiring-templated *algorithms* of the Gustavson family:
 //
-//   spgemm_semiring<S>       — row-wise dense accumulator (generalized SPA);
-//                              the validation fallback every other
-//                              generalized kernel is tested against
-//   heap_spgemm_semiring<S>  — row-wise k-way heap merge (generalized Heap)
+//   spgemm_semiring<S>          — row-wise dense accumulator (generalized
+//                                 SPA); the fast validation fallback
+//   heap_spgemm_semiring<S>     — row-wise k-way heap merge
+//   hash_spgemm_semiring<S>     — two-phase hash accumulation: the keyed
+//                                 insert stays structural, the combine on
+//                                 an occupied slot becomes S::add
+//   reference_spgemm_semiring<S>— serial ordered-map gold standard, the
+//                                 direct oracle for non-numeric semirings
 //
 // The bandwidth-optimized PB pipeline's semiring form, pb_spgemm<S>, is
-// declared in pb/pb_spgemm.hpp; runtime (algorithm × semiring) dispatch is
-// in spgemm/registry.hpp.
+// declared in pb/pb_spgemm.hpp; runtime (algorithm × semiring) dispatch —
+// including semirings registered at runtime (spgemm/op.hpp) — is in
+// spgemm/registry.hpp.
 //
 // All kernels keep entries whose accumulated value equals S::zero()
 // (structural presence mirrors the numeric convention for exact
@@ -57,8 +62,41 @@ extern template mtx::CsrMatrix heap_spgemm_semiring<MaxMin>(
 extern template mtx::CsrMatrix heap_spgemm_semiring<BoolOrAnd>(
     const SpGemmProblem&);
 
-/// Runtime dispatch by semiring name ("plus_times", "min_plus", "max_min",
-/// "bool_or_and"); throws std::invalid_argument on unknown names.
+/// Row-wise Gustavson with two-phase hash accumulation over semiring S —
+/// the generalized form of hash_spgemm (see hash.cpp): symbolic keyed
+/// inserts are pure structure, numeric slot hits combine with S::add.
+template <typename S>
+mtx::CsrMatrix hash_spgemm_semiring(const SpGemmProblem& p);
+
+// Instantiated in hash.cpp.
+extern template mtx::CsrMatrix hash_spgemm_semiring<PlusTimes>(
+    const SpGemmProblem&);
+extern template mtx::CsrMatrix hash_spgemm_semiring<MinPlus>(
+    const SpGemmProblem&);
+extern template mtx::CsrMatrix hash_spgemm_semiring<MaxMin>(
+    const SpGemmProblem&);
+extern template mtx::CsrMatrix hash_spgemm_semiring<BoolOrAnd>(
+    const SpGemmProblem&);
+
+/// Serial ordered-map gold standard over semiring S — the direct oracle
+/// for validating non-numeric semirings (generalized reference_spgemm;
+/// O(flop log d), validation scale only).
+template <typename S>
+mtx::CsrMatrix reference_spgemm_semiring(const SpGemmProblem& p);
+
+// Instantiated in reference.cpp.
+extern template mtx::CsrMatrix reference_spgemm_semiring<PlusTimes>(
+    const SpGemmProblem&);
+extern template mtx::CsrMatrix reference_spgemm_semiring<MinPlus>(
+    const SpGemmProblem&);
+extern template mtx::CsrMatrix reference_spgemm_semiring<MaxMin>(
+    const SpGemmProblem&);
+extern template mtx::CsrMatrix reference_spgemm_semiring<BoolOrAnd>(
+    const SpGemmProblem&);
+
+/// Runtime dispatch by semiring name — built-in or registered through
+/// SemiringRegistry (spgemm/op.hpp); throws std::invalid_argument on
+/// unknown names.
 mtx::CsrMatrix spgemm_semiring_named(const std::string& semiring,
                                      const mtx::CsrMatrix& a,
                                      const mtx::CsrMatrix& b);

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include "matrix/ops.hpp"
+#include "spgemm/plan.hpp"
 #include "spgemm/registry.hpp"
+#include "spgemm/semiring.hpp"
 #include "test_util.hpp"
 
 namespace pbs {
@@ -126,6 +128,86 @@ TEST(Masked, CancellationInsideMaskStaysStructural) {
   const mtx::CsrMatrix c = spgemm_masked(a, b, mask);
   ASSERT_EQ(c.nnz(), 1);
   EXPECT_EQ(c.vals[0], 0.0);
+}
+
+// ---- the full masked matrix: {4 semirings} × {complement} × {kernels} ----
+
+// Oracle for any semiring: gold-standard product, then value-safe pattern
+// filtering (mask-then-Hadamard, without the Hadamard's multiply).
+mtx::CsrMatrix semiring_oracle(const std::string& s, const SpGemmProblem& p,
+                               const mtx::CsrMatrix& mask, bool complement) {
+  return dispatch_semiring(s, [&]<typename S>() {
+    return mtx::pattern_filter(reference_spgemm_semiring<S>(p), mask,
+                               complement);
+  });
+}
+
+class MaskedSemiring : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(MaskedSemiring, EveryFusedKernelMatchesOracle) {
+  const std::string semiring = GetParam();
+  const mtx::CsrMatrix a = testutil::exact_er(140, 140, 5.0, 82);
+  const mtx::CsrMatrix b = testutil::exact_er(140, 140, 5.0, 83);
+  const mtx::CsrMatrix mask = testutil::exact_er(140, 140, 7.0, 84);
+  const SpGemmProblem p = SpGemmProblem::multiply(a, b);
+
+  for (const bool complement : {false, true}) {
+    const mtx::CsrMatrix expected = semiring_oracle(semiring, p, mask, complement);
+    // Direct fused kernels...
+    dispatch_semiring(semiring, [&]<typename S>() {
+      EXPECT_TRUE(equal_exact(
+          spgemm_masked_semiring<S>(a, b, mask, complement), expected))
+          << "spa " << semiring << " c=" << complement;
+      EXPECT_TRUE(equal_exact(heap_masked_semiring<S>(p, mask, complement),
+                              expected))
+          << "heap " << semiring << " c=" << complement;
+      EXPECT_TRUE(equal_exact(hash_masked_semiring<S>(p, mask, complement),
+                              expected))
+          << "hash " << semiring << " c=" << complement;
+    });
+    // ...and the same four through the descriptor plan path (pb included).
+    for (const char* algo : {"pb", "heap", "hash", "spa"}) {
+      SpGemmOp op;
+      op.algo = algo;
+      op.semiring = semiring;
+      op.mask = &mask;
+      op.complement = complement;
+      SpGemmPlan plan = make_plan(p, op);
+      EXPECT_TRUE(equal_exact(plan.execute(p), expected))
+          << algo << " " << semiring << " c=" << complement;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Semirings, MaskedSemiring,
+                         ::testing::Values("plus_times", "min_plus",
+                                           "max_min", "bool_or_and"));
+
+TEST(MaskedSemiring2, EmptyFullAndDiagonalMasksAcrossKernels) {
+  const mtx::CsrMatrix a = testutil::exact_er(96, 96, 4.0, 85);
+  const SpGemmProblem p = SpGemmProblem::square(a);
+  const mtx::CsrMatrix full_product = reference_spgemm(p);
+
+  mtx::CooMatrix empty_coo(96, 96);
+  const mtx::CsrMatrix empty = mtx::coo_to_csr(empty_coo);
+  const mtx::CsrMatrix full = mtx::to_pattern(full_product);
+  const mtx::CsrMatrix diagonal = mtx::CsrMatrix::identity(96);
+
+  for (const char* algo : {"pb", "heap", "hash", "spa"}) {
+    for (const mtx::CsrMatrix* mask : {&empty, &full, &diagonal}) {
+      for (const bool complement : {false, true}) {
+        SpGemmOp op;
+        op.algo = algo;
+        op.mask = mask;
+        op.complement = complement;
+        SpGemmPlan plan = make_plan(p, op);
+        EXPECT_TRUE(equal_exact(
+            plan.execute(p),
+            mtx::pattern_filter(full_product, *mask, complement)))
+            << algo << " c=" << complement;
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -207,11 +207,11 @@ TEST(RegistrySemiring, EveryAdvertisedPairResolvesAndAgrees) {
 
 TEST(RegistrySemiring, UnsupportedPairFailsWithCombinationList) {
   try {
-    semiring_algorithm("hash", "min_plus");
+    semiring_algorithm("hashvec", "min_plus");
     FAIL() << "expected std::invalid_argument";
   } catch (const std::invalid_argument& e) {
     const std::string msg = e.what();
-    EXPECT_NE(msg.find("hash"), std::string::npos);
+    EXPECT_NE(msg.find("hashvec"), std::string::npos);
     EXPECT_NE(msg.find("plus_times-only"), std::string::npos);
     // The error lists the full support matrix.
     EXPECT_NE(msg.find("pb: plus_times min_plus max_min bool_or_and"),

@@ -20,6 +20,7 @@
 #include "matrix/generate.hpp"
 #include "matrix/ops.hpp"
 #include "pb/pb_spgemm.hpp"
+#include "spgemm/masked.hpp"
 #include "spgemm/plan.hpp"
 #include "spgemm/registry.hpp"
 #include "spgemm/semiring.hpp"
@@ -110,7 +111,7 @@ TEST_P(PipelineFuzz, RandomOpChainMatchesDenseMirror) {
 
   const std::vector<const char*> algos{"pb", "heap", "hash", "spa", "esc"};
   for (int step = 0; step < 12; ++step) {
-    switch (rng.next_below(7)) {
+    switch (rng.next_below(8)) {
       case 0: {  // SpGEMM square: random algorithm × random semiring
         const char* algo = algos[rng.next_below(algos.size())];
         // Only pb/heap/spa register non-numeric semirings (see registry).
@@ -204,6 +205,43 @@ TEST_P(PipelineFuzz, RandomOpChainMatchesDenseMirror) {
       }
       case 6: {  // round-trip through COO + CSC (must be lossless)
         m = mtx::csc_to_csr(mtx::csr_to_csc(m));
+        break;
+      }
+      case 7: {  // masked SpGEMM square through the descriptor path
+        if (m.nrows != m.ncols) break;
+        const char* masked_algos[] = {"pb", "heap", "hash", "spa"};
+        const char* algo = masked_algos[rng.next_below(4)];
+        const std::string semiring =
+            semiring_names()[rng.next_below(semiring_names().size())];
+        const bool complement = rng.next_below(2) == 0;
+        const mtx::CsrMatrix mask = testutil::exact_er(
+            m.nrows, m.ncols, 1.0 + static_cast<double>(rng.next_below(6)),
+            GetParam() + 4000 + static_cast<std::uint64_t>(step));
+        const SpGemmProblem problem = SpGemmProblem::square(m);
+        SpGemmOp op;
+        op.algo = algo;
+        op.semiring = semiring;
+        op.mask = &mask;
+        op.complement = complement;
+        SpGemmPlan plan = make_plan(problem, op);
+        m = plan.execute(problem);
+        dispatch_semiring(semiring,
+                          [&]<typename S>() { d = dense_mult<S>(d, d); });
+        // Mirror the mask: zero every dense cell whose membership in the
+        // mask pattern does not match the polarity.
+        for (index_t r = 0; r < mask.nrows; ++r) {
+          std::vector<bool> in_row(static_cast<std::size_t>(mask.ncols), false);
+          for (const index_t c : mask.row_cols(r)) in_row[c] = true;
+          for (index_t c = 0; c < mask.ncols; ++c) {
+            if (in_row[c] == complement) d[r][c] = 0.0;
+          }
+        }
+        expect_dense_eq(m, d, step);
+        // Re-normalize to the pattern (same bounding trick as case 0).
+        if (mtx::value_sum(mtx::to_pattern(m)) > 0) {
+          m = mtx::element_power(m, 0.0);
+          d = to_dense(mtx::to_pattern(m));
+        }
         break;
       }
     }

@@ -307,7 +307,7 @@ TEST(SpGemmPlanTest, RejectsUnsupportedPairsAtPlanTime) {
   const mtx::CsrMatrix a = testutil::exact_er(50, 50, 3.0, 25);
   const SpGemmProblem p = SpGemmProblem::square(a);
   PlanOptions opts;
-  opts.algo = "hash";
+  opts.algo = "hashvec";  // the hash family's remaining plus_times-only member
   opts.semiring = "min_plus";
   EXPECT_THROW((void)make_plan(p, opts), std::invalid_argument);
   opts.algo = "no_such_algo";

@@ -6,6 +6,8 @@
 //   pbs_cli multiply --a FILE.mtx [--b FILE.mtx] [--algo pb|auto|...]
 //                    [--reps R] [--repeat N] [--out FILE.mtx]
 //                    [--semiring plus_times]
+//                    [--mask FILE.mtx] [--complement]
+//   pbs_cli semiring --a FILE.mtx [--algo auto] [--repeat N]
 //   pbs_cli info
 //   pbs_cli stream   [--mb N]
 //   pbs_cli roofline [--beta GBS] [--cf CF]
@@ -13,13 +15,22 @@
 // Matrices are Matrix Market files; `multiply` with no --b squares A (the
 // paper's evaluation mode) and prints per-phase PB telemetry when the
 // algorithm is "pb".  --algo auto resolves to a concrete algorithm via the
-// roofline selection model and reports the decision; --repeat N builds one
-// SpGemmPlan and executes it N times, reporting how much of the
-// symbolic+allocation cost the plan amortizes away.  `info` prints the
-// (algorithm × semiring) support matrix and the detected cache hierarchy.
+// roofline selection model (mask-density-aware when --mask is given) and
+// reports the decision; --repeat N builds one SpGemmPlan and executes it N
+// times, reporting how much of the symbolic+allocation cost the plan
+// amortizes away.  --mask restricts the output to the mask's pattern with
+// the mask *fused* into the kernel (PB drops masked-out tuples at its
+// compress stage and reports the count); --complement flips the polarity.
+// `semiring` demonstrates runtime semiring registration: it registers the
+// tropical (max, +) semiring "plus_max" through SemiringRegistry and runs
+// the multiplication over it via the descriptor plan path.  `info` prints
+// the (algorithm × semiring) support matrix and the detected cache
+// hierarchy.
 #include <pbs/pbs.hpp>
 
+#include <algorithm>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <optional>
 #include <string>
@@ -33,7 +44,13 @@ class Cli {
   Cli(int argc, char** argv) {
     for (int i = 2; i < argc; ++i) {
       std::string arg = argv[i];
-      if (arg.rfind("--", 0) == 0 && i + 1 < argc) {
+      if (arg.rfind("--", 0) != 0) continue;
+      // The one value-less flag; every other option consumes the next
+      // token as its value (as before — a trailing value-less option is
+      // dropped, see the verify notes).
+      if (arg == "--complement") {
+        kv_["complement"] = "1";
+      } else if (i + 1 < argc) {
         kv_[arg.substr(2)] = argv[++i];
       }
     }
@@ -111,15 +128,20 @@ void print_pb_phases(const pb::PbTelemetry& tm) {
 // Plan path: analyze + select once, execute `execs` times.  With --repeat
 // the report centers on amortization (the plan/execute architecture's
 // reason to exist); with --reps it is best-of-N timing like the fresh
-// paths, just through a plan.
+// paths, just through a plan.  A non-null mask runs the fused masked
+// descriptor.
 int multiply_planned(const Cli& cli, const SpGemmProblem& problem,
                      const std::string& algo, const std::string& semiring,
                      pb::FormatPolicy format, int execs,
-                     bool amortization_report) {
-  PlanOptions opts;
+                     bool amortization_report,
+                     const mtx::CsrMatrix* mask = nullptr,
+                     bool complement = false) {
+  SpGemmOp opts;
   opts.algo = algo;
   opts.semiring = semiring;
   opts.pb.format = format;
+  opts.mask = mask;
+  opts.complement = complement;
   Timer t;
   SpGemmPlan plan = make_plan(problem, opts);
   const double plan_s = t.elapsed_s();
@@ -168,6 +190,15 @@ int multiply_planned(const Cli& cli, const SpGemmProblem& problem,
               << " MFLOPS, last execute achieved " << tm.achieved_mflops
               << "\n";
   }
+  if (mask != nullptr) {
+    std::cout << "  mask: nnz " << mask->nnz()
+              << (complement ? " (complemented)" : "");
+    if (plan.algo() == "pb") {
+      std::cout << ", tuples dropped at compress "
+                << plan.last_pb_stats().mask_dropped;
+    }
+    std::cout << "\n";
+  }
   if (plan.algo() == "pb") {
     print_pb_phases(plan.last_pb_stats());
   } else {
@@ -206,11 +237,19 @@ int cmd_multiply(const Cli& cli) {
         "--reps (best-of-N timing) and --repeat (plan amortization) are "
         "mutually exclusive; pass one");
   }
-  if (algo == "auto" || repeat > 0) {
+  // A mask always runs the descriptor plan path (the fused kernels live
+  // behind it), as do auto-selection and --repeat amortization.
+  std::optional<mtx::CsrMatrix> mask;
+  if (cli.get("mask")) {
+    mask = mtx::coo_to_csr(mtx::read_matrix_market(*cli.get("mask")));
+  }
+  const bool complement = cli.number("complement", 0) != 0;
+  if (algo == "auto" || repeat > 0 || mask.has_value()) {
     const int execs = repeat > 0 ? repeat : reps;
     return multiply_planned(cli, problem, algo, semiring, format,
                             std::max(execs, 1),
-                            /*amortization_report=*/repeat > 0);
+                            /*amortization_report=*/repeat > 0,
+                            mask ? &*mask : nullptr, complement);
   }
 
   // Resolve through the (algorithm × semiring) registry first: unknown
@@ -258,9 +297,40 @@ int cmd_multiply(const Cli& cli) {
   return 0;
 }
 
+// Runtime semiring registration demo: register the tropical (max, +)
+// semiring and run the multiplication over it through the descriptor plan
+// path — the round trip a user-defined semiring takes.
+int cmd_semiring(const Cli& cli) {
+  const std::string name = cli.get("name").value_or("plus_max");
+  SemiringRegistry& reg = SemiringRegistry::instance();
+  if (!reg.contains(name)) {
+    RuntimeSemiring rs;
+    rs.name = name;
+    rs.zero = -std::numeric_limits<value_t>::infinity();
+    rs.add = [](value_t x, value_t y) { return std::max(x, y); };
+    rs.mul = [](value_t x, value_t y) { return x + y; };
+    reg.register_semiring(rs);
+    std::cout << "registered runtime semiring '" << name
+              << "' (tropical max-plus: zero = -inf, add = max, mul = +)\n";
+  } else {
+    std::cout << "semiring '" << name << "' already registered\n";
+  }
+  std::cout << "support matrix now:\n" << algorithm_semiring_matrix() << "\n";
+
+  const mtx::CsrMatrix a =
+      mtx::coo_to_csr(mtx::read_matrix_market(cli.require("a")));
+  const SpGemmProblem problem = SpGemmProblem::multiply(a, a);
+  const int repeat = static_cast<int>(cli.number("repeat", 1));
+  return multiply_planned(cli, problem, cli.get("algo").value_or("auto"),
+                          name, pb::FormatPolicy::kAuto,
+                          std::max(repeat, 1),
+                          /*amortization_report=*/repeat > 1);
+}
+
 int cmd_info(const Cli&) {
   std::cout << "algorithm x semiring support matrix (multiply --algo A "
-               "--semiring S):\n"
+               "--semiring S; generalized algorithms also accept any "
+               "semiring registered at runtime):\n"
             << algorithm_semiring_matrix();
   const CacheInfo& c = cache_info();
   std::cout << "\ndetected cache hierarchy (sizes the PB bin layout):\n"
@@ -304,6 +374,8 @@ void usage() {
       "  stats    --a FILE.mtx\n"
       "  multiply --a FILE.mtx [--b FILE.mtx] [--algo NAME|auto] [--semiring NAME]\n"
       "           [--format auto|wide|narrow] [--reps R] [--repeat N] [--out FILE.mtx]\n"
+      "           [--mask FILE.mtx] [--complement]\n"
+      "  semiring --a FILE.mtx [--name plus_max] [--algo auto] [--repeat N]\n"
       "  info\n"
       "  stream   [--mb N]\n"
       "  roofline [--beta GBS] [--cf CF]\n"
@@ -314,7 +386,12 @@ void usage() {
       "pipeline, not a fallback; unsupported pairs are an error (run\n"
       "`pbs_cli info` for the support matrix).  --algo auto selects\n"
       "pb/hash/heap from the roofline model and reports why; --repeat N\n"
-      "plans once and executes N times, reporting the amortized cost.\n";
+      "plans once and executes N times, reporting the amortized cost.\n"
+      "--mask M restricts the output to M's pattern with the mask fused\n"
+      "into the kernel (PB drops masked-out tuples at compress and reports\n"
+      "the count); --complement keeps the positions NOT in M.  `semiring`\n"
+      "registers the tropical (max, +) semiring at runtime and multiplies\n"
+      "over it — the user-defined-semiring round trip.\n";
 }
 
 }  // namespace
@@ -334,6 +411,7 @@ int main(int argc, char** argv) {
     if (cmd == "gen") return cmd_gen(cli);
     if (cmd == "stats") return cmd_stats(cli);
     if (cmd == "multiply") return cmd_multiply(cli);
+    if (cmd == "semiring") return cmd_semiring(cli);
     if (cmd == "info") return cmd_info(cli);
     if (cmd == "stream") return cmd_stream(cli);
     if (cmd == "roofline") return cmd_roofline(cli);
