@@ -11,7 +11,6 @@
 
 #include <cstdlib>
 #include <iostream>
-#include <optional>
 
 namespace {
 
@@ -65,13 +64,15 @@ int main(int argc, char** argv) {
             << " Poisson grid, " << levels << " levels\n";
   pbs::mtx::CsrMatrix a = poisson2d(g);
 
-  // One plan per triple-product site (A·P and R·(AP)).  Each level's
-  // operators shrink, so the plans replan per level — but they keep their
-  // pooled pipeline scratch (sized by the finest level, reused by every
-  // coarser one) and an "auto" plan re-selects as the stencils densify.
-  pbs::PlanOptions opts;
-  opts.algo = "auto";
-  std::optional<pbs::SpGemmPlan> ap_plan, rap_plan;
+  // One executor for both triple-product sites (A·P and R·(AP)).  Each
+  // level's operators shrink, so every level's two products are plan-
+  // cache misses — but both sites lease their pipeline scratch from the
+  // executor's one workspace pool (sized by the finest level, reused by
+  // every coarser one), "auto" re-selects as the stencils densify, and a
+  // V-cycle revisiting the hierarchy would hit every cached level.
+  pbs::SpGemmOp op;
+  op.algo = "auto";
+  pbs::SpGemmExecutor exec;
 
   double spgemm_seconds = 0;
   for (int level = 0; level < levels && g >= 8; ++level) {
@@ -80,11 +81,9 @@ int main(int argc, char** argv) {
 
     pbs::Timer timer;
     const pbs::SpGemmProblem ap_prob = pbs::SpGemmProblem::multiply(a, p);
-    if (!ap_plan) ap_plan.emplace(pbs::make_plan(ap_prob, opts));
-    const pbs::mtx::CsrMatrix ap = ap_plan->execute(ap_prob);
+    const pbs::mtx::CsrMatrix ap = exec.run(ap_prob, op);
     const pbs::SpGemmProblem rap_prob = pbs::SpGemmProblem::multiply(r, ap);
-    if (!rap_plan) rap_plan.emplace(pbs::make_plan(rap_prob, opts));
-    const pbs::mtx::CsrMatrix coarse = rap_plan->execute(rap_prob);
+    const pbs::mtx::CsrMatrix coarse = exec.run(rap_prob, op);
     spgemm_seconds += timer.elapsed_s();
 
     const pbs::mtx::SquareStats ap_stats = pbs::mtx::square_stats(a);
@@ -104,13 +103,11 @@ int main(int argc, char** argv) {
   }
   std::cout << "hierarchy built; total SpGEMM time " << spgemm_seconds * 1e3
             << " ms\n";
-  if (ap_plan && rap_plan) {
-    std::cout << "A*P plan:    algo " << ap_plan->algo() << ", "
-              << ap_plan->telemetry().executes << " executes, "
-              << ap_plan->telemetry().replans << " replans\n"
-              << "R*(AP) plan: algo " << rap_plan->algo() << ", "
-              << rap_plan->telemetry().executes << " executes, "
-              << rap_plan->telemetry().replans << " replans\n";
-  }
+  const pbs::ExecutorStats es = exec.stats();
+  const pbs::pb::WorkspacePool::Stats pool = exec.pool_stats();
+  std::cout << "executor (both sites): " << es.executes << " executes, "
+            << es.cache_misses << " cache misses (every level is new) / "
+            << es.cache_hits << " hits; workspace pool " << pool.created
+            << " created / " << pool.reused << " reused leases\n";
   return 0;
 }

@@ -16,7 +16,6 @@
 
 #include <cstdlib>
 #include <iostream>
-#include <optional>
 #include <vector>
 
 namespace {
@@ -85,17 +84,19 @@ int main(int argc, char** argv) {
   // (v, s) pairs already visited — the forward step's complemented mask.
   CsrMatrix visited = pbs::mtx::to_pattern(frontier);
 
-  // One descriptor per multiply-site: the forward step fuses the
-  // "unvisited only" complemented mask into the kernel, so no separate
-  // filtering pass runs over the raw product.  The frontier panels change
-  // structure every level (each level replans) but both plans keep their
-  // pooled pipeline scratch across the whole forward + backward sweep.
+  // ONE executor serves both multiply sites — the plan cache is keyed by
+  // structure × op identity, so the forward descriptor (with its fused
+  // "unvisited only" complemented mask, no separate filtering pass) and
+  // the backward one never collide, and every product leases scratch from
+  // the same workspace pool across the whole forward + backward sweep.
+  // The frontier panels change structure every level, so forward levels
+  // are cache misses by design.
+  pbs::SpGemmExecutor exec;
   pbs::SpGemmOp fwd_op;
   fwd_op.algo = "pb";
   fwd_op.mask = &visited;
   fwd_op.complement = true;
-  pbs::SpGemmPlan fwd_plan =
-      pbs::make_plan(pbs::SpGemmProblem::multiply(adj_t, frontier), fwd_op);
+  exec.prepare(pbs::SpGemmProblem::multiply(adj_t, frontier), fwd_op);
   double spgemm_ms = 0;
 
   // ---- forward sweep: BFS levels with path counting ----
@@ -103,7 +104,7 @@ int main(int argc, char** argv) {
     pbs::Timer t;
     const pbs::SpGemmProblem p = pbs::SpGemmProblem::multiply(adj_t, frontier);
     // Path counts restricted to unvisited (v, s) pairs, in one fused step.
-    frontier = fwd_plan.execute(p);
+    frontier = exec.run(p, fwd_op);
     spgemm_ms += t.elapsed_ms();
 
     for (index_t v = 0; v < n; ++v) {
@@ -121,7 +122,8 @@ int main(int argc, char** argv) {
 
   // ---- backward sweep: dependency accumulation ----
   Panel delta(n, nsources);
-  std::optional<pbs::SpGemmPlan> bwd_plan;  // built at the first product
+  pbs::SpGemmOp bwd_op;  // unmasked: the dependency loop reads W rows
+  bwd_op.algo = "pb";
   for (int d = depth; d >= 1; --d) {
     // coeff = (1 + delta) / sigma on level-d vertices.
     pbs::mtx::CooMatrix coeff_coo(n, nsources);
@@ -138,12 +140,7 @@ int main(int argc, char** argv) {
 
     pbs::Timer t;
     const pbs::SpGemmProblem p = pbs::SpGemmProblem::multiply(adj, coeff);
-    if (!bwd_plan) {
-      pbs::SpGemmOp bwd_op;  // unmasked: the dependency loop reads W rows
-      bwd_op.algo = "pb";
-      bwd_plan.emplace(pbs::make_plan(p, bwd_op));
-    }
-    const CsrMatrix w = bwd_plan->execute(p);
+    const CsrMatrix w = exec.run(p, bwd_op);
     spgemm_ms += t.elapsed_ms();
 
     // delta(u, s) += sigma(u, s) * w(u, s) for u on level d-1.
@@ -172,17 +169,13 @@ int main(int argc, char** argv) {
     score[static_cast<std::size_t>(v)] = {acc, v};
   }
   std::sort(score.rbegin(), score.rend());
-  const pbs::PlanTelemetry& ftm = fwd_plan.telemetry();
-  const pbs::pb::PbWorkspace::Stats fws = fwd_plan.workspace_stats();
+  const pbs::ExecutorStats es = exec.stats();
+  const pbs::pb::PbWorkspace::Stats ws = exec.workspace_stats();
   std::cout << "BFS depth " << depth << ", SpGEMM time " << spgemm_ms
-            << " ms\nforward plan: " << ftm.executes << " executes, "
-            << ftm.replans << " replans; workspace " << fws.allocations
-            << " allocations / " << fws.reuses << " reuses\n";
-  if (bwd_plan) {
-    const pbs::PlanTelemetry& btm = bwd_plan->telemetry();
-    std::cout << "backward plan: " << btm.executes << " executes, "
-              << btm.replans << " replans\n";
-  }
+            << " ms\nexecutor (both sites): " << es.executes
+            << " executes, " << es.cache_misses << " cache misses / "
+            << es.cache_hits << " hits; pooled buffers " << ws.allocations
+            << " allocations / " << ws.reuses << " reuses\n";
   std::cout << "top-5 central vertices:\n";
   for (int i = 0; i < 5 && i < n; ++i) {
     std::cout << "  v" << score[static_cast<std::size_t>(i)].second

@@ -9,11 +9,14 @@
 // until M reaches a (near) fixed point.  Clusters are then the connected
 // sets of rows that "attract" each column.
 //
-// The expansion step runs through a SpGemmPlan: MCL multiplies every
-// iteration, so the plan analyzes and (with algo "auto") roofline-selects
-// once, pools the pipeline scratch across iterations, and transparently
-// replans as pruning drifts the matrix structure — the counters printed at
-// the end show how much analysis the plan amortized away.
+// The expansion step runs through a SpGemmExecutor: MCL multiplies every
+// iteration and its structure ALTERNATES as pruning kicks in and the
+// matrix settles, so the executor's fingerprint-keyed plan cache analyzes
+// each distinct structure once (with algo "auto": roofline-selected once
+// per structure), leases pipeline scratch from one pooled workspace
+// across all iterations, and serves revisited structures from the cache
+// — the counters printed at the end show the cache hit ratio and how
+// much analysis was amortized away.
 //
 //   ./markov_clustering [n] [avg_degree] [inflation] [algo]   (algo: auto)
 #include <pbs/pbs.hpp>
@@ -73,16 +76,17 @@ int main(int argc, char** argv) {
   constexpr pbs::value_t kPruneThreshold = 1e-5;
   constexpr pbs::index_t kKeepPerRow = 64;
 
-  // One plan for the expansion site; pruning changes M's structure between
-  // iterations, so the plan replans when the fingerprint drifts but keeps
-  // its pooled workspace (and, once MCL converges structurally, starts
-  // reusing the analysis too).
-  pbs::PlanOptions opts;
-  opts.algo = algo;
-  pbs::SpGemmPlan plan = pbs::make_plan(pbs::SpGemmProblem::square(m), opts);
-  std::cout << "expansion algorithm: " << plan.algo();
-  if (algo == "auto")
-    std::cout << " (" << plan.telemetry().choice.rationale << ")";
+  // One executor for the expansion site; pruning changes M's structure
+  // between iterations, so each new shape is analyzed once and cached —
+  // when MCL revisits a shape (or converges structurally) the multiply is
+  // a cache hit, and the pooled workspace persists across all of it.
+  pbs::SpGemmOp op;
+  op.algo = algo;
+  pbs::SpGemmExecutor exec;
+  pbs::RunInfo info;
+  exec.prepare(pbs::SpGemmProblem::square(m), op, &info);
+  std::cout << "expansion algorithm: " << info.algo;
+  if (algo == "auto") std::cout << " (" << info.choice.rationale << ")";
   std::cout << "\n";
 
   double spgemm_seconds = 0;
@@ -93,7 +97,7 @@ int main(int argc, char** argv) {
     const pbs::nnz_t flop = pbs::mtx::count_flops(m, m);
     pbs::Timer timer;
     const pbs::SpGemmProblem p = pbs::SpGemmProblem::square(m);
-    const pbs::mtx::CsrMatrix expanded = plan.execute(p);
+    const pbs::mtx::CsrMatrix expanded = exec.run(p, op);
     spgemm_seconds += timer.elapsed_s();
     const double cf = expanded.nnz() > 0
                           ? static_cast<double>(flop) /
@@ -121,13 +125,16 @@ int main(int argc, char** argv) {
       ++clusters;
     }
   }
-  const pbs::PlanTelemetry& ptm = plan.telemetry();
-  const pbs::pb::PbWorkspace::Stats ws = plan.workspace_stats();
+  const pbs::ExecutorStats es = exec.stats();
+  const pbs::pb::WorkspacePool::Stats pool = exec.pool_stats();
+  const pbs::pb::PbWorkspace::Stats ws = exec.workspace_stats();
   std::cout << "converged after " << iter + 1 << " iterations; " << clusters
             << " clusters; SpGEMM time " << spgemm_seconds * 1e3 << " ms\n"
-            << "plan: " << ptm.executes << " executes, " << ptm.replans
-            << " replans, " << ptm.analysis_reuses
-            << " analysis reuses; workspace " << ws.allocations
-            << " allocations / " << ws.reuses << " reuses\n";
+            << "executor: " << es.executes << " executes, " << es.cache_hits
+            << " cache hits / " << es.cache_misses << " misses (hit ratio "
+            << es.hit_ratio() << "); workspace pool " << pool.created
+            << " created / " << pool.reused << " reused leases, buffers "
+            << ws.allocations << " allocations / " << ws.reuses
+            << " reuses\n";
   return 0;
 }

@@ -12,11 +12,12 @@
 //   op.semiring = "bool_or_and";
 //   op.mask = &visited; op.complement = true;   // "unvisited only", fused
 //
-// run through a SpGemmPlan: the frontier's structure changes every level,
-// so each level replans (counted below), but the pipeline scratch stays
-// pooled across the whole traversal, the complemented visited mask is
-// fused into the kernel (no separate filtering pass), and an "auto" plan
-// re-selects the algorithm as the frontier fattens and thins.
+// run through a SpGemmExecutor: the frontier's structure changes every
+// level, so each level is a plan-cache miss (counted below), but the
+// pipeline scratch stays pooled across the whole traversal, the
+// complemented visited mask is fused into the kernel (no separate
+// filtering pass), and with "auto" the algorithm is re-selected as the
+// frontier fattens and thins.
 //
 //   ./multi_source_bfs [scale] [edge_factor] [num_sources] [algo]  (algo: auto)
 #include <pbs/pbs.hpp>
@@ -65,9 +66,10 @@ int main(int argc, char** argv) {
   op.semiring = "bool_or_and";
   op.mask = &visited;
   op.complement = true;
-  pbs::SpGemmPlan plan =
-      pbs::make_plan(pbs::SpGemmProblem::multiply(at, frontier), op);
-  std::cout << "step algorithm: " << plan.algo() << "\n";
+  pbs::SpGemmExecutor exec;
+  pbs::RunInfo info;
+  exec.prepare(pbs::SpGemmProblem::multiply(at, frontier), op, &info);
+  std::cout << "step algorithm: " << info.algo << "\n";
 
   pbs::nnz_t total_reached = frontier.nnz();
   double spgemm_seconds = 0;
@@ -76,7 +78,7 @@ int main(int argc, char** argv) {
     pbs::Timer timer;
     const pbs::SpGemmProblem p = pbs::SpGemmProblem::multiply(at, frontier);
     // One fused step: expand + mask out visited, no separate filter pass.
-    frontier = plan.execute(p);
+    frontier = exec.run(p, op);
     spgemm_seconds += timer.elapsed_s();
 
     visited = pbs::mtx::to_pattern(pbs::mtx::add(visited, frontier));
@@ -87,15 +89,15 @@ int main(int argc, char** argv) {
     if (depth > 64) break;  // safety on pathological graphs
   }
 
-  const pbs::PlanTelemetry& ptm = plan.telemetry();
-  const pbs::pb::PbWorkspace::Stats ws = plan.workspace_stats();
+  const pbs::ExecutorStats es = exec.stats();
+  const pbs::pb::PbWorkspace::Stats ws = exec.workspace_stats();
   std::cout << "done: depth " << depth << ", " << total_reached
             << " total visits, SpGEMM time " << spgemm_seconds * 1e3
             << " ms\n"
-            << "plan: " << ptm.executes << " executes, " << ptm.replans
-            << " replans (frontier structure changes per level), "
-            << ptm.analysis_reuses << " analysis reuses; workspace "
-            << ws.allocations << " allocations / " << ws.reuses
-            << " reuses\n";
+            << "executor: " << es.executes << " executes, "
+            << es.cache_misses
+            << " cache misses (frontier structure changes per level), "
+            << es.cache_hits << " hits; pooled buffers " << ws.allocations
+            << " allocations / " << ws.reuses << " reuses\n";
   return 0;
 }

@@ -2,8 +2,70 @@
 
 #include <algorithm>
 #include <sstream>
+#include <vector>
 
 namespace pbs::model {
+
+namespace {
+
+double median(std::vector<double>& v) {
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                   v.end());
+  if (v.size() % 2 == 1) return v[mid];
+  const double hi = v[mid];
+  const double lo =
+      *std::max_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return (lo + hi) / 2.0;
+}
+
+}  // namespace
+
+CalibrationResult SelectionModel::calibrate(
+    std::span<const PerfSample> samples) {
+  // Invert each prediction through the constants it was made with (the
+  // sample's own, falling back to this model's for samples that did not
+  // record them) to get the underated roofline estimate;
+  // achieved/underated is that sample's observed derating for its family.
+  std::vector<double> pb_obs;
+  std::vector<double> col_obs;
+  for (const PerfSample& s : samples) {
+    if (s.predicted_mflops <= 0 || s.achieved_mflops <= 0 || s.cf <= 0) {
+      continue;
+    }
+    if (s.algo == "pb") {
+      const double eff_at_prediction =
+          s.pb_efficiency > 0 ? s.pb_efficiency : pb_efficiency;
+      const double underated = s.predicted_mflops / eff_at_prediction;
+      pb_obs.push_back(
+          std::clamp(s.achieved_mflops / underated, 0.01, 1.0));
+    } else {
+      // The column families were predicted with efficiency
+      // cf/(cf + penalty); solve the observed efficiency back for the
+      // penalty that would have produced it at this sample's cf.
+      const double penalty_at_prediction = s.column_latency_penalty > 0
+                                               ? s.column_latency_penalty
+                                               : column_latency_penalty;
+      const double eff_pred = s.cf / (s.cf + penalty_at_prediction);
+      const double underated = s.predicted_mflops / eff_pred;
+      const double eff_obs =
+          std::clamp(s.achieved_mflops / underated, 1e-3, 0.999);
+      col_obs.push_back(s.cf * (1.0 - eff_obs) / eff_obs);
+    }
+  }
+
+  CalibrationResult r;
+  r.pb_samples = static_cast<int>(pb_obs.size());
+  r.column_samples = static_cast<int>(col_obs.size());
+  if (!pb_obs.empty()) pb_efficiency = median(pb_obs);
+  if (!col_obs.empty()) {
+    column_latency_penalty = std::clamp(median(col_obs), 0.0, 1e3);
+  }
+  r.pb_efficiency = pb_efficiency;
+  r.column_latency_penalty = column_latency_penalty;
+  r.changed = !pb_obs.empty() || !col_obs.empty();
+  return r;
+}
 
 AlgoChoice select_algorithm(double cf, nnz_t flop, bool hash_available,
                             const SelectionModel& m, const MaskModel& mask) {

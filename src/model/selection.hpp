@@ -29,12 +29,45 @@
 // the crossover toward higher cf.
 #pragma once
 
+#include <span>
 #include <string>
 
 #include "common/types.hpp"
 #include "model/roofline.hpp"
 
 namespace pbs::model {
+
+/// One measured prediction/achievement pair from a fingerprint-verified
+/// execute: what the roofline model promised for the chosen algorithm at
+/// the estimated cf, and what the run sustained.  The executor and plan
+/// layers record these (unmasked "auto" runs only — a mask changes both
+/// bounds, so masked samples would fold the mask term into the derating
+/// constants); SelectionModel::calibrate refits from them.
+struct PerfSample {
+  std::string algo;  ///< the resolved algorithm ("pb", "hash", "heap")
+  double cf = 0;     ///< estimated compression factor the choice used
+  double predicted_mflops = 0;
+  double achieved_mflops = 0;
+  /// The derating constants in effect when the prediction was made —
+  /// calibrate() inverts each prediction through THESE to recover the
+  /// underated roofline estimate (samples from ops with customized or
+  /// already-calibrated models would otherwise skew the fit).  0 = "use
+  /// the calibrating model's own constants" (correct when all samples
+  /// came from that model).
+  double pb_efficiency = 0;
+  double column_latency_penalty = 0;
+};
+
+/// What a calibrate() pass did: how many samples informed each family and
+/// the constants in effect afterwards.  `changed` is false when no usable
+/// samples existed (the model is left untouched).
+struct CalibrationResult {
+  int pb_samples = 0;
+  int column_samples = 0;
+  double pb_efficiency = 0;
+  double column_latency_penalty = 0;
+  bool changed = false;
+};
 
 /// β used for absolute performance estimates when the caller has no
 /// measured STREAM figure.  The *choice* is β-independent.
@@ -65,6 +98,19 @@ struct SelectionModel {
   /// Below this flop count pipeline setup (binning, parallel regions)
   /// dominates any bandwidth advantage; pick the low-overhead heap.
   nnz_t small_flop_threshold = 32768;
+
+  /// Refits the two per-family derating constants — pb_efficiency and
+  /// column_latency_penalty — from recorded predicted-vs-achieved pairs,
+  /// closing the telemetry loop: each sample's prediction is inverted
+  /// through the *current* constants to recover the underated roofline
+  /// estimate, the achieved figure gives that sample's observed derating,
+  /// and the per-family median (robust to warm-up and noise outliers)
+  /// becomes the new constant.  Families with no usable samples keep
+  /// their current constant; samples with non-positive fields are
+  /// skipped.  The defaults stay calibrated against the paper's figures;
+  /// this replaces them with *this machine's* measured efficiencies
+  /// (pbs_cli calibrate, or SpGemmExecutor's warmup refit).
+  CalibrationResult calibrate(std::span<const PerfSample> samples);
 };
 
 /// What the selection model knows about a fused output mask (SpGemmOp).

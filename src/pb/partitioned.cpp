@@ -105,10 +105,60 @@ PartitionedPlan make_partitioned_plan(const mtx::CscMatrix& a,
     const index_t lo = std::min<index_t>(a.nrows, part * rows_per_part);
     const index_t hi = std::min<index_t>(a.nrows, lo + rows_per_part);
     plan.a_parts_.push_back(slice_rows(a, lo, hi));
+    plan.part_row_lo_.push_back(lo);
     plan.plans_.push_back(pb_plan_build(plan.a_parts_.back(), b, cfg));
   }
   plan.build_seconds_ = timer.elapsed_s();
   return plan;
+}
+
+void PartitionedPlan::update_a_values(const mtx::CscMatrix& a) {
+  if (a.nrows != a_nrows_ ||
+      (!a_parts_.empty() && a.ncols != a_parts_.front().ncols)) {
+    throw std::invalid_argument(
+        "PartitionedPlan::update_a_values: dimensions differ from the "
+        "build-time A");
+  }
+  const auto structure_changed = [] {
+    return std::invalid_argument(
+        "PartitionedPlan::update_a_values: A's structure differs from the "
+        "build-time A (slice values now unspecified; rebuild the plan)");
+  };
+  // ONE pass over A, routing each entry to its part: the parts own
+  // contiguous ascending row ranges and a column's rows are sorted, so
+  // the destination part only ever advances within a column.  The frozen
+  // slices' per-column occupancy doubles as the structure check: any
+  // entry that does not land exactly on the slice's recorded position
+  // (or a column that ends short) proves the structure changed.
+  const std::size_t nparts = a_parts_.size();
+  std::vector<nnz_t> pos(nparts);
+  for (index_t c = 0; c < a.ncols; ++c) {
+    for (std::size_t part = 0; part < nparts; ++part) {
+      pos[part] = a_parts_[part].colptr[c];
+    }
+    std::size_t part = 0;
+    const auto rows = a.col_rows(c);
+    const auto vals = a.col_vals(c);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      while (part + 1 < nparts && rows[i] >= part_row_lo_[part + 1]) {
+        ++part;
+      }
+      mtx::CscMatrix& slice = a_parts_[part];
+      const index_t local_row = rows[i] - part_row_lo_[part];
+      const nnz_t at = pos[part];
+      if (at == slice.colptr[static_cast<std::size_t>(c) + 1] ||
+          slice.rowids[static_cast<std::size_t>(at)] != local_row) {
+        throw structure_changed();
+      }
+      slice.vals[static_cast<std::size_t>(at)] = vals[i];
+      ++pos[part];
+    }
+    for (std::size_t p = 0; p < nparts; ++p) {
+      if (pos[p] != a_parts_[p].colptr[static_cast<std::size_t>(c) + 1]) {
+        throw structure_changed();
+      }
+    }
+  }
 }
 
 PartitionedResult PartitionedPlan::execute(const mtx::CsrMatrix& b,

@@ -51,6 +51,19 @@ class PartitionedPlan {
   PartitionedResult execute(const mtx::CsrMatrix& b,
                             bool check_fingerprint = true);
 
+  /// Value-only refresh of the frozen A slices: re-scatters `a`'s values
+  /// into every part without re-slicing or re-analyzing.  For iterative
+  /// workloads that update A's numeric values in place (relaxation
+  /// sweeps, reweighted graphs) — the partitioned analogue of the
+  /// executor's value-only fast path.  `a` must have the build-time A's
+  /// exact structure: dimensions, nnz, and per-part row occupancy are
+  /// verified during the single copy pass and a mismatch throws
+  /// std::invalid_argument (the slices' values are then unspecified;
+  /// rebuild the plan).  Entries moved between rows at equal counts
+  /// cannot be detected — the same residual caveat as
+  /// StructureFingerprint.
+  void update_a_values(const mtx::CscMatrix& a);
+
   [[nodiscard]] int nparts() const { return static_cast<int>(plans_.size()); }
 
   /// Symbolic cost paid at build time, summed over parts plus the
@@ -73,6 +86,7 @@ class PartitionedPlan {
                                                int nparts, const PbConfig& cfg);
 
   std::vector<mtx::CscMatrix> a_parts_;
+  std::vector<index_t> part_row_lo_;  ///< global first row of each part
   std::vector<PbPlan> plans_;
   PbWorkspace workspace_;
   index_t a_nrows_ = 0;

@@ -60,6 +60,30 @@ nnz_t pb_estimate_nnz_c(const mtx::CscMatrix& a, const mtx::CsrMatrix& b) {
   return pb_estimate_nnz_c(rf, b.ncols);
 }
 
+nnz_t pb_estimate_nnz_c_masked(std::span<const nnz_t> row_flops,
+                               const mtx::CsrMatrix& mask) {
+  if (row_flops.size() != static_cast<std::size_t>(mask.nrows)) {
+    throw std::invalid_argument(
+        "pb_estimate_nnz_c_masked: mask row count (" +
+        std::to_string(mask.nrows) + ") differs from the product's (" +
+        std::to_string(row_flops.size()) + ")");
+  }
+  const double ncols = static_cast<double>(mask.ncols);
+  if (ncols <= 0) return 0;
+  const auto nrows = static_cast<std::int64_t>(row_flops.size());
+  double estimate = 0;
+#pragma omp parallel for reduction(+ : estimate) schedule(static)
+  for (std::int64_t r = 0; r < nrows; ++r) {
+    const auto f = static_cast<double>(row_flops[static_cast<std::size_t>(r)]);
+    if (f <= 0) continue;
+    const auto cap =
+        static_cast<double>(mask.row_nnz(static_cast<index_t>(r)));
+    if (cap <= 0) continue;
+    estimate += std::min(ncols * -std::expm1(-f / ncols), cap);
+  }
+  return static_cast<nnz_t>(estimate + 0.5);
+}
+
 nnz_t pb_estimate_nnz_c(std::span<const nnz_t> row_flops, index_t ncols_i) {
   const double ncols = static_cast<double>(ncols_i);
   if (ncols <= 0) return 0;

@@ -88,6 +88,18 @@ nnz_t pb_estimate_nnz_c(const mtx::CscMatrix& a, const mtx::CsrMatrix& b);
 /// O(nnz(A)) recount.
 nnz_t pb_estimate_nnz_c(std::span<const nnz_t> row_flops, index_t ncols);
 
+/// Structural-only masked estimate: a plain (non-complemented) output mask
+/// caps each output row at that row's mask support, so row r contributes
+/// min(estimate_r, nnz(mask(r,:))) — strictly sharper than the global
+/// min(estimate, nnz(mask)) the selection model applied before, and what
+/// keeps masked plans from over-provisioning for output the mask will
+/// drop.  Values of `mask` are ignored (pattern only).  Requires
+/// row_flops.size() == mask.nrows (the product's row count); throws
+/// std::invalid_argument otherwise.  ncols is taken from mask.ncols (the
+/// product's column count by the shape contract).
+nnz_t pb_estimate_nnz_c_masked(std::span<const nnz_t> row_flops,
+                               const mtx::CsrMatrix& mask);
+
 /// Cheap prediction of the tuple format pb_symbolic would select, without
 /// running symbolic: derives the bin count from flop and L2 the way the
 /// layout builders do and tests the narrow fit.  Exact for the range and

@@ -11,6 +11,10 @@
 //   auto plan = pbs::make_plan(p);          // algo = "auto" (roofline-guided)
 //   for (...) auto c3 = plan.execute(p);    // no re-analysis, no re-allocation
 //
+//   // Serving: one executor, many structures/ops/threads
+//   pbs::SpGemmExecutor exec;               // fingerprint-keyed plan cache
+//   auto c4 = exec.run(p);                  // thread-safe, workspace-pooled
+//
 // See README.md for the architecture overview and examples/ for complete
 // programs.
 #pragma once
@@ -36,6 +40,8 @@
 #include "pb/partitioned.hpp"
 #include "pb/pb_spgemm.hpp"
 #include "pb/plan.hpp"
+#include "pb/workspace_pool.hpp"
+#include "spgemm/executor.hpp"
 #include "spgemm/masked.hpp"
 #include "spgemm/op.hpp"
 #include "spgemm/plan.hpp"

@@ -1,0 +1,601 @@
+#include "spgemm/executor.hpp"
+
+#include <algorithm>
+#include <list>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/timer.hpp"
+#include "pb/symbolic.hpp"
+#include "spgemm/registry.hpp"
+
+namespace pbs {
+
+namespace {
+
+// Everything of an op that changes what planning produces: the algorithm
+// and semiring, the mask binding (by address — the pattern behind it may
+// change freely, the fused kernels re-read it per call), and the pb/model
+// tunables that steer symbolic layout and "auto" selection.  accumulate
+// is execution-time behavior and deliberately excluded: an accumulating
+// op shares its cached plan with the plain product.
+std::string op_cache_key(const SpGemmOp& op) {
+  std::ostringstream key;
+  key << op.algo << '|' << op.semiring << '|'
+      << static_cast<const void*>(op.mask) << '|' << op.complement << '|'
+      << static_cast<int>(op.pb.policy) << '|'
+      << static_cast<int>(op.pb.format) << '|' << op.pb.nbins << '|'
+      << op.pb.local_bin_bytes << '|' << op.pb.l2_bytes << '|'
+      << op.pb.streaming_stores << '|' << op.model.pb_efficiency << '|'
+      << op.model.column_latency_penalty << '|'
+      << op.model.small_flop_threshold << '|' << op.model.pb_tuple_bytes
+      << '|' << op.model.bytes_per_nnz;
+  return key.str();
+}
+
+void check_mask_shape(const SpGemmOp& op, const SpGemmProblem& p) {
+  if (op.mask != nullptr && (op.mask->nrows != p.a_csr.nrows ||
+                             op.mask->ncols != p.b_csr.ncols)) {
+    throw std::invalid_argument(
+        "SpGemmExecutor: mask shape does not match the product");
+  }
+}
+
+bool is_passthrough(const SpGemmOp& op) {
+  return op.algo != "auto" && op.algo != "pb";
+}
+
+/// Serializes executions over runtime-registered semirings.  The
+/// DynSemiring bridge routes scalar ops through ONE process-global
+/// active-semiring pointer (spgemm/op.hpp), so the mutex must be
+/// process-global too — a per-executor mutex would let two executors
+/// (e.g. two SpGemmPlans, each owning a private executor) interleave
+/// their activations and silently compute with the wrong semiring.
+std::mutex& dyn_semiring_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+}  // namespace
+
+/// One cached plan: the full analysis product for (structure, op),
+/// immutable after construction so in-flight executions can keep using it
+/// through their shared_ptr after an eviction.
+struct CachedPlanEntry {
+  pb::StructureFingerprint fp;
+  std::string key;
+  SpGemmOp op;  ///< copy; the mask pointer stays non-owning
+  std::string resolved;
+  bool auto_requested = false;
+  bool use_pb = false;
+  model::AlgoChoice choice;
+  double predicted_mflops = 0;
+  double plan_seconds = 0;
+  /// Derating constants the "auto" selection ran with (op tunables or
+  /// calibrated overrides) — recorded into every PerfSample so a later
+  /// calibrate() inverts each prediction through the right constants.
+  double sel_pb_efficiency = 0;
+  double sel_column_latency_penalty = 0;
+  pb::PbPlan pb_plan;  ///< valid when use_pb
+  SpGemmFn fn;         ///< execution path when !use_pb
+};
+
+struct SpGemmExecutor::Impl {
+  explicit Impl(ExecutorOptions o) : opts(o) {
+    opts.cache_capacity = std::max<std::size_t>(opts.cache_capacity, 1);
+    opts.max_samples = std::max<std::size_t>(opts.max_samples, 1);
+  }
+
+  using EntryPtr = std::shared_ptr<const CachedPlanEntry>;
+
+  ExecutorOptions opts;
+  mutable std::mutex mu;  ///< cache + stats + samples + calibration state
+  std::list<EntryPtr> lru;  ///< front = most recently used
+  std::map<std::string, SpGemmFn> passthrough_fns;  ///< fixed non-pb ops
+  ExecutorStats stats;
+  std::vector<model::PerfSample> samples;
+  bool calibrated = false;
+  double cal_pb_efficiency = 0;
+  double cal_column_latency_penalty = 0;
+  pb::WorkspacePool pool;
+
+  // ---- cache primitives (callers hold no lock) ----------------------------
+
+  EntryPtr find(const pb::StructureFingerprint& fp, const std::string& key) {
+    const std::lock_guard<std::mutex> lock(mu);
+    for (auto it = lru.begin(); it != lru.end(); ++it) {
+      if ((*it)->key == key && (*it)->fp == fp) {
+        lru.splice(lru.begin(), lru, it);
+        return lru.front();
+      }
+    }
+    return nullptr;
+  }
+
+  /// Value-only match: same op, same dims and nnz — the flop field (the
+  /// one that needs an O(ncols) pass to recompute) is vouched for by the
+  /// caller.
+  EntryPtr find_values_only(const SpGemmProblem& p, const std::string& key) {
+    const std::lock_guard<std::mutex> lock(mu);
+    for (auto it = lru.begin(); it != lru.end(); ++it) {
+      const pb::StructureFingerprint& fp = (*it)->fp;
+      if ((*it)->key == key && fp.a_rows == p.a_csc.nrows &&
+          fp.a_cols == p.a_csc.ncols && fp.b_rows == p.b_csr.nrows &&
+          fp.b_cols == p.b_csr.ncols && fp.a_nnz == p.a_csc.nnz() &&
+          fp.b_nnz == p.b_csr.nnz()) {
+        lru.splice(lru.begin(), lru, it);
+        return lru.front();
+      }
+    }
+    return nullptr;
+  }
+
+  void insert(EntryPtr entry) {
+    const std::lock_guard<std::mutex> lock(mu);
+    // A racing thread may have analyzed the same (structure, op); replace
+    // rather than hold duplicates.
+    for (auto it = lru.begin(); it != lru.end(); ++it) {
+      if ((*it)->key == entry->key && (*it)->fp == entry->fp) {
+        lru.erase(it);
+        break;
+      }
+    }
+    lru.push_front(std::move(entry));
+    while (lru.size() > opts.cache_capacity) {
+      lru.pop_back();  // in-flight holders keep their shared_ptr
+      ++stats.evictions;
+    }
+  }
+
+  /// The selection model an analysis of `op` runs under: the op's
+  /// tunables, with the derating constants replaced by calibrated values
+  /// once a refit has run.
+  model::SelectionModel effective_model(const SpGemmOp& op) {
+    model::SelectionModel m = op.model;
+    const std::lock_guard<std::mutex> lock(mu);
+    if (calibrated) {
+      m.pb_efficiency = cal_pb_efficiency;
+      m.column_latency_penalty = cal_column_latency_penalty;
+    }
+    return m;
+  }
+
+  model::CalibrationResult calibrate_now() {
+    std::vector<model::PerfSample> local;
+    model::SelectionModel base;
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      local = samples;
+      if (calibrated) {
+        base.pb_efficiency = cal_pb_efficiency;
+        base.column_latency_penalty = cal_column_latency_penalty;
+      }
+    }
+    const model::CalibrationResult r = base.calibrate(local);
+    const std::lock_guard<std::mutex> lock(mu);
+    if (r.changed) {
+      calibrated = true;
+      cal_pb_efficiency = base.pb_efficiency;
+      cal_column_latency_penalty = base.column_latency_penalty;
+      samples.clear();  // the next window measures the refitted model
+      ++stats.calibrations;
+    }
+    return r;
+  }
+
+  // ---- analysis ------------------------------------------------------------
+
+  /// Full analysis for one (structure, op): "auto" selection (mask-aware,
+  /// with the structural-only masked nnz estimate), kernel resolution,
+  /// and the PB symbolic build when the choice lands on pb.  Shared
+  /// analysis products from a batch caller arrive via `shared_row_flops`
+  /// / `shared_nnz_est` (< 0 = unknown) so each O(nnz)/O(ncols) pass runs
+  /// at most once per batch.
+  EntryPtr analyze(const SpGemmProblem& p, const SpGemmOp& op,
+                   const std::string& key,
+                   const pb::StructureFingerprint& fp,
+                   std::span<const nnz_t> shared_row_flops,
+                   nnz_t shared_nnz_est) {
+    Timer timer;
+    check_mask_shape(op, p);
+
+    auto entry = std::make_shared<CachedPlanEntry>();
+    entry->fp = fp;
+    entry->key = key;
+    entry->op = op;
+    entry->auto_requested = op.algo == "auto";
+
+    std::string resolved = op.algo;
+    std::vector<nnz_t> row_flops_storage;
+    std::span<const nnz_t> row_flops = shared_row_flops;
+    if (entry->auto_requested) {
+      if (row_flops.empty()) {
+        row_flops_storage = pb::pb_row_flops(p.a_csc, p.b_csr);
+        row_flops = row_flops_storage;
+      }
+      const nnz_t nnz_est =
+          shared_nnz_est >= 0
+              ? shared_nnz_est
+              : pb::pb_estimate_nnz_c(row_flops, p.b_csr.ncols);
+      const double cf = static_cast<double>(fp.flop) /
+                        static_cast<double>(std::max<nnz_t>(nnz_est, 1));
+      const AlgoInfo* hash = find_algorithm("hash");
+      const bool hash_available =
+          hash != nullptr && hash->supports_semiring(op.semiring);
+      model::SelectionModel m = effective_model(op);
+      m.pb_tuple_bytes = static_cast<double>(pb::bytes_per_tuple(
+          pb::predict_tuple_format(p.a_csc.nrows, p.b_csr.ncols, fp.flop,
+                                   op.pb)));
+      entry->sel_pb_efficiency = m.pb_efficiency;
+      entry->sel_column_latency_penalty = m.column_latency_penalty;
+      model::MaskModel mm;
+      if (op.mask != nullptr) {
+        mm.present = true;
+        mm.complement = op.complement;
+        mm.mask_nnz = op.mask->nnz();
+        if (!op.complement) {
+          // Structural-only masked estimate: per-row caps make the
+          // output bound strictly sharper than the global nnz(mask) min.
+          mm.mask_nnz =
+              std::min(mm.mask_nnz,
+                       pb::pb_estimate_nnz_c_masked(row_flops, *op.mask));
+          if (fp.flop > 0) {
+            nnz_t covered = 0;
+            for (index_t r = 0; r < p.a_csr.nrows; ++r) {
+              if (op.mask->row_nnz(r) > 0) covered += row_flops[r];
+            }
+            mm.coverage = static_cast<double>(covered) /
+                          static_cast<double>(fp.flop);
+          }
+        }
+      }
+      entry->choice =
+          model::select_algorithm(cf, fp.flop, hash_available, m, mm);
+      resolved = entry->choice.algo;
+      entry->predicted_mflops = resolved == "pb"
+                                    ? entry->choice.pb_mflops
+                                    : entry->choice.column_mflops;
+    }
+
+    // Resolve through the registry even for pb: unknown names and
+    // unsupported (algo, semiring) pairs fail here, at plan time.
+    entry->fn = masked_semiring_algorithm(resolved, op.semiring, op.mask,
+                                          op.complement);
+    entry->resolved = std::move(resolved);
+    entry->use_pb = entry->resolved == "pb";
+    if (entry->use_pb) {
+      pb::SymbolicHints hints;
+      hints.flop = fp.flop;
+      hints.row_flops = row_flops;
+      entry->pb_plan = pb::pb_plan_build(p.a_csc, p.b_csr, op.pb, hints);
+    }
+    entry->plan_seconds = timer.elapsed_s();
+    return entry;
+  }
+
+  // ---- execution -----------------------------------------------------------
+
+  mtx::CsrMatrix execute_entry(const EntryPtr& entry, const SpGemmProblem& p,
+                               RunInfo* info) {
+    Timer timer;
+    mtx::CsrMatrix c;
+    pb::PbTelemetry pb_stats;
+    {
+      // Runtime-registered semirings indirect through the process-global
+      // DynSemiring bridge; serialize those executions.  Built-ins (and
+      // every kernel compiled against them) run fully concurrent.
+      std::unique_lock<std::mutex> dyn_lock;
+      if (!is_semiring_name(entry->op.semiring)) {
+        dyn_lock = std::unique_lock<std::mutex>(dyn_semiring_mutex());
+      }
+      if (entry->use_pb) {
+        const pb::WorkspacePool::Lease lease = pool.acquire();
+        const pb::MaskSpec mask{entry->op.mask, entry->op.complement};
+        pb::PbResult r = pb::pb_execute_named(
+            entry->op.semiring, p.a_csc, p.b_csr, entry->pb_plan,
+            lease.workspace(), /*check_fingerprint=*/false, mask);
+        pb_stats = r.stats;
+        c = std::move(r.c);
+      } else {
+        c = entry->fn(p);
+      }
+    }
+    const double seconds = timer.elapsed_s();
+    const double achieved =
+        seconds > 0
+            ? static_cast<double>(entry->fp.flop) / seconds / 1e6
+            : 0.0;
+
+    // Close the telemetry loop: unmasked "auto" executes feed the
+    // calibration sample window (a mask changes both roofline bounds, so
+    // masked pairs would fold the mask term into the derating constants).
+    if (entry->auto_requested && entry->op.mask == nullptr &&
+        entry->predicted_mflops > 0 && achieved > 0) {
+      bool want_calibration = false;
+      {
+        const std::lock_guard<std::mutex> lock(mu);
+        samples.push_back({entry->resolved, entry->choice.cf,
+                           entry->predicted_mflops, achieved,
+                           entry->sel_pb_efficiency,
+                           entry->sel_column_latency_penalty});
+        if (samples.size() > opts.max_samples) {
+          samples.erase(samples.begin());
+        }
+        want_calibration = opts.calibrate_after > 0 && !calibrated &&
+                           samples.size() >= opts.calibrate_after;
+      }
+      if (want_calibration) (void)calibrate_now();
+    }
+
+    if (info != nullptr) {
+      fill_info(*info, *entry);
+      info->achieved_mflops = achieved;
+      if (entry->use_pb) info->pb_stats = pb_stats;
+    }
+    return c;
+  }
+
+  static void fill_info(RunInfo& info, const CachedPlanEntry& entry) {
+    info.algo = entry.resolved;
+    info.used_pb = entry.use_pb;
+    info.flop = entry.fp.flop;
+    info.plan_seconds = entry.plan_seconds;
+    info.predicted_mflops = entry.predicted_mflops;
+    info.choice = entry.choice;
+  }
+
+  SpGemmFn passthrough_fn(const SpGemmOp& op, const std::string& key) {
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      const auto it = passthrough_fns.find(key);
+      if (it != passthrough_fns.end()) return it->second;
+    }
+    SpGemmFn fn = masked_semiring_algorithm(op.algo, op.semiring, op.mask,
+                                            op.complement);
+    const std::lock_guard<std::mutex> lock(mu);
+    return passthrough_fns.emplace(key, std::move(fn)).first->second;
+  }
+
+  mtx::CsrMatrix run_passthrough(const SpGemmProblem& p, const SpGemmOp& op,
+                                 RunInfo* info) {
+    check_mask_shape(op, p);
+    const SpGemmFn fn = passthrough_fn(op, op_cache_key(op));
+    mtx::CsrMatrix c;
+    {
+      std::unique_lock<std::mutex> dyn_lock;
+      if (!is_semiring_name(op.semiring)) {
+        dyn_lock = std::unique_lock<std::mutex>(dyn_semiring_mutex());
+      }
+      c = fn(p);
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      ++stats.executes;
+      ++stats.passthrough;
+    }
+    if (info != nullptr) {
+      *info = RunInfo{};
+      info->algo = op.algo;
+      info->passthrough = true;
+    }
+    return c;
+  }
+};
+
+SpGemmExecutor::SpGemmExecutor(ExecutorOptions opts)
+    : impl_(std::make_unique<Impl>(opts)) {}
+
+SpGemmExecutor::~SpGemmExecutor() = default;
+
+mtx::CsrMatrix SpGemmExecutor::run_product(const SpGemmProblem& p,
+                                           const SpGemmOp& op, RunInfo* info,
+                                           bool values_only) {
+  Impl& im = *impl_;
+  if (info != nullptr) *info = RunInfo{};  // no stale fields across reuses
+  if (is_passthrough(op)) {
+    // A fixed baseline algorithm caches nothing beyond kernel resolution:
+    // there is no analysis to reuse and no fingerprint to verify.
+    return im.run_passthrough(p, op, info);
+  }
+
+  const std::string key = op_cache_key(op);
+  if (values_only) {
+    if (Impl::EntryPtr entry = im.find_values_only(p, key)) {
+      {
+        const std::lock_guard<std::mutex> lock(im.mu);
+        ++im.stats.executes;
+        ++im.stats.cache_hits;
+        ++im.stats.value_only_hits;
+      }
+      mtx::CsrMatrix c = im.execute_entry(entry, p, info);
+      if (info != nullptr) {
+        info->cache_hit = true;
+        info->value_only = true;
+      }
+      return c;
+    }
+    // No structure on file for this op: fall through to the full path.
+  }
+
+  const pb::StructureFingerprint fp =
+      pb::StructureFingerprint::of(p.a_csc, p.b_csr);
+  Impl::EntryPtr entry = im.find(fp, key);
+  const bool hit = entry != nullptr;
+  if (!hit) {
+    entry = im.analyze(p, op, key, fp, {}, -1);
+    im.insert(entry);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(im.mu);
+    ++im.stats.executes;
+    hit ? ++im.stats.cache_hits : ++im.stats.cache_misses;
+  }
+  mtx::CsrMatrix c = im.execute_entry(entry, p, info);
+  if (info != nullptr) info->cache_hit = hit;
+  return c;
+}
+
+mtx::CsrMatrix SpGemmExecutor::run(const SpGemmProblem& p, const SpGemmOp& op,
+                                   RunInfo* info) {
+  if (op.accumulate) {
+    throw std::logic_error(
+        "SpGemmExecutor::run: the op declared accumulate — pass the matrix "
+        "to accumulate into (run(problem, op, c))");
+  }
+  return run_product(p, op, info, /*values_only=*/false);
+}
+
+mtx::CsrMatrix SpGemmExecutor::run(const SpGemmProblem& p, const SpGemmOp& op,
+                                   const mtx::CsrMatrix& accumulate_into,
+                                   RunInfo* info) {
+  return semiring_ewise_add(op.semiring, accumulate_into,
+                            run_product(p, op, info, /*values_only=*/false));
+}
+
+mtx::CsrMatrix SpGemmExecutor::run_values_updated(const SpGemmProblem& p,
+                                                  const SpGemmOp& op,
+                                                  RunInfo* info) {
+  if (op.accumulate) {
+    throw std::logic_error(
+        "SpGemmExecutor::run_values_updated: accumulating ops use "
+        "run(problem, op, c)");
+  }
+  return run_product(p, op, info, /*values_only=*/true);
+}
+
+std::vector<mtx::CsrMatrix> SpGemmExecutor::run(const SpGemmProblem& p,
+                                                std::span<const SpGemmOp> ops) {
+  Impl& im = *impl_;
+  std::vector<mtx::CsrMatrix> results;
+  if (ops.empty()) return results;
+  results.reserve(ops.size());
+  {
+    const std::lock_guard<std::mutex> lock(im.mu);
+    ++im.stats.batches;
+  }
+
+  // One analysis pass shared by every op that plans: the fingerprint's
+  // flop count always; the row-flop histogram and nnz estimate when any
+  // op runs "auto" selection (each op's mask terms still derive from the
+  // shared histogram).
+  bool any_planned = false;
+  bool any_auto = false;
+  for (const SpGemmOp& op : ops) {
+    if (op.accumulate) {
+      throw std::logic_error(
+          "SpGemmExecutor::run(problem, ops): batch results are products; "
+          "accumulate through the two-argument run");
+    }
+    if (!is_passthrough(op)) any_planned = true;
+    if (op.algo == "auto") any_auto = true;
+  }
+
+  pb::StructureFingerprint fp;
+  std::vector<nnz_t> row_flops;
+  nnz_t nnz_est = -1;
+  if (any_planned) {
+    fp = pb::StructureFingerprint::of(p.a_csc, p.b_csr);
+    if (any_auto) {
+      row_flops = pb::pb_row_flops(p.a_csc, p.b_csr);
+      nnz_est = pb::pb_estimate_nnz_c(row_flops, p.b_csr.ncols);
+    }
+  }
+
+  for (const SpGemmOp& op : ops) {
+    if (is_passthrough(op)) {
+      results.push_back(im.run_passthrough(p, op, nullptr));
+      continue;
+    }
+    const std::string key = op_cache_key(op);
+    Impl::EntryPtr entry = im.find(fp, key);
+    const bool hit = entry != nullptr;
+    if (!hit) {
+      entry = im.analyze(p, op, key, fp, row_flops, nnz_est);
+      im.insert(entry);
+    }
+    {
+      const std::lock_guard<std::mutex> lock(im.mu);
+      ++im.stats.executes;
+      hit ? ++im.stats.cache_hits : ++im.stats.cache_misses;
+    }
+    results.push_back(im.execute_entry(entry, p, nullptr));
+  }
+  return results;
+}
+
+void SpGemmExecutor::prepare(const SpGemmProblem& p, const SpGemmOp& op,
+                             RunInfo* info) {
+  Impl& im = *impl_;
+  if (is_passthrough(op)) {
+    check_mask_shape(op, p);
+    Timer timer;
+    (void)im.passthrough_fn(op, op_cache_key(op));  // throws on bad pairs
+    // Fixed baseline plans still report the problem's flop (the analysis
+    // SpGemmPlan has always exposed), they just never re-verify it.
+    const pb::StructureFingerprint fp =
+        pb::StructureFingerprint::of(p.a_csc, p.b_csr);
+    if (info != nullptr) {
+      *info = RunInfo{};
+      info->algo = op.algo;
+      info->passthrough = true;
+      info->flop = fp.flop;
+      info->plan_seconds = timer.elapsed_s();
+    }
+    return;
+  }
+  const std::string key = op_cache_key(op);
+  const pb::StructureFingerprint fp =
+      pb::StructureFingerprint::of(p.a_csc, p.b_csr);
+  Impl::EntryPtr entry = im.find(fp, key);
+  const bool hit = entry != nullptr;
+  if (!hit) {
+    entry = im.analyze(p, op, key, fp, {}, -1);
+    im.insert(entry);
+    const std::lock_guard<std::mutex> lock(im.mu);
+    ++im.stats.cache_misses;
+  } else {
+    const std::lock_guard<std::mutex> lock(im.mu);
+    ++im.stats.cache_hits;
+  }
+  if (info != nullptr) {
+    *info = RunInfo{};
+    Impl::fill_info(*info, *entry);
+    info->cache_hit = hit;
+  }
+}
+
+ExecutorStats SpGemmExecutor::stats() const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->stats;
+}
+
+pb::WorkspacePool::Stats SpGemmExecutor::pool_stats() const {
+  return impl_->pool.stats();
+}
+
+pb::PbWorkspace::Stats SpGemmExecutor::workspace_stats() const {
+  return impl_->pool.workspace_stats();
+}
+
+std::vector<model::PerfSample> SpGemmExecutor::samples() const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->samples;
+}
+
+model::SelectionModel SpGemmExecutor::selection_model() const {
+  model::SelectionModel m;
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  if (impl_->calibrated) {
+    m.pb_efficiency = impl_->cal_pb_efficiency;
+    m.column_latency_penalty = impl_->cal_column_latency_penalty;
+  }
+  return m;
+}
+
+model::CalibrationResult SpGemmExecutor::calibrate() {
+  return impl_->calibrate_now();
+}
+
+}  // namespace pbs

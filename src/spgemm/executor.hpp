@@ -1,0 +1,197 @@
+// SpGemmExecutor — the long-lived serving layer over the plan/execute
+// machinery.
+//
+// SpGemmPlan answers "multiply this one structure many times"; iterative
+// and serving workloads need more: MCL alternates between a few pruned
+// shapes (a single plan replans on every flip), AMG walks two triple-
+// product sites down a level hierarchy, batched masked BFS/BC frontiers
+// run several descriptors against one analysis, and a service multiplies
+// through one hot plan from many threads at once.  The executor owns all
+// four patterns:
+//
+//   PlanCache      — an LRU of cached plans keyed by StructureFingerprint
+//                    × op identity.  Workloads alternating between a few
+//                    structures pay the O(ncols)/O(nnz) analysis once per
+//                    structure instead of once per flip; the per-execute
+//                    cost of a hit is the O(ncols) fingerprint pass.
+//   value-only     — run_values_updated(): when the caller knows only the
+//                    operands' *values* changed since the previous run of
+//                    this op (same structure), the executor matches the
+//                    cached plan on dims+nnz alone and replays just the
+//                    numeric stages — no flop recount, no symbolic.
+//   batched ops    — run(problem, span<SpGemmOp>) plans every descriptor
+//                    from ONE analysis pass (fingerprint flop, row-flop
+//                    histogram, nnz estimate) and selects each op's
+//                    algorithm from it.
+//   concurrency    — run() is thread-safe: the cache is mutex-guarded,
+//                    each in-flight execution leases its own PbWorkspace
+//                    from a WorkspacePool, and cached plans are shared
+//                    immutably (shared_ptr, so eviction never invalidates
+//                    an execution in progress).  N threads can multiply
+//                    through one cached plan simultaneously; for serving,
+//                    give each caller thread its own OpenMP budget
+//                    (omp_set_num_threads per thread).  Executions over
+//                    *runtime-registered* semirings serialize internally
+//                    (the DynSemiring bridge is process-global); built-in
+//                    semirings run fully concurrent.
+//
+// The executor also closes the PR 3 telemetry loop: every unmasked "auto"
+// execute records a model::PerfSample (predicted vs achieved MFLOPS), and
+// after `calibrate_after` samples the executor refits its selection
+// model's derating constants from them (SelectionModel::calibrate), so
+// long-running services converge onto this machine's measured crossover.
+//
+// SpGemmPlan (spgemm/plan.hpp) survives as a thin single-entry view over
+// one private executor, so existing callers keep their API and gain the
+// structure cache transparently.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/selection.hpp"
+#include "pb/plan.hpp"
+#include "pb/workspace_pool.hpp"
+#include "spgemm/op.hpp"
+#include "spgemm/spgemm.hpp"
+
+namespace pbs {
+
+struct ExecutorOptions {
+  /// Cached plans retained (LRU).  Size it to the number of distinct
+  /// (structure, op) pairs the workload alternates between; each entry
+  /// holds a PB symbolic layout (O(nbins) offsets), not tuple storage —
+  /// the big buffers live in the workspace pool, shared by all entries.
+  std::size_t cache_capacity = 8;
+
+  /// Refit the selection model's derating constants once this many
+  /// predicted-vs-achieved samples have been recorded (0 = never).
+  /// Replans and new structures selected after the refit use the
+  /// calibrated constants; already-cached choices are kept.
+  std::size_t calibrate_after = 0;
+
+  /// Telemetry ring capacity: the most recent samples kept for
+  /// calibrate()/samples().
+  std::size_t max_samples = 512;
+};
+
+struct ExecutorStats {
+  std::uint64_t executes = 0;     ///< product executions, all paths
+  std::uint64_t cache_hits = 0;   ///< fingerprint-verified plan reuses
+  std::uint64_t cache_misses = 0; ///< full analyses (first touch included)
+  std::uint64_t value_only_hits = 0;  ///< dims+nnz-matched fast-path runs
+  std::uint64_t passthrough = 0;  ///< fixed non-pb ops (no fingerprint)
+  std::uint64_t evictions = 0;
+  std::uint64_t batches = 0;      ///< run(problem, ops) calls
+  std::uint64_t calibrations = 0; ///< automatic warmup refits performed
+
+  [[nodiscard]] double hit_ratio() const {
+    const double looked = static_cast<double>(cache_hits + cache_misses);
+    return looked > 0 ? static_cast<double>(cache_hits) / looked : 0.0;
+  }
+};
+
+/// What one run()/prepare() did — the executor's per-call telemetry
+/// (aggregate counters live in ExecutorStats).
+struct RunInfo {
+  std::string algo;        ///< the concrete algorithm that executed
+  bool cache_hit = false;  ///< plan came from the cache (incl. value-only)
+  bool value_only = false; ///< matched on dims+nnz, flop pass skipped
+  bool passthrough = false;  ///< fixed non-pb op: nothing to cache
+  bool used_pb = false;
+  nnz_t flop = 0;
+  double plan_seconds = 0;  ///< analysis cost when this call (re)planned
+  /// Roofline prediction of the entry's choice / what this execute
+  /// achieved (0 for prepare and for non-"auto" predictions).
+  double predicted_mflops = 0;
+  double achieved_mflops = 0;
+  model::AlgoChoice choice;  ///< populated for "auto" entries
+  pb::PbTelemetry pb_stats;  ///< per-phase telemetry when used_pb
+};
+
+class SpGemmExecutor {
+ public:
+  explicit SpGemmExecutor(ExecutorOptions opts = {});
+  ~SpGemmExecutor();
+  SpGemmExecutor(const SpGemmExecutor&) = delete;
+  SpGemmExecutor& operator=(const SpGemmExecutor&) = delete;
+
+  /// Multiplies p under op, through the cached plan for (structure, op)
+  /// when one exists (building and caching it otherwise).  Thread-safe.
+  /// Throws like make_plan for unknown algorithms/semirings, unsupported
+  /// pairs, or a mask whose shape does not match the product; throws
+  /// std::logic_error when op.accumulate is set (use the accumulating
+  /// overload).
+  mtx::CsrMatrix run(const SpGemmProblem& p, const SpGemmOp& op = {},
+                     RunInfo* info = nullptr);
+
+  /// Accumulating run: c ⊞ (A ⊗ B under op's mask), the union-pattern
+  /// combine with the op semiring's add.
+  mtx::CsrMatrix run(const SpGemmProblem& p, const SpGemmOp& op,
+                     const mtx::CsrMatrix& accumulate_into,
+                     RunInfo* info = nullptr);
+
+  /// Batched descriptor execution: every op multiplied against p, sharing
+  /// ONE analysis pass — the fingerprint's flop count, the row-flop
+  /// histogram and the nnz(C) estimate are computed once and every op's
+  /// selection (mask-aware per op) and symbolic build draw on them.
+  /// Results are returned in op order; each (structure, op) plan lands in
+  /// the cache, so subsequent single runs hit.  Accumulating descriptors
+  /// are rejected here (std::logic_error) — batch results are products.
+  std::vector<mtx::CsrMatrix> run(const SpGemmProblem& p,
+                                  std::span<const SpGemmOp> ops);
+
+  /// Value-only fast path: the caller asserts p's operands have the SAME
+  /// STRUCTURE as the most recent run of this op and only the numeric
+  /// values changed.  The cached plan is matched on dims + nnz alone —
+  /// the O(ncols) flop recount and the symbolic phase are both skipped —
+  /// and only the numeric stages replay.  Falls back to the full path
+  /// (fingerprint + replan) when no dims+nnz-matching entry is cached.
+  /// The assertion is trusted: operands that moved nonzeros between rows
+  /// at equal dims+nnz would be routed through a stale bin layout
+  /// (undefined results) — exactly the StructureFingerprint contract,
+  /// minus the flop term the caller vouches for.
+  mtx::CsrMatrix run_values_updated(const SpGemmProblem& p,
+                                    const SpGemmOp& op = {},
+                                    RunInfo* info = nullptr);
+
+  /// Analyzes and caches the plan for (p, op) without executing — warms
+  /// the cache, validates the op (same throws as run), and reports the
+  /// selection through `info`.  make_plan primes its plan this way.
+  void prepare(const SpGemmProblem& p, const SpGemmOp& op = {},
+               RunInfo* info = nullptr);
+
+  [[nodiscard]] ExecutorStats stats() const;
+
+  /// Lease bookkeeping of the workspace pool (created vs reused).
+  [[nodiscard]] pb::WorkspacePool::Stats pool_stats() const;
+
+  /// Aggregated allocator counters of the pooled workspaces — the
+  /// executor analogue of SpGemmPlan::workspace_stats().  Quiescent
+  /// callers only (counters are written lock-free by in-flight runs).
+  [[nodiscard]] pb::PbWorkspace::Stats workspace_stats() const;
+
+  /// The recorded predicted-vs-achieved samples (most recent
+  /// ExecutorOptions::max_samples), oldest first.
+  [[nodiscard]] std::vector<model::PerfSample> samples() const;
+
+  /// The selection model future analyses will use: per-op tunables with
+  /// the derating constants replaced by calibrated values once a refit
+  /// has run (reported relative to the default-constructed model).
+  [[nodiscard]] model::SelectionModel selection_model() const;
+
+  /// Refits the derating constants from the recorded samples now
+  /// (regardless of calibrate_after) and applies them to future analyses.
+  model::CalibrationResult calibrate();
+
+ private:
+  mtx::CsrMatrix run_product(const SpGemmProblem& p, const SpGemmOp& op,
+                             RunInfo* info, bool values_only);
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace pbs

@@ -1,145 +1,47 @@
 #include "spgemm/plan.hpp"
 
 #include <stdexcept>
+#include <utility>
 
-#include "common/timer.hpp"
+#include "spgemm/executor.hpp"
 
 namespace pbs {
 
-void SpGemmPlan::analyze(const SpGemmProblem& p,
-                         const pb::StructureFingerprint& fp) {
-  Timer timer;
+SpGemmPlan::SpGemmPlan() = default;
+SpGemmPlan::~SpGemmPlan() = default;
+SpGemmPlan::SpGemmPlan(SpGemmPlan&&) noexcept = default;
+SpGemmPlan& SpGemmPlan::operator=(SpGemmPlan&&) noexcept = default;
 
-  if (opts_.mask != nullptr && (opts_.mask->nrows != p.a_csr.nrows ||
-                                opts_.mask->ncols != p.b_csr.ncols)) {
-    throw std::invalid_argument(
-        "make_plan: mask shape does not match the product");
+void SpGemmPlan::note_run(const RunInfo& info) {
+  ++tm_.executes;
+  if (info.passthrough) return;  // nothing cached, nothing reused
+  if (info.cache_hit) {
+    ++tm_.analysis_reuses;
+  } else {
+    ++tm_.replans;
+    tm_.plan_seconds = info.plan_seconds;
   }
-
-  // Run everything that can throw into locals first; commit member state
-  // only once analysis has fully succeeded.  Otherwise an exception
-  // mid-replan (e.g. bad_alloc in the symbolic build) could leave fp_
-  // claiming a structure the cached pb plan was never built for, and a
-  // retried execute would run the stale bin layout unchecked.
-  std::string resolved = opts_.algo;
-  model::AlgoChoice choice;
-  std::vector<nnz_t> row_flops;
-  if (opts_.algo == "auto") {
-    // Selection needs only flop (already in the fingerprint) and an
-    // estimated compression factor — no bin layout yet, so a choice that
-    // lands on a Gustavson kernel never pays for one.  The row-flop
-    // histogram backing the estimate is kept: if the choice lands on pb
-    // with adaptive binning, symbolic reuses it instead of recounting.
-    row_flops = pb::pb_row_flops(p.a_csc, p.b_csr);
-    const nnz_t nnz_est = pb::pb_estimate_nnz_c(row_flops, p.b_csr.ncols);
-    const double cf =
-        static_cast<double>(fp.flop) /
-        static_cast<double>(std::max<nnz_t>(nnz_est, 1));
-    const AlgoInfo* hash = find_algorithm("hash");
-    const bool hash_available =
-        hash != nullptr && hash->supports_semiring(opts_.semiring);
-    // Charge PB's Eq. 4 bound the bytes its tuple stream would actually
-    // move under the format symbolic would pick for this problem.
-    model::SelectionModel m = opts_.model;
-    m.pb_tuple_bytes = static_cast<double>(pb::bytes_per_tuple(
-        pb::predict_tuple_format(p.a_csc.nrows, p.b_csr.ncols, fp.flop,
-                                 opts_.pb)));
-    // The mask-density term: a plain mask caps the output at nnz(mask)
-    // and lets the Gustavson row loops skip every wedge whose output row
-    // has no mask entry (the masked wedge count, computed from the row
-    // flops the selection pass already owns).
-    model::MaskModel mm;
-    if (opts_.mask != nullptr) {
-      mm.present = true;
-      mm.complement = opts_.complement;
-      mm.mask_nnz = opts_.mask->nnz();
-      if (!opts_.complement && fp.flop > 0) {
-        nnz_t covered = 0;
-        for (index_t r = 0; r < p.a_csr.nrows; ++r) {
-          if (opts_.mask->row_nnz(r) > 0) covered += row_flops[r];
-        }
-        mm.coverage =
-            static_cast<double>(covered) / static_cast<double>(fp.flop);
-      }
-    }
-    choice = model::select_algorithm(cf, fp.flop, hash_available, m, mm);
-    resolved = choice.algo;
-  }
-
-  // Resolve through the registry even for pb: unknown names and
-  // unsupported (algo, semiring) pairs fail here, at plan time.  With a
-  // mask the resolved kernel is the fused masked form.
-  SpGemmFn fn = masked_semiring_algorithm(resolved, opts_.semiring,
-                                          opts_.mask, opts_.complement);
-  const bool use_pb = resolved == "pb";
-  pb::PbPlan pb_plan;
-  if (use_pb) {
-    // The fingerprint already owns flop and the selection pass may own the
-    // row-flop histogram: thread both into symbolic so a (re)plan runs
-    // each O(ncols)/O(nnz) structure pass exactly once.
-    pb::SymbolicHints hints;
-    hints.flop = fp.flop;
-    hints.row_flops = row_flops;
-    pb_plan = pb::pb_plan_build(p.a_csc, p.b_csr, opts_.pb, hints);
-  }
-
-  // ---- commit (nothing below throws) ----
-  fp_ = fp;
-  fn_ = std::move(fn);
-  use_pb_ = use_pb;
-  pb_plan_ = std::move(pb_plan);
-  tm_.requested_algo = opts_.algo;
-  tm_.semiring = opts_.semiring;
-  tm_.masked = opts_.mask != nullptr;
-  tm_.complement = opts_.complement;
-  tm_.algo = std::move(resolved);
-  tm_.flop = fp.flop;
-  tm_.predicted_mflops = tm_.algo == "pb" ? choice.pb_mflops
-                                          : choice.column_mflops;
-  if (opts_.algo != "auto") tm_.predicted_mflops = 0;
-  tm_.choice = std::move(choice);
-  tm_.plan_seconds = timer.elapsed_s();
+  // The entry that ran may differ from the one before (alternating
+  // structures): keep the visible telemetry tracking what executed.
+  tm_.algo = info.algo;
+  tm_.flop = info.flop;
+  tm_.choice = info.choice;
+  tm_.predicted_mflops = info.predicted_mflops;
+  tm_.achieved_mflops = info.achieved_mflops;
+  if (info.used_pb) pb_stats_ = info.pb_stats;
 }
 
-mtx::CsrMatrix SpGemmPlan::execute_product(const SpGemmProblem& p) {
-  ++tm_.executes;
-
-  // A fixed baseline algorithm caches nothing beyond kernel resolution:
-  // the plan is pass-through, so skip the fingerprint pass entirely
-  // (there is nothing to invalidate and no analysis being reused).
-  if (!use_pb_ && tm_.requested_algo != "auto") return fn_(p);
-
-  const pb::StructureFingerprint fp =
-      pb::StructureFingerprint::of(p.a_csc, p.b_csr);
-  if (fp != fp_) {
-    ++tm_.replans;
-    analyze(p, fp);
-  } else {
-    ++tm_.analysis_reuses;
-  }
-
-  // Record what this execute achieves against the plan's prediction
-  // (telemetry().predicted_mflops) — the raw material for learning the
-  // selection model's derating constants from real runs.
-  Timer exec_timer;
-  mtx::CsrMatrix c;
-  if (use_pb_) {
-    // Execute through the captured symbolic plan and pooled workspace,
-    // keeping the per-phase telemetry the type-erased registry fn hides;
-    // the op's mask is fused into the compress stage.  The fingerprint was
-    // just verified above, so skip pb_execute's check.
-    const pb::MaskSpec mask{opts_.mask, opts_.complement};
-    pb::PbResult r =
-        pb::pb_execute_named(opts_.semiring, p.a_csc, p.b_csr, pb_plan_, ws_,
-                             /*check_fingerprint=*/false, mask);
-    pb_stats_ = r.stats;
-    c = std::move(r.c);
-  } else {
-    c = fn_(p);
-  }
-  const double s = exec_timer.elapsed_s();
-  tm_.achieved_mflops =
-      s > 0 ? static_cast<double>(tm_.flop) / s / 1e6 : 0.0;
+mtx::CsrMatrix SpGemmPlan::execute_product(const SpGemmProblem& p,
+                                           bool values_only) {
+  // The accumulate flag is enforced at this level (the overload taken);
+  // the executor must see a plain product request.  It shares the cached
+  // plan either way — accumulate is not part of the cache key.
+  SpGemmOp op = opts_;
+  op.accumulate = false;
+  RunInfo info;
+  mtx::CsrMatrix c = values_only ? exec_->run_values_updated(p, op, &info)
+                                 : exec_->run(p, op, &info);
+  note_run(info);
   return c;
 }
 
@@ -149,18 +51,49 @@ mtx::CsrMatrix SpGemmPlan::execute(const SpGemmProblem& p) {
         "SpGemmPlan::execute: the op declared accumulate — pass the matrix "
         "to accumulate into (execute(problem, c))");
   }
-  return execute_product(p);
+  return execute_product(p, /*values_only=*/false);
 }
 
 mtx::CsrMatrix SpGemmPlan::execute(const SpGemmProblem& p,
                                    const mtx::CsrMatrix& c) {
-  return semiring_ewise_add(opts_.semiring, c, execute_product(p));
+  return semiring_ewise_add(opts_.semiring, c,
+                            execute_product(p, /*values_only=*/false));
+}
+
+mtx::CsrMatrix SpGemmPlan::execute_values_updated(const SpGemmProblem& p) {
+  if (opts_.accumulate) {
+    throw std::logic_error(
+        "SpGemmPlan::execute_values_updated: the op declared accumulate — "
+        "pass the matrix to accumulate into (execute(problem, c))");
+  }
+  return execute_product(p, /*values_only=*/true);
+}
+
+pb::PbWorkspace::Stats SpGemmPlan::workspace_stats() const {
+  return exec_->workspace_stats();
 }
 
 SpGemmPlan make_plan(const SpGemmProblem& p, SpGemmOp op) {
   SpGemmPlan plan;
   plan.opts_ = std::move(op);
-  plan.analyze(p, pb::StructureFingerprint::of(p.a_csc, p.b_csr));
+  // A handful of cached structures per plan covers the alternating
+  // workloads (MCL's expand/prune flip, AMG's per-level pairs) without
+  // letting an iterative app with drifting structure hoard stale layouts.
+  ExecutorOptions eo;
+  eo.cache_capacity = 4;
+  plan.exec_ = std::make_unique<SpGemmExecutor>(eo);
+
+  RunInfo info;
+  plan.exec_->prepare(p, plan.opts_, &info);  // throws exactly like before
+  plan.tm_.requested_algo = plan.opts_.algo;
+  plan.tm_.semiring = plan.opts_.semiring;
+  plan.tm_.masked = plan.opts_.mask != nullptr;
+  plan.tm_.complement = plan.opts_.complement;
+  plan.tm_.algo = info.algo;
+  plan.tm_.flop = info.flop;
+  plan.tm_.plan_seconds = info.plan_seconds;
+  plan.tm_.predicted_mflops = info.predicted_mflops;
+  plan.tm_.choice = info.choice;
   return plan;
 }
 

@@ -21,23 +21,32 @@
 // tuples are counted in last_pb_stats().mask_dropped) and into the
 // heap/hash/spa row loops.
 //
-// Invalidation is automatic and cheap: every execute fingerprints the
-// operands (dims + nnz + flop, see pb::StructureFingerprint for the exact
-// contract) and transparently replans on a mismatch — for "auto" plans the
-// algorithm choice is re-derived, so a plan tracking an iterative
-// application (MCL, BFS frontiers, AMG levels) follows the problem as its
-// structure drifts, while repeated same-structure traffic pays analysis
-// exactly once.  The mask's *pattern* is not fingerprinted: it may change
-// freely between executions (only its shape is pinned at plan time).
-// telemetry() reports executes / replans / analysis reuses and the
-// selection rationale; workspace_stats() exposes the allocator's reuse
-// counters.
+// Since PR 5 a plan is a thin single-entry view over a private
+// SpGemmExecutor (spgemm/executor.hpp): the analysis products live in the
+// executor's fingerprint-keyed LRU cache, so a plan tracking a workload
+// that ALTERNATES between a few structures (MCL expand/prune shapes, AMG
+// level pairs) replans once per structure, not once per flip — returning
+// to a cached structure is an analysis reuse.  Every execute still
+// fingerprints the operands (dims + nnz + flop, see
+// pb::StructureFingerprint) and a genuinely new structure transparently
+// replans (counted in telemetry().replans), re-deriving the algorithm
+// choice for "auto" plans.  execute_values_updated() is the value-only
+// fast path: when the caller knows only the operands' values changed, the
+// flop recount is skipped too and just the numeric stages replay.  The
+// mask's *pattern* is never fingerprinted: it may change freely between
+// executions (only its shape is pinned at plan time).  telemetry()
+// reports executes / replans / analysis reuses and the selection
+// rationale; workspace_stats() exposes the pooled allocator's reuse
+// counters.  Plans are move-only (they own their executor); callers
+// needing shared, concurrent, or multi-op execution should hold a
+// SpGemmExecutor directly.
 //
 // PlanOptions is the pre-descriptor name of SpGemmOp and survives as an
 // alias, so existing callers compile unchanged.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "model/selection.hpp"
@@ -46,6 +55,9 @@
 #include "spgemm/registry.hpp"
 
 namespace pbs {
+
+class SpGemmExecutor;
+struct RunInfo;
 
 /// Legacy name of the operation descriptor (shim).
 using PlanOptions = SpGemmOp;
@@ -66,24 +78,33 @@ struct PlanTelemetry {
   /// `choice` at its default β; populated when requested_algo == "auto")
   /// vs. what the most recent fingerprint-verified execute achieved —
   /// the measurement pairs from which the selection model's derating
-  /// constants can be learned.  Fixed non-pb plans skip the fingerprint
-  /// pass, so their executes leave achieved_mflops at 0.
+  /// constants are learned (SelectionModel::calibrate).  Fixed non-pb
+  /// plans skip the fingerprint pass, so their executes leave
+  /// achieved_mflops at 0.
   double predicted_mflops = 0;
   double achieved_mflops = 0;
   std::uint64_t executes = 0;
-  std::uint64_t replans = 0;          ///< fingerprint misses after build
-  /// Executes that reused captured analysis (the pb symbolic layout, or
-  /// the roofline selection for "auto" plans).  A plan fixed on a non-pb
-  /// algorithm caches only kernel resolution: its executes are
-  /// pass-through and counted in neither replans nor analysis_reuses.
+  /// Fingerprint misses after build: structures never seen before (or
+  /// evicted).  Flipping back to a structure the backing cache still
+  /// holds is NOT a replan — it counts as an analysis reuse.
+  std::uint64_t replans = 0;
+  /// Executes that reused captured analysis (a cached pb symbolic layout,
+  /// or the cached roofline selection for "auto" plans) — including
+  /// value-only fast-path executes.  A plan fixed on a non-pb algorithm
+  /// caches only kernel resolution: its executes are pass-through and
+  /// counted in neither replans nor analysis_reuses.
   std::uint64_t analysis_reuses = 0;
 };
 
 class SpGemmPlan {
  public:
+  ~SpGemmPlan();
+  SpGemmPlan(SpGemmPlan&&) noexcept;
+  SpGemmPlan& operator=(SpGemmPlan&&) noexcept;
+
   /// Multiplies p over the planned op.  Operands whose structure
-  /// fingerprint differs from the plan's trigger a transparent replan
-  /// (counted in telemetry().replans); matching operands skip analysis
+  /// fingerprint misses the backing cache trigger a transparent replan
+  /// (counted in telemetry().replans); cached structures skip analysis
   /// entirely.  Throws std::logic_error when the op declared
   /// accumulate — use the two-argument overload.
   mtx::CsrMatrix execute(const SpGemmProblem& p);
@@ -92,6 +113,15 @@ class SpGemmPlan {
   /// union-pattern combine with the op semiring's add.  Usable on any
   /// plan; the one the descriptor's accumulate flag promises.
   mtx::CsrMatrix execute(const SpGemmProblem& p, const mtx::CsrMatrix& c);
+
+  /// Value-only fast path: the caller asserts p has the same structure as
+  /// a previously executed problem of this plan and only the numeric
+  /// values changed — the fingerprint's O(ncols) flop recount is skipped
+  /// (the cached plan is matched on dims + nnz alone) and only the
+  /// numeric stages replay.  Falls back to a normal fingerprinted
+  /// execute when no matching structure is cached.  The assertion is
+  /// trusted; see SpGemmExecutor::run_values_updated for the contract.
+  mtx::CsrMatrix execute_values_updated(const SpGemmProblem& p);
 
   /// The concrete algorithm currently selected ("pb", "hash", ...).
   [[nodiscard]] const std::string& algo() const { return tm_.algo; }
@@ -110,31 +140,27 @@ class SpGemmPlan {
 
   /// Reuse counters of the pooled workspace (PB executions draw all
   /// scratch from it; steady state shows reuses growing, allocations not).
-  [[nodiscard]] pb::PbWorkspace::Stats workspace_stats() const {
-    return ws_.stats();
-  }
+  [[nodiscard]] pb::PbWorkspace::Stats workspace_stats() const;
+
+  /// The backing executor — for callers that outgrow the single-op view
+  /// (batched descriptors, concurrent execution, calibration) without
+  /// rebuilding their plans.
+  [[nodiscard]] SpGemmExecutor& executor() { return *exec_; }
 
  private:
   friend SpGemmPlan make_plan(const SpGemmProblem& p, SpGemmOp op);
-  SpGemmPlan() = default;
-
-  /// Full analysis: selection (for "auto", mask-aware), symbolic plan
-  /// (for pb), kernel resolution (otherwise).  `fp` is p's
-  /// already-computed fingerprint (callers always have it; recomputing
-  /// costs an O(ncols) parallel flop pass).
-  void analyze(const SpGemmProblem& p, const pb::StructureFingerprint& fp);
+  SpGemmPlan();
 
   /// The common body of both execute overloads (the masked product).
-  mtx::CsrMatrix execute_product(const SpGemmProblem& p);
+  mtx::CsrMatrix execute_product(const SpGemmProblem& p, bool values_only);
+
+  /// Folds one run's RunInfo into the plan-level telemetry.
+  void note_run(const RunInfo& info);
 
   SpGemmOp opts_;
   PlanTelemetry tm_;
-  pb::StructureFingerprint fp_;
-  bool use_pb_ = false;
-  pb::PbPlan pb_plan_;     ///< valid when use_pb_
-  SpGemmFn fn_;            ///< execution path when !use_pb_
-  pb::PbWorkspace ws_;
   pb::PbTelemetry pb_stats_;
+  std::unique_ptr<SpGemmExecutor> exec_;
 };
 
 /// Analyzes `p` and returns an executable plan.  Throws

@@ -1,0 +1,520 @@
+// Executor layer: fingerprint-keyed plan cache (LRU hits/evictions),
+// value-only re-execution, batched descriptors over one analysis pass,
+// workspace-pooled concurrent serving, the calibration telemetry loop,
+// the structural-only masked nnz estimate, and PartitionedPlan's
+// value-only slice refresh.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "matrix/ops.hpp"
+#include "model/selection.hpp"
+#include "pb/partitioned.hpp"
+#include "pb/symbolic.hpp"
+#include "pb/workspace_pool.hpp"
+#include "spgemm/executor.hpp"
+#include "spgemm/plan.hpp"
+#include "spgemm/semiring.hpp"
+#include "test_util.hpp"
+
+namespace pbs {
+namespace {
+
+/// Same structure, different numeric values (exact under small-int
+/// scaling): the value-only contract's legitimate mutation.
+mtx::CsrMatrix scale_values(const mtx::CsrMatrix& a, value_t factor) {
+  mtx::CsrMatrix out = a;
+  for (value_t& v : out.vals) v *= factor;
+  return out;
+}
+
+// ---- WorkspacePool --------------------------------------------------------
+
+TEST(WorkspacePool, LeasesAreExclusiveAndReturnedWorkspacesAreReused) {
+  pb::WorkspacePool pool;
+  {
+    const pb::WorkspacePool::Lease l1 = pool.acquire();
+    const pb::WorkspacePool::Lease l2 = pool.acquire();
+    EXPECT_NE(&l1.workspace(), &l2.workspace());  // concurrent = distinct
+    (void)l1.workspace().acquire(64);             // warm one member
+  }
+  const pb::WorkspacePool::Lease l3 = pool.acquire();  // idle again: reuse
+  const pb::WorkspacePool::Stats s = pool.stats();
+  EXPECT_EQ(s.leases, 3u);
+  EXPECT_EQ(s.created, 2u);
+  EXPECT_EQ(s.reused, 1u);
+  EXPECT_EQ(s.workspaces, 2u);
+  EXPECT_EQ(s.peak_in_flight, 2u);
+  // The aggregate allocator view covers every member.
+  EXPECT_EQ(pool.workspace_stats().allocations, 1u);
+}
+
+// ---- SpGemmExecutor: correctness ------------------------------------------
+
+TEST(Executor, MatchesReferenceAcrossAlgorithmsAndSemirings) {
+  const mtx::CsrMatrix a = testutil::exact_er(200, 200, 5.0, 41);
+  const SpGemmProblem p = SpGemmProblem::square(a);
+  SpGemmExecutor exec;
+  for (const std::string& algo : {"auto", "pb", "heap", "hash"}) {
+    for (const std::string& s : semiring_names()) {
+      SpGemmOp op;
+      op.algo = algo;
+      op.semiring = s;
+      const mtx::CsrMatrix c = exec.run(p, op);
+      EXPECT_TRUE(mtx::equal_exact(c, semiring_algorithm("reference", s)(p)))
+          << algo << " x " << s;
+    }
+  }
+}
+
+TEST(Executor, MaskedRunsMatchThePatternFilterOracle) {
+  const mtx::CsrMatrix a = testutil::exact_er(150, 150, 5.0, 42);
+  const mtx::CsrMatrix mask = testutil::exact_er(150, 150, 2.0, 43);
+  const SpGemmProblem p = SpGemmProblem::square(a);
+  const mtx::CsrMatrix product = reference_spgemm(p);
+  SpGemmExecutor exec;
+  for (const bool complement : {false, true}) {
+    SpGemmOp op;
+    op.algo = "pb";
+    op.mask = &mask;
+    op.complement = complement;
+    RunInfo info;
+    const mtx::CsrMatrix c = exec.run(p, op, &info);
+    EXPECT_TRUE(mtx::equal_exact(
+        c, mtx::pattern_filter(product, mask, complement)))
+        << "complement " << complement;
+    EXPECT_TRUE(info.used_pb);
+  }
+  SpGemmOp bad;
+  bad.mask = &a;  // right shape...
+  const mtx::CsrMatrix wrong = testutil::exact_er(150, 100, 2.0, 44);
+  bad.mask = &wrong;  // ...wrong shape: rejected at analysis
+  EXPECT_THROW((void)exec.run(p, bad), std::invalid_argument);
+}
+
+TEST(Executor, AccumulatingRunCombinesWithTheSemiringAdd) {
+  const mtx::CsrMatrix a = testutil::exact_er(120, 120, 4.0, 45);
+  const mtx::CsrMatrix c0 = testutil::exact_er(120, 120, 5.0, 46);
+  const SpGemmProblem p = SpGemmProblem::square(a);
+  SpGemmExecutor exec;
+  SpGemmOp op;
+  op.algo = "pb";
+  op.accumulate = true;
+  EXPECT_THROW((void)exec.run(p, op), std::logic_error);
+  const mtx::CsrMatrix c = exec.run(p, op, c0);
+  EXPECT_TRUE(mtx::equal_exact(c, mtx::add(c0, reference_spgemm(p))));
+}
+
+// ---- plan cache: hits, eviction, alternation ------------------------------
+
+TEST(Executor, AlternatingStructuresHitTheCache) {
+  const mtx::CsrMatrix big = testutil::exact_er(300, 300, 6.0, 47);
+  const mtx::CsrMatrix small = testutil::exact_er(120, 120, 4.0, 48);
+  const SpGemmProblem pb_ = SpGemmProblem::square(big);
+  const SpGemmProblem ps = SpGemmProblem::square(small);
+  const mtx::CsrMatrix eb = reference_spgemm(pb_);
+  const mtx::CsrMatrix es = reference_spgemm(ps);
+
+  SpGemmExecutor exec;
+  SpGemmOp op;
+  op.algo = "pb";
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_TRUE(mtx::equal_exact(exec.run(pb_, op), eb));
+    EXPECT_TRUE(mtx::equal_exact(exec.run(ps, op), es));
+  }
+  const ExecutorStats s = exec.stats();
+  EXPECT_EQ(s.executes, 6u);
+  EXPECT_EQ(s.cache_misses, 2u);  // one analysis per structure, ever
+  EXPECT_EQ(s.cache_hits, 4u);
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_NEAR(s.hit_ratio(), 4.0 / 6.0, 1e-12);
+}
+
+TEST(Executor, CapacityOneReplansOnEveryFlip) {
+  // The pre-executor behavior as a configuration: a single cached plan
+  // alternating between two structures re-analyzes every time.
+  ExecutorOptions eo;
+  eo.cache_capacity = 1;
+  SpGemmExecutor exec(eo);
+  const SpGemmProblem pa =
+      SpGemmProblem::square(testutil::exact_er(200, 200, 5.0, 49));
+  const SpGemmProblem pb_ =
+      SpGemmProblem::square(testutil::exact_er(150, 150, 5.0, 50));
+  SpGemmOp op;
+  op.algo = "pb";
+  for (int round = 0; round < 3; ++round) {
+    (void)exec.run(pa, op);
+    (void)exec.run(pb_, op);
+  }
+  const ExecutorStats s = exec.stats();
+  EXPECT_EQ(s.cache_misses, 6u);
+  EXPECT_EQ(s.cache_hits, 0u);
+  EXPECT_EQ(s.evictions, 5u);
+}
+
+TEST(Executor, LruEvictsTheLeastRecentlyUsedEntry) {
+  ExecutorOptions eo;
+  eo.cache_capacity = 2;
+  SpGemmExecutor exec(eo);
+  const SpGemmProblem pa =
+      SpGemmProblem::square(testutil::exact_er(100, 100, 4.0, 51));
+  const SpGemmProblem pb_ =
+      SpGemmProblem::square(testutil::exact_er(110, 110, 4.0, 52));
+  const SpGemmProblem pc =
+      SpGemmProblem::square(testutil::exact_er(120, 120, 4.0, 53));
+  SpGemmOp op;
+  op.algo = "pb";
+  (void)exec.run(pa, op);  // miss {A}
+  (void)exec.run(pb_, op); // miss {B A}
+  (void)exec.run(pa, op);  // hit  {A B}
+  (void)exec.run(pc, op);  // miss {C A}, evicts B (least recently used)
+  (void)exec.run(pa, op);  // hit  {A C}
+  (void)exec.run(pb_, op); // miss again: B was evicted
+  const ExecutorStats s = exec.stats();
+  EXPECT_EQ(s.cache_misses, 4u);
+  EXPECT_EQ(s.cache_hits, 2u);
+  EXPECT_EQ(s.evictions, 2u);
+}
+
+TEST(Executor, OpIdentityKeysTheCacheAlongsideStructure) {
+  // Two descriptors on one structure are two entries; flipping between
+  // them never replans once both are cached.
+  const SpGemmProblem p =
+      SpGemmProblem::square(testutil::exact_er(200, 200, 5.0, 54));
+  SpGemmExecutor exec;
+  SpGemmOp times;
+  times.algo = "pb";
+  SpGemmOp minplus;
+  minplus.algo = "pb";
+  minplus.semiring = MinPlus::name;
+  for (int round = 0; round < 3; ++round) {
+    (void)exec.run(p, times);
+    (void)exec.run(p, minplus);
+  }
+  const ExecutorStats s = exec.stats();
+  EXPECT_EQ(s.cache_misses, 2u);
+  EXPECT_EQ(s.cache_hits, 4u);
+}
+
+TEST(Executor, FixedBaselineOpsArePassthrough) {
+  const SpGemmProblem p =
+      SpGemmProblem::square(testutil::exact_er(100, 100, 4.0, 55));
+  SpGemmExecutor exec;
+  SpGemmOp op;
+  op.algo = "hash";
+  RunInfo info;
+  const mtx::CsrMatrix c = exec.run(p, op, &info);
+  EXPECT_TRUE(mtx::equal_exact(c, reference_spgemm(p)));
+  EXPECT_TRUE(info.passthrough);
+  const ExecutorStats s = exec.stats();
+  EXPECT_EQ(s.passthrough, 1u);
+  EXPECT_EQ(s.cache_hits + s.cache_misses, 0u);
+}
+
+// ---- value-only fast path -------------------------------------------------
+
+TEST(Executor, ValueOnlyRunSkipsAnalysisAndStaysCorrect) {
+  const mtx::CsrMatrix a = testutil::exact_er(250, 250, 5.0, 56);
+  const SpGemmProblem p = SpGemmProblem::square(a);
+  SpGemmExecutor exec;
+  SpGemmOp op;
+  op.algo = "pb";
+  (void)exec.run(p, op);  // populate the cache
+
+  const mtx::CsrMatrix a2 = scale_values(a, 3.0);
+  const SpGemmProblem p2 = SpGemmProblem::square(a2);
+  RunInfo info;
+  const mtx::CsrMatrix c = exec.run_values_updated(p2, op, &info);
+  EXPECT_TRUE(info.cache_hit);
+  EXPECT_TRUE(info.value_only);
+  EXPECT_TRUE(mtx::equal_exact(c, reference_spgemm(p2)));
+  EXPECT_EQ(exec.stats().value_only_hits, 1u);
+
+  // No dims+nnz match on file: transparently falls back to the full
+  // fingerprinted path (and caches the new structure).
+  const SpGemmProblem other =
+      SpGemmProblem::square(testutil::exact_er(180, 180, 4.0, 57));
+  RunInfo fallback;
+  const mtx::CsrMatrix co = exec.run_values_updated(other, op, &fallback);
+  EXPECT_FALSE(fallback.value_only);
+  EXPECT_FALSE(fallback.cache_hit);
+  EXPECT_TRUE(mtx::equal_exact(co, reference_spgemm(other)));
+}
+
+// ---- batched descriptors --------------------------------------------------
+
+TEST(Executor, BatchRunsEveryDescriptorOffOneAnalysisPass) {
+  const mtx::CsrMatrix a = testutil::exact_er(250, 250, 5.0, 58);
+  const mtx::CsrMatrix mask = testutil::exact_er(250, 250, 2.0, 59);
+  const SpGemmProblem p = SpGemmProblem::square(a);
+
+  std::vector<SpGemmOp> ops(3);
+  ops[0].algo = "auto";
+  ops[1].algo = "auto";
+  ops[1].semiring = MinPlus::name;
+  ops[2].algo = "pb";
+  ops[2].mask = &mask;
+
+  SpGemmExecutor exec;
+  const std::vector<mtx::CsrMatrix> rs = exec.run(p, ops);
+  ASSERT_EQ(rs.size(), 3u);
+  EXPECT_TRUE(mtx::equal_exact(rs[0], reference_spgemm(p)));
+  EXPECT_TRUE(
+      mtx::equal_exact(rs[1], reference_spgemm_semiring<MinPlus>(p)));
+  EXPECT_TRUE(mtx::equal_exact(
+      rs[2], mtx::pattern_filter(reference_spgemm(p), mask, false)));
+
+  const ExecutorStats s = exec.stats();
+  EXPECT_EQ(s.batches, 1u);
+  EXPECT_EQ(s.cache_misses, 3u);
+  // Every batch plan landed in the cache: single runs now hit.
+  RunInfo info;
+  (void)exec.run(p, ops[0], &info);
+  EXPECT_TRUE(info.cache_hit);
+
+  SpGemmOp acc;
+  acc.accumulate = true;
+  const std::vector<SpGemmOp> bad{acc};
+  EXPECT_THROW((void)exec.run(p, std::span<const SpGemmOp>(bad)),
+               std::logic_error);
+}
+
+// ---- concurrent serving ---------------------------------------------------
+
+TEST(ExecutorConcurrency, FourThreadsThroughOneCachedPlan) {
+  const mtx::CsrMatrix base = testutil::exact_er(250, 250, 5.0, 60);
+  SpGemmExecutor exec;
+  SpGemmOp op;
+  op.algo = "pb";
+  {
+    const SpGemmProblem warm = SpGemmProblem::square(base);
+    (void)exec.run(warm, op);  // one analysis, then serve from the cache
+  }
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 3;
+  for (int round = 0; round < kRounds; ++round) {
+    // Values mutate between rounds (the serving pattern: same structure,
+    // fresh numbers); every thread multiplies the same problem.
+    const mtx::CsrMatrix m =
+        scale_values(base, static_cast<value_t>(round + 1));
+    const SpGemmProblem p = SpGemmProblem::square(m);
+    const mtx::CsrMatrix expected = reference_spgemm(p);
+
+    std::vector<mtx::CsrMatrix> results(kThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        set_threads(1);  // serving config: one OpenMP lane per request
+        results[static_cast<std::size_t>(t)] =
+            exec.run_values_updated(p, op);
+      });
+    }
+    for (std::thread& th : threads) th.join();
+    for (const mtx::CsrMatrix& r : results) {
+      EXPECT_TRUE(mtx::equal_exact(r, expected)) << "round " << round;
+    }
+  }
+
+  const ExecutorStats s = exec.stats();
+  EXPECT_EQ(s.executes, 1u + kThreads * kRounds);
+  EXPECT_EQ(s.cache_misses, 1u);  // the warmup analysis; everything else hit
+  EXPECT_EQ(s.value_only_hits,
+            static_cast<std::uint64_t>(kThreads * kRounds));
+  const pb::WorkspacePool::Stats ps = exec.pool_stats();
+  // Concurrency bounds the pool: at most one workspace per thread, and
+  // most leases are served by returned (warm) workspaces.  Whether leases
+  // actually overlapped depends on scheduling, so overlap itself is not
+  // asserted.
+  EXPECT_LE(ps.created, static_cast<std::uint64_t>(kThreads));
+  EXPECT_GT(ps.reused, 0u);
+}
+
+TEST(ExecutorConcurrency, ConcurrentRunsAcrossTwoCachedStructures) {
+  const SpGemmProblem pa =
+      SpGemmProblem::square(testutil::exact_er(220, 220, 5.0, 61));
+  const SpGemmProblem pb_ =
+      SpGemmProblem::square(testutil::exact_er(160, 160, 5.0, 62));
+  const mtx::CsrMatrix ea = reference_spgemm(pa);
+  const mtx::CsrMatrix eb = reference_spgemm(pb_);
+  SpGemmExecutor exec;
+  SpGemmOp op;
+  op.algo = "pb";
+  (void)exec.run(pa, op);
+  (void)exec.run(pb_, op);
+
+  constexpr int kThreads = 4;
+  std::vector<mtx::CsrMatrix> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      set_threads(1);
+      const SpGemmProblem& mine = t % 2 == 0 ? pa : pb_;
+      for (int i = 0; i < 3; ++i) {
+        results[static_cast<std::size_t>(t)] = exec.run(mine, op);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(mtx::equal_exact(results[static_cast<std::size_t>(t)],
+                                 t % 2 == 0 ? ea : eb))
+        << "thread " << t;
+  }
+  EXPECT_EQ(exec.stats().cache_misses, 2u);  // races never re-analyzed
+}
+
+// ---- calibration ----------------------------------------------------------
+
+TEST(SelectionCalibrate, RecoversSyntheticDeratingConstants) {
+  const model::SelectionModel defaults;
+  const double true_pb_eff = 0.6;
+  const double true_penalty = 5.0;
+  std::vector<model::PerfSample> samples;
+  for (const double cf : {1.0, 1.5, 2.0, 3.0, 6.0, 12.0, 24.0}) {
+    const model::AlgoChoice c =
+        model::select_algorithm(cf, 1 << 20, true, defaults);
+    // Invert the default derating to the underated bound, then apply the
+    // ground-truth derating: that is what a machine with these constants
+    // would have measured.
+    const double pb_underated = c.pb_mflops / defaults.pb_efficiency;
+    samples.push_back({"pb", c.cf, c.pb_mflops, pb_underated * true_pb_eff});
+    const double col_eff_pred =
+        c.cf / (c.cf + defaults.column_latency_penalty);
+    const double col_underated = c.column_mflops / col_eff_pred;
+    const double col_eff_true = c.cf / (c.cf + true_penalty);
+    samples.push_back(
+        {"hash", c.cf, c.column_mflops, col_underated * col_eff_true});
+  }
+
+  model::SelectionModel fit;
+  const model::CalibrationResult r = fit.calibrate(samples);
+  EXPECT_TRUE(r.changed);
+  EXPECT_EQ(r.pb_samples, 7);
+  EXPECT_EQ(r.column_samples, 7);
+  EXPECT_NEAR(fit.pb_efficiency, true_pb_eff, 0.02);
+  EXPECT_NEAR(fit.column_latency_penalty, true_penalty, 0.25);
+
+  // Degenerate/empty samples leave the model untouched.
+  model::SelectionModel untouched;
+  const model::CalibrationResult none = untouched.calibrate({});
+  EXPECT_FALSE(none.changed);
+  EXPECT_EQ(untouched.pb_efficiency, defaults.pb_efficiency);
+}
+
+TEST(Executor, CalibratesItsSelectionModelAfterTheWarmup) {
+  ExecutorOptions eo;
+  eo.calibrate_after = 3;
+  SpGemmExecutor exec(eo);
+  const SpGemmProblem p =
+      SpGemmProblem::square(testutil::exact_er(300, 300, 6.0, 63));
+  SpGemmOp op;  // auto: unmasked executes record samples
+  for (int i = 0; i < 5; ++i) (void)exec.run(p, op);
+  const ExecutorStats s = exec.stats();
+  EXPECT_EQ(s.calibrations, 1u);
+  // The refitted constants drive future analyses and stay in range.
+  const model::SelectionModel m = exec.selection_model();
+  EXPECT_GT(m.pb_efficiency, 0.0);
+  EXPECT_LE(m.pb_efficiency, 1.0);
+  EXPECT_GE(m.column_latency_penalty, 0.0);
+  // The sample window restarted after the refit.
+  EXPECT_LT(exec.samples().size(), 3u);
+}
+
+// ---- structural-only masked estimate --------------------------------------
+
+TEST(MaskedEstimate, PerRowCapSharpensTheGlobalBound) {
+  const mtx::CsrMatrix a = testutil::exact_er(300, 300, 6.0, 64);
+  const SpGemmProblem p = SpGemmProblem::square(a);
+  const std::vector<nnz_t> rf = pb::pb_row_flops(p.a_csc, p.b_csr);
+  const nnz_t unmasked = pb::pb_estimate_nnz_c(rf, p.b_csr.ncols);
+
+  const mtx::CsrMatrix sparse_mask = testutil::exact_er(300, 300, 1.5, 65);
+  const nnz_t masked = pb::pb_estimate_nnz_c_masked(rf, sparse_mask);
+  EXPECT_LE(masked, unmasked);
+  EXPECT_LE(masked, sparse_mask.nnz());
+  EXPECT_GT(masked, 0);
+
+  // An identity mask caps every row at one surviving entry.
+  const mtx::CsrMatrix eye = mtx::CsrMatrix::identity(300);
+  EXPECT_LE(pb::pb_estimate_nnz_c_masked(rf, eye), 300);
+
+  // Shape mismatch is rejected.
+  const mtx::CsrMatrix wrong = testutil::exact_er(200, 300, 2.0, 66);
+  EXPECT_THROW((void)pb::pb_estimate_nnz_c_masked(rf, wrong),
+               std::invalid_argument);
+}
+
+// ---- PartitionedPlan value-only refresh -----------------------------------
+
+TEST(PartitionedPlanTest, UpdateAValuesRefreshesFrozenSlices) {
+  const mtx::CsrMatrix a = testutil::exact_er(300, 300, 6.0, 67);
+  const SpGemmProblem p = SpGemmProblem::square(a);
+  pb::PartitionedPlan plan = pb::make_partitioned_plan(p.a_csc, p.b_csr, 3);
+  EXPECT_TRUE(
+      mtx::equal_exact(plan.execute(p.b_csr).c, reference_spgemm(p)));
+
+  // Same structure, new values: refresh the frozen slices and multiply
+  // against the updated B — no re-slice, no re-analysis.
+  const mtx::CsrMatrix a2 = scale_values(a, 3.0);
+  const SpGemmProblem p2 = SpGemmProblem::square(a2);
+  plan.update_a_values(p2.a_csc);
+  EXPECT_TRUE(
+      mtx::equal_exact(plan.execute(p2.b_csr).c, reference_spgemm(p2)));
+
+  // Structure drift is detected during the copy pass.
+  const mtx::CsrMatrix other = testutil::exact_er(300, 300, 5.0, 68);
+  const SpGemmProblem po = SpGemmProblem::square(other);
+  EXPECT_THROW(plan.update_a_values(po.a_csc), std::invalid_argument);
+  const mtx::CsrMatrix small = testutil::exact_er(100, 100, 4.0, 69);
+  const SpGemmProblem psm = SpGemmProblem::square(small);
+  EXPECT_THROW(plan.update_a_values(psm.a_csc), std::invalid_argument);
+}
+
+// ---- SpGemmPlan as the single-entry executor view -------------------------
+
+TEST(SpGemmPlanTest, AlternatingStructuresReuseCachedAnalyses) {
+  const mtx::CsrMatrix big = testutil::exact_er(300, 300, 6.0, 70);
+  const mtx::CsrMatrix small = testutil::exact_er(120, 120, 4.0, 71);
+  const SpGemmProblem pb_ = SpGemmProblem::square(big);
+  const SpGemmProblem ps = SpGemmProblem::square(small);
+  PlanOptions opts;
+  opts.algo = "pb";
+  SpGemmPlan plan = make_plan(pb_, opts);
+  EXPECT_TRUE(mtx::equal_exact(plan.execute(pb_), reference_spgemm(pb_)));
+  EXPECT_TRUE(mtx::equal_exact(plan.execute(ps), reference_spgemm(ps)));
+  // Flipping BACK is an analysis reuse now, not a replan — the executor
+  // cache still holds the first structure's plan.
+  EXPECT_TRUE(mtx::equal_exact(plan.execute(pb_), reference_spgemm(pb_)));
+  EXPECT_TRUE(mtx::equal_exact(plan.execute(ps), reference_spgemm(ps)));
+  const PlanTelemetry& tm = plan.telemetry();
+  EXPECT_EQ(tm.executes, 4u);
+  EXPECT_EQ(tm.replans, 1u);  // only the small structure was ever new
+  EXPECT_EQ(tm.analysis_reuses, 3u);
+}
+
+TEST(SpGemmPlanTest, ExecuteValuesUpdatedReplaysNumericStagesOnly) {
+  const mtx::CsrMatrix a = testutil::exact_er(250, 250, 5.0, 72);
+  const SpGemmProblem p = SpGemmProblem::square(a);
+  PlanOptions opts;
+  opts.algo = "pb";
+  SpGemmPlan plan = make_plan(p, opts);
+  (void)plan.execute(p);
+
+  const mtx::CsrMatrix a2 = scale_values(a, 2.0);
+  const SpGemmProblem p2 = SpGemmProblem::square(a2);
+  const mtx::CsrMatrix c = plan.execute_values_updated(p2);
+  EXPECT_TRUE(mtx::equal_exact(c, reference_spgemm(p2)));
+  const PlanTelemetry& tm = plan.telemetry();
+  EXPECT_EQ(tm.executes, 2u);
+  EXPECT_EQ(tm.replans, 0u);
+  EXPECT_EQ(tm.analysis_reuses, 2u);  // the value-only run counts as reuse
+}
+
+}  // namespace
+}  // namespace pbs

@@ -8,6 +8,7 @@
 //                    [--semiring plus_times]
 //                    [--mask FILE.mtx] [--complement]
 //   pbs_cli semiring --a FILE.mtx [--algo auto] [--repeat N]
+//   pbs_cli calibrate [--scale N] [--reps R]
 //   pbs_cli info
 //   pbs_cli stream   [--mb N]
 //   pbs_cli roofline [--beta GBS] [--cf CF]
@@ -16,9 +17,11 @@
 // paper's evaluation mode) and prints per-phase PB telemetry when the
 // algorithm is "pb".  --algo auto resolves to a concrete algorithm via the
 // roofline selection model (mask-density-aware when --mask is given) and
-// reports the decision; --repeat N builds one SpGemmPlan and executes it N
-// times, reporting how much of the symbolic+allocation cost the plan
-// amortizes away.  --mask restricts the output to the mask's pattern with
+// reports the decision; --repeat N plans once into a SpGemmExecutor and
+// executes N times, reporting the amortization plus the executor's
+// cache-hit/miss and workspace-pool reuse counters.  `calibrate` refits
+// the selection model's derating constants from recorded
+// predicted-vs-achieved MFLOPS pairs.  --mask restricts the output to the mask's pattern with
 // the mask *fused* into the kernel (PB drops masked-out tuples at its
 // compress stage and reports the count); --complement flips the polarity.
 // `semiring` demonstrates runtime semiring registration: it registers the
@@ -125,11 +128,12 @@ void print_pb_phases(const pb::PbTelemetry& tm) {
             << tm.convert.seconds * 1e3 << " ms\n";
 }
 
-// Plan path: analyze + select once, execute `execs` times.  With --repeat
-// the report centers on amortization (the plan/execute architecture's
-// reason to exist); with --reps it is best-of-N timing like the fresh
-// paths, just through a plan.  A non-null mask runs the fused masked
-// descriptor.
+// Executor path: analyze + select once into the executor's plan cache,
+// execute `execs` times through it.  With --repeat the report centers on
+// amortization and the executor's cache/pool counters (the serving
+// layer's reason to exist); with --reps it is best-of-N timing like the
+// fresh paths, just through the executor.  A non-null mask runs the fused
+// masked descriptor.
 int multiply_planned(const Cli& cli, const SpGemmProblem& problem,
                      const std::string& algo, const std::string& semiring,
                      pb::FormatPolicy format, int execs,
@@ -142,27 +146,30 @@ int multiply_planned(const Cli& cli, const SpGemmProblem& problem,
   opts.pb.format = format;
   opts.mask = mask;
   opts.complement = complement;
+  SpGemmExecutor exec;
   Timer t;
-  SpGemmPlan plan = make_plan(problem, opts);
+  RunInfo info;
+  exec.prepare(problem, opts, &info);
   const double plan_s = t.elapsed_s();
 
   if (algo == "auto") {
-    const model::AlgoChoice& c = plan.telemetry().choice;
-    std::cout << "auto -> " << plan.algo() << " (" << c.rationale << ")\n";
+    std::cout << "auto -> " << info.algo << " (" << info.choice.rationale
+              << ")\n";
   }
 
-  const nnz_t flop = plan.telemetry().flop;  // computed by the analysis
+  const nnz_t flop = info.flop;  // computed by the analysis
+  const double predicted = info.predicted_mflops;
   mtx::CsrMatrix c;
   double first_s = 0, rest_s = 0, best_s = 0;
   for (int i = 0; i < execs; ++i) {
     t.reset();
-    c = plan.execute(problem);
+    c = exec.run(problem, opts, &info);
     const double s = t.elapsed_s();
     (i == 0 ? first_s : rest_s) += s;
     if (i == 0 || s < best_s) best_s = s;
   }
 
-  std::cout << plan.algo() << " (" << semiring << "): nnz(C) = " << c.nnz()
+  std::cout << info.algo << " (" << semiring << "): nnz(C) = " << c.nnz()
             << ", flop = " << flop << ", "
             << static_cast<double>(flop) / best_s / 1e6
             << " MFLOPS (best of " << execs << " executes)\n"
@@ -179,32 +186,40 @@ int multiply_planned(const Cli& cli, const SpGemmProblem& problem,
               << " fresh (recovered "
               << (1.0 - amortized / fresh_per_mult) * 100 << "%)\n";
   }
-  const PlanTelemetry& tm = plan.telemetry();
-  const pb::PbWorkspace::Stats ws = plan.workspace_stats();
-  std::cout << "  plan reuse: " << tm.executes << " executes, "
-            << tm.replans << " replans, " << tm.analysis_reuses
-            << " analysis reuses; workspace: " << ws.allocations
+  const ExecutorStats es = exec.stats();
+  const pb::WorkspacePool::Stats pool = exec.pool_stats();
+  const pb::PbWorkspace::Stats ws = exec.workspace_stats();
+  std::cout << "  executor cache: " << es.executes << " executes, "
+            << es.cache_hits << " hits / " << es.cache_misses
+            << " misses (hit ratio " << es.hit_ratio() << ")";
+  if (es.passthrough > 0) {
+    std::cout << ", " << es.passthrough << " pass-through";
+  }
+  std::cout << "\n  workspace pool: " << pool.leases << " leases, "
+            << pool.created << " workspace(s) created, " << pool.reused
+            << " reuses; pooled buffers: " << ws.allocations
             << " allocations, " << ws.reuses << " reuses\n";
-  if (tm.predicted_mflops > 0) {
-    std::cout << "  model: predicted " << tm.predicted_mflops
-              << " MFLOPS, last execute achieved " << tm.achieved_mflops
+  if (predicted > 0) {
+    std::cout << "  model: predicted " << predicted
+              << " MFLOPS, last execute achieved " << info.achieved_mflops
               << "\n";
   }
   if (mask != nullptr) {
     std::cout << "  mask: nnz " << mask->nnz()
               << (complement ? " (complemented)" : "");
-    if (plan.algo() == "pb") {
+    if (info.used_pb) {
       std::cout << ", tuples dropped at compress "
-                << plan.last_pb_stats().mask_dropped;
+                << info.pb_stats.mask_dropped;
     }
     std::cout << "\n";
   }
-  if (plan.algo() == "pb") {
-    print_pb_phases(plan.last_pb_stats());
+  if (info.used_pb) {
+    print_pb_phases(info.pb_stats);
   } else {
-    std::cout << "  note: the plan caches "
-              << (algo == "auto" ? "the roofline selection" : "kernel resolution")
-              << " for " << plan.algo()
+    std::cout << "  note: the executor caches "
+              << (algo == "auto" ? "the roofline selection"
+                                 : "kernel resolution")
+              << " for " << info.algo
               << "; each execute is a fresh multiply\n";
   }
   if (cli.get("out")) mtx::write_matrix_market(*cli.get("out"), mtx::csr_to_coo(c));
@@ -327,6 +342,59 @@ int cmd_semiring(const Cli& cli) {
                           /*amortization_report=*/repeat > 1);
 }
 
+// Closes the telemetry loop from the command line: runs an "auto" sweep
+// over generated problems spanning the compression-factor range (sparse
+// ER squarings sit at cf ≈ 1-2 and select pb; dense squarings compress
+// heavily and select hash), records the predicted-vs-achieved MFLOPS pair
+// of every fingerprint-verified execute, and refits the selection model's
+// two derating constants from them (SelectionModel::calibrate).
+int cmd_calibrate(const Cli& cli) {
+  const int scale = static_cast<int>(cli.number("scale", 11));
+  const int reps = std::max(1, static_cast<int>(cli.number("reps", 3)));
+
+  SpGemmExecutor exec;
+  SpGemmOp op;  // algo = "auto": every execute records a sample
+
+  // The pb-family probe: an ER squaring at the paper's ef = 8 (cf ≈ 1-2).
+  const mtx::CsrMatrix sparse = mtx::coo_to_csr(
+      mtx::generate_er(mtx::RandomScale{scale, 8.0}, 7));
+  // The column-family probe: a small dense-ish squaring (high cf).
+  const index_t dn = 1 << std::max(4, scale - 4);
+  const mtx::CsrMatrix dense =
+      mtx::coo_to_csr(mtx::generate_er(dn, dn, 40.0, 8));
+
+  for (const mtx::CsrMatrix* m : {&sparse, &dense}) {
+    const SpGemmProblem p = SpGemmProblem::square(*m);
+    RunInfo info;
+    exec.prepare(p, op, &info);
+    std::cout << "probe n = " << m->nrows << ", nnz = " << m->nnz()
+              << ": auto -> " << info.algo << " (cf " << info.choice.cf
+              << ")\n";
+    for (int i = 0; i < reps + 1; ++i) (void)exec.run(p, op);  // +1 warmup
+  }
+
+  const std::vector<model::PerfSample> samples = exec.samples();
+  std::cout << samples.size() << " predicted-vs-achieved samples recorded\n";
+  const model::SelectionModel defaults;
+  model::SelectionModel fitted;
+  const model::CalibrationResult r = fitted.calibrate(samples);
+  if (!r.changed) {
+    std::cout << "no usable samples; model unchanged\n";
+    return 1;
+  }
+  std::cout << "refit derating constants from " << r.pb_samples
+            << " pb + " << r.column_samples << " column samples:\n"
+            << "  pb_efficiency          " << defaults.pb_efficiency
+            << " -> " << r.pb_efficiency << "\n"
+            << "  column_latency_penalty " << defaults.column_latency_penalty
+            << " -> " << r.column_latency_penalty << "\n"
+            << "apply via SelectionModel{.pb_efficiency = " << r.pb_efficiency
+            << ", .column_latency_penalty = " << r.column_latency_penalty
+            << "} in SpGemmOp::model, or let a long-lived executor refit "
+               "itself (ExecutorOptions::calibrate_after)\n";
+  return 0;
+}
+
 int cmd_info(const Cli&) {
   std::cout << "algorithm x semiring support matrix (multiply --algo A "
                "--semiring S; generalized algorithms also accept any "
@@ -376,6 +444,7 @@ void usage() {
       "           [--format auto|wide|narrow] [--reps R] [--repeat N] [--out FILE.mtx]\n"
       "           [--mask FILE.mtx] [--complement]\n"
       "  semiring --a FILE.mtx [--name plus_max] [--algo auto] [--repeat N]\n"
+      "  calibrate [--scale N] [--reps R]\n"
       "  info\n"
       "  stream   [--mb N]\n"
       "  roofline [--beta GBS] [--cf CF]\n"
@@ -391,7 +460,9 @@ void usage() {
       "into the kernel (PB drops masked-out tuples at compress and reports\n"
       "the count); --complement keeps the positions NOT in M.  `semiring`\n"
       "registers the tropical (max, +) semiring at runtime and multiplies\n"
-      "over it — the user-defined-semiring round trip.\n";
+      "over it — the user-defined-semiring round trip.  `calibrate` runs\n"
+      "an auto-selected sweep and refits the roofline model's derating\n"
+      "constants from the recorded predicted-vs-achieved MFLOPS pairs.\n";
 }
 
 }  // namespace
@@ -412,6 +483,7 @@ int main(int argc, char** argv) {
     if (cmd == "stats") return cmd_stats(cli);
     if (cmd == "multiply") return cmd_multiply(cli);
     if (cmd == "semiring") return cmd_semiring(cli);
+    if (cmd == "calibrate") return cmd_calibrate(cli);
     if (cmd == "info") return cmd_info(cli);
     if (cmd == "stream") return cmd_stream(cli);
     if (cmd == "roofline") return cmd_roofline(cli);
