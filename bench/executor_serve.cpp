@@ -109,10 +109,9 @@ int main(int argc, char** argv) {
     for (const int ef : efs) {
       // The two structures of the alternating workload: same size,
       // different density — MCL's expand/prune flip without the app
-      // logic.  (Densities must differ: RandomScale ER graphs have
-      // constant row degree, so two seeds at one density collide on the
-      // dims+nnz+flop fingerprint — the documented residual-collision
-      // caveat of pb/plan.hpp.)
+      // logic.  (Two seeds at one density would also work now that the
+      // fingerprint's structural hash tells same-aggregate structures
+      // apart; different densities keep the flip realistic.)
       const mtx::CsrMatrix a = mtx::coo_to_csr(
           mtx::generate_er(mtx::RandomScale{scale, double(ef)}, 7));
       const mtx::CsrMatrix b = mtx::coo_to_csr(mtx::generate_er(

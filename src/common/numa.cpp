@@ -1,0 +1,90 @@
+#include "common/numa.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace pbs {
+
+namespace {
+
+// Parses a sysfs cpulist ("0-3,8-11,16") into cpu ids appended to `out`.
+void parse_cpulist(const std::string& list, int node,
+                   std::vector<int>& cpu_to_node) {
+  std::istringstream in(list);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (item.empty()) continue;
+    int lo = 0;
+    int hi = 0;
+    const auto dash = item.find('-');
+    try {
+      if (dash == std::string::npos) {
+        lo = hi = std::stoi(item);
+      } else {
+        lo = std::stoi(item.substr(0, dash));
+        hi = std::stoi(item.substr(dash + 1));
+      }
+    } catch (...) {
+      continue;  // malformed entry: skip, the map stays partial
+    }
+    if (lo < 0 || hi < lo || hi > 1 << 20) continue;
+    if (static_cast<std::size_t>(hi) >= cpu_to_node.size()) {
+      cpu_to_node.resize(static_cast<std::size_t>(hi) + 1, 0);
+    }
+    for (int cpu = lo; cpu <= hi; ++cpu) {
+      cpu_to_node[static_cast<std::size_t>(cpu)] = node;
+    }
+  }
+}
+
+NumaTopology detect() {
+  NumaTopology topo;
+#if defined(__linux__)
+  // Probe node directories in order; the first gap ends the scan (sysfs
+  // numbers online nodes contiguously on the machines we care about, and
+  // a conservative undercount only costs placement quality, not
+  // correctness).
+  for (int node = 0;; ++node) {
+    std::ifstream cpulist("/sys/devices/system/node/node" +
+                          std::to_string(node) + "/cpulist");
+    if (!cpulist.is_open()) break;
+    std::string list;
+    std::getline(cpulist, list);
+    parse_cpulist(list, node, topo.cpu_to_node);
+    topo.nnodes = node + 1;
+  }
+#endif
+  topo.nnodes = std::max(topo.nnodes, 1);
+  return topo;
+}
+
+}  // namespace
+
+const NumaTopology& numa_topology() {
+  static const NumaTopology topo = detect();
+  return topo;
+}
+
+int numa_node_of_cpu(int cpu) {
+  const NumaTopology& topo = numa_topology();
+  if (cpu < 0 || static_cast<std::size_t>(cpu) >= topo.cpu_to_node.size()) {
+    return 0;
+  }
+  return topo.cpu_to_node[static_cast<std::size_t>(cpu)];
+}
+
+int current_numa_node() {
+#if defined(__linux__)
+  return numa_node_of_cpu(sched_getcpu());
+#else
+  return 0;
+#endif
+}
+
+}  // namespace pbs

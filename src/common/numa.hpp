@@ -1,0 +1,38 @@
+// NUMA topology discovery — no libnuma dependency.
+//
+// PB-SpGEMM's tuple pool is the largest allocation of the pipeline and is
+// streamed by every phase, so on multi-socket machines it matters which
+// memory controller each bin's region lands on.  Linux places a page on
+// the node of the thread that first touches it; all the placement layer
+// (PbWorkspace::place_bins / pb_symbolic's bin→node map) needs from here
+// is the node count and a cpu→node map, both parsed once from
+// /sys/devices/system/node.  On single-node hosts — and on any platform
+// where the sysfs tree is absent — the topology degenerates to one node
+// and placement becomes a plain parallel first-touch (still useful: it
+// pre-faults the pool in parallel instead of serializing the faults into
+// the first expand).
+#pragma once
+
+#include <vector>
+
+namespace pbs {
+
+struct NumaTopology {
+  int nnodes = 1;
+  /// cpu id -> node id; empty when the topology is unknown (treat every
+  /// cpu as node 0).
+  std::vector<int> cpu_to_node;
+};
+
+/// The machine's topology, parsed once (thread-safe static init).
+const NumaTopology& numa_topology();
+
+/// NUMA node of `cpu`, 0 when unknown.
+int numa_node_of_cpu(int cpu);
+
+/// NUMA node of the calling thread's current cpu, 0 when unknown.  Cheap
+/// (one getcpu), but the thread may migrate afterwards — callers use it as
+/// a placement hint, not an invariant.
+int current_numa_node();
+
+}  // namespace pbs

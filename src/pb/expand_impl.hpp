@@ -85,12 +85,78 @@ index_t fast_local_row(const BinLayout& layout, int bin, index_t row,
   }
 }
 
+// Flush sink: the team-callable expand bodies below notify it after every
+// completed flush_copy — `sink.flushed(bin, count)` with the data already
+// written to the bin's global region.  The barrier schedule plugs in this
+// no-op (compiled away); the pipelined schedule's sink advances the bin's
+// done-counter and, on completion, publishes the bin to a work-stealing
+// deque (pipeline_impl.hpp).
+struct NullFlushSink {
+  void flushed(std::size_t /*bin*/, int /*count*/) {}
+};
+
+// Team-callable wide expand: runs INSIDE an existing parallel region (every
+// thread of the team must call it — it contains an `omp for`).  `cursor`
+// is the shared per-bin write-cursor array, pre-seeded with the bin region
+// origins.  Returns this thread's flush count.
+template <BinPolicy P, typename S, typename Sink>
+nnz_t expand_team(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
+                  const SymbolicResult& sym, const PbConfig& cfg, Tuple* out,
+                  std::atomic<nnz_t>* cursor, Sink& sink) {
+  const BinLayout& layout = sym.layout;
+  const auto nbins = static_cast<std::size_t>(layout.nbins);
+  const int cap =
+      std::max<int>(1, cfg.local_bin_bytes / static_cast<int>(sizeof(Tuple)));
+
+  // Thread-private local bins: nbins buffers of `cap` tuples in one
+  // contiguous allocation (paper: 1K bins x 512B fits comfortably in L2).
+  AlignedBuffer<Tuple> lbin(nbins * static_cast<std::size_t>(cap));
+  std::vector<int> lcnt(nbins, 0);
+  nnz_t flushes = 0;
+
+  auto flush = [&](std::size_t bin) {
+    const int count = lcnt[bin];
+    const nnz_t pos = cursor[bin].fetch_add(count, std::memory_order_relaxed);
+    flush_copy(out + pos, lbin.data() + bin * static_cast<std::size_t>(cap),
+               count, cfg.streaming_stores);
+    lcnt[bin] = 0;
+    ++flushes;
+    sink.flushed(bin, count);
+  };
+
+#pragma omp for schedule(guided) nowait
+  for (index_t i = 0; i < a.ncols; ++i) {
+    const auto arows = a.col_rows(i);
+    const auto avals = a.col_vals(i);
+    const auto bcols = b.row_cols(i);
+    const auto bvals = b.row_vals(i);
+    if (bcols.empty()) continue;
+
+    for (std::size_t ai = 0; ai < arows.size(); ++ai) {
+      const index_t r = arows[ai];
+      const value_t av = avals[ai];
+      const auto bin = static_cast<std::size_t>(fast_binid<P>(layout, r));
+      Tuple* lane = lbin.data() + bin * static_cast<std::size_t>(cap);
+      for (std::size_t bi = 0; bi < bcols.size(); ++bi) {
+        if (lcnt[bin] == cap) flush(bin);
+        lane[lcnt[bin]++] =
+            Tuple{make_key(r, bcols[bi]), S::mul(av, bvals[bi])};
+      }
+    }
+  }
+
+  // Drain the partially-filled local bins (Algorithm 2, lines 15-18).
+  for (std::size_t bin = 0; bin < nbins; ++bin) {
+    if (lcnt[bin] != 0) flush(bin);
+  }
+  flush_fence();
+  return flushes;
+}
+
 template <BinPolicy P, typename S>
 nnz_t expand_impl(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
                   const SymbolicResult& sym, const PbConfig& cfg, Tuple* out) {
-  const BinLayout& layout = sym.layout;
-  const auto nbins = static_cast<std::size_t>(layout.nbins);
-  const int cap = std::max<int>(1, cfg.local_bin_bytes / static_cast<int>(sizeof(Tuple)));
+  const auto nbins = static_cast<std::size_t>(sym.layout.nbins);
 
   // One write cursor per global bin, starting at the bin's region origin.
   std::vector<std::atomic<nnz_t>> cursor(nbins);
@@ -101,47 +167,8 @@ nnz_t expand_impl(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
 
 #pragma omp parallel reduction(+ : flushes)
   {
-    // Thread-private local bins: nbins buffers of `cap` tuples in one
-    // contiguous allocation (paper: 1K bins x 512B fits comfortably in L2).
-    AlignedBuffer<Tuple> lbin(nbins * static_cast<std::size_t>(cap));
-    std::vector<int> lcnt(nbins, 0);
-
-    auto flush = [&](std::size_t bin) {
-      const int count = lcnt[bin];
-      const nnz_t pos =
-          cursor[bin].fetch_add(count, std::memory_order_relaxed);
-      flush_copy(out + pos, lbin.data() + bin * static_cast<std::size_t>(cap),
-                 count, cfg.streaming_stores);
-      lcnt[bin] = 0;
-      ++flushes;
-    };
-
-#pragma omp for schedule(guided) nowait
-    for (index_t i = 0; i < a.ncols; ++i) {
-      const auto arows = a.col_rows(i);
-      const auto avals = a.col_vals(i);
-      const auto bcols = b.row_cols(i);
-      const auto bvals = b.row_vals(i);
-      if (bcols.empty()) continue;
-
-      for (std::size_t ai = 0; ai < arows.size(); ++ai) {
-        const index_t r = arows[ai];
-        const value_t av = avals[ai];
-        const auto bin = static_cast<std::size_t>(fast_binid<P>(layout, r));
-        Tuple* lane = lbin.data() + bin * static_cast<std::size_t>(cap);
-        for (std::size_t bi = 0; bi < bcols.size(); ++bi) {
-          if (lcnt[bin] == cap) flush(bin);
-          lane[lcnt[bin]++] =
-              Tuple{make_key(r, bcols[bi]), S::mul(av, bvals[bi])};
-        }
-      }
-    }
-
-    // Drain the partially-filled local bins (Algorithm 2, lines 15-18).
-    for (std::size_t bin = 0; bin < nbins; ++bin) {
-      if (lcnt[bin] != 0) flush(bin);
-    }
-    flush_fence();
+    NullFlushSink sink;
+    flushes += expand_team<P, S>(a, b, sym, cfg, out, cursor.data(), sink);
   }
 
   if (cfg.validate) {
@@ -162,10 +189,12 @@ nnz_t expand_impl(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
 // 16.  The local-bin capacity is rounded to 16 tuples so a full flush is
 // whole cache lines on both streams (one 64 B key line per 16 tuples, two
 // value lines), keeping the non-temporal store path of flush_copy.
-template <BinPolicy P, typename S>
-nnz_t expand_narrow_impl(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
+// Team-callable; same contract as expand_team.
+template <BinPolicy P, typename S, typename Sink>
+nnz_t expand_narrow_team(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
                          const SymbolicResult& sym, const PbConfig& cfg,
-                         narrow_key_t* out_keys, value_t* out_vals) {
+                         narrow_key_t* out_keys, value_t* out_vals,
+                         std::atomic<nnz_t>* cursor, Sink& sink) {
   const BinLayout& layout = sym.layout;
   const auto nbins = static_cast<std::size_t>(layout.nbins);
   const int cap = std::max<int>(
@@ -175,6 +204,69 @@ nnz_t expand_narrow_impl(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
   const int mod_shift =
       layout.policy == BinPolicy::kModulo ? layout.modulo_shift() : 0;
 
+  // All key lanes, then all value lanes (both line-aligned: cap is a
+  // multiple of 16, so each lane starts on a 64 B boundary).
+  AlignedBuffer<narrow_key_t> lkeys(nbins * static_cast<std::size_t>(cap));
+  AlignedBuffer<value_t> lvals(nbins * static_cast<std::size_t>(cap));
+  std::vector<int> lcnt(nbins, 0);
+  nnz_t flushes = 0;
+
+  auto flush = [&](std::size_t bin) {
+    const int count = lcnt[bin];
+    const nnz_t pos = cursor[bin].fetch_add(count, std::memory_order_relaxed);
+    flush_copy(out_keys + pos,
+               lkeys.data() + bin * static_cast<std::size_t>(cap), count,
+               cfg.streaming_stores);
+    flush_copy(out_vals + pos,
+               lvals.data() + bin * static_cast<std::size_t>(cap), count,
+               cfg.streaming_stores);
+    lcnt[bin] = 0;
+    ++flushes;
+    sink.flushed(bin, count);
+  };
+
+#pragma omp for schedule(guided) nowait
+  for (index_t i = 0; i < a.ncols; ++i) {
+    const auto arows = a.col_rows(i);
+    const auto avals = a.col_vals(i);
+    const auto bcols = b.row_cols(i);
+    const auto bvals = b.row_vals(i);
+    if (bcols.empty()) continue;
+
+    for (std::size_t ai = 0; ai < arows.size(); ++ai) {
+      const index_t r = arows[ai];
+      const value_t av = avals[ai];
+      const int bin_i = fast_binid<P>(layout, r);
+      const auto bin = static_cast<std::size_t>(bin_i);
+      // The row bits are constant across B(i,:): build them once.
+      const narrow_key_t rowkey =
+          static_cast<narrow_key_t>(
+              fast_local_row<P>(layout, bin_i, r, mod_shift))
+          << col_bits;
+      narrow_key_t* klane = lkeys.data() + bin * static_cast<std::size_t>(cap);
+      value_t* vlane = lvals.data() + bin * static_cast<std::size_t>(cap);
+      for (std::size_t bi = 0; bi < bcols.size(); ++bi) {
+        if (lcnt[bin] == cap) flush(bin);
+        const int at = lcnt[bin]++;
+        klane[at] = rowkey | static_cast<narrow_key_t>(bcols[bi]);
+        vlane[at] = S::mul(av, bvals[bi]);
+      }
+    }
+  }
+
+  for (std::size_t bin = 0; bin < nbins; ++bin) {
+    if (lcnt[bin] != 0) flush(bin);
+  }
+  flush_fence();
+  return flushes;
+}
+
+template <BinPolicy P, typename S>
+nnz_t expand_narrow_impl(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
+                         const SymbolicResult& sym, const PbConfig& cfg,
+                         narrow_key_t* out_keys, value_t* out_vals) {
+  const auto nbins = static_cast<std::size_t>(sym.layout.nbins);
+
   std::vector<std::atomic<nnz_t>> cursor(nbins);
   for (std::size_t bin = 0; bin < nbins; ++bin)
     cursor[bin].store(sym.bin_offsets[bin], std::memory_order_relaxed);
@@ -183,59 +275,9 @@ nnz_t expand_narrow_impl(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
 
 #pragma omp parallel reduction(+ : flushes)
   {
-    // All key lanes, then all value lanes (both line-aligned: cap is a
-    // multiple of 16, so each lane starts on a 64 B boundary).
-    AlignedBuffer<narrow_key_t> lkeys(nbins * static_cast<std::size_t>(cap));
-    AlignedBuffer<value_t> lvals(nbins * static_cast<std::size_t>(cap));
-    std::vector<int> lcnt(nbins, 0);
-
-    auto flush = [&](std::size_t bin) {
-      const int count = lcnt[bin];
-      const nnz_t pos =
-          cursor[bin].fetch_add(count, std::memory_order_relaxed);
-      flush_copy(out_keys + pos,
-                 lkeys.data() + bin * static_cast<std::size_t>(cap), count,
-                 cfg.streaming_stores);
-      flush_copy(out_vals + pos,
-                 lvals.data() + bin * static_cast<std::size_t>(cap), count,
-                 cfg.streaming_stores);
-      lcnt[bin] = 0;
-      ++flushes;
-    };
-
-#pragma omp for schedule(guided) nowait
-    for (index_t i = 0; i < a.ncols; ++i) {
-      const auto arows = a.col_rows(i);
-      const auto avals = a.col_vals(i);
-      const auto bcols = b.row_cols(i);
-      const auto bvals = b.row_vals(i);
-      if (bcols.empty()) continue;
-
-      for (std::size_t ai = 0; ai < arows.size(); ++ai) {
-        const index_t r = arows[ai];
-        const value_t av = avals[ai];
-        const int bin_i = fast_binid<P>(layout, r);
-        const auto bin = static_cast<std::size_t>(bin_i);
-        // The row bits are constant across B(i,:): build them once.
-        const narrow_key_t rowkey =
-            static_cast<narrow_key_t>(
-                fast_local_row<P>(layout, bin_i, r, mod_shift))
-            << col_bits;
-        narrow_key_t* klane = lkeys.data() + bin * static_cast<std::size_t>(cap);
-        value_t* vlane = lvals.data() + bin * static_cast<std::size_t>(cap);
-        for (std::size_t bi = 0; bi < bcols.size(); ++bi) {
-          if (lcnt[bin] == cap) flush(bin);
-          const int at = lcnt[bin]++;
-          klane[at] = rowkey | static_cast<narrow_key_t>(bcols[bi]);
-          vlane[at] = S::mul(av, bvals[bi]);
-        }
-      }
-    }
-
-    for (std::size_t bin = 0; bin < nbins; ++bin) {
-      if (lcnt[bin] != 0) flush(bin);
-    }
-    flush_fence();
+    NullFlushSink sink;
+    flushes += expand_narrow_team<P, S>(a, b, sym, cfg, out_keys, out_vals,
+                                        cursor.data(), sink);
   }
 
   if (cfg.validate) {

@@ -4,6 +4,87 @@
 
 namespace pbs::pb {
 
+namespace {
+
+// Inverse of the expand path's fast_local_row: rebuild the global rowid
+// from (bin, local) under each policy.  The modulo shift is hoisted by
+// callers so the per-tuple cost is a plain shift/or (or an indexed add).
+index_t narrow_global_row(const BinLayout& layout, int mod_shift, int bin,
+                          index_t local) {
+  switch (layout.policy) {
+    case BinPolicy::kRange:
+      return (static_cast<index_t>(bin) << layout.shift) | local;
+    case BinPolicy::kModulo:
+      return (local << mod_shift) | static_cast<index_t>(bin);
+    case BinPolicy::kAdaptive:
+      return layout.bounds[static_cast<std::size_t>(bin)] + local;
+  }
+  return index_t{0};
+}
+
+}  // namespace
+
+void pb_count_bin(const Tuple* bin_tuples, nnz_t merged, nnz_t* rowptr) {
+  for (nnz_t i = 0; i < merged; ++i) {
+    ++rowptr[static_cast<std::size_t>(key_row(bin_tuples[i].key)) + 1];
+  }
+}
+
+void pb_scatter_bin(const Tuple* bin_tuples, nnz_t merged,
+                    const nnz_t* rowptr, index_t* colids, value_t* vals) {
+  // Within a bin tuples are (row, col)-sorted, so every row appears as one
+  // contiguous run; its j-th element lands at rowptr[row] + j.
+  nnz_t i = 0;
+  while (i < merged) {
+    const index_t row = key_row(bin_tuples[i].key);
+    nnz_t dst = rowptr[row];
+    while (i < merged && key_row(bin_tuples[i].key) == row) {
+      colids[static_cast<std::size_t>(dst)] = key_col(bin_tuples[i].key);
+      vals[static_cast<std::size_t>(dst)] = bin_tuples[i].val;
+      ++dst;
+      ++i;
+    }
+  }
+}
+
+void pb_count_bin_narrow(const narrow_key_t* bin_keys, nnz_t merged, int bin,
+                         const BinLayout& layout, int col_bits,
+                         nnz_t* rowptr) {
+  const int mod_shift =
+      layout.policy == BinPolicy::kModulo ? layout.modulo_shift() : 0;
+  for (nnz_t i = 0; i < merged; ++i) {
+    const index_t row = narrow_global_row(
+        layout, mod_shift, bin, narrow_key_local_row(bin_keys[i], col_bits));
+    ++rowptr[static_cast<std::size_t>(row) + 1];
+  }
+}
+
+void pb_scatter_bin_narrow(const narrow_key_t* bin_keys,
+                           const value_t* bin_vals, nnz_t merged, int bin,
+                           const BinLayout& layout, int col_bits,
+                           const nnz_t* rowptr, index_t* colids,
+                           value_t* vals) {
+  const int mod_shift =
+      layout.policy == BinPolicy::kModulo ? layout.modulo_shift() : 0;
+  const narrow_key_t col_mask = (narrow_key_t{1} << col_bits) - 1u;
+  // Ascending narrow keys are ascending (row, col) — local_row is monotone
+  // in the rowid for every policy — so rows appear as contiguous runs
+  // exactly as in the wide path.
+  nnz_t i = 0;
+  while (i < merged) {
+    const index_t local = narrow_key_local_row(bin_keys[i], col_bits);
+    const index_t row = narrow_global_row(layout, mod_shift, bin, local);
+    nnz_t dst = rowptr[row];
+    while (i < merged && narrow_key_local_row(bin_keys[i], col_bits) == local) {
+      colids[static_cast<std::size_t>(dst)] =
+          static_cast<index_t>(bin_keys[i] & col_mask);
+      vals[static_cast<std::size_t>(dst)] = bin_vals[i];
+      ++dst;
+      ++i;
+    }
+  }
+}
+
 mtx::CsrMatrix pb_build_csr(const Tuple* tuples,
                             std::span<const nnz_t> offsets,
                             std::span<const nnz_t> merged, index_t nrows,
@@ -15,11 +96,8 @@ mtx::CsrMatrix pb_build_csr(const Tuple* tuples,
   // bins can histogram into the shared rowptr array without atomics.
 #pragma omp parallel for schedule(dynamic, 1)
   for (int bin = 0; bin < nbins; ++bin) {
-    const Tuple* t = tuples + offsets[static_cast<std::size_t>(bin)];
-    const nnz_t len = merged[static_cast<std::size_t>(bin)];
-    for (nnz_t i = 0; i < len; ++i) {
-      ++out.rowptr[static_cast<std::size_t>(key_row(t[i].key)) + 1];
-    }
+    pb_count_bin(tuples + offsets[static_cast<std::size_t>(bin)],
+                 merged[static_cast<std::size_t>(bin)], out.rowptr.data());
   }
 
   const nnz_t total =
@@ -27,24 +105,12 @@ mtx::CsrMatrix pb_build_csr(const Tuple* tuples,
   out.colids.resize(static_cast<std::size_t>(total));
   out.vals.resize(static_cast<std::size_t>(total));
 
-  // Pass 2: scatter.  Within a bin tuples are (row, col)-sorted, so every
-  // row appears as one contiguous run; its j-th element lands at
-  // rowptr[row] + j.  Rows being bin-exclusive makes this write race-free.
+  // Pass 2: scatter.  Rows being bin-exclusive makes the writes race-free.
 #pragma omp parallel for schedule(dynamic, 1)
   for (int bin = 0; bin < nbins; ++bin) {
-    const Tuple* t = tuples + offsets[static_cast<std::size_t>(bin)];
-    const nnz_t len = merged[static_cast<std::size_t>(bin)];
-    nnz_t i = 0;
-    while (i < len) {
-      const index_t row = key_row(t[i].key);
-      nnz_t dst = out.rowptr[row];
-      while (i < len && key_row(t[i].key) == row) {
-        out.colids[static_cast<std::size_t>(dst)] = key_col(t[i].key);
-        out.vals[static_cast<std::size_t>(dst)] = t[i].val;
-        ++dst;
-        ++i;
-      }
-    }
+    pb_scatter_bin(tuples + offsets[static_cast<std::size_t>(bin)],
+                   merged[static_cast<std::size_t>(bin)], out.rowptr.data(),
+                   out.colids.data(), out.vals.data());
   }
 
   return out;
@@ -59,34 +125,14 @@ mtx::CsrMatrix pb_build_csr_narrow(const narrow_key_t* keys,
   const auto nbins = static_cast<int>(merged.size());
   mtx::CsrMatrix out(nrows, ncols);
 
-  // Hoisted modulo shift so global_row in the per-tuple loops below is a
-  // plain shift, mirroring the expand path's fast_local_row.
-  const int mod_shift =
-      layout.policy == BinPolicy::kModulo ? layout.modulo_shift() : 0;
-  auto global_row = [&](int bin, index_t local) {
-    switch (layout.policy) {
-      case BinPolicy::kRange:
-        return (static_cast<index_t>(bin) << layout.shift) | local;
-      case BinPolicy::kModulo:
-        return (local << mod_shift) | static_cast<index_t>(bin);
-      case BinPolicy::kAdaptive:
-        return layout.bounds[static_cast<std::size_t>(bin)] + local;
-    }
-    return index_t{0};
-  };
-
   // Pass 1: per-row counts from the key array alone — the narrow format's
   // cheapest pass: 4 bytes per surviving tuple.  Same no-atomics argument
   // as the wide path: bins never share a row.
 #pragma omp parallel for schedule(dynamic, 1)
   for (int bin = 0; bin < nbins; ++bin) {
-    const narrow_key_t* k = keys + offsets[static_cast<std::size_t>(bin)];
-    const nnz_t len = merged[static_cast<std::size_t>(bin)];
-    for (nnz_t i = 0; i < len; ++i) {
-      const index_t row =
-          global_row(bin, narrow_key_local_row(k[i], col_bits));
-      ++out.rowptr[static_cast<std::size_t>(row) + 1];
-    }
+    pb_count_bin_narrow(keys + offsets[static_cast<std::size_t>(bin)],
+                        merged[static_cast<std::size_t>(bin)], bin, layout,
+                        col_bits, out.rowptr.data());
   }
 
   const nnz_t total =
@@ -94,30 +140,13 @@ mtx::CsrMatrix pb_build_csr_narrow(const narrow_key_t* keys,
   out.colids.resize(static_cast<std::size_t>(total));
   out.vals.resize(static_cast<std::size_t>(total));
 
-  // Pass 2: scatter.  Within a bin ascending narrow keys are ascending
-  // (row, col) — local_row is monotone in the rowid for every policy — so
-  // rows appear as contiguous runs exactly as in the wide path.
-  const narrow_key_t col_mask =
-      (narrow_key_t{1} << col_bits) - 1u;
 #pragma omp parallel for schedule(dynamic, 1)
   for (int bin = 0; bin < nbins; ++bin) {
     const nnz_t off = offsets[static_cast<std::size_t>(bin)];
-    const narrow_key_t* k = keys + off;
-    const value_t* v = vals + off;
-    const nnz_t len = merged[static_cast<std::size_t>(bin)];
-    nnz_t i = 0;
-    while (i < len) {
-      const index_t local = narrow_key_local_row(k[i], col_bits);
-      const index_t row = global_row(bin, local);
-      nnz_t dst = out.rowptr[row];
-      while (i < len && narrow_key_local_row(k[i], col_bits) == local) {
-        out.colids[static_cast<std::size_t>(dst)] =
-            static_cast<index_t>(k[i] & col_mask);
-        out.vals[static_cast<std::size_t>(dst)] = v[i];
-        ++dst;
-        ++i;
-      }
-    }
+    pb_scatter_bin_narrow(keys + off, vals + off,
+                          merged[static_cast<std::size_t>(bin)], bin, layout,
+                          col_bits, out.rowptr.data(), out.colids.data(),
+                          out.vals.data());
   }
 
   return out;

@@ -27,6 +27,36 @@ mtx::CsrMatrix pb_build_csr(const Tuple* tuples,
                             std::span<const nnz_t> merged, index_t nrows,
                             index_t ncols);
 
+// --- Per-bin streaming primitives --------------------------------------
+//
+// The batch builders above are two barrier-separated sweeps over all bins.
+// The pipelined schedule instead folds the COUNT pass into each bin's
+// sort/compress task (the tuples are still cache-hot) and runs only the
+// SCATTER as a second sweep, so both builders are also exposed one bin at
+// a time.  The race-freedom argument is unchanged: no row spans two bins,
+// so concurrent calls on distinct bins may share `rowptr` (counting into
+// slot row+1) and the output arrays without atomics.
+
+/// Counts bin `b`'s surviving rows into rowptr[row + 1] (+= per tuple).
+void pb_count_bin(const Tuple* bin_tuples, nnz_t merged, nnz_t* rowptr);
+
+/// Streams bin `b`'s sorted tuples into their final CSR positions.
+/// `rowptr` must already hold absolute row starts (counts_to_rowptr done).
+void pb_scatter_bin(const Tuple* bin_tuples, nnz_t merged,
+                    const nnz_t* rowptr, index_t* colids, value_t* vals);
+
+/// Narrow-format per-bin count: reads only the 4 B key array.
+void pb_count_bin_narrow(const narrow_key_t* bin_keys, nnz_t merged, int bin,
+                         const BinLayout& layout, int col_bits,
+                         nnz_t* rowptr);
+
+/// Narrow-format per-bin scatter.
+void pb_scatter_bin_narrow(const narrow_key_t* bin_keys,
+                           const value_t* bin_vals, nnz_t merged, int bin,
+                           const BinLayout& layout, int col_bits,
+                           const nnz_t* rowptr, index_t* colids,
+                           value_t* vals);
+
 /// Narrow-format conversion: reconstructs the global (row, col) of each
 /// surviving tuple from the bin geometry while streaming — the row-count
 /// pass reads only the 4 B key array, and values are copied straight from

@@ -35,6 +35,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -92,8 +93,11 @@ class PbWorkspace {
   /// geometrically, never shrinks.
   Tuple* acquire(std::size_t n) {
     note_request(n);
-    return reinterpret_cast<Tuple*>(
+    const std::uint64_t before = stats_.allocations;
+    Tuple* t = reinterpret_cast<Tuple*>(
         ensure(buf_, stats_.allocations, stats_.reuses, n * sizeof(Tuple)));
+    fresh_ = stats_.allocations != before;
+    return t;
   }
 
   /// Narrow-format key + value arrays for at least n tuples, carved from
@@ -101,10 +105,31 @@ class PbWorkspace {
   /// starts on a cache-line boundary.
   NarrowStream acquire_narrow(std::size_t n) {
     note_request(n);
+    const std::uint64_t before = stats_.allocations;
     std::byte* base = ensure(buf_, stats_.allocations, stats_.reuses,
                              narrow_bytes(n));
+    fresh_ = stats_.allocations != before;
     return carve_narrow(base, n);
   }
+
+  /// True when the most recent acquire()/acquire_narrow() had to
+  /// (re)allocate the tuple pool — its pages are unmapped and their NUMA
+  /// placement is still up for grabs (first-touch pending).
+  [[nodiscard]] bool last_acquire_allocated() const { return fresh_; }
+
+  /// NUMA-aware first touch of the most recent acquire's per-bin regions:
+  /// each bin's byte range is touched (one write per page) from a thread
+  /// running on the bin's home node (`bin_home`, pb_symbolic's
+  /// flop-balanced bin→node partition), so Linux's first-touch policy
+  /// places the pages where the bin's tuples will be produced and
+  /// consumed.  No-op unless last_acquire_allocated() — pages of a reused
+  /// pool are already placed and a touch would not migrate them.  On
+  /// single-node hosts every bin is home to node 0 and this degenerates
+  /// to a parallel pre-fault of the pool, which still beats serializing
+  /// the faults into the first expand flush.  `bin_offsets` / `format`
+  /// must be the geometry the acquire was sized for.
+  void place_bins(std::span<const nnz_t> bin_offsets,
+                  std::span<const int> bin_home, TupleFormat format);
 
   /// Ensures `nthreads` scratch slots exist.  Call before the parallel
   /// region that uses acquire_scratch.
@@ -190,6 +215,7 @@ class PbWorkspace {
   AlignedBuffer<std::byte> buf_;
   std::vector<ScratchSlot> scratch_;
   Stats stats_;
+  bool fresh_ = false;
 };
 
 /// Multiplies A (CSC) by B (CSR) over semiring S.  Requires

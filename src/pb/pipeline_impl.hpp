@@ -1,0 +1,384 @@
+// Pipelined (per-bin task-dataflow) execution of a PB plan — the
+// PbSchedule::kPipeline backend of pb_execute (plan_impl.hpp dispatches
+// here; barrier execution stays in plan_impl.hpp).
+//
+// The barrier schedule runs expand, sort/compress and convert as three
+// team-wide loops with an implicit barrier between each: every thread
+// waits for the slowest thread of every phase, and the whole Cˆ buffer
+// goes cold between the expand that wrote a bin and the sort that reads
+// it.  But the dependence structure is per bin, not per phase: bin b is
+// sortable the moment the *last* expand flush into b lands, regardless of
+// how much expanding remains elsewhere.  This file exploits that:
+//
+//   - expand runs exactly as before (expand_team / expand_narrow_team),
+//     with a flush sink that advances a per-bin done-counter; the flush
+//     that completes a bin's fill publishes the bin to the flushing
+//     thread's work-stealing deque (common/parallel.hpp),
+//   - every thread, after finishing its share of expand, becomes a
+//     worker: pop own deque LIFO (the bin most recently flushed — still
+//     warmest in cache), else steal FIFO from a victim, running each
+//     bin's sort + compress + mask filter + CSR row count as one task,
+//   - the row count folds into the task (the paper's convert pass 1),
+//     reading the survivors while they are cache-hot; only the prefix
+//     sum and the scatter (pass 2) remain as a short tail after the
+//     region.
+//
+// Memory-ordering contract (the reason this is TSan-clean by design):
+// a flushing thread's tuple stores are ordered before its done-counter
+// fetch_add (acq_rel, preceded by an sfence for the non-temporal path);
+// the completing thread's fetch_add joins the same RMW chain, so by the
+// release-sequence rule every flusher's stores happen-before the
+// completion; the deque's release/acquire handoff then carries that
+// ordering to whichever worker pops or steals the bin.
+#pragma once
+
+#include <omp.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/prefix_sum.hpp"
+#include "common/timer.hpp"
+#include "pb/expand_impl.hpp"
+#include "pb/output.hpp"
+#include "pb/plan.hpp"
+#include "pb/sort_compress_impl.hpp"
+
+namespace pbs::pb {
+
+namespace detail {
+
+// Policy dispatch for the team-callable expand bodies (mirrors
+// pb_expand / pb_expand_narrow).
+template <typename S, typename Sink>
+nnz_t expand_team_any(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
+                      const SymbolicResult& sym, const PbConfig& cfg,
+                      Tuple* out, std::atomic<nnz_t>* cursor, Sink& sink) {
+  switch (sym.layout.policy) {
+    case BinPolicy::kRange:
+      return expand_team<BinPolicy::kRange, S>(a, b, sym, cfg, out, cursor,
+                                               sink);
+    case BinPolicy::kModulo:
+      return expand_team<BinPolicy::kModulo, S>(a, b, sym, cfg, out, cursor,
+                                                sink);
+    case BinPolicy::kAdaptive:
+      return expand_team<BinPolicy::kAdaptive, S>(a, b, sym, cfg, out, cursor,
+                                                  sink);
+  }
+  return 0;
+}
+
+template <typename S, typename Sink>
+nnz_t expand_narrow_team_any(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
+                             const SymbolicResult& sym, const PbConfig& cfg,
+                             narrow_key_t* out_keys, value_t* out_vals,
+                             std::atomic<nnz_t>* cursor, Sink& sink) {
+  switch (sym.layout.policy) {
+    case BinPolicy::kRange:
+      return expand_narrow_team<BinPolicy::kRange, S>(
+          a, b, sym, cfg, out_keys, out_vals, cursor, sink);
+    case BinPolicy::kModulo:
+      return expand_narrow_team<BinPolicy::kModulo, S>(
+          a, b, sym, cfg, out_keys, out_vals, cursor, sink);
+    case BinPolicy::kAdaptive:
+      return expand_narrow_team<BinPolicy::kAdaptive, S>(
+          a, b, sym, cfg, out_keys, out_vals, cursor, sink);
+  }
+  return 0;
+}
+
+// Flush sink of the pipelined schedule: counts flushed tuples per bin and
+// publishes a bin to this thread's deque the moment its fill completes.
+struct PipelineSink {
+  std::atomic<nnz_t>* done = nullptr;  ///< per-bin flushed-tuple counters
+  const nnz_t* fill = nullptr;         ///< sym.bin_fill
+  double* ready_ts = nullptr;          ///< per-bin readiness timestamp
+  int* completer = nullptr;            ///< per-bin completing thread
+  WorkStealingDeque<int>* my_deque = nullptr;
+  int tid = 0;
+
+  void flushed(std::size_t bin, int count) {
+    // Order the flush's stores (non-temporal included — flush_fence is an
+    // sfence) before the counter add; acq_rel keeps the RMW chain a
+    // release sequence so the completion below carries every flusher's
+    // stores with it.
+    flush_fence();
+    const nnz_t prev =
+        done[bin].fetch_add(count, std::memory_order_acq_rel);
+    if (prev + count == fill[bin]) {
+      ready_ts[bin] = omp_get_wtime();
+      completer[bin] = tid;
+      my_deque->push(static_cast<int>(bin));
+    }
+  }
+};
+
+// Per-thread accounting of the pipelined region, reduced into PbTelemetry
+// after the join.
+struct PipelineThreadStats {
+  double expand_busy = 0;
+  double sort_busy = 0;
+  double compress_busy = 0;
+  double count_busy = 0;
+  double wait = 0;  ///< Σ over processed bins of (task start − ready)
+  double run = 0;   ///< Σ task durations
+  nnz_t dropped = 0;
+  int stolen = 0;
+};
+
+}  // namespace detail
+
+/// Pipelined pb_execute backend.  Same contract and result as the barrier
+/// path (fingerprint and mask shape already checked by the caller).
+template <typename S>
+PbResult pb_execute_pipeline(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
+                             const PbPlan& plan, PbWorkspace& workspace,
+                             const MaskSpec& mask) {
+  const SymbolicResult& sym = plan.sym;
+  const bool narrow = sym.format == TupleFormat::kNarrow;
+  const auto nbins = static_cast<std::size_t>(sym.layout.nbins);
+  const int nthreads = max_threads();
+
+  PbResult result;
+  PbTelemetry& tm = result.stats;
+  tm.flop = sym.flop;
+  tm.nbins = sym.layout.nbins;
+  tm.rows_per_bin = sym.layout.rows_per_bin();
+  tm.format = sym.format;
+  tm.schedule = PbSchedule::kPipeline;
+  const double bpt = tm.tuple_bytes();
+
+  // ---- shared state ----
+  const auto buf_len = static_cast<std::size_t>(sym.bin_offsets.back());
+  Tuple* expanded = nullptr;
+  NarrowStream ns;
+  if (narrow) {
+    ns = workspace.acquire_narrow(buf_len);
+  } else {
+    expanded = workspace.acquire(buf_len);
+  }
+  workspace.place_bins(sym.bin_offsets, sym.bin_home, sym.format);
+  workspace.prepare_scratch(nthreads);
+
+  std::vector<std::atomic<nnz_t>> cursor(nbins);
+  std::vector<std::atomic<nnz_t>> done(nbins);
+  for (std::size_t bin = 0; bin < nbins; ++bin) {
+    cursor[bin].store(sym.bin_offsets[bin], std::memory_order_relaxed);
+    done[bin].store(0, std::memory_order_relaxed);
+  }
+  std::vector<double> ready_ts(nbins, 0.0);
+  std::vector<int> completer(nbins, -1);
+  std::vector<nnz_t> merged(nbins, 0);
+
+  int nonempty = 0;
+  nnz_t max_bin = 0;
+  for (std::size_t bin = 0; bin < nbins; ++bin) {
+    if (sym.bin_fill[bin] != 0) ++nonempty;
+    max_bin = std::max(max_bin, sym.bin_fill[bin]);
+  }
+  std::atomic<int> bins_remaining{nonempty};
+
+  // One deque per thread; a bin enters exactly one deque (its completer's),
+  // so per-deque capacity nbins can never overflow.
+  std::vector<std::unique_ptr<WorkStealingDeque<int>>> deques(
+      static_cast<std::size_t>(nthreads));
+  for (auto& d : deques) {
+    d = std::make_unique<WorkStealingDeque<int>>(std::max<std::size_t>(nbins, 1));
+  }
+
+  std::vector<detail::PipelineThreadStats> tstats(
+      static_cast<std::size_t>(nthreads));
+
+  // The result CSR is built incrementally: tasks count rows into
+  // rowptr[row + 1] while their bin is cache-hot (race-free — no row spans
+  // two bins), and only the prefix sum + scatter run after the join.
+  mtx::CsrMatrix c(a.nrows, b.ncols);
+
+  const WideBinOps<S> wide_ops{expanded, &mask};
+  const NarrowBinOps<S> narrow_ops{ns.keys, ns.vals, &mask, &sym.layout,
+                                   sym.col_bits};
+
+  Timer region_timer;
+
+#pragma omp parallel num_threads(nthreads)
+  {
+    const int tid = omp_get_thread_num();
+    const auto utid = static_cast<std::size_t>(tid);
+    detail::PipelineThreadStats& ts = tstats[utid];
+
+    // Per-thread sort scratch, acquired once (slot reuse across tasks).
+    Tuple* wide_scratch = nullptr;
+    NarrowStream narrow_scratch;
+    if (narrow) {
+      narrow_scratch = workspace.acquire_scratch_narrow(
+          utid, static_cast<std::size_t>(max_bin));
+    } else {
+      wide_scratch =
+          workspace.acquire_scratch(utid, static_cast<std::size_t>(max_bin));
+    }
+
+    // One bin's task: sort + compress + mask filter + row count, back to
+    // back while the bin is cache-hot.
+    auto run_task = [&](int bin) {
+      const auto ubin = static_cast<std::size_t>(bin);
+      const double t0 = omp_get_wtime();
+      const nnz_t off = sym.bin_offsets[ubin];
+      const auto len = static_cast<std::size_t>(sym.bin_fill[ubin]);
+
+      double t1 = t0;
+      nnz_t kept = 0;
+      nnz_t pre_mask = 0;
+      if (narrow) {
+        narrow_ops.sort(off, len, narrow_scratch);
+        t1 = omp_get_wtime();
+        pre_mask = narrow_ops.compress(off, len);
+        kept = narrow_ops.filter(bin, off, pre_mask);
+      } else {
+        wide_ops.sort(off, len, wide_scratch,
+                      static_cast<std::size_t>(max_bin));
+        t1 = omp_get_wtime();
+        pre_mask = wide_ops.compress(off, len);
+        kept = wide_ops.filter(bin, off, pre_mask);
+      }
+      merged[ubin] = kept;
+      ts.dropped += pre_mask - kept;
+      const double t2 = omp_get_wtime();
+
+      if (narrow) {
+        pb_count_bin_narrow(ns.keys + off, kept, bin, sym.layout,
+                            sym.col_bits, c.rowptr.data());
+      } else {
+        pb_count_bin(expanded + off, kept, c.rowptr.data());
+      }
+      const double t3 = omp_get_wtime();
+
+      ts.sort_busy += t1 - t0;
+      ts.compress_busy += t2 - t1;
+      ts.count_busy += t3 - t2;
+      ts.wait += std::max(0.0, t0 - ready_ts[ubin]);
+      ts.run += t3 - t0;
+      if (completer[ubin] != tid) ++ts.stolen;
+      bins_remaining.fetch_sub(1, std::memory_order_acq_rel);
+    };
+
+    detail::PipelineSink sink{done.data(), sym.bin_fill.data(),
+                              ready_ts.data(), completer.data(),
+                              deques[utid].get(), tid};
+
+    // Expand this thread's share, interleaved (by the sink) with
+    // publishing completed bins.  `omp for nowait` inside: threads fall
+    // straight through to the worker loop.
+    const double e0 = omp_get_wtime();
+    if (narrow) {
+      detail::expand_narrow_team_any<S>(a, b, sym, plan.cfg, ns.keys, ns.vals,
+                                        cursor.data(), sink);
+    } else {
+      detail::expand_team_any<S>(a, b, sym, plan.cfg, expanded, cursor.data(),
+                                 sink);
+    }
+    ts.expand_busy = omp_get_wtime() - e0;
+
+    // Worker loop: own deque first (LIFO — most recently flushed bin,
+    // warmest), then steal FIFO round-robin.  Runs until every nonempty
+    // bin has been processed by someone.
+    int bin = -1;
+    while (bins_remaining.load(std::memory_order_acquire) > 0) {
+      if (deques[utid]->pop(bin)) {
+        run_task(bin);
+        continue;
+      }
+      bool got = false;
+      for (int k = 1; k < nthreads && !got; ++k) {
+        got = deques[static_cast<std::size_t>((tid + k) % nthreads)]->steal(
+            bin);
+      }
+      if (got) {
+        run_task(bin);
+      } else {
+        // Bins still in flight inside other threads' expand: let them run.
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  if (plan.cfg.validate) {
+    for (std::size_t bin = 0; bin < nbins; ++bin) {
+      if (cursor[bin].load(std::memory_order_relaxed) !=
+          sym.bin_offsets[bin] + sym.bin_fill[bin]) {
+        throw std::logic_error("pb_execute(pipeline): bin " +
+                               std::to_string(bin) +
+                               " cursor does not meet its fill mark");
+      }
+      if (done[bin].load(std::memory_order_relaxed) != sym.bin_fill[bin]) {
+        throw std::logic_error("pb_execute(pipeline): bin " +
+                               std::to_string(bin) +
+                               " done counter does not meet its fill mark");
+      }
+    }
+  }
+
+  const double region_wall = region_timer.elapsed_s();
+
+  // ---- tail: prefix sum + scatter (the only barrier left) ----
+  Timer tail_timer;
+  const nnz_t total =
+      counts_to_rowptr(c.rowptr.data(), static_cast<std::size_t>(a.nrows));
+  c.colids.resize(static_cast<std::size_t>(total));
+  c.vals.resize(static_cast<std::size_t>(total));
+#pragma omp parallel for schedule(dynamic, 1)
+  for (int bin = 0; bin < sym.layout.nbins; ++bin) {
+    const auto ubin = static_cast<std::size_t>(bin);
+    const nnz_t off = sym.bin_offsets[ubin];
+    if (narrow) {
+      pb_scatter_bin_narrow(ns.keys + off, ns.vals + off, merged[ubin], bin,
+                            sym.layout, sym.col_bits, c.rowptr.data(),
+                            c.colids.data(), c.vals.data());
+    } else {
+      pb_scatter_bin(expanded + off, merged[ubin], c.rowptr.data(),
+                     c.colids.data(), c.vals.data());
+    }
+  }
+  const double tail_wall = tail_timer.elapsed_s();
+  result.c = std::move(c);
+
+  // ---- telemetry ----
+  // Per-phase seconds are max per-thread *busy* times: they overlap one
+  // another inside the region, so their sum can exceed wall_seconds — that
+  // surplus is exactly what overlap_seconds() reports.  The Table III byte
+  // models are schedule-independent and match the barrier path.
+  tm.wall_seconds = region_wall + tail_wall;
+  nnz_t nnz_c = 0;
+  for (const nnz_t m : merged) nnz_c += m;
+  tm.nnz_c = nnz_c;
+  for (const auto& ts : tstats) {
+    tm.expand.seconds = std::max(tm.expand.seconds, ts.expand_busy);
+    tm.sort.seconds = std::max(tm.sort.seconds, ts.sort_busy);
+    tm.compress.seconds = std::max(tm.compress.seconds, ts.compress_busy);
+    tm.convert.seconds = std::max(tm.convert.seconds, ts.count_busy);
+    tm.bin_wait_seconds += ts.wait;
+    tm.bin_run_seconds += ts.run;
+    tm.bins_stolen += ts.stolen;
+    tm.mask_dropped += ts.dropped;
+  }
+  tm.convert.seconds += tail_wall;
+  tm.expand.bytes =
+      static_cast<double>(kBytesPerTuple) *
+          (static_cast<double>(a.nnz()) + static_cast<double>(b.nnz())) +
+      bpt * static_cast<double>(sym.flop);
+  tm.sort.bytes = bpt * static_cast<double>(sym.flop);
+  tm.compress.bytes = bpt * static_cast<double>(nnz_c + tm.mask_dropped);
+  tm.convert.bytes =
+      (bpt + static_cast<double>(sizeof(index_t) + sizeof(value_t))) *
+          static_cast<double>(nnz_c) +
+      2.0 * static_cast<double>(sizeof(nnz_t)) * static_cast<double>(a.nrows);
+
+  return result;
+}
+
+}  // namespace pbs::pb

@@ -18,11 +18,15 @@
 // higher-level SpGemmPlan (spgemm/plan.hpp) uses the same fingerprint to
 // replan automatically when operands change shape.
 //
-// The fingerprint is dims + nnz + flop.  flop (an O(k) pointer-array
-// product) is sensitive to how the operands' structures interact, so it
-// catches essentially every structural change a real application makes;
-// operands engineered to collide on all seven fields while moving
-// nonzeros between rows would corrupt the bin layout undetected — callers
+// The fingerprint is dims + nnz + flop + a sampled structural hash.  flop
+// (an O(k) pointer-array product) is sensitive to how the operands'
+// structures interact; the hash mixes a bounded sample of the pointer and
+// index arrays themselves, so two different sparsity patterns that happen
+// to agree on every aggregate (e.g. two constant-degree random seeds of
+// the same size) still fingerprint differently.  The hash reads O(1)
+// entries, never values, and positions are salted — it distinguishes
+// structures, not value updates, exactly matching the plan-cache
+// contract.  Adversarially colliding structures remain possible — callers
 // mutating structure in place must rebuild the plan explicitly.
 #pragma once
 
@@ -38,6 +42,13 @@ struct StructureFingerprint {
   index_t b_rows = 0, b_cols = 0;
   nnz_t a_nnz = 0, b_nnz = 0;
   nnz_t flop = 0;
+
+  /// Mix of ≤64 strided samples from each of a.colptr / a.rowids /
+  /// b.rowptr / b.colids (value and position, distinct per-array salts) —
+  /// the disambiguator for structures whose aggregates collide.  Depends
+  /// only on sparsity structure: executions that change values alone keep
+  /// the hash (the executor's value-only fast path is unaffected).
+  std::uint64_t structure_hash = 0;
 
   /// Throws std::invalid_argument when a.ncols != b.nrows (the flop pass
   /// walks b's rows by a's column index).

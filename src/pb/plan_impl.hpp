@@ -6,9 +6,11 @@
 
 #include <stdexcept>
 
+#include "common/parallel.hpp"
 #include "common/timer.hpp"
 #include "pb/expand.hpp"
 #include "pb/output.hpp"
+#include "pb/pipeline_impl.hpp"
 #include "pb/plan.hpp"
 #include "pb/sort_compress.hpp"
 
@@ -29,6 +31,13 @@ PbResult pb_execute(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
         "pb_execute: mask shape does not match the product");
   }
 
+  // Schedule resolution happens here, at execute time, so one plan serves
+  // both schedules (and kAuto can track the thread count of each run).
+  if (resolve_schedule(plan.cfg.schedule, max_threads()) ==
+      PbSchedule::kPipeline) {
+    return pb_execute_pipeline<S>(a, b, plan, workspace, mask);
+  }
+
   const SymbolicResult& sym = plan.sym;
   const bool narrow = sym.format == TupleFormat::kNarrow;
   PbResult result;
@@ -45,6 +54,7 @@ PbResult pb_execute(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
   // report 0 (see BinLayout::rows_per_bin).
   tm.rows_per_bin = sym.layout.rows_per_bin();
   tm.format = sym.format;
+  tm.schedule = PbSchedule::kBarrier;
   // The `b` each tuple of this run's stream costs — the per-format Table
   // III accounting below runs on it.
   const double bpt = tm.tuple_bytes();
@@ -56,9 +66,11 @@ PbResult pb_execute(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
   NarrowStream ns;
   if (narrow) {
     ns = workspace.acquire_narrow(buf_len);
+    workspace.place_bins(sym.bin_offsets, sym.bin_home, sym.format);
     pb_expand_narrow<S>(a, b, sym, plan.cfg, ns.keys, ns.vals);
   } else {
     expanded = workspace.acquire(buf_len);
+    workspace.place_bins(sym.bin_offsets, sym.bin_home, sym.format);
     pb_expand<S>(a, b, sym, plan.cfg, expanded);
   }
   tm.expand.seconds = timer.elapsed_s();

@@ -122,12 +122,16 @@ nnz_t mask_filter_bin(nnz_t merged, const mtx::CsrMatrix& mask,
 
 }  // namespace detail
 
+/// Per-bin wide-format operations — the unit of work both schedules run.
+/// The barrier driver maps them over all bins behind an `omp for`; the
+/// pipelined schedule (pipeline_impl.hpp) runs `process` on a single bin
+/// the moment it becomes ready.  Holds only pointers: cheap to copy into
+/// each thread.
 template <typename S>
-SortCompressResult pb_sort_compress(Tuple* tuples,
-                                    std::span<const nnz_t> offsets,
-                                    std::span<const nnz_t> fill, int nbins,
-                                    PbWorkspace* workspace,
-                                    const MaskSpec& mask) {
+struct WideBinOps {
+  Tuple* tuples = nullptr;
+  const MaskSpec* mask = nullptr;
+
   // The wide sort runs as SoA under the hood: the AoS bin is deinterleaved
   // into a u64 key + f64 value pair carved from the scratch, sorted with
   // radix_sort_lsd_kv (histogram and bit-scan passes read the 8 B keys
@@ -135,6 +139,66 @@ SortCompressResult pb_sort_compress(Tuple* tuples,
   // storage, then reinterleaved back.  A scratch sized for max_bin tuples
   // (16 B each) is exactly one key array + one value array of max_bin, so
   // bin + scratch keep the same L2 footprint as the AoS sort they replace.
+  void sort(nnz_t off, std::size_t len, Tuple* scratch,
+            std::size_t max_bin) const {
+    if (len < 2) return;
+    auto* sbase = reinterpret_cast<std::byte*>(scratch);
+    auto* ks = reinterpret_cast<std::uint64_t*>(sbase);
+    auto* vs =
+        reinterpret_cast<value_t*>(sbase + max_bin * sizeof(std::uint64_t));
+    Tuple* t = tuples + off;
+    for (std::size_t i = 0; i < len; ++i) {
+      ks[i] = t[i].key;
+      vs[i] = t[i].val;
+    }
+    // Ping-pong scratch carved from the bin's own storage (16 B/tuple
+    // = one u64 + one f64); the sort's result always lands back in
+    // (ks, vs), from where the bin is reinterleaved.
+    auto* bbase = reinterpret_cast<std::byte*>(t);
+    auto* kb = reinterpret_cast<std::uint64_t*>(bbase);
+    auto* vb = reinterpret_cast<value_t*>(bbase + len * sizeof(std::uint64_t));
+    radix_sort_lsd_kv(ks, vs, len, kb, vb);
+    for (std::size_t i = 0; i < len; ++i) {
+      t[i].key = ks[i];
+      t[i].val = vs[i];
+    }
+  }
+
+  // Two-pointer in-place merge (paper Sec. III-E): p1 scans, p2 marks
+  // the last surviving tuple.  Duplicates combine with the semiring
+  // add; survivors stay even when the combined value is S::zero().
+  nnz_t compress(nnz_t off, std::size_t len) const {
+    Tuple* t = tuples + off;
+    std::size_t p2 = 0;
+    for (std::size_t p1 = 1; p1 < len; ++p1) {
+      if (t[p1].key == t[p2].key) {
+        t[p2].val = S::add(t[p2].val, t[p1].val);
+      } else {
+        t[++p2] = t[p1];
+      }
+    }
+    return static_cast<nnz_t>(p2 + 1);
+  }
+
+  // Fused mask: wide keys carry global (row, col) directly.
+  nnz_t filter(int /*bin*/, nnz_t off, nnz_t merged) const {
+    if (!mask->active()) return merged;
+    Tuple* t = tuples + off;
+    return detail::mask_filter_bin(
+        merged, *mask->csr, mask->complement,
+        [&](nnz_t i) { return key_row(t[i].key); },
+        [&](nnz_t i) { return key_col(t[i].key); },
+        [&](nnz_t src, nnz_t dst) { t[dst] = t[src]; });
+  }
+};
+
+template <typename S>
+SortCompressResult pb_sort_compress(Tuple* tuples,
+                                    std::span<const nnz_t> offsets,
+                                    std::span<const nnz_t> fill, int nbins,
+                                    PbWorkspace* workspace,
+                                    const MaskSpec& mask) {
+  const WideBinOps<S> ops{tuples, &mask};
   struct Scratch {
     AlignedBuffer<Tuple> local;  // fallback when there is no workspace
     Tuple* data = nullptr;
@@ -154,55 +218,65 @@ SortCompressResult pb_sort_compress(Tuple* tuples,
         return s;
       },
       [&](nnz_t off, std::size_t len, Scratch& scratch) {
-        if (len < 2) return;
-        auto* sbase = reinterpret_cast<std::byte*>(scratch.data);
-        auto* ks = reinterpret_cast<std::uint64_t*>(sbase);
-        auto* vs = reinterpret_cast<value_t*>(
-            sbase + scratch.max_bin * sizeof(std::uint64_t));
-        Tuple* t = tuples + off;
-        for (std::size_t i = 0; i < len; ++i) {
-          ks[i] = t[i].key;
-          vs[i] = t[i].val;
-        }
-        // Ping-pong scratch carved from the bin's own storage (16 B/tuple
-        // = one u64 + one f64); the sort's result always lands back in
-        // (ks, vs), from where the bin is reinterleaved.
-        auto* bbase = reinterpret_cast<std::byte*>(t);
-        auto* kb = reinterpret_cast<std::uint64_t*>(bbase);
-        auto* vb =
-            reinterpret_cast<value_t*>(bbase + len * sizeof(std::uint64_t));
-        radix_sort_lsd_kv(ks, vs, len, kb, vb);
-        for (std::size_t i = 0; i < len; ++i) {
-          t[i].key = ks[i];
-          t[i].val = vs[i];
-        }
+        ops.sort(off, len, scratch.data, scratch.max_bin);
       },
-      // Two-pointer in-place merge (paper Sec. III-E): p1 scans, p2 marks
-      // the last surviving tuple.  Duplicates combine with the semiring
-      // add; survivors stay even when the combined value is S::zero().
-      [&](nnz_t off, std::size_t len) -> nnz_t {
-        Tuple* t = tuples + off;
-        std::size_t p2 = 0;
-        for (std::size_t p1 = 1; p1 < len; ++p1) {
-          if (t[p1].key == t[p2].key) {
-            t[p2].val = S::add(t[p2].val, t[p1].val);
-          } else {
-            t[++p2] = t[p1];
-          }
-        }
-        return static_cast<nnz_t>(p2 + 1);
-      },
-      // Fused mask: wide keys carry global (row, col) directly.
-      [&](int /*bin*/, nnz_t off, nnz_t merged) -> nnz_t {
-        if (!mask.active()) return merged;
-        Tuple* t = tuples + off;
-        return detail::mask_filter_bin(
-            merged, *mask.csr, mask.complement,
-            [&](nnz_t i) { return key_row(t[i].key); },
-            [&](nnz_t i) { return key_col(t[i].key); },
-            [&](nnz_t src, nnz_t dst) { t[dst] = t[src]; });
+      [&](nnz_t off, std::size_t len) { return ops.compress(off, len); },
+      [&](int bin, nnz_t off, nnz_t merged) {
+        return ops.filter(bin, off, merged);
       });
 }
+
+/// Narrow-format counterpart of WideBinOps; same contract.
+template <typename S>
+struct NarrowBinOps {
+  narrow_key_t* keys = nullptr;
+  value_t* vals = nullptr;
+  const MaskSpec* mask = nullptr;
+  const BinLayout* layout = nullptr;
+  int col_bits = 0;
+
+  void sort(nnz_t off, std::size_t len, const NarrowStream& scratch) const {
+    radix_sort_lsd_kv(keys + off, vals + off, len, scratch.keys,
+                      scratch.vals);
+  }
+
+  // Same merge as the wide path in SoA form: the scan runs over the key
+  // array alone and each surviving tuple's value is compacted exactly once.
+  nnz_t compress(nnz_t off, std::size_t len) const {
+    narrow_key_t* k = keys + off;
+    value_t* v = vals + off;
+    std::size_t p2 = 0;
+    for (std::size_t p1 = 1; p1 < len; ++p1) {
+      if (k[p1] == k[p2]) {
+        v[p2] = S::add(v[p2], v[p1]);
+      } else {
+        ++p2;
+        k[p2] = k[p1];
+        v[p2] = v[p1];
+      }
+    }
+    return static_cast<nnz_t>(p2 + 1);
+  }
+
+  // Fused mask: narrow keys decode to global coordinates through the
+  // stream's bin geometry.
+  nnz_t filter(int bin, nnz_t off, nnz_t merged) const {
+    if (!mask->active()) return merged;
+    narrow_key_t* k = keys + off;
+    value_t* v = vals + off;
+    return detail::mask_filter_bin(
+        merged, *mask->csr, mask->complement,
+        [&](nnz_t i) {
+          return layout->global_row(bin,
+                                    narrow_key_local_row(k[i], col_bits));
+        },
+        [&](nnz_t i) { return narrow_key_col(k[i], col_bits); },
+        [&](nnz_t src, nnz_t dst) {
+          k[dst] = k[src];
+          v[dst] = v[src];
+        });
+  }
+};
 
 template <typename S>
 SortCompressResult pb_sort_compress_narrow(narrow_key_t* keys, value_t* vals,
@@ -212,6 +286,7 @@ SortCompressResult pb_sort_compress_narrow(narrow_key_t* keys, value_t* vals,
                                            const MaskSpec& mask,
                                            const BinLayout* layout,
                                            int col_bits) {
+  const NarrowBinOps<S> ops{keys, vals, &mask, layout, col_bits};
   struct Scratch {
     AlignedBuffer<narrow_key_t> local_keys;  // fallbacks without a workspace
     AlignedBuffer<value_t> local_vals;
@@ -231,43 +306,11 @@ SortCompressResult pb_sort_compress_narrow(narrow_key_t* keys, value_t* vals,
         return s;
       },
       [&](nnz_t off, std::size_t len, Scratch& scratch) {
-        radix_sort_lsd_kv(keys + off, vals + off, len, scratch.stream.keys,
-                          scratch.stream.vals);
+        ops.sort(off, len, scratch.stream);
       },
-      // Same merge in SoA form: the scan runs over the key array alone and
-      // each surviving tuple's value is compacted exactly once.
-      [&](nnz_t off, std::size_t len) -> nnz_t {
-        narrow_key_t* k = keys + off;
-        value_t* v = vals + off;
-        std::size_t p2 = 0;
-        for (std::size_t p1 = 1; p1 < len; ++p1) {
-          if (k[p1] == k[p2]) {
-            v[p2] = S::add(v[p2], v[p1]);
-          } else {
-            ++p2;
-            k[p2] = k[p1];
-            v[p2] = v[p1];
-          }
-        }
-        return static_cast<nnz_t>(p2 + 1);
-      },
-      // Fused mask: narrow keys decode to global coordinates through the
-      // stream's bin geometry.
-      [&](int bin, nnz_t off, nnz_t merged) -> nnz_t {
-        if (!mask.active()) return merged;
-        narrow_key_t* k = keys + off;
-        value_t* v = vals + off;
-        return detail::mask_filter_bin(
-            merged, *mask.csr, mask.complement,
-            [&](nnz_t i) {
-              return layout->global_row(bin,
-                                        narrow_key_local_row(k[i], col_bits));
-            },
-            [&](nnz_t i) { return narrow_key_col(k[i], col_bits); },
-            [&](nnz_t src, nnz_t dst) {
-              k[dst] = k[src];
-              v[dst] = v[src];
-            });
+      [&](nnz_t off, std::size_t len) { return ops.compress(off, len); },
+      [&](int bin, nnz_t off, nnz_t merged) {
+        return ops.filter(bin, off, merged);
       });
 }
 

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "common/cache_info.hpp"
+#include "common/numa.hpp"
 #include "common/parallel.hpp"
 #include "common/prefix_sum.hpp"
 
@@ -200,6 +201,27 @@ SymbolicResult pb_symbolic(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
   out.bin_offsets[static_cast<std::size_t>(out.layout.nbins)] = cursor;
   assert(total_fill == out.flop);
   (void)total_fill;
+
+  // Bin -> home-node map: contiguous flop-balanced partition over the
+  // machine's NUMA nodes.  Contiguity keeps each node's share of the
+  // tuple pool one address range (range/adaptive layouts are row-ordered,
+  // so it is also a row partition); balancing by fill gives every node
+  // roughly flop/nnodes tuples to serve from local memory.
+  const int nnodes = numa_topology().nnodes;
+  out.numa_nodes = 1;
+  out.bin_home.assign(static_cast<std::size_t>(out.layout.nbins), 0);
+  if (nnodes > 1 && out.flop > 0) {
+    const double share =
+        static_cast<double>(out.flop) / static_cast<double>(nnodes);
+    nnz_t seen = 0;
+    for (int bin = 0; bin < out.layout.nbins; ++bin) {
+      const int node = std::min(
+          nnodes - 1, static_cast<int>(static_cast<double>(seen) / share));
+      out.bin_home[static_cast<std::size_t>(bin)] = node;
+      out.numa_nodes = std::max(out.numa_nodes, node + 1);
+      seen += counts[static_cast<std::size_t>(bin)];
+    }
+  }
 
   // Traffic model: the two pointer arrays (Algorithm 3 streams them) plus
   // one pass over A's row-id array for the bin histogram.

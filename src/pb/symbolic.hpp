@@ -34,6 +34,17 @@ struct SymbolicResult {
   /// of the region up to bin_offsets[b+1] is alignment slack.
   std::vector<nnz_t> bin_fill;
 
+  /// Home NUMA node of each bin (size layout.nbins): a contiguous,
+  /// flop-balanced partition of the bins over the machine's nodes
+  /// (common/numa.hpp).  The placement layer first-touches each bin's
+  /// tuple region from a thread on its home node, and the pipelined
+  /// schedule prefers stealing from same-node victims.  All zeros on
+  /// single-node hosts.
+  std::vector<int> bin_home;
+
+  /// Number of distinct nodes bin_home spans (>= 1).
+  int numa_nodes = 1;
+
   /// Stream format the plan selected (pb/tuple.hpp) and, for kNarrow, the
   /// column bit width of the packed key.  pb_execute dispatches the
   /// format-matched kernels from these; the per-phase entry points

@@ -1,12 +1,16 @@
 #include "spgemm/executor.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
 #include <list>
 #include <map>
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
+#include "common/parallel.hpp"
 #include "common/timer.hpp"
 #include "pb/symbolic.hpp"
 #include "spgemm/registry.hpp"
@@ -26,7 +30,8 @@ std::string op_cache_key(const SpGemmOp& op) {
   key << op.algo << '|' << op.semiring << '|'
       << static_cast<const void*>(op.mask) << '|' << op.complement << '|'
       << static_cast<int>(op.pb.policy) << '|'
-      << static_cast<int>(op.pb.format) << '|' << op.pb.nbins << '|'
+      << static_cast<int>(op.pb.format) << '|'
+      << static_cast<int>(op.pb.schedule) << '|' << op.pb.nbins << '|'
       << op.pb.local_bin_bytes << '|' << op.pb.l2_bytes << '|'
       << op.pb.streaming_stores << '|' << op.model.pb_efficiency << '|'
       << op.model.column_latency_penalty << '|'
@@ -228,7 +233,14 @@ struct SpGemmExecutor::Impl {
       m.pb_tuple_bytes = static_cast<double>(pb::bytes_per_tuple(
           pb::predict_tuple_format(p.a_csc.nrows, p.b_csr.ncols, fp.flop,
                                    op.pb)));
-      entry->sel_pb_efficiency = m.pb_efficiency;
+      // Schedule term: pb's derating reflects the schedule this op will
+      // actually execute under (kAuto resolved for the current team size).
+      m.pipelined_schedule =
+          pb::resolve_schedule(op.pb.schedule, max_threads()) ==
+          pb::PbSchedule::kPipeline;
+      // Record the *effective* derating (schedule term applied): a later
+      // calibrate() inverts predictions through this constant.
+      entry->sel_pb_efficiency = m.effective_pb_efficiency();
       entry->sel_column_latency_penalty = m.column_latency_penalty;
       model::MaskModel mm;
       if (op.mask != nullptr) {
@@ -503,11 +515,14 @@ std::vector<mtx::CsrMatrix> SpGemmExecutor::run(const SpGemmProblem& p,
     }
   }
 
-  for (const SpGemmOp& op : ops) {
-    if (is_passthrough(op)) {
-      results.push_back(im.run_passthrough(p, op, nullptr));
-      continue;
-    }
+  // Phase 1 (serial): resolve every descriptor to an executable entry —
+  // cache lookups, analyses and stats stay ordered, and every plan is in
+  // the cache before anything runs.  Passthrough ops resolve to a null
+  // entry and execute through run_passthrough below.
+  std::vector<Impl::EntryPtr> entries(ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const SpGemmOp& op = ops[i];
+    if (is_passthrough(op)) continue;
     const std::string key = op_cache_key(op);
     Impl::EntryPtr entry = im.find(fp, key);
     const bool hit = entry != nullptr;
@@ -520,7 +535,50 @@ std::vector<mtx::CsrMatrix> SpGemmExecutor::run(const SpGemmProblem& p,
       ++im.stats.executes;
       hit ? ++im.stats.cache_hits : ++im.stats.cache_misses;
     }
-    results.push_back(im.execute_entry(entry, p, nullptr));
+    entries[i] = std::move(entry);
+  }
+
+  // Phase 2: fan the executions out over the workspace pool — each worker
+  // leases its own PbWorkspace, so ops run fully concurrent (dyn-semiring
+  // ops still serialize on the process-global bridge).  Results land in
+  // op order; the first worker exception is rethrown after the join.
+  results.resize(ops.size());
+  auto execute_one = [&](std::size_t i) {
+    results[i] = entries[i] != nullptr
+                     ? im.execute_entry(entries[i], p, nullptr)
+                     : im.run_passthrough(p, ops[i], nullptr);
+  };
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const std::size_t workers =
+      std::min(ops.size(), im.opts.batch_concurrency == 0
+                               ? hw
+                               : im.opts.batch_concurrency);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < ops.size(); ++i) execute_one(i);
+    return results;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::exception_ptr> errors(workers);
+  std::vector<std::thread> team;
+  team.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    team.emplace_back([&, w] {
+      for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+           i < ops.size();
+           i = next.fetch_add(1, std::memory_order_relaxed)) {
+        try {
+          execute_one(i);
+        } catch (...) {
+          errors[w] = std::current_exception();
+          return;  // this worker stops; the rest drain the queue
+        }
+      }
+    });
+  }
+  for (std::thread& t : team) t.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
   }
   return results;
 }

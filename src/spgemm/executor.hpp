@@ -75,6 +75,15 @@ struct ExecutorOptions {
   /// Telemetry ring capacity: the most recent samples kept for
   /// calibrate()/samples().
   std::size_t max_samples = 512;
+
+  /// Worker threads the batched run(problem, ops) fans executions out
+  /// over after its shared (serial) analysis pass.  0 = auto:
+  /// min(#ops, hardware threads).  1 = serial (the pre-fan-out
+  /// behavior).  Each worker leases its own PbWorkspace from the pool
+  /// and runs its op's full execution; results land in op order
+  /// regardless.  Ops over runtime-registered semirings still serialize
+  /// on the process-global DynSemiring bridge.
+  std::size_t batch_concurrency = 0;
 };
 
 struct ExecutorStats {
@@ -136,7 +145,9 @@ class SpGemmExecutor {
   /// Batched descriptor execution: every op multiplied against p, sharing
   /// ONE analysis pass — the fingerprint's flop count, the row-flop
   /// histogram and the nnz(C) estimate are computed once and every op's
-  /// selection (mask-aware per op) and symbolic build draw on them.
+  /// selection (mask-aware per op) and symbolic build draw on them.  The
+  /// executions then fan out over ExecutorOptions::batch_concurrency
+  /// worker threads, each leasing its own PbWorkspace from the pool.
   /// Results are returned in op order; each (structure, op) plan lands in
   /// the cache, so subsequent single runs hit.  Accumulating descriptors
   /// are rejected here (std::logic_error) — batch results are products.

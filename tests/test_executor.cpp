@@ -282,6 +282,84 @@ TEST(Executor, BatchRunsEveryDescriptorOffOneAnalysisPass) {
                std::logic_error);
 }
 
+TEST(Executor, SameAggregateStructuresGetDistinctCacheEntries) {
+  // Regression for the fingerprint's structural hash: two permutation
+  // matrices share dims, nnz and flop(P²) — every aggregate the
+  // fingerprint held before the hash — so without it the second structure
+  // would false-hit the first one's cached plan and run through a stale
+  // bin layout.
+  constexpr index_t n = 512;
+  const auto permutation = [](bool reversed) {
+    mtx::CsrMatrix m(n, n);
+    for (index_t r = 0; r < n; ++r) {
+      m.rowptr[static_cast<std::size_t>(r) + 1] = r + 1;
+      m.colids.push_back(reversed ? n - 1 - r : r);
+      m.vals.push_back(1.0);
+    }
+    return m;
+  };
+  const mtx::CsrMatrix ident = permutation(false);
+  const mtx::CsrMatrix rev = permutation(true);
+  const SpGemmProblem pi = SpGemmProblem::square(ident);
+  const SpGemmProblem pr = SpGemmProblem::square(rev);
+
+  SpGemmExecutor exec;
+  SpGemmOp op;
+  op.algo = "pb";
+  EXPECT_TRUE(mtx::equal_exact(exec.run(pi, op), reference_spgemm(pi)));
+  EXPECT_TRUE(mtx::equal_exact(exec.run(pr, op), reference_spgemm(pr)));
+  const ExecutorStats s = exec.stats();
+  EXPECT_EQ(s.cache_misses, 2u);  // distinct entries, no false hit
+  EXPECT_EQ(s.cache_hits, 0u);
+}
+
+TEST(ExecutorConcurrency, BatchFanOutMatchesSerialAtEveryConcurrency) {
+  // The batched run's phase-2 fan-out (worker threads over the workspace
+  // pool) must be a pure scheduling change: op-order results identical to
+  // the serial batch, for a mix of semirings, masks and schedules.
+  const mtx::CsrMatrix a = testutil::exact_er(220, 220, 5.0, 91);
+  const mtx::CsrMatrix mask = testutil::exact_er(220, 220, 2.0, 92);
+  const SpGemmProblem p = SpGemmProblem::square(a);
+
+  std::vector<SpGemmOp> ops(6);
+  ops[0].algo = "pb";
+  ops[1].algo = "pb";
+  ops[1].semiring = MinPlus::name;
+  ops[2].algo = "pb";
+  ops[2].mask = &mask;
+  ops[3].algo = "pb";
+  ops[3].mask = &mask;
+  ops[3].complement = true;
+  ops[4].algo = "auto";
+  ops[5].algo = "pb";
+  ops[5].pb.schedule = pb::PbSchedule::kPipeline;
+
+  ExecutorOptions serial_opts;
+  serial_opts.batch_concurrency = 1;
+  SpGemmExecutor serial(serial_opts);
+  const std::vector<mtx::CsrMatrix> want = serial.run(p, ops);
+
+  for (const std::size_t conc : {std::size_t{0}, std::size_t{2},
+                                 std::size_t{4}}) {
+    ExecutorOptions o;
+    o.batch_concurrency = conc;
+    SpGemmExecutor exec(o);
+    for (int round = 0; round < 3; ++round) {
+      const std::vector<mtx::CsrMatrix> got = exec.run(p, ops);
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        EXPECT_TRUE(mtx::equal_exact(got[i], want[i]))
+            << "concurrency " << conc << ", round " << round << ", op " << i;
+      }
+    }
+    const ExecutorStats s = exec.stats();
+    EXPECT_EQ(s.batches, 3u);
+    // Rounds 2 and 3 served every op from the cache.
+    EXPECT_EQ(s.cache_misses, static_cast<std::uint64_t>(ops.size()));
+    EXPECT_GE(s.cache_hits, 2u * ops.size());
+  }
+}
+
 // ---- concurrent serving ---------------------------------------------------
 
 TEST(ExecutorConcurrency, FourThreadsThroughOneCachedPlan) {

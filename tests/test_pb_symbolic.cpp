@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "matrix/convert.hpp"
 #include "matrix/generate.hpp"
 #include "matrix/mstats.hpp"
@@ -25,6 +27,26 @@ TEST(PbSymbolic, FlopMatchesIndependentCount) {
   const Operands ops = er_operands(512, 5.0, 1);
   const SymbolicResult sym = pb_symbolic(ops.a, ops.b, PbConfig{});
   EXPECT_EQ(sym.flop, mtx::count_flops(ops.a, ops.b));
+}
+
+TEST(PbSymbolic, BinHomeIsAContiguousPartitionOverDetectedNodes) {
+  // bin_home maps every bin to the NUMA node whose memory should back it
+  // (PbWorkspace::place_bins first-touches accordingly).  On any machine
+  // it must be a valid contiguous non-decreasing partition spanning
+  // exactly numa_nodes nodes; on a single-node machine it is all zeros.
+  const Operands ops = er_operands(1024, 6.0, 7);
+  const SymbolicResult sym = pb_symbolic(ops.a, ops.b, PbConfig{});
+  ASSERT_EQ(sym.bin_home.size(),
+            static_cast<std::size_t>(sym.layout.nbins));
+  ASSERT_GE(sym.numa_nodes, 1);
+  int max_node = 0;
+  for (std::size_t i = 0; i < sym.bin_home.size(); ++i) {
+    ASSERT_GE(sym.bin_home[i], 0);
+    ASSERT_LT(sym.bin_home[i], sym.numa_nodes);
+    if (i > 0) ASSERT_GE(sym.bin_home[i], sym.bin_home[i - 1]);  // contiguous
+    max_node = std::max(max_node, sym.bin_home[i]);
+  }
+  EXPECT_EQ(max_node + 1, sym.numa_nodes);
 }
 
 TEST(PbSymbolic, BinFillsPartitionFlopAndRegionsAlign) {

@@ -93,6 +93,43 @@ TEST(PbPlan, RejectsStructurallyDifferentOperands) {
   EXPECT_FALSE(plan.matches(po.a_csc, po.b_csr));
 }
 
+TEST(PbPlan, FingerprintDistinguishesSameAggregateStructures) {
+  // Two permutation matrices agree on every aggregate the fingerprint
+  // held before the structural hash: same dims, nnz = n, and flop(P²) = n
+  // for ANY permutation.  Only the sampled structure hash tells them
+  // apart — without it the plan cache would serve the identity's plan for
+  // the reversal's multiplication.
+  constexpr index_t n = 512;
+  const auto permutation = [](index_t size, bool reversed) {
+    mtx::CsrMatrix m(size, size);
+    for (index_t r = 0; r < size; ++r) {
+      m.rowptr[static_cast<std::size_t>(r) + 1] = r + 1;
+      m.colids.push_back(reversed ? size - 1 - r : r);
+      m.vals.push_back(1.0);
+    }
+    return m;
+  };
+  const mtx::CsrMatrix ident = permutation(n, false);
+  const mtx::CsrMatrix rev = permutation(n, true);
+  const SpGemmProblem pi = SpGemmProblem::square(ident);
+  const SpGemmProblem pr = SpGemmProblem::square(rev);
+  const pb::StructureFingerprint fi =
+      pb::StructureFingerprint::of(pi.a_csc, pi.b_csr);
+  const pb::StructureFingerprint fr =
+      pb::StructureFingerprint::of(pr.a_csc, pr.b_csr);
+  EXPECT_EQ(fi.a_nnz, fr.a_nnz);
+  EXPECT_EQ(fi.flop, fr.flop);
+  EXPECT_NE(fi.structure_hash, fr.structure_hash);
+  EXPECT_FALSE(fi == fr);
+
+  // Value updates keep the hash (it samples pointers and indices, never
+  // values): fingerprint-verified re-execution still matches.
+  mtx::CsrMatrix scaled = ident;
+  for (value_t& v : scaled.vals) v *= 3.0;
+  const SpGemmProblem ps = SpGemmProblem::square(scaled);
+  EXPECT_TRUE(fi == pb::StructureFingerprint::of(ps.a_csc, ps.b_csr));
+}
+
 TEST(PbPlan, HintsReproduceTheUnhintedPlan) {
   // Threading the fingerprint's flop and the selection pass's row-flop
   // histogram into symbolic must be a pure optimization: identical layout,

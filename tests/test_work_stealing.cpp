@@ -1,0 +1,186 @@
+// WorkStealingDeque — the Chase–Lev deque the pipelined PB schedule hands
+// ready bins through.  LIFO owner pops (cache-hot: the bin the owner just
+// finished filling), FIFO steals (coldest work migrates), and the
+// single-element race between pop and steal resolves to exactly one
+// winner.  The stress tests run real std::threads against the atomics
+// directly — no OpenMP — so they exercise the deque under TSan even when
+// the OpenMP runtime itself is uninstrumented.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hpp"
+
+namespace pbs {
+namespace {
+
+TEST(WorkStealingDeque, OwnerPopsLifo) {
+  WorkStealingDeque<int> d(8);
+  for (int i = 0; i < 5; ++i) d.push(i);
+  EXPECT_EQ(d.size(), 5);
+  int v = -1;
+  for (int expect = 4; expect >= 0; --expect) {
+    ASSERT_TRUE(d.pop(v));
+    EXPECT_EQ(v, expect);
+  }
+  EXPECT_FALSE(d.pop(v));
+  EXPECT_EQ(d.size(), 0);
+}
+
+TEST(WorkStealingDeque, ThiefStealsFifo) {
+  WorkStealingDeque<int> d(8);
+  for (int i = 0; i < 5; ++i) d.push(i);
+  int v = -1;
+  for (int expect = 0; expect < 5; ++expect) {
+    ASSERT_TRUE(d.steal(v));
+    EXPECT_EQ(v, expect);
+  }
+  EXPECT_FALSE(d.steal(v));
+}
+
+TEST(WorkStealingDeque, PopAndStealMeetInTheMiddle) {
+  WorkStealingDeque<int> d(16);
+  for (int i = 0; i < 10; ++i) d.push(i);
+  int v = -1;
+  std::vector<bool> seen(10, false);
+  for (int k = 0; k < 5; ++k) {
+    ASSERT_TRUE(d.pop(v));
+    ASSERT_FALSE(seen[static_cast<std::size_t>(v)]);
+    seen[static_cast<std::size_t>(v)] = true;
+    ASSERT_TRUE(d.steal(v));
+    ASSERT_FALSE(seen[static_cast<std::size_t>(v)]);
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+  EXPECT_FALSE(d.pop(v));
+  EXPECT_FALSE(d.steal(v));
+  for (const bool b : seen) EXPECT_TRUE(b);
+}
+
+TEST(WorkStealingDeque, CapacityRoundsUpAndHoldsRequested) {
+  WorkStealingDeque<int> d(5);  // rounds up to 8
+  for (int i = 0; i < 5; ++i) d.push(i);
+  int v = -1;
+  int n = 0;
+  while (d.pop(v)) ++n;
+  EXPECT_EQ(n, 5);
+}
+
+// Every pushed element is taken exactly once when several thieves race
+// one owner that interleaves pushes and pops.  The per-element claim
+// counter catches both losses (an element never delivered) and
+// duplications (the classic single-element pop/steal race resolving to
+// two winners).
+TEST(WorkStealingDeque, StressOneOwnerManyThievesExactlyOnce) {
+  constexpr int kItems = 20000;
+  constexpr int kThieves = 3;
+  WorkStealingDeque<int> d(static_cast<std::size_t>(kItems));
+  std::vector<std::atomic<int>> claimed(kItems);
+  for (auto& c : claimed) c.store(0, std::memory_order_relaxed);
+  std::atomic<int> taken{0};
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> thieves;
+  thieves.reserve(kThieves);
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      int v = -1;
+      while (!done.load(std::memory_order_acquire) ||
+             taken.load(std::memory_order_acquire) < kItems) {
+        if (d.steal(v)) {
+          claimed[static_cast<std::size_t>(v)].fetch_add(
+              1, std::memory_order_relaxed);
+          taken.fetch_add(1, std::memory_order_acq_rel);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  // Owner: push everything, popping a batch every so often (the pipeline's
+  // owner also consumes its own deque between expand flushes).
+  int v = -1;
+  for (int i = 0; i < kItems; ++i) {
+    d.push(i);
+    if (i % 7 == 6 && d.pop(v)) {
+      claimed[static_cast<std::size_t>(v)].fetch_add(1,
+                                                     std::memory_order_relaxed);
+      taken.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+  while (d.pop(v)) {
+    claimed[static_cast<std::size_t>(v)].fetch_add(1, std::memory_order_relaxed);
+    taken.fetch_add(1, std::memory_order_acq_rel);
+  }
+  done.store(true, std::memory_order_release);
+  for (std::thread& t : thieves) t.join();
+
+  EXPECT_EQ(taken.load(), kItems);
+  for (int i = 0; i < kItems; ++i) {
+    EXPECT_EQ(claimed[static_cast<std::size_t>(i)].load(), 1) << "item " << i;
+  }
+}
+
+// The pipeline's actual topology: every worker owns a deque, pushes its
+// own ready bins, drains itself LIFO and steals round-robin when empty.
+// Total work delivered must equal total work pushed.
+TEST(WorkStealingDeque, StressAllWorkersOwnAndSteal) {
+  constexpr int kWorkers = 4;
+  constexpr int kPerWorker = 5000;
+  std::vector<std::unique_ptr<WorkStealingDeque<int>>> deques;
+  for (int w = 0; w < kWorkers; ++w) {
+    deques.push_back(
+        std::make_unique<WorkStealingDeque<int>>(kPerWorker));
+  }
+  std::atomic<int> remaining{kWorkers * kPerWorker};
+  std::vector<std::atomic<int>> claimed(
+      static_cast<std::size_t>(kWorkers) * kPerWorker);
+  for (auto& c : claimed) c.store(0, std::memory_order_relaxed);
+
+  std::vector<std::thread> workers;
+  workers.reserve(kWorkers);
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      // Produce this worker's items, interleaved with consumption —
+      // exactly how the pipeline pushes bins while expand still runs.
+      int produced = 0;
+      int v = -1;
+      const auto take = [&](int item) {
+        claimed[static_cast<std::size_t>(item)].fetch_add(
+            1, std::memory_order_relaxed);
+        remaining.fetch_sub(1, std::memory_order_acq_rel);
+      };
+      while (remaining.load(std::memory_order_acquire) > 0) {
+        if (produced < kPerWorker) {
+          deques[static_cast<std::size_t>(w)]->push(w * kPerWorker +
+                                                    produced++);
+        }
+        if (deques[static_cast<std::size_t>(w)]->pop(v)) {
+          take(v);
+          continue;
+        }
+        bool got = false;
+        for (int k = 1; k < kWorkers && !got; ++k) {
+          got = deques[static_cast<std::size_t>((w + k) % kWorkers)]->steal(v);
+        }
+        if (got) {
+          take(v);
+        } else if (produced == kPerWorker) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+
+  EXPECT_EQ(remaining.load(), 0);
+  for (std::size_t i = 0; i < claimed.size(); ++i) {
+    EXPECT_EQ(claimed[i].load(), 1) << "item " << i;
+  }
+}
+
+}  // namespace
+}  // namespace pbs
