@@ -172,6 +172,30 @@ inline pb::PbTelemetry pb_best_telemetry(const SpGemmProblem& problem,
   return best;
 }
 
+/// pb_best_telemetry through the runtime semiring dispatch — the boolean
+/// stream benches need bool_or_and so the key-only format can engage.
+inline pb::PbTelemetry pb_best_telemetry_named(const std::string& semiring,
+                                               const SpGemmProblem& problem,
+                                               const pb::PbConfig& cfg,
+                                               int reps, int warmup) {
+  thread_local pb::PbWorkspace workspace;
+  for (int i = 0; i < warmup; ++i)
+    (void)pb::pb_spgemm_named(semiring, problem.a_csc, problem.b_csr, cfg,
+                              workspace);
+  pb::PbTelemetry best;
+  double best_total = 0;
+  for (int i = 0; i < reps; ++i) {
+    const pb::PbResult r =
+        pb::pb_spgemm_named(semiring, problem.a_csc, problem.b_csr, cfg,
+                            workspace);
+    if (i == 0 || r.stats.total_seconds() < best_total) {
+      best = r.stats;
+      best_total = r.stats.total_seconds();
+    }
+  }
+  return best;
+}
+
 // ---- output ---------------------------------------------------------------
 
 /// Fixed-width table printer: header row then rows of cells.

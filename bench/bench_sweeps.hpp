@@ -58,9 +58,20 @@ inline void run_random_sweep(const std::string& artifact, MatrixKind kind,
             "compress(GB/s)", "convert(GB/s)", "sort+comp(ms)",
             "overall(MF/s)"});
 
+  // Compressed-stream ablation: the same points multiplied over
+  // bool_or_and with the 8 B key-only stream (auto) vs the 12 B narrow
+  // stream (forced), plus the 8 B narrow-f32 stream on the numeric
+  // semiring.  The key-only compress drops the semiring add and the value
+  // scatter from every radix pass, so sort+compress is where the win
+  // concentrates.
+  Table stream({"scale", "ef", "semiring", "format", "B/t", "sort+comp(ms)",
+                "vs narrow", "overall(MF/s)"});
+
   JsonSink json(args);
   double sc_speedup_product = 1.0;
   int sc_speedup_points = 0;
+  double keyonly_speedup_product = 1.0;
+  int keyonly_speedup_points = 0;
 
   for (const int scale : scales) {
     for (const int ef : efs) {
@@ -120,6 +131,41 @@ inline void run_random_sweep(const std::string& artifact, MatrixKind kind,
         }
       }
 
+      pb::PbConfig narrow_cfg;
+      narrow_cfg.format = pb::FormatPolicy::kNarrow;
+      pb::PbConfig f32_cfg;
+      f32_cfg.format = pb::FormatPolicy::kF32;
+      // Boolean sweep: auto resolves to key-only (bool_or_and is
+      // value-free); the narrow-forced run is the 12 B baseline the
+      // acceptance floor compares against.
+      const pb::PbTelemetry tko =
+          pb_best_telemetry_named("bool_or_and", problem, auto_cfg, reps,
+                                  warmup);
+      const pb::PbTelemetry tbn =
+          pb_best_telemetry_named("bool_or_and", problem, narrow_cfg, reps,
+                                  warmup);
+      const pb::PbTelemetry tf32 =
+          pb_best_telemetry(problem, f32_cfg, reps, warmup);
+      const double sc_narrow = tbn.sort.seconds + tbn.compress.seconds;
+      auto stream_row = [&](const std::string& semiring,
+                            const pb::PbTelemetry& tm) {
+        const double sc = tm.sort.seconds + tm.compress.seconds;
+        stream.row(scale, ef, semiring, to_string(tm.format),
+                   tm.tuple_bytes(), sc * 1e3,
+                   sc > 0 ? sc_narrow / sc : 0.0, tm.mflops());
+      };
+      stream_row("bool_or_and", tko);
+      stream_row("bool_or_and", tbn);
+      stream_row("plus_times", tf32);
+      if (tko.format == pb::TupleFormat::kKeyOnly &&
+          tbn.format == pb::TupleFormat::kNarrow) {
+        const double sc_keyonly = tko.sort.seconds + tko.compress.seconds;
+        if (sc_keyonly > 0) {
+          keyonly_speedup_product *= sc_narrow / sc_keyonly;
+          ++keyonly_speedup_points;
+        }
+      }
+
       if (json.enabled()) {
         Json algos;
         for (std::size_t i = 0; i < algo_names.size(); ++i) {
@@ -147,7 +193,10 @@ inline void run_random_sweep(const std::string& artifact, MatrixKind kind,
                      .field("cf", cf)
                      .raw("mflops", algos.str())
                      .raw("pb", pb_record(t))
-                     .raw("pb_wide", pb_record(tw)));
+                     .raw("pb_wide", pb_record(tw))
+                     .raw("pb_bool_keyonly", pb_record(tko))
+                     .raw("pb_bool_narrow", pb_record(tbn))
+                     .raw("pb_f32", pb_record(tf32)));
       }
     }
   }
@@ -162,6 +211,17 @@ inline void run_random_sweep(const std::string& artifact, MatrixKind kind,
     std::cout << "\n# narrow-format sort+compress speedup vs wide (geomean over "
               << sc_speedup_points << " points): "
               << std::pow(sc_speedup_product, 1.0 / sc_speedup_points)
+              << "x\n";
+  }
+  std::cout << "\n## Compressed streams: key-only (8 B) vs narrow (12 B) on "
+               "bool_or_and, narrow-f32 (8 B) on plus_times\n";
+  stream.print(std::cout);
+  if (keyonly_speedup_points > 0) {
+    std::cout << "\n# key-only sort+compress speedup vs narrow on bool_or_and "
+                 "(geomean over "
+              << keyonly_speedup_points << " points): "
+              << std::pow(keyonly_speedup_product,
+                          1.0 / keyonly_speedup_points)
               << "x\n";
   }
 }

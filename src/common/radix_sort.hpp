@@ -275,6 +275,29 @@ void radix_sort_lsd_kv(Key* keys, Value* vals, std::size_t n,
       });
 }
 
+/// Keys-only LSD radix sort: sorts `keys[0..n)` ascending with no payload
+/// lane at all.  This is the sort of PB-SpGEMM's key-only tuple format
+/// (pb/tuple.hpp): for a value-free semiring the stream carries nothing
+/// but 8-byte keys, so each scatter pass moves 8 bytes instead of the 16
+/// the AoS sort moves — the value scatter is not merely cheap, it is
+/// gone.  Same byte skipping, odd-pass parity handling and stability as
+/// radix_sort_lsd.  `scratch` must hold n elements.
+template <typename Key>
+void radix_sort_lsd_keys(Key* keys, std::size_t n, Key* scratch) {
+  static_assert(std::is_unsigned_v<Key>, "radix keys must be unsigned");
+  if (n < 2) return;
+
+  detail::lsd_soa_driver(
+      keys, n, [&](std::size_t i) { scratch[i] = keys[i]; },
+      [&](int byte, bool src_is_a, std::array<std::uint32_t, 256>& offset) {
+        const Key* ks = src_is_a ? keys : scratch;
+        Key* kd = src_is_a ? scratch : keys;
+        const int shift = 8 * byte;
+        for (std::size_t i = 0; i < n; ++i)
+          kd[offset[(ks[i] >> shift) & 0xFFu]++] = ks[i];
+      });
+}
+
 /// Key + payload-index LSD radix sort: sorts `keys[0..n)` ascending,
 /// co-permuting the caller's `index` array (typically iota into a payload
 /// array the caller gathers once afterwards).  Scatter passes move

@@ -24,9 +24,12 @@
 // phase's per-row flop counts), which is what lets a plan select its
 // algorithm at build time.  PB's Eq. 4 bound additionally charges the Cˆ
 // write+read term the bytes the plan's tuple format actually moves
-// (pb_tuple_bytes: 16 wide, 12 narrow — see pb/tuple.hpp and
-// pb::predict_tuple_format), so the narrow stream's higher bound shifts
-// the crossover toward higher cf.
+// (pb_tuple_bytes: 16 wide, 12 narrow, 8 key-only/f32 — see pb/tuple.hpp
+// and pb::predict_tuple_format), so the compressed streams' higher bounds
+// shift the crossover toward higher cf: with defaults it sits at cf ≈ 2.2
+// at 16 B, ≈ 3.0 at 12 B and ≈ 7.7 at 8 B — a value-free (boolean)
+// workload keeps PB competitive well past where a valued one switches to
+// hash.
 #pragma once
 
 #include <span>
@@ -82,7 +85,8 @@ struct SelectionModel {
 
   /// Bytes each tuple of PB's expanded stream moves — the Cˆ term of
   /// Eq. 4.  16 for the wide AoS format; 12 when the plan's narrow SoA
-  /// format engages (pb/tuple.hpp; pb::predict_tuple_format tells a
+  /// format engages; 8 for the key-only (value-free semirings) and
+  /// narrow-f32 streams (pb/tuple.hpp; pb::predict_tuple_format tells a
   /// caller which to expect before any symbolic work).  Lowering it
   /// raises PB's bound, moving the pb/hash crossover toward higher cf.
   double pb_tuple_bytes = kDefaultBytesPerNnz;

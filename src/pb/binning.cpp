@@ -45,6 +45,8 @@ const char* to_string(FormatPolicy p) {
     case FormatPolicy::kAuto: return "auto";
     case FormatPolicy::kWide: return "wide";
     case FormatPolicy::kNarrow: return "narrow";
+    case FormatPolicy::kKeyOnly: return "keyonly";
+    case FormatPolicy::kF32: return "f32";
   }
   return "?";
 }
@@ -53,6 +55,8 @@ const char* to_string(TupleFormat f) {
   switch (f) {
     case TupleFormat::kWide: return "wide";
     case TupleFormat::kNarrow: return "narrow";
+    case TupleFormat::kKeyOnly: return "keyonly";
+    case TupleFormat::kNarrowF32: return "f32";
   }
   return "?";
 }

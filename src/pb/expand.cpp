@@ -40,6 +40,27 @@ template nnz_t pb_expand_narrow<BoolOrAnd>(const mtx::CscMatrix&,
                                            const PbConfig&, narrow_key_t*,
                                            value_t*);
 
+template nnz_t pb_expand_narrow_f32<PlusTimes>(const mtx::CscMatrix&,
+                                               const mtx::CsrMatrix&,
+                                               const SymbolicResult&,
+                                               const PbConfig&, narrow_key_t*,
+                                               f32_val_t*);
+template nnz_t pb_expand_narrow_f32<MinPlus>(const mtx::CscMatrix&,
+                                             const mtx::CsrMatrix&,
+                                             const SymbolicResult&,
+                                             const PbConfig&, narrow_key_t*,
+                                             f32_val_t*);
+template nnz_t pb_expand_narrow_f32<MaxMin>(const mtx::CscMatrix&,
+                                            const mtx::CsrMatrix&,
+                                            const SymbolicResult&,
+                                            const PbConfig&, narrow_key_t*,
+                                            f32_val_t*);
+template nnz_t pb_expand_narrow_f32<BoolOrAnd>(const mtx::CscMatrix&,
+                                               const mtx::CsrMatrix&,
+                                               const SymbolicResult&,
+                                               const PbConfig&, narrow_key_t*,
+                                               f32_val_t*);
+
 // The runtime-semiring bridge (spgemm/op.hpp): S::mul indirects through
 // the active RuntimeSemiring's closure; routing and blocking are identical.
 template nnz_t pb_expand<DynSemiring>(const mtx::CscMatrix&,
@@ -51,10 +72,32 @@ template nnz_t pb_expand_narrow<DynSemiring>(const mtx::CscMatrix&,
                                              const SymbolicResult&,
                                              const PbConfig&, narrow_key_t*,
                                              value_t*);
+template nnz_t pb_expand_narrow_f32<DynSemiring>(const mtx::CscMatrix&,
+                                                 const mtx::CsrMatrix&,
+                                                 const SymbolicResult&,
+                                                 const PbConfig&,
+                                                 narrow_key_t*, f32_val_t*);
 
 nnz_t pb_expand(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
                 const SymbolicResult& sym, const PbConfig& cfg, Tuple* out) {
   return pb_expand<PlusTimes>(a, b, sym, cfg, out);
+}
+
+nnz_t pb_expand_keyonly(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
+                        const SymbolicResult& sym, const PbConfig& cfg,
+                        wide_key_t* out_keys) {
+  switch (sym.layout.policy) {
+    case BinPolicy::kRange:
+      return detail::expand_keyonly_impl<BinPolicy::kRange>(a, b, sym, cfg,
+                                                            out_keys);
+    case BinPolicy::kModulo:
+      return detail::expand_keyonly_impl<BinPolicy::kModulo>(a, b, sym, cfg,
+                                                             out_keys);
+    case BinPolicy::kAdaptive:
+      return detail::expand_keyonly_impl<BinPolicy::kAdaptive>(a, b, sym, cfg,
+                                                               out_keys);
+  }
+  return 0;
 }
 
 }  // namespace pbs::pb

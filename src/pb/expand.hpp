@@ -44,6 +44,23 @@ nnz_t pb_expand_narrow(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
                        const SymbolicResult& sym, const PbConfig& cfg,
                        narrow_key_t* out_keys, value_t* out_vals);
 
+/// Key-only expand: writes the bare 8 B global keys — no value array
+/// exists in this format, so there is no multiply and no semiring
+/// parameter (legal only for value-free semirings; see pb/tuple.hpp).
+/// Requires sym.format == TupleFormat::kKeyOnly; `out_keys` needs room
+/// for sym.bin_offsets.back() entries.
+nnz_t pb_expand_keyonly(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
+                        const SymbolicResult& sym, const PbConfig& cfg,
+                        wide_key_t* out_keys);
+
+/// Narrow-f32 expand: the narrow SoA stream with a 4 B value lane (8 B per
+/// tuple).  Products are computed in double and narrowed on store.
+/// Requires sym.format == TupleFormat::kNarrowF32.
+template <typename S>
+nnz_t pb_expand_narrow_f32(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
+                           const SymbolicResult& sym, const PbConfig& cfg,
+                           narrow_key_t* out_keys, f32_val_t* out_vals);
+
 extern template nnz_t pb_expand<PlusTimes>(const mtx::CscMatrix&,
                                            const mtx::CsrMatrix&,
                                            const SymbolicResult&,
@@ -73,6 +90,19 @@ extern template nnz_t pb_expand_narrow<MaxMin>(
 extern template nnz_t pb_expand_narrow<BoolOrAnd>(
     const mtx::CscMatrix&, const mtx::CsrMatrix&, const SymbolicResult&,
     const PbConfig&, narrow_key_t*, value_t*);
+
+extern template nnz_t pb_expand_narrow_f32<PlusTimes>(
+    const mtx::CscMatrix&, const mtx::CsrMatrix&, const SymbolicResult&,
+    const PbConfig&, narrow_key_t*, f32_val_t*);
+extern template nnz_t pb_expand_narrow_f32<MinPlus>(
+    const mtx::CscMatrix&, const mtx::CsrMatrix&, const SymbolicResult&,
+    const PbConfig&, narrow_key_t*, f32_val_t*);
+extern template nnz_t pb_expand_narrow_f32<MaxMin>(
+    const mtx::CscMatrix&, const mtx::CsrMatrix&, const SymbolicResult&,
+    const PbConfig&, narrow_key_t*, f32_val_t*);
+extern template nnz_t pb_expand_narrow_f32<BoolOrAnd>(
+    const mtx::CscMatrix&, const mtx::CsrMatrix&, const SymbolicResult&,
+    const PbConfig&, narrow_key_t*, f32_val_t*);
 
 /// Numeric (+, ×) expand — equivalent to pb_expand<PlusTimes>.
 nnz_t pb_expand(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,

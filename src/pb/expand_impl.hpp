@@ -292,7 +292,222 @@ nnz_t expand_narrow_impl(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
   return flushes;
 }
 
+// Key-only expand: the stream carries nothing but the 8-byte global key —
+// there is no value lane anywhere, so the multiply S::mul disappears and
+// the kernel needs no semiring parameter at all.  Legal only when the
+// caller established the semiring is value-free (pb/tuple.hpp).  Local
+// bin capacity is rounded to 8 keys so a full flush is whole 64 B lines,
+// keeping the non-temporal path of flush_copy.  Team-callable; same
+// contract as expand_team.
+template <BinPolicy P, typename Sink>
+nnz_t expand_keyonly_team(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
+                          const SymbolicResult& sym, const PbConfig& cfg,
+                          wide_key_t* out_keys, std::atomic<nnz_t>* cursor,
+                          Sink& sink) {
+  const BinLayout& layout = sym.layout;
+  const auto nbins = static_cast<std::size_t>(layout.nbins);
+  const int cap = std::max<int>(
+      8, cfg.local_bin_bytes / static_cast<int>(kBytesPerTupleKeyOnly) / 8 * 8);
+
+  AlignedBuffer<wide_key_t> lkeys(nbins * static_cast<std::size_t>(cap));
+  std::vector<int> lcnt(nbins, 0);
+  nnz_t flushes = 0;
+
+  auto flush = [&](std::size_t bin) {
+    const int count = lcnt[bin];
+    const nnz_t pos = cursor[bin].fetch_add(count, std::memory_order_relaxed);
+    flush_copy(out_keys + pos,
+               lkeys.data() + bin * static_cast<std::size_t>(cap), count,
+               cfg.streaming_stores);
+    lcnt[bin] = 0;
+    ++flushes;
+    sink.flushed(bin, count);
+  };
+
+#pragma omp for schedule(guided) nowait
+  for (index_t i = 0; i < a.ncols; ++i) {
+    const auto arows = a.col_rows(i);
+    const auto bcols = b.row_cols(i);
+    if (bcols.empty()) continue;
+
+    for (std::size_t ai = 0; ai < arows.size(); ++ai) {
+      const index_t r = arows[ai];
+      const auto bin = static_cast<std::size_t>(fast_binid<P>(layout, r));
+      // The row half of the key is constant across B(i,:): build it once.
+      const wide_key_t rowkey =
+          static_cast<wide_key_t>(static_cast<std::uint32_t>(r)) << 32;
+      wide_key_t* lane = lkeys.data() + bin * static_cast<std::size_t>(cap);
+      for (std::size_t bi = 0; bi < bcols.size(); ++bi) {
+        if (lcnt[bin] == cap) flush(bin);
+        lane[lcnt[bin]++] =
+            rowkey | static_cast<std::uint32_t>(bcols[bi]);
+      }
+    }
+  }
+
+  for (std::size_t bin = 0; bin < nbins; ++bin) {
+    if (lcnt[bin] != 0) flush(bin);
+  }
+  flush_fence();
+  return flushes;
+}
+
+template <BinPolicy P>
+nnz_t expand_keyonly_impl(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
+                          const SymbolicResult& sym, const PbConfig& cfg,
+                          wide_key_t* out_keys) {
+  const auto nbins = static_cast<std::size_t>(sym.layout.nbins);
+
+  std::vector<std::atomic<nnz_t>> cursor(nbins);
+  for (std::size_t bin = 0; bin < nbins; ++bin)
+    cursor[bin].store(sym.bin_offsets[bin], std::memory_order_relaxed);
+
+  nnz_t flushes = 0;
+
+#pragma omp parallel reduction(+ : flushes)
+  {
+    NullFlushSink sink;
+    flushes += expand_keyonly_team<P>(a, b, sym, cfg, out_keys, cursor.data(),
+                                      sink);
+  }
+
+  if (cfg.validate) {
+    for (std::size_t bin = 0; bin < nbins; ++bin) {
+      if (cursor[bin].load(std::memory_order_relaxed) !=
+          sym.bin_offsets[bin] + sym.bin_fill[bin]) {
+        throw std::logic_error("pb_expand_keyonly: bin " +
+                               std::to_string(bin) +
+                               " cursor does not meet its fill mark");
+      }
+    }
+  }
+  return flushes;
+}
+
+// Narrow-f32 expand: the narrow SoA kernel with a 4-byte value lane — the
+// product is computed in double (S::mul semantics unchanged) and narrowed
+// on store, so the phase writes 8 bytes per tuple.  A full flush is whole
+// lines on both streams (cap is a multiple of 16: one 64 B key line and
+// one 64 B value line).  Team-callable; same contract as expand_team.
+template <BinPolicy P, typename S, typename Sink>
+nnz_t expand_narrow_f32_team(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
+                             const SymbolicResult& sym, const PbConfig& cfg,
+                             narrow_key_t* out_keys, f32_val_t* out_vals,
+                             std::atomic<nnz_t>* cursor, Sink& sink) {
+  const BinLayout& layout = sym.layout;
+  const auto nbins = static_cast<std::size_t>(layout.nbins);
+  const int cap = std::max<int>(
+      16, cfg.local_bin_bytes /
+              static_cast<int>(kBytesPerTupleNarrowF32) / 16 * 16);
+  const int col_bits = sym.col_bits;
+  const int mod_shift =
+      layout.policy == BinPolicy::kModulo ? layout.modulo_shift() : 0;
+
+  AlignedBuffer<narrow_key_t> lkeys(nbins * static_cast<std::size_t>(cap));
+  AlignedBuffer<f32_val_t> lvals(nbins * static_cast<std::size_t>(cap));
+  std::vector<int> lcnt(nbins, 0);
+  nnz_t flushes = 0;
+
+  auto flush = [&](std::size_t bin) {
+    const int count = lcnt[bin];
+    const nnz_t pos = cursor[bin].fetch_add(count, std::memory_order_relaxed);
+    flush_copy(out_keys + pos,
+               lkeys.data() + bin * static_cast<std::size_t>(cap), count,
+               cfg.streaming_stores);
+    flush_copy(out_vals + pos,
+               lvals.data() + bin * static_cast<std::size_t>(cap), count,
+               cfg.streaming_stores);
+    lcnt[bin] = 0;
+    ++flushes;
+    sink.flushed(bin, count);
+  };
+
+#pragma omp for schedule(guided) nowait
+  for (index_t i = 0; i < a.ncols; ++i) {
+    const auto arows = a.col_rows(i);
+    const auto avals = a.col_vals(i);
+    const auto bcols = b.row_cols(i);
+    const auto bvals = b.row_vals(i);
+    if (bcols.empty()) continue;
+
+    for (std::size_t ai = 0; ai < arows.size(); ++ai) {
+      const index_t r = arows[ai];
+      const value_t av = avals[ai];
+      const int bin_i = fast_binid<P>(layout, r);
+      const auto bin = static_cast<std::size_t>(bin_i);
+      const narrow_key_t rowkey =
+          static_cast<narrow_key_t>(
+              fast_local_row<P>(layout, bin_i, r, mod_shift))
+          << col_bits;
+      narrow_key_t* klane = lkeys.data() + bin * static_cast<std::size_t>(cap);
+      f32_val_t* vlane = lvals.data() + bin * static_cast<std::size_t>(cap);
+      for (std::size_t bi = 0; bi < bcols.size(); ++bi) {
+        if (lcnt[bin] == cap) flush(bin);
+        const int at = lcnt[bin]++;
+        klane[at] = rowkey | static_cast<narrow_key_t>(bcols[bi]);
+        vlane[at] = static_cast<f32_val_t>(S::mul(av, bvals[bi]));
+      }
+    }
+  }
+
+  for (std::size_t bin = 0; bin < nbins; ++bin) {
+    if (lcnt[bin] != 0) flush(bin);
+  }
+  flush_fence();
+  return flushes;
+}
+
+template <BinPolicy P, typename S>
+nnz_t expand_narrow_f32_impl(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
+                             const SymbolicResult& sym, const PbConfig& cfg,
+                             narrow_key_t* out_keys, f32_val_t* out_vals) {
+  const auto nbins = static_cast<std::size_t>(sym.layout.nbins);
+
+  std::vector<std::atomic<nnz_t>> cursor(nbins);
+  for (std::size_t bin = 0; bin < nbins; ++bin)
+    cursor[bin].store(sym.bin_offsets[bin], std::memory_order_relaxed);
+
+  nnz_t flushes = 0;
+
+#pragma omp parallel reduction(+ : flushes)
+  {
+    NullFlushSink sink;
+    flushes += expand_narrow_f32_team<P, S>(a, b, sym, cfg, out_keys,
+                                            out_vals, cursor.data(), sink);
+  }
+
+  if (cfg.validate) {
+    for (std::size_t bin = 0; bin < nbins; ++bin) {
+      if (cursor[bin].load(std::memory_order_relaxed) !=
+          sym.bin_offsets[bin] + sym.bin_fill[bin]) {
+        throw std::logic_error("pb_expand_narrow_f32: bin " +
+                               std::to_string(bin) +
+                               " cursor does not meet its fill mark");
+      }
+    }
+  }
+  return flushes;
+}
+
 }  // namespace detail
+
+template <typename S>
+nnz_t pb_expand_narrow_f32(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
+                           const SymbolicResult& sym, const PbConfig& cfg,
+                           narrow_key_t* out_keys, f32_val_t* out_vals) {
+  switch (sym.layout.policy) {
+    case BinPolicy::kRange:
+      return detail::expand_narrow_f32_impl<BinPolicy::kRange, S>(
+          a, b, sym, cfg, out_keys, out_vals);
+    case BinPolicy::kModulo:
+      return detail::expand_narrow_f32_impl<BinPolicy::kModulo, S>(
+          a, b, sym, cfg, out_keys, out_vals);
+    case BinPolicy::kAdaptive:
+      return detail::expand_narrow_f32_impl<BinPolicy::kAdaptive, S>(
+          a, b, sym, cfg, out_keys, out_vals);
+  }
+  return 0;
+}
 
 template <typename S>
 nnz_t pb_expand(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,

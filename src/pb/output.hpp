@@ -11,6 +11,7 @@
 #pragma once
 
 #include <span>
+#include <vector>
 
 #include "matrix/csr.hpp"
 #include "pb/binning.hpp"
@@ -18,6 +19,22 @@
 #include "pb/tuple.hpp"
 
 namespace pbs::pb {
+
+/// A CSR matrix with single-precision values — the native output of a
+/// narrow-f32 plan when the caller asks for it (the default conversion
+/// widens back to the canonical f64 CsrMatrix).  Pattern arrays match
+/// mtx::CsrMatrix exactly; only the value width differs.
+struct CsrF32 {
+  index_t nrows = 0;
+  index_t ncols = 0;
+  std::vector<nnz_t> rowptr;
+  std::vector<index_t> colids;
+  std::vector<f32_val_t> vals;
+
+  [[nodiscard]] nnz_t nnz() const {
+    return rowptr.empty() ? 0 : rowptr.back();
+  }
+};
 
 /// Builds the canonical CSR result from compressed bins.
 /// `offsets[b]` is bin b's region origin in `tuples`; `merged[b]` the
@@ -68,5 +85,53 @@ mtx::CsrMatrix pb_build_csr_narrow(const narrow_key_t* keys,
                                    std::span<const nnz_t> merged,
                                    const BinLayout& layout, int col_bits,
                                    index_t nrows, index_t ncols);
+
+/// Key-only per-bin count: the stream is bare wide keys, read 8 B each.
+void pb_count_bin_keyonly(const wide_key_t* bin_keys, nnz_t merged,
+                          nnz_t* rowptr);
+
+/// Key-only per-bin scatter: every surviving entry's value is synthesized
+/// as `present` (a value-free semiring's present-value, 1.0 — "true" for
+/// bool_or_and), since the stream carries no values to copy.
+void pb_scatter_bin_keyonly(const wide_key_t* bin_keys, nnz_t merged,
+                            const nnz_t* rowptr, index_t* colids,
+                            value_t* vals, value_t present);
+
+/// Key-only conversion: pattern from the keys, values synthesized as
+/// `present` (see pb_scatter_bin_keyonly).  The bit-identity contract with
+/// a wide run of the same value-free semiring holds because the wide run's
+/// surviving values are all exactly `present` too (S::add/S::mul of
+/// nonzeros is 1.0 for bool_or_and).
+mtx::CsrMatrix pb_build_csr_keyonly(const wide_key_t* keys,
+                                    std::span<const nnz_t> offsets,
+                                    std::span<const nnz_t> merged,
+                                    index_t nrows, index_t ncols,
+                                    value_t present = 1.0);
+
+/// Narrow-f32 per-bin scatter: values widen f32 → f64 on the way out.
+/// (The count pass is pb_count_bin_narrow — it reads only the key array,
+/// which is identical across the two narrow formats.)
+void pb_scatter_bin_narrow_f32(const narrow_key_t* bin_keys,
+                               const f32_val_t* bin_vals, nnz_t merged,
+                               int bin, const BinLayout& layout, int col_bits,
+                               const nnz_t* rowptr, index_t* colids,
+                               value_t* vals);
+
+/// Narrow-f32 conversion to the canonical f64 CSR (values widened).
+mtx::CsrMatrix pb_build_csr_narrow_f32(const narrow_key_t* keys,
+                                       const f32_val_t* vals,
+                                       std::span<const nnz_t> offsets,
+                                       std::span<const nnz_t> merged,
+                                       const BinLayout& layout, int col_bits,
+                                       index_t nrows, index_t ncols);
+
+/// Narrow-f32 conversion to a *native* f32 CSR — no widening pass, for
+/// callers whose whole workload is single precision.
+CsrF32 pb_build_csr_narrow_f32_native(const narrow_key_t* keys,
+                                      const f32_val_t* vals,
+                                      std::span<const nnz_t> offsets,
+                                      std::span<const nnz_t> merged,
+                                      const BinLayout& layout, int col_bits,
+                                      index_t nrows, index_t ncols);
 
 }  // namespace pbs::pb

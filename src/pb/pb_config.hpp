@@ -47,10 +47,17 @@ constexpr PbSchedule resolve_schedule(PbSchedule requested, int nthreads) {
 }
 
 /// How the symbolic phase picks the tuple stream format (pb/tuple.hpp).
+/// Every request except kWide is a preference: when the requested format
+/// is not legal for the plan (narrow/f32 bin-geometry fit, key-only
+/// value-freeness) the symbolic phase falls back rather than fail.  The
+/// CLI layers a strict legality check on top for explicit user requests.
 enum class FormatPolicy {
-  kAuto,    ///< narrow whenever the bin geometry's varying bits fit 32
-  kWide,    ///< force the 16 B AoS format (ablation / bitwise comparison)
-  kNarrow,  ///< request narrow; falls back to wide when it cannot fit
+  kAuto,     ///< key-only for value-free semirings, else narrow when it fits
+  kWide,     ///< force the 16 B AoS format (ablation / bitwise comparison)
+  kNarrow,   ///< request narrow; falls back to wide when it cannot fit
+  kKeyOnly,  ///< request 8 B key-only; needs a value-free semiring
+  kF32,      ///< request 8 B narrow-f32; falls back to wide when keys
+             ///< cannot fit (value precision is the caller's assertion)
 };
 
 const char* to_string(FormatPolicy p);
@@ -66,8 +73,19 @@ struct PbConfig {
 
   BinPolicy policy = BinPolicy::kRange;
 
-  /// Tuple stream format selection (default: narrow when it fits).
+  /// Tuple stream format selection (default: narrow when it fits, and
+  /// key-only when the semiring is value-free).
   FormatPolicy format = FormatPolicy::kAuto;
+
+  /// Caller's assertion that the semiring is value-free (idempotent-
+  /// structural): the output pattern alone determines every value, so the
+  /// 8 B key-only stream is legal.  The symbolic phase has no semiring
+  /// knowledge, so this is set by the layers that do — pb_spgemm<S> from
+  /// the semiring type, the executor from the op's semiring name — and
+  /// only read by format selection.  bool_or_and qualifies; a runtime-
+  /// registered semiring qualifies when flagged value_free at
+  /// registration.
+  bool value_free = false;
 
   /// L2 size used by the auto-nbins rule; 0 = detect at runtime.
   std::size_t l2_bytes = 0;

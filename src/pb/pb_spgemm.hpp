@@ -55,6 +55,13 @@ struct NarrowStream {
   value_t* vals = nullptr;
 };
 
+/// The narrow-f32 tuple stream: u32 keys paired with f32 values (8 B per
+/// tuple; see pb/tuple.hpp).
+struct NarrowF32Stream {
+  narrow_key_t* keys = nullptr;
+  f32_val_t* vals = nullptr;
+};
+
 /// Pooling allocator for the pipeline's scratch memory: the expanded
 /// matrix Cˆ (flop tuples — the largest allocation of the algorithm, often
 /// several times the inputs) plus the per-thread radix-sort scratch of the
@@ -67,9 +74,13 @@ struct NarrowStream {
 /// hypervisors) first-touch faults can run an order of magnitude below
 /// stream bandwidth and completely mask the algorithm.  The pools hold
 /// raw bytes and carve them per request, so one workspace serves every
-/// semiring instantiation and both tuple formats — a 12 B/tuple narrow
+/// semiring instantiation and all tuple formats — a 12 B/tuple narrow
 /// stream fits inside the capacity a 16 B/tuple wide run of the same flop
-/// left behind, so plans alternating formats reallocate nothing.
+/// left behind, and the 8 B/tuple key-only and narrow-f32 streams fit
+/// inside either, so plans alternating formats reallocate nothing.
+/// Crucially each lease reserves only what its format needs: a key-only
+/// acquire following a wide one asks for n·8 bytes, not n·16 — the pool
+/// must never charge value bytes to a format that has no value array.
 ///
 /// Reuse statistics distinguish calls served from pooled capacity from
 /// calls that had to (re)allocate — the plan/execute layer exposes them so
@@ -110,6 +121,28 @@ class PbWorkspace {
                              narrow_bytes(n));
     fresh_ = stats_.allocations != before;
     return carve_narrow(base, n);
+  }
+
+  /// Key-only buffer for at least n tuples (n·8 bytes — the format has no
+  /// value array, so nothing else is reserved); contents undefined.
+  wide_key_t* acquire_keys(std::size_t n) {
+    note_request(n);
+    const std::uint64_t before = stats_.allocations;
+    auto* k = reinterpret_cast<wide_key_t*>(ensure(
+        buf_, stats_.allocations, stats_.reuses, n * sizeof(wide_key_t)));
+    fresh_ = stats_.allocations != before;
+    return k;
+  }
+
+  /// Narrow-f32 key + value arrays for at least n tuples; the value array
+  /// starts on a cache-line boundary.  Contents undefined.
+  NarrowF32Stream acquire_narrow_f32(std::size_t n) {
+    note_request(n);
+    const std::uint64_t before = stats_.allocations;
+    std::byte* base = ensure(buf_, stats_.allocations, stats_.reuses,
+                             narrow_f32_bytes(n));
+    fresh_ = stats_.allocations != before;
+    return carve_narrow_f32(base, n);
   }
 
   /// True when the most recent acquire()/acquire_narrow() had to
@@ -155,6 +188,22 @@ class PbWorkspace {
     return carve_narrow(base, n);
   }
 
+  /// Key-only per-thread sort scratch of at least n keys (n·8 bytes).
+  wide_key_t* acquire_scratch_keys(std::size_t slot, std::size_t n) {
+    ScratchSlot& s = scratch_[slot];
+    return reinterpret_cast<wide_key_t*>(
+        ensure(s.buf, s.allocations, s.reuses, n * sizeof(wide_key_t)));
+  }
+
+  /// Narrow-f32 per-thread sort scratch (key + f32 value arrays of n).
+  NarrowF32Stream acquire_scratch_narrow_f32(std::size_t slot,
+                                             std::size_t n) {
+    ScratchSlot& s = scratch_[slot];
+    std::byte* base =
+        ensure(s.buf, s.allocations, s.reuses, narrow_f32_bytes(n));
+    return carve_narrow_f32(base, n);
+  }
+
   /// Retained pool capacity in bytes.
   [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
 
@@ -198,6 +247,16 @@ class PbWorkspace {
   static NarrowStream carve_narrow(std::byte* base, std::size_t n) {
     return {reinterpret_cast<narrow_key_t*>(base),
             reinterpret_cast<value_t*>(base + key_span(n))};
+  }
+
+  /// Keys, padded to a cache line, then f32 values.
+  static std::size_t narrow_f32_bytes(std::size_t n) {
+    return key_span(n) + n * sizeof(f32_val_t);
+  }
+
+  static NarrowF32Stream carve_narrow_f32(std::byte* base, std::size_t n) {
+    return {reinterpret_cast<narrow_key_t*>(base),
+            reinterpret_cast<f32_val_t*>(base + key_span(n))};
   }
 
   static std::byte* ensure(AlignedBuffer<std::byte>& buf,

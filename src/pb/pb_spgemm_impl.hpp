@@ -23,7 +23,13 @@ PbResult pb_spgemm(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
 template <typename S>
 PbResult pb_spgemm(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
                    const PbConfig& cfg, PbWorkspace& workspace) {
-  const PbPlan plan = pb_plan_build(a, b, cfg);
+  // The fused path knows its semiring at compile time, so it can vouch for
+  // value-freeness itself — plan building sees the flag and may pick the
+  // 8 B key-only stream (callers going through pb_plan_build directly set
+  // cfg.value_free by hand or via the executor's name-keyed derivation).
+  PbConfig cfg2 = cfg;
+  if (!cfg2.value_free) cfg2.value_free = semiring_is_value_free<S>();
+  const PbPlan plan = pb_plan_build(a, b, cfg2);
   // The plan was built from these exact operands: skip the fingerprint.
   PbResult result =
       pb_execute<S>(a, b, plan, workspace, /*check_fingerprint=*/false);

@@ -93,6 +93,46 @@ nnz_t expand_narrow_team_any(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
   return 0;
 }
 
+// Key-only expand needs no semiring: there is no value to multiply.
+template <typename Sink>
+nnz_t expand_keyonly_team_any(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
+                              const SymbolicResult& sym, const PbConfig& cfg,
+                              wide_key_t* out_keys, std::atomic<nnz_t>* cursor,
+                              Sink& sink) {
+  switch (sym.layout.policy) {
+    case BinPolicy::kRange:
+      return expand_keyonly_team<BinPolicy::kRange>(a, b, sym, cfg, out_keys,
+                                                    cursor, sink);
+    case BinPolicy::kModulo:
+      return expand_keyonly_team<BinPolicy::kModulo>(a, b, sym, cfg, out_keys,
+                                                     cursor, sink);
+    case BinPolicy::kAdaptive:
+      return expand_keyonly_team<BinPolicy::kAdaptive>(a, b, sym, cfg,
+                                                       out_keys, cursor, sink);
+  }
+  return 0;
+}
+
+template <typename S, typename Sink>
+nnz_t expand_narrow_f32_team_any(const mtx::CscMatrix& a,
+                                 const mtx::CsrMatrix& b,
+                                 const SymbolicResult& sym, const PbConfig& cfg,
+                                 narrow_key_t* out_keys, f32_val_t* out_vals,
+                                 std::atomic<nnz_t>* cursor, Sink& sink) {
+  switch (sym.layout.policy) {
+    case BinPolicy::kRange:
+      return expand_narrow_f32_team<BinPolicy::kRange, S>(
+          a, b, sym, cfg, out_keys, out_vals, cursor, sink);
+    case BinPolicy::kModulo:
+      return expand_narrow_f32_team<BinPolicy::kModulo, S>(
+          a, b, sym, cfg, out_keys, out_vals, cursor, sink);
+    case BinPolicy::kAdaptive:
+      return expand_narrow_f32_team<BinPolicy::kAdaptive, S>(
+          a, b, sym, cfg, out_keys, out_vals, cursor, sink);
+  }
+  return 0;
+}
+
 // Flush sink of the pipelined schedule: counts flushed tuples per bin and
 // publishes a bin to this thread's deque the moment its fill completes.
 struct PipelineSink {
@@ -141,7 +181,7 @@ PbResult pb_execute_pipeline(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
                              const PbPlan& plan, PbWorkspace& workspace,
                              const MaskSpec& mask) {
   const SymbolicResult& sym = plan.sym;
-  const bool narrow = sym.format == TupleFormat::kNarrow;
+  const TupleFormat fmt = sym.format;
   const auto nbins = static_cast<std::size_t>(sym.layout.nbins);
   const int nthreads = max_threads();
 
@@ -158,10 +198,21 @@ PbResult pb_execute_pipeline(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
   const auto buf_len = static_cast<std::size_t>(sym.bin_offsets.back());
   Tuple* expanded = nullptr;
   NarrowStream ns;
-  if (narrow) {
-    ns = workspace.acquire_narrow(buf_len);
-  } else {
-    expanded = workspace.acquire(buf_len);
+  NarrowF32Stream nf;
+  wide_key_t* keys_only = nullptr;
+  switch (fmt) {
+    case TupleFormat::kNarrow:
+      ns = workspace.acquire_narrow(buf_len);
+      break;
+    case TupleFormat::kNarrowF32:
+      nf = workspace.acquire_narrow_f32(buf_len);
+      break;
+    case TupleFormat::kKeyOnly:
+      keys_only = workspace.acquire_keys(buf_len);
+      break;
+    case TupleFormat::kWide:
+      expanded = workspace.acquire(buf_len);
+      break;
   }
   workspace.place_bins(sym.bin_offsets, sym.bin_home, sym.format);
   workspace.prepare_scratch(nthreads);
@@ -203,6 +254,9 @@ PbResult pb_execute_pipeline(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
   const WideBinOps<S> wide_ops{expanded, &mask};
   const NarrowBinOps<S> narrow_ops{ns.keys, ns.vals, &mask, &sym.layout,
                                    sym.col_bits};
+  const KeyOnlyBinOps keyonly_ops{keys_only, &mask};
+  const NarrowF32BinOps<S> f32_ops{nf.keys, nf.vals, &mask, &sym.layout,
+                                   sym.col_bits};
 
   Timer region_timer;
 
@@ -215,12 +269,25 @@ PbResult pb_execute_pipeline(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
     // Per-thread sort scratch, acquired once (slot reuse across tasks).
     Tuple* wide_scratch = nullptr;
     NarrowStream narrow_scratch;
-    if (narrow) {
-      narrow_scratch = workspace.acquire_scratch_narrow(
-          utid, static_cast<std::size_t>(max_bin));
-    } else {
-      wide_scratch =
-          workspace.acquire_scratch(utid, static_cast<std::size_t>(max_bin));
+    NarrowF32Stream f32_scratch;
+    wide_key_t* key_scratch = nullptr;
+    switch (fmt) {
+      case TupleFormat::kNarrow:
+        narrow_scratch = workspace.acquire_scratch_narrow(
+            utid, static_cast<std::size_t>(max_bin));
+        break;
+      case TupleFormat::kNarrowF32:
+        f32_scratch = workspace.acquire_scratch_narrow_f32(
+            utid, static_cast<std::size_t>(max_bin));
+        break;
+      case TupleFormat::kKeyOnly:
+        key_scratch = workspace.acquire_scratch_keys(
+            utid, static_cast<std::size_t>(max_bin));
+        break;
+      case TupleFormat::kWide:
+        wide_scratch =
+            workspace.acquire_scratch(utid, static_cast<std::size_t>(max_bin));
+        break;
     }
 
     // One bin's task: sort + compress + mask filter + row count, back to
@@ -234,27 +301,53 @@ PbResult pb_execute_pipeline(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
       double t1 = t0;
       nnz_t kept = 0;
       nnz_t pre_mask = 0;
-      if (narrow) {
-        narrow_ops.sort(off, len, narrow_scratch);
-        t1 = omp_get_wtime();
-        pre_mask = narrow_ops.compress(off, len);
-        kept = narrow_ops.filter(bin, off, pre_mask);
-      } else {
-        wide_ops.sort(off, len, wide_scratch,
-                      static_cast<std::size_t>(max_bin));
-        t1 = omp_get_wtime();
-        pre_mask = wide_ops.compress(off, len);
-        kept = wide_ops.filter(bin, off, pre_mask);
+      switch (fmt) {
+        case TupleFormat::kNarrow:
+          narrow_ops.sort(off, len, narrow_scratch);
+          t1 = omp_get_wtime();
+          pre_mask = narrow_ops.compress(off, len);
+          kept = narrow_ops.filter(bin, off, pre_mask);
+          break;
+        case TupleFormat::kNarrowF32:
+          f32_ops.sort(off, len, f32_scratch);
+          t1 = omp_get_wtime();
+          pre_mask = f32_ops.compress(off, len);
+          kept = f32_ops.filter(bin, off, pre_mask);
+          break;
+        case TupleFormat::kKeyOnly:
+          keyonly_ops.sort(off, len, key_scratch);
+          t1 = omp_get_wtime();
+          pre_mask = keyonly_ops.compress(off, len);
+          kept = keyonly_ops.filter(bin, off, pre_mask);
+          break;
+        case TupleFormat::kWide:
+          wide_ops.sort(off, len, wide_scratch,
+                        static_cast<std::size_t>(max_bin));
+          t1 = omp_get_wtime();
+          pre_mask = wide_ops.compress(off, len);
+          kept = wide_ops.filter(bin, off, pre_mask);
+          break;
       }
       merged[ubin] = kept;
       ts.dropped += pre_mask - kept;
       const double t2 = omp_get_wtime();
 
-      if (narrow) {
-        pb_count_bin_narrow(ns.keys + off, kept, bin, sym.layout,
-                            sym.col_bits, c.rowptr.data());
-      } else {
-        pb_count_bin(expanded + off, kept, c.rowptr.data());
+      switch (fmt) {
+        case TupleFormat::kNarrow:
+          pb_count_bin_narrow(ns.keys + off, kept, bin, sym.layout,
+                              sym.col_bits, c.rowptr.data());
+          break;
+        // The f32 count pass reuses the narrow counter: keys are identical.
+        case TupleFormat::kNarrowF32:
+          pb_count_bin_narrow(nf.keys + off, kept, bin, sym.layout,
+                              sym.col_bits, c.rowptr.data());
+          break;
+        case TupleFormat::kKeyOnly:
+          pb_count_bin_keyonly(keys_only + off, kept, c.rowptr.data());
+          break;
+        case TupleFormat::kWide:
+          pb_count_bin(expanded + off, kept, c.rowptr.data());
+          break;
       }
       const double t3 = omp_get_wtime();
 
@@ -275,12 +368,23 @@ PbResult pb_execute_pipeline(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
     // publishing completed bins.  `omp for nowait` inside: threads fall
     // straight through to the worker loop.
     const double e0 = omp_get_wtime();
-    if (narrow) {
-      detail::expand_narrow_team_any<S>(a, b, sym, plan.cfg, ns.keys, ns.vals,
+    switch (fmt) {
+      case TupleFormat::kNarrow:
+        detail::expand_narrow_team_any<S>(a, b, sym, plan.cfg, ns.keys,
+                                          ns.vals, cursor.data(), sink);
+        break;
+      case TupleFormat::kNarrowF32:
+        detail::expand_narrow_f32_team_any<S>(a, b, sym, plan.cfg, nf.keys,
+                                              nf.vals, cursor.data(), sink);
+        break;
+      case TupleFormat::kKeyOnly:
+        detail::expand_keyonly_team_any(a, b, sym, plan.cfg, keys_only,
                                         cursor.data(), sink);
-    } else {
-      detail::expand_team_any<S>(a, b, sym, plan.cfg, expanded, cursor.data(),
-                                 sink);
+        break;
+      case TupleFormat::kWide:
+        detail::expand_team_any<S>(a, b, sym, plan.cfg, expanded,
+                                   cursor.data(), sink);
+        break;
     }
     ts.expand_busy = omp_get_wtime() - e0;
 
@@ -335,13 +439,26 @@ PbResult pb_execute_pipeline(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
   for (int bin = 0; bin < sym.layout.nbins; ++bin) {
     const auto ubin = static_cast<std::size_t>(bin);
     const nnz_t off = sym.bin_offsets[ubin];
-    if (narrow) {
-      pb_scatter_bin_narrow(ns.keys + off, ns.vals + off, merged[ubin], bin,
-                            sym.layout, sym.col_bits, c.rowptr.data(),
-                            c.colids.data(), c.vals.data());
-    } else {
-      pb_scatter_bin(expanded + off, merged[ubin], c.rowptr.data(),
-                     c.colids.data(), c.vals.data());
+    switch (fmt) {
+      case TupleFormat::kNarrow:
+        pb_scatter_bin_narrow(ns.keys + off, ns.vals + off, merged[ubin], bin,
+                              sym.layout, sym.col_bits, c.rowptr.data(),
+                              c.colids.data(), c.vals.data());
+        break;
+      case TupleFormat::kNarrowF32:
+        pb_scatter_bin_narrow_f32(nf.keys + off, nf.vals + off, merged[ubin],
+                                  bin, sym.layout, sym.col_bits,
+                                  c.rowptr.data(), c.colids.data(),
+                                  c.vals.data());
+        break;
+      case TupleFormat::kKeyOnly:
+        pb_scatter_bin_keyonly(keys_only + off, merged[ubin], c.rowptr.data(),
+                               c.colids.data(), c.vals.data(), 1.0);
+        break;
+      case TupleFormat::kWide:
+        pb_scatter_bin(expanded + off, merged[ubin], c.rowptr.data(),
+                       c.colids.data(), c.vals.data());
+        break;
     }
   }
   const double tail_wall = tail_timer.elapsed_s();

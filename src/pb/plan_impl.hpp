@@ -39,7 +39,7 @@ PbResult pb_execute(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
   }
 
   const SymbolicResult& sym = plan.sym;
-  const bool narrow = sym.format == TupleFormat::kNarrow;
+  const TupleFormat fmt = sym.format;
   PbResult result;
   PbTelemetry& tm = result.stats;
   Timer timer;
@@ -59,19 +59,34 @@ PbResult pb_execute(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
   // III accounting below runs on it.
   const double bpt = tm.tuple_bytes();
 
-  // ---- expand (S::mul) ----
+  // ---- expand (S::mul; key-only skips the multiply entirely) ----
   timer.reset();
   const auto buf_len = static_cast<std::size_t>(sym.bin_offsets.back());
   Tuple* expanded = nullptr;
   NarrowStream ns;
-  if (narrow) {
-    ns = workspace.acquire_narrow(buf_len);
-    workspace.place_bins(sym.bin_offsets, sym.bin_home, sym.format);
-    pb_expand_narrow<S>(a, b, sym, plan.cfg, ns.keys, ns.vals);
-  } else {
-    expanded = workspace.acquire(buf_len);
-    workspace.place_bins(sym.bin_offsets, sym.bin_home, sym.format);
-    pb_expand<S>(a, b, sym, plan.cfg, expanded);
+  NarrowF32Stream nf;
+  wide_key_t* keys_only = nullptr;
+  switch (fmt) {
+    case TupleFormat::kNarrow:
+      ns = workspace.acquire_narrow(buf_len);
+      workspace.place_bins(sym.bin_offsets, sym.bin_home, fmt);
+      pb_expand_narrow<S>(a, b, sym, plan.cfg, ns.keys, ns.vals);
+      break;
+    case TupleFormat::kNarrowF32:
+      nf = workspace.acquire_narrow_f32(buf_len);
+      workspace.place_bins(sym.bin_offsets, sym.bin_home, fmt);
+      pb_expand_narrow_f32<S>(a, b, sym, plan.cfg, nf.keys, nf.vals);
+      break;
+    case TupleFormat::kKeyOnly:
+      keys_only = workspace.acquire_keys(buf_len);
+      workspace.place_bins(sym.bin_offsets, sym.bin_home, fmt);
+      pb_expand_keyonly(a, b, sym, plan.cfg, keys_only);
+      break;
+    case TupleFormat::kWide:
+      expanded = workspace.acquire(buf_len);
+      workspace.place_bins(sym.bin_offsets, sym.bin_home, fmt);
+      pb_expand<S>(a, b, sym, plan.cfg, expanded);
+      break;
   }
   tm.expand.seconds = timer.elapsed_s();
   // Table III: read both inputs once (at the paper's wide COO cost), write
@@ -85,13 +100,29 @@ PbResult pb_execute(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
   // The fused mask rides here too: masked-out survivors are dropped per
   // bin right after the duplicate merge, so convert never sees them.
   timer.reset();
-  const SortCompressResult sc =
-      narrow ? pb_sort_compress_narrow<S>(ns.keys, ns.vals, sym.bin_offsets,
+  SortCompressResult sc;
+  switch (fmt) {
+    case TupleFormat::kNarrow:
+      sc = pb_sort_compress_narrow<S>(ns.keys, ns.vals, sym.bin_offsets,
+                                      sym.bin_fill, sym.layout.nbins,
+                                      &workspace, mask, &sym.layout,
+                                      sym.col_bits);
+      break;
+    case TupleFormat::kNarrowF32:
+      sc = pb_sort_compress_narrow_f32<S>(nf.keys, nf.vals, sym.bin_offsets,
                                           sym.bin_fill, sym.layout.nbins,
                                           &workspace, mask, &sym.layout,
-                                          sym.col_bits)
-             : pb_sort_compress<S>(expanded, sym.bin_offsets, sym.bin_fill,
-                                   sym.layout.nbins, &workspace, mask);
+                                          sym.col_bits);
+      break;
+    case TupleFormat::kKeyOnly:
+      sc = pb_sort_compress_keyonly(keys_only, sym.bin_offsets, sym.bin_fill,
+                                    sym.layout.nbins, &workspace, mask);
+      break;
+    case TupleFormat::kWide:
+      sc = pb_sort_compress<S>(expanded, sym.bin_offsets, sym.bin_fill,
+                               sym.layout.nbins, &workspace, mask);
+      break;
+  }
   const double sc_wall = timer.elapsed_s();
   // Attribute the fused loop's wall time proportionally to the measured
   // per-thread busy times (their ratio is exact; the split of idle time is
@@ -110,14 +141,29 @@ PbResult pb_execute(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
   tm.mask_dropped = sc.mask_dropped;
   tm.compress.bytes = bpt * static_cast<double>(nnz_c + sc.mask_dropped);
 
-  // ---- convert to CSR (semiring-independent) ----
+  // ---- convert to CSR (semiring-independent; key-only synthesizes the
+  // present-value, f32 widens back to the library's f64 CSR) ----
   timer.reset();
-  result.c = narrow
-                 ? pb_build_csr_narrow(ns.keys, ns.vals, sym.bin_offsets,
-                                       sc.merged, sym.layout, sym.col_bits,
-                                       a.nrows, b.ncols)
-                 : pb_build_csr(expanded, sym.bin_offsets, sc.merged,
-                                a.nrows, b.ncols);
+  switch (fmt) {
+    case TupleFormat::kNarrow:
+      result.c = pb_build_csr_narrow(ns.keys, ns.vals, sym.bin_offsets,
+                                     sc.merged, sym.layout, sym.col_bits,
+                                     a.nrows, b.ncols);
+      break;
+    case TupleFormat::kNarrowF32:
+      result.c = pb_build_csr_narrow_f32(nf.keys, nf.vals, sym.bin_offsets,
+                                         sc.merged, sym.layout, sym.col_bits,
+                                         a.nrows, b.ncols);
+      break;
+    case TupleFormat::kKeyOnly:
+      result.c = pb_build_csr_keyonly(keys_only, sym.bin_offsets, sc.merged,
+                                      a.nrows, b.ncols);
+      break;
+    case TupleFormat::kWide:
+      result.c = pb_build_csr(expanded, sym.bin_offsets, sc.merged, a.nrows,
+                              b.ncols);
+      break;
+  }
   tm.convert.seconds = timer.elapsed_s();
   // Reads the merged tuples, writes colids+vals and two rowptr passes.
   tm.convert.bytes =

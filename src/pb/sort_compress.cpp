@@ -36,6 +36,53 @@ template SortCompressResult pb_sort_compress_narrow<DynSemiring>(
     narrow_key_t*, value_t*, std::span<const nnz_t>, std::span<const nnz_t>,
     int, PbWorkspace*, const MaskSpec&, const BinLayout*, int);
 
+template SortCompressResult pb_sort_compress_narrow_f32<PlusTimes>(
+    narrow_key_t*, f32_val_t*, std::span<const nnz_t>, std::span<const nnz_t>,
+    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int);
+template SortCompressResult pb_sort_compress_narrow_f32<MinPlus>(
+    narrow_key_t*, f32_val_t*, std::span<const nnz_t>, std::span<const nnz_t>,
+    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int);
+template SortCompressResult pb_sort_compress_narrow_f32<MaxMin>(
+    narrow_key_t*, f32_val_t*, std::span<const nnz_t>, std::span<const nnz_t>,
+    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int);
+template SortCompressResult pb_sort_compress_narrow_f32<BoolOrAnd>(
+    narrow_key_t*, f32_val_t*, std::span<const nnz_t>, std::span<const nnz_t>,
+    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int);
+template SortCompressResult pb_sort_compress_narrow_f32<DynSemiring>(
+    narrow_key_t*, f32_val_t*, std::span<const nnz_t>, std::span<const nnz_t>,
+    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int);
+
+SortCompressResult pb_sort_compress_keyonly(wide_key_t* keys,
+                                            std::span<const nnz_t> offsets,
+                                            std::span<const nnz_t> fill,
+                                            int nbins, PbWorkspace* workspace,
+                                            const MaskSpec& mask) {
+  const KeyOnlyBinOps ops{keys, &mask};
+  struct Scratch {
+    AlignedBuffer<wide_key_t> local;  // fallback when there is no workspace
+    wide_key_t* data = nullptr;
+  };
+  return detail::sort_compress_driver(
+      offsets, fill, nbins, workspace,
+      [&](std::size_t tid, std::size_t max_bin) {
+        Scratch s;
+        if (workspace != nullptr) {
+          s.data = workspace->acquire_scratch_keys(tid, max_bin);
+        } else {
+          s.local.allocate(max_bin);
+          s.data = s.local.data();
+        }
+        return s;
+      },
+      [&](nnz_t off, std::size_t len, Scratch& scratch) {
+        ops.sort(off, len, scratch.data);
+      },
+      [&](nnz_t off, std::size_t len) { return ops.compress(off, len); },
+      [&](int bin, nnz_t off, nnz_t merged) {
+        return ops.filter(bin, off, merged);
+      });
+}
+
 SortCompressResult pb_sort_compress(Tuple* tuples,
                                     std::span<const nnz_t> offsets,
                                     std::span<const nnz_t> fill, int nbins,

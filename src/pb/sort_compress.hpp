@@ -106,6 +106,41 @@ extern template SortCompressResult pb_sort_compress_narrow<BoolOrAnd>(
     narrow_key_t*, value_t*, std::span<const nnz_t>, std::span<const nnz_t>,
     int, PbWorkspace*, const MaskSpec&, const BinLayout*, int);
 
+/// Key-only variant: the stream is bare 8 B global keys, so the sort has
+/// no payload lane at all and the duplicate merge is a pure drop — no
+/// semiring add runs, hence no template parameter.  Legal only for
+/// value-free semirings (the compress result is the output *pattern*;
+/// conversion synthesizes the values).  The structural-presence
+/// convention is preserved by construction: every distinct key survives,
+/// exactly as the valued formats keep exact-cancellation survivors.
+SortCompressResult pb_sort_compress_keyonly(
+    wide_key_t* keys, std::span<const nnz_t> offsets,
+    std::span<const nnz_t> fill, int nbins, PbWorkspace* workspace = nullptr,
+    const MaskSpec& mask = {});
+
+/// Narrow-f32 variant over the 8 B SoA stream: u32 keys with f32 values.
+/// The duplicate merge widens to double around S::add, so only the stream
+/// width differs from pb_sort_compress_narrow.  Same mask contract.
+template <typename S>
+SortCompressResult pb_sort_compress_narrow_f32(
+    narrow_key_t* keys, f32_val_t* vals, std::span<const nnz_t> offsets,
+    std::span<const nnz_t> fill, int nbins, PbWorkspace* workspace = nullptr,
+    const MaskSpec& mask = {}, const BinLayout* layout = nullptr,
+    int col_bits = 0);
+
+extern template SortCompressResult pb_sort_compress_narrow_f32<PlusTimes>(
+    narrow_key_t*, f32_val_t*, std::span<const nnz_t>, std::span<const nnz_t>,
+    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int);
+extern template SortCompressResult pb_sort_compress_narrow_f32<MinPlus>(
+    narrow_key_t*, f32_val_t*, std::span<const nnz_t>, std::span<const nnz_t>,
+    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int);
+extern template SortCompressResult pb_sort_compress_narrow_f32<MaxMin>(
+    narrow_key_t*, f32_val_t*, std::span<const nnz_t>, std::span<const nnz_t>,
+    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int);
+extern template SortCompressResult pb_sort_compress_narrow_f32<BoolOrAnd>(
+    narrow_key_t*, f32_val_t*, std::span<const nnz_t>, std::span<const nnz_t>,
+    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int);
+
 /// Numeric (+, ×) sort+compress — equivalent to pb_sort_compress<PlusTimes>.
 SortCompressResult pb_sort_compress(Tuple* tuples,
                                     std::span<const nnz_t> offsets,

@@ -226,6 +226,45 @@ SortCompressResult pb_sort_compress(Tuple* tuples,
       });
 }
 
+/// Key-only counterpart of WideBinOps; same contract.  There is no value
+/// array and therefore no semiring anywhere in this struct: the sort is a
+/// bare keys-only LSD radix sort (no payload lane in the scatter passes),
+/// and compress degenerates to a pure duplicate drop — `S::add` is gone
+/// because a value-free semiring's combine cannot change presence.  The
+/// structural exact-cancellation convention holds trivially: compress
+/// keeps every distinct key regardless of what the values would have
+/// combined to, which is exactly what the valued formats do (they keep
+/// tuples whose values combine to S::zero()), so the output pattern is
+/// bit-identical to a wide run of the same value-free semiring.
+struct KeyOnlyBinOps {
+  wide_key_t* keys = nullptr;
+  const MaskSpec* mask = nullptr;
+
+  void sort(nnz_t off, std::size_t len, wide_key_t* scratch) const {
+    radix_sort_lsd_keys(keys + off, len, scratch);
+  }
+
+  nnz_t compress(nnz_t off, std::size_t len) const {
+    wide_key_t* k = keys + off;
+    std::size_t p2 = 0;
+    for (std::size_t p1 = 1; p1 < len; ++p1) {
+      if (k[p1] != k[p2]) k[++p2] = k[p1];
+    }
+    return static_cast<nnz_t>(p2 + 1);
+  }
+
+  // Fused mask: key-only keys are the wide global (row, col) codec.
+  nnz_t filter(int /*bin*/, nnz_t off, nnz_t merged) const {
+    if (!mask->active()) return merged;
+    wide_key_t* k = keys + off;
+    return detail::mask_filter_bin(
+        merged, *mask->csr, mask->complement,
+        [&](nnz_t i) { return key_row(k[i]); },
+        [&](nnz_t i) { return key_col(k[i]); },
+        [&](nnz_t src, nnz_t dst) { k[dst] = k[src]; });
+  }
+};
+
 /// Narrow-format counterpart of WideBinOps; same contract.
 template <typename S>
 struct NarrowBinOps {
@@ -298,6 +337,91 @@ SortCompressResult pb_sort_compress_narrow(narrow_key_t* keys, value_t* vals,
         Scratch s;
         if (workspace != nullptr) {
           s.stream = workspace->acquire_scratch_narrow(tid, max_bin);
+        } else {
+          s.local_keys.allocate(max_bin);
+          s.local_vals.allocate(max_bin);
+          s.stream = {s.local_keys.data(), s.local_vals.data()};
+        }
+        return s;
+      },
+      [&](nnz_t off, std::size_t len, Scratch& scratch) {
+        ops.sort(off, len, scratch.stream);
+      },
+      [&](nnz_t off, std::size_t len) { return ops.compress(off, len); },
+      [&](int bin, nnz_t off, nnz_t merged) {
+        return ops.filter(bin, off, merged);
+      });
+}
+
+/// Narrow-f32 counterpart of NarrowBinOps; same contract.  The duplicate
+/// merge widens to double for S::add and narrows the combined value back,
+/// so the semiring's algebra is unchanged — only the stream width is.
+template <typename S>
+struct NarrowF32BinOps {
+  narrow_key_t* keys = nullptr;
+  f32_val_t* vals = nullptr;
+  const MaskSpec* mask = nullptr;
+  const BinLayout* layout = nullptr;
+  int col_bits = 0;
+
+  void sort(nnz_t off, std::size_t len,
+            const NarrowF32Stream& scratch) const {
+    radix_sort_lsd_kv(keys + off, vals + off, len, scratch.keys,
+                      scratch.vals);
+  }
+
+  nnz_t compress(nnz_t off, std::size_t len) const {
+    narrow_key_t* k = keys + off;
+    f32_val_t* v = vals + off;
+    std::size_t p2 = 0;
+    for (std::size_t p1 = 1; p1 < len; ++p1) {
+      if (k[p1] == k[p2]) {
+        v[p2] = static_cast<f32_val_t>(
+            S::add(static_cast<value_t>(v[p2]), static_cast<value_t>(v[p1])));
+      } else {
+        ++p2;
+        k[p2] = k[p1];
+        v[p2] = v[p1];
+      }
+    }
+    return static_cast<nnz_t>(p2 + 1);
+  }
+
+  nnz_t filter(int bin, nnz_t off, nnz_t merged) const {
+    if (!mask->active()) return merged;
+    narrow_key_t* k = keys + off;
+    f32_val_t* v = vals + off;
+    return detail::mask_filter_bin(
+        merged, *mask->csr, mask->complement,
+        [&](nnz_t i) {
+          return layout->global_row(bin,
+                                    narrow_key_local_row(k[i], col_bits));
+        },
+        [&](nnz_t i) { return narrow_key_col(k[i], col_bits); },
+        [&](nnz_t src, nnz_t dst) {
+          k[dst] = k[src];
+          v[dst] = v[src];
+        });
+  }
+};
+
+template <typename S>
+SortCompressResult pb_sort_compress_narrow_f32(
+    narrow_key_t* keys, f32_val_t* vals, std::span<const nnz_t> offsets,
+    std::span<const nnz_t> fill, int nbins, PbWorkspace* workspace,
+    const MaskSpec& mask, const BinLayout* layout, int col_bits) {
+  const NarrowF32BinOps<S> ops{keys, vals, &mask, layout, col_bits};
+  struct Scratch {
+    AlignedBuffer<narrow_key_t> local_keys;  // fallbacks without a workspace
+    AlignedBuffer<f32_val_t> local_vals;
+    NarrowF32Stream stream;
+  };
+  return detail::sort_compress_driver(
+      offsets, fill, nbins, workspace,
+      [&](std::size_t tid, std::size_t max_bin) {
+        Scratch s;
+        if (workspace != nullptr) {
+          s.stream = workspace->acquire_scratch_narrow_f32(tid, max_bin);
         } else {
           s.local_keys.allocate(max_bin);
           s.local_vals.allocate(max_bin);

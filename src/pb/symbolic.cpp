@@ -136,12 +136,44 @@ std::vector<nnz_t> bin_histogram(const mtx::CscMatrix& a,
 
 namespace {
 
-// The narrow format fits when every bin's varying key bits pack into 32.
+// Format selection.  The narrow formats fit when every bin's varying key
+// bits pack into 32; key-only carries the full 64-bit global key, so it
+// fits any geometry but is only legal when the caller asserted the
+// semiring is value-free (cfg.value_free).  Requests are preferences:
+// an illegal or unfitting request falls back (keyonly -> the kAuto
+// choice, narrow/f32 -> wide); the CLI enforces strictness for explicit
+// user requests before planning.
 TupleFormat pick_format(const BinLayout& layout, index_t nrows,
-                        int col_bits, FormatPolicy policy) {
-  if (policy == FormatPolicy::kWide) return TupleFormat::kWide;
+                        int col_bits, const PbConfig& cfg) {
   const bool fits = layout.local_row_bits(nrows) + col_bits <= 32;
-  return fits ? TupleFormat::kNarrow : TupleFormat::kWide;
+  switch (cfg.format) {
+    case FormatPolicy::kWide:
+      return TupleFormat::kWide;
+    case FormatPolicy::kNarrow:
+      return fits ? TupleFormat::kNarrow : TupleFormat::kWide;
+    case FormatPolicy::kF32:
+      return fits ? TupleFormat::kNarrowF32 : TupleFormat::kWide;
+    case FormatPolicy::kKeyOnly:
+    case FormatPolicy::kAuto:
+      if (cfg.value_free) return TupleFormat::kKeyOnly;
+      return fits ? TupleFormat::kNarrow : TupleFormat::kWide;
+  }
+  return TupleFormat::kWide;
+}
+
+// Value-freeness promises presence ⇒ the semiring's present-value, which
+// only holds when no operand stores an explicit zero: a stored 0.0 is
+// bool-false, its products must surface as stored zeros (the library
+// keeps exact-zero entries structurally), so the value stream cannot be
+// dropped.  One O(nnz) scan per operand guards the key-only choice.
+bool has_stored_zero(const std::vector<value_t>& vals) {
+  bool found = false;
+  const auto n = static_cast<std::ptrdiff_t>(vals.size());
+#pragma omp parallel for reduction(|| : found)
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    found = found || vals[static_cast<std::size_t>(i)] == 0.0;
+  }
+  return found;
 }
 
 }  // namespace
@@ -179,7 +211,19 @@ SymbolicResult pb_symbolic(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
   }
 
   out.col_bits = ceil_log2(static_cast<std::uint64_t>(b.ncols));
-  out.format = pick_format(out.layout, a.nrows, out.col_bits, cfg.format);
+  // Key-only is only reachable under cfg.value_free, and the assertion is
+  // about the *semiring*; the operands must also be free of explicit
+  // stored zeros (see has_stored_zero) — downgrade the flag here, where
+  // the values are in hand (predict_tuple_format has no operands and
+  // predicts the common no-stored-zero case).
+  PbConfig ecfg = cfg;
+  if (ecfg.value_free &&
+      (ecfg.format == FormatPolicy::kAuto ||
+       ecfg.format == FormatPolicy::kKeyOnly) &&
+      (has_stored_zero(a.vals) || has_stored_zero(b.vals))) {
+    ecfg.value_free = false;
+  }
+  out.format = pick_format(out.layout, a.nrows, out.col_bits, ecfg);
 
   std::vector<nnz_t> counts = bin_histogram(a, b, out.layout);
   counts.pop_back();  // drop the scan-scratch slot
@@ -188,8 +232,13 @@ SymbolicResult pb_symbolic(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
   // Region layout: pad every bin to a cache-line-multiple boundary so full
   // local-bin flushes are line aligned (see SymbolicResult): 4 wide tuples
   // are one 64 B line; 16 narrow tuples are one 64 B key line (and two
-  // value lines).
-  const nnz_t pad = out.format == TupleFormat::kNarrow ? 16 : 4;
+  // value lines — or one f32 value line); 8 key-only tuples are one 64 B
+  // line.  Key-only has no value lanes at all, so the byte pool sized
+  // from these offsets charges 8 B/tuple — zero-width values.
+  const nnz_t pad = (out.format == TupleFormat::kNarrow ||
+                     out.format == TupleFormat::kNarrowF32)
+                        ? 16
+                        : (out.format == TupleFormat::kKeyOnly ? 8 : 4);
   out.bin_offsets.assign(static_cast<std::size_t>(out.layout.nbins) + 1, 0);
   nnz_t cursor = 0;
   nnz_t total_fill = 0;
@@ -244,7 +293,7 @@ TupleFormat predict_tuple_format(index_t a_nrows, index_t b_ncols, nnz_t flop,
                                ? make_modulo_layout(a_nrows, target)
                                : make_range_layout(a_nrows, target);
   const int col_bits = ceil_log2(static_cast<std::uint64_t>(b_ncols));
-  return pick_format(layout, a_nrows, col_bits, cfg.format);
+  return pick_format(layout, a_nrows, col_bits, cfg);
 }
 
 }  // namespace pbs::pb

@@ -21,6 +21,20 @@
 //    order equals ascending (row, col) order for every bin policy, so the
 //    two formats produce identical CSR.
 //
+//  * kKeyOnly — the 8-byte wide key with NO value array at all.  For a
+//    value-free semiring (bool_or_and, or any registered semiring flagged
+//    idempotent-structural) the value of every surviving entry is
+//    determined by structure alone, so carrying values through the stream
+//    is pure redundancy: expand writes only keys, compress is a pure
+//    duplicate drop with no semiring add and no value scatter in the radix
+//    passes, and conversion synthesizes the semiring's present-value
+//    (1.0).  Because the key is the full global (row << 32) | col, the
+//    format is legal for ANY bin geometry — no 32-bit fit constraint.
+//
+//  * kNarrowF32 — the narrow SoA stream with a 4-byte f32 value lane:
+//    8 bytes per tuple for plans whose values are f32-representable or
+//    whose op requests f32 precision.  Same fit constraint as kNarrow.
+//
 // The per-format byte cost feeds the roofline model through
 // bytes_per_tuple(); telemetry reports which format a run used.
 #pragma once
@@ -33,8 +47,10 @@ namespace pbs::pb {
 
 /// Physical layout of the expanded tuple stream (see file comment).
 enum class TupleFormat {
-  kWide,    ///< AoS {u64 key, f64 val}, 16 B/tuple
-  kNarrow,  ///< SoA u32 bin-relative key + f64 val, 12 B/tuple
+  kWide,       ///< AoS {u64 key, f64 val}, 16 B/tuple
+  kNarrow,     ///< SoA u32 bin-relative key + f64 val, 12 B/tuple
+  kKeyOnly,    ///< u64 global key, no value array, 8 B/tuple (value-free)
+  kNarrowF32,  ///< SoA u32 bin-relative key + f32 val, 8 B/tuple
 };
 
 const char* to_string(TupleFormat f);
@@ -46,16 +62,33 @@ struct Tuple {
 static_assert(sizeof(Tuple) == kBytesPerTuple,
               "wide tuple must stay 16 bytes; the AI model depends on it");
 
+/// Key-only format key type (the wide key, sans value array).
+using wide_key_t = std::uint64_t;
+inline constexpr std::size_t kBytesPerTupleKeyOnly = sizeof(wide_key_t);
+static_assert(kBytesPerTupleKeyOnly == 8);
+
 /// Narrow-format key type and its per-tuple stream cost.
 using narrow_key_t = std::uint32_t;
 inline constexpr std::size_t kBytesPerTupleNarrow =
     sizeof(narrow_key_t) + sizeof(value_t);
 static_assert(kBytesPerTupleNarrow == 12);
 
+/// Narrow-f32 value type and per-tuple cost (4 B key + 4 B value).
+using f32_val_t = float;
+inline constexpr std::size_t kBytesPerTupleNarrowF32 =
+    sizeof(narrow_key_t) + sizeof(f32_val_t);
+static_assert(kBytesPerTupleNarrowF32 == 8);
+
 /// The `b` of the arithmetic-intensity equations for the given stream
 /// format — what each expanded tuple actually costs to move through DRAM.
 constexpr std::size_t bytes_per_tuple(TupleFormat f) {
-  return f == TupleFormat::kNarrow ? kBytesPerTupleNarrow : kBytesPerTuple;
+  switch (f) {
+    case TupleFormat::kWide: return kBytesPerTuple;
+    case TupleFormat::kNarrow: return kBytesPerTupleNarrow;
+    case TupleFormat::kKeyOnly: return kBytesPerTupleKeyOnly;
+    case TupleFormat::kNarrowF32: return kBytesPerTupleNarrowF32;
+  }
+  return kBytesPerTuple;
 }
 
 inline std::uint64_t make_key(index_t row, index_t col) {

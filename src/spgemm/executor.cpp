@@ -30,7 +30,7 @@ std::string op_cache_key(const SpGemmOp& op) {
   key << op.algo << '|' << op.semiring << '|'
       << static_cast<const void*>(op.mask) << '|' << op.complement << '|'
       << static_cast<int>(op.pb.policy) << '|'
-      << static_cast<int>(op.pb.format) << '|'
+      << static_cast<int>(op.pb.format) << '|' << op.pb.value_free << '|'
       << static_cast<int>(op.pb.schedule) << '|' << op.pb.nbins << '|'
       << op.pb.local_bin_bytes << '|' << op.pb.l2_bytes << '|'
       << op.pb.streaming_stores << '|' << op.model.pb_efficiency << '|'
@@ -206,6 +206,13 @@ struct SpGemmExecutor::Impl {
     Timer timer;
     check_mask_shape(op, p);
 
+    // Planning must see the op's value-freeness (it legalizes the 8 B
+    // key-only stream): derive it from the semiring registration when the
+    // caller did not assert it.  Derived state stays out of the cache key —
+    // it is a pure function of op.semiring, which is already keyed.
+    pb::PbConfig pbcfg = op.pb;
+    if (!pbcfg.value_free) pbcfg.value_free = semiring_value_free(op.semiring);
+
     auto entry = std::make_shared<CachedPlanEntry>();
     entry->fp = fp;
     entry->key = key;
@@ -232,7 +239,7 @@ struct SpGemmExecutor::Impl {
       model::SelectionModel m = effective_model(op);
       m.pb_tuple_bytes = static_cast<double>(pb::bytes_per_tuple(
           pb::predict_tuple_format(p.a_csc.nrows, p.b_csr.ncols, fp.flop,
-                                   op.pb)));
+                                   pbcfg)));
       // Schedule term: pb's derating reflects the schedule this op will
       // actually execute under (kAuto resolved for the current team size).
       m.pipelined_schedule =
@@ -281,7 +288,7 @@ struct SpGemmExecutor::Impl {
       pb::SymbolicHints hints;
       hints.flop = fp.flop;
       hints.row_flops = row_flops;
-      entry->pb_plan = pb::pb_plan_build(p.a_csc, p.b_csr, op.pb, hints);
+      entry->pb_plan = pb::pb_plan_build(p.a_csc, p.b_csr, pbcfg, hints);
     }
     entry->plan_seconds = timer.elapsed_s();
     return entry;

@@ -28,6 +28,7 @@ SemiringRegistry::SemiringRegistry() : impl_(new Impl) {
     rs.add = [](value_t a, value_t b) { return S::add(a, b); };
     rs.mul = [](value_t a, value_t b) { return S::mul(a, b); };
     rs.builtin = true;
+    rs.value_free = semiring_is_value_free<S>();
     impl_->semirings.push_back(std::move(rs));
   };
   seed.operator()<PlusTimes>();
@@ -87,6 +88,11 @@ std::vector<std::string> SemiringRegistry::names() const {
 
 bool is_registered_semiring(const std::string& name) {
   return SemiringRegistry::instance().contains(name);
+}
+
+bool semiring_value_free(const std::string& name) {
+  const RuntimeSemiring* s = SemiringRegistry::instance().find(name);
+  return s != nullptr && s->value_free;
 }
 
 mtx::CsrMatrix semiring_ewise_add(const std::string& semiring,

@@ -59,6 +59,12 @@ struct RuntimeSemiring {
   /// Set by the registry for the built-in four; dispatch uses it as a fast
   /// path to the compiled kernels.  User registrations leave it false.
   bool builtin = false;
+  /// Declares the semiring value-free (idempotent-structural): every
+  /// output value is the present-value 1.0, determined by structure alone
+  /// — add and mul of nonzeros must yield exactly 1.0.  Legalizes the 8 B
+  /// key-only tuple stream (pb/tuple.hpp).  Registrants opt in; the
+  /// registry sets it for bool_or_and.
+  bool value_free = false;
 };
 
 /// Process-wide name -> semiring table.  Pre-seeded with the built-in
@@ -98,6 +104,11 @@ class SemiringRegistry {
 /// True iff `name` is a built-in or runtime-registered semiring.
 bool is_registered_semiring(const std::string& name);
 
+/// True iff `name` is a registered semiring flagged value-free
+/// (RuntimeSemiring::value_free) — bool_or_and, or a user semiring that
+/// opted in at registration.  False for unknown names.
+bool semiring_value_free(const std::string& name);
+
 namespace detail {
 
 /// The semiring DynSemiring forwards to.  A plain global (not
@@ -136,6 +147,12 @@ struct DynSemiring {
   }
   static value_t mul(value_t a, value_t b) {
     return detail::g_active_semiring->mul(a, b);
+  }
+  /// Runtime answer for semiring_is_value_free<DynSemiring>(): whatever
+  /// the active registration declared.
+  static bool value_free() {
+    return detail::g_active_semiring != nullptr &&
+           detail::g_active_semiring->value_free;
   }
 };
 

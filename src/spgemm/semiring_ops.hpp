@@ -72,7 +72,26 @@ struct BoolOrAnd {
   static value_t mul(value_t a, value_t b) {
     return (a != 0.0 && b != 0.0) ? 1.0 : 0.0;
   }
+  /// Value-free (idempotent-structural): presence alone determines every
+  /// output value (1.0 for any surviving entry built from nonzero
+  /// operands), which legalizes the 8 B key-only tuple stream
+  /// (pb/tuple.hpp).
+  static constexpr bool value_free() { return true; }
 };
+
+/// True when S declares itself value-free — its output values are a pure
+/// function of structure (every surviving entry carries the semiring's
+/// present-value), so kernels may drop the value stream entirely.
+/// Detected via an optional static `value_free()` member, so custom
+/// semiring types need no change to stay valued.
+template <typename S>
+bool semiring_is_value_free() {
+  if constexpr (requires { S::value_free(); }) {
+    return S::value_free();
+  } else {
+    return false;
+  }
+}
 
 /// Names of all built-in semirings, in registry order.
 const std::vector<std::string>& semiring_names();

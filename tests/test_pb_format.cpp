@@ -301,10 +301,217 @@ TEST(PbFormat, PredictionMatchesSymbolicForRangePolicy) {
     const mtx::CsrMatrix m = testutil::exact_er(
         static_cast<index_t>(nrows), static_cast<index_t>(ncols), density, 7);
     const mtx::CscMatrix a = mtx::csr_to_csc(m);
-    const PbConfig cfg;
-    const SymbolicResult sym = pb_symbolic(a, m, cfg);
-    EXPECT_EQ(predict_tuple_format(a.nrows, m.ncols, sym.flop, cfg),
-              sym.format);
+    for (const bool value_free : {false, true}) {
+      PbConfig cfg;
+      cfg.value_free = value_free;
+      const SymbolicResult sym = pb_symbolic(a, m, cfg);
+      EXPECT_EQ(sym.format,
+                value_free ? TupleFormat::kKeyOnly : TupleFormat::kNarrow);
+      EXPECT_EQ(predict_tuple_format(a.nrows, m.ncols, sym.flop, cfg),
+                sym.format);
+    }
+  }
+}
+
+// ---- key-only (8 B) and narrow-f32 (8 B) formats -------------------------
+
+// Runs bool_or_and under forced-wide and under `policy`, across both
+// schedules, and requires bitwise-equal CSR everywhere.  Bit-identity is
+// exact, not approximate: every surviving wide value is S::add/S::mul of
+// nonzeros = exactly 1.0, which is exactly what the key-only convert
+// synthesizes.
+void expect_keyonly_matches_wide(const mtx::CscMatrix& a,
+                                 const mtx::CsrMatrix& b, PbConfig cfg,
+                                 FormatPolicy policy) {
+  cfg.validate = true;
+  cfg.schedule = PbSchedule::kBarrier;
+  cfg.format = FormatPolicy::kWide;
+  PbWorkspace wide_ws;
+  const PbResult wide = pb_spgemm<BoolOrAnd>(a, b, cfg, wide_ws);
+  EXPECT_EQ(wide.stats.format, TupleFormat::kWide);
+  for (const PbSchedule sched : {PbSchedule::kBarrier, PbSchedule::kPipeline}) {
+    PbConfig kcfg = cfg;
+    kcfg.format = policy;
+    kcfg.schedule = sched;
+    PbWorkspace ws;
+    const PbResult keyonly = pb_spgemm<BoolOrAnd>(a, b, kcfg, ws);
+    EXPECT_EQ(keyonly.stats.format, TupleFormat::kKeyOnly)
+        << to_string(policy) << " schedule " << to_string(sched);
+    EXPECT_TRUE(mtx::equal_exact(wide.c, keyonly.c))
+        << to_string(policy) << " schedule " << to_string(sched);
+  }
+}
+
+TEST(PbFormatKeyOnly, BitIdenticalToWideAcrossPoliciesAndSchedules) {
+  const mtx::CsrMatrix m = testutil::exact_er(400, 400, 6.0, 44);
+  const mtx::CscMatrix a = mtx::csr_to_csc(m);
+  for (const BinPolicy policy :
+       {BinPolicy::kRange, BinPolicy::kModulo, BinPolicy::kAdaptive}) {
+    for (const int nbins : {1, 8}) {
+      PbConfig cfg;
+      cfg.policy = policy;
+      cfg.nbins = nbins;
+      // Both the explicit request and auto (pb_spgemm<BoolOrAnd> injects
+      // value_free) must land on key-only.
+      expect_keyonly_matches_wide(a, m, cfg, FormatPolicy::kKeyOnly);
+      expect_keyonly_matches_wide(a, m, cfg, FormatPolicy::kAuto);
+    }
+  }
+}
+
+TEST(PbFormatKeyOnly, AutoSelectsKeyOnlyAndChargesEightBytes) {
+  const mtx::CsrMatrix m = testutil::exact_er(500, 500, 5.0, 45);
+  const mtx::CscMatrix a = mtx::csr_to_csc(m);
+  PbWorkspace ws;
+  const PbResult r = pb_spgemm<BoolOrAnd>(a, m, PbConfig{}, ws);
+  EXPECT_EQ(r.stats.format, TupleFormat::kKeyOnly);
+  EXPECT_EQ(r.stats.tuple_bytes(), 8.0);
+  // Eq. 4 accounting: the sort streams 8 B/tuple, not 12 or 16.
+  EXPECT_EQ(r.stats.sort.bytes, 8.0 * static_cast<double>(r.stats.flop));
+  // Same semiring through the named (DynSemiring-capable) entry point.
+  PbWorkspace named_ws;
+  const PbResult named =
+      pb_spgemm_named("bool_or_and", a, m, PbConfig{}, named_ws);
+  EXPECT_EQ(named.stats.format, TupleFormat::kKeyOnly);
+  EXPECT_TRUE(mtx::equal_exact(r.c, named.c));
+}
+
+TEST(PbFormatKeyOnly, EngagesWhereNarrowCannotFit) {
+  // 2^30 columns and 8 rows in one bin: 3 + 30 = 33 bits, past the narrow
+  // fit — but the key-only stream carries the full 64-bit global key, so
+  // value-free workloads still get the 8 B format at any geometry.
+  const index_t wide_cols = index_t{1} << 30;
+  const mtx::CsrMatrix a_csr = testutil::from_triplets(
+      8, 4, {{0, 0, 2.0}, {5, 1, 3.0}, {7, 3, 7.0}});
+  const mtx::CsrMatrix b = testutil::from_triplets(
+      4, wide_cols, {{0, 7, 1.0}, {1, wide_cols - 1, 4.0}, {3, 99, 6.0}});
+  const mtx::CscMatrix a = mtx::csr_to_csc(a_csr);
+
+  PbConfig cfg;
+  cfg.nbins = 1;
+  cfg.value_free = true;
+  const PbPlan plan = pb_plan_build(a, b, cfg);
+  ASSERT_GT(plan.sym.layout.local_row_bits(8) + plan.sym.col_bits, 32);
+  EXPECT_EQ(plan.sym.format, TupleFormat::kKeyOnly);
+
+  expect_keyonly_matches_wide(a, b, cfg, FormatPolicy::kAuto);
+}
+
+TEST(PbFormatKeyOnly, RequestFallsBackForValuedSemirings) {
+  // A key-only request for a semiring that carries values is illegal; the
+  // library treats requests as preferences and falls back to the auto
+  // choice (the CLI layers a strict error on top for explicit --format).
+  const mtx::CsrMatrix m = testutil::exact_er(300, 300, 4.0, 46);
+  const mtx::CscMatrix a = mtx::csr_to_csc(m);
+  PbConfig cfg;
+  cfg.format = FormatPolicy::kKeyOnly;
+  PbWorkspace ws;
+  const PbResult r = pb_spgemm<PlusTimes>(a, m, cfg, ws);
+  EXPECT_EQ(r.stats.format, TupleFormat::kNarrow);
+  EXPECT_TRUE(
+      mtx::equal_exact(r.c, reference_spgemm(SpGemmProblem::square(m))));
+}
+
+TEST(PbFormatKeyOnly, ExactCancellationStaysStructurallyCorrect) {
+  // Why dropping the value stream cannot break the exact-cancellation
+  // convention: in a value-free semiring, add and mul of NONZERO operands
+  // always yield the present-value (1 ∨ 1 = 1 ≠ 0), so no accumulation of
+  // nonzeros can cancel to zero — every distinct key survives compress in
+  // the valued formats too, and the patterns agree by construction.  The
+  // only way a bool_or_and output can hold a zero is an explicit stored
+  // 0.0 in an operand (bool-false), and symbolic downgrades key-only
+  // whenever an operand stores a zero, so the value stream is retained
+  // exactly when it can matter.
+  const mtx::CsrMatrix a_csr = testutil::from_triplets(1, 1, {{0, 0, 0.0}});
+  const mtx::CsrMatrix b = testutil::from_triplets(1, 1, {{0, 0, 1.0}});
+  const mtx::CscMatrix a = mtx::csr_to_csc(a_csr);
+
+  PbConfig cfg;
+  cfg.value_free = true;  // asserted, yet the operand scan must override
+  const PbPlan plan = pb_plan_build(a, b, cfg);
+  EXPECT_NE(plan.sym.format, TupleFormat::kKeyOnly);
+
+  PbWorkspace ws;
+  const PbResult r = pb_spgemm<BoolOrAnd>(a, b, cfg, ws);
+  ASSERT_EQ(r.c.nnz(), 1);
+  EXPECT_EQ(r.c.vals[0], 0.0);  // 0 ∧ 1 = 0, stored structurally
+}
+
+TEST(PbFormatF32, BitIdenticalToWideOnExactValuesAcrossSemirings) {
+  // exact_er values are integers 1..8: every product and sum in this
+  // problem is exactly representable in f32, so the narrowed value lane
+  // must round-trip bit-identically through the f64 CSR.
+  const mtx::CsrMatrix m = testutil::exact_er(400, 400, 6.0, 47);
+  const mtx::CscMatrix a = mtx::csr_to_csc(m);
+  for (const std::string& s : semiring_names()) {
+    PbConfig cfg;
+    cfg.validate = true;
+    cfg.format = FormatPolicy::kWide;
+    PbWorkspace wide_ws;
+    const PbResult wide = pb_spgemm_named(s, a, m, cfg, wide_ws);
+    for (const PbSchedule sched :
+         {PbSchedule::kBarrier, PbSchedule::kPipeline}) {
+      PbConfig fcfg = cfg;
+      fcfg.format = FormatPolicy::kF32;
+      fcfg.schedule = sched;
+      PbWorkspace ws;
+      const PbResult f32 = pb_spgemm_named(s, a, m, fcfg, ws);
+      EXPECT_EQ(f32.stats.format, TupleFormat::kNarrowF32) << s;
+      EXPECT_EQ(f32.stats.tuple_bytes(), 8.0) << s;
+      EXPECT_TRUE(mtx::equal_exact(wide.c, f32.c))
+          << s << " schedule " << to_string(sched);
+    }
+  }
+}
+
+TEST(PbFormatF32, FallsBackToWideWhenBitsDontFit) {
+  // The f32 format keeps the narrow 32-bit key, so it inherits the narrow
+  // fit constraint: 33 varying bits force the wide fallback.
+  const index_t wide_cols = index_t{1} << 30;
+  const mtx::CsrMatrix a_csr = testutil::from_triplets(
+      8, 4, {{0, 0, 2.0}, {5, 1, 3.0}, {7, 3, 7.0}});
+  const mtx::CsrMatrix b = testutil::from_triplets(
+      4, wide_cols, {{0, 7, 1.0}, {1, wide_cols - 1, 4.0}, {3, 99, 6.0}});
+  const mtx::CscMatrix a = mtx::csr_to_csc(a_csr);
+
+  PbConfig cfg;
+  cfg.nbins = 1;
+  cfg.format = FormatPolicy::kF32;
+  const PbPlan plan = pb_plan_build(a, b, cfg);
+  EXPECT_EQ(plan.sym.format, TupleFormat::kWide);
+}
+
+TEST(PbFormatF32, NativeF32CsrBuilder) {
+  // The no-widening output path: drive the f32 pipeline by hand and build
+  // a native CsrF32, then check it against the wide result narrowed.
+  const mtx::CsrMatrix m = testutil::exact_er(200, 200, 5.0, 48);
+  const mtx::CscMatrix a = mtx::csr_to_csc(m);
+  PbConfig cfg;
+  cfg.format = FormatPolicy::kF32;
+  const SymbolicResult sym = pb_symbolic(a, m, cfg);
+  ASSERT_EQ(sym.format, TupleFormat::kNarrowF32);
+
+  std::vector<narrow_key_t> keys(
+      static_cast<std::size_t>(sym.bin_offsets.back()));
+  std::vector<f32_val_t> vals(keys.size());
+  pb_expand_narrow_f32<PlusTimes>(a, m, sym, cfg, keys.data(), vals.data());
+  const SortCompressResult sc = pb_sort_compress_narrow_f32<PlusTimes>(
+      keys.data(), vals.data(), sym.bin_offsets, sym.bin_fill,
+      sym.layout.nbins, nullptr, {}, &sym.layout, sym.col_bits);
+  const CsrF32 c32 = pb_build_csr_narrow_f32_native(
+      keys.data(), vals.data(), sym.bin_offsets, sc.merged, sym.layout,
+      sym.col_bits, a.nrows, m.ncols);
+
+  const mtx::CsrMatrix expected = reference_spgemm(SpGemmProblem::square(m));
+  ASSERT_EQ(c32.nnz(), expected.nnz());
+  ASSERT_EQ(c32.rowptr.size(), expected.rowptr.size());
+  for (std::size_t i = 0; i < expected.rowptr.size(); ++i) {
+    ASSERT_EQ(c32.rowptr[i], expected.rowptr[i]) << "rowptr " << i;
+  }
+  for (std::size_t i = 0; i < c32.colids.size(); ++i) {
+    ASSERT_EQ(c32.colids[i], expected.colids[i]) << "colid " << i;
+    ASSERT_EQ(c32.vals[i], static_cast<f32_val_t>(expected.vals[i]))
+        << "val " << i;
   }
 }
 

@@ -89,10 +89,15 @@ pb::PbConfig random_pb_config(mtx::SplitMix64& rng) {
                                     pb::BinPolicy::kModulo,
                                     pb::BinPolicy::kAdaptive};
   cfg.policy = policies[rng.next_below(3)];
-  const pb::FormatPolicy formats[] = {pb::FormatPolicy::kAuto,
-                                      pb::FormatPolicy::kWide,
-                                      pb::FormatPolicy::kNarrow};
-  cfg.format = formats[rng.next_below(3)];
+  // kKeyOnly is legal here for every semiring: requests are preferences,
+  // so valued semirings fall back to the auto choice.  kF32 stays out of
+  // the random chain — hadamard/add steps can grow values past the f32
+  // exact-integer range (2^24) between multiplies; the fresh-input fuzzes
+  // (ScheduleFuzz, PbFormatF32) cover it on bounded values instead.
+  const pb::FormatPolicy formats[] = {
+      pb::FormatPolicy::kAuto, pb::FormatPolicy::kWide,
+      pb::FormatPolicy::kNarrow, pb::FormatPolicy::kKeyOnly};
+  cfg.format = formats[rng.next_below(4)];
   cfg.streaming_stores = rng.next_below(2) == 0;
   cfg.validate = true;
   return cfg;
@@ -276,8 +281,12 @@ TEST_P(ScheduleFuzz, PipelineBitIdenticalToBarrierAcrossDescriptors) {
   const mtx::CsrMatrix acc = testutil::exact_er(n, n, 2.0, GetParam() + 700);
   const SpGemmProblem problem = SpGemmProblem::square(a);
 
-  const pb::FormatPolicy formats[] = {pb::FormatPolicy::kWide,
-                                      pb::FormatPolicy::kNarrow};
+  // All four stream formats: keyonly engages for bool_or_and (valued
+  // semirings fall back to the auto choice — still a schedule-identity
+  // check), f32 is exact on these small-integer values.
+  const pb::FormatPolicy formats[] = {
+      pb::FormatPolicy::kWide, pb::FormatPolicy::kNarrow,
+      pb::FormatPolicy::kKeyOnly, pb::FormatPolicy::kF32};
   enum Variant { kPlain, kMasked, kComplement, kAccumulate, kVariants };
   for (const std::string& semiring : semiring_names()) {
     for (const pb::FormatPolicy fmt : formats) {

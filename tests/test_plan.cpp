@@ -209,6 +209,38 @@ TEST(Selection, CrossoverIsMonotoneInCf) {
   EXPECT_TRUE(seen_column);
 }
 
+TEST(Selection, KeyOnlyStreamShiftsCrossoverTowardPb) {
+  // The byte model charges Eq. 4's Cˆ term the bytes the plan's tuple
+  // stream actually moves (executor wiring: m.pb_tuple_bytes =
+  // bytes_per_tuple(predict_tuple_format(...))).  A boolean workload
+  // predicts the 8 B key-only stream, a numeric one the 12 B narrow
+  // stream — same geometry, same flop.  With defaults the pb/hash
+  // crossover sits at cf ≈ 3.0 for 12 B and cf ≈ 7.7 for 8 B, so at
+  // cf = 4 the valued plan rules pb out while the boolean plan keeps it.
+  const index_t n = 1 << 16;  // narrow fits: local_row_bits + col_bits ≤ 32
+  const nnz_t flop = 1 << 20;
+
+  pb::PbConfig boolean_cfg;
+  boolean_cfg.value_free = true;  // what pb_spgemm<BoolOrAnd> injects
+  const pb::PbConfig valued_cfg;
+  const pb::TupleFormat boolean_fmt =
+      pb::predict_tuple_format(n, n, flop, boolean_cfg);
+  const pb::TupleFormat valued_fmt =
+      pb::predict_tuple_format(n, n, flop, valued_cfg);
+  ASSERT_EQ(boolean_fmt, pb::TupleFormat::kKeyOnly);
+  ASSERT_EQ(valued_fmt, pb::TupleFormat::kNarrow);
+
+  model::SelectionModel m;
+  m.pb_tuple_bytes = static_cast<double>(pb::bytes_per_tuple(valued_fmt));
+  const model::AlgoChoice valued = model::select_algorithm(4.0, flop, true, m);
+  EXPECT_EQ(valued.algo, "hash");
+
+  m.pb_tuple_bytes = static_cast<double>(pb::bytes_per_tuple(boolean_fmt));
+  const model::AlgoChoice boolean = model::select_algorithm(4.0, flop, true, m);
+  EXPECT_EQ(boolean.algo, "pb");
+  EXPECT_GT(boolean.ai_outer, valued.ai_outer);
+}
+
 // ---- SpGemmPlan -----------------------------------------------------------
 
 TEST(SpGemmPlanTest, MatchesRegistryKernelsAcrossSemirings) {

@@ -45,6 +45,98 @@ TEST(Workspace, NarrowStreamSharesThePoolWithWide) {
   EXPECT_EQ(s.reuses, 1u);
 }
 
+TEST(Workspace, KeyOnlyStreamSharesThePoolWithoutValueBytes) {
+  // The satellite fix for mixed-format reuse: a key-only acquire following
+  // a wide lease must ask for n*8 bytes only — no value bytes charged to a
+  // format that has no value array — so it reuses the wide pool and never
+  // grows it.
+  PbWorkspace ws;
+  (void)ws.acquire(1024);  // 1024 * 16 B
+  const std::size_t cap = ws.capacity();
+  wide_key_t* keys = ws.acquire_keys(2048);  // 2048 * 8 B = the same bytes
+  ASSERT_NE(keys, nullptr);
+  EXPECT_EQ(ws.capacity(), cap);
+  PbWorkspace::Stats s = ws.stats();
+  EXPECT_EQ(s.acquires, 2u);
+  EXPECT_EQ(s.allocations, 1u);
+  EXPECT_EQ(s.reuses, 1u);
+
+  // And the other direction: growing key-only first, then wide for the
+  // same tuple count doubles the byte need and must allocate.
+  PbWorkspace ws2;
+  (void)ws2.acquire_keys(1024);
+  const std::size_t key_cap = ws2.capacity();
+  EXPECT_GE(key_cap, 1024u * sizeof(wide_key_t));
+  EXPECT_LT(key_cap, 1024u * sizeof(Tuple));  // no hidden value reserve
+  (void)ws2.acquire(1024);
+  s = ws2.stats();
+  EXPECT_EQ(s.allocations, 2u);
+}
+
+TEST(Workspace, NarrowF32StreamSharesThePoolWithNarrow) {
+  // f32 tuples are 8 B (4 B key + 4 B value): a narrow lease (12 B) for
+  // the same count always covers an f32 lease, and the value lane starts
+  // line-aligned after the key span.
+  PbWorkspace ws;
+  (void)ws.acquire_narrow(1024);
+  const std::size_t cap = ws.capacity();
+  const NarrowF32Stream nf = ws.acquire_narrow_f32(1024);
+  ASSERT_NE(nf.keys, nullptr);
+  ASSERT_NE(nf.vals, nullptr);
+  EXPECT_EQ(ws.capacity(), cap);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(nf.vals) % kCacheLineBytes, 0u);
+  EXPECT_GE(reinterpret_cast<std::byte*>(nf.vals) -
+                reinterpret_cast<std::byte*>(nf.keys),
+            static_cast<std::ptrdiff_t>(1024 * sizeof(narrow_key_t)));
+  const PbWorkspace::Stats s = ws.stats();
+  EXPECT_EQ(s.acquires, 2u);
+  EXPECT_EQ(s.allocations, 1u);
+  EXPECT_EQ(s.reuses, 1u);
+}
+
+TEST(Workspace, MixedFormatMultipliesReuseOnePool) {
+  // One workspace serving wide, key-only and f32 plans back to back: after
+  // the largest stream is paid for, every later acquire is a reuse.
+  PbWorkspace ws;
+  const mtx::CsrMatrix m = testutil::exact_er(300, 300, 5.0, 94);
+  const SpGemmProblem p = SpGemmProblem::square(m);
+
+  PbConfig wide_cfg;
+  wide_cfg.format = FormatPolicy::kWide;
+  const PbResult wide = pb_spgemm<BoolOrAnd>(p.a_csc, p.b_csr, wide_cfg, ws);
+  const std::size_t cap = ws.capacity();
+  ws.reset_stats();
+
+  const PbResult keyonly =
+      pb_spgemm<BoolOrAnd>(p.a_csc, p.b_csr, PbConfig{}, ws);
+  EXPECT_EQ(keyonly.stats.format, TupleFormat::kKeyOnly);
+  PbConfig f32_cfg;
+  f32_cfg.format = FormatPolicy::kF32;
+  const PbResult f32 = pb_spgemm<BoolOrAnd>(p.a_csc, p.b_csr, f32_cfg, ws);
+  EXPECT_EQ(f32.stats.format, TupleFormat::kNarrowF32);
+
+  EXPECT_EQ(ws.capacity(), cap);  // 8 B streams never outgrow the 16 B one
+  const PbWorkspace::Stats s = ws.stats();
+  EXPECT_EQ(s.allocations, 0u);
+  EXPECT_GE(s.reuses, 2u);
+  EXPECT_TRUE(equal_exact(wide.c, keyonly.c));
+  EXPECT_TRUE(equal_exact(wide.c, f32.c));
+}
+
+TEST(Workspace, KeyOnlyScratchSlotsPoolPerThread) {
+  PbWorkspace ws;
+  ws.prepare_scratch(2);
+  wide_key_t* s0 = ws.acquire_scratch_keys(0, 64);
+  ASSERT_NE(s0, nullptr);
+  EXPECT_EQ(ws.acquire_scratch_keys(0, 32), s0);  // shrink reuses
+  const NarrowF32Stream s1 = ws.acquire_scratch_narrow_f32(1, 64);
+  ASSERT_NE(s1.keys, nullptr);
+  ASSERT_NE(s1.vals, nullptr);
+  const PbWorkspace::Stats s = ws.stats();
+  EXPECT_EQ(s.scratch_allocations, 2u);
+  EXPECT_EQ(s.scratch_reuses, 1u);
+}
+
 TEST(Workspace, StatsCountGrowShrinkGrowSequences) {
   PbWorkspace ws;
   ws.acquire(1000);  // grow

@@ -241,8 +241,24 @@ pb::FormatPolicy parse_format(const std::string& name) {
   if (name == "auto") return pb::FormatPolicy::kAuto;
   if (name == "wide") return pb::FormatPolicy::kWide;
   if (name == "narrow") return pb::FormatPolicy::kNarrow;
+  if (name == "keyonly") return pb::FormatPolicy::kKeyOnly;
+  if (name == "f32") return pb::FormatPolicy::kF32;
   throw std::invalid_argument("unknown --format '" + name +
-                              "' (auto, wide, narrow)");
+                              "' (auto, wide, narrow, keyonly, f32)");
+}
+
+// Inside the library a format request is a preference (an illegal choice
+// falls back silently); an explicit --format from the user is strict —
+// requesting the 8 B key-only stream for a semiring that carries values
+// is an error, not a silent downgrade to 12 or 16 B.
+void check_format_legal(pb::FormatPolicy format, const std::string& semiring) {
+  if (format == pb::FormatPolicy::kKeyOnly &&
+      is_registered_semiring(semiring) && !semiring_value_free(semiring)) {
+    throw std::invalid_argument(
+        "--format keyonly requires a value-free semiring (bool_or_and, or a "
+        "runtime semiring registered with value_free = true); '" +
+        semiring + "' carries values — use wide, narrow or f32");
+  }
 }
 
 pb::PbSchedule parse_schedule(const std::string& name) {
@@ -264,6 +280,7 @@ int cmd_multiply(const Cli& cli) {
   const int repeat = static_cast<int>(cli.number("repeat", 0));
   const pb::FormatPolicy format =
       parse_format(cli.get("format").value_or("auto"));
+  if (cli.get("format")) check_format_legal(format, semiring);
   const pb::PbSchedule schedule =
       parse_schedule(cli.get("schedule").value_or("auto"));
   const SpGemmProblem problem = SpGemmProblem::multiply(a, b);
@@ -463,7 +480,8 @@ void usage() {
       "  gen      --kind er|rmat|banded --out FILE.mtx [--scale N --ef F --seed S]\n"
       "  stats    --a FILE.mtx\n"
       "  multiply --a FILE.mtx [--b FILE.mtx] [--algo NAME|auto] [--semiring NAME]\n"
-      "           [--format auto|wide|narrow] [--schedule auto|barrier|pipeline]\n"
+      "           [--format auto|wide|narrow|keyonly|f32]\n"
+      "           [--schedule auto|barrier|pipeline]\n"
       "           [--reps R] [--repeat N] [--out FILE.mtx]\n"
       "           [--mask FILE.mtx] [--complement]\n"
       "  semiring --a FILE.mtx [--name plus_max] [--algo auto] [--repeat N]\n"
