@@ -1,0 +1,144 @@
+// Robustness-machinery overhead gate: the PR 8 hardening (fault-injection
+// hooks on every phase boundary and budgeted allocation, cancellation
+// polling in the expand/sort inner loops, budget accounting in the
+// workspace) is compiled into ALL builds, so its cost when idle must be
+// noise.  This bench runs the fig7-style ER sweep through the executor
+// twice per point, interleaved rep by rep:
+//
+//   idle  — injector disarmed (one relaxed atomic load per hook), no
+//           deadline, no token: the default serving path.
+//   armed — injector enabled but never firing (allocation countdown far
+//           beyond any run) AND a linked cancel token with a far-future
+//           deadline, so every hook takes its slow path and every poll
+//           site reads the throttled clock — the worst non-faulting case.
+//
+// The gate (CI reads the JSON): geomean over points of
+// armed_mflops / idle_mflops >= 0.97, i.e. the armed machinery costs at
+// most ~3%.
+#include <cmath>
+#include <cstdint>
+
+#include "bench_sweeps.hpp"
+#include "common/cancel.hpp"
+#include "common/fault.hpp"
+#include "spgemm/executor.hpp"
+
+using namespace pbs;
+
+int main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  const std::vector<int> scales = args.get_int_list("scales", {12, 13});
+  const std::vector<int> efs = args.get_int_list("efs", {4, 8, 16});
+  const int reps = args.get_int("reps", 5);
+  const int warmup = args.get_int("warmup", 2);
+  const int threads = args.get_int("threads", 0);
+  if (threads > 0) set_threads(threads);
+
+  bench::print_header(
+      "Robustness overhead — armed-but-never-firing hooks vs idle hooks "
+      "on the fig7 ER sweep (executor path)",
+      "interleaved best-of-" + std::to_string(reps) +
+          " per mode; gate: geomean armed/idle >= 0.97");
+
+  bench::Table table({"scale", "ef", "flop", "idle(MF/s)", "armed(MF/s)",
+                      "armed/idle"});
+  bench::JsonSink json(args);
+
+  double ratio_product = 1.0;
+  int points = 0;
+
+  for (const int scale : scales) {
+    for (const int ef : efs) {
+      const mtx::CsrMatrix a = bench::make_random(
+          bench::MatrixKind::kEr, scale, ef,
+          1000 + static_cast<std::uint64_t>(scale));
+      const mtx::CsrMatrix b = bench::make_random(
+          bench::MatrixKind::kEr, scale, ef,
+          2000 + static_cast<std::uint64_t>(scale));
+      const SpGemmProblem problem = SpGemmProblem::multiply(a, b);
+      const nnz_t flop = mtx::count_flops(a, b);
+
+      SpGemmOp op;
+      op.algo = "pb";
+      SpGemmExecutor exec;
+      exec.prepare(problem, op);
+
+      // Never fires: no run allocates 2^62 times.  Re-armed before every
+      // armed rep in case a hook decremented the countdown.
+      const auto arm = [] {
+        FaultInjector::fail_alloc_after(std::int64_t{1} << 62);
+      };
+      CancelToken token;
+      token.set_timeout(std::chrono::hours(1));
+      RunOptions armed_ropts;
+      armed_ropts.cancel = &token;
+
+      const auto run_idle = [&] { (void)exec.run(problem, op); };
+      const auto run_armed = [&] { (void)exec.run(problem, op, armed_ropts); };
+
+      for (int i = 0; i < warmup; ++i) {
+        run_idle();
+        arm();
+        run_armed();
+        FaultInjector::reset();
+      }
+      double idle_best = 0, armed_best = 0;
+      Timer t;
+      for (int i = 0; i < reps; ++i) {
+        // Interleave and alternate order so drift (turbo, page cache)
+        // cannot systematically favor one mode.
+        for (const bool armed_first : {i % 2 == 0}) {
+          for (const int mode : {armed_first ? 1 : 0, armed_first ? 0 : 1}) {
+            if (mode == 0) {
+              FaultInjector::reset();
+              t.reset();
+              run_idle();
+              const double s = t.elapsed_s();
+              if (idle_best == 0 || s < idle_best) idle_best = s;
+            } else {
+              arm();
+              t.reset();
+              run_armed();
+              const double s = t.elapsed_s();
+              if (armed_best == 0 || s < armed_best) armed_best = s;
+            }
+          }
+        }
+      }
+      FaultInjector::reset();
+
+      const double idle_mflops =
+          static_cast<double>(flop) / idle_best / 1e6;
+      const double armed_mflops =
+          static_cast<double>(flop) / armed_best / 1e6;
+      const double ratio = armed_mflops / idle_mflops;
+      ratio_product *= ratio;
+      ++points;
+      table.row(scale, ef, static_cast<double>(flop), idle_mflops,
+                armed_mflops, ratio);
+      if (json.enabled()) {
+        json.add(bench::Json()
+                     .field("bench", std::string("robustness_overhead"))
+                     .field("scale", std::int64_t{scale})
+                     .field("ef", std::int64_t{ef})
+                     .field("flop", std::int64_t{flop})
+                     .field("idle_mflops", idle_mflops)
+                     .field("armed_mflops", armed_mflops)
+                     .field("ratio", ratio));
+      }
+    }
+  }
+
+  const double geomean =
+      points > 0 ? std::pow(ratio_product, 1.0 / points) : 0.0;
+  table.print(std::cout);
+  std::cout << "\n# armed/idle geomean over " << points
+            << " points: " << geomean << " (gate: >= 0.97)\n";
+  if (json.enabled()) {
+    json.add(bench::Json()
+                 .field("bench", std::string("robustness_overhead_summary"))
+                 .field("points", std::int64_t{points})
+                 .field("geomean_ratio", geomean));
+  }
+  return 0;
+}

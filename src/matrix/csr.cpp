@@ -1,8 +1,67 @@
 #include "matrix/csr.hpp"
 
 #include <cmath>
+#include <string>
+
+#include "common/errors.hpp"
 
 namespace pbs::mtx {
+
+CsrValidation csr_validate(const CsrMatrix& m, ValuePolicy policy) {
+  auto fail = [](std::string why) { return CsrValidation{false, std::move(why)}; };
+  if (m.nrows < 0 || m.ncols < 0) {
+    return fail("negative dimensions (" + std::to_string(m.nrows) + " x " +
+                std::to_string(m.ncols) + ")");
+  }
+  if (m.rowptr.size() != static_cast<std::size_t>(m.nrows) + 1) {
+    return fail("rowptr has " + std::to_string(m.rowptr.size()) +
+                " entries, expected nrows + 1 = " +
+                std::to_string(m.nrows + 1));
+  }
+  if (m.rowptr.front() != 0) {
+    return fail("rowptr[0] = " + std::to_string(m.rowptr.front()) +
+                ", expected 0");
+  }
+  const nnz_t n = m.rowptr.back();
+  if (n < 0 || m.colids.size() != static_cast<std::size_t>(n) ||
+      m.vals.size() != static_cast<std::size_t>(n)) {
+    return fail("rowptr.back() = " + std::to_string(n) + " but colids/vals " +
+                "hold " + std::to_string(m.colids.size()) + "/" +
+                std::to_string(m.vals.size()) + " entries");
+  }
+  for (std::size_t r = 0; r < static_cast<std::size_t>(m.nrows); ++r) {
+    if (m.rowptr[r] > m.rowptr[r + 1]) {
+      return fail("rowptr not monotone at row " + std::to_string(r) + " (" +
+                  std::to_string(m.rowptr[r]) + " > " +
+                  std::to_string(m.rowptr[r + 1]) + ")");
+    }
+    for (nnz_t i = m.rowptr[r]; i < m.rowptr[r + 1]; ++i) {
+      const index_t col = m.colids[static_cast<std::size_t>(i)];
+      if (col < 0 || col >= m.ncols) {
+        return fail("column id " + std::to_string(col) + " out of [0, " +
+                    std::to_string(m.ncols) + ") at row " +
+                    std::to_string(r) + ", entry " + std::to_string(i));
+      }
+      if (i > m.rowptr[r] &&
+          m.colids[static_cast<std::size_t>(i) - 1] >= col) {
+        return fail("column ids not strictly sorted in row " +
+                    std::to_string(r) + " at entry " + std::to_string(i));
+      }
+      if (policy == ValuePolicy::kFinite &&
+          !std::isfinite(m.vals[static_cast<std::size_t>(i)])) {
+        return fail("non-finite value at row " + std::to_string(r) +
+                    ", entry " + std::to_string(i));
+      }
+    }
+  }
+  return {};
+}
+
+void csr_validate_or_throw(const CsrMatrix& m, const std::string& what,
+                           ValuePolicy policy) {
+  const CsrValidation v = csr_validate(m, policy);
+  if (!v.ok) throw ValidationError(what + ": " + v.error);
+}
 
 bool CsrMatrix::valid() const {
   if (nrows < 0 || ncols < 0) return false;

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/types.hpp"
@@ -54,6 +55,35 @@ struct CsrMatrix {
   /// Diagonal matrix from d.
   static CsrMatrix diagonal(std::span<const value_t> d);
 };
+
+/// Value acceptance policy of csr_validate.  kAny admits every double
+/// (MinPlus/MaxMin legitimately carry ±inf); kFinite rejects NaN and
+/// infinities — the right policy for numeric (+, ×) ingress and for
+/// freshly parsed files.
+enum class ValuePolicy { kAny, kFinite };
+
+/// Diagnostic outcome of csr_validate: `ok`, or the first violation
+/// described well enough to act on (row, index, observed value).
+struct CsrValidation {
+  bool ok = true;
+  std::string error;
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Full structural audit of `m`: consistent array sizes, monotone
+/// in-bounds rowptr, in-range strictly-sorted column ids per row, and —
+/// under ValuePolicy::kFinite — finite values.  Unlike CsrMatrix::valid()
+/// this reports WHERE the structure is broken, so ingress layers can
+/// reject hostile or corrupt matrices with a usable diagnostic instead
+/// of computing undefined results.
+CsrValidation csr_validate(const CsrMatrix& m,
+                           ValuePolicy policy = ValuePolicy::kAny);
+
+/// Throwing form: raises ValidationError("<what>: <violation>") on the
+/// first violation; returns normally on a well-formed matrix.
+void csr_validate_or_throw(const CsrMatrix& m, const std::string& what,
+                           ValuePolicy policy = ValuePolicy::kAny);
 
 /// Exact structural + value equality.
 bool equal_exact(const CsrMatrix& a, const CsrMatrix& b);

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -71,6 +73,14 @@ CooMatrix read_matrix_market(std::istream& in, const std::string& name) {
   }
   if (nrows < 0 || ncols < 0 || nentries < 0)
     fail(name, lineno, "negative dimension");
+  // The library indexes with 32-bit index_t: a size line past that range
+  // would silently truncate in the cast below and route every entry's
+  // bounds check through wrong dimensions.
+  constexpr long kMaxDim = std::numeric_limits<index_t>::max();
+  if (nrows > kMaxDim || ncols > kMaxDim)
+    fail(name, lineno,
+         "dimension exceeds the 32-bit index limit (" +
+             std::to_string(kMaxDim) + ")");
 
   CooMatrix coo(static_cast<index_t>(nrows), static_cast<index_t>(ncols));
   coo.reserve(sym == Symmetry::kGeneral ? nentries : 2 * nentries);
@@ -90,6 +100,11 @@ CooMatrix read_matrix_market(std::istream& in, const std::string& name) {
     if (!(es >> r1 >> c1)) fail(name, lineno, "malformed entry");
     if (field != Field::kPattern && !(es >> v))
       fail(name, lineno, "entry missing value");
+    // Reject nan/inf at the boundary: downstream kernels assume ordinary
+    // arithmetic (a NaN would silently poison compress merges), and a
+    // file carrying them is corrupt far more often than intentional.
+    if (!std::isfinite(v))
+      fail(name, lineno, "non-finite value");
     if (r1 < 1 || r1 > nrows || c1 < 1 || c1 > ncols)
       fail(name, lineno, "index out of bounds");
     const auto r = static_cast<index_t>(r1 - 1);

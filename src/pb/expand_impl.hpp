@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/aligned_buffer.hpp"
+#include "common/cancel.hpp"
 
 namespace pbs::pb {
 
@@ -126,6 +127,10 @@ nnz_t expand_team(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
 
 #pragma omp for schedule(guided) nowait
   for (index_t i = 0; i < a.ncols; ++i) {
+    // Cooperative cancellation at column granularity (`break` is illegal
+    // in an omp for; skipped columns just leave their bins short, and the
+    // caller raises the typed error after the join).
+    if (stop_requested(cfg.cancel)) continue;
     const auto arows = a.col_rows(i);
     const auto avals = a.col_vals(i);
     const auto bcols = b.row_cols(i);
@@ -171,7 +176,8 @@ nnz_t expand_impl(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
     flushes += expand_team<P, S>(a, b, sym, cfg, out, cursor.data(), sink);
   }
 
-  if (cfg.validate) {
+  if (cfg.validate &&
+      !(cfg.cancel != nullptr && cfg.cancel->stop_requested_now())) {
     for (std::size_t bin = 0; bin < nbins; ++bin) {
       if (cursor[bin].load(std::memory_order_relaxed) !=
           sym.bin_offsets[bin] + sym.bin_fill[bin]) {
@@ -227,6 +233,10 @@ nnz_t expand_narrow_team(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
 
 #pragma omp for schedule(guided) nowait
   for (index_t i = 0; i < a.ncols; ++i) {
+    // Cooperative cancellation at column granularity (`break` is illegal
+    // in an omp for; skipped columns just leave their bins short, and the
+    // caller raises the typed error after the join).
+    if (stop_requested(cfg.cancel)) continue;
     const auto arows = a.col_rows(i);
     const auto avals = a.col_vals(i);
     const auto bcols = b.row_cols(i);
@@ -280,7 +290,8 @@ nnz_t expand_narrow_impl(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
                                         cursor.data(), sink);
   }
 
-  if (cfg.validate) {
+  if (cfg.validate &&
+      !(cfg.cancel != nullptr && cfg.cancel->stop_requested_now())) {
     for (std::size_t bin = 0; bin < nbins; ++bin) {
       if (cursor[bin].load(std::memory_order_relaxed) !=
           sym.bin_offsets[bin] + sym.bin_fill[bin]) {
@@ -326,6 +337,10 @@ nnz_t expand_keyonly_team(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
 
 #pragma omp for schedule(guided) nowait
   for (index_t i = 0; i < a.ncols; ++i) {
+    // Cooperative cancellation at column granularity (`break` is illegal
+    // in an omp for; skipped columns just leave their bins short, and the
+    // caller raises the typed error after the join).
+    if (stop_requested(cfg.cancel)) continue;
     const auto arows = a.col_rows(i);
     const auto bcols = b.row_cols(i);
     if (bcols.empty()) continue;
@@ -371,7 +386,8 @@ nnz_t expand_keyonly_impl(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
                                       sink);
   }
 
-  if (cfg.validate) {
+  if (cfg.validate &&
+      !(cfg.cancel != nullptr && cfg.cancel->stop_requested_now())) {
     for (std::size_t bin = 0; bin < nbins; ++bin) {
       if (cursor[bin].load(std::memory_order_relaxed) !=
           sym.bin_offsets[bin] + sym.bin_fill[bin]) {
@@ -424,6 +440,10 @@ nnz_t expand_narrow_f32_team(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
 
 #pragma omp for schedule(guided) nowait
   for (index_t i = 0; i < a.ncols; ++i) {
+    // Cooperative cancellation at column granularity (`break` is illegal
+    // in an omp for; skipped columns just leave their bins short, and the
+    // caller raises the typed error after the join).
+    if (stop_requested(cfg.cancel)) continue;
     const auto arows = a.col_rows(i);
     const auto avals = a.col_vals(i);
     const auto bcols = b.row_cols(i);
@@ -476,7 +496,8 @@ nnz_t expand_narrow_f32_impl(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
                                             out_vals, cursor.data(), sink);
   }
 
-  if (cfg.validate) {
+  if (cfg.validate &&
+      !(cfg.cancel != nullptr && cfg.cancel->stop_requested_now())) {
     for (std::size_t bin = 0; bin < nbins; ++bin) {
       if (cursor[bin].load(std::memory_order_relaxed) !=
           sym.bin_offsets[bin] + sym.bin_fill[bin]) {

@@ -1,5 +1,6 @@
 #include "pb/output.hpp"
 
+#include "common/cancel.hpp"
 #include "common/prefix_sum.hpp"
 
 namespace pbs::pb {
@@ -58,7 +59,8 @@ void build_narrow_any(const narrow_key_t* keys, const VIn* vals_in,
                       std::span<const nnz_t> offsets,
                       std::span<const nnz_t> merged, const BinLayout& layout,
                       int col_bits, index_t nrows, nnz_t* rowptr,
-                      std::vector<index_t>& colids, std::vector<VOut>& vals) {
+                      std::vector<index_t>& colids, std::vector<VOut>& vals,
+                      const CancelToken* cancel) {
   const auto nbins = static_cast<int>(merged.size());
 
   // Pass 1: per-row counts from the key array alone — the narrow format's
@@ -66,10 +68,12 @@ void build_narrow_any(const narrow_key_t* keys, const VIn* vals_in,
   // as the wide path: bins never share a row.
 #pragma omp parallel for schedule(dynamic, 1)
   for (int bin = 0; bin < nbins; ++bin) {
+    if (stop_requested(cancel)) continue;
     pb_count_bin_narrow(keys + offsets[static_cast<std::size_t>(bin)],
                         merged[static_cast<std::size_t>(bin)], bin, layout,
                         col_bits, rowptr);
   }
+  throw_if_stopped(cancel);
 
   const nnz_t total =
       counts_to_rowptr(rowptr, static_cast<std::size_t>(nrows));
@@ -78,11 +82,13 @@ void build_narrow_any(const narrow_key_t* keys, const VIn* vals_in,
 
 #pragma omp parallel for schedule(dynamic, 1)
   for (int bin = 0; bin < nbins; ++bin) {
+    if (stop_requested(cancel)) continue;
     const nnz_t off = offsets[static_cast<std::size_t>(bin)];
     scatter_bin_narrow_any(keys + off, vals_in + off,
                            merged[static_cast<std::size_t>(bin)], bin, layout,
                            col_bits, rowptr, colids.data(), vals.data());
   }
+  throw_if_stopped(cancel);
 }
 
 }  // namespace
@@ -168,7 +174,7 @@ void pb_scatter_bin_keyonly(const wide_key_t* bin_keys, nnz_t merged,
 mtx::CsrMatrix pb_build_csr(const Tuple* tuples,
                             std::span<const nnz_t> offsets,
                             std::span<const nnz_t> merged, index_t nrows,
-                            index_t ncols) {
+                            index_t ncols, const CancelToken* cancel) {
   const auto nbins = static_cast<int>(merged.size());
   mtx::CsrMatrix out(nrows, ncols);
 
@@ -176,9 +182,11 @@ mtx::CsrMatrix pb_build_csr(const Tuple* tuples,
   // bins can histogram into the shared rowptr array without atomics.
 #pragma omp parallel for schedule(dynamic, 1)
   for (int bin = 0; bin < nbins; ++bin) {
+    if (stop_requested(cancel)) continue;
     pb_count_bin(tuples + offsets[static_cast<std::size_t>(bin)],
                  merged[static_cast<std::size_t>(bin)], out.rowptr.data());
   }
+  throw_if_stopped(cancel);
 
   const nnz_t total =
       counts_to_rowptr(out.rowptr.data(), static_cast<std::size_t>(nrows));
@@ -188,10 +196,12 @@ mtx::CsrMatrix pb_build_csr(const Tuple* tuples,
   // Pass 2: scatter.  Rows being bin-exclusive makes the writes race-free.
 #pragma omp parallel for schedule(dynamic, 1)
   for (int bin = 0; bin < nbins; ++bin) {
+    if (stop_requested(cancel)) continue;
     pb_scatter_bin(tuples + offsets[static_cast<std::size_t>(bin)],
                    merged[static_cast<std::size_t>(bin)], out.rowptr.data(),
                    out.colids.data(), out.vals.data());
   }
+  throw_if_stopped(cancel);
 
   return out;
 }
@@ -201,10 +211,11 @@ mtx::CsrMatrix pb_build_csr_narrow(const narrow_key_t* keys,
                                    std::span<const nnz_t> offsets,
                                    std::span<const nnz_t> merged,
                                    const BinLayout& layout, int col_bits,
-                                   index_t nrows, index_t ncols) {
+                                   index_t nrows, index_t ncols,
+                                   const CancelToken* cancel) {
   mtx::CsrMatrix out(nrows, ncols);
   build_narrow_any(keys, vals, offsets, merged, layout, col_bits, nrows,
-                   out.rowptr.data(), out.colids, out.vals);
+                   out.rowptr.data(), out.colids, out.vals, cancel);
   return out;
 }
 
@@ -213,10 +224,11 @@ mtx::CsrMatrix pb_build_csr_narrow_f32(const narrow_key_t* keys,
                                        std::span<const nnz_t> offsets,
                                        std::span<const nnz_t> merged,
                                        const BinLayout& layout, int col_bits,
-                                       index_t nrows, index_t ncols) {
+                                       index_t nrows, index_t ncols,
+                                       const CancelToken* cancel) {
   mtx::CsrMatrix out(nrows, ncols);
   build_narrow_any(keys, vals, offsets, merged, layout, col_bits, nrows,
-                   out.rowptr.data(), out.colids, out.vals);
+                   out.rowptr.data(), out.colids, out.vals, cancel);
   return out;
 }
 
@@ -231,7 +243,7 @@ CsrF32 pb_build_csr_narrow_f32_native(const narrow_key_t* keys,
   out.ncols = ncols;
   out.rowptr.assign(static_cast<std::size_t>(nrows) + 1, 0);
   build_narrow_any(keys, vals, offsets, merged, layout, col_bits, nrows,
-                   out.rowptr.data(), out.colids, out.vals);
+                   out.rowptr.data(), out.colids, out.vals, nullptr);
   return out;
 }
 
@@ -239,7 +251,8 @@ mtx::CsrMatrix pb_build_csr_keyonly(const wide_key_t* keys,
                                     std::span<const nnz_t> offsets,
                                     std::span<const nnz_t> merged,
                                     index_t nrows, index_t ncols,
-                                    value_t present) {
+                                    value_t present,
+                                    const CancelToken* cancel) {
   const auto nbins = static_cast<int>(merged.size());
   mtx::CsrMatrix out(nrows, ncols);
 
@@ -247,10 +260,12 @@ mtx::CsrMatrix pb_build_csr_keyonly(const wide_key_t* keys,
   // reads 8 B per surviving tuple and the scatter synthesizes values.
 #pragma omp parallel for schedule(dynamic, 1)
   for (int bin = 0; bin < nbins; ++bin) {
+    if (stop_requested(cancel)) continue;
     pb_count_bin_keyonly(keys + offsets[static_cast<std::size_t>(bin)],
                          merged[static_cast<std::size_t>(bin)],
                          out.rowptr.data());
   }
+  throw_if_stopped(cancel);
 
   const nnz_t total =
       counts_to_rowptr(out.rowptr.data(), static_cast<std::size_t>(nrows));
@@ -259,11 +274,13 @@ mtx::CsrMatrix pb_build_csr_keyonly(const wide_key_t* keys,
 
 #pragma omp parallel for schedule(dynamic, 1)
   for (int bin = 0; bin < nbins; ++bin) {
+    if (stop_requested(cancel)) continue;
     pb_scatter_bin_keyonly(keys + offsets[static_cast<std::size_t>(bin)],
                            merged[static_cast<std::size_t>(bin)],
                            out.rowptr.data(), out.colids.data(),
                            out.vals.data(), present);
   }
+  throw_if_stopped(cancel);
 
   return out;
 }

@@ -13,12 +13,18 @@
 #include <span>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "matrix/csr.hpp"
 #include "pb/binning.hpp"
 #include "pb/pb_config.hpp"
 #include "pb/tuple.hpp"
 
 namespace pbs::pb {
+
+// The batch builders below accept an optional CancelToken, polled at bin
+// granularity: cancelled bins are skipped (their partial output is about
+// to be discarded) and the token's typed error is raised once the
+// parallel sweeps join — throwing from inside an `omp for` is illegal.
 
 /// A CSR matrix with single-precision values — the native output of a
 /// narrow-f32 plan when the caller asks for it (the default conversion
@@ -42,7 +48,8 @@ struct CsrF32 {
 mtx::CsrMatrix pb_build_csr(const Tuple* tuples,
                             std::span<const nnz_t> offsets,
                             std::span<const nnz_t> merged, index_t nrows,
-                            index_t ncols);
+                            index_t ncols,
+                            const CancelToken* cancel = nullptr);
 
 // --- Per-bin streaming primitives --------------------------------------
 //
@@ -84,7 +91,8 @@ mtx::CsrMatrix pb_build_csr_narrow(const narrow_key_t* keys,
                                    std::span<const nnz_t> offsets,
                                    std::span<const nnz_t> merged,
                                    const BinLayout& layout, int col_bits,
-                                   index_t nrows, index_t ncols);
+                                   index_t nrows, index_t ncols,
+                                   const CancelToken* cancel = nullptr);
 
 /// Key-only per-bin count: the stream is bare wide keys, read 8 B each.
 void pb_count_bin_keyonly(const wide_key_t* bin_keys, nnz_t merged,
@@ -106,7 +114,8 @@ mtx::CsrMatrix pb_build_csr_keyonly(const wide_key_t* keys,
                                     std::span<const nnz_t> offsets,
                                     std::span<const nnz_t> merged,
                                     index_t nrows, index_t ncols,
-                                    value_t present = 1.0);
+                                    value_t present = 1.0,
+                                    const CancelToken* cancel = nullptr);
 
 /// Narrow-f32 per-bin scatter: values widen f32 → f64 on the way out.
 /// (The count pass is pb_count_bin_narrow — it reads only the key array,
@@ -123,7 +132,8 @@ mtx::CsrMatrix pb_build_csr_narrow_f32(const narrow_key_t* keys,
                                        std::span<const nnz_t> offsets,
                                        std::span<const nnz_t> merged,
                                        const BinLayout& layout, int col_bits,
-                                       index_t nrows, index_t ncols);
+                                       index_t nrows, index_t ncols,
+                                       const CancelToken* cancel = nullptr);
 
 /// Narrow-f32 conversion to a *native* f32 CSR — no widening pass, for
 /// callers whose whole workload is single precision.

@@ -17,6 +17,10 @@
 #include "matrix/csr.hpp"
 #include "pb/tuple.hpp"
 
+namespace pbs {
+class CancelToken;
+}
+
 namespace pbs::pb {
 
 enum class BinPolicy {
@@ -102,6 +106,14 @@ struct PbConfig {
 
   /// Extra O(flop) invariant checks after each phase (tests only).
   bool validate = false;
+
+  /// Cooperative cancellation/deadline token for THIS run, polled at
+  /// column granularity in expand and bin granularity in sort/compress
+  /// and convert.  Per-run state: plans never store a live token
+  /// (pb_plan_build clears it), and the plan/execute entry points take
+  /// the token as an explicit parameter and thread it through a run-local
+  /// config copy.  nullptr = never cancelled.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Output-mask request threaded through the pipeline (an SpGemmOp mask

@@ -39,7 +39,11 @@
 #include <string>
 #include <vector>
 
+#include <atomic>
+
 #include "common/aligned_buffer.hpp"
+#include "common/errors.hpp"
+#include "common/fault.hpp"
 #include "matrix/csc.hpp"
 #include "matrix/csr.hpp"
 #include "pb/pb_config.hpp"
@@ -47,6 +51,36 @@
 #include "spgemm/semiring_ops.hpp"
 
 namespace pbs::pb {
+
+/// Shared byte budget for workspace memory (tuple pools + sort scratch).
+/// `cap == 0` means unlimited.  Workspaces charge growth before they
+/// allocate and release on destruction, so `used` tracks the pool-wide
+/// retained footprint; a growth that would push `used` past `cap` is
+/// rejected and surfaces as MemoryBudgetError, which the executor's
+/// degradation path treats like a real bad_alloc.
+struct MemoryBudget {
+  std::size_t cap = 0;
+  std::atomic<std::size_t> used{0};
+
+  [[nodiscard]] bool try_reserve(std::size_t delta) noexcept {
+    if (cap == 0) {
+      used.fetch_add(delta, std::memory_order_relaxed);
+      return true;
+    }
+    std::size_t cur = used.load(std::memory_order_relaxed);
+    while (true) {
+      if (cur + delta > cap) return false;
+      if (used.compare_exchange_weak(cur, cur + delta,
+                                     std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+  }
+
+  void release(std::size_t delta) noexcept {
+    used.fetch_sub(delta, std::memory_order_relaxed);
+  }
+};
 
 /// The narrow tuple stream: parallel key/value arrays carved from one
 /// workspace allocation (SoA counterpart of `Tuple*`; see pb/tuple.hpp).
@@ -98,7 +132,48 @@ class PbWorkspace {
     std::uint64_t scratch_allocations = 0;  ///< ditto for sort scratch slots
     std::uint64_t scratch_reuses = 0;
     std::size_t peak_request = 0;   ///< largest tuple count ever requested
+    std::uint64_t budget_rejections = 0;  ///< growths refused by the budget
   };
+
+  PbWorkspace() = default;
+  PbWorkspace(const PbWorkspace&) = delete;
+  PbWorkspace& operator=(const PbWorkspace&) = delete;
+
+  // Movable (PartitionedPlan holds workspaces by value): the source hands
+  // over its buffers AND its budget charge — its members are left empty,
+  // so its destructor releases nothing.
+  PbWorkspace(PbWorkspace&& other) noexcept
+      : buf_(std::move(other.buf_)),
+        scratch_(std::move(other.scratch_)),
+        stats_(other.stats_),
+        fresh_(other.fresh_),
+        budget_(other.budget_) {
+    other.scratch_.clear();
+    other.budget_ = nullptr;
+  }
+
+  PbWorkspace& operator=(PbWorkspace&& other) noexcept {
+    if (this != &other) {
+      release_budget_charge();
+      buf_ = std::move(other.buf_);
+      scratch_ = std::move(other.scratch_);
+      stats_ = other.stats_;
+      fresh_ = other.fresh_;
+      budget_ = other.budget_;
+      other.scratch_.clear();
+      other.budget_ = nullptr;
+    }
+    return *this;
+  }
+
+  ~PbWorkspace() { release_budget_charge(); }
+
+  /// Attaches a shared byte budget; every subsequent growth is charged
+  /// against it and a growth that would exceed `budget->cap` throws
+  /// MemoryBudgetError instead of allocating.  Call before the first
+  /// acquire (the pool does, at construction); the budget must outlive
+  /// this workspace.
+  void set_budget(MemoryBudget* budget) { budget_ = budget; }
 
   /// Wide-format buffer for at least n tuples; contents undefined.  Grows
   /// geometrically, never shrinks.
@@ -259,22 +334,56 @@ class PbWorkspace {
             reinterpret_cast<f32_val_t*>(base + key_span(n))};
   }
 
-  static std::byte* ensure(AlignedBuffer<std::byte>& buf,
-                           std::uint64_t& allocations, std::uint64_t& reuses,
-                           std::size_t bytes) {
+  std::byte* ensure(AlignedBuffer<std::byte>& buf, std::uint64_t& allocations,
+                    std::uint64_t& reuses, std::size_t bytes) {
     if (bytes > buf.size()) {
       ++allocations;
-      buf.allocate(std::max(bytes, buf.size() + buf.size() / 2));
+      grow(buf, std::max(bytes, buf.size() + buf.size() / 2));
     } else {
       ++reuses;
     }
     return buf.data();
   }
 
+  /// Grows `buf` to `target` elements, charging the budget first.  The
+  /// invariant is charged-per-buffer == buf.size(): growth charges the
+  /// delta; a failed aligned_alloc leaves the buffer empty (allocate
+  /// frees the old block before allocating), so the whole `target`
+  /// charge is released on the way out.
+  void grow(AlignedBuffer<std::byte>& buf, std::size_t target) {
+    FaultInjector::on_alloc(target);
+    if (budget_ != nullptr && !budget_->try_reserve(target - buf.size())) {
+      ++stats_.budget_rejections;
+      throw MemoryBudgetError(
+          "pb workspace growth to " + std::to_string(target) +
+          " bytes exceeds the memory budget (cap " +
+          std::to_string(budget_->cap) + ", used " +
+          std::to_string(budget_->used.load(std::memory_order_relaxed)) +
+          ")");
+    }
+    try {
+      buf.allocate(target);
+    } catch (...) {
+      if (budget_ != nullptr) budget_->release(target);
+      throw;
+    }
+  }
+
+  /// Returns this workspace's entire charge to the budget (destructor /
+  /// move-assign target teardown).
+  void release_budget_charge() noexcept {
+    if (budget_ == nullptr) return;
+    std::size_t held = buf_.size();
+    for (const ScratchSlot& s : scratch_) held += s.buf.size();
+    if (held > 0) budget_->release(held);
+    budget_ = nullptr;
+  }
+
   AlignedBuffer<std::byte> buf_;
   std::vector<ScratchSlot> scratch_;
   Stats stats_;
   bool fresh_ = false;
+  MemoryBudget* budget_ = nullptr;
 };
 
 /// Multiplies A (CSC) by B (CSR) over semiring S.  Requires

@@ -31,8 +31,11 @@ PbResult pb_spgemm(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
   if (!cfg2.value_free) cfg2.value_free = semiring_is_value_free<S>();
   const PbPlan plan = pb_plan_build(a, b, cfg2);
   // The plan was built from these exact operands: skip the fingerprint.
-  PbResult result =
-      pb_execute<S>(a, b, plan, workspace, /*check_fingerprint=*/false);
+  // The caller's token rides cfg (pb_plan_build stores nullptr; the run
+  // gets the live one as pb_execute's explicit parameter).
+  PbResult result = pb_execute<S>(a, b, plan, workspace,
+                                  /*check_fingerprint=*/false, MaskSpec{},
+                                  cfg.cancel);
   // A fresh multiply pays the analysis in-line; a reused plan pays it once
   // at build time (pb_execute leaves the symbolic phase at zero).
   result.stats.symbolic = plan.symbolic;

@@ -36,12 +36,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
 #include <memory>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/cancel.hpp"
+#include "common/fault.hpp"
 #include "common/parallel.hpp"
 #include "common/prefix_sum.hpp"
 #include "common/timer.hpp"
@@ -176,10 +179,19 @@ struct PipelineThreadStats {
 
 /// Pipelined pb_execute backend.  Same contract and result as the barrier
 /// path (fingerprint and mask shape already checked by the caller).
+///
+/// Robustness: an internal abort token (linked to the caller's `cancel`)
+/// is the region's single unwind signal.  Expand polls it per column, the
+/// worker loop per iteration; any in-region exception is captured once,
+/// fires the abort, and every thread drains to the join — throwing across
+/// an OpenMP region boundary is undefined, and a cancelled expand leaves
+/// bins forever unpublished, so the steal loop must not wait on
+/// bins_remaining alone.
 template <typename S>
 PbResult pb_execute_pipeline(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
                              const PbPlan& plan, PbWorkspace& workspace,
-                             const MaskSpec& mask) {
+                             const MaskSpec& mask,
+                             const CancelToken* cancel = nullptr) {
   const SymbolicResult& sym = plan.sym;
   const TupleFormat fmt = sym.format;
   const auto nbins = static_cast<std::size_t>(sym.layout.nbins);
@@ -246,6 +258,14 @@ PbResult pb_execute_pipeline(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
   std::vector<detail::PipelineThreadStats> tstats(
       static_cast<std::size_t>(nthreads));
 
+  // Single unwind signal for the whole region (see the function comment);
+  // expand reads it through the run-local config below.
+  CancelToken abort;
+  abort.link(cancel);
+  PbConfig run_cfg = plan.cfg;
+  run_cfg.cancel = &abort;
+  std::exception_ptr error;
+
   // The result CSR is built incrementally: tasks count rows into
   // rowptr[row + 1] while their bin is cache-hot (race-free — no row spans
   // two bins), and only the prefix sum + scatter run after the join.
@@ -267,32 +287,46 @@ PbResult pb_execute_pipeline(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
     detail::PipelineThreadStats& ts = tstats[utid];
 
     // Per-thread sort scratch, acquired once (slot reuse across tasks).
+    // Acquisition can throw (budget rejection, injected OOM); the thread
+    // must still reach expand's worksharing construct, so failure is
+    // captured here and the thread runs the region as a no-op.
+    bool ok = true;
     Tuple* wide_scratch = nullptr;
     NarrowStream narrow_scratch;
     NarrowF32Stream f32_scratch;
     wide_key_t* key_scratch = nullptr;
-    switch (fmt) {
-      case TupleFormat::kNarrow:
-        narrow_scratch = workspace.acquire_scratch_narrow(
-            utid, static_cast<std::size_t>(max_bin));
-        break;
-      case TupleFormat::kNarrowF32:
-        f32_scratch = workspace.acquire_scratch_narrow_f32(
-            utid, static_cast<std::size_t>(max_bin));
-        break;
-      case TupleFormat::kKeyOnly:
-        key_scratch = workspace.acquire_scratch_keys(
-            utid, static_cast<std::size_t>(max_bin));
-        break;
-      case TupleFormat::kWide:
-        wide_scratch =
-            workspace.acquire_scratch(utid, static_cast<std::size_t>(max_bin));
-        break;
+    try {
+      switch (fmt) {
+        case TupleFormat::kNarrow:
+          narrow_scratch = workspace.acquire_scratch_narrow(
+              utid, static_cast<std::size_t>(max_bin));
+          break;
+        case TupleFormat::kNarrowF32:
+          f32_scratch = workspace.acquire_scratch_narrow_f32(
+              utid, static_cast<std::size_t>(max_bin));
+          break;
+        case TupleFormat::kKeyOnly:
+          key_scratch = workspace.acquire_scratch_keys(
+              utid, static_cast<std::size_t>(max_bin));
+          break;
+        case TupleFormat::kWide:
+          wide_scratch = workspace.acquire_scratch(
+              utid, static_cast<std::size_t>(max_bin));
+          break;
+      }
+    } catch (...) {
+      ok = false;
+#pragma omp critical(pbs_pipeline_error)
+      {
+        if (error == nullptr) error = std::current_exception();
+      }
+      abort.request_cancel();
     }
 
     // One bin's task: sort + compress + mask filter + row count, back to
     // back while the bin is cache-hot.
     auto run_task = [&](int bin) {
+      FaultInjector::on_bin();
       const auto ubin = static_cast<std::size_t>(bin);
       const double t0 = omp_get_wtime();
       const nnz_t off = sym.bin_offsets[ubin];
@@ -360,6 +394,20 @@ PbResult pb_execute_pipeline(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
       bins_remaining.fetch_sub(1, std::memory_order_acq_rel);
     };
 
+    // Task exceptions must not cross the region join: capture the first,
+    // fire the abort, and let every worker drain out.
+    auto try_run = [&](int bin) {
+      try {
+        run_task(bin);
+      } catch (...) {
+#pragma omp critical(pbs_pipeline_error)
+        {
+          if (error == nullptr) error = std::current_exception();
+        }
+        abort.request_cancel();
+      }
+    };
+
     detail::PipelineSink sink{done.data(), sym.bin_fill.data(),
                               ready_ts.data(), completer.data(),
                               deques[utid].get(), tid};
@@ -370,19 +418,19 @@ PbResult pb_execute_pipeline(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
     const double e0 = omp_get_wtime();
     switch (fmt) {
       case TupleFormat::kNarrow:
-        detail::expand_narrow_team_any<S>(a, b, sym, plan.cfg, ns.keys,
+        detail::expand_narrow_team_any<S>(a, b, sym, run_cfg, ns.keys,
                                           ns.vals, cursor.data(), sink);
         break;
       case TupleFormat::kNarrowF32:
-        detail::expand_narrow_f32_team_any<S>(a, b, sym, plan.cfg, nf.keys,
+        detail::expand_narrow_f32_team_any<S>(a, b, sym, run_cfg, nf.keys,
                                               nf.vals, cursor.data(), sink);
         break;
       case TupleFormat::kKeyOnly:
-        detail::expand_keyonly_team_any(a, b, sym, plan.cfg, keys_only,
+        detail::expand_keyonly_team_any(a, b, sym, run_cfg, keys_only,
                                         cursor.data(), sink);
         break;
       case TupleFormat::kWide:
-        detail::expand_team_any<S>(a, b, sym, plan.cfg, expanded,
+        detail::expand_team_any<S>(a, b, sym, run_cfg, expanded,
                                    cursor.data(), sink);
         break;
     }
@@ -390,11 +438,14 @@ PbResult pb_execute_pipeline(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
 
     // Worker loop: own deque first (LIFO — most recently flushed bin,
     // warmest), then steal FIFO round-robin.  Runs until every nonempty
-    // bin has been processed by someone.
+    // bin has been processed by someone — or the abort fires (a cancelled
+    // expand leaves bins unpublished, so bins_remaining alone would spin
+    // forever).
     int bin = -1;
-    while (bins_remaining.load(std::memory_order_acquire) > 0) {
+    while (ok && bins_remaining.load(std::memory_order_acquire) > 0) {
+      if (abort.stop_requested_now()) break;
       if (deques[utid]->pop(bin)) {
-        run_task(bin);
+        try_run(bin);
         continue;
       }
       bool got = false;
@@ -403,13 +454,19 @@ PbResult pb_execute_pipeline(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
             bin);
       }
       if (got) {
-        run_task(bin);
+        try_run(bin);
       } else {
         // Bins still in flight inside other threads' expand: let them run.
         std::this_thread::yield();
       }
     }
   }
+
+  // Unwind before the validate pass: a cancelled or faulted region leaves
+  // cursors/done counters legitimately short of their fill marks, and the
+  // typed error must win over the (misleading) logic_error.
+  if (error != nullptr) std::rethrow_exception(error);
+  throw_if_stopped(cancel);
 
   if (plan.cfg.validate) {
     for (std::size_t bin = 0; bin < nbins; ++bin) {
@@ -437,6 +494,9 @@ PbResult pb_execute_pipeline(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
   c.vals.resize(static_cast<std::size_t>(total));
 #pragma omp parallel for schedule(dynamic, 1)
   for (int bin = 0; bin < sym.layout.nbins; ++bin) {
+    // Deadline may expire inside the tail: skip the remaining bins (the
+    // partial CSR is discarded) and raise after the join.
+    if (stop_requested(cancel)) continue;
     const auto ubin = static_cast<std::size_t>(bin);
     const nnz_t off = sym.bin_offsets[ubin];
     switch (fmt) {
@@ -461,6 +521,7 @@ PbResult pb_execute_pipeline(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
         break;
     }
   }
+  throw_if_stopped(cancel);
   const double tail_wall = tail_timer.elapsed_s();
   result.c = std::move(c);
 

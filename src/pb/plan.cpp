@@ -70,10 +70,14 @@ PbPlan pb_plan_build(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
 
 PbPlan pb_plan_build(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
                      const PbConfig& cfg, const SymbolicHints& hints) {
+  FaultInjector::at(FaultPoint::kPlanBuild);
   PbPlan plan;
   Timer timer;
   plan.sym = pb_symbolic(a, b, cfg, hints);  // throws on dimension mismatch
   plan.cfg = cfg;
+  // A cancel token is per-run state; the plan outlives any run, so never
+  // capture a live token (PbConfig::cancel contract).
+  plan.cfg.cancel = nullptr;
   plan.l2_bytes = cfg.l2_bytes != 0 ? cfg.l2_bytes : cache_info().l2_bytes;
   plan.fingerprint = StructureFingerprint::of(a, b, plan.sym.flop);
   plan.symbolic.seconds = timer.elapsed_s();
@@ -83,29 +87,35 @@ PbPlan pb_plan_build(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
 
 template PbResult pb_execute<PlusTimes>(const mtx::CscMatrix&,
                                         const mtx::CsrMatrix&, const PbPlan&,
-                                        PbWorkspace&, bool, const MaskSpec&);
+                                        PbWorkspace&, bool, const MaskSpec&,
+                                        const CancelToken*);
 template PbResult pb_execute<MinPlus>(const mtx::CscMatrix&,
                                       const mtx::CsrMatrix&, const PbPlan&,
-                                      PbWorkspace&, bool, const MaskSpec&);
+                                      PbWorkspace&, bool, const MaskSpec&,
+                                        const CancelToken*);
 template PbResult pb_execute<MaxMin>(const mtx::CscMatrix&,
                                      const mtx::CsrMatrix&, const PbPlan&,
-                                     PbWorkspace&, bool, const MaskSpec&);
+                                     PbWorkspace&, bool, const MaskSpec&,
+                                        const CancelToken*);
 template PbResult pb_execute<BoolOrAnd>(const mtx::CscMatrix&,
                                         const mtx::CsrMatrix&, const PbPlan&,
-                                        PbWorkspace&, bool, const MaskSpec&);
+                                        PbWorkspace&, bool, const MaskSpec&,
+                                        const CancelToken*);
 // The runtime-semiring bridge: one more instantiation whose scalar ops
 // indirect through the active RuntimeSemiring (spgemm/op.hpp).
 template PbResult pb_execute<DynSemiring>(const mtx::CscMatrix&,
                                           const mtx::CsrMatrix&,
                                           const PbPlan&, PbWorkspace&, bool,
-                                          const MaskSpec&);
+                                          const MaskSpec&,
+                                          const CancelToken*);
 
 PbResult pb_execute_named(const std::string& semiring, const mtx::CscMatrix& a,
                           const mtx::CsrMatrix& b, const PbPlan& plan,
                           PbWorkspace& workspace, bool check_fingerprint,
-                          const MaskSpec& mask) {
+                          const MaskSpec& mask, const CancelToken* cancel) {
   return dispatch_semiring_any(semiring, [&]<typename S>() {
-    return pb_execute<S>(a, b, plan, workspace, check_fingerprint, mask);
+    return pb_execute<S>(a, b, plan, workspace, check_fingerprint, mask,
+                         cancel);
   });
 }
 

@@ -109,27 +109,36 @@ PbPlan pb_plan_build(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
 /// shape must match the product (throws std::invalid_argument otherwise);
 /// its pattern may change freely between executions of one plan — only
 /// structure of A and B is fingerprinted.
+///
+/// A non-null `cancel` token is polled at column/bin granularity through
+/// every numeric phase; a fired token (or expired deadline) unwinds with
+/// CancelledError/DeadlineError, leaving the plan and workspace reusable.
 template <typename S>
 PbResult pb_execute(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
                     const PbPlan& plan, PbWorkspace& workspace,
-                    bool check_fingerprint = true, const MaskSpec& mask = {});
+                    bool check_fingerprint = true, const MaskSpec& mask = {},
+                    const CancelToken* cancel = nullptr);
 
 extern template PbResult pb_execute<PlusTimes>(const mtx::CscMatrix&,
                                                const mtx::CsrMatrix&,
                                                const PbPlan&, PbWorkspace&,
-                                               bool, const MaskSpec&);
+                                               bool, const MaskSpec&,
+                                               const CancelToken*);
 extern template PbResult pb_execute<MinPlus>(const mtx::CscMatrix&,
                                              const mtx::CsrMatrix&,
                                              const PbPlan&, PbWorkspace&,
-                                             bool, const MaskSpec&);
+                                             bool, const MaskSpec&,
+                                             const CancelToken*);
 extern template PbResult pb_execute<MaxMin>(const mtx::CscMatrix&,
                                             const mtx::CsrMatrix&,
                                             const PbPlan&, PbWorkspace&,
-                                            bool, const MaskSpec&);
+                                            bool, const MaskSpec&,
+                                            const CancelToken*);
 extern template PbResult pb_execute<BoolOrAnd>(const mtx::CscMatrix&,
                                                const mtx::CsrMatrix&,
                                                const PbPlan&, PbWorkspace&,
-                                               bool, const MaskSpec&);
+                                               bool, const MaskSpec&,
+                                               const CancelToken*);
 
 /// Runtime dispatch by semiring name — built-in or registered through
 /// SemiringRegistry (spgemm/op.hpp); throws std::invalid_argument listing
@@ -138,6 +147,7 @@ PbResult pb_execute_named(const std::string& semiring, const mtx::CscMatrix& a,
                           const mtx::CsrMatrix& b, const PbPlan& plan,
                           PbWorkspace& workspace,
                           bool check_fingerprint = true,
-                          const MaskSpec& mask = {});
+                          const MaskSpec& mask = {},
+                          const CancelToken* cancel = nullptr);
 
 }  // namespace pbs::pb

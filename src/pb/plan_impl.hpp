@@ -6,6 +6,8 @@
 
 #include <stdexcept>
 
+#include "common/cancel.hpp"
+#include "common/fault.hpp"
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
 #include "pb/expand.hpp"
@@ -19,7 +21,8 @@ namespace pbs::pb {
 template <typename S>
 PbResult pb_execute(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
                     const PbPlan& plan, PbWorkspace& workspace,
-                    bool check_fingerprint, const MaskSpec& mask) {
+                    bool check_fingerprint, const MaskSpec& mask,
+                    const CancelToken* cancel) {
   if (check_fingerprint && !plan.matches(a, b)) {
     throw std::invalid_argument(
         "pb_execute: operands do not match the plan's structure fingerprint "
@@ -30,13 +33,19 @@ PbResult pb_execute(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
     throw std::invalid_argument(
         "pb_execute: mask shape does not match the product");
   }
+  throw_if_stopped(cancel);
 
   // Schedule resolution happens here, at execute time, so one plan serves
   // both schedules (and kAuto can track the thread count of each run).
   if (resolve_schedule(plan.cfg.schedule, max_threads()) ==
       PbSchedule::kPipeline) {
-    return pb_execute_pipeline<S>(a, b, plan, workspace, mask);
+    return pb_execute_pipeline<S>(a, b, plan, workspace, mask, cancel);
   }
+
+  // Run-local config: the plan's captured config plus this run's token,
+  // threaded into expand (whose entry points read cfg.cancel).
+  PbConfig run_cfg = plan.cfg;
+  run_cfg.cancel = cancel;
 
   const SymbolicResult& sym = plan.sym;
   const TupleFormat fmt = sym.format;
@@ -60,6 +69,7 @@ PbResult pb_execute(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
   const double bpt = tm.tuple_bytes();
 
   // ---- expand (S::mul; key-only skips the multiply entirely) ----
+  FaultInjector::at(FaultPoint::kExpand);
   timer.reset();
   const auto buf_len = static_cast<std::size_t>(sym.bin_offsets.back());
   Tuple* expanded = nullptr;
@@ -70,24 +80,25 @@ PbResult pb_execute(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
     case TupleFormat::kNarrow:
       ns = workspace.acquire_narrow(buf_len);
       workspace.place_bins(sym.bin_offsets, sym.bin_home, fmt);
-      pb_expand_narrow<S>(a, b, sym, plan.cfg, ns.keys, ns.vals);
+      pb_expand_narrow<S>(a, b, sym, run_cfg, ns.keys, ns.vals);
       break;
     case TupleFormat::kNarrowF32:
       nf = workspace.acquire_narrow_f32(buf_len);
       workspace.place_bins(sym.bin_offsets, sym.bin_home, fmt);
-      pb_expand_narrow_f32<S>(a, b, sym, plan.cfg, nf.keys, nf.vals);
+      pb_expand_narrow_f32<S>(a, b, sym, run_cfg, nf.keys, nf.vals);
       break;
     case TupleFormat::kKeyOnly:
       keys_only = workspace.acquire_keys(buf_len);
       workspace.place_bins(sym.bin_offsets, sym.bin_home, fmt);
-      pb_expand_keyonly(a, b, sym, plan.cfg, keys_only);
+      pb_expand_keyonly(a, b, sym, run_cfg, keys_only);
       break;
     case TupleFormat::kWide:
       expanded = workspace.acquire(buf_len);
       workspace.place_bins(sym.bin_offsets, sym.bin_home, fmt);
-      pb_expand<S>(a, b, sym, plan.cfg, expanded);
+      pb_expand<S>(a, b, sym, run_cfg, expanded);
       break;
   }
+  throw_if_stopped(cancel);
   tm.expand.seconds = timer.elapsed_s();
   // Table III: read both inputs once (at the paper's wide COO cost), write
   // flop tuples at the stream format's cost.
@@ -99,6 +110,7 @@ PbResult pb_execute(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
   // ---- sort + compress (fused per bin, timed separately; S::add) ----
   // The fused mask rides here too: masked-out survivors are dropped per
   // bin right after the duplicate merge, so convert never sees them.
+  FaultInjector::at(FaultPoint::kSortCompress);
   timer.reset();
   SortCompressResult sc;
   switch (fmt) {
@@ -106,23 +118,25 @@ PbResult pb_execute(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
       sc = pb_sort_compress_narrow<S>(ns.keys, ns.vals, sym.bin_offsets,
                                       sym.bin_fill, sym.layout.nbins,
                                       &workspace, mask, &sym.layout,
-                                      sym.col_bits);
+                                      sym.col_bits, cancel);
       break;
     case TupleFormat::kNarrowF32:
       sc = pb_sort_compress_narrow_f32<S>(nf.keys, nf.vals, sym.bin_offsets,
                                           sym.bin_fill, sym.layout.nbins,
                                           &workspace, mask, &sym.layout,
-                                          sym.col_bits);
+                                          sym.col_bits, cancel);
       break;
     case TupleFormat::kKeyOnly:
       sc = pb_sort_compress_keyonly(keys_only, sym.bin_offsets, sym.bin_fill,
-                                    sym.layout.nbins, &workspace, mask);
+                                    sym.layout.nbins, &workspace, mask,
+                                    cancel);
       break;
     case TupleFormat::kWide:
       sc = pb_sort_compress<S>(expanded, sym.bin_offsets, sym.bin_fill,
-                               sym.layout.nbins, &workspace, mask);
+                               sym.layout.nbins, &workspace, mask, cancel);
       break;
   }
+  throw_if_stopped(cancel);
   const double sc_wall = timer.elapsed_s();
   // Attribute the fused loop's wall time proportionally to the measured
   // per-thread busy times (their ratio is exact; the split of idle time is
@@ -143,27 +157,29 @@ PbResult pb_execute(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
 
   // ---- convert to CSR (semiring-independent; key-only synthesizes the
   // present-value, f32 widens back to the library's f64 CSR) ----
+  FaultInjector::at(FaultPoint::kConvert);
   timer.reset();
   switch (fmt) {
     case TupleFormat::kNarrow:
       result.c = pb_build_csr_narrow(ns.keys, ns.vals, sym.bin_offsets,
                                      sc.merged, sym.layout, sym.col_bits,
-                                     a.nrows, b.ncols);
+                                     a.nrows, b.ncols, cancel);
       break;
     case TupleFormat::kNarrowF32:
       result.c = pb_build_csr_narrow_f32(nf.keys, nf.vals, sym.bin_offsets,
                                          sc.merged, sym.layout, sym.col_bits,
-                                         a.nrows, b.ncols);
+                                         a.nrows, b.ncols, cancel);
       break;
     case TupleFormat::kKeyOnly:
       result.c = pb_build_csr_keyonly(keys_only, sym.bin_offsets, sc.merged,
-                                      a.nrows, b.ncols);
+                                      a.nrows, b.ncols, 1.0, cancel);
       break;
     case TupleFormat::kWide:
       result.c = pb_build_csr(expanded, sym.bin_offsets, sc.merged, a.nrows,
-                              b.ncols);
+                              b.ncols, cancel);
       break;
   }
+  throw_if_stopped(cancel);
   tm.convert.seconds = timer.elapsed_s();
   // Reads the merged tuples, writes colids+vals and two rowptr passes.
   tm.convert.bytes =

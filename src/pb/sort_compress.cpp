@@ -6,57 +6,68 @@ namespace pbs::pb {
 
 template SortCompressResult pb_sort_compress<PlusTimes>(
     Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int, PbWorkspace*,
-    const MaskSpec&);
+    const MaskSpec&, const CancelToken*);
 template SortCompressResult pb_sort_compress<MinPlus>(
     Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int, PbWorkspace*,
-    const MaskSpec&);
+    const MaskSpec&, const CancelToken*);
 template SortCompressResult pb_sort_compress<MaxMin>(
     Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int, PbWorkspace*,
-    const MaskSpec&);
+    const MaskSpec&, const CancelToken*);
 template SortCompressResult pb_sort_compress<BoolOrAnd>(
     Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int, PbWorkspace*,
-    const MaskSpec&);
+    const MaskSpec&, const CancelToken*);
 template SortCompressResult pb_sort_compress<DynSemiring>(
     Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int, PbWorkspace*,
-    const MaskSpec&);
+    const MaskSpec&, const CancelToken*);
 
 template SortCompressResult pb_sort_compress_narrow<PlusTimes>(
     narrow_key_t*, value_t*, std::span<const nnz_t>, std::span<const nnz_t>,
-    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int);
+    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int,
+    const CancelToken*);
 template SortCompressResult pb_sort_compress_narrow<MinPlus>(
     narrow_key_t*, value_t*, std::span<const nnz_t>, std::span<const nnz_t>,
-    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int);
+    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int,
+    const CancelToken*);
 template SortCompressResult pb_sort_compress_narrow<MaxMin>(
     narrow_key_t*, value_t*, std::span<const nnz_t>, std::span<const nnz_t>,
-    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int);
+    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int,
+    const CancelToken*);
 template SortCompressResult pb_sort_compress_narrow<BoolOrAnd>(
     narrow_key_t*, value_t*, std::span<const nnz_t>, std::span<const nnz_t>,
-    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int);
+    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int,
+    const CancelToken*);
 template SortCompressResult pb_sort_compress_narrow<DynSemiring>(
     narrow_key_t*, value_t*, std::span<const nnz_t>, std::span<const nnz_t>,
-    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int);
+    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int,
+    const CancelToken*);
 
 template SortCompressResult pb_sort_compress_narrow_f32<PlusTimes>(
     narrow_key_t*, f32_val_t*, std::span<const nnz_t>, std::span<const nnz_t>,
-    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int);
+    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int,
+    const CancelToken*);
 template SortCompressResult pb_sort_compress_narrow_f32<MinPlus>(
     narrow_key_t*, f32_val_t*, std::span<const nnz_t>, std::span<const nnz_t>,
-    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int);
+    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int,
+    const CancelToken*);
 template SortCompressResult pb_sort_compress_narrow_f32<MaxMin>(
     narrow_key_t*, f32_val_t*, std::span<const nnz_t>, std::span<const nnz_t>,
-    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int);
+    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int,
+    const CancelToken*);
 template SortCompressResult pb_sort_compress_narrow_f32<BoolOrAnd>(
     narrow_key_t*, f32_val_t*, std::span<const nnz_t>, std::span<const nnz_t>,
-    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int);
+    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int,
+    const CancelToken*);
 template SortCompressResult pb_sort_compress_narrow_f32<DynSemiring>(
     narrow_key_t*, f32_val_t*, std::span<const nnz_t>, std::span<const nnz_t>,
-    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int);
+    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int,
+    const CancelToken*);
 
 SortCompressResult pb_sort_compress_keyonly(wide_key_t* keys,
                                             std::span<const nnz_t> offsets,
                                             std::span<const nnz_t> fill,
                                             int nbins, PbWorkspace* workspace,
-                                            const MaskSpec& mask) {
+                                            const MaskSpec& mask,
+                                            const CancelToken* cancel) {
   const KeyOnlyBinOps ops{keys, &mask};
   struct Scratch {
     AlignedBuffer<wide_key_t> local;  // fallback when there is no workspace
@@ -80,7 +91,8 @@ SortCompressResult pb_sort_compress_keyonly(wide_key_t* keys,
       [&](nnz_t off, std::size_t len) { return ops.compress(off, len); },
       [&](int bin, nnz_t off, nnz_t merged) {
         return ops.filter(bin, off, merged);
-      });
+      },
+      cancel);
 }
 
 SortCompressResult pb_sort_compress(Tuple* tuples,

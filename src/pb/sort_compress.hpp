@@ -25,6 +25,7 @@
 #include <span>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "pb/binning.hpp"
 #include "pb/pb_config.hpp"
 #include "pb/tuple.hpp"
@@ -55,25 +56,28 @@ struct SortCompressResult {
 /// otherwise each call allocates thread-local scratch.  A non-null active
 /// `mask` additionally drops masked-out survivors in place (wide keys
 /// carry global coordinates, so no layout is needed).
+/// A non-null `cancel` token is polled per bin; a fired token skips the
+/// remaining bins and raises its typed error after the parallel join.
 template <typename S>
 SortCompressResult pb_sort_compress(Tuple* tuples,
                                     std::span<const nnz_t> offsets,
                                     std::span<const nnz_t> fill, int nbins,
                                     PbWorkspace* workspace = nullptr,
-                                    const MaskSpec& mask = {});
+                                    const MaskSpec& mask = {},
+                                    const CancelToken* cancel = nullptr);
 
 extern template SortCompressResult pb_sort_compress<PlusTimes>(
     Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int, PbWorkspace*,
-    const MaskSpec&);
+    const MaskSpec&, const CancelToken*);
 extern template SortCompressResult pb_sort_compress<MinPlus>(
     Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int, PbWorkspace*,
-    const MaskSpec&);
+    const MaskSpec&, const CancelToken*);
 extern template SortCompressResult pb_sort_compress<MaxMin>(
     Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int, PbWorkspace*,
-    const MaskSpec&);
+    const MaskSpec&, const CancelToken*);
 extern template SortCompressResult pb_sort_compress<BoolOrAnd>(
     Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int, PbWorkspace*,
-    const MaskSpec&);
+    const MaskSpec&, const CancelToken*);
 
 /// Narrow-format variant over the SoA stream (pb/tuple.hpp): each bin's
 /// u32 key array is LSD-sorted with its value array as SoA payload
@@ -91,20 +95,25 @@ SortCompressResult pb_sort_compress_narrow(narrow_key_t* keys, value_t* vals,
                                            PbWorkspace* workspace = nullptr,
                                            const MaskSpec& mask = {},
                                            const BinLayout* layout = nullptr,
-                                           int col_bits = 0);
+                                           int col_bits = 0,
+                                           const CancelToken* cancel = nullptr);
 
 extern template SortCompressResult pb_sort_compress_narrow<PlusTimes>(
     narrow_key_t*, value_t*, std::span<const nnz_t>, std::span<const nnz_t>,
-    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int);
+    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int,
+    const CancelToken*);
 extern template SortCompressResult pb_sort_compress_narrow<MinPlus>(
     narrow_key_t*, value_t*, std::span<const nnz_t>, std::span<const nnz_t>,
-    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int);
+    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int,
+    const CancelToken*);
 extern template SortCompressResult pb_sort_compress_narrow<MaxMin>(
     narrow_key_t*, value_t*, std::span<const nnz_t>, std::span<const nnz_t>,
-    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int);
+    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int,
+    const CancelToken*);
 extern template SortCompressResult pb_sort_compress_narrow<BoolOrAnd>(
     narrow_key_t*, value_t*, std::span<const nnz_t>, std::span<const nnz_t>,
-    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int);
+    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int,
+    const CancelToken*);
 
 /// Key-only variant: the stream is bare 8 B global keys, so the sort has
 /// no payload lane at all and the duplicate merge is a pure drop — no
@@ -116,7 +125,7 @@ extern template SortCompressResult pb_sort_compress_narrow<BoolOrAnd>(
 SortCompressResult pb_sort_compress_keyonly(
     wide_key_t* keys, std::span<const nnz_t> offsets,
     std::span<const nnz_t> fill, int nbins, PbWorkspace* workspace = nullptr,
-    const MaskSpec& mask = {});
+    const MaskSpec& mask = {}, const CancelToken* cancel = nullptr);
 
 /// Narrow-f32 variant over the 8 B SoA stream: u32 keys with f32 values.
 /// The duplicate merge widens to double around S::add, so only the stream
@@ -126,20 +135,24 @@ SortCompressResult pb_sort_compress_narrow_f32(
     narrow_key_t* keys, f32_val_t* vals, std::span<const nnz_t> offsets,
     std::span<const nnz_t> fill, int nbins, PbWorkspace* workspace = nullptr,
     const MaskSpec& mask = {}, const BinLayout* layout = nullptr,
-    int col_bits = 0);
+    int col_bits = 0, const CancelToken* cancel = nullptr);
 
 extern template SortCompressResult pb_sort_compress_narrow_f32<PlusTimes>(
     narrow_key_t*, f32_val_t*, std::span<const nnz_t>, std::span<const nnz_t>,
-    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int);
+    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int,
+    const CancelToken*);
 extern template SortCompressResult pb_sort_compress_narrow_f32<MinPlus>(
     narrow_key_t*, f32_val_t*, std::span<const nnz_t>, std::span<const nnz_t>,
-    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int);
+    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int,
+    const CancelToken*);
 extern template SortCompressResult pb_sort_compress_narrow_f32<MaxMin>(
     narrow_key_t*, f32_val_t*, std::span<const nnz_t>, std::span<const nnz_t>,
-    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int);
+    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int,
+    const CancelToken*);
 extern template SortCompressResult pb_sort_compress_narrow_f32<BoolOrAnd>(
     narrow_key_t*, f32_val_t*, std::span<const nnz_t>, std::span<const nnz_t>,
-    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int);
+    int, PbWorkspace*, const MaskSpec&, const BinLayout*, int,
+    const CancelToken*);
 
 /// Numeric (+, ×) sort+compress — equivalent to pb_sort_compress<PlusTimes>.
 SortCompressResult pb_sort_compress(Tuple* tuples,

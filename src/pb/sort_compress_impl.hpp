@@ -10,8 +10,13 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <exception>
+#include <optional>
+#include <type_traits>
 
 #include "common/aligned_buffer.hpp"
+#include "common/cancel.hpp"
+#include "common/fault.hpp"
 #include "common/parallel.hpp"
 #include "common/radix_sort.hpp"
 #include "common/timer.hpp"
@@ -38,7 +43,8 @@ SortCompressResult sort_compress_driver(std::span<const nnz_t> offsets,
                                         MakeScratch make_scratch,
                                         SortBin sort_bin,
                                         CompressBin compress_bin,
-                                        FilterBin filter_bin) {
+                                        FilterBin filter_bin,
+                                        const CancelToken* cancel = nullptr) {
   SortCompressResult out;
   out.merged.assign(static_cast<std::size_t>(nbins), 0);
 
@@ -57,30 +63,68 @@ SortCompressResult sort_compress_driver(std::span<const nnz_t> offsets,
   }
   if (workspace != nullptr) workspace->prepare_scratch(nthreads);
 
+  // Exception safety inside the parallel region follows the ok-flag
+  // pattern: every thread ALWAYS reaches the `omp for` (a thread that
+  // skipped it would strand the team at the worksharing barrier), so
+  // failures — scratch allocation (budget/fault/OOM) or per-bin work —
+  // are caught per thread, the first one is captured, an internal abort
+  // token turns the remaining iterations into no-ops, and the exception
+  // rethrows after the join.  The abort token also links the caller's
+  // cancel token, so one per-bin poll covers both.
+  std::exception_ptr error;
+  CancelToken abort;
+  abort.link(cancel);
+
 #pragma omp parallel num_threads(nthreads)
   {
     const auto tid = static_cast<std::size_t>(omp_get_thread_num());
-    auto scratch = make_scratch(tid, static_cast<std::size_t>(max_bin));
+    bool ok = true;
+    using Scratch = std::invoke_result_t<MakeScratch, std::size_t, std::size_t>;
+    std::optional<Scratch> scratch;
+    try {
+      scratch.emplace(make_scratch(tid, static_cast<std::size_t>(max_bin)));
+    } catch (...) {
+      ok = false;
+#pragma omp critical(pbs_sc_driver_error)
+      {
+        if (error == nullptr) error = std::current_exception();
+      }
+      abort.request_cancel();
+    }
     Timer timer;
 #pragma omp for schedule(dynamic, 1)
     for (int bin = 0; bin < nbins; ++bin) {
+      if (!ok || abort.stop_requested()) continue;
       const nnz_t off = offsets[static_cast<std::size_t>(bin)];
       const auto len =
           static_cast<std::size_t>(fill[static_cast<std::size_t>(bin)]);
       if (len == 0) continue;
 
-      timer.reset();
-      sort_bin(off, len, scratch);
-      sort_busy[tid] += timer.elapsed_s();
+      try {
+        FaultInjector::on_bin();
+        timer.reset();
+        sort_bin(off, len, *scratch);
+        sort_busy[tid] += timer.elapsed_s();
 
-      timer.reset();
-      const nnz_t merged = compress_bin(off, len);
-      const nnz_t kept = filter_bin(bin, off, merged);
-      out.merged[static_cast<std::size_t>(bin)] = kept;
-      dropped[tid] += merged - kept;
-      compress_busy[tid] += timer.elapsed_s();
+        timer.reset();
+        const nnz_t merged = compress_bin(off, len);
+        const nnz_t kept = filter_bin(bin, off, merged);
+        out.merged[static_cast<std::size_t>(bin)] = kept;
+        dropped[tid] += merged - kept;
+        compress_busy[tid] += timer.elapsed_s();
+      } catch (...) {
+        ok = false;
+#pragma omp critical(pbs_sc_driver_error)
+        {
+          if (error == nullptr) error = std::current_exception();
+        }
+        abort.request_cancel();
+      }
     }
   }
+
+  if (error != nullptr) std::rethrow_exception(error);
+  throw_if_stopped(cancel);
 
   out.sort_seconds = *std::max_element(sort_busy.begin(), sort_busy.end());
   out.compress_seconds =
@@ -197,7 +241,8 @@ SortCompressResult pb_sort_compress(Tuple* tuples,
                                     std::span<const nnz_t> offsets,
                                     std::span<const nnz_t> fill, int nbins,
                                     PbWorkspace* workspace,
-                                    const MaskSpec& mask) {
+                                    const MaskSpec& mask,
+                                    const CancelToken* cancel) {
   const WideBinOps<S> ops{tuples, &mask};
   struct Scratch {
     AlignedBuffer<Tuple> local;  // fallback when there is no workspace
@@ -223,7 +268,8 @@ SortCompressResult pb_sort_compress(Tuple* tuples,
       [&](nnz_t off, std::size_t len) { return ops.compress(off, len); },
       [&](int bin, nnz_t off, nnz_t merged) {
         return ops.filter(bin, off, merged);
-      });
+      },
+      cancel);
 }
 
 /// Key-only counterpart of WideBinOps; same contract.  There is no value
@@ -324,7 +370,8 @@ SortCompressResult pb_sort_compress_narrow(narrow_key_t* keys, value_t* vals,
                                            int nbins, PbWorkspace* workspace,
                                            const MaskSpec& mask,
                                            const BinLayout* layout,
-                                           int col_bits) {
+                                           int col_bits,
+                                           const CancelToken* cancel) {
   const NarrowBinOps<S> ops{keys, vals, &mask, layout, col_bits};
   struct Scratch {
     AlignedBuffer<narrow_key_t> local_keys;  // fallbacks without a workspace
@@ -350,7 +397,8 @@ SortCompressResult pb_sort_compress_narrow(narrow_key_t* keys, value_t* vals,
       [&](nnz_t off, std::size_t len) { return ops.compress(off, len); },
       [&](int bin, nnz_t off, nnz_t merged) {
         return ops.filter(bin, off, merged);
-      });
+      },
+      cancel);
 }
 
 /// Narrow-f32 counterpart of NarrowBinOps; same contract.  The duplicate
@@ -409,7 +457,8 @@ template <typename S>
 SortCompressResult pb_sort_compress_narrow_f32(
     narrow_key_t* keys, f32_val_t* vals, std::span<const nnz_t> offsets,
     std::span<const nnz_t> fill, int nbins, PbWorkspace* workspace,
-    const MaskSpec& mask, const BinLayout* layout, int col_bits) {
+    const MaskSpec& mask, const BinLayout* layout, int col_bits,
+    const CancelToken* cancel) {
   const NarrowF32BinOps<S> ops{keys, vals, &mask, layout, col_bits};
   struct Scratch {
     AlignedBuffer<narrow_key_t> local_keys;  // fallbacks without a workspace
@@ -435,7 +484,8 @@ SortCompressResult pb_sort_compress_narrow_f32(
       [&](nnz_t off, std::size_t len) { return ops.compress(off, len); },
       [&](int bin, nnz_t off, nnz_t merged) {
         return ops.filter(bin, off, merged);
-      });
+      },
+      cancel);
 }
 
 }  // namespace pbs::pb

@@ -38,6 +38,9 @@ class WorkspacePool {
     std::uint64_t reused = 0;   ///< leases served by an idle workspace
     std::size_t workspaces = 0;      ///< workspaces currently owned
     std::size_t peak_in_flight = 0;  ///< max simultaneous leases observed
+    std::size_t in_flight = 0;       ///< leases outstanding right now
+    std::size_t mem_used = 0;        ///< bytes charged to the pool budget
+    std::size_t mem_budget = 0;      ///< budget cap (0 = unlimited)
   };
 
   /// Exclusive use of one pooled workspace; returns it on destruction.
@@ -68,6 +71,16 @@ class WorkspacePool {
   WorkspacePool(const WorkspacePool&) = delete;
   WorkspacePool& operator=(const WorkspacePool&) = delete;
 
+  /// Caps the pool-wide workspace footprint (tuple pools + sort scratch
+  /// across all members) at `bytes`; 0 means unlimited.  Growth past the
+  /// cap throws MemoryBudgetError from the leased workspace.  Call before
+  /// the first acquire (the executor does, at construction).
+  void set_budget_bytes(std::size_t bytes) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    budget_.cap = bytes;
+    for (const auto& ws : all_) ws->set_budget(&budget_);
+  }
+
   [[nodiscard]] Lease acquire() {
     const std::lock_guard<std::mutex> lock(mu_);
     ++stats_.leases;
@@ -79,6 +92,7 @@ class WorkspacePool {
     } else {
       all_.push_back(std::make_unique<PbWorkspace>());
       ws = all_.back().get();
+      ws->set_budget(&budget_);
       ++stats_.created;
     }
     ++in_flight_;
@@ -90,6 +104,9 @@ class WorkspacePool {
     const std::lock_guard<std::mutex> lock(mu_);
     Stats s = stats_;
     s.workspaces = all_.size();
+    s.in_flight = in_flight_;
+    s.mem_used = budget_.used.load(std::memory_order_relaxed);
+    s.mem_budget = budget_.cap;
     return s;
   }
 
@@ -106,6 +123,7 @@ class WorkspacePool {
       agg.scratch_allocations += s.scratch_allocations;
       agg.scratch_reuses += s.scratch_reuses;
       agg.peak_request = std::max(agg.peak_request, s.peak_request);
+      agg.budget_rejections += s.budget_rejections;
     }
     return agg;
   }
@@ -122,6 +140,7 @@ class WorkspacePool {
   std::vector<PbWorkspace*> idle_;  ///< LIFO: warmest first
   std::size_t in_flight_ = 0;
   Stats stats_;
+  MemoryBudget budget_;  ///< shared by all members; outlives them
 };
 
 }  // namespace pbs::pb

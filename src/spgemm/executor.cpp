@@ -10,6 +10,9 @@
 #include <stdexcept>
 #include <thread>
 
+#include "common/cancel.hpp"
+#include "common/errors.hpp"
+#include "common/fault.hpp"
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
 #include "pb/symbolic.hpp"
@@ -63,6 +66,15 @@ std::mutex& dyn_semiring_mutex() {
   return mu;
 }
 
+/// The low-memory row-wise kernel a degraded op executes with: hash when
+/// it speaks the op's semiring, heap otherwise (heap supports every
+/// registered semiring).
+std::string fallback_algo(const std::string& semiring) {
+  const AlgoInfo* hash = find_algorithm("hash");
+  return hash != nullptr && hash->supports_semiring(semiring) ? "hash"
+                                                              : "heap";
+}
+
 }  // namespace
 
 /// One cached plan: the full analysis product for (structure, op),
@@ -85,12 +97,15 @@ struct CachedPlanEntry {
   double sel_column_latency_penalty = 0;
   pb::PbPlan pb_plan;  ///< valid when use_pb
   SpGemmFn fn;         ///< execution path when !use_pb
+  bool degraded = false;       ///< plan-time budget downgrade
+  std::string degrade_reason;  ///< "budget" when degraded
 };
 
 struct SpGemmExecutor::Impl {
   explicit Impl(ExecutorOptions o) : opts(o) {
     opts.cache_capacity = std::max<std::size_t>(opts.cache_capacity, 1);
     opts.max_samples = std::max<std::size_t>(opts.max_samples, 1);
+    pool.set_budget_bytes(opts.mem_budget_bytes);
   }
 
   using EntryPtr = std::shared_ptr<const CachedPlanEntry>;
@@ -105,6 +120,43 @@ struct SpGemmExecutor::Impl {
   double cal_pb_efficiency = 0;
   double cal_column_latency_penalty = 0;
   pb::WorkspacePool pool;
+
+  /// Cancellation epoch: every run links the epoch current at its start;
+  /// cancel() fires it and swaps in a fresh one, so only in-flight runs
+  /// unwind.  shared_ptr keeps a fired epoch alive until its last run
+  /// finishes polling it.
+  std::shared_ptr<CancelToken> epoch = std::make_shared<CancelToken>();
+
+  /// Builds a run's stack token from the caller's RunOptions + the
+  /// current epoch.  `token` must outlive the run (caller's stack).
+  void arm_token(CancelToken& token, const RunOptions& ropts,
+                 std::shared_ptr<CancelToken>& epoch_snapshot) {
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      epoch_snapshot = epoch;
+    }
+    token.link(epoch_snapshot.get());
+    token.link(ropts.cancel);
+    if (ropts.timeout.count() > 0) {
+      token.set_timeout(ropts.timeout);
+    } else if (ropts.deadline.time_since_epoch().count() != 0) {
+      token.set_deadline(ropts.deadline);
+    }
+  }
+
+  /// Strict-ingress validation (ExecutorOptions::validate_inputs).
+  void validate_problem(const SpGemmProblem& p, const SpGemmOp& op) const {
+    mtx::csr_validate_or_throw(p.a_csr, "SpGemmExecutor: operand A");
+    mtx::csr_validate_or_throw(p.b_csr, "SpGemmExecutor: operand B");
+    if (op.mask != nullptr) {
+      mtx::csr_validate_or_throw(*op.mask, "SpGemmExecutor: mask");
+    }
+  }
+
+  void count_cancelled() {
+    const std::lock_guard<std::mutex> lock(mu);
+    ++stats.cancelled;
+  }
 
   // ---- cache primitives (callers hold no lock) ----------------------------
 
@@ -285,10 +337,50 @@ struct SpGemmExecutor::Impl {
     entry->resolved = std::move(resolved);
     entry->use_pb = entry->resolved == "pb";
     if (entry->use_pb) {
-      pb::SymbolicHints hints;
-      hints.flop = fp.flop;
-      hints.row_flops = row_flops;
-      entry->pb_plan = pb::pb_plan_build(p.a_csc, p.b_csr, pbcfg, hints);
+      const auto cap = static_cast<double>(opts.mem_budget_bytes);
+      bool over_budget = false;
+      // Cheap bound before paying the symbolic build: no stream format is
+      // narrower than 8 B/tuple, so flop tuples that cannot fit even at
+      // that width cannot fit at all.
+      if (cap > 0 && static_cast<double>(fp.flop) * 8.0 > cap) {
+        over_budget = true;
+      } else {
+        pb::SymbolicHints hints;
+        hints.flop = fp.flop;
+        hints.row_flops = row_flops;
+        entry->pb_plan = pb::pb_plan_build(p.a_csc, p.b_csr, pbcfg, hints);
+        if (cap > 0) {
+          // Exact requirement of the built plan: the full tuple stream
+          // plus one max-bin sort scratch per thread, at the chosen
+          // format's width.
+          const pb::SymbolicResult& sym = entry->pb_plan.sym;
+          const auto bpt = static_cast<double>(
+              pb::bytes_per_tuple(sym.format));
+          nnz_t max_bin = 0;
+          for (const nnz_t f : sym.bin_fill) max_bin = std::max(max_bin, f);
+          const double need =
+              bpt * (static_cast<double>(sym.bin_offsets.back()) +
+                     static_cast<double>(max_threads()) *
+                         static_cast<double>(max_bin));
+          over_budget = need > cap;
+        }
+      }
+      if (over_budget) {
+        // Graceful degradation: this (structure, op) serves through the
+        // low-memory row-wise kernel instead of failing.  The downgrade
+        // is a property of the cached plan — re-raising the budget means
+        // a new executor (or larger cache pressure evicting the entry).
+        const std::string fb = fallback_algo(op.semiring);
+        entry->fn = masked_semiring_algorithm(fb, op.semiring, op.mask,
+                                              op.complement);
+        entry->resolved = fb;
+        entry->use_pb = false;
+        entry->degraded = true;
+        entry->degrade_reason = "budget";
+        entry->pb_plan = pb::PbPlan{};
+        const std::lock_guard<std::mutex> lock(mu);
+        ++stats.degraded_plans;
+      }
     }
     entry->plan_seconds = timer.elapsed_s();
     return entry;
@@ -297,10 +389,12 @@ struct SpGemmExecutor::Impl {
   // ---- execution -----------------------------------------------------------
 
   mtx::CsrMatrix execute_entry(const EntryPtr& entry, const SpGemmProblem& p,
-                               RunInfo* info) {
+                               RunInfo* info,
+                               const CancelToken* cancel = nullptr) {
     Timer timer;
     mtx::CsrMatrix c;
     pb::PbTelemetry pb_stats;
+    bool oom_fallback = false;
     {
       // Runtime-registered semirings indirect through the process-global
       // DynSemiring bridge; serialize those executions.  Built-ins (and
@@ -310,17 +404,40 @@ struct SpGemmExecutor::Impl {
         dyn_lock = std::unique_lock<std::mutex>(dyn_semiring_mutex());
       }
       if (entry->use_pb) {
-        const pb::WorkspacePool::Lease lease = pool.acquire();
-        const pb::MaskSpec mask{entry->op.mask, entry->op.complement};
-        pb::PbResult r = pb::pb_execute_named(
-            entry->op.semiring, p.a_csc, p.b_csr, entry->pb_plan,
-            lease.workspace(), /*check_fingerprint=*/false, mask);
-        pb_stats = r.stats;
-        c = std::move(r.c);
+        try {
+          const pb::WorkspacePool::Lease lease = pool.acquire();
+          const pb::MaskSpec mask{entry->op.mask, entry->op.complement};
+          pb::PbResult r = pb::pb_execute_named(
+              entry->op.semiring, p.a_csc, p.b_csr, entry->pb_plan,
+              lease.workspace(), /*check_fingerprint=*/false, mask, cancel);
+          pb_stats = r.stats;
+          c = std::move(r.c);
+        } catch (const std::bad_alloc&) {
+          // Budget rejection, injected allocation fault, or the real
+          // thing.  The lease already returned (RAII above); degrade THIS
+          // run to the row-wise fallback and keep the cached pb plan — a
+          // later, perhaps less contended, run retries pb and stays
+          // bit-identical to a fresh executor's.
+          throw_if_stopped(cancel);
+          {
+            const std::lock_guard<std::mutex> lock(mu);
+            ++stats.oom_fallbacks;
+            ++stats.degraded_runs;
+          }
+          const SpGemmFn fn = masked_semiring_algorithm(
+              fallback_algo(entry->op.semiring), entry->op.semiring,
+              entry->op.mask, entry->op.complement);
+          c = fn(p);
+          oom_fallback = true;
+        }
       } else {
+        throw_if_stopped(cancel);
         c = entry->fn(p);
       }
     }
+    // Row-wise kernels have no internal poll points: honor a deadline
+    // that expired while one ran (pb enforces its own inside the phases).
+    if (!entry->use_pb || oom_fallback) throw_if_stopped(cancel);
     const double seconds = timer.elapsed_s();
     const double achieved =
         seconds > 0
@@ -330,7 +447,7 @@ struct SpGemmExecutor::Impl {
     // Close the telemetry loop: unmasked "auto" executes feed the
     // calibration sample window (a mask changes both roofline bounds, so
     // masked pairs would fold the mask term into the derating constants).
-    if (entry->auto_requested && entry->op.mask == nullptr &&
+    if (entry->auto_requested && entry->op.mask == nullptr && !oom_fallback &&
         entry->predicted_mflops > 0 && achieved > 0) {
       bool want_calibration = false;
       {
@@ -351,7 +468,13 @@ struct SpGemmExecutor::Impl {
     if (info != nullptr) {
       fill_info(*info, *entry);
       info->achieved_mflops = achieved;
-      if (entry->use_pb) info->pb_stats = pb_stats;
+      if (entry->use_pb && !oom_fallback) info->pb_stats = pb_stats;
+      if (oom_fallback) {
+        info->algo = fallback_algo(entry->op.semiring);
+        info->used_pb = false;
+        info->degraded = true;
+        info->degrade_reason = "oom";
+      }
     }
     return c;
   }
@@ -359,6 +482,8 @@ struct SpGemmExecutor::Impl {
   static void fill_info(RunInfo& info, const CachedPlanEntry& entry) {
     info.algo = entry.resolved;
     info.used_pb = entry.use_pb;
+    info.degraded = entry.degraded;
+    info.degrade_reason = entry.degrade_reason;
     info.flop = entry.fp.flop;
     info.plan_seconds = entry.plan_seconds;
     info.predicted_mflops = entry.predicted_mflops;
@@ -378,9 +503,11 @@ struct SpGemmExecutor::Impl {
   }
 
   mtx::CsrMatrix run_passthrough(const SpGemmProblem& p, const SpGemmOp& op,
-                                 RunInfo* info) {
+                                 RunInfo* info,
+                                 const CancelToken* cancel = nullptr) {
     check_mask_shape(op, p);
     const SpGemmFn fn = passthrough_fn(op, op_cache_key(op));
+    throw_if_stopped(cancel);
     mtx::CsrMatrix c;
     {
       std::unique_lock<std::mutex> dyn_lock;
@@ -389,6 +516,7 @@ struct SpGemmExecutor::Impl {
       }
       c = fn(p);
     }
+    throw_if_stopped(cancel);
     {
       const std::lock_guard<std::mutex> lock(mu);
       ++stats.executes;
@@ -410,82 +538,127 @@ SpGemmExecutor::~SpGemmExecutor() = default;
 
 mtx::CsrMatrix SpGemmExecutor::run_product(const SpGemmProblem& p,
                                            const SpGemmOp& op, RunInfo* info,
-                                           bool values_only) {
+                                           bool values_only,
+                                           const RunOptions& ropts) {
   Impl& im = *impl_;
   if (info != nullptr) *info = RunInfo{};  // no stale fields across reuses
-  if (is_passthrough(op)) {
-    // A fixed baseline algorithm caches nothing beyond kernel resolution:
-    // there is no analysis to reuse and no fingerprint to verify.
-    return im.run_passthrough(p, op, info);
-  }
+  if (im.opts.validate_inputs) im.validate_problem(p, op);
 
-  const std::string key = op_cache_key(op);
-  if (values_only) {
-    if (Impl::EntryPtr entry = im.find_values_only(p, key)) {
-      {
-        const std::lock_guard<std::mutex> lock(im.mu);
-        ++im.stats.executes;
-        ++im.stats.cache_hits;
-        ++im.stats.value_only_hits;
-      }
-      mtx::CsrMatrix c = im.execute_entry(entry, p, info);
-      if (info != nullptr) {
-        info->cache_hit = true;
-        info->value_only = true;
-      }
-      return c;
+  // This run's token: RunOptions deadline/cancel + the executor's
+  // cancel() epoch, all polled through one stack token.
+  CancelToken token;
+  std::shared_ptr<CancelToken> epoch_snapshot;
+  im.arm_token(token, ropts, epoch_snapshot);
+
+  try {
+    if (is_passthrough(op)) {
+      // A fixed baseline algorithm caches nothing beyond kernel
+      // resolution: there is no analysis to reuse and no fingerprint to
+      // verify.
+      return im.run_passthrough(p, op, info, &token);
     }
-    // No structure on file for this op: fall through to the full path.
-  }
 
-  const pb::StructureFingerprint fp =
-      pb::StructureFingerprint::of(p.a_csc, p.b_csr);
-  Impl::EntryPtr entry = im.find(fp, key);
-  const bool hit = entry != nullptr;
-  if (!hit) {
-    entry = im.analyze(p, op, key, fp, {}, -1);
-    im.insert(entry);
+    const std::string key = op_cache_key(op);
+    if (values_only) {
+      if (Impl::EntryPtr entry = im.find_values_only(p, key)) {
+        {
+          const std::lock_guard<std::mutex> lock(im.mu);
+          ++im.stats.executes;
+          ++im.stats.cache_hits;
+          ++im.stats.value_only_hits;
+        }
+        mtx::CsrMatrix c = im.execute_entry(entry, p, info, &token);
+        if (info != nullptr) {
+          info->cache_hit = true;
+          info->value_only = true;
+        }
+        return c;
+      }
+      // No structure on file for this op: fall through to the full path.
+    }
+
+    const pb::StructureFingerprint fp =
+        pb::StructureFingerprint::of(p.a_csc, p.b_csr);
+    Impl::EntryPtr entry = im.find(fp, key);
+    const bool hit = entry != nullptr;
+    if (!hit) {
+      entry = im.analyze(p, op, key, fp, {}, -1);
+      im.insert(entry);
+    }
+    {
+      const std::lock_guard<std::mutex> lock(im.mu);
+      ++im.stats.executes;
+      hit ? ++im.stats.cache_hits : ++im.stats.cache_misses;
+    }
+    mtx::CsrMatrix c = im.execute_entry(entry, p, info, &token);
+    if (info != nullptr) info->cache_hit = hit;
+    return c;
+  } catch (const CancelledError&) {
+    im.count_cancelled();
+    throw;
   }
-  {
-    const std::lock_guard<std::mutex> lock(im.mu);
-    ++im.stats.executes;
-    hit ? ++im.stats.cache_hits : ++im.stats.cache_misses;
-  }
-  mtx::CsrMatrix c = im.execute_entry(entry, p, info);
-  if (info != nullptr) info->cache_hit = hit;
-  return c;
 }
 
 mtx::CsrMatrix SpGemmExecutor::run(const SpGemmProblem& p, const SpGemmOp& op,
                                    RunInfo* info) {
+  return run(p, op, RunOptions{}, info);
+}
+
+mtx::CsrMatrix SpGemmExecutor::run(const SpGemmProblem& p, const SpGemmOp& op,
+                                   const RunOptions& ropts, RunInfo* info) {
   if (op.accumulate) {
     throw std::logic_error(
         "SpGemmExecutor::run: the op declared accumulate — pass the matrix "
         "to accumulate into (run(problem, op, c))");
   }
-  return run_product(p, op, info, /*values_only=*/false);
+  return run_product(p, op, info, /*values_only=*/false, ropts);
 }
 
 mtx::CsrMatrix SpGemmExecutor::run(const SpGemmProblem& p, const SpGemmOp& op,
                                    const mtx::CsrMatrix& accumulate_into,
                                    RunInfo* info) {
-  return semiring_ewise_add(op.semiring, accumulate_into,
-                            run_product(p, op, info, /*values_only=*/false));
+  return semiring_ewise_add(
+      op.semiring, accumulate_into,
+      run_product(p, op, info, /*values_only=*/false, RunOptions{}));
 }
 
 mtx::CsrMatrix SpGemmExecutor::run_values_updated(const SpGemmProblem& p,
                                                   const SpGemmOp& op,
+                                                  RunInfo* info) {
+  return run_values_updated(p, op, RunOptions{}, info);
+}
+
+mtx::CsrMatrix SpGemmExecutor::run_values_updated(const SpGemmProblem& p,
+                                                  const SpGemmOp& op,
+                                                  const RunOptions& ropts,
                                                   RunInfo* info) {
   if (op.accumulate) {
     throw std::logic_error(
         "SpGemmExecutor::run_values_updated: accumulating ops use "
         "run(problem, op, c)");
   }
-  return run_product(p, op, info, /*values_only=*/true);
+  return run_product(p, op, info, /*values_only=*/true, ropts);
+}
+
+void SpGemmExecutor::cancel() {
+  Impl& im = *impl_;
+  std::shared_ptr<CancelToken> old;
+  {
+    const std::lock_guard<std::mutex> lock(im.mu);
+    old = std::move(im.epoch);
+    im.epoch = std::make_shared<CancelToken>();
+  }
+  old->request_cancel();
 }
 
 std::vector<mtx::CsrMatrix> SpGemmExecutor::run(const SpGemmProblem& p,
                                                 std::span<const SpGemmOp> ops) {
+  return run(p, ops, RunOptions{});
+}
+
+std::vector<mtx::CsrMatrix> SpGemmExecutor::run(const SpGemmProblem& p,
+                                                std::span<const SpGemmOp> ops,
+                                                const RunOptions& ropts) {
   Impl& im = *impl_;
   std::vector<mtx::CsrMatrix> results;
   if (ops.empty()) return results;
@@ -494,6 +667,12 @@ std::vector<mtx::CsrMatrix> SpGemmExecutor::run(const SpGemmProblem& p,
     const std::lock_guard<std::mutex> lock(im.mu);
     ++im.stats.batches;
   }
+  if (im.opts.validate_inputs) {
+    for (const SpGemmOp& op : ops) im.validate_problem(p, op);
+  }
+  CancelToken token;
+  std::shared_ptr<CancelToken> epoch_snapshot;
+  im.arm_token(token, ropts, epoch_snapshot);
 
   // One analysis pass shared by every op that plans: the fingerprint's
   // flop count always; the row-flop histogram and nnz estimate when any
@@ -551,9 +730,10 @@ std::vector<mtx::CsrMatrix> SpGemmExecutor::run(const SpGemmProblem& p,
   // op order; the first worker exception is rethrown after the join.
   results.resize(ops.size());
   auto execute_one = [&](std::size_t i) {
+    FaultInjector::at(FaultPoint::kBatchWorker);
     results[i] = entries[i] != nullptr
-                     ? im.execute_entry(entries[i], p, nullptr)
-                     : im.run_passthrough(p, ops[i], nullptr);
+                     ? im.execute_entry(entries[i], p, nullptr, &token)
+                     : im.run_passthrough(p, ops[i], nullptr, &token);
   };
   const std::size_t hw =
       std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -562,7 +742,12 @@ std::vector<mtx::CsrMatrix> SpGemmExecutor::run(const SpGemmProblem& p,
                                ? hw
                                : im.opts.batch_concurrency);
   if (workers <= 1) {
-    for (std::size_t i = 0; i < ops.size(); ++i) execute_one(i);
+    try {
+      for (std::size_t i = 0; i < ops.size(); ++i) execute_one(i);
+    } catch (const CancelledError&) {
+      im.count_cancelled();
+      throw;
+    }
     return results;
   }
   std::atomic<std::size_t> next{0};
@@ -578,14 +763,41 @@ std::vector<mtx::CsrMatrix> SpGemmExecutor::run(const SpGemmProblem& p,
           execute_one(i);
         } catch (...) {
           errors[w] = std::current_exception();
+          // Drain the queue on any failure: sibling workers stop at
+          // their next poll instead of finishing doomed products.
+          token.request_cancel();
           return;  // this worker stops; the rest drain the queue
         }
       }
     });
   }
   for (std::thread& t : team) t.join();
+  // Rethrow the root-cause error; every lease has already returned (RAII
+  // inside execute_entry), so the pool and cache are consistent.  A
+  // failing worker cancels its siblings, so prefer an error that is NOT
+  // the induced CancelledError when one exists.
+  std::exception_ptr first;
+  std::exception_ptr root;
   for (const std::exception_ptr& e : errors) {
-    if (e) std::rethrow_exception(e);
+    if (!e) continue;
+    if (!first) first = e;
+    if (!root) {
+      try {
+        std::rethrow_exception(e);
+      } catch (const CancelledError&) {
+      } catch (...) {
+        root = e;
+      }
+    }
+  }
+  if (!root) root = first;
+  if (root) {
+    try {
+      std::rethrow_exception(root);
+    } catch (const CancelledError&) {
+      im.count_cancelled();
+      throw;
+    }
   }
   return results;
 }
@@ -593,6 +805,7 @@ std::vector<mtx::CsrMatrix> SpGemmExecutor::run(const SpGemmProblem& p,
 void SpGemmExecutor::prepare(const SpGemmProblem& p, const SpGemmOp& op,
                              RunInfo* info) {
   Impl& im = *impl_;
+  if (im.opts.validate_inputs) im.validate_problem(p, op);
   if (is_passthrough(op)) {
     check_mask_shape(op, p);
     Timer timer;

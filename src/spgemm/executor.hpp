@@ -46,11 +46,13 @@
 // structure cache transparently.
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "model/selection.hpp"
 #include "pb/plan.hpp"
 #include "pb/workspace_pool.hpp"
@@ -84,6 +86,31 @@ struct ExecutorOptions {
   /// regardless.  Ops over runtime-registered semirings still serialize
   /// on the process-global DynSemiring bridge.
   std::size_t batch_concurrency = 0;
+
+  /// Byte cap on the pooled workspace memory (tuple streams + sort
+  /// scratch) across ALL concurrent leases; 0 = unlimited.  A plan whose
+  /// PB stream cannot fit degrades to the row-wise fallback at plan time;
+  /// a run whose workspace growth is rejected mid-flight (or whose
+  /// allocation genuinely fails) re-executes through the fallback kernel,
+  /// keeping the cached PB plan for the next, possibly less contended,
+  /// run.  Degradations surface in ExecutorStats and RunInfo.
+  std::size_t mem_budget_bytes = 0;
+
+  /// Strict-ingress mode: csr_validate every problem's operands (and the
+  /// op mask) on run/prepare entry, rejecting malformed matrices with
+  /// ValidationError instead of computing undefined results.  Off by
+  /// default — trusted callers skip the O(nnz) sweep.
+  bool validate_inputs = false;
+};
+
+/// Per-call deadline/cancellation controls (all optional; default = run
+/// to completion).  `timeout` wins over `deadline` when both are set; an
+/// external `cancel` token is linked alongside the executor's own
+/// cancel() epoch, so any of the three can stop the run.
+struct RunOptions {
+  std::chrono::milliseconds timeout{0};
+  std::chrono::steady_clock::time_point deadline{};
+  const CancelToken* cancel = nullptr;
 };
 
 struct ExecutorStats {
@@ -95,6 +122,10 @@ struct ExecutorStats {
   std::uint64_t evictions = 0;
   std::uint64_t batches = 0;      ///< run(problem, ops) calls
   std::uint64_t calibrations = 0; ///< automatic warmup refits performed
+  std::uint64_t degraded_plans = 0;  ///< pb plans downgraded at plan time
+  std::uint64_t degraded_runs = 0;   ///< runs that fell back mid-flight
+  std::uint64_t oom_fallbacks = 0;   ///< degraded_runs caused by bad_alloc
+  std::uint64_t cancelled = 0;       ///< runs unwound by cancel/deadline
 
   [[nodiscard]] double hit_ratio() const {
     const double looked = static_cast<double>(cache_hits + cache_misses);
@@ -118,6 +149,12 @@ struct RunInfo {
   double achieved_mflops = 0;
   model::AlgoChoice choice;  ///< populated for "auto" entries
   pb::PbTelemetry pb_stats;  ///< per-phase telemetry when used_pb
+  /// This call ran a downgraded kernel instead of the preferred PB path;
+  /// degrade_reason is "budget" (plan-time: the stream cannot fit the
+  /// memory budget) or "oom" (run-time: a workspace growth was rejected
+  /// or threw, and the run re-executed through the row-wise fallback).
+  bool degraded = false;
+  std::string degrade_reason;
 };
 
 class SpGemmExecutor {
@@ -135,6 +172,12 @@ class SpGemmExecutor {
   /// overload).
   mtx::CsrMatrix run(const SpGemmProblem& p, const SpGemmOp& op = {},
                      RunInfo* info = nullptr);
+
+  /// run with per-call deadline/cancellation controls: the run unwinds
+  /// with DeadlineError/CancelledError (plan cache and workspace pool
+  /// stay consistent; a following run on this executor is unaffected).
+  mtx::CsrMatrix run(const SpGemmProblem& p, const SpGemmOp& op,
+                     const RunOptions& ropts, RunInfo* info = nullptr);
 
   /// Accumulating run: c ⊞ (A ⊗ B under op's mask), the union-pattern
   /// combine with the op semiring's add.
@@ -154,6 +197,12 @@ class SpGemmExecutor {
   std::vector<mtx::CsrMatrix> run(const SpGemmProblem& p,
                                   std::span<const SpGemmOp> ops);
 
+  /// Batched run under deadline/cancellation: the first stopped or failed
+  /// worker's error propagates after every in-flight op unwinds.
+  std::vector<mtx::CsrMatrix> run(const SpGemmProblem& p,
+                                  std::span<const SpGemmOp> ops,
+                                  const RunOptions& ropts);
+
   /// Value-only fast path: the caller asserts p's operands have the SAME
   /// STRUCTURE as the most recent run of this op and only the numeric
   /// values changed.  The cached plan is matched on dims + nnz alone —
@@ -167,6 +216,17 @@ class SpGemmExecutor {
   mtx::CsrMatrix run_values_updated(const SpGemmProblem& p,
                                     const SpGemmOp& op = {},
                                     RunInfo* info = nullptr);
+
+  /// Value-only fast path under deadline/cancellation controls.
+  mtx::CsrMatrix run_values_updated(const SpGemmProblem& p,
+                                    const SpGemmOp& op,
+                                    const RunOptions& ropts,
+                                    RunInfo* info = nullptr);
+
+  /// Requests cancellation of every in-flight run (they unwind with
+  /// CancelledError at their next poll).  Runs started after this call
+  /// are unaffected — the executor swaps in a fresh cancellation epoch.
+  void cancel();
 
   /// Analyzes and caches the plan for (p, op) without executing — warms
   /// the cache, validates the op (same throws as run), and reports the
@@ -199,7 +259,8 @@ class SpGemmExecutor {
 
  private:
   mtx::CsrMatrix run_product(const SpGemmProblem& p, const SpGemmOp& op,
-                             RunInfo* info, bool values_only);
+                             RunInfo* info, bool values_only,
+                             const RunOptions& ropts);
 
   struct Impl;
   std::unique_ptr<Impl> impl_;

@@ -8,6 +8,7 @@
 //                    [--reps R] [--repeat N] [--out FILE.mtx]
 //                    [--semiring plus_times]
 //                    [--mask FILE.mtx] [--complement]
+//                    [--mem-budget-mb N] [--deadline-ms T]
 //   pbs_cli semiring --a FILE.mtx [--algo auto] [--repeat N]
 //   pbs_cli calibrate [--scale N] [--reps R]
 //   pbs_cli info
@@ -157,7 +158,22 @@ int multiply_planned(const Cli& cli, const SpGemmProblem& problem,
   opts.pb.schedule = schedule;
   opts.mask = mask;
   opts.complement = complement;
-  SpGemmExecutor exec;
+  // Robust-serving knobs: a byte cap on pooled workspace memory (PB
+  // degrades to the row-wise fallback rather than exceeding it) and a
+  // per-execute deadline (DeadlineError once it expires).
+  ExecutorOptions eopts;
+  const double budget_mb = cli.number("mem-budget-mb", 0);
+  if (budget_mb > 0) {
+    eopts.mem_budget_bytes =
+        static_cast<std::size_t>(budget_mb * 1024.0 * 1024.0);
+  }
+  RunOptions ropts;
+  const double deadline_ms = cli.number("deadline-ms", 0);
+  if (deadline_ms > 0) {
+    ropts.timeout =
+        std::chrono::milliseconds(static_cast<long long>(deadline_ms));
+  }
+  SpGemmExecutor exec(eopts);
   Timer t;
   RunInfo info;
   exec.prepare(problem, opts, &info);
@@ -174,7 +190,7 @@ int multiply_planned(const Cli& cli, const SpGemmProblem& problem,
   double first_s = 0, rest_s = 0, best_s = 0;
   for (int i = 0; i < execs; ++i) {
     t.reset();
-    c = exec.run(problem, opts, &info);
+    c = exec.run(problem, opts, ropts, &info);
     const double s = t.elapsed_s();
     (i == 0 ? first_s : rest_s) += s;
     if (i == 0 || s < best_s) best_s = s;
@@ -210,6 +226,20 @@ int multiply_planned(const Cli& cli, const SpGemmProblem& problem,
             << pool.created << " workspace(s) created, " << pool.reused
             << " reuses; pooled buffers: " << ws.allocations
             << " allocations, " << ws.reuses << " reuses\n";
+  if (eopts.mem_budget_bytes > 0 || deadline_ms > 0 ||
+      es.degraded_plans > 0 || es.degraded_runs > 0 || es.cancelled > 0) {
+    std::cout << "  robustness:";
+    if (eopts.mem_budget_bytes > 0)
+      std::cout << " budget " << budget_mb << " MiB,";
+    if (deadline_ms > 0) std::cout << " deadline " << deadline_ms << " ms,";
+    std::cout << " " << es.degraded_plans << " plan(s) degraded, "
+              << es.degraded_runs << " run(s) fell back (" << es.oom_fallbacks
+              << " oom), " << es.cancelled << " cancelled\n";
+    if (info.degraded) {
+      std::cout << "  last execute degraded ('" << info.degrade_reason
+                << "') -> ran " << info.algo << "\n";
+    }
+  }
   if (predicted > 0) {
     std::cout << "  model: predicted " << predicted
               << " MFLOPS, last execute achieved " << info.achieved_mflops
@@ -297,7 +327,11 @@ int cmd_multiply(const Cli& cli) {
     mask = mtx::coo_to_csr(mtx::read_matrix_market(*cli.get("mask")));
   }
   const bool complement = cli.number("complement", 0) != 0;
-  if (algo == "auto" || repeat > 0 || mask.has_value()) {
+  // The robustness knobs live in the executor, so they imply the
+  // executor path even for a fixed algorithm.
+  const bool robust =
+      cli.get("mem-budget-mb").has_value() || cli.get("deadline-ms").has_value();
+  if (algo == "auto" || repeat > 0 || mask.has_value() || robust) {
     const int execs = repeat > 0 ? repeat : reps;
     return multiply_planned(cli, problem, algo, semiring, format,
                             std::max(execs, 1),
@@ -484,6 +518,7 @@ void usage() {
       "           [--schedule auto|barrier|pipeline]\n"
       "           [--reps R] [--repeat N] [--out FILE.mtx]\n"
       "           [--mask FILE.mtx] [--complement]\n"
+      "           [--mem-budget-mb N] [--deadline-ms T]\n"
       "  semiring --a FILE.mtx [--name plus_max] [--algo auto] [--repeat N]\n"
       "  calibrate [--scale N] [--reps R]\n"
       "  info\n"
@@ -503,7 +538,12 @@ void usage() {
       "wall, the busy time the overlap hid, and bins stolen.\n"
       "--mask M restricts the output to M's pattern with the mask fused\n"
       "into the kernel (PB drops masked-out tuples at compress and reports\n"
-      "the count); --complement keeps the positions NOT in M.  `semiring`\n"
+      "the count); --complement keeps the positions NOT in M.\n"
+      "--mem-budget-mb N caps the executor's pooled workspace memory: a\n"
+      "PB stream that cannot fit degrades to the row-wise fallback and\n"
+      "the degradation is reported; --deadline-ms T bounds each execute\n"
+      "(a run past the deadline unwinds with a deadline error).  Both\n"
+      "route through the executor path.  `semiring`\n"
       "registers the tropical (max, +) semiring at runtime and multiplies\n"
       "over it — the user-defined-semiring round trip.  `calibrate` runs\n"
       "an auto-selected sweep and refits the roofline model's derating\n"
