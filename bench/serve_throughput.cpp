@@ -1,0 +1,142 @@
+// Serving daemon round-trip overhead vs the in-process executor (the
+// PR 9 serving layer; no paper artifact — fig. 7's ER squaring workload
+// reused as the traffic generator).
+//
+// Steady-state ms/multiply for three ways of running the same A^2:
+//
+//   inproc  — SpGemmExecutor::run in this process, plan cache warm: the
+//     floor every serving layer is measured against.
+//   daemon  — a pbs_serve Server in this process, driven through the
+//     real Unix-socket client: upload A once, square by handle.  The
+//     delta over inproc is the whole wire stack — framing, the result
+//     serialization (16 B/nnz of C), two socket copies, decode.
+//   daemon 2x2 — the same traffic through a 2x2 tile-sharded router.
+//
+// overhead_ratio = daemon_ms / inproc_ms.  The wire cost is a bandwidth
+// term proportional to nnz(C) while compute grows with flop, so the
+// ratio is workload-dependent: ER emits ~1 output nonzero per flop, the
+// worst case for serving.  The default sweep is fig. 7's ER family at
+// edge factor 8; CI gates max(overhead_ratio) over it at 1.25, measured
+// with a single OpenMP lane (the serving configuration: parallelism
+// comes from concurrent requests, not from within one multiply).
+//
+//   ./bench_serve_throughput [--scales 11,12,13] [--efs 8] [--rounds 12]
+//                            [--algo pb] [--json out.json]
+#include "bench_common.hpp"
+
+#include <unistd.h>
+
+#include "common/timer.hpp"
+#include "matrix/convert.hpp"
+#include "matrix/generate.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "spgemm/executor.hpp"
+
+namespace {
+
+using namespace pbs;
+
+std::string unique_socket_path() {
+  static int counter = 0;
+  return "/tmp/pbs_bench_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter++) + ".sock";
+}
+
+double inproc_ms(const SpGemmProblem& p, const SpGemmOp& op, int rounds) {
+  ExecutorOptions eo;
+  eo.validate_inputs = true;  // the server forces this: compare like-for-like
+  SpGemmExecutor exec(eo);
+  (void)exec.run(p, op);  // analysis + first touch out of the timed region
+  Timer t;
+  for (int r = 0; r < rounds; ++r) (void)exec.run(p, op);
+  return t.elapsed_s() / rounds * 1e3;
+}
+
+double daemon_ms(const mtx::CsrMatrix& a, const SpGemmOp& op, int rounds,
+                 int shard_rows, int shard_cols) {
+  serve::ServeOptions so;
+  so.socket_path = unique_socket_path();
+  so.worker_threads = 1;  // one client connection: one worker suffices
+  so.shard_rows = shard_rows;
+  so.shard_cols = shard_cols;
+  so.pin_shards = false;
+  serve::Server server(std::move(so));
+  server.start();
+
+  serve::Client cli(server.socket_path());
+  const std::uint64_t h = cli.upload(a);
+  serve::MultiplyOptions mo;
+  mo.algo = op.algo;
+  mo.semiring = op.semiring;
+  (void)cli.square(h, mo);  // warm the per-shard plan caches
+  Timer t;
+  for (int r = 0; r < rounds; ++r) (void)cli.square(h, mo);
+  const double ms = t.elapsed_s() / rounds * 1e3;
+  server.stop();
+  return ms;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  const std::vector<int> scales = args.get_int_list("scales", {11, 12, 13});
+  const std::vector<int> efs = args.get_int_list("efs", {8});
+  const int rounds = args.get_int("rounds", 12);
+  const std::string algo = args.get_string("algo", "pb");
+
+  bench::print_header(
+      "serving daemon round-trip overhead: upload-once / square-by-handle "
+      "over a Unix socket vs the in-process executor",
+      "rounds = " + std::to_string(rounds) + ", algo = " + algo);
+
+  bench::Table table({"input", "C MB", "inproc ms", "daemon ms", "overhead",
+                      "2x2 ms", "2x2 overhead"});
+  bench::JsonSink json(args);
+
+  SpGemmOp op;
+  op.algo = algo;
+
+  for (const int scale : scales) {
+    for (const int ef : efs) {
+      const mtx::CsrMatrix a = mtx::coo_to_csr(
+          mtx::generate_er(mtx::RandomScale{scale, double(ef)}, 7));
+      const SpGemmProblem p = SpGemmProblem::square(a);
+      const std::string input =
+          "er-s" + std::to_string(scale) + "-ef" + std::to_string(ef);
+
+      const double local = inproc_ms(p, op, rounds);
+      const double wire = daemon_ms(a, op, rounds, 1, 1);
+      const double wire22 = daemon_ms(a, op, rounds, 2, 2);
+      const double ratio = local > 0 ? wire / local : 0.0;
+      const double ratio22 = local > 0 ? wire22 / local : 0.0;
+
+      // nnz(C) prices the response frame the daemon must ship per round.
+      SpGemmExecutor probe;
+      const mtx::CsrMatrix c = probe.run(p, op);
+      const double c_mb =
+          (static_cast<double>(c.nnz()) * 12.0 +
+           static_cast<double>(c.nrows + 1) * 8.0) /
+          (1024.0 * 1024.0);
+
+      table.row(input, c_mb, local, wire, ratio, wire22, ratio22);
+      if (json.enabled()) {
+        json.add(bench::Json()
+                     .field("bench", std::string("serve_throughput"))
+                     .field("input", input)
+                     .field("algo", algo)
+                     .field("rounds", static_cast<std::int64_t>(rounds))
+                     .field("result_mb", c_mb)
+                     .field("inproc_ms", local)
+                     .field("daemon_ms", wire)
+                     .field("overhead_ratio", ratio)
+                     .field("daemon_2x2_ms", wire22)
+                     .field("overhead_ratio_2x2", ratio22));
+      }
+    }
+  }
+
+  table.print(std::cout);
+  return 0;
+}

@@ -7,12 +7,6 @@
 
 namespace pbs::pb {
 
-namespace {
-
-// Extracts rows [row_lo, row_hi) of A (CSC) as a CSC matrix with row ids
-// rebased to 0.  One filtering pass per column — this is the "read A once
-// per partition" cost the paper attributes to the variant (B is reread by
-// the multiplications themselves).
 mtx::CscMatrix slice_rows(const mtx::CscMatrix& a, index_t row_lo,
                           index_t row_hi) {
   mtx::CscMatrix out(row_hi - row_lo, a.ncols);
@@ -42,6 +36,66 @@ mtx::CscMatrix slice_rows(const mtx::CscMatrix& a, index_t row_lo,
   return out;
 }
 
+mtx::CsrMatrix slice_rows(const mtx::CsrMatrix& a, index_t row_lo,
+                          index_t row_hi) {
+  mtx::CsrMatrix out(row_hi - row_lo, a.ncols);
+  const nnz_t base = a.rowptr[row_lo];
+  for (index_t r = row_lo; r < row_hi; ++r) {
+    out.rowptr[static_cast<std::size_t>(r - row_lo) + 1] =
+        a.rowptr[static_cast<std::size_t>(r) + 1] - base;
+  }
+  const auto lo = static_cast<std::size_t>(base);
+  const auto n = static_cast<std::size_t>(a.rowptr[row_hi] - base);
+  out.colids.assign(a.colids.begin() + lo, a.colids.begin() + lo + n);
+  out.vals.assign(a.vals.begin() + lo, a.vals.begin() + lo + n);
+  return out;
+}
+
+mtx::CsrMatrix slice_cols(const mtx::CsrMatrix& a, index_t col_lo,
+                          index_t col_hi) {
+  mtx::CsrMatrix out(a.nrows, col_hi - col_lo);
+  // Columns are sorted within each row, so the kept entries of row r form
+  // one contiguous run found by binary search.
+  std::vector<nnz_t> lo(static_cast<std::size_t>(a.nrows));
+  for (index_t r = 0; r < a.nrows; ++r) {
+    const auto cols = a.row_cols(r);
+    const auto first =
+        std::lower_bound(cols.begin(), cols.end(), col_lo) - cols.begin();
+    const auto last =
+        std::lower_bound(cols.begin(), cols.end(), col_hi) - cols.begin();
+    lo[static_cast<std::size_t>(r)] = a.rowptr[r] + first;
+    out.rowptr[static_cast<std::size_t>(r) + 1] =
+        out.rowptr[r] + (last - first);
+  }
+  out.colids.resize(static_cast<std::size_t>(out.rowptr.back()));
+  out.vals.resize(static_cast<std::size_t>(out.rowptr.back()));
+  for (index_t r = 0; r < a.nrows; ++r) {
+    const auto src = static_cast<std::size_t>(lo[static_cast<std::size_t>(r)]);
+    const auto dst = static_cast<std::size_t>(out.rowptr[r]);
+    const auto n = static_cast<std::size_t>(out.row_nnz(r));
+    for (std::size_t i = 0; i < n; ++i) {
+      out.colids[dst + i] = a.colids[src + i] - col_lo;
+      out.vals[dst + i] = a.vals[src + i];
+    }
+  }
+  return out;
+}
+
+std::vector<index_t> split_ranges(index_t n, int k) {
+  if (k < 1) {
+    throw std::invalid_argument("split_ranges: k must be >= 1");
+  }
+  std::vector<index_t> bounds(static_cast<std::size_t>(k) + 1);
+  const index_t per = (n + k - 1) / std::max(k, 1);
+  for (int i = 0; i <= k; ++i) {
+    bounds[static_cast<std::size_t>(i)] =
+        std::min<index_t>(n, static_cast<index_t>(i) * per);
+  }
+  return bounds;
+}
+
+namespace {
+
 // Validates and clamps nparts to the row count.
 int checked_nparts(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
                    int nparts) {
@@ -54,9 +108,10 @@ int checked_nparts(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
   return std::min<int>(nparts, std::max<index_t>(a.nrows, 1));
 }
 
-// Stacks per-part CSR results owning disjoint, ascending row ranges.
-mtx::CsrMatrix stack_pieces(const std::vector<mtx::CsrMatrix>& pieces,
-                            index_t nrows, index_t ncols) {
+}  // namespace
+
+mtx::CsrMatrix stack_row_blocks(const std::vector<mtx::CsrMatrix>& pieces,
+                                index_t nrows, index_t ncols) {
   mtx::CsrMatrix c;
   c.nrows = nrows;
   c.ncols = ncols;
@@ -87,8 +142,6 @@ mtx::CsrMatrix stack_pieces(const std::vector<mtx::CsrMatrix>& pieces,
   return c;
 }
 
-}  // namespace
-
 PartitionedPlan make_partitioned_plan(const mtx::CscMatrix& a,
                                       const mtx::CsrMatrix& b, int nparts,
                                       const PbConfig& cfg) {
@@ -100,10 +153,10 @@ PartitionedPlan make_partitioned_plan(const mtx::CscMatrix& a,
   plan.plans_.reserve(static_cast<std::size_t>(nparts));
 
   Timer timer;
-  const index_t rows_per_part = (a.nrows + nparts - 1) / nparts;
+  const std::vector<index_t> bounds = split_ranges(a.nrows, nparts);
   for (int part = 0; part < nparts; ++part) {
-    const index_t lo = std::min<index_t>(a.nrows, part * rows_per_part);
-    const index_t hi = std::min<index_t>(a.nrows, lo + rows_per_part);
+    const index_t lo = bounds[static_cast<std::size_t>(part)];
+    const index_t hi = bounds[static_cast<std::size_t>(part) + 1];
     plan.a_parts_.push_back(slice_rows(a, lo, hi));
     plan.part_row_lo_.push_back(lo);
     plan.plans_.push_back(pb_plan_build(plan.a_parts_.back(), b, cfg));
@@ -180,7 +233,7 @@ PartitionedResult PartitionedPlan::execute(const mtx::CsrMatrix& b,
     pieces.push_back(std::move(r.c));
   }
 
-  out.c = stack_pieces(pieces, a_nrows_, b.ncols);
+  out.c = stack_row_blocks(pieces, a_nrows_, b.ncols);
   return out;
 }
 
@@ -200,10 +253,10 @@ PartitionedResult pb_spgemm_partitioned(const mtx::CscMatrix& a,
   pieces.reserve(static_cast<std::size_t>(nparts));
   PbWorkspace workspace;  // shared: parts run one after another
 
-  const index_t rows_per_part = (a.nrows + nparts - 1) / nparts;
+  const std::vector<index_t> bounds = split_ranges(a.nrows, nparts);
   for (int part = 0; part < nparts; ++part) {
-    const index_t lo = std::min<index_t>(a.nrows, part * rows_per_part);
-    const index_t hi = std::min<index_t>(a.nrows, lo + rows_per_part);
+    const index_t lo = bounds[static_cast<std::size_t>(part)];
+    const index_t hi = bounds[static_cast<std::size_t>(part) + 1];
     const mtx::CscMatrix a_part = slice_rows(a, lo, hi);
     const PbPlan plan = pb_plan_build(a_part, b, cfg);
     PbResult r = pb_execute<PlusTimes>(a_part, b, plan, workspace,
@@ -213,7 +266,7 @@ PartitionedResult pb_spgemm_partitioned(const mtx::CscMatrix& a,
     pieces.push_back(std::move(r.c));
   }
 
-  out.c = stack_pieces(pieces, a.nrows, b.ncols);
+  out.c = stack_row_blocks(pieces, a.nrows, b.ncols);
   return out;
 }
 

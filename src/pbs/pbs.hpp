@@ -15,6 +15,12 @@
 //   pbs::SpGemmExecutor exec;               // fingerprint-keyed plan cache
 //   auto c4 = exec.run(p);                  // thread-safe, workspace-pooled
 //
+//   // Serving daemon: pbs_serve over a Unix socket (serve/server.hpp),
+//   // or embed the pieces — wire protocol, shard router, registry:
+//   pbs::serve::Client cli("/tmp/pbs_serve.sock");
+//   auto h  = cli.upload(a);                // ship A once
+//   auto c5 = cli.square(h);                // iterate by handle
+//
 // See README.md for the architecture overview and examples/ for complete
 // programs.
 #pragma once
@@ -41,6 +47,11 @@
 #include "pb/pb_spgemm.hpp"
 #include "pb/plan.hpp"
 #include "pb/workspace_pool.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/registry.hpp"
+#include "serve/server.hpp"
+#include "serve/shard.hpp"
 #include "spgemm/executor.hpp"
 #include "spgemm/masked.hpp"
 #include "spgemm/op.hpp"

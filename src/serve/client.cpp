@@ -1,0 +1,140 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace pbs::serve {
+
+Client::Client(const std::string& socket_path) {
+  if (socket_path.empty() ||
+      socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    throw std::runtime_error("serve client: socket path empty or too long: '" +
+                             socket_path + "'");
+  }
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("serve client: socket() failed: ") +
+                             std::strerror(errno));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("serve client: cannot connect to '" +
+                             socket_path + "': " + err);
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+WireReader Client::roundtrip(const std::vector<std::uint8_t>& req) {
+  write_frame(fd_, req);
+  if (!read_frame(fd_, rx_)) {
+    throw std::runtime_error(
+        "serve client: server closed the connection before replying");
+  }
+  WireReader r(rx_);
+  const auto status = static_cast<WireStatus>(r.u8());
+  if (status != WireStatus::kOk) {
+    throw ServeError(status, r.remaining() > 0 ? r.str() : "");
+  }
+  return r;  // positioned after the status byte, no body copy
+}
+
+void Client::ping() { roundtrip(encode_ping()).expect_done(); }
+
+std::uint64_t Client::upload(const mtx::CsrMatrix& m) {
+  WireReader r = roundtrip(encode_upload(m));
+  const std::uint64_t h = r.u64();
+  r.expect_done();
+  return h;
+}
+
+void Client::update_values(std::uint64_t handle, const mtx::CsrMatrix& m) {
+  roundtrip(encode_update_values(handle, m)).expect_done();
+}
+
+void Client::release(std::uint64_t handle) {
+  roundtrip(encode_release(handle)).expect_done();
+}
+
+std::string Client::telemetry() {
+  WireReader r = roundtrip(encode_telemetry_request());
+  std::string text = r.str();
+  r.expect_done();
+  return text;
+}
+
+mtx::CsrMatrix Client::multiply_request(MultiplyRequest req,
+                                        MultiplyInfo* info) {
+  WireReader r = roundtrip(encode_multiply(req));
+  const std::uint8_t flags = r.u8();
+  mtx::CsrMatrix c = r.csr();
+  r.expect_done();
+  if (info != nullptr) {
+    info->cache_hit = (flags & kInfoCacheHit) != 0;
+    info->value_only = (flags & kInfoValueOnly) != 0;
+    info->used_pb = (flags & kInfoUsedPb) != 0;
+    info->degraded = (flags & kInfoDegraded) != 0;
+  }
+  return c;
+}
+
+namespace {
+
+MultiplyRequest base_request(const Client::MultiplyOptions& mo) {
+  MultiplyRequest req;
+  req.algo = mo.algo;
+  req.semiring = mo.semiring;
+  req.complement = mo.complement;
+  req.values_only = mo.values_only;
+  req.deadline_ms = mo.deadline_ms;
+  if (mo.mask != nullptr) {
+    req.has_mask = true;
+    req.mask = *mo.mask;
+  }
+  return req;
+}
+
+}  // namespace
+
+mtx::CsrMatrix Client::multiply(const mtx::CsrMatrix& a,
+                                const mtx::CsrMatrix& b,
+                                const MultiplyOptions& mo,
+                                MultiplyInfo* info) {
+  MultiplyRequest req = base_request(mo);
+  req.a = a;
+  req.b = b;
+  return multiply_request(std::move(req), info);
+}
+
+mtx::CsrMatrix Client::multiply(std::uint64_t a_handle,
+                                std::uint64_t b_handle,
+                                const MultiplyOptions& mo,
+                                MultiplyInfo* info) {
+  MultiplyRequest req = base_request(mo);
+  req.a_handle = a_handle;
+  req.b_handle = b_handle;
+  return multiply_request(std::move(req), info);
+}
+
+mtx::CsrMatrix Client::square(std::uint64_t a_handle,
+                              const MultiplyOptions& mo,
+                              MultiplyInfo* info) {
+  MultiplyRequest req = base_request(mo);
+  req.a_handle = a_handle;
+  req.b_is_a = true;
+  return multiply_request(std::move(req), info);
+}
+
+}  // namespace pbs::serve

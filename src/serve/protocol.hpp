@@ -1,0 +1,232 @@
+// pbs_serve wire protocol — length-prefixed binary frames over a
+// Unix-domain stream socket.
+//
+// Every message is one frame: a fixed 8-byte header (magic + payload
+// length) followed by the payload.  Integers are host-endian — both ends
+// of a Unix socket are the same host — and the magic word rejects
+// non-protocol peers before any allocation is sized from attacker bytes.
+//
+//   frame    := u32 magic ("PBSF") · u32 payload_len · payload
+//   request  := u8 MsgType · type-specific body
+//   response := u8 WireStatus · (kOk: type-specific body | else: str error)
+//
+// Request bodies:
+//   kPing          (empty)
+//   kMultiply      str algo · str semiring · u8 flags · f64 deadline_ms ·
+//                  u64 a_handle · u64 b_handle ·
+//                  [csr A when a_handle == 0] ·
+//                  [csr B when b_handle == 0 and !kFlagBIsA] ·
+//                  [csr mask when kFlagHasMask]
+//   kUpload        csr
+//   kUpdateValues  u64 handle · csr
+//   kRelease       u64 handle
+//   kTelemetry     (empty)
+//
+// Response bodies (kOk):
+//   kPing / kRelease / kUpdateValues   (empty)
+//   kMultiply                          u8 info flags · csr C
+//   kUpload                            u64 handle
+//   kTelemetry                         str json
+//
+//   csr := u32 nrows · u32 ncols · u64 nnz · i64 rowptr[nrows+1] ·
+//          i32 colids[nnz] · f64 vals[nnz]
+//   str := u32 len · bytes
+//
+// Typed failures map PR 8's exception hierarchy to stable codes
+// (WireStatus) so clients distinguish "hit its deadline" from "shed by
+// admission control" without parsing message text.  Decoding is strictly
+// bounds-checked: any truncated, oversized, or inconsistent frame throws
+// WireFormatError, which the server answers with kMalformed and a closed
+// connection — a hostile peer cannot make it read past the payload.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "matrix/csr.hpp"
+
+namespace pbs::serve {
+
+inline constexpr std::uint32_t kFrameMagic = 0x46534250u;  // "PBSF" LE
+inline constexpr std::size_t kDefaultMaxFrameBytes = std::size_t{1} << 30;
+
+enum class MsgType : std::uint8_t {
+  kPing = 1,
+  kMultiply = 2,
+  kUpload = 3,
+  kUpdateValues = 4,
+  kRelease = 5,
+  kTelemetry = 6,
+};
+
+/// Stable wire error codes — the serving contract over PR 8's typed
+/// exceptions.  Append-only: codes are part of the protocol.
+enum class WireStatus : std::uint8_t {
+  kOk = 0,
+  kValidation = 1,     ///< ValidationError / malformed operand shapes
+  kDeadline = 2,       ///< DeadlineError (per-request deadline expired)
+  kCancelled = 3,      ///< CancelledError (server cancel/drain)
+  kMemoryBudget = 4,   ///< MemoryBudgetError or admission budget rejection
+  kOverloaded = 5,     ///< shed by admission control (max_inflight)
+  kMalformed = 6,      ///< frame failed to decode
+  kUnknownHandle = 7,  ///< matrix handle not in the registry
+  kUnsupported = 8,    ///< unknown algo/semiring/message type
+  kInternal = 9,       ///< anything else (fault injection included)
+};
+
+const char* wire_status_name(WireStatus s) noexcept;
+
+/// A frame that cannot be decoded (truncated, bad magic, inconsistent
+/// lengths).  Client-side it surfaces as-is; server-side it becomes a
+/// kMalformed reply and a closed connection.
+class WireFormatError : public std::runtime_error {
+ public:
+  explicit WireFormatError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Multiply request flags (bit positions in the u8 flags byte).
+inline constexpr std::uint8_t kFlagComplement = 1u << 0;
+inline constexpr std::uint8_t kFlagHasMask = 1u << 1;
+inline constexpr std::uint8_t kFlagValuesOnly = 1u << 2;
+inline constexpr std::uint8_t kFlagBIsA = 1u << 3;
+
+/// Multiply response info flags — what the executor reported, so clients
+/// (and tests) can observe cache behavior across the wire.
+inline constexpr std::uint8_t kInfoCacheHit = 1u << 0;
+inline constexpr std::uint8_t kInfoValueOnly = 1u << 1;
+inline constexpr std::uint8_t kInfoUsedPb = 1u << 2;
+inline constexpr std::uint8_t kInfoDegraded = 1u << 3;
+
+// ---- payload builder / parser ---------------------------------------------
+
+class WireWriter {
+ public:
+  WireWriter() = default;
+  /// Recycles a previous payload's allocation: the buffer is cleared but
+  /// its capacity is kept, so steady-state traffic with multi-megabyte
+  /// responses stops paying an allocation (and its page faults) per
+  /// frame.
+  explicit WireWriter(std::vector<std::uint8_t> reuse)
+      : buf_(std::move(reuse)) {
+    buf_.clear();
+  }
+
+  void reserve(std::size_t extra) { buf_.reserve(buf_.size() + extra); }
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
+  void u64(std::uint64_t v) { raw(&v, sizeof(v)); }
+  void f64(double v) { raw(&v, sizeof(v)); }
+  void str(const std::string& s);
+  void csr(const mtx::CsrMatrix& m);
+
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked reader over one payload.  Every accessor throws
+/// WireFormatError instead of reading past the end; csr() additionally
+/// verifies the structural invariants cheap enough to check inline
+/// (consistent counts, monotone in-range rowptr) so a decoded matrix is
+/// safe to index even before any csr_validate pass.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::uint8_t> payload)
+      : data_(payload) {}
+
+  std::uint8_t u8() { return take<std::uint8_t>(); }
+  std::uint32_t u32() { return take<std::uint32_t>(); }
+  std::uint64_t u64() { return take<std::uint64_t>(); }
+  double f64() { return take<double>(); }
+  std::string str();
+  mtx::CsrMatrix csr();
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  /// Trailing bytes after the last field are a protocol violation too.
+  void expect_done() const;
+
+ private:
+  template <typename T>
+  T take() {
+    need(sizeof(T));
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+  void need(std::size_t n) const {
+    if (remaining() < n) {
+      throw WireFormatError("wire: truncated payload (need " +
+                            std::to_string(n) + " bytes, have " +
+                            std::to_string(remaining()) + ")");
+    }
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+// ---- frame transport ------------------------------------------------------
+
+/// Writes one frame (header + payload) to a connected stream socket.
+/// Throws std::runtime_error on a write failure (peer gone).
+void write_frame(int fd, std::span<const std::uint8_t> payload);
+
+/// Reads one frame's payload.  Returns false on clean EOF at a frame
+/// boundary (peer closed); throws WireFormatError on a bad magic, a
+/// payload larger than max_bytes, or EOF mid-frame.
+bool read_frame(int fd, std::vector<std::uint8_t>& payload,
+                std::size_t max_bytes = kDefaultMaxFrameBytes);
+
+// ---- typed messages -------------------------------------------------------
+
+/// The decoded multiply request.  Operands come inline or by registry
+/// handle; `b_is_a` squares the A operand (the paper's A·A workloads)
+/// without shipping it twice.
+struct MultiplyRequest {
+  std::string algo = "auto";
+  std::string semiring = "plus_times";
+  bool complement = false;
+  bool has_mask = false;
+  bool values_only = false;
+  bool b_is_a = false;
+  double deadline_ms = 0;  ///< 0 = server default
+  std::uint64_t a_handle = 0;  ///< 0 = inline payload in `a`
+  std::uint64_t b_handle = 0;
+  mtx::CsrMatrix a, b, mask;
+};
+
+std::vector<std::uint8_t> encode_ping();
+std::vector<std::uint8_t> encode_telemetry_request();
+std::vector<std::uint8_t> encode_upload(const mtx::CsrMatrix& m);
+std::vector<std::uint8_t> encode_update_values(std::uint64_t handle,
+                                               const mtx::CsrMatrix& m);
+std::vector<std::uint8_t> encode_release(std::uint64_t handle);
+std::vector<std::uint8_t> encode_multiply(const MultiplyRequest& req);
+
+/// Decodes a multiply body (the type byte already consumed).
+MultiplyRequest decode_multiply(WireReader& r);
+
+std::vector<std::uint8_t> encode_ok_empty();
+std::vector<std::uint8_t> encode_ok_handle(std::uint64_t handle);
+std::vector<std::uint8_t> encode_ok_text(const std::string& text);
+/// `reuse` recycles a previous response's buffer (see WireWriter) — the
+/// result frame is the one hot, large allocation in steady-state serving.
+std::vector<std::uint8_t> encode_ok_csr(std::uint8_t info_flags,
+                                        const mtx::CsrMatrix& c,
+                                        std::vector<std::uint8_t> reuse = {});
+std::vector<std::uint8_t> encode_error(WireStatus status,
+                                       const std::string& message);
+
+}  // namespace pbs::serve

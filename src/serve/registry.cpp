@@ -1,0 +1,51 @@
+#include "serve/registry.hpp"
+
+#include <stdexcept>
+
+namespace pbs::serve {
+
+std::uint64_t MatrixRegistry::upload(mtx::CsrMatrix m) {
+  auto ptr = std::make_shared<const mtx::CsrMatrix>(std::move(m));
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t h = next_++;
+  table_.emplace(h, std::move(ptr));
+  return h;
+}
+
+MatrixRegistry::MatrixPtr MatrixRegistry::get(std::uint64_t handle) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = table_.find(handle);
+  return it == table_.end() ? nullptr : it->second;
+}
+
+bool MatrixRegistry::update_values(std::uint64_t handle,
+                                   const mtx::CsrMatrix& m) {
+  MatrixPtr cur = get(handle);
+  if (cur == nullptr) return false;
+  if (m.nrows != cur->nrows || m.ncols != cur->ncols ||
+      m.rowptr != cur->rowptr) {
+    throw std::invalid_argument(
+        "MatrixRegistry::update_values: structure differs from the "
+        "registered matrix (same dims and per-row occupancy required; "
+        "upload a new handle instead)");
+  }
+  // Copy-on-write: in-flight multiplies holding `cur` are unaffected.
+  auto next = std::make_shared<const mtx::CsrMatrix>(m);
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = table_.find(handle);
+  if (it == table_.end()) return false;  // released since the get()
+  it->second = std::move(next);
+  return true;
+}
+
+bool MatrixRegistry::release(std::uint64_t handle) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return table_.erase(handle) > 0;
+}
+
+std::size_t MatrixRegistry::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return table_.size();
+}
+
+}  // namespace pbs::serve

@@ -1,0 +1,116 @@
+// pbs_serve server core — accept loop, worker pool, admission control,
+// graceful drain.
+//
+// One long-lived process owns a ShardRouter (per-shard SpGemmExecutors
+// with their plan caches and workspace pools) plus a MatrixRegistry, and
+// serves the wire protocol (serve/protocol.hpp) over a Unix-domain
+// socket:
+//
+//   accept loop   — one thread accepting connections into a queue
+//   workers       — worker_threads threads, each owning one connection at
+//                   a time and serving its requests serially (clients
+//                   wanting parallel requests open parallel connections)
+//   admission     — requests beyond max_inflight concurrent multiplies
+//                   are shed with kOverloaded before any work; requests
+//                   whose expanded-tuple bound exceeds
+//                   admission_budget_bytes are rejected with
+//                   kMemoryBudget (the hard outer gate in front of the
+//                   executor's graceful degradation)
+//   deadlines     — each multiply runs under RunOptions{timeout} from the
+//                   request's deadline_ms (or default_deadline_ms);
+//                   expiry surfaces as kDeadline
+//   drain         — stop() closes the listener, lets in-flight requests
+//                   finish, shuts idle connections and joins every
+//                   thread; pbs_serve wires SIGTERM to it
+//   faults        — a typed failure (including PBS_FAULT_* injections)
+//                   fails only its request: the error maps to a wire code,
+//                   the connection and the daemon keep serving
+//
+// The server is embeddable (tests run it in-process and connect through
+// a real socket) — pbs_serve (tools/) is a thin main() around it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "serve/protocol.hpp"
+#include "serve/registry.hpp"
+#include "serve/shard.hpp"
+
+namespace pbs::serve {
+
+struct ServeOptions {
+  std::string socket_path = "/tmp/pbs_serve.sock";
+  int worker_threads = 4;
+
+  /// Tile grid of the shard router; 1×1 serves through a single
+  /// executor.
+  int shard_rows = 1;
+  int shard_cols = 1;
+  bool pin_shards = true;
+
+  /// Concurrent multiplies admitted before shedding with kOverloaded
+  /// (0 = bounded only by worker_threads).
+  int max_inflight = 0;
+
+  /// Largest request/response frame accepted (kMalformed beyond it).
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+
+  /// Hard admission gate: reject a multiply with kMemoryBudget when its
+  /// expanded-tuple bound (16 B × flop upper bound, the wide-format
+  /// worst case) exceeds this (0 = off).  Distinct from the executor's
+  /// mem_budget_bytes, which degrades gracefully INSIDE an admitted
+  /// request.
+  std::size_t admission_budget_bytes = 0;
+
+  /// Deadline applied to multiplies that do not carry their own
+  /// (0 = none).
+  double default_deadline_ms = 0;
+
+  /// Per-shard executor options (cache budget, memory budget, ...).
+  /// validate_inputs is forced on by the server: wire ingress is
+  /// untrusted by definition.
+  ExecutorOptions executor;
+};
+
+struct ServerStats {
+  std::uint64_t connections = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t multiplies = 0;  ///< admitted multiply requests
+  std::uint64_t errors = 0;      ///< non-kOk responses sent
+  std::uint64_t shed = 0;        ///< kOverloaded + admission kMemoryBudget
+  std::uint64_t malformed = 0;   ///< frames that failed to decode
+};
+
+class Server {
+ public:
+  /// Binds and listens on opts.socket_path (replacing a stale socket
+  /// file).  Throws std::runtime_error when the socket cannot be bound.
+  explicit Server(ServeOptions opts);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Spawns the accept loop and the worker pool.
+  void start();
+
+  /// Graceful drain: stop accepting, finish in-flight requests, shut
+  /// idle connections, join all threads, remove the socket file.
+  /// Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const;
+  [[nodiscard]] const std::string& socket_path() const;
+  [[nodiscard]] ServerStats stats() const;
+
+  /// Aggregate + per-shard counters as a JSON object (the telemetry
+  /// endpoint's payload).
+  [[nodiscard]] std::string telemetry_json() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace pbs::serve

@@ -99,7 +99,28 @@ struct CachedPlanEntry {
   SpGemmFn fn;         ///< execution path when !use_pb
   bool degraded = false;       ///< plan-time budget downgrade
   std::string degrade_reason;  ///< "budget" when degraded
+  std::size_t bytes = 0;  ///< estimated footprint (set at insert time)
 };
+
+namespace {
+
+/// Estimated resident cost of one cache entry: the struct itself, its
+/// strings, and the PB symbolic arrays (per-bin offsets/fills/homes and
+/// the adaptive layout's bounds).  The tuple streams are NOT here — they
+/// live in the workspace pool, shared by every entry.
+std::size_t entry_bytes(const CachedPlanEntry& e) {
+  std::size_t b = sizeof(CachedPlanEntry);
+  b += e.key.capacity() + e.resolved.capacity() + e.op.algo.capacity() +
+       e.op.semiring.capacity() + e.degrade_reason.capacity();
+  const pb::SymbolicResult& sym = e.pb_plan.sym;
+  b += sym.bin_offsets.capacity() * sizeof(nnz_t);
+  b += sym.bin_fill.capacity() * sizeof(nnz_t);
+  b += sym.bin_home.capacity() * sizeof(int);
+  b += sym.layout.bounds.capacity() * sizeof(index_t);
+  return b;
+}
+
+}  // namespace
 
 struct SpGemmExecutor::Impl {
   explicit Impl(ExecutorOptions o) : opts(o) {
@@ -195,15 +216,62 @@ struct SpGemmExecutor::Impl {
     // rather than hold duplicates.
     for (auto it = lru.begin(); it != lru.end(); ++it) {
       if ((*it)->key == entry->key && (*it)->fp == entry->fp) {
-        lru.erase(it);
+        drop(it);
         break;
       }
     }
+    stats.cache_bytes += entry->bytes;
+    ++stats.cache_entries;
     lru.push_front(std::move(entry));
-    while (lru.size() > opts.cache_capacity) {
-      lru.pop_back();  // in-flight holders keep their shared_ptr
-      ++stats.evictions;
+    if (opts.cache_capacity_bytes > 0) {
+      // Byte-budget mode: the entry count is unbounded; evict by cost.
+      // Among the coldest few entries (LRU tail) the one whose plan is
+      // cheapest to rebuild per byte it occupies goes first — an old but
+      // expensive analysis of a huge structure outlives an equally old
+      // cheap one.  The newest entry is always retained, so a single
+      // over-budget plan still caches (the budget is a target, not a
+      // hard cap).
+      while (stats.cache_bytes > opts.cache_capacity_bytes &&
+             lru.size() > 1) {
+        const std::size_t window = std::min<std::size_t>(8, lru.size() - 1);
+        auto victim = std::prev(lru.end());
+        double victim_score = score(**victim);
+        auto it = std::prev(lru.end());
+        for (std::size_t i = 1; i < window; ++i) {
+          --it;
+          const double s = score(**it);
+          if (s < victim_score) {
+            victim = it;
+            victim_score = s;
+          }
+        }
+        evict(victim);
+      }
+    } else {
+      while (lru.size() > opts.cache_capacity) {
+        evict(std::prev(lru.end()));
+      }
     }
+  }
+
+  /// Rebuild-cost density: seconds of analysis bought back per byte held.
+  static double score(const CachedPlanEntry& e) {
+    return e.plan_seconds / static_cast<double>(std::max<std::size_t>(e.bytes, 1));
+  }
+
+  /// Removes an entry, keeping the byte/entry accounting consistent.
+  /// In-flight holders keep their shared_ptr; only the cache's claim on
+  /// the footprint is released here.
+  void drop(std::list<EntryPtr>::iterator it) {
+    stats.cache_bytes -= (*it)->bytes;
+    --stats.cache_entries;
+    lru.erase(it);
+  }
+
+  void evict(std::list<EntryPtr>::iterator it) {
+    stats.bytes_evicted += (*it)->bytes;
+    ++stats.evictions;
+    drop(it);
   }
 
   /// The selection model an analysis of `op` runs under: the op's
@@ -383,6 +451,7 @@ struct SpGemmExecutor::Impl {
       }
     }
     entry->plan_seconds = timer.elapsed_s();
+    entry->bytes = entry_bytes(*entry);
     return entry;
   }
 

@@ -66,7 +66,21 @@ struct ExecutorOptions {
   /// (structure, op) pairs the workload alternates between; each entry
   /// holds a PB symbolic layout (O(nbins) offsets), not tuple storage —
   /// the big buffers live in the workspace pool, shared by all entries.
+  /// Ignored when cache_capacity_bytes is set.
   std::size_t cache_capacity = 8;
+
+  /// Byte budget for the plan cache (0 = entry-count mode via
+  /// cache_capacity).  A serving daemon sees thousands of distinct
+  /// structures, not 8: a byte budget sizes the cache by what the entries
+  /// actually cost (each entry's symbolic arrays are measured at insert;
+  /// ExecutorStats::cache_bytes tracks the occupancy) instead of an
+  /// arbitrary count.  Eviction is cost-aware: among the coldest entries
+  /// the one with the lowest rebuild-cost density (plan seconds per byte)
+  /// goes first, so a cheap-to-replan giant does not squeeze out many
+  /// expensive small plans.  The budget is a target, not a hard cap: the
+  /// most recent entry is always retained so the current workload cannot
+  /// thrash itself out of the cache.
+  std::size_t cache_capacity_bytes = 0;
 
   /// Refit the selection model's derating constants once this many
   /// predicted-vs-achieved samples have been recorded (0 = never).
@@ -120,6 +134,9 @@ struct ExecutorStats {
   std::uint64_t value_only_hits = 0;  ///< dims+nnz-matched fast-path runs
   std::uint64_t passthrough = 0;  ///< fixed non-pb ops (no fingerprint)
   std::uint64_t evictions = 0;
+  std::uint64_t cache_entries = 0;  ///< plans currently cached
+  std::uint64_t cache_bytes = 0;    ///< estimated bytes they occupy
+  std::uint64_t bytes_evicted = 0;  ///< cumulative bytes reclaimed
   std::uint64_t batches = 0;      ///< run(problem, ops) calls
   std::uint64_t calibrations = 0; ///< automatic warmup refits performed
   std::uint64_t degraded_plans = 0;  ///< pb plans downgraded at plan time

@@ -179,6 +179,63 @@ TEST(Executor, LruEvictsTheLeastRecentlyUsedEntry) {
   EXPECT_EQ(s.evictions, 2u);
 }
 
+TEST(Executor, ByteBudgetLiftsTheEntryCountBound) {
+  // Byte mode: cache_capacity (1 entry here) is ignored; a generous byte
+  // budget holds every structure, so the second round is all hits.
+  ExecutorOptions eo;
+  eo.cache_capacity = 1;
+  eo.cache_capacity_bytes = 64u << 20;
+  SpGemmExecutor exec(eo);
+  SpGemmOp op;
+  op.algo = "pb";
+  std::vector<SpGemmProblem> problems;
+  for (int i = 0; i < 4; ++i) {
+    problems.push_back(SpGemmProblem::square(
+        testutil::exact_er(100 + 20 * i, 100 + 20 * i, 4.0, 60 + i)));
+  }
+  for (int round = 0; round < 2; ++round) {
+    for (const SpGemmProblem& p : problems) (void)exec.run(p, op);
+  }
+  const ExecutorStats s = exec.stats();
+  EXPECT_EQ(s.cache_misses, 4u);
+  EXPECT_EQ(s.cache_hits, 4u);
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_EQ(s.cache_entries, 4u);
+  EXPECT_GT(s.cache_bytes, 0u);
+  EXPECT_EQ(s.bytes_evicted, 0u);
+}
+
+TEST(Executor, ByteBudgetEvictsDownToTheTargetButKeepsTheNewestEntry) {
+  // A budget no entry can fit under still caches the most recent plan
+  // (the budget is a target, not a hard cap), evicting the previous one
+  // on every flip and accounting for the reclaimed bytes.
+  ExecutorOptions eo;
+  eo.cache_capacity_bytes = 1;
+  SpGemmExecutor exec(eo);
+  const SpGemmProblem pa =
+      SpGemmProblem::square(testutil::exact_er(120, 120, 4.0, 64));
+  const SpGemmProblem pb_ =
+      SpGemmProblem::square(testutil::exact_er(140, 140, 4.0, 65));
+  SpGemmOp op;
+  op.algo = "pb";
+  for (int round = 0; round < 2; ++round) {
+    (void)exec.run(pa, op);
+    (void)exec.run(pb_, op);
+  }
+  const ExecutorStats s = exec.stats();
+  EXPECT_EQ(s.cache_misses, 4u);  // the survivor is always the other one
+  EXPECT_EQ(s.cache_hits, 0u);
+  EXPECT_EQ(s.evictions, 3u);
+  EXPECT_EQ(s.cache_entries, 1u);
+  EXPECT_GT(s.cache_bytes, 0u);
+  EXPECT_GT(s.bytes_evicted, 0u);
+  // Back-to-back repeats of one structure still hit: the newest entry
+  // survives its own insert.
+  (void)exec.run(pa, op);  // evicts B
+  (void)exec.run(pa, op);
+  EXPECT_EQ(exec.stats().cache_hits, 1u);
+}
+
 TEST(Executor, OpIdentityKeysTheCacheAlongsideStructure) {
   // Two descriptors on one structure are two entries; flipping between
   // them never replans once both are cached.

@@ -167,6 +167,18 @@ int multiply_planned(const Cli& cli, const SpGemmProblem& problem,
     eopts.mem_budget_bytes =
         static_cast<std::size_t>(budget_mb * 1024.0 * 1024.0);
   }
+  // Plan-cache knobs: --cache-capacity N bounds the entry count,
+  // --cache-capacity-mb M switches to the byte-budgeted policy the
+  // serving daemon uses (cost-aware eviction; overrides N).
+  const double cache_entries = cli.number("cache-capacity", 0);
+  if (cache_entries > 0) {
+    eopts.cache_capacity = static_cast<std::size_t>(cache_entries);
+  }
+  const double cache_mb = cli.number("cache-capacity-mb", 0);
+  if (cache_mb > 0) {
+    eopts.cache_capacity_bytes =
+        static_cast<std::size_t>(cache_mb * 1024.0 * 1024.0);
+  }
   RunOptions ropts;
   const double deadline_ms = cli.number("deadline-ms", 0);
   if (deadline_ms > 0) {
@@ -218,7 +230,10 @@ int multiply_planned(const Cli& cli, const SpGemmProblem& problem,
   const pb::PbWorkspace::Stats ws = exec.workspace_stats();
   std::cout << "  executor cache: " << es.executes << " executes, "
             << es.cache_hits << " hits / " << es.cache_misses
-            << " misses (hit ratio " << es.hit_ratio() << ")";
+            << " misses (hit ratio " << es.hit_ratio() << "), "
+            << es.cache_entries << " entries / "
+            << static_cast<double>(es.cache_bytes) / 1024.0 << " KiB held, "
+            << es.evictions << " evicted";
   if (es.passthrough > 0) {
     std::cout << ", " << es.passthrough << " pass-through";
   }
@@ -327,10 +342,13 @@ int cmd_multiply(const Cli& cli) {
     mask = mtx::coo_to_csr(mtx::read_matrix_market(*cli.get("mask")));
   }
   const bool complement = cli.number("complement", 0) != 0;
-  // The robustness knobs live in the executor, so they imply the
-  // executor path even for a fixed algorithm.
+  // The robustness and cache knobs live in the executor, so they imply
+  // the executor path even for a fixed algorithm.
   const bool robust =
-      cli.get("mem-budget-mb").has_value() || cli.get("deadline-ms").has_value();
+      cli.get("mem-budget-mb").has_value() ||
+      cli.get("deadline-ms").has_value() ||
+      cli.get("cache-capacity").has_value() ||
+      cli.get("cache-capacity-mb").has_value();
   if (algo == "auto" || repeat > 0 || mask.has_value() || robust) {
     const int execs = repeat > 0 ? repeat : reps;
     return multiply_planned(cli, problem, algo, semiring, format,
@@ -519,6 +537,7 @@ void usage() {
       "           [--reps R] [--repeat N] [--out FILE.mtx]\n"
       "           [--mask FILE.mtx] [--complement]\n"
       "           [--mem-budget-mb N] [--deadline-ms T]\n"
+      "           [--cache-capacity N] [--cache-capacity-mb M]\n"
       "  semiring --a FILE.mtx [--name plus_max] [--algo auto] [--repeat N]\n"
       "  calibrate [--scale N] [--reps R]\n"
       "  info\n"
@@ -542,8 +561,11 @@ void usage() {
       "--mem-budget-mb N caps the executor's pooled workspace memory: a\n"
       "PB stream that cannot fit degrades to the row-wise fallback and\n"
       "the degradation is reported; --deadline-ms T bounds each execute\n"
-      "(a run past the deadline unwinds with a deadline error).  Both\n"
-      "route through the executor path.  `semiring`\n"
+      "(a run past the deadline unwinds with a deadline error).\n"
+      "--cache-capacity N bounds the plan cache's entry count and\n"
+      "--cache-capacity-mb M switches it to the byte-budgeted, cost-aware\n"
+      "policy the serving daemon uses (M overrides N).  All four route\n"
+      "through the executor path.  `semiring`\n"
       "registers the tropical (max, +) semiring at runtime and multiplies\n"
       "over it — the user-defined-semiring round trip.  `calibrate` runs\n"
       "an auto-selected sweep and refits the roofline model's derating\n"
