@@ -6,6 +6,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <limits>
 
 namespace pbs::serve {
 
@@ -62,11 +63,14 @@ mtx::CsrMatrix WireReader::csr() {
   const std::uint64_t nnz = u64();
   // Size the arrays from the REMAINING bytes before allocating: the
   // declared counts must fit in what the peer actually sent, so a hostile
-  // header cannot provoke a giant allocation.
-  const std::uint64_t need_bytes =
-      (static_cast<std::uint64_t>(nrows) + 1) * sizeof(nnz_t) +
-      nnz * (sizeof(index_t) + sizeof(value_t));
-  if (need_bytes > remaining()) {
+  // header cannot provoke a giant allocation.  Each component is checked
+  // on its own — a single summed bound would let an attacker-chosen nnz
+  // near 2^64/12 wrap the total below remaining() and pass.
+  const std::uint64_t rem = remaining();
+  const std::uint64_t rowptr_bytes =
+      (static_cast<std::uint64_t>(nrows) + 1) * sizeof(nnz_t);
+  constexpr std::uint64_t kEntryBytes = sizeof(index_t) + sizeof(value_t);
+  if (rowptr_bytes > rem || nnz > (rem - rowptr_bytes) / kEntryBytes) {
     throw WireFormatError(
         "wire: csr declares more data than the payload holds");
   }
@@ -146,6 +150,13 @@ bool read_all(int fd, void* data, std::size_t n, bool eof_ok) {
 }  // namespace
 
 void write_frame(int fd, std::span<const std::uint8_t> payload) {
+  if (payload.size() > std::numeric_limits<std::uint32_t>::max()) {
+    // Before any send: the stream stays framed, the caller can still
+    // answer on this connection.
+    throw FrameTooLargeError("wire: payload of " +
+                             std::to_string(payload.size()) +
+                             " bytes does not fit the u32 frame length");
+  }
   std::uint8_t header[8];
   const std::uint32_t magic = kFrameMagic;
   const auto len = static_cast<std::uint32_t>(payload.size());

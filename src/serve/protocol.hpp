@@ -70,7 +70,8 @@ enum class WireStatus : std::uint8_t {
   kValidation = 1,     ///< ValidationError / malformed operand shapes
   kDeadline = 2,       ///< DeadlineError (per-request deadline expired)
   kCancelled = 3,      ///< CancelledError (server cancel/drain)
-  kMemoryBudget = 4,   ///< MemoryBudgetError or admission budget rejection
+  kMemoryBudget = 4,   ///< MemoryBudgetError, admission budget rejection,
+                       ///< or a result too large for the wire format
   kOverloaded = 5,     ///< shed by admission control (max_inflight)
   kMalformed = 6,      ///< frame failed to decode
   kUnknownHandle = 7,  ///< matrix handle not in the registry
@@ -86,6 +87,17 @@ const char* wire_status_name(WireStatus s) noexcept;
 class WireFormatError : public std::runtime_error {
  public:
   explicit WireFormatError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// A payload too large for the u32 frame-length field (>= 4 GiB) —
+/// silently wrapping the length would desync the stream.  write_frame
+/// throws this BEFORE the first byte goes out, so the connection is
+/// still framed: the server maps it to a typed error reply and keeps
+/// serving.
+class FrameTooLargeError : public std::runtime_error {
+ public:
+  explicit FrameTooLargeError(const std::string& what)
       : std::runtime_error(what) {}
 };
 
@@ -180,7 +192,9 @@ class WireReader {
 // ---- frame transport ------------------------------------------------------
 
 /// Writes one frame (header + payload) to a connected stream socket.
-/// Throws std::runtime_error on a write failure (peer gone).
+/// Throws FrameTooLargeError (before writing anything) when the payload
+/// does not fit the u32 length field, std::runtime_error on a write
+/// failure (peer gone).
 void write_frame(int fd, std::span<const std::uint8_t> payload);
 
 /// Reads one frame's payload.  Returns false on clean EOF at a frame

@@ -22,12 +22,16 @@ bool MatrixRegistry::update_values(std::uint64_t handle,
                                    const mtx::CsrMatrix& m) {
   MatrixPtr cur = get(handle);
   if (cur == nullptr) return false;
+  // colids are part of the frozen structure: comparing them (not just
+  // the per-row occupancy) is what lets consumers trust a registry-held
+  // matrix as validated-at-upload — an update can never smuggle in
+  // column ids the upload-time csr_validate did not see.
   if (m.nrows != cur->nrows || m.ncols != cur->ncols ||
-      m.rowptr != cur->rowptr) {
+      m.rowptr != cur->rowptr || m.colids != cur->colids) {
     throw std::invalid_argument(
         "MatrixRegistry::update_values: structure differs from the "
-        "registered matrix (same dims and per-row occupancy required; "
-        "upload a new handle instead)");
+        "registered matrix (same dims, per-row occupancy, and column ids "
+        "required; upload a new handle instead)");
   }
   // Copy-on-write: in-flight multiplies holding `cur` are unaffected.
   auto next = std::make_shared<const mtx::CsrMatrix>(m);

@@ -37,10 +37,12 @@ class MatrixRegistry {
   [[nodiscard]] MatrixPtr get(std::uint64_t handle) const;
 
   /// Replaces the values of a registered matrix, keeping its structure:
-  /// m must match the stored matrix's dims and per-row occupancy exactly
-  /// (the same check PartitionedPlan::update_a_values applies).  Returns
-  /// false for an unknown handle; throws std::invalid_argument on a
-  /// structure mismatch, leaving the stored matrix unchanged.
+  /// m must match the stored matrix's dims, rowptr, AND colids exactly
+  /// (the full-structure analogue of PartitionedPlan::update_a_values'
+  /// check — so an update cannot introduce column ids the upload-time
+  /// validation never saw).  Returns false for an unknown handle; throws
+  /// std::invalid_argument on a structure mismatch, leaving the stored
+  /// matrix unchanged.
   bool update_values(std::uint64_t handle, const mtx::CsrMatrix& m);
 
   /// Forgets the handle.  Returns false when it was not registered.

@@ -116,6 +116,15 @@ struct Server::Impl {
     {
       const std::lock_guard<std::mutex> lock(mu);
       for (const int fd : live_fds) ::shutdown(fd, SHUT_RD);
+      // Connections still waiting in the queue get the same treatment
+      // BEFORE the sentinels go in: a worker that pops one afterwards
+      // sees immediate EOF instead of parking in recv() on an idle
+      // client forever.  (Workers move an fd from queue to live_fds
+      // under this mutex, so every accepted fd is in exactly one of the
+      // two sets here.)
+      for (const int fd : queue) {
+        if (fd >= 0) ::shutdown(fd, SHUT_RD);
+      }
       // Wake workers idle on the queue.
       for (int i = 0; i < opts.worker_threads; ++i) queue.push_back(-1);
     }
@@ -156,12 +165,12 @@ struct Server::Impl {
         cv.wait(lock, [this] { return !queue.empty(); });
         fd = queue.front();
         queue.pop_front();
+        // Queue -> live_fds under ONE critical section: stop() must see
+        // every accepted fd in one of the two sets, or a connection
+        // caught between them would never get its SHUT_RD.
+        if (fd >= 0) live_fds.insert(fd);
       }
       if (fd < 0) return;  // stop sentinel
-      {
-        const std::lock_guard<std::mutex> lock(mu);
-        live_fds.insert(fd);
-      }
       serve_connection(fd);
       {
         const std::lock_guard<std::mutex> lock(mu);
@@ -206,6 +215,17 @@ struct Server::Impl {
       }
       try {
         write_frame(fd, response);
+      } catch (const FrameTooLargeError& e) {
+        // A result >= 4 GiB does not fit the u32 length field.  Nothing
+        // was written (the size check precedes the first send), so the
+        // stream is still framed: answer with a typed error instead of
+        // silently wrapping the length and desyncing the client.
+        try {
+          response = error(WireStatus::kMemoryBudget, e.what());
+          write_frame(fd, response);
+        } catch (const std::exception&) {
+          return;
+        }
       } catch (const std::exception&) {
         return;
       }
@@ -239,6 +259,12 @@ struct Server::Impl {
         const std::uint64_t h = r.u64();
         const mtx::CsrMatrix m = r.csr();
         r.expect_done();
+        // Same gate as kUpload: nothing unvalidated may enter the
+        // registry, because handle_multiply trusts registry-held
+        // operands as validated-at-upload and scatters by their column
+        // ids before the executor's own checks run.
+        const mtx::CsrValidation v = mtx::csr_validate(m);
+        if (!v) return error(WireStatus::kValidation, v.error);
         try {
           if (!registry.update_values(h, m)) {
             return error(WireStatus::kUnknownHandle,

@@ -202,6 +202,59 @@ TEST(ServeProtocol, InconsistentCsrBlobsAreRejected) {
   }
 }
 
+// Regression: the reader's size check must bound each component on its
+// own — a single summed bound can be wrapped by an attacker-chosen nnz.
+// Both blobs below pass a naive `rowptr_bytes + 12*nnz <= remaining`
+// after uint64 wraparound; accepting either means sizing an allocation
+// (or a memcpy) in the exabyte range from hostile header bytes.
+TEST(ServeProtocol, OverflowingDeclaredCountsCannotWrapTheSizeCheck) {
+  // 12 * 1537228672809129302 == 2^64 + 8, so the naive total is
+  // 16 (rowptr) + 8 == 24 <= the 24 bytes present.
+  constexpr std::uint64_t kWrapNnz = 1537228672809129302ull;
+  {
+    serve::WireWriter w;
+    w.u32(1);  // nrows
+    w.u32(1);  // ncols
+    w.u64(kWrapNnz);
+    w.u64(0);         // rowptr[0]
+    w.u64(kWrapNnz);  // rowptr[1]: consistent with nnz if it got this far
+    w.u64(0);         // pad remaining up to the wrapped total
+    const std::vector<std::uint8_t> bytes = w.take();
+    serve::WireReader r(bytes);
+    EXPECT_THROW((void)r.csr(), serve::WireFormatError);
+  }
+  // Same wrap reached through the rowptr term: nrows = 2^32-1 puts 2^35
+  // rowptr bytes in the total and 12*nnz tips it to 2^64 + 4.
+  {
+    serve::WireWriter w;
+    w.u32(0xFFFFFFFFu);  // nrows
+    w.u32(1);            // ncols
+    w.u64(1537228669945817771ull);
+    w.u64(0);  // 8 bytes remaining >= the wrapped total of 4
+    const std::vector<std::uint8_t> bytes = w.take();
+    serve::WireReader r(bytes);
+    EXPECT_THROW((void)r.csr(), serve::WireFormatError);
+  }
+}
+
+// Regression: a payload that does not fit the u32 frame-length field
+// must throw — silently truncating the length desyncs the stream.  The
+// check precedes every send and every payload access, so the span's
+// (deliberately lying) extent is never dereferenced and no byte leaks
+// onto the wire.
+TEST(ServeProtocol, OversizedPayloadThrowsBeforeAnyByteIsSent) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::uint8_t byte = 0;
+  const std::span<const std::uint8_t> oversized(&byte, std::size_t{1} << 32);
+  EXPECT_THROW(serve::write_frame(fds[0], oversized),
+               serve::FrameTooLargeError);
+  std::uint8_t probe = 0;
+  EXPECT_EQ(::recv(fds[1], &probe, 1, MSG_DONTWAIT), -1);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
 TEST(ServeProtocol, TrailingBytesAreAProtocolViolation) {
   std::vector<std::uint8_t> bytes = serve::encode_ping();
   bytes.push_back(0xAB);
@@ -238,6 +291,27 @@ TEST(ServeRegistry, UploadUpdateReleaseLifecycle) {
   EXPECT_FALSE(reg.release(h));
   // Handles are never reused.
   EXPECT_GT(reg.upload(a), h);
+}
+
+// Regression: colids are frozen structure too.  An "update" that keeps
+// the dims and per-row occupancy but swaps in different column ids must
+// be rejected — consumers trust registry entries as validated-at-upload,
+// so an update may never introduce ids that validation did not see.
+TEST(ServeRegistry, UpdateValuesRejectsChangedColids) {
+  serve::MatrixRegistry reg;
+  mtx::CsrMatrix a;
+  a.nrows = 2;
+  a.ncols = 4;
+  a.rowptr = {0, 2, 3};
+  a.colids = {0, 2, 1};
+  a.vals = {1.0, 2.0, 3.0};
+  const std::uint64_t h = reg.upload(a);
+
+  mtx::CsrMatrix same_occupancy = a;
+  same_occupancy.colids = {0, 3, 1};  // same per-row counts, new column
+  EXPECT_THROW((void)reg.update_values(h, same_occupancy),
+               std::invalid_argument);
+  EXPECT_TRUE(mtx::equal_exact(*reg.get(h), a));
 }
 
 // ---- shard router: bit-identity across grids and semirings ----------------
@@ -544,6 +618,31 @@ TEST(ServeErrors, InvalidOperandsRejectWithKValidation) {
   }
 }
 
+// Regression: kUpdateValues is wire ingress exactly like kUpload — a
+// matrix whose dims and rowptr match the registered one but whose colids
+// are out of range must be stopped at the handler with kValidation,
+// never enter the registry, and leave the handle multiplying with the
+// original validated operand.
+TEST(ServeErrors, UpdateValuesCannotInjectInvalidColids) {
+  TestServer ts;
+  serve::Client cli(ts.path());
+  const mtx::CsrMatrix a = testutil::exact_er(60, 60, 4.0, 119);
+  const std::uint64_t h = cli.upload(a);
+  const mtx::CsrMatrix ref = cli.square(h);
+
+  mtx::CsrMatrix poisoned = a;
+  ASSERT_FALSE(poisoned.colids.empty());
+  poisoned.colids[0] = poisoned.ncols + 7;
+  try {
+    cli.update_values(h, poisoned);
+    FAIL() << "out-of-range colids entered the registry";
+  } catch (const serve::ServeError& e) {
+    EXPECT_EQ(e.status(), serve::WireStatus::kValidation);
+  }
+  // The registry still serves the validated original, bit-identically.
+  EXPECT_TRUE(mtx::equal_exact(cli.square(h), ref));
+}
+
 TEST(ServeErrors, UnknownAlgoRejectsWithKUnsupported) {
   TestServer ts;
   serve::Client cli(ts.path());
@@ -775,6 +874,25 @@ TEST(ServeDrain, StopFinishesCleanlyWithConnectionsOpen) {
   // ...and stop() is idempotent.
   ts.server->stop();
   EXPECT_EQ(ts.server->stats().connections, 1u);
+}
+
+// Regression: a connection still parked in the accept queue when stop()
+// runs (every worker busy) must get SHUT_RD along with the live ones —
+// otherwise the worker that pops it after the sentinels sits in recv()
+// on an idle client forever and stop() never joins.
+TEST(ServeDrain, StopDoesNotHangOnQueuedIdleConnections) {
+  serve::ServeOptions so;
+  so.worker_threads = 1;
+  TestServer ts(std::move(so));
+
+  serve::Client busy(ts.path());
+  busy.ping();  // the only worker now owns this connection
+  serve::Client queued(ts.path());  // accepted, waiting in the queue
+  while (ts.server->stats().connections < 2) {
+    std::this_thread::sleep_for(1ms);
+  }
+  ts.server->stop();  // must return, not park in recv() forever
+  EXPECT_FALSE(ts.server->running());
 }
 
 }  // namespace
