@@ -9,6 +9,15 @@
 // until M reaches a (near) fixed point.  Clusters are then the connected
 // sets of rows that "attract" each column.
 //
+// The prune step is FUSED into the expansion: inflation is monotone on
+// the product's non-negative values, so "inflate then drop |v| < t and
+// keep the top-k" selects exactly the entries "drop |v| < t^(1/r), keep
+// the top-k" selects on the raw product.  The op's post_op runs that
+// selection inside the SpGEMM kernels (PB applies it per bin, before CSR
+// conversion ever sizes the output), so the unpruned expansion — the
+// iteration's peak-memory spike in a post-pass formulation — is never
+// materialized; only the surviving entries are inflated.
+//
 // The expansion step runs through a SpGemmExecutor: MCL multiplies every
 // iteration and its structure ALTERNATES as pruning kicks in and the
 // matrix settles, so the executor's fingerprint-keyed plan cache analyzes
@@ -21,6 +30,7 @@
 //   ./markov_clustering [n] [avg_degree] [inflation] [algo]   (algo: auto)
 #include <pbs/pbs.hpp>
 
+#include <cmath>
 #include <cstdlib>
 #include <iostream>
 #include <vector>
@@ -82,6 +92,11 @@ int main(int argc, char** argv) {
   // a cache hit, and the pooled workspace persists across all of it.
   pbs::SpGemmOp op;
   op.algo = algo;
+  // Fused inflate-prune (header comment): the raw-product threshold whose
+  // survivors are exactly the post-inflation kPruneThreshold survivors,
+  // plus the top-k per row, both applied inside the kernels.
+  op.post_op.prune_threshold = std::pow(kPruneThreshold, 1.0 / inflation);
+  op.post_op.top_k = kKeepPerRow;
   pbs::SpGemmExecutor exec;
   pbs::RunInfo info;
   exec.prepare(pbs::SpGemmProblem::square(m), op, &info);
@@ -104,10 +119,10 @@ int main(int argc, char** argv) {
                                 static_cast<double>(expanded.nnz())
                           : 0.0;
 
-    m = pbs::mtx::normalize_columns(pbs::mtx::keep_top_k_per_row(
-        pbs::mtx::prune(pbs::mtx::element_power(expanded, inflation),
-                        kPruneThreshold),
-        kKeepPerRow));
+    // `expanded` is already pruned and top-k-selected (fused post-op):
+    // inflate the survivors and renormalize.
+    m = pbs::mtx::normalize_columns(
+        pbs::mtx::element_power(expanded, inflation));
 
     const pbs::value_t delta = pbs::mtx::max_abs_diff(m, prev);
     std::cout << "  iter " << iter << ": nnz = " << m.nnz()

@@ -1,0 +1,116 @@
+// Elementwise post-operations fused into SpGEMM output assembly.
+//
+// Iterative workloads shape the product the moment it exists: MCL prunes
+// tiny entries and keeps the top-k per row right after every expansion,
+// AMG rescales, filtering queries threshold.  Run separately, each of
+// those is a full extra read+write of C — exactly the traffic the PB
+// pipeline exists to avoid.  A PostOp travels inside the operation
+// descriptor (SpGemmOp::post_op) and is applied while the output row is
+// still in cache: in the PB pipeline's per-bin filter stage (right after
+// the fused mask, before convert ever sizes the CSR), and in the row-wise
+// kernels' row flush.  The unpruned C is never materialized.
+//
+// The three knobs compose (all may be set at once) and apply in a fixed
+// order chosen to match MCL's inflate-prune-select written as separate
+// passes:
+//
+//   1. scale      v <- v * scale              (skipped when scale == 1)
+//   2. prune      drop entries |v| < prune_threshold
+//   3. top-k      keep the k largest-|v| entries per row
+//                 (ties resolved toward smaller column ids, matching
+//                 mtx::keep_top_k_per_row's selection; kept entries stay
+//                 in ascending column order)
+//
+// Post-ops read and compare *values*, so they are rejected at plan time
+// for value-free semirings (and the key-only tuple stream that carries
+// them): there is no value to threshold.  This header sits in common/ so
+// both the pb/ kernels and the spgemm/ descriptor layer can use it
+// without an include cycle.
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace pbs {
+
+struct PostOp {
+  double scale = 1.0;            ///< multiply every surviving value
+  double prune_threshold = 0.0;  ///< drop |v| < threshold (0 = off)
+  index_t top_k = 0;             ///< keep k largest-|v| per row (0 = off)
+
+  /// True when any knob departs from the identity.
+  [[nodiscard]] bool active() const {
+    return scale != 1.0 || prune_threshold > 0.0 || top_k > 0;
+  }
+
+  /// True when the op can drop entries (prune or top-k) — a pure scale
+  /// keeps the pattern, which lets value-only fast paths stay valid.
+  [[nodiscard]] bool drops_entries() const {
+    return prune_threshold > 0.0 || top_k > 0;
+  }
+
+  friend bool operator==(const PostOp&, const PostOp&) = default;
+};
+
+/// Parses a CLI/wire spec: comma-separated `prune:T`, `topk:K`, `scale:X`
+/// terms in any order, e.g. "prune:1e-5,topk:64".  Throws
+/// std::invalid_argument on unknown terms or malformed numbers.
+inline PostOp parse_post_op(const std::string& spec) {
+  PostOp op;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string term = spec.substr(pos, end - pos);
+    const std::size_t colon = term.find(':');
+    if (colon == std::string::npos) {
+      throw std::invalid_argument("post-op term '" + term +
+                                  "': expected name:value");
+    }
+    const std::string name = term.substr(0, colon);
+    const std::string val = term.substr(colon + 1);
+    try {
+      if (name == "prune") {
+        op.prune_threshold = std::stod(val);
+        if (!(op.prune_threshold >= 0) || !std::isfinite(op.prune_threshold)) {
+          throw std::invalid_argument("negative or non-finite");
+        }
+      } else if (name == "topk") {
+        const long k = std::stol(val);
+        if (k <= 0) throw std::invalid_argument("non-positive");
+        op.top_k = static_cast<index_t>(k);
+      } else if (name == "scale") {
+        op.scale = std::stod(val);
+        if (!std::isfinite(op.scale)) throw std::invalid_argument("non-finite");
+      } else {
+        throw std::invalid_argument("unknown term");
+      }
+    } catch (const std::exception&) {
+      throw std::invalid_argument("post-op term '" + term +
+                                  "': expected prune:THRESH, topk:K or "
+                                  "scale:X with a valid number");
+    }
+    pos = end + 1;
+  }
+  return op;
+}
+
+/// Round-trips through parse_post_op; "" for the identity op.
+inline std::string post_op_to_string(const PostOp& op) {
+  std::string s;
+  const auto append = [&s](const std::string& term) {
+    if (!s.empty()) s += ',';
+    s += term;
+  };
+  if (op.scale != 1.0) append("scale:" + std::to_string(op.scale));
+  if (op.prune_threshold > 0) {
+    append("prune:" + std::to_string(op.prune_threshold));
+  }
+  if (op.top_k > 0) append("topk:" + std::to_string(op.top_k));
+  return s;
+}
+
+}  // namespace pbs

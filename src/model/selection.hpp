@@ -121,6 +121,14 @@ struct SelectionModel {
   /// dominates any bandwidth advantage; pick the low-overhead heap.
   nnz_t small_flop_threshold = 32768;
 
+  /// Kept-side mask density at or below which PB's fused expand mask
+  /// engages (mirror of pb::PbConfig::expand_mask_max_density — keep the
+  /// two in sync or the model credits a path that will not run): sparse
+  /// masks let PB skip tuple generation in the scatter loop, so its
+  /// estimate is credited the skipped tuples; dense masks keep the cheap
+  /// post-compress drop and earn no credit.
+  double expand_mask_density_max = 0.05;
+
   /// Refits the two per-family derating constants — pb_efficiency and
   /// column_latency_penalty — from recorded predicted-vs-achieved pairs,
   /// closing the telemetry loop: each sample's prediction is inverted
@@ -149,6 +157,10 @@ struct MaskModel {
   double coverage = 1.0;
   /// nnz(mask): cap on surviving output nonzeros for a plain mask.
   nnz_t mask_nnz = 0;
+  /// Density of the *kept* side — nnz(mask)/cells, complement-flipped —
+  /// the quantity PB's ExpandMaskMode::kAuto gates on.  1.0 ("dense")
+  /// leaves PB's estimate uncredited.
+  double kept_density = 1.0;
 };
 
 /// The decision plus everything needed to explain it in telemetry.

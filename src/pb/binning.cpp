@@ -51,6 +51,15 @@ const char* to_string(FormatPolicy p) {
   return "?";
 }
 
+const char* to_string(ExpandMaskMode m) {
+  switch (m) {
+    case ExpandMaskMode::kAuto: return "auto";
+    case ExpandMaskMode::kOff: return "off";
+    case ExpandMaskMode::kOn: return "on";
+  }
+  return "?";
+}
+
 const char* to_string(TupleFormat f) {
   switch (f) {
     case TupleFormat::kWide: return "wide";

@@ -9,6 +9,7 @@
 // "4-byte key, four passes" behaviour automatically).
 #pragma once
 
+#include <algorithm>
 #include <span>
 #include <vector>
 
@@ -75,6 +76,40 @@ struct BinLayout {
   /// Bits needed to hold any bin's local_row values, given the matrix row
   /// count — the row half of the narrow-format fit test.
   [[nodiscard]] int local_row_bits(index_t nrows) const;
+
+  /// Visits every row `bin` owns, in ascending global-row order — the same
+  /// order the bin's sorted tuples carry their rows in (local_row is
+  /// monotone in the rowid for every policy), which is what lets the
+  /// accumulate builders merge a bin's tuple stream against C's rows in
+  /// one forward sweep.  `nrows` bounds the walk for the range layout
+  /// (whose top bin may extend past the matrix) and the modulo layout
+  /// (whose bins stride the whole row space).
+  template <typename Fn>
+  void for_each_row(int bin, index_t nrows, Fn&& fn) const {
+    switch (policy) {
+      case BinPolicy::kRange: {
+        const index_t lo = static_cast<index_t>(bin) << shift;
+        const index_t hi =
+            std::min<index_t>(nrows, lo + (index_t{1} << shift));
+        for (index_t r = lo; r < hi; ++r) fn(r);
+        return;
+      }
+      case BinPolicy::kModulo: {
+        const auto stride = static_cast<index_t>(mask) + 1;
+        for (index_t r = static_cast<index_t>(bin); r < nrows; r += stride) {
+          fn(r);
+        }
+        return;
+      }
+      case BinPolicy::kAdaptive: {
+        const index_t lo = bounds[static_cast<std::size_t>(bin)];
+        const index_t hi =
+            std::min<index_t>(nrows, bounds[static_cast<std::size_t>(bin) + 1]);
+        for (index_t r = lo; r < hi; ++r) fn(r);
+        return;
+      }
+    }
+  }
 };
 
 /// The paper's bin-count rule (Algorithm 3 line 6): enough bins that one

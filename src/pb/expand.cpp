@@ -7,95 +7,97 @@ namespace pbs::pb {
 template nnz_t pb_expand<PlusTimes>(const mtx::CscMatrix&,
                                     const mtx::CsrMatrix&,
                                     const SymbolicResult&, const PbConfig&,
-                                    Tuple*);
+                                    Tuple*, const MaskSpec&, nnz_t*);
 template nnz_t pb_expand<MinPlus>(const mtx::CscMatrix&, const mtx::CsrMatrix&,
                                   const SymbolicResult&, const PbConfig&,
-                                  Tuple*);
+                                  Tuple*, const MaskSpec&, nnz_t*);
 template nnz_t pb_expand<MaxMin>(const mtx::CscMatrix&, const mtx::CsrMatrix&,
                                  const SymbolicResult&, const PbConfig&,
-                                 Tuple*);
+                                 Tuple*, const MaskSpec&, nnz_t*);
 template nnz_t pb_expand<BoolOrAnd>(const mtx::CscMatrix&,
                                     const mtx::CsrMatrix&,
                                     const SymbolicResult&, const PbConfig&,
-                                    Tuple*);
+                                    Tuple*, const MaskSpec&, nnz_t*);
 
 template nnz_t pb_expand_narrow<PlusTimes>(const mtx::CscMatrix&,
                                            const mtx::CsrMatrix&,
                                            const SymbolicResult&,
                                            const PbConfig&, narrow_key_t*,
-                                           value_t*);
+                                           value_t*, const MaskSpec&, nnz_t*);
 template nnz_t pb_expand_narrow<MinPlus>(const mtx::CscMatrix&,
                                          const mtx::CsrMatrix&,
                                          const SymbolicResult&,
                                          const PbConfig&, narrow_key_t*,
-                                         value_t*);
+                                         value_t*, const MaskSpec&, nnz_t*);
 template nnz_t pb_expand_narrow<MaxMin>(const mtx::CscMatrix&,
                                         const mtx::CsrMatrix&,
                                         const SymbolicResult&,
                                         const PbConfig&, narrow_key_t*,
-                                        value_t*);
+                                        value_t*, const MaskSpec&, nnz_t*);
 template nnz_t pb_expand_narrow<BoolOrAnd>(const mtx::CscMatrix&,
                                            const mtx::CsrMatrix&,
                                            const SymbolicResult&,
                                            const PbConfig&, narrow_key_t*,
-                                           value_t*);
+                                           value_t*, const MaskSpec&, nnz_t*);
 
 template nnz_t pb_expand_narrow_f32<PlusTimes>(const mtx::CscMatrix&,
                                                const mtx::CsrMatrix&,
                                                const SymbolicResult&,
                                                const PbConfig&, narrow_key_t*,
-                                               f32_val_t*);
+                                               f32_val_t*, const MaskSpec&, nnz_t*);
 template nnz_t pb_expand_narrow_f32<MinPlus>(const mtx::CscMatrix&,
                                              const mtx::CsrMatrix&,
                                              const SymbolicResult&,
                                              const PbConfig&, narrow_key_t*,
-                                             f32_val_t*);
+                                             f32_val_t*, const MaskSpec&, nnz_t*);
 template nnz_t pb_expand_narrow_f32<MaxMin>(const mtx::CscMatrix&,
                                             const mtx::CsrMatrix&,
                                             const SymbolicResult&,
                                             const PbConfig&, narrow_key_t*,
-                                            f32_val_t*);
+                                            f32_val_t*, const MaskSpec&, nnz_t*);
 template nnz_t pb_expand_narrow_f32<BoolOrAnd>(const mtx::CscMatrix&,
                                                const mtx::CsrMatrix&,
                                                const SymbolicResult&,
                                                const PbConfig&, narrow_key_t*,
-                                               f32_val_t*);
+                                               f32_val_t*, const MaskSpec&, nnz_t*);
 
 // The runtime-semiring bridge (spgemm/op.hpp): S::mul indirects through
 // the active RuntimeSemiring's closure; routing and blocking are identical.
 template nnz_t pb_expand<DynSemiring>(const mtx::CscMatrix&,
                                       const mtx::CsrMatrix&,
                                       const SymbolicResult&, const PbConfig&,
-                                      Tuple*);
+                                      Tuple*, const MaskSpec&, nnz_t*);
 template nnz_t pb_expand_narrow<DynSemiring>(const mtx::CscMatrix&,
                                              const mtx::CsrMatrix&,
                                              const SymbolicResult&,
                                              const PbConfig&, narrow_key_t*,
-                                             value_t*);
+                                             value_t*, const MaskSpec&, nnz_t*);
 template nnz_t pb_expand_narrow_f32<DynSemiring>(const mtx::CscMatrix&,
                                                  const mtx::CsrMatrix&,
                                                  const SymbolicResult&,
                                                  const PbConfig&,
-                                                 narrow_key_t*, f32_val_t*);
+                                                 narrow_key_t*, f32_val_t*, const MaskSpec&, nnz_t*);
 
 nnz_t pb_expand(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
-                const SymbolicResult& sym, const PbConfig& cfg, Tuple* out) {
-  return pb_expand<PlusTimes>(a, b, sym, cfg, out);
+                const SymbolicResult& sym, const PbConfig& cfg, Tuple* out,
+                const MaskSpec& emask, nnz_t* actual_fill) {
+  return pb_expand<PlusTimes>(a, b, sym, cfg, out, emask, actual_fill);
 }
 
 nnz_t pb_expand_keyonly(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
                         const SymbolicResult& sym, const PbConfig& cfg,
-                        wide_key_t* out_keys) {
+                        wide_key_t* out_keys, const MaskSpec& emask,
+                        nnz_t* actual_fill) {
   switch (sym.layout.policy) {
     case BinPolicy::kRange:
-      return detail::expand_keyonly_impl<BinPolicy::kRange>(a, b, sym, cfg,
-                                                            out_keys);
+      return detail::expand_keyonly_impl<BinPolicy::kRange>(
+          a, b, sym, cfg, out_keys, emask, actual_fill);
     case BinPolicy::kModulo:
-      return detail::expand_keyonly_impl<BinPolicy::kModulo>(a, b, sym, cfg,
-                                                             out_keys);
+      return detail::expand_keyonly_impl<BinPolicy::kModulo>(
+          a, b, sym, cfg, out_keys, emask, actual_fill);
     case BinPolicy::kAdaptive:
-      return detail::expand_keyonly_impl<BinPolicy::kAdaptive>(a, b, sym, cfg,
-                                                               out_keys);
+      return detail::expand_keyonly_impl<BinPolicy::kAdaptive>(
+          a, b, sym, cfg, out_keys, emask, actual_fill);
   }
   return 0;
 }

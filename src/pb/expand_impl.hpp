@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <cstring>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -92,9 +93,43 @@ index_t fast_local_row(const BinLayout& layout, int bin, index_t row,
 // no-op (compiled away); the pipelined schedule's sink advances the bin's
 // done-counter and, on completion, publishes the bin to a work-stealing
 // deque (pipeline_impl.hpp).
+//
+// With an active expand-phase mask (emask), tuples the mask rejects are
+// never buffered — the bodies instead batch per-bin *skip credits* and
+// report them through `sink.skipped(bin, count)`.  A bin's done-counter
+// thus still converges to its symbolic fill mark (flushed + skipped ==
+// flop), so pipelined bin-completion detection is untouched; only the
+// write cursor falls short of the mark, and the caller reads the cursors
+// back as the bins' actual generated fills.  Credits ride the flush cycle
+// (plus a final drain) rather than hitting the sink per tuple.
 struct NullFlushSink {
   void flushed(std::size_t /*bin*/, int /*count*/) {}
+  void skipped(std::size_t /*bin*/, nnz_t /*count*/) {}
 };
+
+// The per-(output row, B row) mask merge used by all four team bodies: the
+// B row's columns and the mask row's columns are both ascending, so one
+// forward scan of the mask row per pair decides every candidate tuple.
+// Keep when membership != complement.  Returns via `emit(bi)` for kept
+// candidates and counts the rest.
+template <typename Emit>
+inline nnz_t masked_scan(std::span<const index_t> bcols,
+                         std::span<const index_t> mrow, bool complement,
+                         Emit&& emit) {
+  nnz_t skipped = 0;
+  std::size_t mi = 0;
+  for (std::size_t bi = 0; bi < bcols.size(); ++bi) {
+    const index_t c = bcols[bi];
+    while (mi < mrow.size() && mrow[mi] < c) ++mi;
+    const bool in_mask = mi < mrow.size() && mrow[mi] == c;
+    if (in_mask == complement) {
+      ++skipped;
+      continue;
+    }
+    emit(bi);
+  }
+  return skipped;
+}
 
 // Team-callable wide expand: runs INSIDE an existing parallel region (every
 // thread of the team must call it — it contains an `omp for`).  `cursor`
@@ -103,16 +138,19 @@ struct NullFlushSink {
 template <BinPolicy P, typename S, typename Sink>
 nnz_t expand_team(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
                   const SymbolicResult& sym, const PbConfig& cfg, Tuple* out,
-                  std::atomic<nnz_t>* cursor, Sink& sink) {
+                  std::atomic<nnz_t>* cursor, Sink& sink,
+                  const MaskSpec& emask = {}) {
   const BinLayout& layout = sym.layout;
   const auto nbins = static_cast<std::size_t>(layout.nbins);
   const int cap =
       std::max<int>(1, cfg.local_bin_bytes / static_cast<int>(sizeof(Tuple)));
+  const bool masked = emask.active();
 
   // Thread-private local bins: nbins buffers of `cap` tuples in one
   // contiguous allocation (paper: 1K bins x 512B fits comfortably in L2).
   AlignedBuffer<Tuple> lbin(nbins * static_cast<std::size_t>(cap));
   std::vector<int> lcnt(nbins, 0);
+  std::vector<nnz_t> lskip(masked ? nbins : 0, 0);
   nnz_t flushes = 0;
 
   auto flush = [&](std::size_t bin) {
@@ -123,6 +161,10 @@ nnz_t expand_team(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
     lcnt[bin] = 0;
     ++flushes;
     sink.flushed(bin, count);
+    if (masked && lskip[bin] != 0) {
+      sink.skipped(bin, lskip[bin]);
+      lskip[bin] = 0;
+    }
   };
 
 #pragma omp for schedule(guided) nowait
@@ -142,6 +184,23 @@ nnz_t expand_team(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
       const value_t av = avals[ai];
       const auto bin = static_cast<std::size_t>(fast_binid<P>(layout, r));
       Tuple* lane = lbin.data() + bin * static_cast<std::size_t>(cap);
+      if (masked) {
+        const auto mrow = emask.csr->row_cols(r);
+        if (mrow.empty() && !emask.complement) {
+          // Empty mask row keeps nothing: the whole B row is skipped
+          // without touching the lane (the common case on sparse masks).
+          lskip[bin] += static_cast<nnz_t>(bcols.size());
+          continue;
+        }
+        lskip[bin] += masked_scan(bcols, mrow, emask.complement,
+                                  [&](std::size_t bi) {
+                                    if (lcnt[bin] == cap) flush(bin);
+                                    lane[lcnt[bin]++] =
+                                        Tuple{make_key(r, bcols[bi]),
+                                              S::mul(av, bvals[bi])};
+                                  });
+        continue;
+      }
       for (std::size_t bi = 0; bi < bcols.size(); ++bi) {
         if (lcnt[bin] == cap) flush(bin);
         lane[lcnt[bin]++] =
@@ -150,9 +209,14 @@ nnz_t expand_team(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
     }
   }
 
-  // Drain the partially-filled local bins (Algorithm 2, lines 15-18).
+  // Drain the partially-filled local bins (Algorithm 2, lines 15-18), plus
+  // any skip credits batched for bins this thread never flushed again.
   for (std::size_t bin = 0; bin < nbins; ++bin) {
     if (lcnt[bin] != 0) flush(bin);
+    if (masked && lskip[bin] != 0) {
+      sink.skipped(bin, lskip[bin]);
+      lskip[bin] = 0;
+    }
   }
   flush_fence();
   return flushes;
@@ -160,7 +224,8 @@ nnz_t expand_team(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
 
 template <BinPolicy P, typename S>
 nnz_t expand_impl(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
-                  const SymbolicResult& sym, const PbConfig& cfg, Tuple* out) {
+                  const SymbolicResult& sym, const PbConfig& cfg, Tuple* out,
+                  const MaskSpec& emask, nnz_t* actual_fill) {
   const auto nbins = static_cast<std::size_t>(sym.layout.nbins);
 
   // One write cursor per global bin, starting at the bin's region origin.
@@ -173,14 +238,24 @@ nnz_t expand_impl(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
 #pragma omp parallel reduction(+ : flushes)
   {
     NullFlushSink sink;
-    flushes += expand_team<P, S>(a, b, sym, cfg, out, cursor.data(), sink);
+    flushes += expand_team<P, S>(a, b, sym, cfg, out, cursor.data(), sink,
+                                 emask);
   }
 
+  if (actual_fill != nullptr) {
+    for (std::size_t bin = 0; bin < nbins; ++bin) {
+      actual_fill[bin] =
+          cursor[bin].load(std::memory_order_relaxed) - sym.bin_offsets[bin];
+    }
+  }
   if (cfg.validate &&
       !(cfg.cancel != nullptr && cfg.cancel->stop_requested_now())) {
     for (std::size_t bin = 0; bin < nbins; ++bin) {
-      if (cursor[bin].load(std::memory_order_relaxed) !=
-          sym.bin_offsets[bin] + sym.bin_fill[bin]) {
+      const nnz_t end = cursor[bin].load(std::memory_order_relaxed);
+      const nnz_t mark = sym.bin_offsets[bin] + sym.bin_fill[bin];
+      // A masked scatter legitimately stops short of the fill mark; an
+      // unmasked one must hit it exactly.
+      if (emask.active() ? end > mark : end != mark) {
         throw std::logic_error("pb_expand: bin " + std::to_string(bin) +
                                " cursor does not meet its fill mark");
       }
@@ -200,7 +275,8 @@ template <BinPolicy P, typename S, typename Sink>
 nnz_t expand_narrow_team(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
                          const SymbolicResult& sym, const PbConfig& cfg,
                          narrow_key_t* out_keys, value_t* out_vals,
-                         std::atomic<nnz_t>* cursor, Sink& sink) {
+                         std::atomic<nnz_t>* cursor, Sink& sink,
+                         const MaskSpec& emask = {}) {
   const BinLayout& layout = sym.layout;
   const auto nbins = static_cast<std::size_t>(layout.nbins);
   const int cap = std::max<int>(
@@ -209,12 +285,14 @@ nnz_t expand_narrow_team(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
   const int col_bits = sym.col_bits;
   const int mod_shift =
       layout.policy == BinPolicy::kModulo ? layout.modulo_shift() : 0;
+  const bool masked = emask.active();
 
   // All key lanes, then all value lanes (both line-aligned: cap is a
   // multiple of 16, so each lane starts on a 64 B boundary).
   AlignedBuffer<narrow_key_t> lkeys(nbins * static_cast<std::size_t>(cap));
   AlignedBuffer<value_t> lvals(nbins * static_cast<std::size_t>(cap));
   std::vector<int> lcnt(nbins, 0);
+  std::vector<nnz_t> lskip(masked ? nbins : 0, 0);
   nnz_t flushes = 0;
 
   auto flush = [&](std::size_t bin) {
@@ -229,6 +307,10 @@ nnz_t expand_narrow_team(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
     lcnt[bin] = 0;
     ++flushes;
     sink.flushed(bin, count);
+    if (masked && lskip[bin] != 0) {
+      sink.skipped(bin, lskip[bin]);
+      lskip[bin] = 0;
+    }
   };
 
 #pragma omp for schedule(guided) nowait
@@ -255,6 +337,23 @@ nnz_t expand_narrow_team(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
           << col_bits;
       narrow_key_t* klane = lkeys.data() + bin * static_cast<std::size_t>(cap);
       value_t* vlane = lvals.data() + bin * static_cast<std::size_t>(cap);
+      if (masked) {
+        const auto mrow = emask.csr->row_cols(r);
+        if (mrow.empty() && !emask.complement) {
+          lskip[bin] += static_cast<nnz_t>(bcols.size());
+          continue;
+        }
+        lskip[bin] += masked_scan(bcols, mrow, emask.complement,
+                                  [&](std::size_t bi) {
+                                    if (lcnt[bin] == cap) flush(bin);
+                                    const int at = lcnt[bin]++;
+                                    klane[at] =
+                                        rowkey |
+                                        static_cast<narrow_key_t>(bcols[bi]);
+                                    vlane[at] = S::mul(av, bvals[bi]);
+                                  });
+        continue;
+      }
       for (std::size_t bi = 0; bi < bcols.size(); ++bi) {
         if (lcnt[bin] == cap) flush(bin);
         const int at = lcnt[bin]++;
@@ -266,6 +365,10 @@ nnz_t expand_narrow_team(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
 
   for (std::size_t bin = 0; bin < nbins; ++bin) {
     if (lcnt[bin] != 0) flush(bin);
+    if (masked && lskip[bin] != 0) {
+      sink.skipped(bin, lskip[bin]);
+      lskip[bin] = 0;
+    }
   }
   flush_fence();
   return flushes;
@@ -274,7 +377,8 @@ nnz_t expand_narrow_team(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
 template <BinPolicy P, typename S>
 nnz_t expand_narrow_impl(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
                          const SymbolicResult& sym, const PbConfig& cfg,
-                         narrow_key_t* out_keys, value_t* out_vals) {
+                         narrow_key_t* out_keys, value_t* out_vals,
+                         const MaskSpec& emask, nnz_t* actual_fill) {
   const auto nbins = static_cast<std::size_t>(sym.layout.nbins);
 
   std::vector<std::atomic<nnz_t>> cursor(nbins);
@@ -287,14 +391,21 @@ nnz_t expand_narrow_impl(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
   {
     NullFlushSink sink;
     flushes += expand_narrow_team<P, S>(a, b, sym, cfg, out_keys, out_vals,
-                                        cursor.data(), sink);
+                                        cursor.data(), sink, emask);
   }
 
+  if (actual_fill != nullptr) {
+    for (std::size_t bin = 0; bin < nbins; ++bin) {
+      actual_fill[bin] =
+          cursor[bin].load(std::memory_order_relaxed) - sym.bin_offsets[bin];
+    }
+  }
   if (cfg.validate &&
       !(cfg.cancel != nullptr && cfg.cancel->stop_requested_now())) {
     for (std::size_t bin = 0; bin < nbins; ++bin) {
-      if (cursor[bin].load(std::memory_order_relaxed) !=
-          sym.bin_offsets[bin] + sym.bin_fill[bin]) {
+      const nnz_t end = cursor[bin].load(std::memory_order_relaxed);
+      const nnz_t mark = sym.bin_offsets[bin] + sym.bin_fill[bin];
+      if (emask.active() ? end > mark : end != mark) {
         throw std::logic_error("pb_expand_narrow: bin " + std::to_string(bin) +
                                " cursor does not meet its fill mark");
       }
@@ -314,14 +425,16 @@ template <BinPolicy P, typename Sink>
 nnz_t expand_keyonly_team(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
                           const SymbolicResult& sym, const PbConfig& cfg,
                           wide_key_t* out_keys, std::atomic<nnz_t>* cursor,
-                          Sink& sink) {
+                          Sink& sink, const MaskSpec& emask = {}) {
   const BinLayout& layout = sym.layout;
   const auto nbins = static_cast<std::size_t>(layout.nbins);
   const int cap = std::max<int>(
       8, cfg.local_bin_bytes / static_cast<int>(kBytesPerTupleKeyOnly) / 8 * 8);
+  const bool masked = emask.active();
 
   AlignedBuffer<wide_key_t> lkeys(nbins * static_cast<std::size_t>(cap));
   std::vector<int> lcnt(nbins, 0);
+  std::vector<nnz_t> lskip(masked ? nbins : 0, 0);
   nnz_t flushes = 0;
 
   auto flush = [&](std::size_t bin) {
@@ -333,6 +446,10 @@ nnz_t expand_keyonly_team(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
     lcnt[bin] = 0;
     ++flushes;
     sink.flushed(bin, count);
+    if (masked && lskip[bin] != 0) {
+      sink.skipped(bin, lskip[bin]);
+      lskip[bin] = 0;
+    }
   };
 
 #pragma omp for schedule(guided) nowait
@@ -352,6 +469,21 @@ nnz_t expand_keyonly_team(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
       const wide_key_t rowkey =
           static_cast<wide_key_t>(static_cast<std::uint32_t>(r)) << 32;
       wide_key_t* lane = lkeys.data() + bin * static_cast<std::size_t>(cap);
+      if (masked) {
+        const auto mrow = emask.csr->row_cols(r);
+        if (mrow.empty() && !emask.complement) {
+          lskip[bin] += static_cast<nnz_t>(bcols.size());
+          continue;
+        }
+        lskip[bin] += masked_scan(bcols, mrow, emask.complement,
+                                  [&](std::size_t bi) {
+                                    if (lcnt[bin] == cap) flush(bin);
+                                    lane[lcnt[bin]++] =
+                                        rowkey |
+                                        static_cast<std::uint32_t>(bcols[bi]);
+                                  });
+        continue;
+      }
       for (std::size_t bi = 0; bi < bcols.size(); ++bi) {
         if (lcnt[bin] == cap) flush(bin);
         lane[lcnt[bin]++] =
@@ -362,6 +494,10 @@ nnz_t expand_keyonly_team(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
 
   for (std::size_t bin = 0; bin < nbins; ++bin) {
     if (lcnt[bin] != 0) flush(bin);
+    if (masked && lskip[bin] != 0) {
+      sink.skipped(bin, lskip[bin]);
+      lskip[bin] = 0;
+    }
   }
   flush_fence();
   return flushes;
@@ -370,7 +506,8 @@ nnz_t expand_keyonly_team(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
 template <BinPolicy P>
 nnz_t expand_keyonly_impl(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
                           const SymbolicResult& sym, const PbConfig& cfg,
-                          wide_key_t* out_keys) {
+                          wide_key_t* out_keys, const MaskSpec& emask,
+                          nnz_t* actual_fill) {
   const auto nbins = static_cast<std::size_t>(sym.layout.nbins);
 
   std::vector<std::atomic<nnz_t>> cursor(nbins);
@@ -383,14 +520,21 @@ nnz_t expand_keyonly_impl(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
   {
     NullFlushSink sink;
     flushes += expand_keyonly_team<P>(a, b, sym, cfg, out_keys, cursor.data(),
-                                      sink);
+                                      sink, emask);
   }
 
+  if (actual_fill != nullptr) {
+    for (std::size_t bin = 0; bin < nbins; ++bin) {
+      actual_fill[bin] =
+          cursor[bin].load(std::memory_order_relaxed) - sym.bin_offsets[bin];
+    }
+  }
   if (cfg.validate &&
       !(cfg.cancel != nullptr && cfg.cancel->stop_requested_now())) {
     for (std::size_t bin = 0; bin < nbins; ++bin) {
-      if (cursor[bin].load(std::memory_order_relaxed) !=
-          sym.bin_offsets[bin] + sym.bin_fill[bin]) {
+      const nnz_t end = cursor[bin].load(std::memory_order_relaxed);
+      const nnz_t mark = sym.bin_offsets[bin] + sym.bin_fill[bin];
+      if (emask.active() ? end > mark : end != mark) {
         throw std::logic_error("pb_expand_keyonly: bin " +
                                std::to_string(bin) +
                                " cursor does not meet its fill mark");
@@ -409,7 +553,8 @@ template <BinPolicy P, typename S, typename Sink>
 nnz_t expand_narrow_f32_team(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
                              const SymbolicResult& sym, const PbConfig& cfg,
                              narrow_key_t* out_keys, f32_val_t* out_vals,
-                             std::atomic<nnz_t>* cursor, Sink& sink) {
+                             std::atomic<nnz_t>* cursor, Sink& sink,
+                             const MaskSpec& emask = {}) {
   const BinLayout& layout = sym.layout;
   const auto nbins = static_cast<std::size_t>(layout.nbins);
   const int cap = std::max<int>(
@@ -418,10 +563,12 @@ nnz_t expand_narrow_f32_team(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
   const int col_bits = sym.col_bits;
   const int mod_shift =
       layout.policy == BinPolicy::kModulo ? layout.modulo_shift() : 0;
+  const bool masked = emask.active();
 
   AlignedBuffer<narrow_key_t> lkeys(nbins * static_cast<std::size_t>(cap));
   AlignedBuffer<f32_val_t> lvals(nbins * static_cast<std::size_t>(cap));
   std::vector<int> lcnt(nbins, 0);
+  std::vector<nnz_t> lskip(masked ? nbins : 0, 0);
   nnz_t flushes = 0;
 
   auto flush = [&](std::size_t bin) {
@@ -436,6 +583,10 @@ nnz_t expand_narrow_f32_team(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
     lcnt[bin] = 0;
     ++flushes;
     sink.flushed(bin, count);
+    if (masked && lskip[bin] != 0) {
+      sink.skipped(bin, lskip[bin]);
+      lskip[bin] = 0;
+    }
   };
 
 #pragma omp for schedule(guided) nowait
@@ -461,6 +612,21 @@ nnz_t expand_narrow_f32_team(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
           << col_bits;
       narrow_key_t* klane = lkeys.data() + bin * static_cast<std::size_t>(cap);
       f32_val_t* vlane = lvals.data() + bin * static_cast<std::size_t>(cap);
+      if (masked) {
+        const auto mrow = emask.csr->row_cols(r);
+        if (mrow.empty() && !emask.complement) {
+          lskip[bin] += static_cast<nnz_t>(bcols.size());
+          continue;
+        }
+        lskip[bin] += masked_scan(
+            bcols, mrow, emask.complement, [&](std::size_t bi) {
+              if (lcnt[bin] == cap) flush(bin);
+              const int at = lcnt[bin]++;
+              klane[at] = rowkey | static_cast<narrow_key_t>(bcols[bi]);
+              vlane[at] = static_cast<f32_val_t>(S::mul(av, bvals[bi]));
+            });
+        continue;
+      }
       for (std::size_t bi = 0; bi < bcols.size(); ++bi) {
         if (lcnt[bin] == cap) flush(bin);
         const int at = lcnt[bin]++;
@@ -472,6 +638,10 @@ nnz_t expand_narrow_f32_team(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
 
   for (std::size_t bin = 0; bin < nbins; ++bin) {
     if (lcnt[bin] != 0) flush(bin);
+    if (masked && lskip[bin] != 0) {
+      sink.skipped(bin, lskip[bin]);
+      lskip[bin] = 0;
+    }
   }
   flush_fence();
   return flushes;
@@ -480,7 +650,8 @@ nnz_t expand_narrow_f32_team(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
 template <BinPolicy P, typename S>
 nnz_t expand_narrow_f32_impl(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
                              const SymbolicResult& sym, const PbConfig& cfg,
-                             narrow_key_t* out_keys, f32_val_t* out_vals) {
+                             narrow_key_t* out_keys, f32_val_t* out_vals,
+                             const MaskSpec& emask, nnz_t* actual_fill) {
   const auto nbins = static_cast<std::size_t>(sym.layout.nbins);
 
   std::vector<std::atomic<nnz_t>> cursor(nbins);
@@ -493,14 +664,22 @@ nnz_t expand_narrow_f32_impl(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
   {
     NullFlushSink sink;
     flushes += expand_narrow_f32_team<P, S>(a, b, sym, cfg, out_keys,
-                                            out_vals, cursor.data(), sink);
+                                            out_vals, cursor.data(), sink,
+                                            emask);
   }
 
+  if (actual_fill != nullptr) {
+    for (std::size_t bin = 0; bin < nbins; ++bin) {
+      actual_fill[bin] =
+          cursor[bin].load(std::memory_order_relaxed) - sym.bin_offsets[bin];
+    }
+  }
   if (cfg.validate &&
       !(cfg.cancel != nullptr && cfg.cancel->stop_requested_now())) {
     for (std::size_t bin = 0; bin < nbins; ++bin) {
-      if (cursor[bin].load(std::memory_order_relaxed) !=
-          sym.bin_offsets[bin] + sym.bin_fill[bin]) {
+      const nnz_t end = cursor[bin].load(std::memory_order_relaxed);
+      const nnz_t mark = sym.bin_offsets[bin] + sym.bin_fill[bin];
+      if (emask.active() ? end > mark : end != mark) {
         throw std::logic_error("pb_expand_narrow_f32: bin " +
                                std::to_string(bin) +
                                " cursor does not meet its fill mark");
@@ -515,31 +694,36 @@ nnz_t expand_narrow_f32_impl(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
 template <typename S>
 nnz_t pb_expand_narrow_f32(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
                            const SymbolicResult& sym, const PbConfig& cfg,
-                           narrow_key_t* out_keys, f32_val_t* out_vals) {
+                           narrow_key_t* out_keys, f32_val_t* out_vals,
+                           const MaskSpec& emask, nnz_t* actual_fill) {
   switch (sym.layout.policy) {
     case BinPolicy::kRange:
       return detail::expand_narrow_f32_impl<BinPolicy::kRange, S>(
-          a, b, sym, cfg, out_keys, out_vals);
+          a, b, sym, cfg, out_keys, out_vals, emask, actual_fill);
     case BinPolicy::kModulo:
       return detail::expand_narrow_f32_impl<BinPolicy::kModulo, S>(
-          a, b, sym, cfg, out_keys, out_vals);
+          a, b, sym, cfg, out_keys, out_vals, emask, actual_fill);
     case BinPolicy::kAdaptive:
       return detail::expand_narrow_f32_impl<BinPolicy::kAdaptive, S>(
-          a, b, sym, cfg, out_keys, out_vals);
+          a, b, sym, cfg, out_keys, out_vals, emask, actual_fill);
   }
   return 0;
 }
 
 template <typename S>
 nnz_t pb_expand(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
-                const SymbolicResult& sym, const PbConfig& cfg, Tuple* out) {
+                const SymbolicResult& sym, const PbConfig& cfg, Tuple* out,
+                const MaskSpec& emask, nnz_t* actual_fill) {
   switch (sym.layout.policy) {
     case BinPolicy::kRange:
-      return detail::expand_impl<BinPolicy::kRange, S>(a, b, sym, cfg, out);
+      return detail::expand_impl<BinPolicy::kRange, S>(a, b, sym, cfg, out,
+                                                       emask, actual_fill);
     case BinPolicy::kModulo:
-      return detail::expand_impl<BinPolicy::kModulo, S>(a, b, sym, cfg, out);
+      return detail::expand_impl<BinPolicy::kModulo, S>(a, b, sym, cfg, out,
+                                                        emask, actual_fill);
     case BinPolicy::kAdaptive:
-      return detail::expand_impl<BinPolicy::kAdaptive, S>(a, b, sym, cfg, out);
+      return detail::expand_impl<BinPolicy::kAdaptive, S>(a, b, sym, cfg, out,
+                                                          emask, actual_fill);
   }
   return 0;
 }
@@ -547,17 +731,18 @@ nnz_t pb_expand(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
 template <typename S>
 nnz_t pb_expand_narrow(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
                        const SymbolicResult& sym, const PbConfig& cfg,
-                       narrow_key_t* out_keys, value_t* out_vals) {
+                       narrow_key_t* out_keys, value_t* out_vals,
+                       const MaskSpec& emask, nnz_t* actual_fill) {
   switch (sym.layout.policy) {
     case BinPolicy::kRange:
-      return detail::expand_narrow_impl<BinPolicy::kRange, S>(a, b, sym, cfg,
-                                                              out_keys, out_vals);
+      return detail::expand_narrow_impl<BinPolicy::kRange, S>(
+          a, b, sym, cfg, out_keys, out_vals, emask, actual_fill);
     case BinPolicy::kModulo:
-      return detail::expand_narrow_impl<BinPolicy::kModulo, S>(a, b, sym, cfg,
-                                                               out_keys, out_vals);
+      return detail::expand_narrow_impl<BinPolicy::kModulo, S>(
+          a, b, sym, cfg, out_keys, out_vals, emask, actual_fill);
     case BinPolicy::kAdaptive:
       return detail::expand_narrow_impl<BinPolicy::kAdaptive, S>(
-          a, b, sym, cfg, out_keys, out_vals);
+          a, b, sym, cfg, out_keys, out_vals, emask, actual_fill);
   }
   return 0;
 }

@@ -13,6 +13,7 @@
 
 #include <cstddef>
 
+#include "common/post_op.hpp"
 #include "common/types.hpp"
 #include "matrix/csr.hpp"
 #include "pb/tuple.hpp"
@@ -66,6 +67,17 @@ enum class FormatPolicy {
 
 const char* to_string(FormatPolicy p);
 
+/// Whether the expand phase applies the fused output mask while scattering
+/// tuples (skipping generation of masked-out tuples entirely) or leaves the
+/// mask to the post-compress filter.
+enum class ExpandMaskMode {
+  kAuto,  ///< engage when the mask's kept-side density is sparse enough
+  kOff,   ///< always filter at compress (the PR 4 behavior)
+  kOn,    ///< always mask at expand (tests/benches force the path)
+};
+
+const char* to_string(ExpandMaskMode m);
+
 struct PbConfig {
   /// Number of global bins; 0 selects the paper's rule
   /// nbins ≈ flop·16B / (L2/2), clamped to [1, 2^16] (Algorithm 3, line 6).
@@ -104,6 +116,17 @@ struct PbConfig {
   /// Disable only for the ablation bench.
   bool streaming_stores = true;
 
+  /// Expand-phase masking (per run: the decision reads the mask passed to
+  /// pb_execute, never plan state — mask patterns may change between
+  /// executions of one plan).  Under kAuto the phase engages when the
+  /// kept-side density (nnz(mask)/cells, complement-flipped) is at most
+  /// expand_mask_max_density: sparse masks turn the post-compress traffic
+  /// win into a flop win (tuples for masked-out outputs are never
+  /// generated), while dense masks keep the cheap compress-stage drop —
+  /// the merge-scan against the mask row would cost more than it saves.
+  ExpandMaskMode expand_mask = ExpandMaskMode::kAuto;
+  double expand_mask_max_density = 0.05;
+
   /// Extra O(flop) invariant checks after each phase (tests only).
   bool validate = false;
 
@@ -125,6 +148,26 @@ struct MaskSpec {
   bool complement = false;
 
   [[nodiscard]] bool active() const { return csr != nullptr; }
+};
+
+/// Per-run output epilogue fused into pb_execute (descriptor semantics the
+/// post-pass used to own):
+///  * accumulate — C_old ⊞= A ⊗ B: C_old's rows are union-merged with the
+///    product during CSR conversion (per-bin, rows cache-hot), replacing
+///    the post-pass semiring_ewise_add and its full extra stream of C.
+///    Must match the product's shape; pattern-only equality with the
+///    post-pass (S::add(c_old, product) where both present).
+///  * post_op — elementwise scale/prune/top-k applied in the per-bin
+///    filter stage right after the fused mask (common/post_op.hpp).
+/// The two are mutually exclusive (the descriptor layer rejects the
+/// combination), and post_op requires a valued stream format.
+struct PbEpilogue {
+  const mtx::CsrMatrix* accumulate = nullptr;
+  PostOp post_op;
+
+  [[nodiscard]] bool active() const {
+    return accumulate != nullptr || post_op.active();
+  }
 };
 
 struct PhaseStats {
@@ -150,6 +193,18 @@ struct PbTelemetry {
   /// the run was unmasked).  nnz_c counts survivors only, so
   /// nnz_c + mask_dropped is the unmasked product's nonzero count.
   nnz_t mask_dropped = 0;
+  /// Tuples the expand phase never generated because the fused mask was
+  /// applied in the scatter loop (ExpandMaskMode): a flop reduction, not
+  /// just a traffic one.  When expand masking engages the compress-stage
+  /// filter has nothing left to drop, so mask_dropped stays 0 and
+  /// flop == generated tuples + mask_skipped_expand.
+  nnz_t mask_skipped_expand = 0;
+  /// True when this run's expand phase applied the mask in its scatter
+  /// loop (mask_skipped_expand is meaningful, even if it skipped nothing).
+  bool expand_masked = false;
+  /// Entries the fused elementwise post-op removed in the per-bin filter
+  /// stage (prune/top-k; a pure scale drops nothing).
+  nnz_t post_dropped = 0;
   int nbins = 0;
   index_t rows_per_bin = 0;  ///< 0 for adaptive layouts
 

@@ -62,17 +62,18 @@ namespace detail {
 template <typename S, typename Sink>
 nnz_t expand_team_any(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
                       const SymbolicResult& sym, const PbConfig& cfg,
-                      Tuple* out, std::atomic<nnz_t>* cursor, Sink& sink) {
+                      Tuple* out, std::atomic<nnz_t>* cursor, Sink& sink,
+                      const MaskSpec& emask) {
   switch (sym.layout.policy) {
     case BinPolicy::kRange:
       return expand_team<BinPolicy::kRange, S>(a, b, sym, cfg, out, cursor,
-                                               sink);
+                                               sink, emask);
     case BinPolicy::kModulo:
       return expand_team<BinPolicy::kModulo, S>(a, b, sym, cfg, out, cursor,
-                                                sink);
+                                                sink, emask);
     case BinPolicy::kAdaptive:
       return expand_team<BinPolicy::kAdaptive, S>(a, b, sym, cfg, out, cursor,
-                                                  sink);
+                                                  sink, emask);
   }
   return 0;
 }
@@ -81,17 +82,18 @@ template <typename S, typename Sink>
 nnz_t expand_narrow_team_any(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
                              const SymbolicResult& sym, const PbConfig& cfg,
                              narrow_key_t* out_keys, value_t* out_vals,
-                             std::atomic<nnz_t>* cursor, Sink& sink) {
+                             std::atomic<nnz_t>* cursor, Sink& sink,
+                             const MaskSpec& emask) {
   switch (sym.layout.policy) {
     case BinPolicy::kRange:
       return expand_narrow_team<BinPolicy::kRange, S>(
-          a, b, sym, cfg, out_keys, out_vals, cursor, sink);
+          a, b, sym, cfg, out_keys, out_vals, cursor, sink, emask);
     case BinPolicy::kModulo:
       return expand_narrow_team<BinPolicy::kModulo, S>(
-          a, b, sym, cfg, out_keys, out_vals, cursor, sink);
+          a, b, sym, cfg, out_keys, out_vals, cursor, sink, emask);
     case BinPolicy::kAdaptive:
       return expand_narrow_team<BinPolicy::kAdaptive, S>(
-          a, b, sym, cfg, out_keys, out_vals, cursor, sink);
+          a, b, sym, cfg, out_keys, out_vals, cursor, sink, emask);
   }
   return 0;
 }
@@ -101,17 +103,17 @@ template <typename Sink>
 nnz_t expand_keyonly_team_any(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
                               const SymbolicResult& sym, const PbConfig& cfg,
                               wide_key_t* out_keys, std::atomic<nnz_t>* cursor,
-                              Sink& sink) {
+                              Sink& sink, const MaskSpec& emask) {
   switch (sym.layout.policy) {
     case BinPolicy::kRange:
       return expand_keyonly_team<BinPolicy::kRange>(a, b, sym, cfg, out_keys,
-                                                    cursor, sink);
+                                                    cursor, sink, emask);
     case BinPolicy::kModulo:
       return expand_keyonly_team<BinPolicy::kModulo>(a, b, sym, cfg, out_keys,
-                                                     cursor, sink);
+                                                     cursor, sink, emask);
     case BinPolicy::kAdaptive:
-      return expand_keyonly_team<BinPolicy::kAdaptive>(a, b, sym, cfg,
-                                                       out_keys, cursor, sink);
+      return expand_keyonly_team<BinPolicy::kAdaptive>(
+          a, b, sym, cfg, out_keys, cursor, sink, emask);
   }
   return 0;
 }
@@ -121,17 +123,18 @@ nnz_t expand_narrow_f32_team_any(const mtx::CscMatrix& a,
                                  const mtx::CsrMatrix& b,
                                  const SymbolicResult& sym, const PbConfig& cfg,
                                  narrow_key_t* out_keys, f32_val_t* out_vals,
-                                 std::atomic<nnz_t>* cursor, Sink& sink) {
+                                 std::atomic<nnz_t>* cursor, Sink& sink,
+                                 const MaskSpec& emask) {
   switch (sym.layout.policy) {
     case BinPolicy::kRange:
       return expand_narrow_f32_team<BinPolicy::kRange, S>(
-          a, b, sym, cfg, out_keys, out_vals, cursor, sink);
+          a, b, sym, cfg, out_keys, out_vals, cursor, sink, emask);
     case BinPolicy::kModulo:
       return expand_narrow_f32_team<BinPolicy::kModulo, S>(
-          a, b, sym, cfg, out_keys, out_vals, cursor, sink);
+          a, b, sym, cfg, out_keys, out_vals, cursor, sink, emask);
     case BinPolicy::kAdaptive:
       return expand_narrow_f32_team<BinPolicy::kAdaptive, S>(
-          a, b, sym, cfg, out_keys, out_vals, cursor, sink);
+          a, b, sym, cfg, out_keys, out_vals, cursor, sink, emask);
   }
   return 0;
 }
@@ -152,8 +155,20 @@ struct PipelineSink {
     // release sequence so the completion below carries every flusher's
     // stores with it.
     flush_fence();
-    const nnz_t prev =
-        done[bin].fetch_add(count, std::memory_order_acq_rel);
+    credit(bin, static_cast<nnz_t>(count));
+  }
+
+  /// Skip credit from a masked expand (expand_impl.hpp): `count` tuples of
+  /// this bin were never generated, so the done counter still converges to
+  /// the symbolic fill mark — flushed + skipped == flop — and bin
+  /// completion is detected exactly as in the unmasked run.  No data was
+  /// written, so no flush_fence is needed; the credit may itself complete
+  /// the bin.
+  void skipped(std::size_t bin, nnz_t count) { credit(bin, count); }
+
+ private:
+  void credit(std::size_t bin, nnz_t count) {
+    const nnz_t prev = done[bin].fetch_add(count, std::memory_order_acq_rel);
     if (prev + count == fill[bin]) {
       ready_ts[bin] = omp_get_wtime();
       completer[bin] = tid;
@@ -171,7 +186,8 @@ struct PipelineThreadStats {
   double count_busy = 0;
   double wait = 0;  ///< Σ over processed bins of (task start − ready)
   double run = 0;   ///< Σ task durations
-  nnz_t dropped = 0;
+  nnz_t dropped = 0;       ///< mask-filter drops in this thread's tasks
+  nnz_t post_dropped = 0;  ///< post-op drops in this thread's tasks
   int stolen = 0;
 };
 
@@ -191,7 +207,8 @@ template <typename S>
 PbResult pb_execute_pipeline(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
                              const PbPlan& plan, PbWorkspace& workspace,
                              const MaskSpec& mask,
-                             const CancelToken* cancel = nullptr) {
+                             const CancelToken* cancel = nullptr,
+                             const PbEpilogue& epi = {}) {
   const SymbolicResult& sym = plan.sym;
   const TupleFormat fmt = sym.format;
   const auto nbins = static_cast<std::size_t>(sym.layout.nbins);
@@ -205,6 +222,18 @@ PbResult pb_execute_pipeline(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
   tm.format = sym.format;
   tm.schedule = PbSchedule::kPipeline;
   const double bpt = tm.tuple_bytes();
+
+  // Fused expand-time mask (same per-run decision as the barrier path).
+  // When it engages, the done counters still reach the symbolic fill marks
+  // — skipped tuples are credited through PipelineSink::skipped — but the
+  // write cursors fall short, so task lengths come from the cursors and
+  // the compress-stage filter is disabled (survivors are in-mask by
+  // construction).
+  const bool expand_masked =
+      engage_expand_mask(mask, plan.cfg, a.nrows, b.ncols);
+  const MaskSpec emask = expand_masked ? mask : MaskSpec{};
+  const MaskSpec cmask = expand_masked ? MaskSpec{} : mask;
+  const bool accumulating = epi.accumulate != nullptr;
 
   // ---- shared state ----
   const auto buf_len = static_cast<std::size_t>(sym.bin_offsets.back());
@@ -271,12 +300,12 @@ PbResult pb_execute_pipeline(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
   // two bins), and only the prefix sum + scatter run after the join.
   mtx::CsrMatrix c(a.nrows, b.ncols);
 
-  const WideBinOps<S> wide_ops{expanded, &mask};
-  const NarrowBinOps<S> narrow_ops{ns.keys, ns.vals, &mask, &sym.layout,
-                                   sym.col_bits};
-  const KeyOnlyBinOps keyonly_ops{keys_only, &mask};
-  const NarrowF32BinOps<S> f32_ops{nf.keys, nf.vals, &mask, &sym.layout,
-                                   sym.col_bits};
+  const WideBinOps<S> wide_ops{expanded, &cmask, &epi.post_op};
+  const NarrowBinOps<S> narrow_ops{ns.keys, ns.vals, &cmask, &epi.post_op,
+                                   &sym.layout, sym.col_bits};
+  const KeyOnlyBinOps keyonly_ops{keys_only, &cmask};
+  const NarrowF32BinOps<S> f32_ops{nf.keys, nf.vals, &cmask, &epi.post_op,
+                                   &sym.layout, sym.col_bits};
 
   Timer region_timer;
 
@@ -330,58 +359,80 @@ PbResult pb_execute_pipeline(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
       const auto ubin = static_cast<std::size_t>(bin);
       const double t0 = omp_get_wtime();
       const nnz_t off = sym.bin_offsets[ubin];
-      const auto len = static_cast<std::size_t>(sym.bin_fill[ubin]);
+      // The bin's actual tuple count comes from its write cursor, not the
+      // symbolic fill mark: a masked expand generates fewer tuples than
+      // flop.  Every flusher's cursor add happens-before the completing
+      // done add (program order into the acq_rel RMW chain), and the deque
+      // handoff carries that ordering here, so a relaxed load is exact.
+      const auto len = static_cast<std::size_t>(
+          cursor[ubin].load(std::memory_order_relaxed) - off);
 
       double t1 = t0;
       nnz_t kept = 0;
       nnz_t pre_mask = 0;
-      switch (fmt) {
-        case TupleFormat::kNarrow:
-          narrow_ops.sort(off, len, narrow_scratch);
-          t1 = omp_get_wtime();
-          pre_mask = narrow_ops.compress(off, len);
-          kept = narrow_ops.filter(bin, off, pre_mask);
-          break;
-        case TupleFormat::kNarrowF32:
-          f32_ops.sort(off, len, f32_scratch);
-          t1 = omp_get_wtime();
-          pre_mask = f32_ops.compress(off, len);
-          kept = f32_ops.filter(bin, off, pre_mask);
-          break;
-        case TupleFormat::kKeyOnly:
-          keyonly_ops.sort(off, len, key_scratch);
-          t1 = omp_get_wtime();
-          pre_mask = keyonly_ops.compress(off, len);
-          kept = keyonly_ops.filter(bin, off, pre_mask);
-          break;
-        case TupleFormat::kWide:
-          wide_ops.sort(off, len, wide_scratch,
-                        static_cast<std::size_t>(max_bin));
-          t1 = omp_get_wtime();
-          pre_mask = wide_ops.compress(off, len);
-          kept = wide_ops.filter(bin, off, pre_mask);
-          break;
+      nnz_t kept_mask = 0;
+      // A fully masked bin can complete on skip credits alone: nothing to
+      // sort (the kernels assume non-empty bins), nothing to count.
+      if (len != 0) {
+        switch (fmt) {
+          case TupleFormat::kNarrow:
+            narrow_ops.sort(off, len, narrow_scratch);
+            t1 = omp_get_wtime();
+            pre_mask = narrow_ops.compress(off, len);
+            kept_mask = narrow_ops.filter(bin, off, pre_mask);
+            kept = narrow_ops.post_apply(off, kept_mask);
+            break;
+          case TupleFormat::kNarrowF32:
+            f32_ops.sort(off, len, f32_scratch);
+            t1 = omp_get_wtime();
+            pre_mask = f32_ops.compress(off, len);
+            kept_mask = f32_ops.filter(bin, off, pre_mask);
+            kept = f32_ops.post_apply(off, kept_mask);
+            break;
+          case TupleFormat::kKeyOnly:
+            keyonly_ops.sort(off, len, key_scratch);
+            t1 = omp_get_wtime();
+            pre_mask = keyonly_ops.compress(off, len);
+            kept_mask = keyonly_ops.filter(bin, off, pre_mask);
+            kept = kept_mask;  // value-free: no post-op lane
+            break;
+          case TupleFormat::kWide:
+            wide_ops.sort(off, len, wide_scratch,
+                          static_cast<std::size_t>(max_bin));
+            t1 = omp_get_wtime();
+            pre_mask = wide_ops.compress(off, len);
+            kept_mask = wide_ops.filter(bin, off, pre_mask);
+            kept = wide_ops.post_apply(off, kept_mask);
+            break;
+        }
       }
       merged[ubin] = kept;
-      ts.dropped += pre_mask - kept;
+      ts.dropped += pre_mask - kept_mask;
+      ts.post_dropped += kept_mask - kept;
       const double t2 = omp_get_wtime();
 
-      switch (fmt) {
-        case TupleFormat::kNarrow:
-          pb_count_bin_narrow(ns.keys + off, kept, bin, sym.layout,
-                              sym.col_bits, c.rowptr.data());
-          break;
-        // The f32 count pass reuses the narrow counter: keys are identical.
-        case TupleFormat::kNarrowF32:
-          pb_count_bin_narrow(nf.keys + off, kept, bin, sym.layout,
-                              sym.col_bits, c.rowptr.data());
-          break;
-        case TupleFormat::kKeyOnly:
-          pb_count_bin_keyonly(keys_only + off, kept, c.rowptr.data());
-          break;
-        case TupleFormat::kWide:
-          pb_count_bin(expanded + off, kept, c.rowptr.data());
-          break;
+      // The folded row count is skipped when accumulating: the union count
+      // needs C_old's rows too, and the accumulate tail walks both streams
+      // anyway (output_accum.hpp).
+      if (!accumulating && kept != 0) {
+        switch (fmt) {
+          case TupleFormat::kNarrow:
+            pb_count_bin_narrow(ns.keys + off, kept, bin, sym.layout,
+                                sym.col_bits, c.rowptr.data());
+            break;
+          // The f32 count pass reuses the narrow counter: keys are
+          // identical.
+          case TupleFormat::kNarrowF32:
+            pb_count_bin_narrow(nf.keys + off, kept, bin, sym.layout,
+                                sym.col_bits, c.rowptr.data());
+            break;
+          case TupleFormat::kKeyOnly:
+            pb_count_bin_keyonly(keys_only + off, kept, c.rowptr.data());
+            break;
+          case TupleFormat::kWide:
+            pb_count_bin(expanded + off, kept, c.rowptr.data());
+            break;
+        }
       }
       const double t3 = omp_get_wtime();
 
@@ -419,19 +470,21 @@ PbResult pb_execute_pipeline(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
     switch (fmt) {
       case TupleFormat::kNarrow:
         detail::expand_narrow_team_any<S>(a, b, sym, run_cfg, ns.keys,
-                                          ns.vals, cursor.data(), sink);
+                                          ns.vals, cursor.data(), sink,
+                                          emask);
         break;
       case TupleFormat::kNarrowF32:
         detail::expand_narrow_f32_team_any<S>(a, b, sym, run_cfg, nf.keys,
-                                              nf.vals, cursor.data(), sink);
+                                              nf.vals, cursor.data(), sink,
+                                              emask);
         break;
       case TupleFormat::kKeyOnly:
         detail::expand_keyonly_team_any(a, b, sym, run_cfg, keys_only,
-                                        cursor.data(), sink);
+                                        cursor.data(), sink, emask);
         break;
       case TupleFormat::kWide:
         detail::expand_team_any<S>(a, b, sym, run_cfg, expanded,
-                                   cursor.data(), sink);
+                                   cursor.data(), sink, emask);
         break;
     }
     ts.expand_busy = omp_get_wtime() - e0;
@@ -470,8 +523,12 @@ PbResult pb_execute_pipeline(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
 
   if (plan.cfg.validate) {
     for (std::size_t bin = 0; bin < nbins; ++bin) {
-      if (cursor[bin].load(std::memory_order_relaxed) !=
-          sym.bin_offsets[bin] + sym.bin_fill[bin]) {
+      // A masked expand legitimately leaves the cursor short of the fill
+      // mark (skipped tuples were credited, not written); it must still
+      // never overshoot.
+      const nnz_t end = cursor[bin].load(std::memory_order_relaxed);
+      const nnz_t mark = sym.bin_offsets[bin] + sym.bin_fill[bin];
+      if (expand_masked ? end > mark : end != mark) {
         throw std::logic_error("pb_execute(pipeline): bin " +
                                std::to_string(bin) +
                                " cursor does not meet its fill mark");
@@ -486,44 +543,75 @@ PbResult pb_execute_pipeline(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
 
   const double region_wall = region_timer.elapsed_s();
 
-  // ---- tail: prefix sum + scatter (the only barrier left) ----
+  // ---- tail: prefix sum + scatter (the only barrier left); with an
+  // accumulate epilogue the tail is the fused union build instead
+  // (output_accum.hpp — count + prefix + merge-scatter against C_old) ----
   Timer tail_timer;
-  const nnz_t total =
-      counts_to_rowptr(c.rowptr.data(), static_cast<std::size_t>(a.nrows));
-  c.colids.resize(static_cast<std::size_t>(total));
-  c.vals.resize(static_cast<std::size_t>(total));
-#pragma omp parallel for schedule(dynamic, 1)
-  for (int bin = 0; bin < sym.layout.nbins; ++bin) {
-    // Deadline may expire inside the tail: skip the remaining bins (the
-    // partial CSR is discarded) and raise after the join.
-    if (stop_requested(cancel)) continue;
-    const auto ubin = static_cast<std::size_t>(bin);
-    const nnz_t off = sym.bin_offsets[ubin];
+  if (accumulating) {
+    const mtx::CsrMatrix& c_old = *epi.accumulate;
     switch (fmt) {
       case TupleFormat::kNarrow:
-        pb_scatter_bin_narrow(ns.keys + off, ns.vals + off, merged[ubin], bin,
-                              sym.layout, sym.col_bits, c.rowptr.data(),
-                              c.colids.data(), c.vals.data());
+        result.c = pb_build_csr_accum_narrow<S>(
+            ns.keys, ns.vals, sym.bin_offsets, merged, c_old, sym.layout,
+            sym.col_bits, a.nrows, b.ncols, cancel);
         break;
       case TupleFormat::kNarrowF32:
-        pb_scatter_bin_narrow_f32(nf.keys + off, nf.vals + off, merged[ubin],
-                                  bin, sym.layout, sym.col_bits,
-                                  c.rowptr.data(), c.colids.data(),
-                                  c.vals.data());
+        result.c = pb_build_csr_accum_narrow_f32<S>(
+            nf.keys, nf.vals, sym.bin_offsets, merged, c_old, sym.layout,
+            sym.col_bits, a.nrows, b.ncols, cancel);
         break;
       case TupleFormat::kKeyOnly:
-        pb_scatter_bin_keyonly(keys_only + off, merged[ubin], c.rowptr.data(),
-                               c.colids.data(), c.vals.data(), 1.0);
+        result.c = pb_build_csr_accum_keyonly<S>(keys_only, sym.bin_offsets,
+                                                 merged, c_old, sym.layout,
+                                                 a.nrows, b.ncols, 1.0,
+                                                 cancel);
         break;
       case TupleFormat::kWide:
-        pb_scatter_bin(expanded + off, merged[ubin], c.rowptr.data(),
-                       c.colids.data(), c.vals.data());
+        result.c =
+            pb_build_csr_accum<S>(expanded, sym.bin_offsets, merged, c_old,
+                                  sym.layout, a.nrows, b.ncols, cancel);
         break;
     }
+  } else {
+    const nnz_t total =
+        counts_to_rowptr(c.rowptr.data(), static_cast<std::size_t>(a.nrows));
+    c.colids.resize(static_cast<std::size_t>(total));
+    c.vals.resize(static_cast<std::size_t>(total));
+#pragma omp parallel for schedule(dynamic, 1)
+    for (int bin = 0; bin < sym.layout.nbins; ++bin) {
+      // Deadline may expire inside the tail: skip the remaining bins (the
+      // partial CSR is discarded) and raise after the join.
+      if (stop_requested(cancel)) continue;
+      const auto ubin = static_cast<std::size_t>(bin);
+      const nnz_t off = sym.bin_offsets[ubin];
+      switch (fmt) {
+        case TupleFormat::kNarrow:
+          pb_scatter_bin_narrow(ns.keys + off, ns.vals + off, merged[ubin],
+                                bin, sym.layout, sym.col_bits,
+                                c.rowptr.data(), c.colids.data(),
+                                c.vals.data());
+          break;
+        case TupleFormat::kNarrowF32:
+          pb_scatter_bin_narrow_f32(nf.keys + off, nf.vals + off,
+                                    merged[ubin], bin, sym.layout,
+                                    sym.col_bits, c.rowptr.data(),
+                                    c.colids.data(), c.vals.data());
+          break;
+        case TupleFormat::kKeyOnly:
+          pb_scatter_bin_keyonly(keys_only + off, merged[ubin],
+                                 c.rowptr.data(), c.colids.data(),
+                                 c.vals.data(), 1.0);
+          break;
+        case TupleFormat::kWide:
+          pb_scatter_bin(expanded + off, merged[ubin], c.rowptr.data(),
+                         c.colids.data(), c.vals.data());
+          break;
+      }
+    }
+    result.c = std::move(c);
   }
   throw_if_stopped(cancel);
   const double tail_wall = tail_timer.elapsed_s();
-  result.c = std::move(c);
 
   // ---- telemetry ----
   // Per-phase seconds are max per-thread *busy* times: they overlap one
@@ -534,6 +622,18 @@ PbResult pb_execute_pipeline(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
   nnz_t nnz_c = 0;
   for (const nnz_t m : merged) nnz_c += m;
   tm.nnz_c = nnz_c;
+  // Tuples this run actually generated (== flop unless expand masked; the
+  // cursors are exact after the join).
+  nnz_t generated = sym.flop;
+  if (expand_masked) {
+    generated = 0;
+    for (std::size_t bin = 0; bin < nbins; ++bin) {
+      generated += cursor[bin].load(std::memory_order_relaxed) -
+                   sym.bin_offsets[bin];
+    }
+    tm.mask_skipped_expand = sym.flop - generated;
+    tm.expand_masked = true;
+  }
   for (const auto& ts : tstats) {
     tm.expand.seconds = std::max(tm.expand.seconds, ts.expand_busy);
     tm.sort.seconds = std::max(tm.sort.seconds, ts.sort_busy);
@@ -543,18 +643,26 @@ PbResult pb_execute_pipeline(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
     tm.bin_run_seconds += ts.run;
     tm.bins_stolen += ts.stolen;
     tm.mask_dropped += ts.dropped;
+    tm.post_dropped += ts.post_dropped;
   }
   tm.convert.seconds += tail_wall;
   tm.expand.bytes =
       static_cast<double>(kBytesPerTuple) *
           (static_cast<double>(a.nnz()) + static_cast<double>(b.nnz())) +
-      bpt * static_cast<double>(sym.flop);
-  tm.sort.bytes = bpt * static_cast<double>(sym.flop);
-  tm.compress.bytes = bpt * static_cast<double>(nnz_c + tm.mask_dropped);
+      bpt * static_cast<double>(generated);
+  tm.sort.bytes = bpt * static_cast<double>(generated);
+  tm.compress.bytes =
+      bpt * static_cast<double>(nnz_c + tm.mask_dropped + tm.post_dropped);
   tm.convert.bytes =
       (bpt + static_cast<double>(sizeof(index_t) + sizeof(value_t))) *
           static_cast<double>(nnz_c) +
       2.0 * static_cast<double>(sizeof(nnz_t)) * static_cast<double>(a.nrows);
+  if (accumulating) {
+    const auto entry = static_cast<double>(sizeof(index_t) + sizeof(value_t));
+    tm.convert.bytes +=
+        entry * static_cast<double>(epi.accumulate->nnz()) +      // C_old in
+        entry * static_cast<double>(result.c.nnz() - nnz_c);      // extra out
+  }
 
   return result;
 }

@@ -88,34 +88,35 @@ PbPlan pb_plan_build(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
 template PbResult pb_execute<PlusTimes>(const mtx::CscMatrix&,
                                         const mtx::CsrMatrix&, const PbPlan&,
                                         PbWorkspace&, bool, const MaskSpec&,
-                                        const CancelToken*);
+                                        const CancelToken*, const PbEpilogue&);
 template PbResult pb_execute<MinPlus>(const mtx::CscMatrix&,
                                       const mtx::CsrMatrix&, const PbPlan&,
                                       PbWorkspace&, bool, const MaskSpec&,
-                                        const CancelToken*);
+                                      const CancelToken*, const PbEpilogue&);
 template PbResult pb_execute<MaxMin>(const mtx::CscMatrix&,
                                      const mtx::CsrMatrix&, const PbPlan&,
                                      PbWorkspace&, bool, const MaskSpec&,
-                                        const CancelToken*);
+                                     const CancelToken*, const PbEpilogue&);
 template PbResult pb_execute<BoolOrAnd>(const mtx::CscMatrix&,
                                         const mtx::CsrMatrix&, const PbPlan&,
                                         PbWorkspace&, bool, const MaskSpec&,
-                                        const CancelToken*);
+                                        const CancelToken*, const PbEpilogue&);
 // The runtime-semiring bridge: one more instantiation whose scalar ops
 // indirect through the active RuntimeSemiring (spgemm/op.hpp).
 template PbResult pb_execute<DynSemiring>(const mtx::CscMatrix&,
                                           const mtx::CsrMatrix&,
                                           const PbPlan&, PbWorkspace&, bool,
-                                          const MaskSpec&,
-                                          const CancelToken*);
+                                          const MaskSpec&, const CancelToken*,
+                                          const PbEpilogue&);
 
 PbResult pb_execute_named(const std::string& semiring, const mtx::CscMatrix& a,
                           const mtx::CsrMatrix& b, const PbPlan& plan,
                           PbWorkspace& workspace, bool check_fingerprint,
-                          const MaskSpec& mask, const CancelToken* cancel) {
+                          const MaskSpec& mask, const CancelToken* cancel,
+                          const PbEpilogue& epi) {
   return dispatch_semiring_any(semiring, [&]<typename S>() {
     return pb_execute<S>(a, b, plan, workspace, check_fingerprint, mask,
-                         cancel);
+                         cancel, epi);
   });
 }
 

@@ -113,32 +113,45 @@ PbPlan pb_plan_build(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
 /// A non-null `cancel` token is polled at column/bin granularity through
 /// every numeric phase; a fired token (or expired deadline) unwinds with
 /// CancelledError/DeadlineError, leaving the plan and workspace reusable.
+///
+/// An active `epi` fuses the descriptor's epilogue into the run
+/// (pb_config.hpp): epi.accumulate merges C's tuples during conversion
+/// (bit-identical to the semiring_ewise_add post-pass, which never runs);
+/// epi.post_op folds scale/prune/top-k into sort/compress.  The two are
+/// mutually exclusive; a post-op on the value-free key-only format and an
+/// accumulate whose shape mismatches the product throw
+/// std::invalid_argument.
 template <typename S>
 PbResult pb_execute(const mtx::CscMatrix& a, const mtx::CsrMatrix& b,
                     const PbPlan& plan, PbWorkspace& workspace,
                     bool check_fingerprint = true, const MaskSpec& mask = {},
-                    const CancelToken* cancel = nullptr);
+                    const CancelToken* cancel = nullptr,
+                    const PbEpilogue& epi = {});
 
 extern template PbResult pb_execute<PlusTimes>(const mtx::CscMatrix&,
                                                const mtx::CsrMatrix&,
                                                const PbPlan&, PbWorkspace&,
                                                bool, const MaskSpec&,
-                                               const CancelToken*);
+                                               const CancelToken*,
+                                               const PbEpilogue&);
 extern template PbResult pb_execute<MinPlus>(const mtx::CscMatrix&,
                                              const mtx::CsrMatrix&,
                                              const PbPlan&, PbWorkspace&,
                                              bool, const MaskSpec&,
-                                             const CancelToken*);
+                                             const CancelToken*,
+                                             const PbEpilogue&);
 extern template PbResult pb_execute<MaxMin>(const mtx::CscMatrix&,
                                             const mtx::CsrMatrix&,
                                             const PbPlan&, PbWorkspace&,
                                             bool, const MaskSpec&,
-                                            const CancelToken*);
+                                            const CancelToken*,
+                                            const PbEpilogue&);
 extern template PbResult pb_execute<BoolOrAnd>(const mtx::CscMatrix&,
                                                const mtx::CsrMatrix&,
                                                const PbPlan&, PbWorkspace&,
                                                bool, const MaskSpec&,
-                                               const CancelToken*);
+                                               const CancelToken*,
+                                               const PbEpilogue&);
 
 /// Runtime dispatch by semiring name — built-in or registered through
 /// SemiringRegistry (spgemm/op.hpp); throws std::invalid_argument listing
@@ -148,6 +161,7 @@ PbResult pb_execute_named(const std::string& semiring, const mtx::CscMatrix& a,
                           PbWorkspace& workspace,
                           bool check_fingerprint = true,
                           const MaskSpec& mask = {},
-                          const CancelToken* cancel = nullptr);
+                          const CancelToken* cancel = nullptr,
+                          const PbEpilogue& epi = {});
 
 }  // namespace pbs::pb

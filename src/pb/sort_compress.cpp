@@ -6,61 +6,61 @@ namespace pbs::pb {
 
 template SortCompressResult pb_sort_compress<PlusTimes>(
     Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int, PbWorkspace*,
-    const MaskSpec&, const CancelToken*);
+    const MaskSpec&, const CancelToken*, const PostOp&);
 template SortCompressResult pb_sort_compress<MinPlus>(
     Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int, PbWorkspace*,
-    const MaskSpec&, const CancelToken*);
+    const MaskSpec&, const CancelToken*, const PostOp&);
 template SortCompressResult pb_sort_compress<MaxMin>(
     Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int, PbWorkspace*,
-    const MaskSpec&, const CancelToken*);
+    const MaskSpec&, const CancelToken*, const PostOp&);
 template SortCompressResult pb_sort_compress<BoolOrAnd>(
     Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int, PbWorkspace*,
-    const MaskSpec&, const CancelToken*);
+    const MaskSpec&, const CancelToken*, const PostOp&);
 template SortCompressResult pb_sort_compress<DynSemiring>(
     Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int, PbWorkspace*,
-    const MaskSpec&, const CancelToken*);
+    const MaskSpec&, const CancelToken*, const PostOp&);
 
 template SortCompressResult pb_sort_compress_narrow<PlusTimes>(
     narrow_key_t*, value_t*, std::span<const nnz_t>, std::span<const nnz_t>,
     int, PbWorkspace*, const MaskSpec&, const BinLayout*, int,
-    const CancelToken*);
+    const CancelToken*, const PostOp&);
 template SortCompressResult pb_sort_compress_narrow<MinPlus>(
     narrow_key_t*, value_t*, std::span<const nnz_t>, std::span<const nnz_t>,
     int, PbWorkspace*, const MaskSpec&, const BinLayout*, int,
-    const CancelToken*);
+    const CancelToken*, const PostOp&);
 template SortCompressResult pb_sort_compress_narrow<MaxMin>(
     narrow_key_t*, value_t*, std::span<const nnz_t>, std::span<const nnz_t>,
     int, PbWorkspace*, const MaskSpec&, const BinLayout*, int,
-    const CancelToken*);
+    const CancelToken*, const PostOp&);
 template SortCompressResult pb_sort_compress_narrow<BoolOrAnd>(
     narrow_key_t*, value_t*, std::span<const nnz_t>, std::span<const nnz_t>,
     int, PbWorkspace*, const MaskSpec&, const BinLayout*, int,
-    const CancelToken*);
+    const CancelToken*, const PostOp&);
 template SortCompressResult pb_sort_compress_narrow<DynSemiring>(
     narrow_key_t*, value_t*, std::span<const nnz_t>, std::span<const nnz_t>,
     int, PbWorkspace*, const MaskSpec&, const BinLayout*, int,
-    const CancelToken*);
+    const CancelToken*, const PostOp&);
 
 template SortCompressResult pb_sort_compress_narrow_f32<PlusTimes>(
     narrow_key_t*, f32_val_t*, std::span<const nnz_t>, std::span<const nnz_t>,
     int, PbWorkspace*, const MaskSpec&, const BinLayout*, int,
-    const CancelToken*);
+    const CancelToken*, const PostOp&);
 template SortCompressResult pb_sort_compress_narrow_f32<MinPlus>(
     narrow_key_t*, f32_val_t*, std::span<const nnz_t>, std::span<const nnz_t>,
     int, PbWorkspace*, const MaskSpec&, const BinLayout*, int,
-    const CancelToken*);
+    const CancelToken*, const PostOp&);
 template SortCompressResult pb_sort_compress_narrow_f32<MaxMin>(
     narrow_key_t*, f32_val_t*, std::span<const nnz_t>, std::span<const nnz_t>,
     int, PbWorkspace*, const MaskSpec&, const BinLayout*, int,
-    const CancelToken*);
+    const CancelToken*, const PostOp&);
 template SortCompressResult pb_sort_compress_narrow_f32<BoolOrAnd>(
     narrow_key_t*, f32_val_t*, std::span<const nnz_t>, std::span<const nnz_t>,
     int, PbWorkspace*, const MaskSpec&, const BinLayout*, int,
-    const CancelToken*);
+    const CancelToken*, const PostOp&);
 template SortCompressResult pb_sort_compress_narrow_f32<DynSemiring>(
     narrow_key_t*, f32_val_t*, std::span<const nnz_t>, std::span<const nnz_t>,
     int, PbWorkspace*, const MaskSpec&, const BinLayout*, int,
-    const CancelToken*);
+    const CancelToken*, const PostOp&);
 
 SortCompressResult pb_sort_compress_keyonly(wide_key_t* keys,
                                             std::span<const nnz_t> offsets,
@@ -92,6 +92,9 @@ SortCompressResult pb_sort_compress_keyonly(wide_key_t* keys,
       [&](int bin, nnz_t off, nnz_t merged) {
         return ops.filter(bin, off, merged);
       },
+      // Post-ops read values; the key-only stream has none (rejected at
+      // plan time), so this stage is the identity.
+      [](int /*bin*/, nnz_t /*off*/, nnz_t kept) { return kept; },
       cancel);
 }
 

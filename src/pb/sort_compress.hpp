@@ -42,6 +42,9 @@ struct SortCompressResult {
   /// Tuples the mask filter dropped across all bins (0 unmasked); the
   /// pre-mask merged total is Σ merged + mask_dropped.
   nnz_t mask_dropped = 0;
+  /// Entries the fused elementwise post-op removed across all bins
+  /// (prune/top-k; 0 when the post-op is inactive or a pure scale).
+  nnz_t post_dropped = 0;
   /// Busy-time estimates for the two sub-phases: the maximum across
   /// threads of each thread's accumulated in-phase time (≈ wall time when
   /// bins balance; see DESIGN.md).
@@ -58,26 +61,30 @@ struct SortCompressResult {
 /// carry global coordinates, so no layout is needed).
 /// A non-null `cancel` token is polled per bin; a fired token skips the
 /// remaining bins and raises its typed error after the parallel join.
+/// An active `post` applies the fused elementwise post-op
+/// (common/post_op.hpp) to each bin right after the mask filter, per
+/// row segment, while the bin is cache-hot.
 template <typename S>
 SortCompressResult pb_sort_compress(Tuple* tuples,
                                     std::span<const nnz_t> offsets,
                                     std::span<const nnz_t> fill, int nbins,
                                     PbWorkspace* workspace = nullptr,
                                     const MaskSpec& mask = {},
-                                    const CancelToken* cancel = nullptr);
+                                    const CancelToken* cancel = nullptr,
+                                    const PostOp& post = {});
 
 extern template SortCompressResult pb_sort_compress<PlusTimes>(
     Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int, PbWorkspace*,
-    const MaskSpec&, const CancelToken*);
+    const MaskSpec&, const CancelToken*, const PostOp&);
 extern template SortCompressResult pb_sort_compress<MinPlus>(
     Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int, PbWorkspace*,
-    const MaskSpec&, const CancelToken*);
+    const MaskSpec&, const CancelToken*, const PostOp&);
 extern template SortCompressResult pb_sort_compress<MaxMin>(
     Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int, PbWorkspace*,
-    const MaskSpec&, const CancelToken*);
+    const MaskSpec&, const CancelToken*, const PostOp&);
 extern template SortCompressResult pb_sort_compress<BoolOrAnd>(
     Tuple*, std::span<const nnz_t>, std::span<const nnz_t>, int, PbWorkspace*,
-    const MaskSpec&, const CancelToken*);
+    const MaskSpec&, const CancelToken*, const PostOp&);
 
 /// Narrow-format variant over the SoA stream (pb/tuple.hpp): each bin's
 /// u32 key array is LSD-sorted with its value array as SoA payload
@@ -96,24 +103,25 @@ SortCompressResult pb_sort_compress_narrow(narrow_key_t* keys, value_t* vals,
                                            const MaskSpec& mask = {},
                                            const BinLayout* layout = nullptr,
                                            int col_bits = 0,
-                                           const CancelToken* cancel = nullptr);
+                                           const CancelToken* cancel = nullptr,
+                                           const PostOp& post = {});
 
 extern template SortCompressResult pb_sort_compress_narrow<PlusTimes>(
     narrow_key_t*, value_t*, std::span<const nnz_t>, std::span<const nnz_t>,
     int, PbWorkspace*, const MaskSpec&, const BinLayout*, int,
-    const CancelToken*);
+    const CancelToken*, const PostOp&);
 extern template SortCompressResult pb_sort_compress_narrow<MinPlus>(
     narrow_key_t*, value_t*, std::span<const nnz_t>, std::span<const nnz_t>,
     int, PbWorkspace*, const MaskSpec&, const BinLayout*, int,
-    const CancelToken*);
+    const CancelToken*, const PostOp&);
 extern template SortCompressResult pb_sort_compress_narrow<MaxMin>(
     narrow_key_t*, value_t*, std::span<const nnz_t>, std::span<const nnz_t>,
     int, PbWorkspace*, const MaskSpec&, const BinLayout*, int,
-    const CancelToken*);
+    const CancelToken*, const PostOp&);
 extern template SortCompressResult pb_sort_compress_narrow<BoolOrAnd>(
     narrow_key_t*, value_t*, std::span<const nnz_t>, std::span<const nnz_t>,
     int, PbWorkspace*, const MaskSpec&, const BinLayout*, int,
-    const CancelToken*);
+    const CancelToken*, const PostOp&);
 
 /// Key-only variant: the stream is bare 8 B global keys, so the sort has
 /// no payload lane at all and the duplicate merge is a pure drop — no
@@ -135,24 +143,25 @@ SortCompressResult pb_sort_compress_narrow_f32(
     narrow_key_t* keys, f32_val_t* vals, std::span<const nnz_t> offsets,
     std::span<const nnz_t> fill, int nbins, PbWorkspace* workspace = nullptr,
     const MaskSpec& mask = {}, const BinLayout* layout = nullptr,
-    int col_bits = 0, const CancelToken* cancel = nullptr);
+    int col_bits = 0, const CancelToken* cancel = nullptr,
+    const PostOp& post = {});
 
 extern template SortCompressResult pb_sort_compress_narrow_f32<PlusTimes>(
     narrow_key_t*, f32_val_t*, std::span<const nnz_t>, std::span<const nnz_t>,
     int, PbWorkspace*, const MaskSpec&, const BinLayout*, int,
-    const CancelToken*);
+    const CancelToken*, const PostOp&);
 extern template SortCompressResult pb_sort_compress_narrow_f32<MinPlus>(
     narrow_key_t*, f32_val_t*, std::span<const nnz_t>, std::span<const nnz_t>,
     int, PbWorkspace*, const MaskSpec&, const BinLayout*, int,
-    const CancelToken*);
+    const CancelToken*, const PostOp&);
 extern template SortCompressResult pb_sort_compress_narrow_f32<MaxMin>(
     narrow_key_t*, f32_val_t*, std::span<const nnz_t>, std::span<const nnz_t>,
     int, PbWorkspace*, const MaskSpec&, const BinLayout*, int,
-    const CancelToken*);
+    const CancelToken*, const PostOp&);
 extern template SortCompressResult pb_sort_compress_narrow_f32<BoolOrAnd>(
     narrow_key_t*, f32_val_t*, std::span<const nnz_t>, std::span<const nnz_t>,
     int, PbWorkspace*, const MaskSpec&, const BinLayout*, int,
-    const CancelToken*);
+    const CancelToken*, const PostOp&);
 
 /// Numeric (+, ×) sort+compress — equivalent to pb_sort_compress<PlusTimes>.
 SortCompressResult pb_sort_compress(Tuple* tuples,

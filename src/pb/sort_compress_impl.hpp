@@ -9,10 +9,13 @@
 #include <omp.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <exception>
 #include <optional>
 #include <type_traits>
+#include <utility>
+#include <vector>
 
 #include "common/aligned_buffer.hpp"
 #include "common/cancel.hpp"
@@ -32,11 +35,12 @@ namespace detail {
 /// its fallback buffers when there is no workspace); per bin,
 /// `sort_bin(off, len, scratch)` then `compress_bin(off, len) -> merged`
 /// then `filter_bin(bin, off, merged) -> kept` (the fused mask; identity
-/// when unmasked) run back to back while the bin is cache-hot.  Sort is
-/// timed into its own sub-phase; compress and filter share the compress
-/// sub-phase.
+/// when unmasked) then `post_bin(bin, off, kept) -> final` (the fused
+/// elementwise post-op; identity when inactive) run back to back while the
+/// bin is cache-hot.  Sort is timed into its own sub-phase; compress,
+/// filter and post share the compress sub-phase.
 template <typename MakeScratch, typename SortBin, typename CompressBin,
-          typename FilterBin>
+          typename FilterBin, typename PostBin>
 SortCompressResult sort_compress_driver(std::span<const nnz_t> offsets,
                                         std::span<const nnz_t> fill,
                                         int nbins, PbWorkspace* workspace,
@@ -44,6 +48,7 @@ SortCompressResult sort_compress_driver(std::span<const nnz_t> offsets,
                                         SortBin sort_bin,
                                         CompressBin compress_bin,
                                         FilterBin filter_bin,
+                                        PostBin post_bin,
                                         const CancelToken* cancel = nullptr) {
   SortCompressResult out;
   out.merged.assign(static_cast<std::size_t>(nbins), 0);
@@ -52,6 +57,7 @@ SortCompressResult sort_compress_driver(std::span<const nnz_t> offsets,
   std::vector<double> sort_busy(static_cast<std::size_t>(nthreads), 0.0);
   std::vector<double> compress_busy(static_cast<std::size_t>(nthreads), 0.0);
   std::vector<nnz_t> dropped(static_cast<std::size_t>(nthreads), 0);
+  std::vector<nnz_t> pdropped(static_cast<std::size_t>(nthreads), 0);
 
   // Per-thread scratch for the LSD sort, sized to the largest bin this
   // thread will touch.  Bins are capped at half of L2, so bin + scratch
@@ -109,8 +115,10 @@ SortCompressResult sort_compress_driver(std::span<const nnz_t> offsets,
         timer.reset();
         const nnz_t merged = compress_bin(off, len);
         const nnz_t kept = filter_bin(bin, off, merged);
-        out.merged[static_cast<std::size_t>(bin)] = kept;
+        const nnz_t final_kept = post_bin(bin, off, kept);
+        out.merged[static_cast<std::size_t>(bin)] = final_kept;
         dropped[tid] += merged - kept;
+        pdropped[tid] += kept - final_kept;
         compress_busy[tid] += timer.elapsed_s();
       } catch (...) {
         ok = false;
@@ -130,6 +138,7 @@ SortCompressResult sort_compress_driver(std::span<const nnz_t> offsets,
   out.compress_seconds =
       *std::max_element(compress_busy.begin(), compress_busy.end());
   for (const nnz_t d : dropped) out.mask_dropped += d;
+  for (const nnz_t d : pdropped) out.post_dropped += d;
   return out;
 }
 
@@ -164,6 +173,66 @@ nnz_t mask_filter_bin(nnz_t merged, const mtx::CsrMatrix& mask,
   return kept;
 }
 
+/// Applies the fused elementwise post-op to a compressed (and mask-
+/// filtered) bin in place.  Tuples are key-sorted, so each output row is
+/// one contiguous, column-ascending segment: scale rewrites values, prune
+/// drops |v| < threshold, and top-k keeps the row's k largest-|v| entries
+/// (ties toward smaller columns — the same selection
+/// mtx::keep_top_k_per_row makes) with survivors compacted in ascending
+/// column order.  `row_of` only segments the scan, so bin-local row ids
+/// serve as well as global ones.  Returns the survivor count.
+template <typename RowOf, typename GetVal, typename SetVal, typename Move>
+nnz_t post_op_bin(nnz_t kept, const PostOp& op, RowOf row_of, GetVal get_val,
+                  SetVal set_val, Move move) {
+  if (op.scale != 1.0) {
+    for (nnz_t i = 0; i < kept; ++i) set_val(i, get_val(i) * op.scale);
+  }
+  if (!op.drops_entries()) return kept;
+
+  std::vector<std::pair<double, nnz_t>> sel;  // top-k scratch: (|v|, index)
+  const auto larger = [](const std::pair<double, nnz_t>& x,
+                         const std::pair<double, nnz_t>& y) {
+    return x.first > y.first || (x.first == y.first && x.second < y.second);
+  };
+  nnz_t out = 0;
+  for (nnz_t i = 0; i < kept;) {
+    const auto r = row_of(i);
+    nnz_t j = i + 1;
+    while (j < kept && row_of(j) == r) ++j;
+
+    sel.clear();
+    for (nnz_t t = i; t < j; ++t) {
+      const double av = std::abs(get_val(t));
+      if (op.prune_threshold > 0 && av < op.prune_threshold) continue;
+      sel.emplace_back(av, t);
+    }
+    if (op.top_k > 0 && sel.size() > static_cast<std::size_t>(op.top_k)) {
+      // The k-th entry under (|v| desc, col asc) is the cutoff; keeping
+      // everything at or before it selects exactly k (indices are
+      // distinct, so the order is total).
+      const auto kth = sel.begin() + (op.top_k - 1);
+      std::nth_element(sel.begin(), kth, sel.end(), larger);
+      const auto cut = *kth;
+      sel.erase(std::remove_if(sel.begin(), sel.end(),
+                               [&](const std::pair<double, nnz_t>& e) {
+                                 return larger(cut, e);
+                               }),
+                sel.end());
+      std::sort(sel.begin(), sel.end(),
+                [](const std::pair<double, nnz_t>& x,
+                   const std::pair<double, nnz_t>& y) {
+                  return x.second < y.second;
+                });
+    }
+    for (const auto& e : sel) {
+      if (e.second != out) move(e.second, out);
+      ++out;
+    }
+    i = j;
+  }
+  return out;
+}
+
 }  // namespace detail
 
 /// Per-bin wide-format operations — the unit of work both schedules run.
@@ -175,6 +244,7 @@ template <typename S>
 struct WideBinOps {
   Tuple* tuples = nullptr;
   const MaskSpec* mask = nullptr;
+  const PostOp* post = nullptr;
 
   // The wide sort runs as SoA under the hood: the AoS bin is deinterleaved
   // into a u64 key + f64 value pair carved from the scratch, sorted with
@@ -234,6 +304,17 @@ struct WideBinOps {
         [&](nnz_t i) { return key_col(t[i].key); },
         [&](nnz_t src, nnz_t dst) { t[dst] = t[src]; });
   }
+
+  // Fused elementwise post-op, applied after the mask filter.
+  nnz_t post_apply(nnz_t off, nnz_t kept) const {
+    if (post == nullptr || !post->active()) return kept;
+    Tuple* t = tuples + off;
+    return detail::post_op_bin(
+        kept, *post, [&](nnz_t i) { return key_row(t[i].key); },
+        [&](nnz_t i) { return t[i].val; },
+        [&](nnz_t i, value_t v) { t[i].val = v; },
+        [&](nnz_t src, nnz_t dst) { t[dst] = t[src]; });
+  }
 };
 
 template <typename S>
@@ -242,8 +323,9 @@ SortCompressResult pb_sort_compress(Tuple* tuples,
                                     std::span<const nnz_t> fill, int nbins,
                                     PbWorkspace* workspace,
                                     const MaskSpec& mask,
-                                    const CancelToken* cancel) {
-  const WideBinOps<S> ops{tuples, &mask};
+                                    const CancelToken* cancel,
+                                    const PostOp& post) {
+  const WideBinOps<S> ops{tuples, &mask, &post};
   struct Scratch {
     AlignedBuffer<Tuple> local;  // fallback when there is no workspace
     Tuple* data = nullptr;
@@ -268,6 +350,9 @@ SortCompressResult pb_sort_compress(Tuple* tuples,
       [&](nnz_t off, std::size_t len) { return ops.compress(off, len); },
       [&](int bin, nnz_t off, nnz_t merged) {
         return ops.filter(bin, off, merged);
+      },
+      [&](int /*bin*/, nnz_t off, nnz_t kept) {
+        return ops.post_apply(off, kept);
       },
       cancel);
 }
@@ -317,6 +402,7 @@ struct NarrowBinOps {
   narrow_key_t* keys = nullptr;
   value_t* vals = nullptr;
   const MaskSpec* mask = nullptr;
+  const PostOp* post = nullptr;
   const BinLayout* layout = nullptr;
   int col_bits = 0;
 
@@ -361,6 +447,23 @@ struct NarrowBinOps {
           v[dst] = v[src];
         });
   }
+
+  // Fused elementwise post-op: row segmentation needs only the key's
+  // bin-local row bits, no layout decode.
+  nnz_t post_apply(nnz_t off, nnz_t kept) const {
+    if (post == nullptr || !post->active()) return kept;
+    narrow_key_t* k = keys + off;
+    value_t* v = vals + off;
+    return detail::post_op_bin(
+        kept, *post,
+        [&](nnz_t i) { return narrow_key_local_row(k[i], col_bits); },
+        [&](nnz_t i) { return v[i]; },
+        [&](nnz_t i, value_t nv) { v[i] = nv; },
+        [&](nnz_t src, nnz_t dst) {
+          k[dst] = k[src];
+          v[dst] = v[src];
+        });
+  }
 };
 
 template <typename S>
@@ -371,8 +474,9 @@ SortCompressResult pb_sort_compress_narrow(narrow_key_t* keys, value_t* vals,
                                            const MaskSpec& mask,
                                            const BinLayout* layout,
                                            int col_bits,
-                                           const CancelToken* cancel) {
-  const NarrowBinOps<S> ops{keys, vals, &mask, layout, col_bits};
+                                           const CancelToken* cancel,
+                                           const PostOp& post) {
+  const NarrowBinOps<S> ops{keys, vals, &mask, &post, layout, col_bits};
   struct Scratch {
     AlignedBuffer<narrow_key_t> local_keys;  // fallbacks without a workspace
     AlignedBuffer<value_t> local_vals;
@@ -398,6 +502,9 @@ SortCompressResult pb_sort_compress_narrow(narrow_key_t* keys, value_t* vals,
       [&](int bin, nnz_t off, nnz_t merged) {
         return ops.filter(bin, off, merged);
       },
+      [&](int /*bin*/, nnz_t off, nnz_t kept) {
+        return ops.post_apply(off, kept);
+      },
       cancel);
 }
 
@@ -409,6 +516,7 @@ struct NarrowF32BinOps {
   narrow_key_t* keys = nullptr;
   f32_val_t* vals = nullptr;
   const MaskSpec* mask = nullptr;
+  const PostOp* post = nullptr;
   const BinLayout* layout = nullptr;
   int col_bits = 0;
 
@@ -451,6 +559,23 @@ struct NarrowF32BinOps {
           v[dst] = v[src];
         });
   }
+
+  // Fused elementwise post-op; values widen to double around the knobs and
+  // narrow back on store, matching the compress merge's convention.
+  nnz_t post_apply(nnz_t off, nnz_t kept) const {
+    if (post == nullptr || !post->active()) return kept;
+    narrow_key_t* k = keys + off;
+    f32_val_t* v = vals + off;
+    return detail::post_op_bin(
+        kept, *post,
+        [&](nnz_t i) { return narrow_key_local_row(k[i], col_bits); },
+        [&](nnz_t i) { return static_cast<value_t>(v[i]); },
+        [&](nnz_t i, value_t nv) { v[i] = static_cast<f32_val_t>(nv); },
+        [&](nnz_t src, nnz_t dst) {
+          k[dst] = k[src];
+          v[dst] = v[src];
+        });
+  }
 };
 
 template <typename S>
@@ -458,8 +583,8 @@ SortCompressResult pb_sort_compress_narrow_f32(
     narrow_key_t* keys, f32_val_t* vals, std::span<const nnz_t> offsets,
     std::span<const nnz_t> fill, int nbins, PbWorkspace* workspace,
     const MaskSpec& mask, const BinLayout* layout, int col_bits,
-    const CancelToken* cancel) {
-  const NarrowF32BinOps<S> ops{keys, vals, &mask, layout, col_bits};
+    const CancelToken* cancel, const PostOp& post) {
+  const NarrowF32BinOps<S> ops{keys, vals, &mask, &post, layout, col_bits};
   struct Scratch {
     AlignedBuffer<narrow_key_t> local_keys;  // fallbacks without a workspace
     AlignedBuffer<f32_val_t> local_vals;
@@ -484,6 +609,9 @@ SortCompressResult pb_sort_compress_narrow_f32(
       [&](nnz_t off, std::size_t len) { return ops.compress(off, len); },
       [&](int bin, nnz_t off, nnz_t merged) {
         return ops.filter(bin, off, merged);
+      },
+      [&](int /*bin*/, nnz_t off, nnz_t kept) {
+        return ops.post_apply(off, kept);
       },
       cancel);
 }

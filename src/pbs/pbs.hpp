@@ -52,6 +52,7 @@
 #include "serve/registry.hpp"
 #include "serve/server.hpp"
 #include "serve/shard.hpp"
+#include "spgemm/epilogue.hpp"
 #include "spgemm/executor.hpp"
 #include "spgemm/masked.hpp"
 #include "spgemm/op.hpp"

@@ -99,6 +99,7 @@ MultiplyRequest base_request(const Client::MultiplyOptions& mo) {
   req.complement = mo.complement;
   req.values_only = mo.values_only;
   req.deadline_ms = mo.deadline_ms;
+  req.post_op = mo.post_op;
   if (mo.mask != nullptr) {
     req.has_mask = true;
     req.mask = *mo.mask;

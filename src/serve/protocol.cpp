@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cmath>
 #include <cstring>
 #include <limits>
 
@@ -258,6 +259,9 @@ std::vector<std::uint8_t> encode_multiply(const MultiplyRequest& req) {
   if (req.has_mask) flags |= kFlagHasMask;
   if (req.values_only) flags |= kFlagValuesOnly;
   if (req.b_is_a) flags |= kFlagBIsA;
+  // Versioned field: an identity post-op emits the pre-post-op body byte
+  // for byte (protocol.hpp header comment).
+  if (req.post_op.active()) flags |= kFlagHasPostOp;
   w.u8(flags);
   w.f64(req.deadline_ms);
   w.u64(req.a_handle);
@@ -265,6 +269,11 @@ std::vector<std::uint8_t> encode_multiply(const MultiplyRequest& req) {
   if (req.a_handle == 0) w.csr(req.a);
   if (req.b_handle == 0 && !req.b_is_a) w.csr(req.b);
   if (req.has_mask) w.csr(req.mask);
+  if (req.post_op.active()) {
+    w.f64(req.post_op.scale);
+    w.f64(req.post_op.prune_threshold);
+    w.u32(static_cast<std::uint32_t>(req.post_op.top_k));
+  }
   return w.take();
 }
 
@@ -283,6 +292,22 @@ MultiplyRequest decode_multiply(WireReader& r) {
   if (req.a_handle == 0) req.a = r.csr();
   if (req.b_handle == 0 && !req.b_is_a) req.b = r.csr();
   if (req.has_mask) req.mask = r.csr();
+  if ((flags & kFlagHasPostOp) != 0) {
+    req.post_op.scale = r.f64();
+    req.post_op.prune_threshold = r.f64();
+    // Hostile bytes: a threshold that is negative/NaN or a top_k past
+    // index_t would desync the op's invariants downstream — reject in
+    // the decoder like every other inconsistent field.
+    const std::uint32_t k = r.u32();
+    if (!std::isfinite(req.post_op.scale) ||
+        !(req.post_op.prune_threshold >= 0) ||
+        !std::isfinite(req.post_op.prune_threshold) ||
+        k > static_cast<std::uint32_t>(
+                std::numeric_limits<index_t>::max())) {
+      throw WireFormatError("wire: invalid post-op fields");
+    }
+    req.post_op.top_k = static_cast<index_t>(k);
+  }
   r.expect_done();
   return req;
 }

@@ -16,7 +16,16 @@
 //                  u64 a_handle · u64 b_handle ·
 //                  [csr A when a_handle == 0] ·
 //                  [csr B when b_handle == 0 and !kFlagBIsA] ·
-//                  [csr mask when kFlagHasMask]
+//                  [csr mask when kFlagHasMask] ·
+//                  [f64 scale · f64 prune_threshold · u32 top_k
+//                   when kFlagHasPostOp]
+//
+// The post-op fields are versioned by their flag and trail every older
+// field: a client that never sets kFlagHasPostOp emits the pre-post-op
+// body byte for byte, so old clients keep working against new servers
+// unchanged.  (A NEW client sending a post-op to an OLD server gets
+// kMalformed — the old decoder sees trailing bytes — which is the
+// fail-closed direction: the op would otherwise be silently dropped.)
 //   kUpload        csr
 //   kUpdateValues  u64 handle · csr
 //   kRelease       u64 handle
@@ -47,6 +56,7 @@
 #include <string>
 #include <vector>
 
+#include "common/post_op.hpp"
 #include "matrix/csr.hpp"
 
 namespace pbs::serve {
@@ -106,6 +116,10 @@ inline constexpr std::uint8_t kFlagComplement = 1u << 0;
 inline constexpr std::uint8_t kFlagHasMask = 1u << 1;
 inline constexpr std::uint8_t kFlagValuesOnly = 1u << 2;
 inline constexpr std::uint8_t kFlagBIsA = 1u << 3;
+/// Versioned trailing post-op fields follow the body (see the header
+/// comment).  Servers that cannot honor a requested post-op (value-free
+/// semiring, combined with an accumulating op) answer kUnsupported.
+inline constexpr std::uint8_t kFlagHasPostOp = 1u << 4;
 
 /// Multiply response info flags — what the executor reported, so clients
 /// (and tests) can observe cache behavior across the wire.
@@ -219,6 +233,10 @@ struct MultiplyRequest {
   std::uint64_t a_handle = 0;  ///< 0 = inline payload in `a`
   std::uint64_t b_handle = 0;
   mtx::CsrMatrix a, b, mask;
+  /// Fused elementwise epilogue (scale/prune/top-k).  Encoded only when
+  /// active (kFlagHasPostOp); the identity op keeps the wire body
+  /// byte-compatible with pre-post-op peers.
+  PostOp post_op;
 };
 
 std::vector<std::uint8_t> encode_ping();

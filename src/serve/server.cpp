@@ -397,6 +397,10 @@ struct Server::Impl {
     op.semiring = req.semiring;
     op.complement = req.complement;
     if (req.has_mask) op.mask = &req.mask;
+    // Fused epilogue rides the descriptor; an illegal combination (post-op
+    // on a value-free semiring) throws std::invalid_argument below, which
+    // maps to the typed kUnsupported reply.
+    op.post_op = req.post_op;
     RunOptions ropts;
     const double deadline_ms =
         req.deadline_ms > 0 ? req.deadline_ms : opts.default_deadline_ms;

@@ -16,6 +16,7 @@
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
 #include "pb/symbolic.hpp"
+#include "spgemm/epilogue.hpp"
 #include "spgemm/registry.hpp"
 
 namespace pbs {
@@ -27,7 +28,9 @@ namespace {
 // change freely, the fused kernels re-read it per call), and the pb/model
 // tunables that steer symbolic layout and "auto" selection.  accumulate
 // is execution-time behavior and deliberately excluded: an accumulating
-// op shares its cached plan with the plain product.
+// op shares its cached plan with the plain product.  post_op IS keyed —
+// the cached entry's op copy carries it into every execution, so two ops
+// differing only in their post-op must not share an entry.
 std::string op_cache_key(const SpGemmOp& op) {
   std::ostringstream key;
   key << op.algo << '|' << op.semiring << '|'
@@ -36,7 +39,11 @@ std::string op_cache_key(const SpGemmOp& op) {
       << static_cast<int>(op.pb.format) << '|' << op.pb.value_free << '|'
       << static_cast<int>(op.pb.schedule) << '|' << op.pb.nbins << '|'
       << op.pb.local_bin_bytes << '|' << op.pb.l2_bytes << '|'
-      << op.pb.streaming_stores << '|' << op.model.pb_efficiency << '|'
+      << op.pb.streaming_stores << '|'
+      << static_cast<int>(op.pb.expand_mask) << '|'
+      << op.pb.expand_mask_max_density << '|' << op.post_op.scale << '|'
+      << op.post_op.prune_threshold << '|' << op.post_op.top_k << '|'
+      << op.model.pb_efficiency << '|'
       << op.model.column_latency_penalty << '|'
       << op.model.small_flop_threshold << '|' << op.model.pb_tuple_bytes
       << '|' << op.model.bytes_per_nnz;
@@ -48,6 +55,25 @@ void check_mask_shape(const SpGemmOp& op, const SpGemmProblem& p) {
                              op.mask->ncols != p.b_csr.ncols)) {
     throw std::invalid_argument(
         "SpGemmExecutor: mask shape does not match the product");
+  }
+}
+
+/// Descriptor-level legality of op.post_op, enforced at every entry point
+/// (plan time, never execute time).  `accumulating` covers both the
+/// op.accumulate flag and the accumulating run overload's target.
+void check_post_op(const SpGemmOp& op, bool accumulating) {
+  if (!op.post_op.active()) return;
+  if (accumulating) {
+    throw std::invalid_argument(
+        "SpGemmExecutor: post_op and accumulate are mutually exclusive "
+        "(prune/top-k over a merged C is ambiguous — run the product with "
+        "the post-op, then accumulate explicitly)");
+  }
+  if (op.pb.value_free || semiring_value_free(op.semiring)) {
+    throw std::invalid_argument(
+        "SpGemmExecutor: post_op on value-free semiring '" + op.semiring +
+        "': every output value is the present-value 1.0, so there is "
+        "nothing to scale, prune or rank");
   }
 }
 
@@ -369,11 +395,25 @@ struct SpGemmExecutor::Impl {
       // calibrate() inverts predictions through this constant.
       entry->sel_pb_efficiency = m.effective_pb_efficiency();
       entry->sel_column_latency_penalty = m.column_latency_penalty;
+      // Keep the model's expand-mask gate in lockstep with the config the
+      // pb path will actually run under: credit a skip that will happen,
+      // never one that kOff has disabled.
+      m.expand_mask_density_max =
+          pbcfg.expand_mask == pb::ExpandMaskMode::kOff
+              ? 0.0
+              : pbcfg.expand_mask_max_density;
       model::MaskModel mm;
       if (op.mask != nullptr) {
         mm.present = true;
         mm.complement = op.complement;
         mm.mask_nnz = op.mask->nnz();
+        const double cells = static_cast<double>(p.a_csr.nrows) *
+                             static_cast<double>(p.b_csr.ncols);
+        if (cells > 0) {
+          const double density =
+              static_cast<double>(op.mask->nnz()) / cells;
+          mm.kept_density = op.complement ? 1.0 - density : density;
+        }
         if (!op.complement) {
           // Structural-only masked estimate: per-row caps make the
           // output bound strictly sharper than the global nnz(mask) min.
@@ -459,7 +499,8 @@ struct SpGemmExecutor::Impl {
 
   mtx::CsrMatrix execute_entry(const EntryPtr& entry, const SpGemmProblem& p,
                                RunInfo* info,
-                               const CancelToken* cancel = nullptr) {
+                               const CancelToken* cancel = nullptr,
+                               const mtx::CsrMatrix* accumulate = nullptr) {
     Timer timer;
     mtx::CsrMatrix c;
     pb::PbTelemetry pb_stats;
@@ -476,9 +517,15 @@ struct SpGemmExecutor::Impl {
         try {
           const pb::WorkspacePool::Lease lease = pool.acquire();
           const pb::MaskSpec mask{entry->op.mask, entry->op.complement};
+          // The epilogue rides INTO the kernels: an accumulation target
+          // merges during CSR conversion (pb/output_accum.hpp) and the
+          // post-op applies in the per-bin filter stage — neither the
+          // plain product nor the unpruned C is ever materialized.
+          const pb::PbEpilogue epi{accumulate, entry->op.post_op};
           pb::PbResult r = pb::pb_execute_named(
               entry->op.semiring, p.a_csc, p.b_csr, entry->pb_plan,
-              lease.workspace(), /*check_fingerprint=*/false, mask, cancel);
+              lease.workspace(), /*check_fingerprint=*/false, mask, cancel,
+              epi);
           pb_stats = r.stats;
           c = std::move(r.c);
         } catch (const std::bad_alloc&) {
@@ -502,6 +549,18 @@ struct SpGemmExecutor::Impl {
       } else {
         throw_if_stopped(cancel);
         c = entry->fn(p);
+      }
+      // Unfused epilogue: row-wise kernels and the oom fallback produced
+      // the plain product — shape/merge it here so every path returns the
+      // same matrix the fused pb kernels build directly.  Inside the dyn
+      // scope: semiring_ewise_add over a runtime semiring rides the same
+      // process-global bridge.
+      if (!entry->use_pb || oom_fallback) {
+        throw_if_stopped(cancel);
+        if (entry->op.post_op.active()) apply_post_op(c, entry->op.post_op);
+        if (accumulate != nullptr) {
+          c = semiring_ewise_add(entry->op.semiring, *accumulate, c);
+        }
       }
     }
     // Row-wise kernels have no internal poll points: honor a deadline
@@ -573,7 +632,8 @@ struct SpGemmExecutor::Impl {
 
   mtx::CsrMatrix run_passthrough(const SpGemmProblem& p, const SpGemmOp& op,
                                  RunInfo* info,
-                                 const CancelToken* cancel = nullptr) {
+                                 const CancelToken* cancel = nullptr,
+                                 const mtx::CsrMatrix* accumulate = nullptr) {
     check_mask_shape(op, p);
     const SpGemmFn fn = passthrough_fn(op, op_cache_key(op));
     throw_if_stopped(cancel);
@@ -584,6 +644,12 @@ struct SpGemmExecutor::Impl {
         dyn_lock = std::unique_lock<std::mutex>(dyn_semiring_mutex());
       }
       c = fn(p);
+      // Fixed baseline kernels never fuse: post-pass epilogue, same
+      // result as the fused paths.
+      if (op.post_op.active()) apply_post_op(c, op.post_op);
+      if (accumulate != nullptr) {
+        c = semiring_ewise_add(op.semiring, *accumulate, c);
+      }
     }
     throw_if_stopped(cancel);
     {
@@ -608,9 +674,11 @@ SpGemmExecutor::~SpGemmExecutor() = default;
 mtx::CsrMatrix SpGemmExecutor::run_product(const SpGemmProblem& p,
                                            const SpGemmOp& op, RunInfo* info,
                                            bool values_only,
-                                           const RunOptions& ropts) {
+                                           const RunOptions& ropts,
+                                           const mtx::CsrMatrix* accumulate) {
   Impl& im = *impl_;
   if (info != nullptr) *info = RunInfo{};  // no stale fields across reuses
+  check_post_op(op, op.accumulate || accumulate != nullptr);
   if (im.opts.validate_inputs) im.validate_problem(p, op);
 
   // This run's token: RunOptions deadline/cancel + the executor's
@@ -624,7 +692,7 @@ mtx::CsrMatrix SpGemmExecutor::run_product(const SpGemmProblem& p,
       // A fixed baseline algorithm caches nothing beyond kernel
       // resolution: there is no analysis to reuse and no fingerprint to
       // verify.
-      return im.run_passthrough(p, op, info, &token);
+      return im.run_passthrough(p, op, info, &token, accumulate);
     }
 
     const std::string key = op_cache_key(op);
@@ -636,7 +704,7 @@ mtx::CsrMatrix SpGemmExecutor::run_product(const SpGemmProblem& p,
           ++im.stats.cache_hits;
           ++im.stats.value_only_hits;
         }
-        mtx::CsrMatrix c = im.execute_entry(entry, p, info, &token);
+        mtx::CsrMatrix c = im.execute_entry(entry, p, info, &token, accumulate);
         if (info != nullptr) {
           info->cache_hit = true;
           info->value_only = true;
@@ -659,7 +727,7 @@ mtx::CsrMatrix SpGemmExecutor::run_product(const SpGemmProblem& p,
       ++im.stats.executes;
       hit ? ++im.stats.cache_hits : ++im.stats.cache_misses;
     }
-    mtx::CsrMatrix c = im.execute_entry(entry, p, info, &token);
+    mtx::CsrMatrix c = im.execute_entry(entry, p, info, &token, accumulate);
     if (info != nullptr) info->cache_hit = hit;
     return c;
   } catch (const CancelledError&) {
@@ -686,9 +754,11 @@ mtx::CsrMatrix SpGemmExecutor::run(const SpGemmProblem& p, const SpGemmOp& op,
 mtx::CsrMatrix SpGemmExecutor::run(const SpGemmProblem& p, const SpGemmOp& op,
                                    const mtx::CsrMatrix& accumulate_into,
                                    RunInfo* info) {
-  return semiring_ewise_add(
-      op.semiring, accumulate_into,
-      run_product(p, op, info, /*values_only=*/false, RunOptions{}));
+  // The target threads into the execution itself: the pb path merges it
+  // during CSR conversion (fused accumulate), the row-wise paths post-pass
+  // through semiring_ewise_add — bit-identical by construction.
+  return run_product(p, op, info, /*values_only=*/false, RunOptions{},
+                     &accumulate_into);
 }
 
 mtx::CsrMatrix SpGemmExecutor::run_values_updated(const SpGemmProblem& p,
@@ -755,6 +825,7 @@ std::vector<mtx::CsrMatrix> SpGemmExecutor::run(const SpGemmProblem& p,
           "SpGemmExecutor::run(problem, ops): batch results are products; "
           "accumulate through the two-argument run");
     }
+    check_post_op(op, op.accumulate);
     if (!is_passthrough(op)) any_planned = true;
     if (op.algo == "auto") any_auto = true;
   }
@@ -874,6 +945,7 @@ std::vector<mtx::CsrMatrix> SpGemmExecutor::run(const SpGemmProblem& p,
 void SpGemmExecutor::prepare(const SpGemmProblem& p, const SpGemmOp& op,
                              RunInfo* info) {
   Impl& im = *impl_;
+  check_post_op(op, op.accumulate);
   if (im.opts.validate_inputs) im.validate_problem(p, op);
   if (is_passthrough(op)) {
     check_mask_shape(op, p);

@@ -197,7 +197,13 @@ class SpGemmExecutor {
                      const RunOptions& ropts, RunInfo* info = nullptr);
 
   /// Accumulating run: c ⊞ (A ⊗ B under op's mask), the union-pattern
-  /// combine with the op semiring's add.
+  /// combine with the op semiring's add.  When the plan executes PB the
+  /// merge is fused into CSR conversion (the plain product is never
+  /// materialized); row-wise paths post-pass through semiring_ewise_add.
+  /// Both produce bit-identical results, and the cached plan is shared
+  /// with non-accumulating runs of the same op.  Rejects ops with an
+  /// active post_op (std::invalid_argument — prune/top-k over a merged C
+  /// is ambiguous).
   mtx::CsrMatrix run(const SpGemmProblem& p, const SpGemmOp& op,
                      const mtx::CsrMatrix& accumulate_into,
                      RunInfo* info = nullptr);
@@ -229,7 +235,10 @@ class SpGemmExecutor {
   /// The assertion is trusted: operands that moved nonzeros between rows
   /// at equal dims+nnz would be routed through a stale bin layout
   /// (undefined results) — exactly the StructureFingerprint contract,
-  /// minus the flop term the caller vouches for.
+  /// minus the flop term the caller vouches for.  An op with a post_op
+  /// stays valid here even when it drops entries: the cached plan
+  /// describes the *operands'* structure, and the post-op shapes only the
+  /// output, downstream of everything the plan fixed.
   mtx::CsrMatrix run_values_updated(const SpGemmProblem& p,
                                     const SpGemmOp& op = {},
                                     RunInfo* info = nullptr);
@@ -277,7 +286,8 @@ class SpGemmExecutor {
  private:
   mtx::CsrMatrix run_product(const SpGemmProblem& p, const SpGemmOp& op,
                              RunInfo* info, bool values_only,
-                             const RunOptions& ropts);
+                             const RunOptions& ropts,
+                             const mtx::CsrMatrix* accumulate = nullptr);
 
   struct Impl;
   std::unique_ptr<Impl> impl_;

@@ -56,8 +56,15 @@ mtx::CsrMatrix SpGemmPlan::execute(const SpGemmProblem& p) {
 
 mtx::CsrMatrix SpGemmPlan::execute(const SpGemmProblem& p,
                                    const mtx::CsrMatrix& c) {
-  return semiring_ewise_add(opts_.semiring, c,
-                            execute_product(p, /*values_only=*/false));
+  // Routed through the executor's accumulating run so the pb path merges
+  // c during CSR conversion instead of a post-pass over the materialized
+  // product; row-wise paths still post-pass (bit-identical either way).
+  SpGemmOp op = opts_;
+  op.accumulate = false;  // the overload IS the declaration
+  RunInfo info;
+  mtx::CsrMatrix out = exec_->run(p, op, c, &info);
+  note_run(info);
+  return out;
 }
 
 mtx::CsrMatrix SpGemmPlan::execute_values_updated(const SpGemmProblem& p) {

@@ -227,13 +227,40 @@ TEST(SpGemmOpMask, PbRecordsDroppedTuplesInTelemetry) {
   SpGemmOp op;
   op.algo = "pb";
   op.mask = &mask;
+  // Pin the compress-stage drop path: this mask is sparse enough that the
+  // auto expand-mask would otherwise engage and leave nothing to drop.
+  op.pb.expand_mask = pb::ExpandMaskMode::kOff;
   SpGemmPlan plan = make_plan(p, op);
   const mtx::CsrMatrix c = plan.execute(p);
   const pb::PbTelemetry& tm = plan.last_pb_stats();
   EXPECT_EQ(tm.nnz_c, c.nnz());
+  EXPECT_FALSE(tm.expand_masked);
+  EXPECT_EQ(tm.mask_skipped_expand, 0);
   EXPECT_GT(tm.mask_dropped, 0);
   // Survivors + dropped = the unmasked product's nonzeros.
   EXPECT_EQ(tm.nnz_c + tm.mask_dropped, reference_spgemm(p).nnz());
+}
+
+TEST(SpGemmOpMask, PbRecordsExpandSkippedTuplesInTelemetry) {
+  // The same sparse mask under the fused expand path: tuples for
+  // masked-out outputs are never generated, so the drop count moves from
+  // mask_dropped to mask_skipped_expand and flop = generated + skipped.
+  const mtx::CsrMatrix a = testutil::exact_er(250, 250, 6.0, 99);
+  const mtx::CsrMatrix mask = testutil::exact_er(250, 250, 4.0, 100);
+  const SpGemmProblem p = SpGemmProblem::square(a);
+  SpGemmOp op;
+  op.algo = "pb";
+  op.mask = &mask;
+  op.pb.expand_mask = pb::ExpandMaskMode::kOn;
+  SpGemmPlan plan = make_plan(p, op);
+  const mtx::CsrMatrix c = plan.execute(p);
+  const pb::PbTelemetry& tm = plan.last_pb_stats();
+  EXPECT_EQ(tm.nnz_c, c.nnz());
+  EXPECT_TRUE(tm.expand_masked);
+  EXPECT_GT(tm.mask_skipped_expand, 0);
+  EXPECT_EQ(tm.mask_dropped, 0);
+  EXPECT_TRUE(mtx::equal_exact(
+      c, mtx::pattern_filter(reference_spgemm(p), mask, false)));
 }
 
 TEST(SpGemmOpMask, MaskedAcrossSemiringsAndFormats) {

@@ -14,6 +14,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -136,6 +137,50 @@ TEST(ServeProtocol, HandleRequestsCarryNoMatrixPayload) {
   EXPECT_TRUE(back.values_only);
   EXPECT_EQ(back.a.nrows, 0);
   EXPECT_EQ(back.b.nrows, 0);
+}
+
+// The post-op fields are versioned by kFlagHasPostOp: an inactive
+// post-op adds no bytes (a pre-post-op client's body is reproduced byte
+// for byte), an active one appends exactly the three trailing fields and
+// round-trips.
+TEST(ServeProtocol, PostOpRoundTripsAndStaysOffTheWireWhenInactive) {
+  serve::MultiplyRequest req;
+  req.a_handle = 3;
+  req.b_handle = 4;
+  const std::vector<std::uint8_t> without = serve::encode_multiply(req);
+
+  req.post_op.scale = 2.0;
+  req.post_op.prune_threshold = 1e-4;
+  req.post_op.top_k = 8;
+  const std::vector<std::uint8_t> with = serve::encode_multiply(req);
+  EXPECT_EQ(with.size(),
+            without.size() + 2 * sizeof(double) + sizeof(std::uint32_t));
+
+  serve::WireReader r(with);
+  ASSERT_EQ(r.u8(), static_cast<std::uint8_t>(serve::MsgType::kMultiply));
+  const serve::MultiplyRequest back = serve::decode_multiply(r);
+  r.expect_done();
+  EXPECT_EQ(back.post_op, req.post_op);
+
+  serve::WireReader r2(without);
+  ASSERT_EQ(r2.u8(), static_cast<std::uint8_t>(serve::MsgType::kMultiply));
+  const serve::MultiplyRequest back2 = serve::decode_multiply(r2);
+  r2.expect_done();
+  EXPECT_FALSE(back2.post_op.active());
+}
+
+// Hostile post-op bytes (non-finite scale, negative threshold) fail wire
+// decoding — they never reach the executor as a live descriptor.
+TEST(ServeProtocol, HostilePostOpFieldsAreRejectedAtDecode) {
+  serve::MultiplyRequest req;
+  req.a_handle = 1;
+  req.b_handle = 1;
+  req.post_op.scale = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<std::uint8_t> bytes = serve::encode_multiply(req);
+
+  serve::WireReader r(bytes);
+  ASSERT_EQ(r.u8(), static_cast<std::uint8_t>(serve::MsgType::kMultiply));
+  EXPECT_THROW((void)serve::decode_multiply(r), serve::WireFormatError);
 }
 
 // Every strict prefix of a valid body must throw, never read past the
@@ -450,6 +495,47 @@ TEST(ServeEndToEnd, MaskedMultiplyCrossesTheWire) {
   mo.complement = true;
   op.complement = true;
   EXPECT_TRUE(mtx::equal_exact(cli.multiply(a, a, mo), local_run(a, a, op)));
+}
+
+// A post-op crosses the wire and runs fused server-side: the reply is
+// bit-identical to the local executor under the same descriptor, and
+// strictly smaller than the unpruned product.
+TEST(ServeEndToEnd, PostOpMultiplyIsPrunedServerSide) {
+  TestServer ts;
+  serve::Client cli(ts.path());
+  const mtx::CsrMatrix a = testutil::exact_er(160, 160, 5.0, 120);
+
+  serve::MultiplyOptions mo;
+  mo.algo = "pb";
+  mo.post_op = parse_post_op("prune:4,topk:8");
+  SpGemmOp op;
+  op.algo = "pb";
+  op.post_op = mo.post_op;
+  const mtx::CsrMatrix pruned = cli.multiply(a, a, mo);
+  EXPECT_TRUE(mtx::equal_exact(pruned, local_run(a, a, op)));
+
+  SpGemmOp plain;
+  plain.algo = "pb";
+  EXPECT_LT(pruned.vals.size(), local_run(a, a, plain).vals.size());
+}
+
+// A post-op the server cannot honor (value-free semiring) comes back as
+// the typed kUnsupported code — and the connection keeps serving.
+TEST(ServeErrors, PostOpOnAValueFreeSemiringIsKUnsupported) {
+  TestServer ts;
+  serve::Client cli(ts.path());
+  const mtx::CsrMatrix a = testutil::exact_er(80, 80, 3.0, 121);
+
+  serve::MultiplyOptions mo;
+  mo.semiring = "bool_or_and";
+  mo.post_op.top_k = 4;
+  try {
+    (void)cli.multiply(a, a, mo);
+    FAIL() << "post-op on bool_or_and must be rejected";
+  } catch (const serve::ServeError& e) {
+    EXPECT_EQ(e.status(), serve::WireStatus::kUnsupported);
+  }
+  cli.ping();
 }
 
 // The acceptance bar: a >= 2x2 tile-sharded route, driven through the

@@ -8,6 +8,7 @@
 //                    [--reps R] [--repeat N] [--out FILE.mtx]
 //                    [--semiring plus_times]
 //                    [--mask FILE.mtx] [--complement]
+//                    [--post-op prune:T,topk:K,scale:X]
 //                    [--mem-budget-mb N] [--deadline-ms T]
 //   pbs_cli semiring --a FILE.mtx [--algo auto] [--repeat N]
 //   pbs_cli calibrate [--scale N] [--reps R]
@@ -24,8 +25,13 @@
 // cache-hit/miss and workspace-pool reuse counters.  `calibrate` refits
 // the selection model's derating constants from recorded
 // predicted-vs-achieved MFLOPS pairs.  --mask restricts the output to the mask's pattern with
-// the mask *fused* into the kernel (PB drops masked-out tuples at its
-// compress stage and reports the count); --complement flips the polarity.
+// the mask *fused* into the kernel (PB skips masked-out tuples in its
+// expand scatter loop when the kept side is sparse, or drops them at the
+// compress stage when dense, reporting both counts); --complement flips
+// the polarity.  --post-op applies a fused elementwise epilogue
+// (scale, then prune |v| < T, then keep the top-k per row) inside the
+// kernels — the unpruned product is never materialized; it is an error
+// on value-free semirings.
 // `semiring` demonstrates runtime semiring registration: it registers the
 // tropical (max, +) semiring "plus_max" through SemiringRegistry and runs
 // the multiplication over it via the descriptor plan path.  `info` prints
@@ -150,7 +156,8 @@ int multiply_planned(const Cli& cli, const SpGemmProblem& problem,
                      bool amortization_report,
                      const mtx::CsrMatrix* mask = nullptr,
                      bool complement = false,
-                     pb::PbSchedule schedule = pb::PbSchedule::kAuto) {
+                     pb::PbSchedule schedule = pb::PbSchedule::kAuto,
+                     const PostOp& post_op = {}) {
   SpGemmOp opts;
   opts.algo = algo;
   opts.semiring = semiring;
@@ -158,6 +165,7 @@ int multiply_planned(const Cli& cli, const SpGemmProblem& problem,
   opts.pb.schedule = schedule;
   opts.mask = mask;
   opts.complement = complement;
+  opts.post_op = post_op;
   // Robust-serving knobs: a byte cap on pooled workspace memory (PB
   // degrades to the row-wise fallback rather than exceeding it) and a
   // per-execute deadline (DeadlineError once it expires).
@@ -264,8 +272,21 @@ int multiply_planned(const Cli& cli, const SpGemmProblem& problem,
     std::cout << "  mask: nnz " << mask->nnz()
               << (complement ? " (complemented)" : "");
     if (info.used_pb) {
-      std::cout << ", tuples dropped at compress "
+      // The two fused mask sites are disjoint: a sparse mask skips tuple
+      // generation in the expand scatter loops, a dense one drops after
+      // the per-bin compress.
+      std::cout << ", tuples skipped at expand "
+                << info.pb_stats.mask_skipped_expand
+                << ", tuples dropped at compress "
                 << info.pb_stats.mask_dropped;
+    }
+    std::cout << "\n";
+  }
+  if (post_op.active()) {
+    std::cout << "  post-op: " << post_op_to_string(post_op);
+    if (info.used_pb) {
+      std::cout << ", entries dropped in-kernel "
+                << info.pb_stats.post_dropped;
     }
     std::cout << "\n";
   }
@@ -342,6 +363,18 @@ int cmd_multiply(const Cli& cli) {
     mask = mtx::coo_to_csr(mtx::read_matrix_market(*cli.get("mask")));
   }
   const bool complement = cli.number("complement", 0) != 0;
+  // --post-op runs the fused epilogue: strict about value-free semirings
+  // (nothing to scale or prune) rather than silently ignoring the flag.
+  PostOp post_op;
+  if (cli.get("post-op")) {
+    post_op = parse_post_op(*cli.get("post-op"));
+    if (post_op.active() && semiring_value_free(semiring)) {
+      throw std::invalid_argument(
+          "--post-op on value-free semiring '" + semiring +
+          "': every output value is the present-value 1.0; there is "
+          "nothing to scale, prune or rank");
+    }
+  }
   // The robustness and cache knobs live in the executor, so they imply
   // the executor path even for a fixed algorithm.
   const bool robust =
@@ -349,12 +382,14 @@ int cmd_multiply(const Cli& cli) {
       cli.get("deadline-ms").has_value() ||
       cli.get("cache-capacity").has_value() ||
       cli.get("cache-capacity-mb").has_value();
-  if (algo == "auto" || repeat > 0 || mask.has_value() || robust) {
+  if (algo == "auto" || repeat > 0 || mask.has_value() || robust ||
+      post_op.active()) {
     const int execs = repeat > 0 ? repeat : reps;
     return multiply_planned(cli, problem, algo, semiring, format,
                             std::max(execs, 1),
                             /*amortization_report=*/repeat > 0,
-                            mask ? &*mask : nullptr, complement, schedule);
+                            mask ? &*mask : nullptr, complement, schedule,
+                            post_op);
   }
 
   // Resolve through the (algorithm × semiring) registry first: unknown
@@ -536,6 +571,7 @@ void usage() {
       "           [--schedule auto|barrier|pipeline]\n"
       "           [--reps R] [--repeat N] [--out FILE.mtx]\n"
       "           [--mask FILE.mtx] [--complement]\n"
+      "           [--post-op prune:T,topk:K,scale:X]\n"
       "           [--mem-budget-mb N] [--deadline-ms T]\n"
       "           [--cache-capacity N] [--cache-capacity-mb M]\n"
       "  semiring --a FILE.mtx [--name plus_max] [--algo auto] [--repeat N]\n"
@@ -556,8 +592,12 @@ void usage() {
       "auto pipelines at >1 thread.  Pipelined runs report the numeric\n"
       "wall, the busy time the overlap hid, and bins stolen.\n"
       "--mask M restricts the output to M's pattern with the mask fused\n"
-      "into the kernel (PB drops masked-out tuples at compress and reports\n"
-      "the count); --complement keeps the positions NOT in M.\n"
+      "into the kernel (a sparse mask skips tuple generation at expand, a\n"
+      "dense one drops at compress; both counts are reported);\n"
+      "--complement keeps the positions NOT in M.  --post-op fuses an\n"
+      "elementwise epilogue into the kernels — scale, then prune\n"
+      "|v| < T, then top-k per row — so the unpruned product is never\n"
+      "materialized; it is an error on value-free semirings.\n"
       "--mem-budget-mb N caps the executor's pooled workspace memory: a\n"
       "PB stream that cannot fit degrades to the row-wise fallback and\n"
       "the degradation is reported; --deadline-ms T bounds each execute\n"
